@@ -1,0 +1,571 @@
+// Package retrodns_bench is the benchmark harness: one benchmark per table
+// and figure of the paper, substrate micro-benchmarks, scale sweeps, and
+// ablation benchmarks for the design choices DESIGN.md calls out. Quality
+// ablations report recall/precision via b.ReportMetric alongside timing.
+//
+//	go test -bench=. -benchmem
+package retrodns_bench
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"retrodns/internal/core"
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnsserver"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/merkle"
+	"retrodns/internal/pdns"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+	"retrodns/internal/world"
+	"retrodns/internal/x509lite"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+// ---------------------------------------------------------------------------
+
+type studyFixture struct {
+	world   *world.World
+	dataset *scanner.Dataset
+	result  *core.Result
+}
+
+var (
+	studyOnce sync.Once
+	study     *studyFixture
+
+	coverageMu       sync.Mutex
+	coverageFixtures = map[int]*studyFixture{}
+)
+
+// benchWorldConfig is the standard benchmark world: full campaign replay
+// over a modest benign population.
+func benchWorldConfig() world.Config {
+	cfg := world.DefaultConfig()
+	cfg.StableDomains = 150
+	cfg.TransitionDomains = 5
+	cfg.NoisyDomains = 2
+	cfg.BenignTransients = 3
+	return cfg
+}
+
+func buildFixture(cfg world.Config, pivot bool, params core.Params) *studyFixture {
+	w := world.New(cfg)
+	ds := w.Run()
+	p := &core.Pipeline{Params: params, Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, DisablePivot: !pivot}
+	return &studyFixture{world: w, dataset: ds, result: p.Run()}
+}
+
+func getStudy(b *testing.B) *studyFixture {
+	b.Helper()
+	studyOnce.Do(func() {
+		study = buildFixture(benchWorldConfig(), true, core.DefaultParams())
+	})
+	return study
+}
+
+func getCoverageStudy(b *testing.B, pct int) *studyFixture {
+	b.Helper()
+	coverageMu.Lock()
+	defer coverageMu.Unlock()
+	if f, ok := coverageFixtures[pct]; ok {
+		return f
+	}
+	cfg := benchWorldConfig()
+	cfg.StableDomains = 50
+	cfg.PDNSCoverage = float64(pct) / 100
+	f := buildFixture(cfg, true, core.DefaultParams())
+	coverageFixtures[pct] = f
+	return f
+}
+
+// recallOf scores a result against the world's ground truth.
+func recallOf(w *world.World, res *core.Result) (recall, precision float64) {
+	expH, expT := w.ExpectedVictims()
+	got := map[dnscore.Name]core.Verdict{}
+	for _, f := range res.Findings() {
+		got[f.Domain] = f.Verdict
+	}
+	tp, fn, fp := 0, 0, 0
+	for _, d := range expH {
+		if got[d] == core.VerdictHijacked {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	for _, d := range expT {
+		if _, ok := got[d]; ok {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	for d := range got {
+		if t := w.Truth[d]; t == nil || (t.Kind != "hijacked" && t.Kind != "targeted") {
+			fp++
+		}
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	return recall, precision
+}
+
+// ---------------------------------------------------------------------------
+// Per-table / per-figure benchmarks
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1 regenerates the annotated scan rows (paper Table 1).
+func BenchmarkTable1(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table1(fx.dataset, "kyvernisi.gr", 0, simtime.StudyEnd)
+	}
+}
+
+// BenchmarkFigure2 rebuilds and renders the kyvernisi.gr deployment map.
+func BenchmarkFigure2(b *testing.B) {
+	fx := getStudy(b)
+	params := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.PatternGallery(fx.dataset, params, map[string]dnscore.Name{"fig2": "kyvernisi.gr"})
+	}
+}
+
+// BenchmarkFigures3to5 renders the stable/transition/transient galleries.
+func BenchmarkFigures3to5(b *testing.B) {
+	fx := getStudy(b)
+	params := core.DefaultParams()
+	examples := map[string]dnscore.Name{
+		"S": "stable0000.com", "X": "mover0000.com",
+		"T1": "kyvernisi.gr", "T2": "parlament.ch", "noisy": "churn0000.com",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.PatternGallery(fx.dataset, params, examples)
+	}
+}
+
+// BenchmarkFunnel runs the full five-step pipeline (paper §4.2–§4.5 funnel).
+func BenchmarkFunnel(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &core.Pipeline{Params: core.DefaultParams(), Dataset: fx.dataset,
+			Meta: fx.world.Meta, PDNS: fx.world.PDNSDB, CT: fx.world.CT}
+		res := p.Run()
+		if len(res.Hijacked) != len(world.HijackedRows) {
+			b.Fatalf("hijacked = %d", len(res.Hijacked))
+		}
+	}
+	r, p := recallOf(fx.world, fx.result)
+	b.ReportMetric(r, "recall")
+	b.ReportMetric(p, "precision")
+}
+
+// BenchmarkTable2 renders the hijacked-domains table.
+func BenchmarkTable2(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table2(fx.result.Hijacked)
+	}
+	b.ReportMetric(float64(len(fx.result.Hijacked)), "hijacked")
+}
+
+// BenchmarkTable3 renders the targeted-domains table.
+func BenchmarkTable3(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table3(fx.result.Targeted)
+	}
+	b.ReportMetric(float64(len(fx.result.Targeted)), "targeted")
+}
+
+// BenchmarkTable4 renders the sector breakdown.
+func BenchmarkTable4(b *testing.B) {
+	fx := getStudy(b)
+	sectors := map[dnscore.Name]string{}
+	for _, t := range fx.world.TruthList() {
+		sectors[t.Domain] = t.Sector
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table4(fx.result.Hijacked, fx.result.Targeted, sectors)
+	}
+}
+
+// BenchmarkTable5 renders the attacker-network table.
+func BenchmarkTable5(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table5(fx.result.Hijacked, fx.result.Targeted, fx.world.Meta.Orgs)
+	}
+}
+
+// BenchmarkTable9 renders the malicious-certificate table.
+func BenchmarkTable9(b *testing.B) {
+	fx := getStudy(b)
+	crl, _ := fx.world.Comodo.CRL()
+	checker := func(f *core.Finding) (bool, bool) {
+		if f.IssuerCA != "Comodo" {
+			return false, false
+		}
+		_, revoked := crl[f.CertFP]
+		return revoked, true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = report.Table9(fx.result.Hijacked, checker)
+	}
+}
+
+// BenchmarkObservability computes the §5.3 statistics.
+func BenchmarkObservability(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	var stats core.ObservabilityStats
+	for i := 0; i < b.N; i++ {
+		stats = core.Observability(fx.result.Hijacked, fx.dataset, fx.world.PDNSDB, fx.world.CT)
+	}
+	b.ReportMetric(stats.FracPDNSAtMostOneDay(), "pdns≤1day")
+	b.ReportMetric(stats.FracSeenInOneScan(), "1scan")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (design choices from DESIGN.md)
+// ---------------------------------------------------------------------------
+
+func ablationRun(b *testing.B, mutate func(*core.Params), pivot bool) {
+	fx := getStudy(b)
+	params := core.DefaultParams()
+	if mutate != nil {
+		mutate(&params)
+	}
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &core.Pipeline{Params: params, Dataset: fx.dataset,
+			Meta: fx.world.Meta, PDNS: fx.world.PDNSDB, CT: fx.world.CT, DisablePivot: !pivot}
+		res = p.Run()
+	}
+	b.StopTimer()
+	r, prec := recallOf(fx.world, res)
+	b.ReportMetric(r, "recall")
+	b.ReportMetric(prec, "precision")
+	b.ReportMetric(float64(len(res.Hijacked)), "hijacked")
+	b.ReportMetric(float64(res.Funnel.Shortlisted), "shortlisted")
+}
+
+// BenchmarkAblationTransientThreshold sweeps the transient lifetime bound
+// (the paper picks 3 months, the free-certificate validity period).
+func BenchmarkAblationTransientThreshold(b *testing.B) {
+	for _, days := range []int{45, 90, 150} {
+		b.Run(fmt.Sprintf("days=%d", days), func(b *testing.B) {
+			ablationRun(b, func(p *core.Params) { p.TransientMaxDays = days }, true)
+		})
+	}
+}
+
+// BenchmarkAblationPresence sweeps the scan-visibility pruning threshold
+// (the paper prunes domains missing from >20% of scans).
+func BenchmarkAblationPresence(b *testing.B) {
+	for _, pct := range []int{50, 80, 95} {
+		b.Run(fmt.Sprintf("min=%d%%", pct), func(b *testing.B) {
+			ablationRun(b, func(p *core.Params) { p.MinPresence = float64(pct) / 100 }, true)
+		})
+	}
+}
+
+// BenchmarkAblationSensitiveGate compares shortlisting with and without
+// the sensitive-subdomain requirement.
+func BenchmarkAblationSensitiveGate(b *testing.B) {
+	b.Run("gate=on", func(b *testing.B) { ablationRun(b, nil, true) })
+	b.Run("gate=off", func(b *testing.B) {
+		ablationRun(b, func(p *core.Params) { p.DisableSensitiveGate = true }, true)
+	})
+}
+
+// BenchmarkAblationPivot measures the pivot stage's contribution: without
+// it, the 13 pivot-only victims and the 2 T1* promotions are lost.
+func BenchmarkAblationPivot(b *testing.B) {
+	b.Run("pivot=on", func(b *testing.B) { ablationRun(b, nil, true) })
+	b.Run("pivot=off", func(b *testing.B) { ablationRun(b, nil, false) })
+}
+
+// BenchmarkAblationPDNSCoverage sweeps passive-DNS sensor coverage — the
+// paper's core external dependency. Recall degrades as sensors go blind.
+func BenchmarkAblationPDNSCoverage(b *testing.B) {
+	for _, pct := range []int{30, 60, 100} {
+		b.Run(fmt.Sprintf("coverage=%d%%", pct), func(b *testing.B) {
+			fx := getCoverageStudy(b, pct)
+			var res *core.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := &core.Pipeline{Params: core.DefaultParams(), Dataset: fx.dataset,
+					Meta: fx.world.Meta, PDNS: fx.world.PDNSDB, CT: fx.world.CT}
+				res = p.Run()
+			}
+			b.StopTimer()
+			r, prec := recallOf(fx.world, res)
+			b.ReportMetric(r, "recall")
+			b.ReportMetric(prec, "precision")
+		})
+	}
+}
+
+// BenchmarkBaselineNaive contrasts the strawman "flag every transient"
+// detector with the full pipeline: same recall on real attacks, but the
+// naive detector also flags every benign transient (precision collapse).
+func BenchmarkBaselineNaive(b *testing.B) {
+	fx := getStudy(b)
+	var findings []*core.Finding
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings = core.NaiveTransientDetector(fx.dataset, core.DefaultParams())
+	}
+	b.StopTimer()
+	tp, fp := 0, 0
+	for _, f := range findings {
+		if truth := fx.world.Truth[f.Domain]; truth != nil && (truth.Kind == "hijacked" || truth.Kind == "targeted") {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	precision := 0.0
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	b.ReportMetric(precision, "precision")
+	b.ReportMetric(float64(len(findings)), "flagged")
+}
+
+// BenchmarkMitigationRegistryLock runs the §7.2 counterfactual: Registry
+// Lock on every victim blocks the 34 registrar-channel attacks; the 7
+// provider-path compromises survive but the detector, stripped of pivot
+// anchors, finds none of them.
+func BenchmarkMitigationRegistryLock(b *testing.B) {
+	for _, lock := range []bool{false, true} {
+		name := "lock=off"
+		if lock {
+			name = "lock=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchWorldConfig()
+			cfg.StableDomains = 30
+			cfg.RegistryLockAll = lock
+			var fx *studyFixture
+			for i := 0; i < b.N; i++ {
+				fx = buildFixture(cfg, true, core.DefaultParams())
+			}
+			b.ReportMetric(float64(len(fx.world.Prevented)), "prevented")
+			b.ReportMetric(float64(len(fx.result.Hijacked)), "detected-hijacked")
+			b.ReportMetric(float64(len(fx.result.Targeted)), "targeted")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scale benchmarks
+// ---------------------------------------------------------------------------
+
+// syntheticDataset fabricates an n-domain single-period dataset directly
+// (bypassing the simulator) to measure pipeline throughput.
+func syntheticDataset(n int) (*scanner.Dataset, *ipmeta.Directory) {
+	meta := ipmeta.NewDirectory()
+	meta.Prefixes.MustAnnounce("10.0.0.0/8", 64500)
+	meta.Geo.MustAddPrefix("10.0.0.0/8", "US")
+	key := x509lite.NewSigningKey("scale", 1)
+	ds := scanner.NewDataset()
+	scans := simtime.ScansInPeriod(0)
+
+	certs := make([]*x509lite.Certificate, n)
+	ips := make([]netip.Addr, n)
+	for i := 0; i < n; i++ {
+		name := dnscore.Name(fmt.Sprintf("www.scale%06d.com", i))
+		c := &x509lite.Certificate{Serial: uint64(i), Subject: name,
+			SANs: []dnscore.Name{name}, Issuer: "Bench CA",
+			NotBefore: 0, NotAfter: simtime.StudyEnd}
+		key.Sign(c)
+		certs[i] = c
+		ips[i] = netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+	}
+	for _, d := range scans {
+		recs := make([]*scanner.Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = &scanner.Record{ScanDate: d, IP: ips[i], Ports: []uint16{443},
+				ASN: 64500, Country: "US", Cert: certs[i], Trusted: true}
+		}
+		ds.AddScan(d, recs)
+	}
+	return ds, meta
+}
+
+// BenchmarkPipelineScale measures classification throughput over purely
+// stable populations of increasing size.
+func BenchmarkPipelineScale(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("domains=%d", n), func(b *testing.B) {
+			ds, meta := syntheticDataset(n)
+			db := pdns.NewDB()
+			log := ctlog.NewLog("scale", 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: meta, PDNS: db, CT: log}
+				res := p.Run()
+				if res.Funnel.Domains != n {
+					b.Fatalf("domains = %d", res.Funnel.Domains)
+				}
+			}
+			b.ReportMetric(float64(n*len(simtime.ScansInPeriod(0)))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkWorldGeneration measures end-to-end simulation cost (DNS clock,
+// ACME issuance, scanning) for a small world.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := world.Config{Seed: 2, StableDomains: 20, Campaigns: true, PDNSCoverage: 1}
+	for i := 0; i < b.N; i++ {
+		w := world.New(cfg)
+		ds := w.Run()
+		if _, records := ds.Size(); records == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks
+// ---------------------------------------------------------------------------
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	m := &dnscore.Message{
+		ID: 7, Response: true, Authoritative: true,
+		Question: []dnscore.Question{{Name: "mail.mfa.gov.kg", Type: dnscore.TypeA, Class: dnscore.ClassIN}},
+		Answer:   dnscore.RRSet{dnscore.A("mail.mfa.gov.kg", 300, netip.MustParseAddr("94.103.91.159"))},
+		Authority: dnscore.RRSet{
+			dnscore.NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+			dnscore.NS("mfa.gov.kg", 3600, "ns2.kg-infocom.ru"),
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnscore.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerkleInclusionProof(b *testing.B) {
+	tree := merkle.NewTree()
+	for i := 0; i < 4096; i++ {
+		tree.Append([]byte(fmt.Sprintf("entry-%d", i)))
+	}
+	root := tree.Root()
+	leaf := merkle.HashLeaf([]byte("entry-1234"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := tree.InclusionProof(1234, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !merkle.VerifyInclusion(leaf, 1234, 4096, proof, root) {
+			b.Fatal("proof failed")
+		}
+	}
+}
+
+func BenchmarkPrefixLookup(b *testing.B) {
+	pt := ipmeta.NewPrefixTable()
+	for i := 0; i < 1000; i++ {
+		pt.MustAnnounce(fmt.Sprintf("%d.%d.0.0/16", 1+i%220, i%250), ipmeta.ASN(i+1))
+	}
+	addr := netip.MustParseAddr("100.100.50.50")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.OriginASN(addr)
+	}
+}
+
+func BenchmarkIterativeResolution(b *testing.B) {
+	transport := dnsserver.NewMemTransport()
+	rootIP := netip.MustParseAddr("198.41.0.4")
+	tldIP := netip.MustParseAddr("203.0.113.1")
+	authIP := netip.MustParseAddr("203.0.113.10")
+
+	root := dnscore.NewZone("")
+	root.MustAdd(dnscore.NS("bench", 86400, "ns.bench"))
+	root.MustAdd(dnscore.A("ns.bench", 86400, tldIP))
+	rootSrv := dnsserver.NewServer()
+	rootSrv.AddZone(root)
+	transport.Register(rootIP, rootSrv)
+
+	tld := dnscore.NewZone("bench")
+	tld.MustAdd(dnscore.NS("example.bench", 3600, "ns1.example.bench"))
+	tld.MustAdd(dnscore.A("ns1.example.bench", 3600, authIP))
+	tldSrv := dnsserver.NewServer()
+	tldSrv.AddZone(tld)
+	transport.Register(tldIP, tldSrv)
+
+	zone := dnscore.NewZone("example.bench")
+	zone.MustAdd(dnscore.A("mail.example.bench", 300, netip.MustParseAddr("10.0.0.1")))
+	authSrv := dnsserver.NewServer()
+	authSrv.AddZone(zone)
+	transport.Register(authIP, authSrv)
+
+	resolver := dnsserver.NewResolver(transport, []netip.Addr{rootIP})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resolver.ResolveA("mail.example.bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanWeek(b *testing.B) {
+	fx := getStudy(b)
+	sc := scanner.New(fx.world.Internet, fx.world.Meta, fx.world.Trust, fx.world.CT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs := sc.ScanWeek(700); len(recs) == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+func BenchmarkCTSearch(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fx.world.CT.SearchApex(ctlog.Query{Name: "mfa.gov.kg"})
+	}
+}
+
+func BenchmarkPDNSPivotQuery(b *testing.B) {
+	fx := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fx.world.PDNSDB.WhoResolvedTo("178.62.218.244")
+	}
+}

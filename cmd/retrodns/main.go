@@ -1,0 +1,119 @@
+// Command retrodns runs the retroactive DNS-hijack detection pipeline over
+// a simulated study and prints the verdicts. It is the quick way to see
+// the whole system end to end:
+//
+//	retrodns                  # default world, full campaign replay
+//	retrodns -seed 42 -stable 2000
+//	retrodns -no-campaigns    # benign-only world (expect zero findings)
+//	retrodns -eval            # compare verdicts against ground truth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"retrodns/internal/core"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/report"
+	"retrodns/internal/world"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "world generation seed")
+		stable      = flag.Int("stable", 400, "benign stable-domain population")
+		noCampaigns = flag.Bool("no-campaigns", false, "disable the attack campaigns")
+		coverage    = flag.Float64("pdns-coverage", 0.85, "passive-DNS sensor coverage (0..1]")
+		evaluate    = flag.Bool("eval", false, "score verdicts against simulation ground truth")
+		verbose     = flag.Bool("v", false, "print every finding")
+		jsonOut     = flag.Bool("json", false, "emit findings as JSON on stdout")
+	)
+	flag.Parse()
+
+	cfg := world.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.StableDomains = *stable
+	cfg.TransitionDomains = *stable * 3 / 100
+	cfg.NoisyDomains = max(2, *stable/250)
+	cfg.PDNSCoverage = *coverage
+	cfg.Campaigns = !*noCampaigns
+
+	fmt.Fprintf(os.Stderr, "building world (seed=%d stable=%d campaigns=%v)...\n", cfg.Seed, cfg.StableDomains, cfg.Campaigns)
+	w := world.New(cfg)
+	ds := w.Run()
+	if len(w.Errors) > 0 {
+		for _, err := range w.Errors {
+			fmt.Fprintf(os.Stderr, "world error: %v\n", err)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, w.Summary())
+
+	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog}
+	res := pipe.Run()
+
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		if *evaluate {
+			score(w, res)
+		}
+		return
+	}
+
+	fmt.Println(report.Funnel(res))
+	if *verbose {
+		fmt.Println(report.Table2(res.Hijacked))
+		fmt.Println(report.Table3(res.Targeted))
+	}
+
+	if *evaluate {
+		score(w, res)
+	}
+}
+
+// score compares verdicts to ground truth and prints recall/precision —
+// the evaluation the paper could not perform.
+func score(w *world.World, res *core.Result) {
+	expHijacked, expTargeted := w.ExpectedVictims()
+	got := make(map[dnscore.Name]core.Verdict)
+	for _, f := range res.Findings() {
+		got[f.Domain] = f.Verdict
+	}
+	tp, fn := 0, 0
+	for _, d := range expHijacked {
+		if got[d] == core.VerdictHijacked {
+			tp++
+		} else {
+			fn++
+			fmt.Printf("  missed hijacked: %s\n", d)
+		}
+	}
+	for _, d := range expTargeted {
+		if v, ok := got[d]; ok && v >= core.VerdictTargeted {
+			tp++
+		} else {
+			fn++
+			fmt.Printf("  missed targeted: %s\n", d)
+		}
+	}
+	fp := 0
+	for d := range got {
+		truth := w.Truth[d]
+		if truth == nil || (truth.Kind != "hijacked" && truth.Kind != "targeted") {
+			fp++
+			fmt.Printf("  false positive: %s\n", d)
+		}
+	}
+	precision, recall := 1.0, 1.0
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	fmt.Printf("evaluation: tp=%d fp=%d fn=%d precision=%.3f recall=%.3f\n", tp, fp, fn, precision, recall)
+}

@@ -1,0 +1,148 @@
+// Command worldgen generates a synthetic study and exports its raw data
+// sets as CSV — the shapes a researcher would receive from Censys,
+// DomainTools, and crt.sh — plus the simulation's ground truth, so the
+// pipeline (or any other tool) can be exercised on the data externally.
+//
+//	worldgen -out ./data -seed 1 -stable 400
+//
+// Files written: scans.csv, pdns.csv, ct.csv, truth.csv.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"retrodns/internal/simtime"
+	"retrodns/internal/world"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "data", "output directory")
+		seed   = flag.Int64("seed", 1, "world generation seed")
+		stable = flag.Int("stable", 200, "benign stable-domain population")
+	)
+	flag.Parse()
+
+	cfg := world.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.StableDomains = *stable
+	cfg.TransitionDomains = *stable * 3 / 100
+	cfg.NoisyDomains = max(2, *stable/250)
+
+	fmt.Fprintf(os.Stderr, "generating world (seed %d)...\n", cfg.Seed)
+	w := world.New(cfg)
+	ds := w.Run()
+	if len(w.Errors) > 0 {
+		for _, err := range w.Errors {
+			fmt.Fprintln(os.Stderr, "world error:", err)
+		}
+		os.Exit(1)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// scans.csv — the CUIDS analogue.
+	writeCSV(filepath.Join(*out, "scans.csv"),
+		[]string{"scan_date", "ip", "ports", "asn", "country", "crtsh_id", "issuer", "trusted", "sensitive", "names"},
+		func(emit func([]string)) {
+			for _, domain := range ds.Domains() {
+				for _, r := range ds.DomainRecords(domain, 0, 0) {
+					// A record covering several registered domains would
+					// repeat per domain; emit it once under its first SAN.
+					if r.Cert.SANs[0].RegisteredDomain() != domain && r.Cert.SANs[0] != domain {
+						continue
+					}
+					ports := make([]string, len(r.Ports))
+					for i, p := range r.Ports {
+						ports[i] = fmt.Sprint(p)
+					}
+					names := make([]string, len(r.Cert.SANs))
+					for i, n := range r.Cert.SANs {
+						names[i] = string(n)
+					}
+					emit([]string{
+						r.ScanDate.String(), r.IP.String(), strings.Join(ports, " "),
+						fmt.Sprint(uint32(r.ASN)), string(r.Country),
+						fmt.Sprint(r.CrtShID), r.Cert.Issuer,
+						fmt.Sprint(r.Trusted), fmt.Sprint(r.Sensitive),
+						strings.Join(names, " "),
+					})
+				}
+			}
+		})
+
+	// pdns.csv — the DomainTools analogue.
+	writeCSV(filepath.Join(*out, "pdns.csv"),
+		[]string{"name", "type", "data", "first_seen", "last_seen", "count"},
+		func(emit func([]string)) {
+			for _, e := range w.PDNSDB.All() {
+				emit([]string{
+					string(e.Name), e.Type.String(), e.Data,
+					e.FirstSeen.String(), e.LastSeen.String(), fmt.Sprint(e.Count),
+				})
+			}
+		})
+
+	// ct.csv — the crt.sh analogue.
+	writeCSV(filepath.Join(*out, "ct.csv"),
+		[]string{"crtsh_id", "logged_at", "issuer", "serial", "not_before", "not_after", "names"},
+		func(emit func([]string)) {
+			for _, e := range w.CT.Entries() {
+				names := make([]string, len(e.Cert.SANs))
+				for i, n := range e.Cert.SANs {
+					names[i] = string(n)
+				}
+				emit([]string{
+					fmt.Sprint(e.ID), e.LoggedAt.String(), e.Cert.Issuer,
+					fmt.Sprint(e.Cert.Serial), e.Cert.NotBefore.String(), e.Cert.NotAfter.String(),
+					strings.Join(names, " "),
+				})
+			}
+		})
+
+	// truth.csv — the simulation's ground truth (the paper has none).
+	writeCSV(filepath.Join(*out, "truth.csv"),
+		[]string{"domain", "kind", "method", "sector", "country"},
+		func(emit func([]string)) {
+			for _, t := range w.TruthList() {
+				emit([]string{string(t.Domain), t.Kind, t.Method, t.Sector, string(t.Country)})
+			}
+		})
+
+	domains, records := ds.Size()
+	fmt.Fprintf(os.Stderr, "wrote %s: %d domains, %d scan records, %d pdns rows, %d CT entries (study %s..%s)\n",
+		*out, domains, records, w.PDNSDB.Rows(), w.CT.Size(), simtime.StudyStart, simtime.StudyEnd-1)
+}
+
+func writeCSV(path string, header []string, fill func(emit func([]string))) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write(header); err != nil {
+		fatal(err)
+	}
+	fill(func(row []string) {
+		if err := cw.Write(row); err != nil {
+			fatal(err)
+		}
+	})
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "worldgen:", err)
+	os.Exit(1)
+}

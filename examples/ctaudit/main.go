@@ -1,0 +1,89 @@
+// Ctaudit demonstrates why Certificate Transparency makes the paper's
+// attacks retroactively discoverable at all: the log is an append-only
+// Merkle tree whose proofs let anyone verify that (a) a certificate really
+// is in the log and (b) the log never rewrote history. A CA — or an
+// attacker leaning on one — cannot quietly un-issue a certificate.
+//
+// The example plays three roles: a CA issuing certificates (one of them
+// maliciously), an auditor verifying inclusion and consistency, and a
+// misbehaving log operator attempting to fork history and getting caught.
+//
+//	go run ./examples/ctaudit
+package main
+
+import (
+	"fmt"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/merkle"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+func main() {
+	log := ctlog.NewLog("argon-sim", 3_810_274_000)
+	key := x509lite.NewSigningKey("le-r3", 1)
+
+	issue := func(day simtime.Date, name dnscore.Name) ctlog.SCT {
+		cert := &x509lite.Certificate{
+			Serial: uint64(day), Subject: name, SANs: []dnscore.Name{name},
+			Issuer: "Let's Encrypt", NotBefore: day, NotAfter: day + 90,
+			Method: x509lite.ValidationDNS01,
+		}
+		key.Sign(cert)
+		sct, err := log.Submit(cert, day)
+		must(err)
+		return sct
+	}
+
+	fmt.Println("== A quiet month of legitimate issuance ==")
+	var scts []ctlog.SCT
+	for i := 0; i < 8; i++ {
+		name := dnscore.Name(fmt.Sprintf("www.site%d.example.com", i))
+		scts = append(scts, issue(simtime.Date(1400+i), name))
+	}
+	fmt.Printf("log size %d, tree head %s\n", log.Size(), log.Root())
+
+	// The auditor records the signed tree head.
+	auditedSize, auditedRoot := log.Size(), log.Root()
+
+	fmt.Println("\n== The mis-issuance (paper §3: attacker passes DNS-01) ==")
+	evil := issue(1448, "mail.mfa.gov.kg")
+	fmt.Printf("crt.sh ID %d logged — publicly, forever\n", evil.EntryID)
+
+	fmt.Println("\n== Auditor verifies inclusion ==")
+	entry, _ := log.Entry(evil.EntryID)
+	proof, size, err := log.ProveInclusion(entry)
+	must(err)
+	ok := merkle.VerifyInclusion(evil.LeafHash, entry.Index, size, proof, log.Root())
+	fmt.Printf("inclusion proof (%d hashes, tree size %d): valid=%v\n", len(proof), size, ok)
+
+	fmt.Println("\n== Auditor verifies the log never rewrote history ==")
+	cproof, err := log.ProveConsistency(auditedSize, log.Size())
+	must(err)
+	ok = merkle.VerifyConsistency(auditedSize, log.Size(), auditedRoot, log.Root(), cproof)
+	fmt.Printf("consistency %d → %d: valid=%v\n", auditedSize, log.Size(), ok)
+
+	fmt.Println("\n== A log that tries to drop the malicious entry gets caught ==")
+	// The forked log replays history WITHOUT the malicious certificate.
+	forked := merkle.NewTree()
+	for i := 0; i < int(auditedSize); i++ {
+		e, _ := log.Entry(scts[i].EntryID)
+		forked.AppendLeafHash(merkle.HashLeaf([]byte(fmt.Sprintf("replayed-%d", e.Index))))
+	}
+	forkedRoot := forked.Root()
+	ok = merkle.VerifyConsistency(auditedSize, forked.Size(), auditedRoot, forkedRoot, cproof)
+	fmt.Printf("forked head consistent with the audited head? %v — equivocation detected\n", ok)
+
+	fmt.Println("\n== Retroactive search, years later (the paper's §4.4) ==")
+	for _, e := range log.SearchApex(ctlog.Query{Name: "mfa.gov.kg"}) {
+		fmt.Printf("  crt.sh ID %d: %s issued %s by %q\n", e.ID, e.Cert.SANs[0], e.LoggedAt, e.Cert.Issuer)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Seaturtle walks through the paper's §5.1 case study — the December 2020
+// hijack of mfa.gov.kg — one step at a time, using the substrate packages
+// directly: a live DNS hierarchy, an ACME CA validating through it, a CT
+// log, passive-DNS sensors, and weekly TLS scans. It then shows how each
+// data source retroactively reveals the attack.
+//
+//	go run ./examples/seaturtle
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"retrodns/internal/ca"
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnsserver"
+	"retrodns/internal/pdns"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+var (
+	rootIP     = netip.MustParseAddr("198.41.0.4")
+	kgTLDIP    = netip.MustParseAddr("92.62.64.1")
+	infocomIP  = netip.MustParseAddr("92.62.65.2")  // legitimate nameserver
+	legitMail  = netip.MustParseAddr("92.62.65.20") // legitimate mail server
+	evilNSIP   = netip.MustParseAddr("178.20.41.140")
+	evilMailIP = netip.MustParseAddr("94.103.91.159")
+)
+
+func main() {
+	fmt.Println("== The mfa.gov.kg hijack, step by step (paper §5.1) ==")
+
+	// --- The legitimate world -------------------------------------------
+	transport := dnsserver.NewMemTransport()
+
+	root := dnscore.NewZone("")
+	root.MustAdd(dnscore.NS("kg", 86400, "ns.nic.kg"))
+	root.MustAdd(dnscore.A("ns.nic.kg", 86400, kgTLDIP))
+	root.MustAdd(dnscore.NS("kg-infocom.ru", 86400, "ns1.kg-infocom.ru"))
+	root.MustAdd(dnscore.A("ns1.kg-infocom.ru", 86400, evilNSIP))
+	rootSrv := dnsserver.NewServer()
+	rootSrv.AddZone(root)
+	transport.Register(rootIP, rootSrv)
+
+	kg := dnscore.NewZone("kg")
+	kg.MustAdd(dnscore.NS("mfa.gov.kg", 3600, "ns1.infocom.kg"))
+	kg.MustAdd(dnscore.A("ns1.infocom.kg", 3600, infocomIP))
+	kgSrv := dnsserver.NewServer()
+	kgSrv.AddZone(kg)
+	transport.Register(kgTLDIP, kgSrv)
+
+	mfa := dnscore.NewZone("mfa.gov.kg")
+	mfa.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, legitMail))
+	legitSrv := dnsserver.NewServer()
+	legitSrv.AddZone(mfa)
+	transport.Register(infocomIP, legitSrv)
+
+	resolver := dnsserver.NewResolver(transport, []netip.Addr{rootIP})
+
+	// Passive DNS watches the resolution path.
+	db := pdns.NewDB()
+	sensor := pdns.NewSensor(db, 1.0, 1)
+	resolver.AddObserver(sensor.Observer())
+
+	// The CT log and the ACME CA that validates through the live DNS.
+	log := ctlog.NewLog("argon2020", 3810274168)
+	le := ca.New(ca.Config{Name: "Let's Encrypt", KeyID: "le-r3", Seed: 20, ValidityDays: 90}, resolver, log)
+	trust := x509lite.NewTrustStore()
+	trust.Include(le.Key(), x509lite.ProgramApple, x509lite.ProgramMozilla)
+
+	day := simtime.MustParse("2020-12-19")
+	sensor.SetDate(day)
+	addrs, _ := resolver.ResolveA("mail.mfa.gov.kg")
+	fmt.Printf("\n[%s] business as usual: mail.mfa.gov.kg → %v\n", day, addrs)
+
+	// --- Step 1: the attacker develops capability ------------------------
+	// (compromised registrar credentials let them edit the TLD delegation)
+	day = simtime.MustParse("2020-12-20")
+	sensor.SetDate(day)
+	fmt.Printf("\n[%s] ATTACK: delegation for mfa.gov.kg moves to ns1.kg-infocom.ru\n", day)
+	must(kg.Replace("mfa.gov.kg", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+	}))
+
+	// The attacker's nameserver answers for the victim domain.
+	evilZone := dnscore.NewZone("mfa.gov.kg")
+	evilZone.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, evilMailIP))
+	evilHome := dnscore.NewZone("kg-infocom.ru")
+	evilHome.MustAdd(dnscore.A("ns1.kg-infocom.ru", 3600, evilNSIP))
+	evilSrv := dnsserver.NewServer()
+	evilSrv.AddZone(evilZone)
+	evilSrv.AddZone(evilHome)
+	transport.Register(evilNSIP, evilSrv)
+
+	// --- Step 2: the adversary-in-the-middle capability ------------------
+	// Controlling resolution is enough to pass the CA's DNS-01 check.
+	day = simtime.MustParse("2020-12-21")
+	sensor.SetDate(day)
+	cert, err := le.IssueDV(day, ca.ZoneSolver{Zone: evilZone}, "mail.mfa.gov.kg")
+	must(err)
+	fmt.Printf("[%s] CA mis-issues a browser-trusted certificate:\n    %s\n", day, cert)
+	fmt.Printf("    browser-trusted: %v — TLS bypassed without breaking any crypto\n",
+		trust.BrowserTrusted(cert, day))
+
+	// --- Step 3: the active hijack ---------------------------------------
+	day = simtime.MustParse("2020-12-22")
+	sensor.SetDate(day)
+	addrs, _ = resolver.ResolveA("mail.mfa.gov.kg")
+	fmt.Printf("\n[%s] users resolving mail.mfa.gov.kg now reach %v (attacker)\n", day, addrs)
+
+	// --- Step 4: the attacker withdraws -----------------------------------
+	day = simtime.MustParse("2021-01-12")
+	sensor.SetDate(day)
+	must(kg.Replace("mfa.gov.kg", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("mfa.gov.kg", 3600, "ns1.infocom.kg"),
+	}))
+	addrs, _ = resolver.ResolveA("mail.mfa.gov.kg")
+	fmt.Printf("[%s] delegation reverted; resolution back to %v\n", day, addrs)
+
+	// --- Retroactive identification ---------------------------------------
+	fmt.Println("\n== What the forensic record shows, months later ==")
+	fmt.Println("\npassive DNS (DomainTools analogue):")
+	for _, e := range db.Resolutions("mfa.gov.kg", dnscore.TypeNS) {
+		fmt.Printf("  %s\n", e)
+	}
+	for _, e := range db.Resolutions("mail.mfa.gov.kg", dnscore.TypeA) {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Println("\ncertificate transparency (crt.sh analogue):")
+	for _, e := range log.Search(ctlog.Query{Name: "mail.mfa.gov.kg"}) {
+		fmt.Printf("  crt.sh ID %d  logged %s  issuer %q\n", e.ID, e.LoggedAt, e.Cert.Issuer)
+		proof, size, err := log.ProveInclusion(e)
+		must(err)
+		fmt.Printf("  inclusion proof: %d hashes against tree of size %d (log is append-only)\n", len(proof), size)
+	}
+	fmt.Println("\npivot (paper §4.5): who else used ns1.kg-infocom.ru?")
+	for _, e := range db.WhoResolvedTo("ns1.kg-infocom.ru") {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Println("\nCombined: a transient deployment in a foreign AS, a freshly-issued")
+	fmt.Println("certificate, and a short-lived delegation change — the paper's T1 signature.")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module retrodns
+
+go 1.22

@@ -1,0 +1,300 @@
+// Package ca implements the simulation's certificate authorities. The CAs
+// mirror the two issuers behind the paper's malicious certificates: a free
+// automated ACME CA validating domain control with DNS-01/HTTP-01 (the
+// Let's Encrypt analogue, 90-day certificates, OCSP-only revocation) and a
+// free-trial DV CA that also publishes a CRL (the Comodo/Sectigo analogue).
+//
+// The crucial property reproduced here is the authentication ouroboros the
+// paper describes: domain-control validation is performed by resolving the
+// live DNS, so an attacker who controls a domain's resolution — even
+// briefly — obtains a browser-trusted certificate for it.
+package ca
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnsserver"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// ChallengePrefix is the label ACME DNS-01 challenges are published under.
+const ChallengePrefix = "_acme-challenge"
+
+// HTTPChallengePath is the well-known path prefix for HTTP-01 challenges.
+const HTTPChallengePath = "/.well-known/acme-challenge/"
+
+// Errors returned by issuance and revocation.
+var (
+	ErrValidationFailed = errors.New("ca: domain control validation failed")
+	ErrNoNames          = errors.New("ca: no names requested")
+	ErrNotIssuer        = errors.New("ca: certificate not issued by this CA")
+	ErrNoCRL            = errors.New("ca: issuer does not publish a CRL")
+)
+
+// HTTPFetcher retrieves a plain-HTTP resource from a host — the CA's view
+// of the network when validating HTTP-01 challenges. netsim.Internet
+// implements it.
+type HTTPFetcher interface {
+	FetchHTTP(addr netip.Addr, path string, at simtime.Date) (string, bool)
+}
+
+// HTTPSolver is implemented by HTTP-01 requesters: publish the token at
+// the well-known path on the host(s) the name resolves to.
+type HTTPSolver interface {
+	PresentHTTP(name dnscore.Name, path, token string) error
+	CleanUpHTTP(name dnscore.Name, path string)
+}
+
+// Solver is implemented by certificate requesters: given a DNS-01
+// challenge, publish the token in the _acme-challenge TXT record for the
+// name. The legitimate owner does this through their DNS provider; the
+// attacker does it through hijacked infrastructure. CleanUp removes the
+// record after validation.
+type Solver interface {
+	Present(name dnscore.Name, token string) error
+	CleanUp(name dnscore.Name)
+}
+
+// Config parameterizes a CA.
+type Config struct {
+	// Name is the issuer display name, e.g. "Let's Encrypt".
+	Name string
+	// KeyID identifies the signing key in trust stores.
+	KeyID string
+	// Seed makes the signing key deterministic.
+	Seed int64
+	// ValidityDays is the lifetime of issued certificates (90 for the free
+	// DV CAs in the paper).
+	ValidityDays int
+	// PublishesCRL controls whether RevokedSerials is available; the LE
+	// analogue sets this false (OCSP-only), matching the paper's footnote
+	// that LE revocations cannot be audited retroactively.
+	PublishesCRL bool
+}
+
+// CA is a certificate authority.
+type CA struct {
+	cfg      Config
+	key      *x509lite.SigningKey
+	resolver *dnsserver.Resolver
+	log      *ctlog.Log
+	fetcher  HTTPFetcher
+
+	mu      sync.Mutex
+	serial  uint64
+	revoked map[x509lite.Fingerprint]simtime.Date
+}
+
+// New creates a CA that validates challenges through resolver and submits
+// every issued certificate to log before returning it (the CT requirement
+// browsers impose). The resolver may be nil for a CA that only issues
+// manually-vetted certificates.
+func New(cfg Config, resolver *dnsserver.Resolver, log *ctlog.Log) *CA {
+	if cfg.ValidityDays <= 0 {
+		cfg.ValidityDays = 90
+	}
+	return &CA{
+		cfg:      cfg,
+		key:      x509lite.NewSigningKey(cfg.KeyID, cfg.Seed),
+		resolver: resolver,
+		log:      log,
+		serial:   1,
+		revoked:  make(map[x509lite.Fingerprint]simtime.Date),
+	}
+}
+
+// Name returns the issuer display name.
+func (c *CA) Name() string { return c.cfg.Name }
+
+// SetHTTPFetcher enables HTTP-01 validation through the given network.
+func (c *CA) SetHTTPFetcher(f HTTPFetcher) { c.fetcher = f }
+
+// Key returns the CA's signing key for inclusion in trust stores.
+func (c *CA) Key() *x509lite.SigningKey { return c.key }
+
+// token derives the deterministic DNS-01 token for (serial, name).
+func (c *CA) token(serial uint64, name dnscore.Name) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%s", c.cfg.KeyID, serial, name)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// IssueDV validates control of every requested name via ACME DNS-01 and, on
+// success, issues a signed DV certificate valid from `at` for the CA's
+// configured lifetime, logging it to CT first. This is the path both the
+// legitimate ACME users and the paper's attackers take.
+func (c *CA) IssueDV(at simtime.Date, solver Solver, names ...dnscore.Name) (*x509lite.Certificate, error) {
+	if len(names) == 0 {
+		return nil, ErrNoNames
+	}
+	if c.resolver == nil {
+		return nil, fmt.Errorf("%w: CA has no validation resolver", ErrValidationFailed)
+	}
+	c.mu.Lock()
+	serial := c.serial
+	c.serial++
+	c.mu.Unlock()
+
+	for _, name := range names {
+		token := c.token(serial, name)
+		if err := solver.Present(name, token); err != nil {
+			return nil, fmt.Errorf("%w: presenting challenge for %s: %v", ErrValidationFailed, name, err)
+		}
+		challengeName := name.Child(ChallengePrefix)
+		txts, err := c.resolver.ResolveTXT(challengeName)
+		solver.CleanUp(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: resolving %s: %v", ErrValidationFailed, challengeName, err)
+		}
+		ok := false
+		for _, txt := range txts {
+			if txt == token {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: token mismatch for %s", ErrValidationFailed, name)
+		}
+	}
+	return c.issue(serial, at, x509lite.ValidationDNS01, names)
+}
+
+// IssueDVHTTP validates control of every requested name via ACME HTTP-01:
+// the requester publishes the token at the well-known path, and the CA
+// resolves the name and fetches the token from the resolved address. Like
+// DNS-01, this check trusts live DNS — an attacker redirecting the A
+// record passes it.
+func (c *CA) IssueDVHTTP(at simtime.Date, solver HTTPSolver, names ...dnscore.Name) (*x509lite.Certificate, error) {
+	if len(names) == 0 {
+		return nil, ErrNoNames
+	}
+	if c.resolver == nil || c.fetcher == nil {
+		return nil, fmt.Errorf("%w: CA lacks a resolver or HTTP fetcher", ErrValidationFailed)
+	}
+	c.mu.Lock()
+	serial := c.serial
+	c.serial++
+	c.mu.Unlock()
+
+	for _, name := range names {
+		token := c.token(serial, name)
+		path := HTTPChallengePath + token
+		if err := solver.PresentHTTP(name, path, token); err != nil {
+			return nil, fmt.Errorf("%w: presenting HTTP challenge for %s: %v", ErrValidationFailed, name, err)
+		}
+		addrs, err := c.resolver.ResolveA(name)
+		if err != nil {
+			solver.CleanUpHTTP(name, path)
+			return nil, fmt.Errorf("%w: resolving %s: %v", ErrValidationFailed, name, err)
+		}
+		got, ok := c.fetcher.FetchHTTP(addrs[0], path, at)
+		solver.CleanUpHTTP(name, path)
+		if !ok || got != token {
+			return nil, fmt.Errorf("%w: HTTP token mismatch for %s at %s", ErrValidationFailed, name, addrs[0])
+		}
+	}
+	return c.issue(serial, at, x509lite.ValidationHTTP01, names)
+}
+
+// IssueManual issues a certificate without automated domain validation,
+// modelling OV/EV-style vetting used for legitimate long-lived deployments.
+// validityDays overrides the CA default when positive.
+func (c *CA) IssueManual(at simtime.Date, validityDays int, names ...dnscore.Name) (*x509lite.Certificate, error) {
+	if len(names) == 0 {
+		return nil, ErrNoNames
+	}
+	c.mu.Lock()
+	serial := c.serial
+	c.serial++
+	c.mu.Unlock()
+	if validityDays <= 0 {
+		validityDays = c.cfg.ValidityDays
+	}
+	return c.issueWithValidity(serial, at, validityDays, x509lite.ValidationManual, names)
+}
+
+func (c *CA) issue(serial uint64, at simtime.Date, method x509lite.ValidationMethod, names []dnscore.Name) (*x509lite.Certificate, error) {
+	return c.issueWithValidity(serial, at, c.cfg.ValidityDays, method, names)
+}
+
+func (c *CA) issueWithValidity(serial uint64, at simtime.Date, validityDays int, method x509lite.ValidationMethod, names []dnscore.Name) (*x509lite.Certificate, error) {
+	cert := &x509lite.Certificate{
+		Serial:    serial,
+		Subject:   names[0],
+		SANs:      append([]dnscore.Name(nil), names...),
+		Issuer:    c.cfg.Name,
+		NotBefore: at,
+		NotAfter:  at.Add(simtime.Duration(validityDays)),
+		Method:    method,
+	}
+	c.key.Sign(cert)
+	if c.log != nil {
+		if _, err := c.log.Submit(cert, at); err != nil && !errors.Is(err, ctlog.ErrDuplicate) {
+			return nil, fmt.Errorf("ca: CT submission: %w", err)
+		}
+	}
+	return cert, nil
+}
+
+// Revoke marks a certificate revoked as of the given date. Only
+// certificates issued by this CA can be revoked.
+func (c *CA) Revoke(cert *x509lite.Certificate, at simtime.Date) error {
+	if cert.IssuerID != c.key.ID {
+		return ErrNotIssuer
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, done := c.revoked[cert.Fingerprint()]; !done {
+		c.revoked[cert.Fingerprint()] = at
+	}
+	return nil
+}
+
+// IsRevoked answers an OCSP-style point query, available for every CA.
+func (c *CA) IsRevoked(cert *x509lite.Certificate, at simtime.Date) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	when, ok := c.revoked[cert.Fingerprint()]
+	return ok && at >= when
+}
+
+// CRL returns the full revocation list, only for CAs that publish one —
+// the retroactive audit trail the paper's Table 9 relies on (and notes is
+// missing for Let's Encrypt).
+func (c *CA) CRL() (map[x509lite.Fingerprint]simtime.Date, error) {
+	if !c.cfg.PublishesCRL {
+		return nil, ErrNoCRL
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[x509lite.Fingerprint]simtime.Date, len(c.revoked))
+	for fp, d := range c.revoked {
+		out[fp] = d
+	}
+	return out, nil
+}
+
+// ZoneSolver satisfies DNS-01 challenges by writing TXT records directly
+// into an authoritative zone — the position of a domain owner (or of an
+// attacker whose nameservers are authoritative for the hijacked domain).
+type ZoneSolver struct {
+	Zone *dnscore.Zone
+}
+
+// Present writes the challenge TXT record.
+func (s ZoneSolver) Present(name dnscore.Name, token string) error {
+	return s.Zone.Add(dnscore.TXT(name.Child(ChallengePrefix), 60, token))
+}
+
+// CleanUp removes the challenge record.
+func (s ZoneSolver) CleanUp(name dnscore.Name) {
+	s.Zone.RemoveSet(name.Child(ChallengePrefix), dnscore.TypeTXT)
+}

@@ -1,0 +1,270 @@
+package ca
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnsserver"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+var (
+	rootIP    = netip.MustParseAddr("198.41.0.4")
+	kgTLDIP   = netip.MustParseAddr("92.62.64.1")
+	infocomIP = netip.MustParseAddr("92.62.65.2")
+	evilNSIP  = netip.MustParseAddr("178.20.41.140")
+)
+
+// world wires the DNS hierarchy for mfa.gov.kg with both the legitimate
+// nameserver and (initially unused) attacker nameserver, plus a CA, a CT
+// log, and a resolver the CA validates through.
+type world struct {
+	transport *dnsserver.MemTransport
+	resolver  *dnsserver.Resolver
+	kgZone    *dnscore.Zone
+	mfaZone   *dnscore.Zone // legitimate authoritative zone
+	evilZone  *dnscore.Zone // attacker authoritative zone for mfa.gov.kg
+	log       *ctlog.Log
+	ca        *CA
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	transport := dnsserver.NewMemTransport()
+
+	rootZone := dnscore.NewZone("")
+	rootZone.MustAdd(dnscore.NS("kg", 86400, "ns.tld.kg"))
+	rootZone.MustAdd(dnscore.A("ns.tld.kg", 86400, kgTLDIP))
+	rootZone.MustAdd(dnscore.NS("kg-infocom.ru", 86400, "ns1.kg-infocom.ru"))
+	rootZone.MustAdd(dnscore.A("ns1.kg-infocom.ru", 86400, evilNSIP))
+	rootSrv := dnsserver.NewServer()
+	rootSrv.AddZone(rootZone)
+	transport.Register(rootIP, rootSrv)
+
+	kgZone := dnscore.NewZone("kg")
+	kgZone.MustAdd(dnscore.NS("mfa.gov.kg", 3600, "ns1.infocom.kg"))
+	kgZone.MustAdd(dnscore.A("ns1.infocom.kg", 3600, infocomIP))
+	kgSrv := dnsserver.NewServer()
+	kgSrv.AddZone(kgZone)
+	transport.Register(kgTLDIP, kgSrv)
+
+	mfaZone := dnscore.NewZone("mfa.gov.kg")
+	mfaZone.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, netip.MustParseAddr("92.62.65.20")))
+	legitSrv := dnsserver.NewServer()
+	legitSrv.AddZone(mfaZone)
+	transport.Register(infocomIP, legitSrv)
+
+	evilZone := dnscore.NewZone("mfa.gov.kg")
+	evilZone.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, netip.MustParseAddr("94.103.91.159")))
+	evilHomeZone := dnscore.NewZone("kg-infocom.ru")
+	evilHomeZone.MustAdd(dnscore.A("ns1.kg-infocom.ru", 3600, evilNSIP))
+	evilSrv := dnsserver.NewServer()
+	evilSrv.AddZone(evilZone)
+	evilSrv.AddZone(evilHomeZone)
+	transport.Register(evilNSIP, evilSrv)
+
+	resolver := dnsserver.NewResolver(transport, []netip.Addr{rootIP})
+	log := ctlog.NewLog("sim-ct", 3810274168)
+	authority := New(Config{
+		Name: "Let's Encrypt", KeyID: "le-x3", Seed: 11, ValidityDays: 90,
+	}, resolver, log)
+
+	return &world{
+		transport: transport, resolver: resolver,
+		kgZone: kgZone, mfaZone: mfaZone, evilZone: evilZone,
+		log: log, ca: authority,
+	}
+}
+
+func TestLegitimateOwnerObtainsCert(t *testing.T) {
+	w := newWorld(t)
+	at := simtime.MustParse("2020-06-01")
+	cert, err := w.ca.IssueDV(at, ZoneSolver{Zone: w.mfaZone}, "mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Issuer != "Let's Encrypt" || cert.Method != x509lite.ValidationDNS01 {
+		t.Errorf("cert metadata: %+v", cert)
+	}
+	if cert.Lifetime() != 90 {
+		t.Errorf("lifetime = %d", cert.Lifetime())
+	}
+	// The certificate is in CT.
+	if _, ok := w.log.Lookup(cert.Fingerprint()); !ok {
+		t.Fatal("issued cert not in CT log")
+	}
+	// The challenge record was cleaned up.
+	if _, _, exists := w.mfaZone.Lookup(dnscore.Name("mail.mfa.gov.kg").Child(ChallengePrefix), dnscore.TypeTXT); exists {
+		t.Error("challenge record left behind")
+	}
+	// Verifies under the CA key.
+	if err := w.ca.Key().Verify(cert, at.Add(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHijackerObtainsCert is the paper's core attack step: after replacing
+// the delegation at the registry, the attacker's nameserver answers the
+// CA's DNS-01 check and the CA mis-issues a browser-trusted certificate.
+func TestHijackerObtainsCert(t *testing.T) {
+	w := newWorld(t)
+	at := simtime.MustParse("2020-12-21")
+
+	// Before the hijack, the attacker cannot pass validation: the
+	// challenge lands in their zone but the CA resolves through the
+	// legitimate delegation.
+	if _, err := w.ca.IssueDV(at, ZoneSolver{Zone: w.evilZone}, "mail.mfa.gov.kg"); !errors.Is(err, ErrValidationFailed) {
+		t.Fatalf("pre-hijack issuance: %v", err)
+	}
+
+	// Registry-level hijack: delegate mfa.gov.kg to the attacker.
+	if err := w.kgZone.Replace("mfa.gov.kg", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cert, err := w.ca.IssueDV(at, ZoneSolver{Zone: w.evilZone}, "mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatalf("post-hijack issuance failed: %v", err)
+	}
+	// The mis-issued certificate is publicly visible in CT — the paper's
+	// retroactive evidence.
+	entry, ok := w.log.Lookup(cert.Fingerprint())
+	if !ok {
+		t.Fatal("mis-issued cert not in CT")
+	}
+	if entry.LoggedAt != at {
+		t.Errorf("CT timestamp = %s, want %s", entry.LoggedAt, at)
+	}
+	found := w.log.Search(ctlog.Query{Name: "mail.mfa.gov.kg"})
+	if len(found) != 1 {
+		t.Fatalf("CT search found %d entries", len(found))
+	}
+}
+
+func TestValidationFailsWithoutControl(t *testing.T) {
+	w := newWorld(t)
+	// A solver that writes into an unrelated zone proves nothing.
+	stranger := dnscore.NewZone("unrelated.example")
+	if _, err := w.ca.IssueDV(10, ZoneSolver{Zone: stranger}, "mail.mfa.gov.kg"); !errors.Is(err, ErrValidationFailed) {
+		t.Fatalf("stranger issuance: %v", err)
+	}
+}
+
+func TestIssueErrors(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.ca.IssueDV(10, ZoneSolver{Zone: w.mfaZone}); !errors.Is(err, ErrNoNames) {
+		t.Errorf("no names: %v", err)
+	}
+	noResolver := New(Config{Name: "X", KeyID: "x", Seed: 1}, nil, nil)
+	if _, err := noResolver.IssueDV(10, ZoneSolver{Zone: w.mfaZone}, "a.example.com"); !errors.Is(err, ErrValidationFailed) {
+		t.Errorf("no resolver: %v", err)
+	}
+	if _, err := noResolver.IssueManual(10, 0); !errors.Is(err, ErrNoNames) {
+		t.Errorf("manual no names: %v", err)
+	}
+}
+
+func TestIssueManual(t *testing.T) {
+	w := newWorld(t)
+	cert, err := w.ca.IssueManual(100, 730, "www.stable.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Lifetime() != 730 || cert.Method != x509lite.ValidationManual {
+		t.Errorf("manual cert: %+v", cert)
+	}
+	// Default validity applies when zero.
+	cert2, err := w.ca.IssueManual(100, 0, "www2.stable.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert2.Lifetime() != 90 {
+		t.Errorf("default validity = %d", cert2.Lifetime())
+	}
+}
+
+func TestSerialsDistinct(t *testing.T) {
+	w := newWorld(t)
+	a, err := w.ca.IssueManual(10, 90, "a.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.ca.IssueManual(10, 90, "b.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Serial == b.Serial {
+		t.Fatal("serial reuse")
+	}
+}
+
+func TestRevocationAndCRL(t *testing.T) {
+	// The Comodo analogue publishes a CRL.
+	resolver := (*dnsserver.Resolver)(nil)
+	_ = resolver
+	comodo := New(Config{Name: "Comodo", KeyID: "comodo-1", Seed: 3, PublishesCRL: true}, nil, nil)
+	cert, err := comodo.IssueManual(100, 90, "mail.asp.gov.al")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comodo.IsRevoked(cert, 150) {
+		t.Fatal("fresh cert revoked")
+	}
+	if err := comodo.Revoke(cert, 120); err != nil {
+		t.Fatal(err)
+	}
+	if comodo.IsRevoked(cert, 110) {
+		t.Error("revoked before revocation date")
+	}
+	if !comodo.IsRevoked(cert, 120) || !comodo.IsRevoked(cert, 500) {
+		t.Error("revocation not effective")
+	}
+	crl, err := comodo.CRL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if when, ok := crl[cert.Fingerprint()]; !ok || when != 120 {
+		t.Errorf("CRL entry: %v %v", when, ok)
+	}
+	// Re-revocation keeps the original date.
+	if err := comodo.Revoke(cert, 300); err != nil {
+		t.Fatal(err)
+	}
+	if comodo.IsRevoked(cert, 130) != true {
+		t.Error("re-revoke moved the date")
+	}
+
+	// The LE analogue refuses CRL queries (OCSP only).
+	le := New(Config{Name: "Let's Encrypt", KeyID: "le-1", Seed: 4}, nil, nil)
+	leCert, err := le.IssueManual(100, 90, "mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := le.Revoke(leCert, 110); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := le.CRL(); !errors.Is(err, ErrNoCRL) {
+		t.Errorf("LE CRL: %v", err)
+	}
+	if !le.IsRevoked(leCert, 115) {
+		t.Error("OCSP-style query failed")
+	}
+
+	// Cross-CA revocation is rejected.
+	if err := le.Revoke(cert, 130); !errors.Is(err, ErrNotIssuer) {
+		t.Errorf("cross-CA revoke: %v", err)
+	}
+}
+
+func TestCAName(t *testing.T) {
+	w := newWorld(t)
+	if w.ca.Name() != "Let's Encrypt" {
+		t.Error("Name wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package ca
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/netsim"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// hostSolver publishes HTTP-01 tokens on a netsim host — the position of
+// whoever controls the machine a name currently resolves to.
+type hostSolver struct {
+	net  *netsim.Internet
+	addr netip.Addr
+	at   simtime.Date
+}
+
+func (s hostSolver) PresentHTTP(name dnscore.Name, path, token string) error {
+	return s.net.ServeHTTPToken(s.addr, path, token, s.at, s.at+2)
+}
+
+func (s hostSolver) CleanUpHTTP(name dnscore.Name, path string) {
+	s.net.RemoveHTTPToken(s.addr, path)
+}
+
+func TestHTTP01LegitimateIssuance(t *testing.T) {
+	w := newWorld(t)
+	inet := netsim.NewInternet()
+	w.ca.SetHTTPFetcher(inet)
+
+	at := simtime.MustParse("2020-06-01")
+	legitIP := netip.MustParseAddr("92.62.65.20") // mail.mfa.gov.kg's address
+	cert, err := w.ca.IssueDVHTTP(at, hostSolver{net: inet, addr: legitIP, at: at}, "mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Method != x509lite.ValidationHTTP01 {
+		t.Errorf("method = %s", cert.Method)
+	}
+	if _, ok := w.log.Lookup(cert.Fingerprint()); !ok {
+		t.Error("HTTP-01 cert not logged to CT")
+	}
+}
+
+// TestHTTP01AttackerWithTrafficControl: an attacker who redirects the A
+// record (DNS provider compromise) serves the token from their own host
+// and passes HTTP-01 — no delegation change required.
+func TestHTTP01AttackerWithTrafficControl(t *testing.T) {
+	w := newWorld(t)
+	inet := netsim.NewInternet()
+	w.ca.SetHTTPFetcher(inet)
+	at := simtime.MustParse("2020-12-21")
+	evilIP := netip.MustParseAddr("94.103.91.159")
+
+	// Before tampering, the attacker's token is at the wrong address.
+	_, err := w.ca.IssueDVHTTP(at, hostSolver{net: inet, addr: evilIP, at: at}, "mail.mfa.gov.kg")
+	if !errors.Is(err, ErrValidationFailed) {
+		t.Fatalf("pre-redirect issuance: %v", err)
+	}
+
+	// Repoint the A record inside the victim's own zone.
+	if err := w.mfaZone.Replace("mail.mfa.gov.kg", dnscore.TypeA, dnscore.RRSet{
+		dnscore.A("mail.mfa.gov.kg", 300, evilIP),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := w.ca.IssueDVHTTP(at, hostSolver{net: inet, addr: evilIP, at: at}, "mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatalf("post-redirect issuance failed: %v", err)
+	}
+	if !cert.Covers("mail.mfa.gov.kg") {
+		t.Error("mis-issued cert does not cover the target")
+	}
+}
+
+func TestHTTP01RequiresFetcher(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.ca.IssueDVHTTP(10, hostSolver{}, "mail.mfa.gov.kg"); !errors.Is(err, ErrValidationFailed) {
+		t.Fatalf("no fetcher: %v", err)
+	}
+	w.ca.SetHTTPFetcher(netsim.NewInternet())
+	if _, err := w.ca.IssueDVHTTP(10, hostSolver{net: netsim.NewInternet(), addr: netip.MustParseAddr("10.0.0.1"), at: 10}); !errors.Is(err, ErrNoNames) {
+		t.Fatalf("no names: %v", err)
+	}
+}
+
+func TestHTTPTokenLifecycle(t *testing.T) {
+	inet := netsim.NewInternet()
+	addr := netip.MustParseAddr("10.1.2.3")
+	if err := inet.ServeHTTPToken(addr, "/.well-known/acme-challenge/x", "tok", 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := inet.FetchHTTP(addr, "/.well-known/acme-challenge/x", 15); !ok || got != "tok" {
+		t.Fatalf("fetch = %q %v", got, ok)
+	}
+	if _, ok := inet.FetchHTTP(addr, "/.well-known/acme-challenge/x", 25); ok {
+		t.Error("expired token served")
+	}
+	if _, ok := inet.FetchHTTP(addr, "/other", 15); ok {
+		t.Error("wrong path served")
+	}
+	inet.RemoveHTTPToken(addr, "/.well-known/acme-challenge/x")
+	if _, ok := inet.FetchHTTP(addr, "/.well-known/acme-challenge/x", 15); ok {
+		t.Error("removed token served")
+	}
+	// Errors.
+	if err := inet.ServeHTTPToken(netip.MustParseAddr("2001:db8::1"), "/p", "t", 0, 10); err == nil {
+		t.Error("IPv6 token accepted")
+	}
+	if err := inet.ServeHTTPToken(addr, "/p", "t", 10, 10); err == nil {
+		t.Error("empty window accepted")
+	}
+	// Flaky hosts drop HTTP probes too.
+	flaky := netip.MustParseAddr("10.9.9.9")
+	if err := inet.ServeHTTPToken(flaky, "/p", "t", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	inet.SetFlakiness(flaky, 1.0, 4)
+	if _, ok := inet.FetchHTTP(flaky, "/p", 5); ok {
+		t.Error("fully-down host served HTTP")
+	}
+}

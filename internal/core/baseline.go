@@ -1,0 +1,48 @@
+package core
+
+import (
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// NaiveTransientDetector is the strawman the paper's design improves on:
+// flag every transient deployment map as a hijack, with no shortlist
+// pruning, no pDNS/CT corroboration, and no pivot. The paper has no
+// quantitative baseline (there is no prior system to compare against);
+// this detector exists to measure what the §4.3–§4.5 machinery buys —
+// on a synthetic world its precision collapses against benign transients
+// while the full pipeline stays clean.
+func NaiveTransientDetector(ds *scanner.Dataset, params Params) []*Finding {
+	if params == (Params{}) {
+		params = DefaultParams()
+	}
+	var findings []*Finding
+	for _, domain := range ds.Domains() {
+		for p := simtime.Period(0); p < simtime.NumPeriods; p++ {
+			m := BuildMap(ds, domain, p)
+			if m == nil {
+				continue
+			}
+			c := params.Classify(m, ds.ScanDates(p.Start(), p.End()))
+			if c.Category != CategoryTransient {
+				continue
+			}
+			t := c.Transients[0]
+			f := &Finding{
+				Domain:      domain,
+				Method:      Method(c.Pattern.String()),
+				Verdict:     VerdictHijacked,
+				Date:        t.First(),
+				AttackerIP:  t.AnyIP(),
+				AttackerASN: t.ASN,
+			}
+			if len(t.Records) > 0 {
+				f.AttackerCC = t.Records[0].Country
+			}
+			findings = append(findings, f)
+			break // one finding per domain, like the pipeline
+		}
+	}
+	SortFindings(findings)
+	return findings
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"retrodns/internal/simtime"
+)
+
+// Category is the coarse classification of a deployment map (paper §4.2).
+type Category int
+
+// Map categories. Stable and Transition are benign; Transient is the
+// suspicious class the pipeline pursues; Noisy maps are unclassifiable.
+const (
+	CategoryStable Category = iota
+	CategoryTransition
+	CategoryTransient
+	CategoryNoisy
+)
+
+// String names the category as in the paper.
+func (c Category) String() string {
+	switch c {
+	case CategoryStable:
+		return "stable"
+	case CategoryTransition:
+		return "transition"
+	case CategoryTransient:
+		return "transient"
+	default:
+		return "noisy"
+	}
+}
+
+// Pattern is the fine-grained transient pattern.
+type Pattern int
+
+// Transient patterns (paper §4.2.3): T1 serves a new certificate from the
+// transient deployment; T2 serves the stable deployment's certificate
+// (typically a proxy — the prelude to a hijack).
+const (
+	PatternNone Pattern = iota
+	PatternT1
+	PatternT2
+)
+
+// String names the pattern as in the paper.
+func (p Pattern) String() string {
+	switch p {
+	case PatternT1:
+		return "T1"
+	case PatternT2:
+		return "T2"
+	default:
+		return "-"
+	}
+}
+
+// Params are the methodology's tunable thresholds, defaulted to the
+// paper's choices. The ablation benchmarks sweep these.
+type Params struct {
+	// TransientMaxDays is the maximum lifetime of a transient deployment:
+	// three months, the validity period of free certificates (§4.2.3).
+	TransientMaxDays int
+	// StableMinDays is the minimum span for a deployment to count as
+	// stable when it does not touch both period edges.
+	StableMinDays int
+	// EdgeMarginScans tolerates missing the very first/last scans of a
+	// period when deciding whether a deployment touches a period edge.
+	EdgeMarginScans int
+	// MinPresence prunes domains missing from too many scans (§4.3: 20%).
+	MinPresence float64
+	// MaxTransientPeriods prunes domains showing transients in this many
+	// consecutive periods (§4.3: three or more).
+	MaxTransientPeriods int
+	// InspectSlackDays is the window slack when cross-referencing pDNS and
+	// CT evidence around a transient deployment (§4.4).
+	InspectSlackDays int
+	// DisableSensitiveGate drops the sensitive-subdomain requirement in
+	// shortlisting (ablation: every geo/org-surviving transient is kept).
+	DisableSensitiveGate bool
+	// StitchPeriods additionally examines consecutive period pairs for
+	// transients that straddle a period boundary (stitch.go) — a
+	// robustness extension beyond the paper's per-period analysis.
+	StitchPeriods bool
+}
+
+// DefaultParams returns the paper's thresholds.
+func DefaultParams() Params {
+	return Params{
+		TransientMaxDays:    90,
+		StableMinDays:       120,
+		EdgeMarginScans:     1,
+		MinPresence:         0.8,
+		MaxTransientPeriods: 3,
+		InspectSlackDays:    30,
+	}
+}
+
+// DeploymentKind is the per-deployment temporal classification feeding the
+// map category.
+type DeploymentKind int
+
+// Deployment kinds.
+const (
+	// KindStable deployments either touch both period edges or span at
+	// least StableMinDays.
+	KindStable DeploymentKind = iota
+	// KindTransient deployments appear and disappear strictly inside the
+	// period within TransientMaxDays.
+	KindTransient
+	// KindPartial deployments touch one period edge (infrastructure
+	// arriving or departing — transition evidence).
+	KindPartial
+)
+
+// Classification is the result of classifying one deployment map.
+type Classification struct {
+	Map      *DeploymentMap
+	Category Category
+	// Pattern is set for transient maps: T1 if any transient deployment
+	// serves a certificate the stable deployments never served, else T2.
+	Pattern Pattern
+	// Transients lists the transient deployments with their per-deployment
+	// pattern, aligned by index.
+	Transients        []*Deployment
+	TransientPatterns []Pattern
+	// Stables lists the stable deployments (the background infrastructure).
+	Stables []*Deployment
+}
+
+// classifyDeployment decides the temporal kind of a deployment within its
+// period.
+func (p Params) classifyDeployment(d *Deployment, period simtime.Period, scans []simtime.Date) DeploymentKind {
+	if len(scans) == 0 {
+		return KindPartial
+	}
+	margin := p.EdgeMarginScans
+	if margin >= len(scans) {
+		margin = len(scans) - 1
+	}
+	atStart := d.First() <= scans[margin]
+	atEnd := d.Last() >= scans[len(scans)-1-margin]
+	span := int(d.SpanDays())
+	// A stable deployment must actually be present across its span: an AS
+	// that recurs with long holes is churn, not stability.
+	density := float64(len(d.ScanDates)) * simtime.DaysPerWeek / float64(span)
+	dense := density >= 0.5
+	switch {
+	case atStart && atEnd && dense:
+		return KindStable
+	case !atStart && !atEnd && span <= p.TransientMaxDays:
+		return KindTransient
+	case span >= p.StableMinDays && dense:
+		return KindStable
+	default:
+		return KindPartial
+	}
+}
+
+// Classify assigns the map its category and, for transient maps, the T1/T2
+// pattern of each transient deployment (paper §4.2).
+func (p Params) Classify(m *DeploymentMap, scans []simtime.Date) *Classification {
+	c := &Classification{Map: m, Pattern: PatternNone}
+	var partials []*Deployment
+	for _, d := range m.Deployments {
+		switch p.classifyDeployment(d, m.Period, scans) {
+		case KindStable:
+			c.Stables = append(c.Stables, d)
+		case KindTransient:
+			c.Transients = append(c.Transients, d)
+		default:
+			partials = append(partials, d)
+		}
+	}
+	switch {
+	case len(c.Transients) > 0 && len(c.Stables) > 0:
+		c.Category = CategoryTransient
+		for _, t := range c.Transients {
+			pattern := PatternT2
+			// T1 when the transient serves any certificate that none of
+			// the stable deployments serve.
+			for fp := range t.Certs {
+				servedByStable := false
+				for _, s := range c.Stables {
+					if _, ok := s.Certs[fp]; ok {
+						servedByStable = true
+						break
+					}
+				}
+				if !servedByStable {
+					pattern = PatternT1
+					break
+				}
+			}
+			c.TransientPatterns = append(c.TransientPatterns, pattern)
+			if pattern == PatternT1 {
+				c.Pattern = PatternT1
+			} else if c.Pattern == PatternNone {
+				c.Pattern = PatternT2
+			}
+		}
+	case len(c.Transients) > 0:
+		// Transient churn with no stable background: nothing to anchor an
+		// inference to (paper footnote 7). Patterns stay None — T1/T2 are
+		// defined relative to a stable deployment — but the slice stays
+		// aligned with Transients.
+		c.Category = CategoryNoisy
+		c.TransientPatterns = make([]Pattern, len(c.Transients))
+	case len(c.Stables) > 0 && len(partials) == 0:
+		c.Category = CategoryStable
+	case len(c.Stables) > 0 || len(partials) > 0:
+		// Infrastructure arriving or departing across the period
+		// boundary: a long-term change (patterns X1–X3).
+		c.Category = CategoryTransition
+	default:
+		c.Category = CategoryNoisy
+	}
+	return c
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// Test fixtures fabricate annotated scan records directly, so the
+// classification logic is exercised independently of the simulator.
+
+var coreKey = x509lite.NewSigningKey("core-test", 9)
+
+func cert(serial uint64, sans ...dnscore.Name) *x509lite.Certificate {
+	c := &x509lite.Certificate{
+		Serial: serial, Subject: sans[0], SANs: sans,
+		Issuer: "Let's Encrypt", NotBefore: 0, NotAfter: simtime.StudyEnd,
+		Method: x509lite.ValidationDNS01,
+	}
+	coreKey.Sign(c)
+	return c
+}
+
+func rec(date simtime.Date, ip string, asn ipmeta.ASN, cc ipmeta.CountryCode, c *x509lite.Certificate) *scanner.Record {
+	sens := false
+	for _, san := range c.SANs {
+		if scanner.IsSensitiveName(san) {
+			sens = true
+		}
+	}
+	return &scanner.Record{
+		ScanDate: date, IP: netip.MustParseAddr(ip), Ports: []uint16{443},
+		ASN: asn, Country: cc, Cert: c, Trusted: true, Sensitive: sens,
+	}
+}
+
+// dsFrom builds a dataset from per-scan-date record groups over period 0.
+func dsFrom(records map[simtime.Date][]*scanner.Record) *scanner.Dataset {
+	ds := scanner.NewDataset()
+	for _, d := range simtime.ScansInPeriod(0) {
+		ds.AddScan(d, records[d])
+	}
+	return ds
+}
+
+// fullPeriod provisions rec-producing fn on every scan of period 0.
+func fullPeriod(fn func(d simtime.Date) []*scanner.Record) map[simtime.Date][]*scanner.Record {
+	out := make(map[simtime.Date][]*scanner.Record)
+	for _, d := range simtime.ScansInPeriod(0) {
+		out[d] = fn(d)
+	}
+	return out
+}
+
+func classify(t *testing.T, ds *scanner.Dataset, domain dnscore.Name) *Classification {
+	t.Helper()
+	m := BuildMap(ds, domain, 0)
+	if m == nil {
+		t.Fatalf("no map for %s", domain)
+	}
+	return DefaultParams().Classify(m, ds.ScanDates(0, simtime.Period(0).End()))
+}
+
+func TestClassifyStableS1(t *testing.T) {
+	c := cert(1, "mail.kyvernisi.gr")
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		return []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", c)}
+	}))
+	got := classify(t, ds, "kyvernisi.gr")
+	if got.Category != CategoryStable {
+		t.Fatalf("category = %s", got.Category)
+	}
+	if len(got.Stables) != 1 || len(got.Transients) != 0 {
+		t.Fatalf("deployments: %d stable %d transient", len(got.Stables), len(got.Transients))
+	}
+}
+
+func TestClassifyStableS2CertRollover(t *testing.T) {
+	old := cert(1, "mail.kyvernisi.gr")
+	renewed := cert(2, "mail.kyvernisi.gr")
+	mid := simtime.Period(0).Start() + simtime.DaysPerPeriod/2
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		use := old
+		if d >= mid {
+			use = renewed
+		}
+		return []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", use)}
+	}))
+	got := classify(t, ds, "kyvernisi.gr")
+	if got.Category != CategoryStable {
+		t.Fatalf("cert rollover classified %s", got.Category)
+	}
+	if len(got.Stables[0].Certs) != 2 {
+		t.Fatalf("deployment tracked %d certs", len(got.Stables[0].Certs))
+	}
+}
+
+func TestClassifyStableS3NewCountrySameAS(t *testing.T) {
+	c := cert(1, "www.example.com")
+	mid := simtime.Period(0).Start() + simtime.DaysPerPeriod/2
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		recs := []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", c)}
+		if d >= mid {
+			recs = append(recs, rec(d, "84.205.200.10", 35506, "DE", c))
+		}
+		return recs
+	}))
+	got := classify(t, ds, "example.com")
+	if got.Category != CategoryStable {
+		t.Fatalf("same-AS expansion classified %s", got.Category)
+	}
+}
+
+func TestClassifyTransitionX3(t *testing.T) {
+	oldCert := cert(1, "www.example.com")
+	newCert := cert(2, "www.example.com")
+	mid := simtime.Period(0).Start() + simtime.DaysPerPeriod/2
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		if d < mid {
+			return []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", oldCert)}
+		}
+		return []*scanner.Record{rec(d, "146.185.143.158", 14061, "NL", newCert)}
+	}))
+	got := classify(t, ds, "example.com")
+	if got.Category != CategoryTransition {
+		t.Fatalf("provider switch classified %s", got.Category)
+	}
+}
+
+func TestClassifyTransitionX1Expansion(t *testing.T) {
+	c := cert(1, "www.example.com")
+	cloud := cert(2, "www.example.com")
+	mid := simtime.Period(0).Start() + simtime.DaysPerPeriod*2/3
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		recs := []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", c)}
+		if d >= mid {
+			recs = append(recs, rec(d, "146.185.143.158", 14061, "NL", cloud))
+		}
+		return recs
+	}))
+	got := classify(t, ds, "example.com")
+	if got.Category != CategoryTransition {
+		t.Fatalf("cloud expansion classified %s", got.Category)
+	}
+}
+
+// transientFixture builds the canonical T1 map: stable deployment all
+// period, transient with a new cert visible in exactly one scan.
+func transientFixture(tCert *x509lite.Certificate, transientScans int) *scanner.Dataset {
+	stable := cert(1, "mail.kyvernisi.gr")
+	scans := simtime.ScansInPeriod(0)
+	tStart := scans[len(scans)/2]
+	return dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		recs := []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", stable)}
+		if d >= tStart && d < tStart+simtime.Date(transientScans)*simtime.DaysPerWeek {
+			recs = append(recs, rec(d, "95.179.131.225", 20473, "NL", tCert))
+		}
+		return recs
+	}))
+}
+
+func TestClassifyTransientT1(t *testing.T) {
+	evil := cert(99, "mail.kyvernisi.gr")
+	ds := transientFixture(evil, 1)
+	got := classify(t, ds, "kyvernisi.gr")
+	if got.Category != CategoryTransient {
+		t.Fatalf("category = %s", got.Category)
+	}
+	if got.Pattern != PatternT1 {
+		t.Fatalf("pattern = %s", got.Pattern)
+	}
+	if len(got.Transients) != 1 || got.Transients[0].ASN != 20473 {
+		t.Fatalf("transients: %v", got.Transients)
+	}
+}
+
+func TestClassifyTransientT2Proxy(t *testing.T) {
+	// The transient relays the STABLE certificate (proxy prelude).
+	stable := cert(1, "mail.mgov.ae")
+	scans := simtime.ScansInPeriod(0)
+	tStart := scans[len(scans)/2]
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		recs := []*scanner.Record{rec(d, "84.205.248.69", 35506, "AE", stable)}
+		if d == tStart {
+			recs = append(recs, rec(d, "185.20.187.8", 50673, "NL", stable))
+		}
+		return recs
+	}))
+	got := classify(t, ds, "mgov.ae")
+	if got.Category != CategoryTransient || got.Pattern != PatternT2 {
+		t.Fatalf("category=%s pattern=%s", got.Category, got.Pattern)
+	}
+}
+
+func TestClassifyTransientTooLongIsNotTransient(t *testing.T) {
+	evil := cert(99, "mail.kyvernisi.gr")
+	// 15 scans ≈ 105 days > 90-day threshold: not transient.
+	ds := transientFixture(evil, 15)
+	got := classify(t, ds, "kyvernisi.gr")
+	if got.Category == CategoryTransient {
+		t.Fatalf("105-day deployment classified transient")
+	}
+}
+
+func TestClassifyNoisy(t *testing.T) {
+	// Deployment hops to a new ASN every few scans; no stable background.
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		idx := int(d / (3 * simtime.DaysPerWeek))
+		c := cert(uint64(100+idx%5), "www.churn.example.com")
+		ip := fmt.Sprintf("10.%d.0.1", idx%5)
+		return []*scanner.Record{rec(d, ip, ipmeta.ASN(64500+idx%5), "US", c)}
+	}))
+	got := classify(t, ds, "example.com")
+	if got.Category != CategoryNoisy {
+		t.Fatalf("churning domain classified %s", got.Category)
+	}
+}
+
+func TestBuildMapAbsentDomain(t *testing.T) {
+	ds := scanner.NewDataset()
+	if BuildMap(ds, "ghost.example.com", 0) != nil {
+		t.Fatal("map built from nothing")
+	}
+}
+
+func TestBuildMapPresence(t *testing.T) {
+	c := cert(1, "www.example.com")
+	scans := simtime.ScansInPeriod(0)
+	// Present in only the first half of scans.
+	records := make(map[simtime.Date][]*scanner.Record)
+	for i, d := range scans {
+		if i < len(scans)/2 {
+			records[d] = []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", c)}
+		}
+	}
+	ds := dsFrom(records)
+	m := BuildMap(ds, "example.com", 0)
+	if m.Presence() < 0.45 || m.Presence() > 0.55 {
+		t.Fatalf("presence = %.2f", m.Presence())
+	}
+	if m.TotalScans != len(scans) {
+		t.Fatalf("TotalScans = %d", m.TotalScans)
+	}
+}
+
+func TestDeploymentAccessors(t *testing.T) {
+	c := cert(1, "mail.kyvernisi.gr")
+	ds := dsFrom(fullPeriod(func(d simtime.Date) []*scanner.Record {
+		return []*scanner.Record{rec(d, "84.205.248.69", 35506, "GR", c)}
+	}))
+	m := BuildMap(ds, "kyvernisi.gr", 0)
+	d := m.Deployments[0]
+	if d.AnyIP() != netip.MustParseAddr("84.205.248.69") {
+		t.Errorf("AnyIP = %v", d.AnyIP())
+	}
+	if got := d.CountryList(); len(got) != 1 || got[0] != "GR" {
+		t.Errorf("CountryList = %v", got)
+	}
+	if d.SpanDays() < simtime.DaysPerPeriod-simtime.DaysPerWeek {
+		t.Errorf("SpanDays = %d", d.SpanDays())
+	}
+	if d.String() == "" || m.String() == "" {
+		t.Error("empty String")
+	}
+	if (&Deployment{IPs: map[netip.Addr]bool{}}).AnyIP().IsValid() {
+		t.Error("empty deployment has an IP")
+	}
+}
+
+func TestSharesCertWith(t *testing.T) {
+	c1, c2 := cert(1, "a.com"), cert(2, "a.com")
+	d1 := &Deployment{Certs: map[x509lite.Fingerprint]*x509lite.Certificate{c1.Fingerprint(): c1}}
+	d2 := &Deployment{Certs: map[x509lite.Fingerprint]*x509lite.Certificate{c1.Fingerprint(): c1, c2.Fingerprint(): c2}}
+	d3 := &Deployment{Certs: map[x509lite.Fingerprint]*x509lite.Certificate{c2.Fingerprint(): c2}}
+	if !d1.SharesCertWith(d2) || d1.SharesCertWith(d3) {
+		t.Fatal("SharesCertWith wrong")
+	}
+}
+
+func TestCategoryAndPatternStrings(t *testing.T) {
+	if CategoryStable.String() != "stable" || CategoryNoisy.String() != "noisy" ||
+		CategoryTransition.String() != "transition" || CategoryTransient.String() != "transient" {
+		t.Error("category names")
+	}
+	if PatternT1.String() != "T1" || PatternT2.String() != "T2" || PatternNone.String() != "-" {
+		t.Error("pattern names")
+	}
+}

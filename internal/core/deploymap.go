@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: the five-step
+// methodology for retroactively identifying DNS infrastructure hijacks.
+//
+//  1. Build deployment maps from longitudinal scan data (deploymap.go).
+//  2. Classify maps into stable / transition / transient / noisy patterns
+//     (classify.go).
+//  3. Shortlist suspicious transients with pruning heuristics
+//     (shortlist.go).
+//  4. Inspect shortlisted maps against passive DNS and CT for
+//     corroborating evidence (inspect.go).
+//  5. Pivot on confirmed attacker infrastructure to find further victims
+//     (pivot.go).
+//
+// The pipeline type (pipeline.go) runs all five steps over a scan dataset
+// and emits findings shaped like the paper's Tables 2 and 3.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// Deployment is the longitudinal aggregation of a domain's deployment
+// groups that share an origin AS within one analysis period: the IPs,
+// countries, certificates, and scan dates at which infrastructure in that
+// AS returned a certificate for the domain (paper §4.1).
+type Deployment struct {
+	// ASN originates every IP in the deployment (deployment groups are
+	// keyed by origin AS).
+	ASN ipmeta.ASN
+	// IPs observed serving the domain from this AS.
+	IPs map[netip.Addr]bool
+	// Countries the deployment's IPs geolocate to.
+	Countries map[ipmeta.CountryCode]bool
+	// Certs maps fingerprints of every certificate the deployment returned.
+	Certs map[x509lite.Fingerprint]*x509lite.Certificate
+	// Records holds the underlying scan records, in scan order.
+	Records []*scanner.Record
+	// ScanDates are the distinct scan dates the deployment appeared in,
+	// sorted ascending.
+	ScanDates []simtime.Date
+}
+
+// First returns the first scan date the deployment appeared.
+func (d *Deployment) First() simtime.Date { return d.ScanDates[0] }
+
+// Last returns the last scan date the deployment appeared.
+func (d *Deployment) Last() simtime.Date { return d.ScanDates[len(d.ScanDates)-1] }
+
+// SpanDays is the number of days between first and last appearance,
+// counting the trailing scan week.
+func (d *Deployment) SpanDays() simtime.Duration {
+	return d.Last().Sub(d.First()) + simtime.DaysPerWeek
+}
+
+// AnyIP returns one IP of the deployment (the lowest, for determinism).
+func (d *Deployment) AnyIP() netip.Addr {
+	var ips []netip.Addr
+	for ip := range d.IPs {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i].Less(ips[j]) })
+	if len(ips) == 0 {
+		return netip.Addr{}
+	}
+	return ips[0]
+}
+
+// CountryList returns the deployment's countries, sorted.
+func (d *Deployment) CountryList() []ipmeta.CountryCode {
+	out := make([]ipmeta.CountryCode, 0, len(d.Countries))
+	for cc := range d.Countries {
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SharesCertWith reports whether any certificate of d is also served by o.
+func (d *Deployment) SharesCertWith(o *Deployment) bool {
+	for fp := range d.Certs {
+		if _, ok := o.Certs[fp]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the deployment compactly.
+func (d *Deployment) String() string {
+	return fmt.Sprintf("deployment %s %v ips=%d certs=%d scans=%d [%s..%s]",
+		d.ASN, d.CountryList(), len(d.IPs), len(d.Certs), len(d.ScanDates), d.First(), d.Last())
+}
+
+// DeploymentMap models where and when infrastructure provided service for
+// one domain during one analysis period (paper §4.1, Figure 2).
+type DeploymentMap struct {
+	// Domain is the registered domain the map describes.
+	Domain dnscore.Name
+	// Period is the six-month analysis period.
+	Period simtime.Period
+	// Deployments lists the domain's deployments, ordered by first scan.
+	Deployments []*Deployment
+	// PresentScans counts scan dates in the period on which at least one
+	// record for the domain appeared.
+	PresentScans int
+	// TotalScans counts scan dates in the period.
+	TotalScans int
+}
+
+// Presence is the fraction of the period's scans in which the domain was
+// visible, the quantity behind the paper's "missing from 20% of scans"
+// pruning rule.
+func (m *DeploymentMap) Presence() float64 {
+	if m.TotalScans == 0 {
+		return 0
+	}
+	return float64(m.PresentScans) / float64(m.TotalScans)
+}
+
+// String renders the map one deployment per line.
+func (m *DeploymentMap) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "map %s %s presence=%.0f%%\n", m.Domain, m.Period, m.Presence()*100)
+	for i, d := range m.Deployments {
+		fmt.Fprintf(&sb, "  #%d %s\n", i+1, d)
+	}
+	return sb.String()
+}
+
+// BuildMap constructs the deployment map of a domain for one period from
+// the dataset. It returns nil when the domain has no records in the period.
+func BuildMap(ds *scanner.Dataset, domain dnscore.Name, period simtime.Period) *DeploymentMap {
+	records := ds.DomainRecords(domain, period.Start(), period.End())
+	if len(records) == 0 {
+		return nil
+	}
+	byASN := make(map[ipmeta.ASN]*Deployment)
+	presentDates := make(map[simtime.Date]bool)
+	var order []ipmeta.ASN
+	for _, r := range records {
+		presentDates[r.ScanDate] = true
+		d, ok := byASN[r.ASN]
+		if !ok {
+			d = &Deployment{
+				ASN:       r.ASN,
+				IPs:       make(map[netip.Addr]bool),
+				Countries: make(map[ipmeta.CountryCode]bool),
+				Certs:     make(map[x509lite.Fingerprint]*x509lite.Certificate),
+			}
+			byASN[r.ASN] = d
+			order = append(order, r.ASN)
+		}
+		d.IPs[r.IP] = true
+		d.Countries[r.Country] = true
+		d.Certs[r.Cert.Fingerprint()] = r.Cert
+		d.Records = append(d.Records, r)
+		if n := len(d.ScanDates); n == 0 || d.ScanDates[n-1] != r.ScanDate {
+			d.ScanDates = append(d.ScanDates, r.ScanDate)
+		}
+	}
+	m := &DeploymentMap{
+		Domain:       domain,
+		Period:       period,
+		PresentScans: len(presentDates),
+		TotalScans:   len(ds.ScanDates(period.Start(), period.End())),
+	}
+	for _, asn := range order {
+		m.Deployments = append(m.Deployments, byASN[asn])
+	}
+	sort.SliceStable(m.Deployments, func(i, j int) bool {
+		return m.Deployments[i].First() < m.Deployments[j].First()
+	})
+	return m
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// TestDeploymentMapInvariants fuzzes random scan histories and checks the
+// structural invariants the classifier depends on:
+//
+//  1. every record of the domain appears in exactly one deployment;
+//  2. deployments partition records by origin ASN;
+//  3. scan dates within a deployment are sorted, distinct, and inside the
+//     period;
+//  4. deployments are ordered by first appearance;
+//  5. presence never exceeds 1 and counts distinct scan dates.
+func TestDeploymentMapInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	domain := dnscore.Name("fuzz-dm.com")
+	for trial := 0; trial < 60; trial++ {
+		ds := scanner.NewDataset()
+		scans := simtime.ScansInPeriod(0)
+		asns := []ipmeta.ASN{100, 200, 300}
+		certs := []int{0, 1, 2}
+		total := 0
+		for _, d := range scans {
+			var recs []*scanner.Record
+			for _, asn := range asns {
+				if rng.Intn(3) == 0 {
+					continue // this ASN missing from this scan
+				}
+				c := cert(uint64(100+certs[rng.Intn(len(certs))]), "mail.fuzz-dm.com")
+				ip := "10.0.0.1"
+				switch asn {
+				case 200:
+					ip = "10.0.1.1"
+				case 300:
+					ip = "10.0.2.1"
+				}
+				recs = append(recs, rec(d, ip, asn, "US", c))
+				total++
+			}
+			ds.AddScan(d, recs)
+		}
+		m := BuildMap(ds, domain, 0)
+		if total == 0 {
+			if m != nil {
+				t.Fatal("map built from empty history")
+			}
+			continue
+		}
+		inDeployments := 0
+		seenASN := map[ipmeta.ASN]bool{}
+		var prevFirst simtime.Date = -1
+		for _, dep := range m.Deployments {
+			if seenASN[dep.ASN] {
+				t.Fatalf("trial %d: ASN %v split across deployments", trial, dep.ASN)
+			}
+			seenASN[dep.ASN] = true
+			inDeployments += len(dep.Records)
+			for _, r := range dep.Records {
+				if r.ASN != dep.ASN {
+					t.Fatalf("trial %d: record ASN %v in deployment %v", trial, r.ASN, dep.ASN)
+				}
+			}
+			for i, d := range dep.ScanDates {
+				if !simtime.Period(0).Contains(d) {
+					t.Fatalf("trial %d: scan date %v outside period", trial, d)
+				}
+				if i > 0 && dep.ScanDates[i] <= dep.ScanDates[i-1] {
+					t.Fatalf("trial %d: scan dates not strictly increasing", trial)
+				}
+			}
+			if dep.First() > dep.Last() {
+				t.Fatalf("trial %d: First > Last", trial)
+			}
+			if dep.First() < prevFirst {
+				t.Fatalf("trial %d: deployments not ordered by first appearance", trial)
+			}
+			prevFirst = dep.First()
+		}
+		if inDeployments != total {
+			t.Fatalf("trial %d: %d records in deployments, %d generated", trial, inDeployments, total)
+		}
+		if p := m.Presence(); p < 0 || p > 1 {
+			t.Fatalf("trial %d: presence %f", trial, p)
+		}
+	}
+}
+
+// TestClassificationTotality: every randomly generated map receives exactly
+// one category, and transient classifications always carry aligned
+// pattern/deployment slices.
+func TestClassificationTotality(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	params := DefaultParams()
+	for trial := 0; trial < 80; trial++ {
+		ds := scanner.NewDataset()
+		scans := simtime.ScansInPeriod(0)
+		// Random blocks of activity per ASN.
+		for _, d := range scans {
+			var recs []*scanner.Record
+			for a := 0; a < 3; a++ {
+				start := rng.Intn(len(scans))
+				if int(d/simtime.DaysPerWeek) >= start && rng.Intn(2) == 0 {
+					c := cert(uint64(10+a), "www.fuzz-ct.com")
+					recs = append(recs, rec(d, "10.1.0.1", ipmeta.ASN(500+a), "US", c))
+				}
+			}
+			ds.AddScan(d, recs)
+		}
+		m := BuildMap(ds, "fuzz-ct.com", 0)
+		if m == nil {
+			continue
+		}
+		c := params.Classify(m, ds.ScanDates(0, simtime.Period(0).End()))
+		switch c.Category {
+		case CategoryStable, CategoryTransition, CategoryTransient, CategoryNoisy:
+		default:
+			t.Fatalf("trial %d: unknown category %v", trial, c.Category)
+		}
+		if len(c.Transients) != len(c.TransientPatterns) {
+			t.Fatalf("trial %d: %d transients, %d patterns", trial, len(c.Transients), len(c.TransientPatterns))
+		}
+		if c.Category == CategoryTransient {
+			if len(c.Transients) == 0 || len(c.Stables) == 0 {
+				t.Fatalf("trial %d: transient map without transient+stable deployments", trial)
+			}
+			if c.Pattern != PatternT1 && c.Pattern != PatternT2 {
+				t.Fatalf("trial %d: transient map with pattern %v", trial, c.Pattern)
+			}
+		}
+		// Determinism: classifying the same map twice agrees.
+		c2 := params.Classify(m, ds.ScanDates(0, simtime.Period(0).End()))
+		if c2.Category != c.Category || c2.Pattern != c.Pattern {
+			t.Fatalf("trial %d: classification not deterministic", trial)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// Verdict is the pipeline's conclusion about a domain.
+type Verdict int
+
+// Verdicts, ordered by severity.
+const (
+	// VerdictInconclusive: a suspicious transient with no corroborating
+	// data — reported in funnel statistics only.
+	VerdictInconclusive Verdict = iota
+	// VerdictTargeted: evidence of attacker infrastructure staged against
+	// the domain, without confirmation the hijack executed (Table 3).
+	VerdictTargeted
+	// VerdictHijacked: corroborated DNS infrastructure hijack (Table 2).
+	VerdictHijacked
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictHijacked:
+		return "hijacked"
+	case VerdictTargeted:
+		return "targeted"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Method records how a finding was identified — the "Type" column of the
+// paper's Table 2.
+type Method string
+
+// Identification methods.
+const (
+	MethodT1      Method = "T1"   // transient deployment, new certificate, pDNS corroborated
+	MethodT1Star  Method = "T1*"  // T1 without pDNS, confirmed via attacker-IP reuse
+	MethodT2      Method = "T2"   // transient proxy prelude, pDNS + CT corroborated
+	MethodPivotIP Method = "P-IP" // found by pivoting on an attacker IP
+	MethodPivotNS Method = "P-NS" // found by pivoting on an attacker nameserver
+)
+
+// Finding is one row of the paper's Tables 2/3: a domain identified as
+// hijacked or targeted, with the corroborating evidence and the attacker
+// and victim infrastructure.
+type Finding struct {
+	Domain dnscore.Name
+	// Sub is the targeted subdomain label ("mail", "webmail", ...), empty
+	// when the targeted name is the domain itself.
+	Sub string
+	// Method is the identification route (T1, T1*, T2, P-IP, P-NS).
+	Method Method
+	// Verdict is hijacked or targeted.
+	Verdict Verdict
+	// Date is the inferred time of (attempted) hijack.
+	Date simtime.Date
+	// PDNS and CT report corroborating evidence presence (the ✓/✗ columns).
+	PDNS, CT bool
+	// DNSSECChange reports a DNSSEC validation-status downgrade observed
+	// inside the evidence window — the §7.1 extension signal. Only
+	// populated when a DNSSEC monitor log is supplied.
+	DNSSECChange bool
+
+	// Attacker infrastructure (the transient deployment).
+	AttackerIP  netip.Addr
+	AttackerASN ipmeta.ASN
+	AttackerCC  ipmeta.CountryCode
+	// AttackerNS lists attacker-controlled nameservers seen in pDNS.
+	AttackerNS []dnscore.Name
+
+	// Victim (stable) infrastructure; empty for pivot findings with no
+	// observable stable deployment.
+	VictimASNs []ipmeta.ASN
+	VictimCCs  []ipmeta.CountryCode
+
+	// Suspicious certificate evidence.
+	CrtShID  int64
+	IssuerCA string
+	CertFP   x509lite.Fingerprint
+
+	// Candidate back-references the shortlist candidate for T1/T2
+	// findings; nil for pivot findings.
+	Candidate *Candidate
+}
+
+// TargetName reconstructs the targeted FQDN.
+func (f *Finding) TargetName() dnscore.Name {
+	if f.Sub == "" {
+		return f.Domain
+	}
+	return f.Domain.Child(f.Sub)
+}
+
+// String renders the finding as a one-line table row.
+func (f *Finding) String() string {
+	yn := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "x"
+	}
+	victimASNs := make([]string, len(f.VictimASNs))
+	for i, a := range f.VictimASNs {
+		victimASNs[i] = fmt.Sprint(uint32(a))
+	}
+	return fmt.Sprintf("%-5s %-7s %-22s %-10s pDNS=%s crt=%s  %-15s AS%-6d %-2s  [%s] %v",
+		f.Method, f.Date.MonthYear(), f.Domain, f.Sub, yn(f.PDNS), yn(f.CT),
+		f.AttackerIP, uint32(f.AttackerASN), f.AttackerCC,
+		strings.Join(victimASNs, ","), f.VictimCCs)
+}
+
+// SortFindings orders findings the way the paper's tables do: by victim
+// country, then by hijack date, then by domain.
+func SortFindings(fs []*Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		ci := victimCountry(fs[i])
+		cj := victimCountry(fs[j])
+		if ci != cj {
+			return ci < cj
+		}
+		if fs[i].Date != fs[j].Date {
+			return fs[i].Date < fs[j].Date
+		}
+		return fs[i].Domain < fs[j].Domain
+	})
+}
+
+func victimCountry(f *Finding) ipmeta.CountryCode {
+	if len(f.VictimCCs) > 0 {
+		return f.VictimCCs[0]
+	}
+	// Pivot findings may have no stable deployment; group by TLD country
+	// approximation (the paper identifies the organization manually).
+	tld := f.Domain.TLD()
+	if len(tld) == 2 {
+		return ipmeta.CountryCode(strings.ToUpper(string(tld)))
+	}
+	return "??"
+}

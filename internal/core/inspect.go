@@ -1,0 +1,369 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnssecmon"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/pdns"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// InspectOutcome classifies the result of inspecting one candidate.
+type InspectOutcome int
+
+// Inspection outcomes.
+const (
+	// OutcomeNoData: no relevant pDNS or CT activity around the transient
+	// — most shortlisted maps end here (the paper's 8143 → 1256 cut).
+	OutcomeNoData InspectOutcome = iota
+	// OutcomeInconclusive: relevant data existed but did not corroborate.
+	OutcomeInconclusive
+	// OutcomePendingReuse: a T1 with a suspicious newly-issued certificate
+	// but no pDNS trace; promoted to hijacked (T1*) if its attacker IP is
+	// seen in other confirmed hijacks (paper's apc.gov.ae / moh.gov.kw).
+	OutcomePendingReuse
+	// OutcomeTargeted: attacker staging observed, hijack not confirmed.
+	OutcomeTargeted
+	// OutcomeHijacked: corroborated hijack.
+	OutcomeHijacked
+)
+
+// String names the outcome.
+func (o InspectOutcome) String() string {
+	switch o {
+	case OutcomeHijacked:
+		return "hijacked"
+	case OutcomeTargeted:
+		return "targeted"
+	case OutcomePendingReuse:
+		return "pending-reuse"
+	case OutcomeInconclusive:
+		return "inconclusive"
+	default:
+		return "no-data"
+	}
+}
+
+// Inspector cross-references shortlisted candidates against passive DNS
+// and certificate transparency (paper §4.4).
+type Inspector struct {
+	Params Params
+	PDNS   *pdns.DB
+	CT     *ctlog.Log
+	// DNSSEC optionally supplies validation-status history (§7.1): a
+	// Secure→Insecure downgrade inside the window is extra corroboration.
+	DNSSEC *dnssecmon.Log
+}
+
+// window is the evidence window around a transient deployment.
+type window struct {
+	from, to simtime.Date
+}
+
+func (i *Inspector) windowFor(t *Deployment) window {
+	slack := simtime.Duration(i.Params.InspectSlackDays)
+	return window{from: t.First().Add(-slack), to: t.Last().Add(slack)}
+}
+
+func (w window) contains(d simtime.Date) bool { return d >= w.from && d <= w.to }
+
+// nsEvidence extracts the delegation-change evidence for a domain within
+// the window: the baseline nameservers (first seen before the window) and
+// the new nameservers first seen inside it.
+func (i *Inspector) nsEvidence(domain dnscore.Name, w window) (baseline, changed []pdns.Entry) {
+	for _, e := range i.PDNS.NSHistory(domain) {
+		switch {
+		case e.FirstSeen < w.from:
+			baseline = append(baseline, e)
+		case w.contains(e.FirstSeen):
+			changed = append(changed, e)
+		}
+	}
+	// A "change" requires the nameserver to be absent from the baseline.
+	base := make(map[string]bool, len(baseline))
+	for _, e := range baseline {
+		base[e.Data] = true
+	}
+	out := changed[:0]
+	for _, e := range changed {
+		if !base[e.Data] {
+			out = append(out, e)
+		}
+	}
+	return baseline, out
+}
+
+// redirections finds pDNS rows showing a name under the domain resolving to
+// one of the transient deployment's IPs inside the window.
+func (i *Inspector) redirections(domain dnscore.Name, t *Deployment, w window) []pdns.Entry {
+	var out []pdns.Entry
+	for _, e := range i.PDNS.SubdomainResolutions(domain) {
+		if e.Type != dnscore.TypeA || !w.contains(e.FirstSeen) {
+			continue
+		}
+		for ip := range t.IPs {
+			if e.Data == ip.String() {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].FirstSeen < out[b].FirstSeen })
+	return out
+}
+
+// suspiciousCTEntries finds newly-issued certificates for sensitive names
+// under the domain logged inside the window, excluding certificates the
+// stable deployments serve.
+func (i *Inspector) suspiciousCTEntries(c *Candidate, w window) []*ctlog.Entry {
+	if i.CT == nil {
+		return nil
+	}
+	stable := make(map[x509lite.Fingerprint]bool)
+	for _, s := range c.Class.Stables {
+		for fp := range s.Certs {
+			stable[fp] = true
+		}
+	}
+	var out []*ctlog.Entry
+	for _, e := range i.CT.SearchApex(ctlog.Query{Name: c.Domain, From: w.from, To: w.to + 1}) {
+		if stable[e.Cert.Fingerprint()] {
+			continue
+		}
+		for _, san := range e.Cert.SANs {
+			if (san.RegisteredDomain() == c.Domain || san == c.Domain) && scanner.IsSensitiveName(san) {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// anyDataInWindow reports whether pDNS or CT hold anything relevant to the
+// domain inside the window — the gate between "worth examining" and the
+// no-data drop.
+func (i *Inspector) anyDataInWindow(c *Candidate, w window) bool {
+	for _, e := range i.PDNS.SubdomainResolutions(c.Domain) {
+		if w.contains(e.FirstSeen) || w.contains(e.LastSeen) {
+			return true
+		}
+	}
+	if i.CT != nil {
+		if len(i.CT.SearchApex(ctlog.Query{Name: c.Domain, From: w.from, To: w.to + 1})) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// subLabel derives the targeted-subdomain label from the targeted name.
+func subLabel(domain, target dnscore.Name) string {
+	if target == domain || target == "" {
+		return ""
+	}
+	return strings.TrimSuffix(string(target), "."+string(domain))
+}
+
+// Inspect evaluates one candidate and, when evidence allows, produces a
+// finding. The returned outcome drives the funnel statistics; the finding
+// is non-nil for hijacked, targeted, and pending-reuse outcomes.
+func (i *Inspector) Inspect(c *Candidate) (*Finding, InspectOutcome) {
+	w := i.windowFor(c.Transient)
+	_, nsChanges := i.nsEvidence(c.Domain, w)
+	redirects := i.redirections(c.Domain, c.Transient, w)
+	pdnsOK := len(nsChanges) > 0 || len(redirects) > 0
+
+	f := &Finding{
+		Domain:      c.Domain,
+		Method:      Method(c.Pattern.String()),
+		AttackerIP:  c.Transient.AnyIP(),
+		AttackerASN: c.Transient.ASN,
+		Candidate:   c,
+	}
+	if len(c.Transient.Records) > 0 {
+		f.AttackerCC = c.Transient.Records[0].Country
+	}
+	for _, s := range c.Class.Stables {
+		f.VictimASNs = append(f.VictimASNs, s.ASN)
+		for _, cc := range s.CountryList() {
+			f.VictimCCs = appendUniqueCC(f.VictimCCs, cc)
+		}
+	}
+	sort.Slice(f.VictimASNs, func(a, b int) bool { return f.VictimASNs[a] < f.VictimASNs[b] })
+	for _, e := range nsChanges {
+		if n, err := dnscore.ParseName(e.Data); err == nil {
+			f.AttackerNS = append(f.AttackerNS, n)
+		}
+	}
+	f.PDNS = pdnsOK
+	if i.DNSSEC != nil && len(i.DNSSEC.DowngradesIn(c.Domain, w.from, w.to)) > 0 {
+		f.DNSSECChange = true
+	}
+
+	// Date preference: observed redirection, then delegation change, then
+	// certificate issuance, then first scan appearance.
+	f.Date = c.Transient.First()
+
+	switch c.Pattern {
+	case PatternT1:
+		return i.inspectT1(c, f, w, nsChanges, redirects)
+	default:
+		return i.inspectT2(c, f, w, nsChanges, redirects)
+	}
+}
+
+// inspectT1 handles transients serving a new certificate: the certificate
+// itself is the suspicious artifact; pDNS confirms the hijack.
+func (i *Inspector) inspectT1(c *Candidate, f *Finding, w window, nsChanges, redirects []pdns.Entry) (*Finding, InspectOutcome) {
+	// Locate the new certificate(s) the transient served.
+	stable := make(map[x509lite.Fingerprint]bool)
+	for _, s := range c.Class.Stables {
+		for fp := range s.Certs {
+			stable[fp] = true
+		}
+	}
+	var suspicious *x509lite.Certificate
+	issuedInWindow := false
+	for fp, cert := range c.Transient.Certs {
+		if stable[fp] {
+			continue
+		}
+		if suspicious == nil || betterTarget(c.Domain, cert, suspicious) {
+			suspicious = cert
+		}
+	}
+	if suspicious != nil {
+		f.CertFP = suspicious.Fingerprint()
+		f.IssuerCA = suspicious.Issuer
+		target := pickTarget(c.Domain, suspicious)
+		f.Sub = subLabel(c.Domain, target)
+		if i.CT != nil {
+			if e, ok := i.CT.Lookup(suspicious.Fingerprint()); ok {
+				f.CrtShID = e.ID
+				f.CT = true
+				if w.contains(e.LoggedAt) {
+					issuedInWindow = true
+					if e.LoggedAt > f.Date || f.Date == c.Transient.First() {
+						// Prefer issuance time over scan appearance.
+						f.Date = e.LoggedAt
+					}
+				}
+			}
+		}
+	}
+	if len(redirects) > 0 {
+		f.Date = redirects[0].FirstSeen
+	} else if len(nsChanges) > 0 {
+		f.Date = nsChanges[0].FirstSeen
+	}
+
+	switch {
+	case f.PDNS && (issuedInWindow || !f.CT):
+		// Delegation/resolution changes coincide with the new
+		// certificate: the paper's T1 conclusion.
+		f.Verdict = VerdictHijacked
+		return f, OutcomeHijacked
+	case f.PDNS:
+		// pDNS activity but the certificate long predates the transient:
+		// likely a legitimate deployment briefly visible.
+		return nil, OutcomeInconclusive
+	case issuedInWindow:
+		// Fresh suspicious certificate, no pDNS trace: candidate for
+		// promotion via attacker-infrastructure reuse (T1*).
+		f.Verdict = VerdictTargeted
+		return f, OutcomePendingReuse
+	case i.anyDataInWindow(c, w):
+		return nil, OutcomeInconclusive
+	default:
+		return nil, OutcomeNoData
+	}
+}
+
+// inspectT2 handles proxy preludes: the transient serves the stable
+// certificate, so corroboration needs both a pDNS redirection and a
+// suspicious newly-issued certificate in CT.
+func (i *Inspector) inspectT2(c *Candidate, f *Finding, w window, nsChanges, redirects []pdns.Entry) (*Finding, InspectOutcome) {
+	ctEntries := i.suspiciousCTEntries(c, w)
+	if len(ctEntries) > 0 {
+		e := ctEntries[0]
+		f.CT = true
+		f.CrtShID = e.ID
+		f.IssuerCA = e.Cert.Issuer
+		f.CertFP = e.Cert.Fingerprint()
+		target := pickTarget(c.Domain, e.Cert)
+		f.Sub = subLabel(c.Domain, target)
+		f.Date = e.LoggedAt
+	}
+	if f.Sub == "" {
+		// Fall back to the sensitive name the transient relayed.
+		if san, ok := sensitiveTrusted(c.Domain, c.Transient); ok {
+			f.Sub = subLabel(c.Domain, san)
+		}
+	}
+	if len(redirects) > 0 {
+		f.Date = redirects[0].FirstSeen
+	} else if len(nsChanges) > 0 {
+		f.Date = nsChanges[0].FirstSeen
+	}
+
+	switch {
+	case f.PDNS && f.CT:
+		f.Verdict = VerdictHijacked
+		return f, OutcomeHijacked
+	case f.PDNS:
+		// Redirection without a suspiciously issued certificate — the
+		// paper's ais.gov.vn: targeted, not hijacked.
+		f.Verdict = VerdictTargeted
+		return f, OutcomeTargeted
+	case c.TrulyAnomalous:
+		// The rare-anomaly route: staged infrastructure with no captured
+		// execution (Table 3).
+		f.Verdict = VerdictTargeted
+		return f, OutcomeTargeted
+	case i.anyDataInWindow(c, w):
+		return nil, OutcomeInconclusive
+	default:
+		return nil, OutcomeNoData
+	}
+}
+
+// pickTarget chooses the targeted name from a certificate: the sensitive
+// SAN under the domain, else the first SAN under the domain.
+func pickTarget(domain dnscore.Name, cert *x509lite.Certificate) dnscore.Name {
+	var fallback dnscore.Name
+	for _, san := range cert.SANs {
+		if san.RegisteredDomain() != domain && san != domain {
+			continue
+		}
+		if scanner.IsSensitiveName(san) {
+			return san
+		}
+		if fallback == "" {
+			fallback = san
+		}
+	}
+	return fallback
+}
+
+// betterTarget prefers certificates securing sensitive names when several
+// new certificates appear in one transient.
+func betterTarget(domain dnscore.Name, candidate, current *x509lite.Certificate) bool {
+	return scanner.IsSensitiveName(pickTarget(domain, candidate)) &&
+		!scanner.IsSensitiveName(pickTarget(domain, current))
+}
+
+func appendUniqueCC(list []ipmeta.CountryCode, cc ipmeta.CountryCode) []ipmeta.CountryCode {
+	for _, existing := range list {
+		if existing == cc {
+			return list
+		}
+	}
+	return append(list, cc)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/pdns"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// ObservabilityStats reproduces the paper's §5.3 analysis of how visible
+// the attacks were to each data source: how long the hijack itself was
+// observable in passive DNS, how quickly the malicious certificate became
+// visible to scans after issuance, and in how many weekly scans it ever
+// appeared.
+type ObservabilityStats struct {
+	// Total is the number of hijacked findings analyzed.
+	Total int
+	// PDNSDays, per finding with pDNS evidence: days the malicious
+	// resolution was observable (last seen − first seen + 1).
+	PDNSDays []int
+	// CertDelayDays, per finding whose malicious certificate appeared in
+	// scans: days from CT logging to first scan appearance.
+	CertDelayDays []int
+	// ScanAppearances, per finding whose certificate appeared in scans:
+	// the number of distinct weekly scans that captured it.
+	ScanAppearances []int
+}
+
+// Observability computes the §5.3 statistics over hijacked findings.
+func Observability(hijacked []*Finding, ds *scanner.Dataset, db *pdns.DB, log *ctlog.Log) ObservabilityStats {
+	stats := ObservabilityStats{Total: len(hijacked)}
+	for _, f := range hijacked {
+		// Hijack visibility in passive DNS: the window of A rows under
+		// the victim domain resolving to the attacker IP.
+		if f.AttackerIP.IsValid() {
+			ipStr := f.AttackerIP.String()
+			var first, last simtime.Date
+			found := false
+			for _, e := range db.SubdomainResolutions(f.Domain) {
+				if e.Type != dnscore.TypeA || e.Data != ipStr {
+					continue
+				}
+				if !found || e.FirstSeen < first {
+					first = e.FirstSeen
+				}
+				if !found || e.LastSeen > last {
+					last = e.LastSeen
+				}
+				found = true
+			}
+			if found {
+				stats.PDNSDays = append(stats.PDNSDays, int(last.Sub(first))+1)
+			}
+		}
+		// Certificate visibility in scans.
+		if f.CrtShID != 0 && ds != nil {
+			scanDates := make(map[simtime.Date]bool)
+			for _, r := range ds.DomainRecords(f.Domain, 0, 0) {
+				if r.Cert.Fingerprint() == f.CertFP {
+					scanDates[r.ScanDate] = true
+				}
+			}
+			if len(scanDates) > 0 {
+				stats.ScanAppearances = append(stats.ScanAppearances, len(scanDates))
+				if log != nil {
+					if e, ok := log.Entry(f.CrtShID); ok {
+						first := simtime.StudyEnd
+						for d := range scanDates {
+							if d < first {
+								first = d
+							}
+						}
+						stats.CertDelayDays = append(stats.CertDelayDays, int(first.Sub(e.LoggedAt)))
+					}
+				}
+			}
+		}
+	}
+	return stats
+}
+
+func fracAtMost(values []int, limit int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v <= limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// FracPDNSAtMostOneDay is the share of hijacks whose malicious resolution
+// was visible in pDNS for at most one day (paper: 51%).
+func (s ObservabilityStats) FracPDNSAtMostOneDay() float64 { return fracAtMost(s.PDNSDays, 1) }
+
+// FracCertSeenWithin8Days is the share of malicious certificates first
+// scanned within 8 days of CT logging (paper: >50%).
+func (s ObservabilityStats) FracCertSeenWithin8Days() float64 {
+	return fracAtMost(s.CertDelayDays, 8)
+}
+
+// FracSeenInOneScan is the share of malicious certificates captured by
+// exactly one weekly scan (paper: >50%).
+func (s ObservabilityStats) FracSeenInOneScan() float64 { return fracAtMost(s.ScanAppearances, 1) }
+
+// FracSeenInTwoScans is the share captured by exactly two scans (paper: ~20%).
+func (s ObservabilityStats) FracSeenInTwoScans() float64 {
+	if len(s.ScanAppearances) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range s.ScanAppearances {
+		if v == 2 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.ScanAppearances))
+}
+
+// String renders the statistics in the style of §5.3.
+func (s ObservabilityStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "observability over %d hijacked domains:\n", s.Total)
+	fmt.Fprintf(&sb, "  pDNS captured the hijack for ≤1 day for %.0f%% of victims (n=%d)\n",
+		s.FracPDNSAtMostOneDay()*100, len(s.PDNSDays))
+	fmt.Fprintf(&sb, "  malicious cert first scanned ≤8 days after issuance for %.0f%% (n=%d)\n",
+		s.FracCertSeenWithin8Days()*100, len(s.CertDelayDays))
+	fmt.Fprintf(&sb, "  malicious cert appeared in exactly 1 scan for %.0f%%, 2 scans for %.0f%% (n=%d)\n",
+		s.FracSeenInOneScan()*100, s.FracSeenInTwoScans()*100, len(s.ScanAppearances))
+	return sb.String()
+}
+
+// Histogram renders a distribution of the given series for reports.
+func Histogram(values []int, buckets []int) string {
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var sb strings.Builder
+	prev := 0
+	for _, b := range buckets {
+		n := 0
+		for _, v := range sorted {
+			if v > prev && v <= b {
+				n++
+			}
+		}
+		fmt.Fprintf(&sb, "  (%d,%d]: %d\n", prev, b, n)
+		prev = b
+	}
+	n := 0
+	for _, v := range sorted {
+		if v > prev {
+			n++
+		}
+	}
+	fmt.Fprintf(&sb, "  >%d: %d\n", prev, n)
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/pdns"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+func TestObservabilityComputation(t *testing.T) {
+	db := pdns.NewDB()
+	log := ctlog.NewLog("obs", 100)
+	ds := scanner.NewDataset()
+
+	evil := cert(50, "mail.obs-victim.com")
+	evil.NotBefore, evil.NotAfter = 700, 790
+	coreKey.Sign(evil)
+	if _, err := log.Submit(evil, 700); err != nil {
+		t.Fatal(err)
+	}
+
+	// The malicious resolution is visible in pDNS for exactly one day.
+	db.Record(701, "mail.obs-victim.com", dnscore.TypeA, "95.179.131.225")
+	// Baseline row that must not count.
+	db.Record(0, "mail.obs-victim.com", dnscore.TypeA, "84.205.248.69")
+
+	// The malicious certificate appears in two weekly scans, the first 5
+	// days after CT logging.
+	for _, d := range []simtime.Date{705, 712} {
+		ds.AddScan(d, []*scanner.Record{rec(d, "95.179.131.225", 20473, "NL", evil)})
+	}
+
+	f := &Finding{
+		Domain:     "obs-victim.com",
+		Verdict:    VerdictHijacked,
+		AttackerIP: netip.MustParseAddr("95.179.131.225"),
+		CrtShID:    100,
+		CertFP:     evil.Fingerprint(),
+	}
+	stats := Observability([]*Finding{f}, ds, db, log)
+	if stats.Total != 1 {
+		t.Fatalf("total = %d", stats.Total)
+	}
+	if len(stats.PDNSDays) != 1 || stats.PDNSDays[0] != 1 {
+		t.Fatalf("pdns days = %v", stats.PDNSDays)
+	}
+	if len(stats.ScanAppearances) != 1 || stats.ScanAppearances[0] != 2 {
+		t.Fatalf("scan appearances = %v", stats.ScanAppearances)
+	}
+	if len(stats.CertDelayDays) != 1 || stats.CertDelayDays[0] != 5 {
+		t.Fatalf("cert delays = %v", stats.CertDelayDays)
+	}
+	if got := stats.FracPDNSAtMostOneDay(); got != 1 {
+		t.Errorf("pdns ≤1day = %f", got)
+	}
+	if got := stats.FracSeenInOneScan(); got != 0 {
+		t.Errorf("one-scan = %f", got)
+	}
+	if got := stats.FracSeenInTwoScans(); got != 1 {
+		t.Errorf("two-scan = %f", got)
+	}
+	if got := stats.FracCertSeenWithin8Days(); got != 1 {
+		t.Errorf("≤8 days = %f", got)
+	}
+	if !strings.Contains(stats.String(), "1 hijacked domains") {
+		t.Errorf("stats string: %s", stats.String())
+	}
+}
+
+func TestObservabilityEmptyInputs(t *testing.T) {
+	stats := Observability(nil, nil, pdns.NewDB(), nil)
+	if stats.Total != 0 || stats.FracPDNSAtMostOneDay() != 0 ||
+		stats.FracSeenInOneScan() != 0 || stats.FracSeenInTwoScans() != 0 ||
+		stats.FracCertSeenWithin8Days() != 0 {
+		t.Fatalf("empty stats: %+v", stats)
+	}
+	// Findings without IPs or certs contribute nothing but don't crash.
+	stats = Observability([]*Finding{{Domain: "x.com"}}, nil, pdns.NewDB(), nil)
+	if len(stats.PDNSDays)+len(stats.ScanAppearances)+len(stats.CertDelayDays) != 0 {
+		t.Fatalf("phantom series: %+v", stats)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]int{1, 1, 2, 5, 30}, []int{1, 2, 4, 8})
+	for _, want := range []string{"(0,1]: 2", "(1,2]: 1", "(4,8]: 1", ">8: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+	if Histogram(nil, []int{1}) == "" {
+		t.Error("empty histogram output")
+	}
+}

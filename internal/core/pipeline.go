@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnssecmon"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/pdns"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// Pipeline wires the five methodology steps over the input data sets, the
+// way Figure 1 of the paper composes them.
+type Pipeline struct {
+	Params  Params
+	Dataset *scanner.Dataset
+	Meta    *ipmeta.Directory
+	PDNS    *pdns.DB
+	CT      *ctlog.Log
+	// DNSSEC optionally supplies the §7.1 validation-status monitor log.
+	DNSSEC *dnssecmon.Log
+	// DisablePivot skips step five (ablation: how much does the pivot
+	// contribute?). T1* reuse promotion is also disabled, since it feeds
+	// on pivot-confirmed infrastructure.
+	DisablePivot bool
+}
+
+// FunnelStats counts every stage of the pipeline, mirroring the numbers the
+// paper reports in §4.2–§4.5.
+type FunnelStats struct {
+	// Domains is the number of registered domains with deployment maps.
+	Domains int
+	// Maps is the number of (domain, period) maps built.
+	Maps int
+	// DomainCategories rolls categories up per domain (the paper's 96.5%
+	// stable / 2.95% transition / 0.13% transient / 0.35% noisy split).
+	DomainCategories map[Category]int
+	// MapCategories counts per-map classifications.
+	MapCategories map[Category]int
+	// Shortlisted is the candidate count surviving §4.3 (8143 analogue);
+	// ShortlistedAnomalous the truly-anomalous subset (47 analogue).
+	Shortlisted          int
+	ShortlistedAnomalous int
+	// PruneCounts tallies shortlist rejections by reason.
+	PruneCounts map[PruneReason]int
+	// WorthExamining counts candidates with relevant pDNS/CT data (1256
+	// analogue) — every candidate whose inspection got past the no-data
+	// gate.
+	WorthExamining int
+	// Outcomes tallies inspection outcomes.
+	Outcomes map[InspectOutcome]int
+	// ByMethod tallies final hijacked findings per identification method.
+	ByMethod map[Method]int
+	// PivotFound counts domains identified only by pivoting.
+	PivotFound int
+	// Stitched counts boundary-straddling transients recovered by the
+	// cross-period extension (0 unless Params.StitchPeriods).
+	Stitched int
+}
+
+// String renders the funnel like the paper's running totals.
+func (s FunnelStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "domains=%d maps=%d\n", s.Domains, s.Maps)
+	fmt.Fprintf(&sb, "domain categories: stable=%d transition=%d transient=%d noisy=%d\n",
+		s.DomainCategories[CategoryStable], s.DomainCategories[CategoryTransition],
+		s.DomainCategories[CategoryTransient], s.DomainCategories[CategoryNoisy])
+	fmt.Fprintf(&sb, "shortlisted=%d (truly anomalous=%d) worth-examining=%d\n",
+		s.Shortlisted, s.ShortlistedAnomalous, s.WorthExamining)
+	fmt.Fprintf(&sb, "outcomes: hijacked=%d targeted=%d pending=%d inconclusive=%d no-data=%d\n",
+		s.Outcomes[OutcomeHijacked], s.Outcomes[OutcomeTargeted], s.Outcomes[OutcomePendingReuse],
+		s.Outcomes[OutcomeInconclusive], s.Outcomes[OutcomeNoData])
+	fmt.Fprintf(&sb, "pivot found=%d\n", s.PivotFound)
+	return sb.String()
+}
+
+// Result is the pipeline's full output.
+type Result struct {
+	Funnel FunnelStats
+	// Hijacked and Targeted are the final verdict lists (Tables 2 and 3),
+	// sorted like the paper's tables.
+	Hijacked []*Finding
+	Targeted []*Finding
+	// Candidates carries every shortlisted candidate for diagnostics.
+	Candidates []*Candidate
+	// History maps every observed domain to its per-period category.
+	History map[dnscore.Name]map[simtime.Period]Category
+}
+
+// Findings returns hijacked and targeted findings together.
+func (r *Result) Findings() []*Finding {
+	out := make([]*Finding, 0, len(r.Hijacked)+len(r.Targeted))
+	out = append(out, r.Hijacked...)
+	out = append(out, r.Targeted...)
+	return out
+}
+
+// Run executes the whole methodology and returns the result.
+func (p *Pipeline) Run() *Result {
+	params := p.Params
+	if params == (Params{}) {
+		params = DefaultParams()
+	}
+
+	res := &Result{
+		History: make(map[dnscore.Name]map[simtime.Period]Category),
+		Funnel: FunnelStats{
+			DomainCategories: make(map[Category]int),
+			MapCategories:    make(map[Category]int),
+			PruneCounts:      make(map[PruneReason]int),
+			Outcomes:         make(map[InspectOutcome]int),
+			ByMethod:         make(map[Method]int),
+		},
+	}
+
+	// Step 1 + 2: build and classify deployment maps per period.
+	periods := p.periodsInData()
+	scansByPeriod := make(map[simtime.Period][]simtime.Date, len(periods))
+	for _, period := range periods {
+		scansByPeriod[period] = p.Dataset.ScanDates(period.Start(), period.End())
+	}
+	domains := p.Dataset.Domains()
+	res.Funnel.Domains = len(domains)
+	var transientClasses []*Classification
+	for _, domain := range domains {
+		for _, period := range periods {
+			m := BuildMap(p.Dataset, domain, period)
+			if m == nil {
+				continue
+			}
+			res.Funnel.Maps++
+			c := params.Classify(m, scansByPeriod[period])
+			byPeriod := res.History[domain]
+			if byPeriod == nil {
+				byPeriod = make(map[simtime.Period]Category)
+				res.History[domain] = byPeriod
+			}
+			byPeriod[period] = c.Category
+			res.Funnel.MapCategories[c.Category]++
+			if c.Category == CategoryTransient {
+				transientClasses = append(transientClasses, c)
+			}
+		}
+	}
+	for _, domain := range domains {
+		res.Funnel.DomainCategories[rollupCategory(res.History[domain])]++
+	}
+	if params.StitchPeriods {
+		stitched := p.stitchBoundaryTransients(params, periods, scansByPeriod, res.History)
+		transientClasses = append(transientClasses, stitched...)
+		res.Funnel.Stitched = len(stitched)
+	}
+
+	// Step 3: shortlist.
+	shortlister := &Shortlister{Params: params, Orgs: orgsOf(p.Meta), History: res.History}
+	for _, c := range transientClasses {
+		candidates, pruned := shortlister.Shortlist(c)
+		for _, reason := range pruned {
+			res.Funnel.PruneCounts[reason]++
+		}
+		res.Candidates = append(res.Candidates, candidates...)
+	}
+	res.Funnel.Shortlisted = len(res.Candidates)
+	for _, c := range res.Candidates {
+		// Count candidates kept *because* of the anomaly rule (the
+		// paper's 47), not sensitive candidates that also happen to be
+		// anomalous.
+		if c.TrulyAnomalous && !c.Sensitive {
+			res.Funnel.ShortlistedAnomalous++
+		}
+	}
+
+	// Step 4: inspect.
+	inspector := &Inspector{Params: params, PDNS: p.PDNS, CT: p.CT, DNSSEC: p.DNSSEC}
+	known := make(map[dnscore.Name]bool)
+	var hijacked, targeted, pending []*Finding
+	for _, c := range res.Candidates {
+		f, outcome := inspector.Inspect(c)
+		res.Funnel.Outcomes[outcome]++
+		if outcome != OutcomeNoData {
+			res.Funnel.WorthExamining++
+		}
+		switch outcome {
+		case OutcomeHijacked:
+			hijacked = append(hijacked, f)
+			known[f.Domain] = true
+		case OutcomeTargeted:
+			targeted = append(targeted, f)
+			known[f.Domain] = true
+		case OutcomePendingReuse:
+			pending = append(pending, f)
+			known[f.Domain] = true
+		}
+	}
+
+	// Step 5: pivot on confirmed infrastructure, then promote T1* reuse.
+	pivoter := &Pivoter{Params: params, PDNS: p.PDNS, CT: p.CT, Meta: p.Meta}
+	prevCount := -1
+	if p.DisablePivot {
+		prevCount = len(hijacked) // loop body never runs
+	}
+	for iter := 0; iter < 4 && len(hijacked) != prevCount; iter++ {
+		prevCount = len(hijacked)
+		infra := CollectInfrastructure(hijacked)
+		// Pending T1 attacker IPs are attacker infrastructure candidates;
+		// reuse promotion needs them discoverable by the IP set check.
+		pivots := pivoter.Pivot(infra, known)
+		hijacked = append(hijacked, pivots...)
+		res.Funnel.PivotFound += len(pivots)
+
+		promoted, rest := PromoteReuse(pending, CollectInfrastructure(hijacked))
+		hijacked = append(hijacked, promoted...)
+		pending = rest
+	}
+	// Unpromoted pending findings stay out of the tables (the paper only
+	// reports T1* when infrastructure reuse confirms them).
+	for range pending {
+		res.Funnel.Outcomes[OutcomeInconclusive]++
+	}
+
+	for _, f := range hijacked {
+		res.Funnel.ByMethod[f.Method]++
+	}
+	SortFindings(hijacked)
+	SortFindings(targeted)
+	res.Hijacked = hijacked
+	res.Targeted = targeted
+	return res
+}
+
+// periodsInData returns the study periods covered by the dataset.
+func (p *Pipeline) periodsInData() []simtime.Period {
+	seen := make(map[simtime.Period]bool)
+	var out []simtime.Period
+	for _, d := range p.Dataset.ScanDates(simtime.StudyStart, simtime.StudyEnd) {
+		period := simtime.PeriodOf(d)
+		if !seen[period] {
+			seen[period] = true
+			out = append(out, period)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rollupCategory reduces a domain's per-period categories to one label,
+// with the precedence the paper's domain-level percentages imply: any
+// transient period marks the domain transient; otherwise any transition
+// marks it transition; otherwise majority-noisy marks it noisy; otherwise
+// it is stable.
+func rollupCategory(byPeriod map[simtime.Period]Category) Category {
+	if len(byPeriod) == 0 {
+		return CategoryNoisy
+	}
+	counts := make(map[Category]int)
+	for _, c := range byPeriod {
+		counts[c]++
+	}
+	switch {
+	case counts[CategoryTransient] > 0:
+		return CategoryTransient
+	case counts[CategoryTransition] > 0:
+		return CategoryTransition
+	case counts[CategoryNoisy]*2 >= len(byPeriod):
+		return CategoryNoisy
+	default:
+		return CategoryStable
+	}
+}
+
+func orgsOf(meta *ipmeta.Directory) *ipmeta.OrgTable {
+	if meta == nil {
+		return nil
+	}
+	return meta.Orgs
+}

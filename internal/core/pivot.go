@@ -1,0 +1,248 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/pdns"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// Pivoter implements step five (paper §4.5): starting from the attacker
+// infrastructure of confirmed hijacks, search passive DNS for other domains
+// that delegated to the same nameservers (P-NS) or resolved to the same IP
+// addresses (P-IP). This recovers victims whose deployment maps never
+// flagged — domains with no scannable stable infrastructure, or with maps
+// too busy to isolate a transient.
+type Pivoter struct {
+	Params Params
+	PDNS   *pdns.DB
+	CT     *ctlog.Log
+	Meta   *ipmeta.Directory
+}
+
+// Infrastructure is the attacker asset set extracted from findings.
+type Infrastructure struct {
+	IPs map[string]bool       // attacker IP addresses (string form)
+	NSs map[dnscore.Name]bool // attacker nameserver names
+}
+
+// CollectInfrastructure gathers the attacker assets of confirmed hijacks.
+func CollectInfrastructure(findings []*Finding) Infrastructure {
+	infra := Infrastructure{IPs: make(map[string]bool), NSs: make(map[dnscore.Name]bool)}
+	for _, f := range findings {
+		if f.Verdict != VerdictHijacked {
+			continue
+		}
+		if f.AttackerIP.IsValid() {
+			infra.IPs[f.AttackerIP.String()] = true
+		}
+		for _, ns := range f.AttackerNS {
+			infra.NSs[ns] = true
+		}
+	}
+	return infra
+}
+
+// Pivot searches pDNS for domains touched by the attacker infrastructure
+// that are not already known, returning new hijacked findings.
+func (p *Pivoter) Pivot(infra Infrastructure, known map[dnscore.Name]bool) []*Finding {
+	var out []*Finding
+	claim := func(domain dnscore.Name) bool {
+		if domain == "" || known[domain] {
+			return false
+		}
+		known[domain] = true
+		return true
+	}
+
+	// P-NS: other domains delegated to a confirmed attacker nameserver.
+	// Runs before the IP pivot so that victims discoverable both ways are
+	// attributed to the delegation evidence, which is the stronger signal.
+	for _, ns := range sortedNames(infra.NSs) {
+		for _, e := range p.PDNS.WhoResolvedTo(string(ns)) {
+			if e.Type != dnscore.TypeNS {
+				continue
+			}
+			// A nameserver under the delegated domain itself is ordinary
+			// self-hosting (and catches the attacker's own nameserver
+			// domain), not a victim delegation.
+			if ns.IsSubdomainOf(e.Name) {
+				continue
+			}
+			domain := registeredOrSelf(e.Name)
+			if !claim(domain) {
+				continue
+			}
+			f := p.newPivotFinding(domain, e, MethodPivotNS)
+			f.AttackerNS = append(f.AttackerNS, ns)
+			// Recover the redirection target: a short-lived A row under
+			// the domain first seen inside the pivot window — "the
+			// anomalous nameservers returned resolutions to a server in
+			// the attacker AS" (paper §5.1, fiu.gov.kg).
+			if ip, name, when := p.anomalousResolution(domain, e.FirstSeen); ip.IsValid() {
+				f.AttackerIP = ip
+				if f.Sub == "" {
+					f.Sub = subLabel(domain, name)
+				}
+				if when < f.Date {
+					f.Date = when
+				}
+			}
+			p.annotateAttacker(f)
+			p.corroborateCT(f, e.FirstSeen)
+			out = append(out, f)
+		}
+	}
+
+	// P-IP: other names resolving to a confirmed attacker IP.
+	for _, ip := range sortedKeys(infra.IPs) {
+		for _, e := range p.PDNS.WhoResolvedTo(ip) {
+			if e.Type != dnscore.TypeA {
+				continue
+			}
+			domain := registeredOrSelf(e.Name)
+			if !claim(domain) {
+				continue
+			}
+			f := p.newPivotFinding(domain, e, MethodPivotIP)
+			f.AttackerIP, _ = netip.ParseAddr(ip)
+			p.annotateAttacker(f)
+			p.corroborateCT(f, e.FirstSeen)
+			out = append(out, f)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+func (p *Pivoter) newPivotFinding(domain dnscore.Name, e pdns.Entry, method Method) *Finding {
+	f := &Finding{
+		Domain:  domain,
+		Method:  method,
+		Verdict: VerdictHijacked,
+		Date:    e.FirstSeen,
+		PDNS:    true,
+		Sub:     subLabel(domain, e.Name),
+	}
+	return f
+}
+
+// anomalousResolution finds the most suspicious A row under the domain
+// around the pivot date: first seen inside the window, short-lived, and not
+// part of the domain's pre-window baseline.
+func (p *Pivoter) anomalousResolution(domain dnscore.Name, around simtime.Date) (netip.Addr, dnscore.Name, simtime.Date) {
+	slack := simtime.Duration(p.Params.InspectSlackDays)
+	w := window{from: around.Add(-slack), to: around.Add(slack)}
+	baseline := make(map[string]bool)
+	type hit struct {
+		ip   netip.Addr
+		name dnscore.Name
+		when simtime.Date
+	}
+	var hits []hit
+	for _, e := range p.PDNS.SubdomainResolutions(domain) {
+		if e.Type != dnscore.TypeA {
+			continue
+		}
+		if e.FirstSeen < w.from {
+			baseline[e.Data] = true
+			continue
+		}
+		if !w.contains(e.FirstSeen) {
+			continue
+		}
+		if int(e.LastSeen.Sub(e.FirstSeen)) > p.Params.TransientMaxDays {
+			continue
+		}
+		if ip, err := netip.ParseAddr(e.Data); err == nil {
+			hits = append(hits, hit{ip: ip, name: e.Name, when: e.FirstSeen})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].when < hits[j].when })
+	for _, h := range hits {
+		if !baseline[h.ip.String()] {
+			return h.ip, h.name, h.when
+		}
+	}
+	return netip.Addr{}, "", 0
+}
+
+// annotateAttacker fills ASN and country for the attacker IP.
+func (p *Pivoter) annotateAttacker(f *Finding) {
+	if p.Meta == nil || !f.AttackerIP.IsValid() {
+		return
+	}
+	f.AttackerASN, f.AttackerCC = p.Meta.Annotate(f.AttackerIP)
+}
+
+// corroborateCT attaches the suspicious certificate issued for the domain
+// around the pivot date, when CT holds one.
+func (p *Pivoter) corroborateCT(f *Finding, around simtime.Date) {
+	if p.CT == nil {
+		return
+	}
+	slack := simtime.Date(p.Params.InspectSlackDays)
+	entries := p.CT.SearchApex(ctlog.Query{Name: f.Domain, From: around - slack, To: around + slack + 1})
+	for _, e := range entries {
+		target := pickTarget(f.Domain, e.Cert)
+		if target == "" {
+			continue
+		}
+		f.CT = true
+		f.CrtShID = e.ID
+		f.IssuerCA = e.Cert.Issuer
+		f.CertFP = e.Cert.Fingerprint()
+		if f.Sub == "" {
+			f.Sub = subLabel(f.Domain, target)
+		}
+		if scanner.IsSensitiveName(target) {
+			break // prefer the sensitive-name certificate
+		}
+	}
+}
+
+// PromoteReuse upgrades pending T1 findings whose attacker IP matches the
+// confirmed infrastructure to hijacked with method T1* (paper §5.2). The
+// others stay unconfirmed and are dropped by the caller.
+func PromoteReuse(pending []*Finding, infra Infrastructure) (promoted, dropped []*Finding) {
+	for _, f := range pending {
+		if f.AttackerIP.IsValid() && infra.IPs[f.AttackerIP.String()] {
+			f.Method = MethodT1Star
+			f.Verdict = VerdictHijacked
+			promoted = append(promoted, f)
+		} else {
+			dropped = append(dropped, f)
+		}
+	}
+	return promoted, dropped
+}
+
+func registeredOrSelf(name dnscore.Name) dnscore.Name {
+	if rd := name.RegisteredDomain(); rd != "" {
+		return rd
+	}
+	return name
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedNames(m map[dnscore.Name]bool) []dnscore.Name {
+	out := make([]dnscore.Name, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"net/netip"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// Cross-period stitching. The paper evaluates each six-month period
+// independently, which makes transients that straddle a period boundary
+// (the real Kyrgyzstan wave ran December 22–January 12) look like two
+// edge-touching partial deployments, neither classifiable as transient.
+// With Params.StitchPeriods enabled, the pipeline additionally examines
+// consecutive period pairs: a deployment that appears at the tail of one
+// period and disappears early in the next, with a combined lifetime within
+// the transient threshold and a stable background on both sides, is
+// synthesized into a transient classification and fed to the shortlist
+// like any other.
+
+// stitchBoundaryTransients scans consecutive period pairs of every domain
+// for boundary-straddling transients. History is consulted to avoid
+// re-flagging domains already transient in either period.
+func (p *Pipeline) stitchBoundaryTransients(params Params, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, history map[dnscore.Name]map[simtime.Period]Category) []*Classification {
+	var out []*Classification
+	for _, domain := range p.Dataset.Domains() {
+		byPeriod := history[domain]
+		for i := 0; i+1 < len(periods); i++ {
+			a, b := periods[i], periods[i+1]
+			if byPeriod[a] == CategoryTransient || byPeriod[b] == CategoryTransient {
+				continue // already handled by single-period analysis
+			}
+			if c := p.stitchPair(params, domain, a, b, scansByPeriod); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func (p *Pipeline) stitchPair(params Params, domain dnscore.Name, a, b simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date) *Classification {
+	mapA := BuildMap(p.Dataset, domain, a)
+	mapB := BuildMap(p.Dataset, domain, b)
+	if mapA == nil || mapB == nil {
+		return nil
+	}
+	scansA, scansB := scansByPeriod[a], scansByPeriod[b]
+	if len(scansA) < 4 || len(scansB) < 4 {
+		return nil
+	}
+	clsA := params.Classify(mapA, scansA)
+	clsB := params.Classify(mapB, scansB)
+	// A stable background must exist on both sides — the transient is
+	// anomalous relative to it.
+	if len(clsA.Stables) == 0 || len(clsB.Stables) == 0 {
+		return nil
+	}
+
+	margin := params.EdgeMarginScans
+	byASN := func(deps []*Deployment) map[ipmeta.ASN]*Deployment {
+		m := make(map[ipmeta.ASN]*Deployment, len(deps))
+		for _, d := range deps {
+			m[d.ASN] = d
+		}
+		return m
+	}
+	depsB := byASN(mapB.Deployments)
+	stableASNs := map[ipmeta.ASN]bool{}
+	for _, s := range append(append([]*Deployment{}, clsA.Stables...), clsB.Stables...) {
+		stableASNs[s.ASN] = true
+	}
+
+	for _, dA := range mapA.Deployments {
+		if stableASNs[dA.ASN] {
+			continue
+		}
+		dB, ok := depsB[dA.ASN]
+		if !ok {
+			continue
+		}
+		// dA must run into the end of period a; dB must start at the
+		// beginning of period b; both must be interior otherwise.
+		if dA.Last() < scansA[len(scansA)-1-margin] {
+			continue
+		}
+		if dB.First() > scansB[margin] {
+			continue
+		}
+		if dA.First() <= scansA[margin] {
+			continue // present from the start of a: not an appearance
+		}
+		if dB.Last() >= scansB[len(scansB)-1-margin] {
+			continue // persists through b: a transition, not a transient
+		}
+		span := int(dB.Last().Sub(dA.First())) + simtime.DaysPerWeek
+		if span > params.TransientMaxDays {
+			continue
+		}
+		merged := mergeDeployments(dA, dB)
+		stables := append(append([]*Deployment{}, clsA.Stables...), clsB.Stables...)
+		pattern := PatternT2
+		for fp := range merged.Certs {
+			servedByStable := false
+			for _, s := range stables {
+				if _, ok := s.Certs[fp]; ok {
+					servedByStable = true
+					break
+				}
+			}
+			if !servedByStable {
+				pattern = PatternT1
+				break
+			}
+		}
+		// The synthetic map lives in period a (where the transient began)
+		// and carries the merged deployment plus the stable background.
+		synthetic := &DeploymentMap{
+			Domain:       domain,
+			Period:       a,
+			Deployments:  append([]*Deployment{merged}, clsA.Stables...),
+			PresentScans: mapA.PresentScans,
+			TotalScans:   mapA.TotalScans,
+		}
+		return &Classification{
+			Map:               synthetic,
+			Category:          CategoryTransient,
+			Pattern:           pattern,
+			Transients:        []*Deployment{merged},
+			TransientPatterns: []Pattern{pattern},
+			Stables:           clsA.Stables,
+		}
+	}
+	return nil
+}
+
+// mergeDeployments combines the two halves of a boundary-straddling
+// deployment into one longitudinal deployment.
+func mergeDeployments(a, b *Deployment) *Deployment {
+	m := &Deployment{
+		ASN:       a.ASN,
+		IPs:       make(map[netip.Addr]bool, len(a.IPs)+len(b.IPs)),
+		Countries: make(map[ipmeta.CountryCode]bool, len(a.Countries)+len(b.Countries)),
+		Certs:     make(map[x509lite.Fingerprint]*x509lite.Certificate, len(a.Certs)+len(b.Certs)),
+	}
+	for _, src := range []*Deployment{a, b} {
+		for ip := range src.IPs {
+			m.IPs[ip] = true
+		}
+		for cc := range src.Countries {
+			m.Countries[cc] = true
+		}
+		for fp, c := range src.Certs {
+			m.Certs[fp] = c
+		}
+		m.Records = append(m.Records, src.Records...)
+		m.ScanDates = append(m.ScanDates, src.ScanDates...)
+	}
+	return m
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/pdns"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// boundaryPipeline fabricates the real Kyrgyzstan timing problem: a
+// transient whose scan appearances straddle the boundary between periods 1
+// and 2 — two scans at the tail of period 1, two at the head of period 2.
+// Per-period analysis sees two edge-touching partials; only cross-period
+// stitching can classify it.
+func boundaryPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	stable := cert(1, "mail.straddle.gov.kg")
+	evil := cert(2, "mail.straddle.gov.kg")
+
+	p1 := simtime.Period(1)
+	scans1 := simtime.ScansInPeriod(1)
+	scans2 := simtime.ScansInPeriod(2)
+	// Transient visible in the last two scans of period 1 and the first
+	// two of period 2 (~4 weeks total).
+	visible := map[simtime.Date]bool{
+		scans1[len(scans1)-2]: true,
+		scans1[len(scans1)-1]: true,
+		scans2[0]:             true,
+		scans2[1]:             true,
+	}
+	hijackDay := scans1[len(scans1)-2] - 1
+	evil.NotBefore, evil.NotAfter = hijackDay, hijackDay+90
+	coreKey.Sign(evil)
+
+	ds := scanner.NewDataset()
+	for _, period := range []simtime.Period{0, 1, 2, 3} {
+		for _, d := range simtime.ScansInPeriod(period) {
+			recs := []*scanner.Record{rec(d, "84.205.3.1", 39659, "KG", stable)}
+			if visible[d] {
+				recs = append(recs, rec(d, "94.103.91.159", 48282, "RU", evil))
+			}
+			ds.AddScan(d, recs)
+		}
+	}
+
+	db := pdns.NewDB()
+	db.Record(0, "straddle.gov.kg", dnscore.TypeNS, "ns1.infocom.kg")
+	db.Record(simtime.StudyEnd-1, "straddle.gov.kg", dnscore.TypeNS, "ns1.infocom.kg")
+	db.Record(0, "mail.straddle.gov.kg", dnscore.TypeA, "84.205.3.1")
+	db.Record(hijackDay, "straddle.gov.kg", dnscore.TypeNS, "ns1.kg-infocom.ru")
+	db.Record(hijackDay+1, "mail.straddle.gov.kg", dnscore.TypeA, "94.103.91.159")
+
+	log := ctlog.NewLog("stitch", 9000)
+	if _, err := log.Submit(stable, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Submit(evil, hijackDay); err != nil {
+		t.Fatal(err)
+	}
+
+	meta := ipmeta.NewDirectory()
+	meta.Prefixes.MustAnnounce("94.103.91.0/24", 48282)
+	meta.Geo.MustAddPrefix("94.103.91.0/24", "RU")
+	meta.Prefixes.MustAnnounce("84.205.0.0/16", 39659)
+	meta.Geo.MustAddPrefix("84.205.0.0/16", "KG")
+	_ = p1
+
+	return &Pipeline{Dataset: ds, Meta: meta, PDNS: db, CT: log}
+}
+
+func TestBoundaryTransientMissedWithoutStitching(t *testing.T) {
+	p := boundaryPipeline(t)
+	p.Params = DefaultParams()
+	res := p.Run()
+	if len(res.Findings()) != 0 {
+		t.Fatalf("per-period analysis unexpectedly found: %v", res.Findings())
+	}
+	// The straddling halves classify as transition/partial, not transient.
+	if res.Funnel.DomainCategories[CategoryTransient] != 0 {
+		t.Fatalf("transient domains = %d", res.Funnel.DomainCategories[CategoryTransient])
+	}
+}
+
+func TestBoundaryTransientFoundWithStitching(t *testing.T) {
+	p := boundaryPipeline(t)
+	params := DefaultParams()
+	params.StitchPeriods = true
+	p.Params = params
+	res := p.Run()
+
+	if res.Funnel.Stitched != 1 {
+		t.Fatalf("stitched = %d", res.Funnel.Stitched)
+	}
+	if len(res.Hijacked) != 1 {
+		t.Fatalf("hijacked = %d (%v)", len(res.Hijacked), res.Findings())
+	}
+	f := res.Hijacked[0]
+	if f.Domain != "straddle.gov.kg" || f.Method != MethodT1 {
+		t.Fatalf("finding: %+v", f)
+	}
+	if !f.PDNS || !f.CT {
+		t.Fatalf("corroboration: pdns=%v ct=%v", f.PDNS, f.CT)
+	}
+	if f.AttackerIP.String() != "94.103.91.159" {
+		t.Fatalf("attacker IP: %v", f.AttackerIP)
+	}
+}
+
+// TestStitchingIgnoresTransitions: a provider switch that crosses the
+// boundary and persists is NOT stitched into a transient.
+func TestStitchingIgnoresTransitions(t *testing.T) {
+	oldCert := cert(11, "www.mover-st.com")
+	newCert := cert(12, "www.mover-st.com")
+	scans1 := simtime.ScansInPeriod(1)
+	switchAt := scans1[len(scans1)-2]
+
+	ds := scanner.NewDataset()
+	for _, period := range []simtime.Period{0, 1, 2, 3} {
+		for _, d := range simtime.ScansInPeriod(period) {
+			var recs []*scanner.Record
+			if d < switchAt {
+				recs = append(recs, rec(d, "84.205.3.1", 35506, "GR", oldCert))
+			} else {
+				recs = append(recs, rec(d, "95.179.2.1", 20473, "NL", newCert))
+			}
+			ds.AddScan(d, recs)
+		}
+	}
+	params := DefaultParams()
+	params.StitchPeriods = true
+	p := &Pipeline{Params: params, Dataset: ds, PDNS: pdns.NewDB(), CT: ctlog.NewLog("x", 1)}
+	res := p.Run()
+	if res.Funnel.Stitched != 0 {
+		t.Fatalf("transition stitched into transient: %d", res.Funnel.Stitched)
+	}
+	if len(res.Findings()) != 0 {
+		t.Fatalf("transition flagged: %v", res.Findings())
+	}
+}

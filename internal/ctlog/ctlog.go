@@ -1,0 +1,224 @@
+// Package ctlog implements a Certificate Transparency log and the crt.sh-
+// style search service the paper queries in its inspection stage. The log
+// is an RFC 6962 Merkle tree (internal/merkle) over serialized certificate
+// entries; every submission is timestamped on the simulation calendar and
+// assigned a sequential entry ID, the analogue of a crt.sh ID. A search
+// index keyed by exact name and by registered domain answers the queries
+// "which certificates were ever issued for this domain, and when?".
+package ctlog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/merkle"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// Entry is one logged certificate.
+type Entry struct {
+	// ID is the sequential log entry identifier (the crt.sh ID analogue).
+	ID int64
+	// Cert is the logged certificate.
+	Cert *x509lite.Certificate
+	// LoggedAt is the submission date; for the simulated CAs this equals
+	// the issuance date, as CT submission precedes issuance under the
+	// browsers' SCT requirements.
+	LoggedAt simtime.Date
+	// Index is the Merkle leaf index.
+	Index int
+}
+
+// SCT is the signed certificate timestamp handed back to the submitting CA.
+type SCT struct {
+	LogID     string
+	EntryID   int64
+	Timestamp simtime.Date
+	LeafHash  merkle.Hash
+}
+
+// Log is an append-only certificate transparency log with a search index.
+type Log struct {
+	id string
+
+	mu      sync.RWMutex
+	tree    *merkle.Tree
+	entries []*Entry
+	byName  map[dnscore.Name][]*Entry // exact SAN match
+	byApex  map[dnscore.Name][]*Entry // registered-domain match
+	byFP    map[x509lite.Fingerprint]*Entry
+	nextID  int64
+}
+
+// NewLog creates an empty log. The id distinguishes logs when several are
+// in play (e.g. per-CA logs); firstID seeds the entry-ID sequence so that
+// reproduced tables can match the paper's crt.sh ID magnitudes.
+func NewLog(id string, firstID int64) *Log {
+	return &Log{
+		id:     id,
+		tree:   merkle.NewTree(),
+		byName: make(map[dnscore.Name][]*Entry),
+		byApex: make(map[dnscore.Name][]*Entry),
+		byFP:   make(map[x509lite.Fingerprint]*Entry),
+		nextID: firstID,
+	}
+}
+
+// ID returns the log identifier.
+func (l *Log) ID() string { return l.id }
+
+// ErrDuplicate is returned when the identical certificate is resubmitted.
+var ErrDuplicate = errors.New("ctlog: certificate already logged")
+
+// Submit appends a certificate to the log at the given date and returns the
+// SCT. Duplicate submissions (same fingerprint) are rejected with the
+// original entry available via Lookup.
+func (l *Log) Submit(cert *x509lite.Certificate, at simtime.Date) (SCT, error) {
+	fp := cert.Fingerprint()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.byFP[fp]; dup {
+		return SCT{}, fmt.Errorf("%w: %s", ErrDuplicate, fp)
+	}
+	leaf := l.serializeEntry(cert, at)
+	index := l.tree.Append(leaf)
+	e := &Entry{ID: l.nextID, Cert: cert, LoggedAt: at, Index: index}
+	l.nextID++
+	l.entries = append(l.entries, e)
+	l.byFP[fp] = e
+	seenApex := make(map[dnscore.Name]bool)
+	for _, san := range cert.SANs {
+		l.byName[san] = append(l.byName[san], e)
+		apex := san.RegisteredDomain()
+		if apex != "" && !seenApex[apex] {
+			seenApex[apex] = true
+			l.byApex[apex] = append(l.byApex[apex], e)
+		}
+	}
+	return SCT{LogID: l.id, EntryID: e.ID, Timestamp: at, LeafHash: merkle.HashLeaf(leaf)}, nil
+}
+
+// serializeEntry produces the Merkle leaf bytes for a submission.
+func (l *Log) serializeEntry(cert *x509lite.Certificate, at simtime.Date) []byte {
+	return []byte(fmt.Sprintf("%d|%s|%s", int64(at), cert.Fingerprint().Hex(), cert.IssuerID))
+}
+
+// Size returns the number of logged entries.
+func (l *Log) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Root returns the current tree head.
+func (l *Log) Root() merkle.Hash {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.Root()
+}
+
+// Entry returns the entry with the given ID.
+func (l *Log) Entry(id int64) (*Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, e := range l.entries {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Entries returns every logged entry in submission order; used by
+// exporters and auditors.
+func (l *Log) Entries() []*Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]*Entry(nil), l.entries...)
+}
+
+// Lookup returns the entry for a certificate fingerprint.
+func (l *Log) Lookup(fp x509lite.Fingerprint) (*Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.byFP[fp]
+	return e, ok
+}
+
+// ProveInclusion returns an inclusion proof for the entry in the current
+// tree, verifiable against Root().
+func (l *Log) ProveInclusion(e *Entry) ([]merkle.Hash, int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	proof, err := l.tree.InclusionProof(e.Index, l.tree.Size())
+	return proof, l.tree.Size(), err
+}
+
+// ProveConsistency returns a consistency proof between two tree sizes.
+func (l *Log) ProveConsistency(m, n int) ([]merkle.Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.ConsistencyProof(m, n)
+}
+
+// RootAt returns the tree head at a historical size, for auditors.
+func (l *Log) RootAt(size int) merkle.Hash {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.RootAt(size)
+}
+
+// Query mirrors a crt.sh search: find certificates for a name, optionally
+// bounded to a date window (inclusive of From, exclusive of To; zero values
+// disable the bound). Identity matches exact SANs; registered-domain
+// queries (SearchApex) return every certificate under the domain.
+type Query struct {
+	Name dnscore.Name
+	From simtime.Date
+	To   simtime.Date
+}
+
+func (q Query) matches(e *Entry) bool {
+	if q.To > 0 && e.LoggedAt >= q.To {
+		return false
+	}
+	if e.LoggedAt < q.From {
+		return false
+	}
+	return true
+}
+
+// Search returns entries whose SANs exactly include the queried name,
+// ordered by log time.
+func (l *Log) Search(q Query) []*Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return filterEntries(l.byName[q.Name], q)
+}
+
+// SearchApex returns entries securing any name under the queried registered
+// domain, ordered by log time — crt.sh's "%.domain" search.
+func (l *Log) SearchApex(q Query) []*Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	apex := q.Name.RegisteredDomain()
+	if apex == "" {
+		apex = q.Name
+	}
+	return filterEntries(l.byApex[apex], q)
+}
+
+func filterEntries(entries []*Entry, q Query) []*Entry {
+	var out []*Entry
+	for _, e := range entries {
+		if q.matches(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LoggedAt < out[j].LoggedAt })
+	return out
+}

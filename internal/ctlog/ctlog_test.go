@@ -1,0 +1,201 @@
+package ctlog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/merkle"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+var testKey = x509lite.NewSigningKey("le-key", 7)
+
+func mkCert(serial uint64, sans ...dnscore.Name) *x509lite.Certificate {
+	c := &x509lite.Certificate{
+		Serial:    serial,
+		Subject:   sans[0],
+		SANs:      sans,
+		Issuer:    "Let's Encrypt",
+		NotBefore: 100,
+		NotAfter:  190,
+		Method:    x509lite.ValidationDNS01,
+	}
+	testKey.Sign(c)
+	return c
+}
+
+func TestSubmitAndLookup(t *testing.T) {
+	log := NewLog("sim-log", 3810274168)
+	cert := mkCert(1, "mail.mfa.gov.kg")
+	sct, err := log.Submit(cert, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sct.EntryID != 3810274168 {
+		t.Errorf("first entry ID = %d", sct.EntryID)
+	}
+	if sct.LogID != "sim-log" || sct.Timestamp != 100 {
+		t.Errorf("SCT fields wrong: %+v", sct)
+	}
+	e, ok := log.Lookup(cert.Fingerprint())
+	if !ok || e.Cert != cert {
+		t.Fatal("Lookup failed")
+	}
+	e2, ok := log.Entry(3810274168)
+	if !ok || e2 != e {
+		t.Fatal("Entry by ID failed")
+	}
+	if _, ok := log.Entry(999); ok {
+		t.Fatal("phantom entry found")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	log := NewLog("sim-log", 1)
+	cert := mkCert(1, "mail.example.com")
+	if _, err := log.Submit(cert, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Submit(cert, 101); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if log.Size() != 1 {
+		t.Fatalf("Size = %d", log.Size())
+	}
+}
+
+func TestSearchExactAndApex(t *testing.T) {
+	log := NewLog("sim-log", 1)
+	a := mkCert(1, "mail.mfa.gov.kg")
+	b := mkCert(2, "www.mfa.gov.kg")
+	c := mkCert(3, "mail.invest.gov.kg")
+	for i, cert := range []*x509lite.Certificate{a, b, c} {
+		if _, err := log.Submit(cert, simtime.Date(100+i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := log.Search(Query{Name: "mail.mfa.gov.kg"})
+	if len(got) != 1 || got[0].Cert != a {
+		t.Fatalf("exact search: %v", got)
+	}
+	got = log.SearchApex(Query{Name: "mfa.gov.kg"})
+	if len(got) != 2 {
+		t.Fatalf("apex search found %d", len(got))
+	}
+	// Apex search from a subdomain finds the same set.
+	got = log.SearchApex(Query{Name: "anything.mfa.gov.kg"})
+	if len(got) != 2 {
+		t.Fatalf("apex-from-sub search found %d", len(got))
+	}
+	if got[0].LoggedAt > got[1].LoggedAt {
+		t.Fatal("results not time-ordered")
+	}
+}
+
+func TestSearchWindow(t *testing.T) {
+	log := NewLog("sim-log", 1)
+	for i := 0; i < 5; i++ {
+		cert := mkCert(uint64(i+1), "mail.example.com")
+		cert.NotBefore = simtime.Date(100 + i)
+		testKey.Sign(cert)
+		if _, err := log.Submit(cert, simtime.Date(100+i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := log.Search(Query{Name: "mail.example.com", From: 110, To: 130})
+	if len(got) != 2 {
+		t.Fatalf("windowed search found %d", len(got))
+	}
+	for _, e := range got {
+		if e.LoggedAt < 110 || e.LoggedAt >= 130 {
+			t.Errorf("entry outside window: %d", e.LoggedAt)
+		}
+	}
+	if got := log.Search(Query{Name: "absent.example.com"}); got != nil {
+		t.Fatalf("search for absent name: %v", got)
+	}
+}
+
+func TestMultiSANIndexing(t *testing.T) {
+	log := NewLog("sim-log", 1)
+	cert := mkCert(9, "mbox.cyta.com.cy", "webmail.cyta.com.cy", "owa.cyta.com.cy")
+	if _, err := log.Submit(cert, 50); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cert.SANs {
+		if got := log.Search(Query{Name: name}); len(got) != 1 {
+			t.Errorf("SAN %s not indexed", name)
+		}
+	}
+	// All SANs share the apex; the entry must appear once, not thrice.
+	if got := log.SearchApex(Query{Name: "cyta.com.cy"}); len(got) != 1 {
+		t.Errorf("apex dedup failed: %d entries", len(got))
+	}
+	// Names directly under a public suffix (e.g. webmail.gov.cy) are their
+	// own registered domains — exactly how the paper's gov.cy victims
+	// appear — so they index under themselves.
+	cert2 := mkCert(10, "webmail.gov.cy")
+	if _, err := log.Submit(cert2, 51); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.SearchApex(Query{Name: "webmail.gov.cy"}); len(got) != 1 {
+		t.Errorf("suffix-child apex search found %d", len(got))
+	}
+}
+
+func TestInclusionProofVerifies(t *testing.T) {
+	log := NewLog("sim-log", 1)
+	var scts []SCT
+	for i := 0; i < 20; i++ {
+		sct, err := log.Submit(mkCert(uint64(i+1), dnscore.Name(fmt.Sprintf("h%d.example.com", i))), simtime.Date(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scts = append(scts, sct)
+	}
+	root := log.Root()
+	for i, sct := range scts {
+		e, _ := log.Entry(sct.EntryID)
+		proof, size, err := log.ProveInclusion(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merkle.VerifyInclusion(sct.LeafHash, e.Index, size, proof, root) {
+			t.Fatalf("inclusion proof %d failed", i)
+		}
+	}
+}
+
+func TestConsistencyAcrossGrowth(t *testing.T) {
+	log := NewLog("sim-log", 1)
+	for i := 0; i < 8; i++ {
+		if _, err := log.Submit(mkCert(uint64(i+1), dnscore.Name(fmt.Sprintf("a%d.example.com", i))), simtime.Date(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldRoot, oldSize := log.Root(), log.Size()
+	for i := 8; i < 20; i++ {
+		if _, err := log.Submit(mkCert(uint64(i+1), dnscore.Name(fmt.Sprintf("a%d.example.com", i))), simtime.Date(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proof, err := log.ProveConsistency(oldSize, log.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merkle.VerifyConsistency(oldSize, log.Size(), oldRoot, log.Root(), proof) {
+		t.Fatal("consistency across growth failed")
+	}
+	if log.RootAt(oldSize) != oldRoot {
+		t.Fatal("historical root changed")
+	}
+}
+
+func TestLogID(t *testing.T) {
+	if NewLog("x", 1).ID() != "x" {
+		t.Fatal("ID accessor wrong")
+	}
+}

@@ -1,0 +1,214 @@
+package dnscore
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DNSSEC support, structural rather than cryptographically secure (like
+// the rest of the simulation's crypto): zone keys are HMAC-SHA256 keys
+// whose "public" form is published in DNSKEY records, RRSIGs are MACs over
+// a canonical RRset encoding, and DS records carry the SHA-256 digest of
+// the child's DNSKEY rdata. The trust model mirrors real DNSSEC exactly:
+// a resolver with the root key as trust anchor walks DS → DNSKEY → RRSIG
+// down the delegation chain, and a missing DS makes the subtree Insecure
+// while a broken signature makes it Bogus.
+//
+// The paper's relevance (§2.2): DNSSEC does not stop infrastructure
+// hijacks because the attacker controls the very registry/registrar state
+// that publishes the DS — they simply strip it. That downgrade
+// (Secure → Insecure) is itself an observable signal, which §7.1 proposes
+// as an extension; internal/core implements it as extra corroboration.
+
+// Additional record types for DNSSEC.
+const (
+	TypeRRSIG  Type = 46
+	TypeDNSKEY Type = 48
+)
+
+func init() {
+	typeNames[TypeRRSIG] = "RRSIG"
+	typeNames[TypeDNSKEY] = "DNSKEY"
+	typeNames[TypeDS] = "DS"
+}
+
+// ZoneKey is a zone-signing key. The simulation collapses KSK/ZSK into a
+// single key per zone.
+type ZoneKey struct {
+	// Zone is the apex the key signs.
+	Zone Name
+	// ID is the key tag embedded in RRSIG records.
+	ID string
+	// Secret is the MAC key; its hex form doubles as the "public key"
+	// published in the DNSKEY record (symmetric crypto stands in for
+	// asymmetric, as elsewhere in the simulation).
+	Secret []byte
+}
+
+// NewZoneKey derives a deterministic signing key for a zone.
+func NewZoneKey(zone Name, seed int64) *ZoneKey {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("zone-key|%s|%d", zone, seed)))
+	id := hex.EncodeToString(sum[:4])
+	return &ZoneKey{Zone: zone, ID: id, Secret: sum[:]}
+}
+
+// DNSKEY returns the zone's public key record.
+func (k *ZoneKey) DNSKEY() RR {
+	return RR{Name: k.Zone, Type: TypeDNSKEY, Class: ClassIN, TTL: 3600,
+		Data: k.ID + " " + hex.EncodeToString(k.Secret)}
+}
+
+// parseDNSKEY extracts the key tag and secret from DNSKEY rdata.
+func parseDNSKEY(data string) (id string, secret []byte, err error) {
+	parts := strings.Fields(data)
+	if len(parts) != 2 {
+		return "", nil, fmt.Errorf("dnscore: malformed DNSKEY %q", data)
+	}
+	secret, err = hex.DecodeString(parts[1])
+	if err != nil {
+		return "", nil, fmt.Errorf("dnscore: malformed DNSKEY key material: %w", err)
+	}
+	return parts[0], secret, nil
+}
+
+// DS returns the delegation-signer record the parent publishes for this
+// key: the digest of the DNSKEY rdata.
+func (k *ZoneKey) DS() RR {
+	sum := sha256.Sum256([]byte(k.DNSKEY().Data))
+	return RR{Name: k.Zone, Type: TypeDS, Class: ClassIN, TTL: 3600,
+		Data: k.ID + " " + hex.EncodeToString(sum[:16])}
+}
+
+// DSMatchesKey reports whether a DS record's digest commits to the DNSKEY
+// rdata.
+func DSMatchesKey(ds RR, dnskey RR) bool {
+	parts := strings.Fields(ds.Data)
+	if len(parts) != 2 || ds.Type != TypeDS || dnskey.Type != TypeDNSKEY {
+		return false
+	}
+	sum := sha256.Sum256([]byte(dnskey.Data))
+	return parts[1] == hex.EncodeToString(sum[:16])
+}
+
+// canonicalRRSet is the byte string a signature covers: name, type, and
+// the sorted record data.
+func canonicalRRSet(name Name, typ Type, rrs RRSet) []byte {
+	datas := make([]string, 0, len(rrs))
+	for _, r := range rrs {
+		if r.Name == name && r.Type == typ {
+			datas = append(datas, r.Data)
+		}
+	}
+	sort.Strings(datas)
+	return []byte(fmt.Sprintf("%s|%d|%s", name, typ, strings.Join(datas, "\x00")))
+}
+
+// Sign produces the RRSIG record covering the (name, typ) set in rrs.
+func (k *ZoneKey) Sign(name Name, typ Type, rrs RRSet) RR {
+	mac := hmac.New(sha256.New, k.Secret)
+	mac.Write(canonicalRRSet(name, typ, rrs))
+	return RR{Name: name, Type: TypeRRSIG, Class: ClassIN, TTL: 3600,
+		Data: fmt.Sprintf("%d %s %s", uint16(typ), k.ID, hex.EncodeToString(mac.Sum(nil)))}
+}
+
+// RRSIGCovers parses an RRSIG's covered type and key tag.
+func RRSIGCovers(sig RR) (Type, string, bool) {
+	parts := strings.Fields(sig.Data)
+	if sig.Type != TypeRRSIG || len(parts) != 3 {
+		return 0, "", false
+	}
+	var t uint16
+	if _, err := fmt.Sscanf(parts[0], "%d", &t); err != nil {
+		return 0, "", false
+	}
+	return Type(t), parts[1], true
+}
+
+// VerifyRRSet checks an RRSIG over the (name, typ) records in rrs using
+// key material from a DNSKEY record.
+func VerifyRRSet(name Name, typ Type, rrs RRSet, sig RR, dnskey RR) bool {
+	covered, keyTag, ok := RRSIGCovers(sig)
+	if !ok || covered != typ || sig.Name != name {
+		return false
+	}
+	id, secret, err := parseDNSKEY(dnskey.Data)
+	if err != nil || id != keyTag {
+		return false
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(canonicalRRSet(name, typ, rrs))
+	parts := strings.Fields(sig.Data)
+	want, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return false
+	}
+	return hmac.Equal(mac.Sum(nil), want)
+}
+
+// SignZone signs every RRset in the zone with the key and publishes the
+// DNSKEY at the apex: after this, lookups for any (name, type) can be
+// accompanied by a verifying RRSIG. Existing signatures are replaced;
+// callers re-sign after mutating a signed zone.
+func SignZone(z *Zone, key *ZoneKey) error {
+	if z.Apex() != key.Zone {
+		return fmt.Errorf("dnscore: key for %s cannot sign zone %s", key.Zone, z.Apex())
+	}
+	// Clear previous signatures and key, then re-add.
+	for _, name := range z.Names() {
+		z.RemoveSet(name, TypeRRSIG)
+	}
+	z.RemoveSet(key.Zone, TypeDNSKEY)
+	if err := z.Add(key.DNSKEY()); err != nil {
+		return err
+	}
+	type setKey struct {
+		name Name
+		typ  Type
+	}
+	sets := map[setKey]RRSet{}
+	for _, r := range z.Records() {
+		if r.Type == TypeRRSIG {
+			continue
+		}
+		k := setKey{r.Name, r.Type}
+		sets[k] = append(sets[k], r)
+	}
+	for k, set := range sets {
+		if err := z.Add(key.Sign(k.name, k.typ, set)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SecurityStatus is the DNSSEC validation outcome of a resolution.
+type SecurityStatus int
+
+// Validation outcomes, mirroring RFC 4033 terminology.
+const (
+	// StatusInsecure: some delegation on the path published no DS, so the
+	// answer is unsigned but legitimately so.
+	StatusInsecure SecurityStatus = iota
+	// StatusSecure: an unbroken DS→DNSKEY→RRSIG chain from the trust
+	// anchor validated the answer.
+	StatusSecure
+	// StatusBogus: the chain promised a signature that failed — missing
+	// or wrong RRSIG under a published DS.
+	StatusBogus
+)
+
+// String names the status.
+func (s SecurityStatus) String() string {
+	switch s {
+	case StatusSecure:
+		return "secure"
+	case StatusBogus:
+		return "bogus"
+	default:
+		return "insecure"
+	}
+}

@@ -1,0 +1,178 @@
+package dnscore
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZoneKeyDeterminism(t *testing.T) {
+	a := NewZoneKey("gov.kg", 7)
+	b := NewZoneKey("gov.kg", 7)
+	c := NewZoneKey("gov.kg", 8)
+	if a.ID != b.ID || string(a.Secret) != string(b.Secret) {
+		t.Fatal("same seed produced different keys")
+	}
+	if a.ID == c.ID {
+		t.Fatal("different seeds produced the same key tag")
+	}
+}
+
+func TestSignVerifyRRSet(t *testing.T) {
+	key := NewZoneKey("mfa.gov.kg", 1)
+	set := RRSet{
+		A("mail.mfa.gov.kg", 300, netip.MustParseAddr("92.62.65.20")),
+		A("mail.mfa.gov.kg", 300, netip.MustParseAddr("92.62.65.21")),
+	}
+	sig := key.Sign("mail.mfa.gov.kg", TypeA, set)
+	if !VerifyRRSet("mail.mfa.gov.kg", TypeA, set, sig, key.DNSKEY()) {
+		t.Fatal("valid signature rejected")
+	}
+	// Record order must not matter.
+	reversed := RRSet{set[1], set[0]}
+	if !VerifyRRSet("mail.mfa.gov.kg", TypeA, reversed, sig, key.DNSKEY()) {
+		t.Fatal("order-sensitive verification")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	key := NewZoneKey("mfa.gov.kg", 1)
+	set := RRSet{A("mail.mfa.gov.kg", 300, netip.MustParseAddr("92.62.65.20"))}
+	sig := key.Sign("mail.mfa.gov.kg", TypeA, set)
+
+	// Swapped record data (the hijack: same name, attacker IP).
+	forged := RRSet{A("mail.mfa.gov.kg", 300, netip.MustParseAddr("94.103.91.159"))}
+	if VerifyRRSet("mail.mfa.gov.kg", TypeA, forged, sig, key.DNSKEY()) {
+		t.Fatal("forged rdata verified")
+	}
+	// Wrong key.
+	other := NewZoneKey("mfa.gov.kg", 99)
+	if VerifyRRSet("mail.mfa.gov.kg", TypeA, set, sig, other.DNSKEY()) {
+		t.Fatal("wrong key verified")
+	}
+	// Signature covering a different type.
+	nsSig := key.Sign("mfa.gov.kg", TypeNS, RRSet{NS("mfa.gov.kg", 300, "ns1.infocom.kg")})
+	if VerifyRRSet("mail.mfa.gov.kg", TypeA, set, nsSig, key.DNSKEY()) {
+		t.Fatal("cross-type signature verified")
+	}
+	// Malformed artifacts never verify (or panic).
+	if VerifyRRSet("mail.mfa.gov.kg", TypeA, set, RR{Type: TypeRRSIG, Name: "mail.mfa.gov.kg", Data: "garbage"}, key.DNSKEY()) {
+		t.Fatal("garbage RRSIG verified")
+	}
+	if VerifyRRSet("mail.mfa.gov.kg", TypeA, set, sig, RR{Type: TypeDNSKEY, Data: "nothex"}) {
+		t.Fatal("garbage DNSKEY verified")
+	}
+}
+
+func TestDSMatchesKey(t *testing.T) {
+	key := NewZoneKey("gov.kg", 1)
+	if !DSMatchesKey(key.DS(), key.DNSKEY()) {
+		t.Fatal("own DS rejected")
+	}
+	other := NewZoneKey("gov.kg", 2)
+	if DSMatchesKey(key.DS(), other.DNSKEY()) {
+		t.Fatal("foreign DNSKEY matched")
+	}
+	if DSMatchesKey(RR{Type: TypeDS, Data: "junk"}, key.DNSKEY()) {
+		t.Fatal("malformed DS matched")
+	}
+}
+
+func TestSignZone(t *testing.T) {
+	z := NewZone("mfa.gov.kg")
+	z.MustAdd(A("mail.mfa.gov.kg", 300, netip.MustParseAddr("92.62.65.20")))
+	z.MustAdd(NS("mfa.gov.kg", 3600, "ns1.infocom.kg"))
+	key := NewZoneKey("mfa.gov.kg", 3)
+	if err := SignZone(z, key); err != nil {
+		t.Fatal(err)
+	}
+	// Every RRset has a covering signature.
+	sigs := z.DirectSet("mail.mfa.gov.kg", TypeRRSIG)
+	if len(sigs) != 1 {
+		t.Fatalf("mail RRSIGs = %d", len(sigs))
+	}
+	set := z.DirectSet("mail.mfa.gov.kg", TypeA)
+	if !VerifyRRSet("mail.mfa.gov.kg", TypeA, set, sigs[0], key.DNSKEY()) {
+		t.Fatal("zone signature invalid")
+	}
+	// The DNSKEY is published and self-signed.
+	if len(z.DirectSet("mfa.gov.kg", TypeDNSKEY)) != 1 {
+		t.Fatal("DNSKEY not published")
+	}
+	keySigs := z.DirectSet("mfa.gov.kg", TypeRRSIG)
+	foundKeySig := false
+	for _, s := range keySigs {
+		if covered, _, _ := RRSIGCovers(s); covered == TypeDNSKEY {
+			foundKeySig = true
+		}
+	}
+	if !foundKeySig {
+		t.Fatal("DNSKEY not self-signed")
+	}
+
+	// Re-signing after mutation replaces stale signatures.
+	z.MustAdd(A("vpn.mfa.gov.kg", 300, netip.MustParseAddr("92.62.65.30")))
+	if err := SignZone(z, key); err != nil {
+		t.Fatal(err)
+	}
+	if len(z.DirectSet("vpn.mfa.gov.kg", TypeRRSIG)) != 1 {
+		t.Fatal("new record not signed on re-sign")
+	}
+	if got := len(z.DirectSet("mail.mfa.gov.kg", TypeRRSIG)); got != 1 {
+		t.Fatalf("stale signatures accumulated: %d", got)
+	}
+
+	// Signing with a foreign key is rejected.
+	if err := SignZone(z, NewZoneKey("other.example", 1)); err == nil {
+		t.Fatal("foreign key accepted")
+	}
+}
+
+func TestRRSIGCoversParsing(t *testing.T) {
+	key := NewZoneKey("x.com", 1)
+	sig := key.Sign("a.x.com", TypeTXT, RRSet{TXT("a.x.com", 60, "hello")})
+	covered, tag, ok := RRSIGCovers(sig)
+	if !ok || covered != TypeTXT || tag != key.ID {
+		t.Fatalf("RRSIGCovers = %v %q %v", covered, tag, ok)
+	}
+	if _, _, ok := RRSIGCovers(RR{Type: TypeRRSIG, Data: "x y"}); ok {
+		t.Fatal("short RRSIG parsed")
+	}
+	if _, _, ok := RRSIGCovers(RR{Type: TypeA, Data: "1 a b"}); ok {
+		t.Fatal("non-RRSIG parsed")
+	}
+	if _, _, ok := RRSIGCovers(RR{Type: TypeRRSIG, Data: "NaN a b"}); ok {
+		t.Fatal("non-numeric covered type parsed")
+	}
+}
+
+func TestSecurityStatusString(t *testing.T) {
+	if StatusSecure.String() != "secure" || StatusInsecure.String() != "insecure" || StatusBogus.String() != "bogus" {
+		t.Fatal("status names wrong")
+	}
+}
+
+// Property: any single-byte corruption of the signature hex breaks
+// verification.
+func TestSignatureFragilityProperty(t *testing.T) {
+	key := NewZoneKey("p.example", 5)
+	set := RRSet{A("h.p.example", 60, netip.MustParseAddr("10.0.0.1"))}
+	sig := key.Sign("h.p.example", TypeA, set)
+	f := func(pos uint8, alt uint8) bool {
+		fields := strings.Fields(sig.Data)
+		mac := []byte(fields[2])
+		i := int(pos) % len(mac)
+		replacement := "0123456789abcdef"[alt%16]
+		if mac[i] == replacement {
+			return true // no-op corruption
+		}
+		mac[i] = replacement
+		corrupted := sig
+		corrupted.Data = fields[0] + " " + fields[1] + " " + string(mac)
+		return !VerifyRRSet("h.p.example", TypeA, set, corrupted, key.DNSKEY())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

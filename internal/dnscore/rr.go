@@ -1,0 +1,184 @@
+package dnscore
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Type is a DNS resource record type.
+type Type uint16
+
+// Record types used by the simulation. Values follow the IANA registry.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeDS    Type = 43
+)
+
+var typeNames = map[Type]string{
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeDS:    "DS",
+}
+
+// String returns the mnemonic for known types and TYPEnnn otherwise.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class; only IN is supported.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes used by the simulation.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeNoError:  "NOERROR",
+	RCodeFormErr:  "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+}
+
+// String returns the mnemonic for known rcodes and RCODEnnn otherwise.
+func (r RCode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// RR is a DNS resource record. RData holds the presentation form of the
+// record data: a dotted-quad for A, a name for NS/CNAME, free text for TXT.
+type RR struct {
+	Name  Name
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  string
+}
+
+// String renders the record in zone-file style.
+func (r RR) String() string {
+	return fmt.Sprintf("%s %d IN %s %s", r.Name, r.TTL, r.Type, r.Data)
+}
+
+// A constructs an address record.
+func A(name Name, ttl uint32, addr netip.Addr) RR {
+	return RR{Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, Data: addr.String()}
+}
+
+// NS constructs a delegation record.
+func NS(name Name, ttl uint32, target Name) RR {
+	return RR{Name: name, Type: TypeNS, Class: ClassIN, TTL: ttl, Data: string(target)}
+}
+
+// CNAME constructs an alias record.
+func CNAME(name Name, ttl uint32, target Name) RR {
+	return RR{Name: name, Type: TypeCNAME, Class: ClassIN, TTL: ttl, Data: string(target)}
+}
+
+// TXT constructs a text record.
+func TXT(name Name, ttl uint32, text string) RR {
+	return RR{Name: name, Type: TypeTXT, Class: ClassIN, TTL: ttl, Data: text}
+}
+
+// SOA constructs a start-of-authority record; data carries "mname rname serial".
+func SOA(name Name, ttl uint32, mname Name, serial uint32) RR {
+	return RR{Name: name, Type: TypeSOA, Class: ClassIN, TTL: ttl,
+		Data: fmt.Sprintf("%s hostmaster.%s %d", mname, name, serial)}
+}
+
+// Addr parses the record data as an IP address; it returns the zero Addr
+// for non-address records or malformed data.
+func (r RR) Addr() netip.Addr {
+	if r.Type != TypeA && r.Type != TypeAAAA {
+		return netip.Addr{}
+	}
+	a, err := netip.ParseAddr(r.Data)
+	if err != nil {
+		return netip.Addr{}
+	}
+	return a
+}
+
+// Target parses the record data as a domain name; it returns "" for
+// non-name records.
+func (r RR) Target() Name {
+	if r.Type != TypeNS && r.Type != TypeCNAME {
+		return ""
+	}
+	n, err := ParseName(r.Data)
+	if err != nil {
+		return ""
+	}
+	return n
+}
+
+// Equal reports full record equality (name, type, class, TTL, data).
+func (r RR) Equal(o RR) bool { return r == o }
+
+// RRSet is an ordered collection of records.
+type RRSet []RR
+
+// Filter returns the records matching name and type. A type of 0 matches
+// every type.
+func (s RRSet) Filter(name Name, typ Type) RRSet {
+	var out RRSet
+	for _, r := range s {
+		if r.Name == name && (typ == 0 || r.Type == typ) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Sort orders records by name, then type, then data, for deterministic
+// output and comparison.
+func (s RRSet) Sort() {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Name != s[j].Name {
+			return s[i].Name < s[j].Name
+		}
+		if s[i].Type != s[j].Type {
+			return s[i].Type < s[j].Type
+		}
+		return s[i].Data < s[j].Data
+	})
+}
+
+// String renders the set one record per line.
+func (s RRSet) String() string {
+	lines := make([]string, len(s))
+	for i, r := range s {
+		lines[i] = r.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,418 @@
+package dnscore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Message is a DNS query or response, RFC 1035 §4.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+
+	Question   []Question
+	Answer     RRSet
+	Authority  RRSet
+	Additional RRSet
+}
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig style.
+func (q Question) String() string {
+	return fmt.Sprintf("%s IN %s", q.Name, q.Type)
+}
+
+// Wire-format limits.
+const (
+	// MaxUDPPayload is the classic 512-octet UDP message ceiling. The
+	// simulation keeps messages small, but encoding enforces it so that
+	// truncation behaves realistically.
+	MaxUDPPayload = 512
+	maxPointers   = 64 // compression-pointer chase limit during decoding
+)
+
+// Decoding errors.
+var (
+	ErrShortMessage   = errors.New("dnscore: message too short")
+	ErrPointerLoop    = errors.New("dnscore: compression pointer loop")
+	ErrTrailingData   = errors.New("dnscore: malformed record data")
+	ErrMessageTooLong = errors.New("dnscore: message exceeds UDP payload limit")
+)
+
+type encoder struct {
+	buf     []byte
+	offsets map[string]int // name → offset for compression
+}
+
+// EncodeTCP serializes the message without the UDP payload ceiling, for
+// transports with their own framing (RFC 1035 §4.2.2 length-prefixed TCP).
+func (m *Message) EncodeTCP() ([]byte, error) {
+	b, err := m.encode()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d octets exceed TCP framing", ErrMessageTooLong, len(b))
+	}
+	return b, nil
+}
+
+// Encode serializes the message to wire format with name compression.
+// Messages longer than MaxUDPPayload return ErrMessageTooLong; callers that
+// serve UDP should set Truncated and retry with fewer records.
+func (m *Message) Encode() ([]byte, error) {
+	b, err := m.encode()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > MaxUDPPayload {
+		return nil, fmt.Errorf("%w: %d octets", ErrMessageTooLong, len(b))
+	}
+	return b, nil
+}
+
+func (m *Message) encode() ([]byte, error) {
+	e := &encoder{offsets: make(map[string]int)}
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xF) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode & 0xF)
+
+	e.u16(m.ID)
+	e.u16(flags)
+	e.u16(uint16(len(m.Question)))
+	e.u16(uint16(len(m.Answer)))
+	e.u16(uint16(len(m.Authority)))
+	e.u16(uint16(len(m.Additional)))
+
+	for _, q := range m.Question {
+		e.name(q.Name)
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	for _, sec := range []RRSet{m.Answer, m.Authority, m.Additional} {
+		for _, r := range sec {
+			if err := e.rr(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func (e *encoder) u16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// name emits a possibly-compressed domain name.
+func (e *encoder) name(n Name) {
+	s := string(n)
+	for s != "" {
+		if off, ok := e.offsets[s]; ok && off < 0x3FFF {
+			e.u16(uint16(off) | 0xC000)
+			return
+		}
+		if len(e.buf) < 0x3FFF {
+			e.offsets[s] = len(e.buf)
+		}
+		label := s
+		if i := strings.IndexByte(s, '.'); i >= 0 {
+			label, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+	}
+	e.buf = append(e.buf, 0)
+}
+
+func (e *encoder) rr(r RR) error {
+	e.name(r.Name)
+	e.u16(uint16(r.Type))
+	e.u16(uint16(r.Class))
+	e.u32(r.TTL)
+	// Reserve RDLENGTH, fill after encoding RDATA.
+	lenAt := len(e.buf)
+	e.u16(0)
+	start := len(e.buf)
+	switch r.Type {
+	case TypeA:
+		a, err := netip.ParseAddr(r.Data)
+		if err != nil || !a.Is4() {
+			return fmt.Errorf("dnscore: bad A data %q", r.Data)
+		}
+		b := a.As4()
+		e.buf = append(e.buf, b[:]...)
+	case TypeAAAA:
+		a, err := netip.ParseAddr(r.Data)
+		if err != nil || !a.Is6() {
+			return fmt.Errorf("dnscore: bad AAAA data %q", r.Data)
+		}
+		b := a.As16()
+		e.buf = append(e.buf, b[:]...)
+	case TypeNS, TypeCNAME:
+		n, err := ParseName(r.Data)
+		if err != nil {
+			return fmt.Errorf("dnscore: bad name data %q: %w", r.Data, err)
+		}
+		e.name(n)
+	case TypeTXT:
+		// Character-string chunks of ≤255 octets.
+		data := r.Data
+		for len(data) > 255 {
+			e.buf = append(e.buf, 255)
+			e.buf = append(e.buf, data[:255]...)
+			data = data[255:]
+		}
+		e.buf = append(e.buf, byte(len(data)))
+		e.buf = append(e.buf, data...)
+	default:
+		// SOA, DNSKEY, RRSIG, DS, and anything else: opaque presentation
+		// text (RDLENGTH already delimits it). Not interoperable, but
+		// self-consistent for the simulation.
+		e.buf = append(e.buf, r.Data...)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(len(e.buf)-start))
+	return nil
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+// Decode parses a wire-format DNS message.
+func Decode(b []byte) (*Message, error) {
+	d := &decoder{buf: b}
+	if len(b) < 12 {
+		return nil, ErrShortMessage
+	}
+	m := &Message{}
+	m.ID = d.mustU16()
+	flags := d.mustU16()
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xF)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xF)
+
+	qd, an, ns, ar := d.mustU16(), d.mustU16(), d.mustU16(), d.mustU16()
+	for i := 0; i < int(qd); i++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		class, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Question = append(m.Question, Question{Name: name, Type: Type(typ), Class: Class(class)})
+	}
+	for _, sec := range []struct {
+		n   uint16
+		dst *RRSet
+	}{{an, &m.Answer}, {ns, &m.Authority}, {ar, &m.Additional}} {
+		for i := 0; i < int(sec.n); i++ {
+			r, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*sec.dst = append(*sec.dst, r)
+		}
+	}
+	return m, nil
+}
+
+func (d *decoder) mustU16() uint16 {
+	v, _ := d.u16()
+	return v
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+// name decodes a possibly-compressed name starting at the current position.
+func (d *decoder) name() (Name, error) {
+	labels, pos, jumped, hops := []string{}, d.pos, false, 0
+	for {
+		if pos >= len(d.buf) {
+			return "", ErrShortMessage
+		}
+		l := int(d.buf[pos])
+		switch {
+		case l == 0:
+			if !jumped {
+				d.pos = pos + 1
+			}
+			return ParseName(strings.Join(labels, "."))
+		case l&0xC0 == 0xC0:
+			if pos+2 > len(d.buf) {
+				return "", ErrShortMessage
+			}
+			if hops++; hops > maxPointers {
+				return "", ErrPointerLoop
+			}
+			target := int(binary.BigEndian.Uint16(d.buf[pos:]) & 0x3FFF)
+			if !jumped {
+				d.pos = pos + 2
+				jumped = true
+			}
+			if target >= pos {
+				return "", ErrPointerLoop // forward pointers are invalid
+			}
+			pos = target
+		case l&0xC0 != 0:
+			return "", fmt.Errorf("dnscore: reserved label type 0x%x", l&0xC0)
+		default:
+			if pos+1+l > len(d.buf) {
+				return "", ErrShortMessage
+			}
+			labels = append(labels, string(d.buf[pos+1:pos+1+l]))
+			pos += 1 + l
+		}
+	}
+}
+
+func (d *decoder) rr() (RR, error) {
+	name, err := d.name()
+	if err != nil {
+		return RR{}, err
+	}
+	typ, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	class, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := d.u32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	if d.pos+int(rdlen) > len(d.buf) {
+		return RR{}, ErrShortMessage
+	}
+	end := d.pos + int(rdlen)
+	r := RR{Name: name, Type: Type(typ), Class: Class(class), TTL: ttl}
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return RR{}, fmt.Errorf("%w: A rdlength %d", ErrTrailingData, rdlen)
+		}
+		r.Data = netip.AddrFrom4([4]byte(d.buf[d.pos:end])).String()
+		d.pos = end
+	case TypeAAAA:
+		if rdlen != 16 {
+			return RR{}, fmt.Errorf("%w: AAAA rdlength %d", ErrTrailingData, rdlen)
+		}
+		r.Data = netip.AddrFrom16([16]byte(d.buf[d.pos:end])).String()
+		d.pos = end
+	case TypeNS, TypeCNAME:
+		target, err := d.name()
+		if err != nil {
+			return RR{}, err
+		}
+		if d.pos != end {
+			return RR{}, fmt.Errorf("%w: name rdata length mismatch", ErrTrailingData)
+		}
+		r.Data = string(target)
+	case TypeTXT:
+		var sb strings.Builder
+		for d.pos < end {
+			l := int(d.buf[d.pos])
+			d.pos++
+			if d.pos+l > end {
+				return RR{}, fmt.Errorf("%w: TXT chunk overruns rdata", ErrTrailingData)
+			}
+			sb.Write(d.buf[d.pos : d.pos+l])
+			d.pos += l
+		}
+		r.Data = sb.String()
+	default:
+		r.Data = string(d.buf[d.pos:end])
+		d.pos = end
+	}
+	return r, nil
+}
+
+// String renders the message in a dig-like summary form.
+func (m *Message) String() string {
+	var sb strings.Builder
+	kind := "query"
+	if m.Response {
+		kind = "response"
+	}
+	fmt.Fprintf(&sb, ";; %s id=%d rcode=%s aa=%v tc=%v\n", kind, m.ID, m.RCode, m.Authoritative, m.Truncated)
+	for _, q := range m.Question {
+		fmt.Fprintf(&sb, ";; question: %s\n", q)
+	}
+	for _, section := range []struct {
+		name string
+		rrs  RRSet
+	}{{"answer", m.Answer}, {"authority", m.Authority}, {"additional", m.Additional}} {
+		for _, r := range section.rrs {
+			fmt.Fprintf(&sb, ";; %s: %s\n", section.name, r)
+		}
+	}
+	return sb.String()
+}

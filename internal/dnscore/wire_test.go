@@ -1,0 +1,276 @@
+package dnscore
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		ID:               4660,
+		Response:         true,
+		Authoritative:    true,
+		RecursionDesired: true,
+		RCode:            RCodeNoError,
+		Question:         []Question{{Name: "mail.mfa.gov.kg", Type: TypeA, Class: ClassIN}},
+		Answer: RRSet{
+			A("mail.mfa.gov.kg", 300, netip.MustParseAddr("94.103.91.159")),
+		},
+		Authority: RRSet{
+			NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+			NS("mfa.gov.kg", 3600, "ns2.kg-infocom.ru"),
+		},
+		Additional: RRSet{
+			A("ns1.kg-infocom.ru", 3600, netip.MustParseAddr("178.20.41.140")),
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", m, got)
+	}
+}
+
+func TestCompressionSavesSpace(t *testing.T) {
+	m := sampleMessage()
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated names (mfa.gov.kg twice, kg-infocom.ru twice) must compress:
+	// the raw presentation text alone exceeds the encoding if pointers work.
+	var raw int
+	for _, q := range m.Question {
+		raw += len(q.Name) + 2
+	}
+	for _, r := range append(append(m.Answer, m.Authority...), m.Additional...) {
+		raw += len(r.Name) + 2 + len(r.Data)
+	}
+	if len(b) >= raw+12 {
+		t.Errorf("no compression benefit: wire=%d raw=%d", len(b), raw)
+	}
+}
+
+func TestDecodeRejectsShort(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short message accepted")
+	}
+	m := sampleMessage()
+	b, _ := m.Encode()
+	for _, cut := range []int{13, len(b) / 2, len(b) - 1} {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Errorf("truncated message at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsPointerLoop(t *testing.T) {
+	// Craft a message whose question name is a self-pointer.
+	b := make([]byte, 16)
+	b[5] = 1 // qdcount = 1
+	// name at offset 12: pointer to offset 12
+	b[12] = 0xC0
+	b[13] = 12
+	if _, err := Decode(b); err == nil {
+		t.Fatal("pointer loop accepted")
+	}
+}
+
+func TestTXTChunking(t *testing.T) {
+	long := strings.Repeat("x", 300)
+	m := &Message{
+		ID:       1,
+		Question: []Question{{Name: "t.example.com", Type: TypeTXT, Class: ClassIN}},
+		Answer:   RRSet{TXT("t.example.com", 60, long)},
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answer[0].Data != long {
+		t.Fatalf("TXT round trip lost data: %d octets", len(got.Answer[0].Data))
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	m := &Message{ID: 1}
+	for i := 0; i < 60; i++ {
+		m.Answer = append(m.Answer, TXT("big.example.com", 60, strings.Repeat("y", 200)))
+	}
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("oversize message accepted")
+	}
+}
+
+func TestEncodeRejectsBadRData(t *testing.T) {
+	bad := []RR{
+		{Name: "x.com", Type: TypeA, Class: ClassIN, Data: "not-an-ip"},
+		{Name: "x.com", Type: TypeA, Class: ClassIN, Data: "2001:db8::1"}, // v6 in A
+		{Name: "x.com", Type: TypeAAAA, Class: ClassIN, Data: "1.2.3.4"},  // v4 in AAAA
+		{Name: "x.com", Type: TypeNS, Class: ClassIN, Data: "bad name!"},
+	}
+	for _, r := range bad {
+		m := &Message{ID: 1, Answer: RRSet{r}}
+		if _, err := m.Encode(); err == nil {
+			t.Errorf("bad rdata accepted: %v", r)
+		}
+	}
+}
+
+// TestOpaqueRDataRoundTrip covers the default rdata path (SOA, DNSKEY,
+// RRSIG, DS): the data must survive the wire byte-for-byte. Regression
+// test for an encoder that embedded a redundant length prefix.
+func TestOpaqueRDataRoundTrip(t *testing.T) {
+	key := NewZoneKey("gov.kg", 9)
+	records := RRSet{
+		SOA("gov.kg", 3600, "ns1.infocom.kg", 7),
+		key.DNSKEY(),
+		key.DS(),
+		key.Sign("gov.kg", TypeNS, RRSet{NS("gov.kg", 300, "ns1.infocom.kg")}),
+	}
+	m := &Message{ID: 2, Response: true, Answer: records}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range got.Answer {
+		if rr.Data != records[i].Data {
+			t.Errorf("record %d corrupted:\n in: %q\nout: %q", i, records[i].Data, rr.Data)
+		}
+	}
+	// The signature still verifies after the round trip.
+	if !VerifyRRSet("gov.kg", TypeNS, RRSet{NS("gov.kg", 300, "ns1.infocom.kg")}, got.Answer[3], got.Answer[1]) {
+		t.Error("RRSIG broken by wire round trip")
+	}
+}
+
+func TestFlagRoundTrip(t *testing.T) {
+	for _, m := range []*Message{
+		{ID: 9, Truncated: true, RCode: RCodeNXDomain},
+		{ID: 10, RecursionAvailable: true, Opcode: 2},
+		{ID: 11, Response: true, Authoritative: true, RCode: RCodeRefused},
+	} {
+		b, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("flag round trip mismatch: %+v vs %+v", m, got)
+		}
+	}
+}
+
+// randomMessage builds a structurally valid random message for property tests.
+func randomMessage(rng *rand.Rand) *Message {
+	names := []Name{"example.com", "mail.example.com", "a.b.c.example.com", "gov.kg", "ns1.infocom.kg"}
+	pick := func() Name { return names[rng.Intn(len(names))] }
+	m := &Message{
+		ID:               uint16(rng.Intn(65536)),
+		Response:         rng.Intn(2) == 0,
+		Authoritative:    rng.Intn(2) == 0,
+		RecursionDesired: rng.Intn(2) == 0,
+		RCode:            RCode(rng.Intn(6)),
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		m.Question = append(m.Question, Question{Name: pick(), Type: TypeA, Class: ClassIN})
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		switch rng.Intn(4) {
+		case 0:
+			m.Answer = append(m.Answer, A(pick(), uint32(rng.Intn(3600)), netip.AddrFrom4([4]byte{byte(rng.Intn(256)), 2, 3, 4})))
+		case 1:
+			m.Answer = append(m.Answer, NS(pick(), 300, pick()))
+		case 2:
+			m.Answer = append(m.Answer, CNAME(pick(), 300, pick()))
+		case 3:
+			m.Answer = append(m.Answer, TXT(pick(), 60, "challenge-token"))
+		}
+	}
+	return m
+}
+
+// Property: Encode→Decode is the identity on valid messages.
+func TestWireRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		m := randomMessage(rng)
+		b, err := m.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v (%+v)", err, m)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		// Normalize nil-vs-empty Question slices before comparing.
+		if len(m.Question) == 0 {
+			m.Question = nil
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", m, got)
+		}
+	}
+}
+
+// Property: Decode never panics on arbitrary input.
+func TestDecodeNoPanicProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on corrupted valid messages.
+func TestDecodeCorruptionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base, err := sampleMessage().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		b := bytes.Clone(base)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		_, _ = Decode(b) // must not panic
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	s := sampleMessage().String()
+	for _, want := range []string{"response", "mail.mfa.gov.kg", "answer", "authority", "additional"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

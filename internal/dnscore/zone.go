@@ -1,0 +1,225 @@
+package dnscore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Zone is a mutable authoritative zone: the set of records at and below an
+// apex, plus delegations cut out of it. Zones are safe for concurrent use;
+// the simulation mutates them live while resolvers and passive-DNS sensors
+// query them.
+type Zone struct {
+	mu     sync.RWMutex
+	apex   Name
+	rrs    map[Name]map[Type]RRSet
+	serial uint32
+}
+
+// NewZone creates an empty zone rooted at apex with an initial SOA.
+func NewZone(apex Name) *Zone {
+	z := &Zone{apex: apex, rrs: make(map[Name]map[Type]RRSet), serial: 1}
+	return z
+}
+
+// Apex returns the zone's apex name.
+func (z *Zone) Apex() Name { return z.apex }
+
+// Serial returns the zone serial, incremented on every mutation.
+func (z *Zone) Serial() uint32 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.serial
+}
+
+// Add inserts a record. Records outside the zone's apex are rejected.
+func (z *Zone) Add(r RR) error {
+	if !r.Name.IsSubdomainOf(z.apex) {
+		return fmt.Errorf("dnscore: %s is outside zone %s", r.Name, z.apex)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType := z.rrs[r.Name]
+	if byType == nil {
+		byType = make(map[Type]RRSet)
+		z.rrs[r.Name] = byType
+	}
+	for _, existing := range byType[r.Type] {
+		if existing == r {
+			return nil // idempotent
+		}
+	}
+	byType[r.Type] = append(byType[r.Type], r)
+	z.serial++
+	return nil
+}
+
+// MustAdd is Add for static setup; it panics on error.
+func (z *Zone) MustAdd(r RR) {
+	if err := z.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveSet deletes every record of the given type at the given name.
+func (z *Zone) RemoveSet(name Name, typ Type) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if byType := z.rrs[name]; byType != nil {
+		if _, ok := byType[typ]; ok {
+			delete(byType, typ)
+			if len(byType) == 0 {
+				delete(z.rrs, name)
+			}
+			z.serial++
+		}
+	}
+}
+
+// Replace atomically swaps the record set of (name, typ) for the given
+// records; records must all have matching name and type.
+func (z *Zone) Replace(name Name, typ Type, records RRSet) error {
+	for _, r := range records {
+		if r.Name != name || r.Type != typ {
+			return fmt.Errorf("dnscore: replace set mismatch: %s", r)
+		}
+		if !r.Name.IsSubdomainOf(z.apex) {
+			return fmt.Errorf("dnscore: %s is outside zone %s", r.Name, z.apex)
+		}
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType := z.rrs[name]
+	if byType == nil {
+		byType = make(map[Type]RRSet)
+		z.rrs[name] = byType
+	}
+	byType[typ] = append(RRSet(nil), records...)
+	if len(records) == 0 {
+		delete(byType, typ)
+		if len(byType) == 0 {
+			delete(z.rrs, name)
+		}
+	}
+	z.serial++
+	return nil
+}
+
+// Lookup returns the records of (name, typ) in the zone, a delegation if one
+// cuts above the name, or NXDOMAIN.
+//
+// The return values mirror the three authoritative outcomes:
+//   - answer non-empty: authoritative data.
+//   - delegation non-empty: the NS set of the closest enclosing delegation
+//     (the caller should follow it).
+//   - both empty with exists=true: the name exists but has no records of
+//     this type (NODATA).
+//   - both empty with exists=false: NXDOMAIN.
+func (z *Zone) Lookup(name Name, typ Type) (answer, delegation RRSet, exists bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	if !name.IsSubdomainOf(z.apex) {
+		return nil, nil, false
+	}
+
+	// Walk from the apex down looking for a delegation cut at or above the
+	// query name (an NS set at a name below the apex). The zone is not
+	// authoritative at or below a cut — every query there is a referral,
+	// including queries for the cut name itself, as with a real TLD server.
+	if name != z.apex {
+		cut := name
+		var cuts []Name
+		for cut != z.apex && cut != "" {
+			cuts = append(cuts, cut)
+			cut = cut.Parent()
+		}
+		// Check top-down so the closest cut to the apex wins.
+		for i := len(cuts) - 1; i >= 0; i-- {
+			if byType := z.rrs[cuts[i]]; byType != nil {
+				if nsSet := byType[TypeNS]; len(nsSet) > 0 {
+					return nil, append(RRSet(nil), nsSet...), true
+				}
+			}
+		}
+	}
+
+	byType := z.rrs[name]
+	if byType == nil {
+		// The name may still be an "empty non-terminal" if something
+		// exists below it.
+		for existing := range z.rrs {
+			if existing != name && existing.IsSubdomainOf(name) {
+				return nil, nil, true
+			}
+		}
+		return nil, nil, false
+	}
+	if set := byType[typ]; len(set) > 0 {
+		return append(RRSet(nil), set...), nil, true
+	}
+	// CNAME at the name answers any type (except a query for the CNAME
+	// type itself, handled above).
+	if set := byType[TypeCNAME]; len(set) > 0 && typ != TypeCNAME {
+		return append(RRSet(nil), set...), nil, true
+	}
+	return nil, nil, true
+}
+
+// Glue returns the A records stored at name, ignoring delegation cuts.
+// Authoritative servers use this to attach glue for in-zone nameserver
+// names that sit below a cut (e.g. ns.tld.kg under the kg delegation in the
+// root zone), which Lookup would report as a referral.
+func (z *Zone) Glue(name Name) RRSet {
+	return z.DirectSet(name, TypeA)
+}
+
+// DirectSet returns the records stored at (name, typ) ignoring delegation
+// cuts: the raw zone contents rather than the authoritative view. Servers
+// use it for glue and for the DS records that live at the parent side of a
+// cut; the DNSSEC signer uses it to enumerate RRsets.
+func (z *Zone) DirectSet(name Name, typ Type) RRSet {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	byType := z.rrs[name]
+	if byType == nil {
+		return nil
+	}
+	return append(RRSet(nil), byType[typ]...)
+}
+
+// Names returns every owner name in the zone, sorted.
+func (z *Zone) Names() []Name {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	names := make([]Name, 0, len(z.rrs))
+	for n := range z.rrs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Records returns a sorted snapshot of every record in the zone.
+func (z *Zone) Records() RRSet {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var out RRSet
+	for _, byType := range z.rrs {
+		for _, set := range byType {
+			out = append(out, set...)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// String renders the zone in zone-file style.
+func (z *Zone) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; zone %s serial %d\n", z.apex, z.Serial())
+	sb.WriteString(z.Records().String())
+	return sb.String()
+}

@@ -1,0 +1,235 @@
+package dnscore
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func govKGZone() *Zone {
+	z := NewZone("gov.kg")
+	z.MustAdd(SOA("gov.kg", 3600, "ns1.infocom.kg", 1))
+	z.MustAdd(NS("gov.kg", 3600, "ns1.infocom.kg"))
+	z.MustAdd(NS("mfa.gov.kg", 3600, "ns1.infocom.kg"))
+	z.MustAdd(NS("mfa.gov.kg", 3600, "ns2.infocom.kg"))
+	z.MustAdd(A("www.gov.kg", 300, netip.MustParseAddr("92.62.65.10")))
+	return z
+}
+
+func TestZoneAddLookup(t *testing.T) {
+	z := govKGZone()
+	ans, del, exists := z.Lookup("www.gov.kg", TypeA)
+	if len(ans) != 1 || del != nil || !exists {
+		t.Fatalf("www lookup: ans=%v del=%v exists=%v", ans, del, exists)
+	}
+	if ans[0].Addr() != netip.MustParseAddr("92.62.65.10") {
+		t.Fatalf("wrong address: %v", ans[0])
+	}
+}
+
+func TestZoneDelegation(t *testing.T) {
+	z := govKGZone()
+	// A query below the mfa.gov.kg cut should return the delegation.
+	ans, del, exists := z.Lookup("mail.mfa.gov.kg", TypeA)
+	if ans != nil || len(del) != 2 || !exists {
+		t.Fatalf("delegation lookup: ans=%v del=%v exists=%v", ans, del, exists)
+	}
+	for _, ns := range del {
+		if ns.Type != TypeNS || ns.Name != "mfa.gov.kg" {
+			t.Errorf("unexpected delegation record %v", ns)
+		}
+	}
+	// A query for the delegation name itself is also a referral: the
+	// parent is not authoritative at or below the cut.
+	ans, del, _ = z.Lookup("mfa.gov.kg", TypeNS)
+	if ans != nil || len(del) != 2 {
+		t.Fatalf("NS self lookup: ans=%v del=%v", ans, del)
+	}
+}
+
+func TestZoneNXDomainAndNoData(t *testing.T) {
+	z := govKGZone()
+	ans, del, exists := z.Lookup("absent.gov.kg", TypeA)
+	if ans != nil || del != nil || exists {
+		t.Fatalf("NXDOMAIN lookup: ans=%v del=%v exists=%v", ans, del, exists)
+	}
+	// www.gov.kg exists, but has no TXT: NODATA.
+	ans, del, exists = z.Lookup("www.gov.kg", TypeTXT)
+	if ans != nil || del != nil || !exists {
+		t.Fatalf("NODATA lookup: ans=%v del=%v exists=%v", ans, del, exists)
+	}
+	// Empty non-terminal: nothing at mfa.gov.kg's parent chain name.
+	z.MustAdd(A("a.b.gov.kg", 60, netip.MustParseAddr("10.0.0.1")))
+	_, _, exists = z.Lookup("b.gov.kg", TypeA)
+	if !exists {
+		t.Fatal("empty non-terminal reported NXDOMAIN")
+	}
+}
+
+func TestZoneOutOfBailiwick(t *testing.T) {
+	z := govKGZone()
+	if err := z.Add(A("example.com", 60, netip.MustParseAddr("1.2.3.4"))); err == nil {
+		t.Fatal("out-of-zone add accepted")
+	}
+	ans, del, exists := z.Lookup("example.com", TypeA)
+	if ans != nil || del != nil || exists {
+		t.Fatal("out-of-zone lookup found something")
+	}
+}
+
+func TestZoneCNAMEAnswersOtherTypes(t *testing.T) {
+	z := govKGZone()
+	z.MustAdd(CNAME("portal.gov.kg", 300, "www.gov.kg"))
+	ans, _, exists := z.Lookup("portal.gov.kg", TypeA)
+	if !exists || len(ans) != 1 || ans[0].Type != TypeCNAME {
+		t.Fatalf("CNAME lookup: %v", ans)
+	}
+}
+
+func TestZoneReplaceAndRemove(t *testing.T) {
+	z := govKGZone()
+	before := z.Serial()
+
+	hijacked := RRSet{
+		NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+		NS("mfa.gov.kg", 3600, "ns2.kg-infocom.ru"),
+	}
+	if err := z.Replace("mfa.gov.kg", TypeNS, hijacked); err != nil {
+		t.Fatal(err)
+	}
+	if z.Serial() <= before {
+		t.Error("serial did not advance")
+	}
+	_, del, _ := z.Lookup("mfa.gov.kg", TypeNS)
+	if len(del) != 2 || (del[0].Target() != "ns1.kg-infocom.ru" && del[1].Target() != "ns1.kg-infocom.ru") {
+		t.Fatalf("replace did not take effect: %v", del)
+	}
+
+	z.RemoveSet("mfa.gov.kg", TypeNS)
+	ans, del, _ := z.Lookup("mfa.gov.kg", TypeNS)
+	if ans != nil || del != nil {
+		t.Fatalf("remove left records: ans=%v del=%v", ans, del)
+	}
+
+	// Replace with mismatched name must fail.
+	if err := z.Replace("mfa.gov.kg", TypeNS, RRSet{NS("other.gov.kg", 60, "x.y")}); err == nil {
+		t.Fatal("mismatched replace accepted")
+	}
+	// Replace with empty set clears.
+	z.MustAdd(A("tmp.gov.kg", 60, netip.MustParseAddr("10.1.1.1")))
+	if err := z.Replace("tmp.gov.kg", TypeA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, exists := z.Lookup("tmp.gov.kg", TypeA); exists {
+		t.Fatal("empty replace did not delete name")
+	}
+}
+
+func TestZoneAddIdempotent(t *testing.T) {
+	z := NewZone("example.com")
+	r := A("www.example.com", 60, netip.MustParseAddr("1.2.3.4"))
+	z.MustAdd(r)
+	s1 := z.Serial()
+	z.MustAdd(r)
+	if z.Serial() != s1 {
+		t.Error("duplicate add advanced serial")
+	}
+	ans, _, _ := z.Lookup("www.example.com", TypeA)
+	if len(ans) != 1 {
+		t.Fatalf("duplicate add produced %d records", len(ans))
+	}
+}
+
+func TestZoneConcurrentAccess(t *testing.T) {
+	z := govKGZone()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				name := MustParseName(fmt.Sprintf("h%d-%d.gov.kg", i, j))
+				z.MustAdd(A(name, 60, netip.AddrFrom4([4]byte{10, 0, byte(i), byte(j)})))
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				z.Lookup("www.gov.kg", TypeA)
+				z.Records()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(z.Names()); got < 800 {
+		t.Errorf("expected ≥800 names after concurrent adds, got %d", got)
+	}
+}
+
+func TestZoneString(t *testing.T) {
+	s := govKGZone().String()
+	for _, want := range []string{"zone gov.kg", "www.gov.kg", "92.62.65.10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("zone String missing %q", want)
+		}
+	}
+}
+
+func TestRRAccessors(t *testing.T) {
+	a := A("x.com", 60, netip.MustParseAddr("1.2.3.4"))
+	if a.Addr() != netip.MustParseAddr("1.2.3.4") {
+		t.Error("Addr failed")
+	}
+	if a.Target() != "" {
+		t.Error("A record has a Target")
+	}
+	ns := NS("x.com", 60, "ns.x.com")
+	if ns.Target() != "ns.x.com" {
+		t.Error("Target failed")
+	}
+	if ns.Addr().IsValid() {
+		t.Error("NS record has an Addr")
+	}
+	bad := RR{Name: "x.com", Type: TypeA, Data: "junk"}
+	if bad.Addr().IsValid() {
+		t.Error("junk A data produced a valid Addr")
+	}
+	if (RR{Name: "x.com", Type: TypeNS, Data: "bad name!"}).Target() != "" {
+		t.Error("junk NS data produced a Target")
+	}
+}
+
+func TestTypeAndRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeNS.String() != "NS" {
+		t.Error("known type names wrong")
+	}
+	if Type(999).String() != "TYPE999" {
+		t.Error("unknown type name wrong")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" {
+		t.Error("known rcode name wrong")
+	}
+	if RCode(15).String() != "RCODE15" {
+		t.Error("unknown rcode name wrong")
+	}
+}
+
+func TestRRSetFilterSort(t *testing.T) {
+	s := RRSet{
+		NS("b.com", 60, "ns2.b.com"),
+		A("a.com", 60, netip.MustParseAddr("1.1.1.1")),
+		NS("b.com", 60, "ns1.b.com"),
+	}
+	s.Sort()
+	if s[0].Name != "a.com" || s[1].Data != "ns1.b.com" {
+		t.Errorf("sort order wrong: %v", s)
+	}
+	if got := s.Filter("b.com", TypeNS); len(got) != 2 {
+		t.Errorf("filter found %d", len(got))
+	}
+	if got := s.Filter("b.com", 0); len(got) != 2 {
+		t.Errorf("wildcard filter found %d", len(got))
+	}
+}

@@ -1,0 +1,124 @@
+// Package dnssecmon records the DNSSEC validation status of domains over
+// time and answers the question the paper's §7.1 poses as future work:
+// did a domain's DNSSEC status change during the time frame of a transient
+// deployment? An attacker with registry access disables DNSSEC by
+// stripping the DS record (§2.2), so a hijack of a signed domain shows up
+// as a Secure → Insecure downgrade exactly bracketing the redirection.
+package dnssecmon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// Sample is one observation of a domain's validation status.
+type Sample struct {
+	Date   simtime.Date
+	Status dnscore.SecurityStatus
+}
+
+// Change is a transition between consecutive samples.
+type Change struct {
+	Date     simtime.Date
+	From, To dnscore.SecurityStatus
+}
+
+// String renders the change.
+func (c Change) String() string {
+	return fmt.Sprintf("%s: %s → %s", c.Date, c.From, c.To)
+}
+
+// IsDowngrade reports whether the change weakened the domain's protection
+// (the attack signature).
+func (c Change) IsDowngrade() bool { return c.To < c.From && c.From == dnscore.StatusSecure }
+
+// Log stores per-domain status histories. Samples are compressed: only
+// status transitions are kept (plus the first sample), so steady-state
+// monitoring costs O(changes), not O(days).
+type Log struct {
+	mu      sync.RWMutex
+	history map[dnscore.Name][]Sample
+}
+
+// NewLog creates an empty monitor log.
+func NewLog() *Log {
+	return &Log{history: make(map[dnscore.Name][]Sample)}
+}
+
+// Record ingests a daily observation; consecutive identical statuses are
+// collapsed.
+func (l *Log) Record(domain dnscore.Name, date simtime.Date, status dnscore.SecurityStatus) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.history[domain]
+	if n := len(h); n > 0 && h[n-1].Status == status {
+		return
+	}
+	l.history[domain] = append(h, Sample{Date: date, Status: status})
+}
+
+// Domains returns every monitored domain, sorted.
+func (l *Log) Domains() []dnscore.Name {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]dnscore.Name, 0, len(l.history))
+	for d := range l.history {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// History returns the domain's (compressed) sample history.
+func (l *Log) History(domain dnscore.Name) []Sample {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Sample(nil), l.history[domain]...)
+}
+
+// Changes returns the domain's status transitions.
+func (l *Log) Changes(domain dnscore.Name) []Change {
+	h := l.History(domain)
+	var out []Change
+	for i := 1; i < len(h); i++ {
+		out = append(out, Change{Date: h[i].Date, From: h[i-1].Status, To: h[i].Status})
+	}
+	return out
+}
+
+// ChangesIn returns the transitions that occurred inside [from, to].
+func (l *Log) ChangesIn(domain dnscore.Name, from, to simtime.Date) []Change {
+	var out []Change
+	for _, c := range l.Changes(domain) {
+		if c.Date >= from && c.Date <= to {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DowngradesIn returns only the Secure→weaker transitions inside the
+// window — the hijack signature.
+func (l *Log) DowngradesIn(domain dnscore.Name, from, to simtime.Date) []Change {
+	var out []Change
+	for _, c := range l.ChangesIn(domain, from, to) {
+		if c.IsDowngrade() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String summarizes the log.
+func (l *Log) String() string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dnssecmon: %d domains", len(l.history))
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package dnssecmon
+
+import (
+	"strings"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+func TestRecordCompression(t *testing.T) {
+	l := NewLog()
+	for d := simtime.Date(0); d < 100; d++ {
+		l.Record("mfa.gov.kg", 100+d, dnscore.StatusSecure)
+	}
+	h := l.History("mfa.gov.kg")
+	if len(h) != 1 {
+		t.Fatalf("steady state stored %d samples", len(h))
+	}
+}
+
+func TestChangesAndDowngrades(t *testing.T) {
+	l := NewLog()
+	// Secure baseline, one-day downgrade during the hijack, restoration.
+	l.Record("mfa.gov.kg", 100, dnscore.StatusSecure)
+	l.Record("mfa.gov.kg", 1448, dnscore.StatusInsecure)
+	l.Record("mfa.gov.kg", 1450, dnscore.StatusSecure)
+
+	changes := l.Changes("mfa.gov.kg")
+	if len(changes) != 2 {
+		t.Fatalf("changes = %d", len(changes))
+	}
+	if !changes[0].IsDowngrade() || changes[1].IsDowngrade() {
+		t.Fatalf("downgrade flags wrong: %v", changes)
+	}
+	in := l.ChangesIn("mfa.gov.kg", 1440, 1460)
+	if len(in) != 2 {
+		t.Fatalf("windowed changes = %d", len(in))
+	}
+	down := l.DowngradesIn("mfa.gov.kg", 1440, 1460)
+	if len(down) != 1 || down[0].Date != 1448 {
+		t.Fatalf("downgrades = %v", down)
+	}
+	if got := l.DowngradesIn("mfa.gov.kg", 0, 200); len(got) != 0 {
+		t.Fatalf("baseline window has downgrades: %v", got)
+	}
+	if s := changes[0].String(); !strings.Contains(s, "secure → insecure") {
+		t.Errorf("change string: %s", s)
+	}
+}
+
+func TestBogusIsNotADowngradeFromInsecure(t *testing.T) {
+	l := NewLog()
+	l.Record("x.example", 10, dnscore.StatusInsecure)
+	l.Record("x.example", 20, dnscore.StatusBogus)
+	for _, c := range l.Changes("x.example") {
+		if c.IsDowngrade() {
+			t.Fatalf("insecure→bogus flagged as downgrade: %v", c)
+		}
+	}
+}
+
+func TestDomainsAndString(t *testing.T) {
+	l := NewLog()
+	l.Record("b.example", 1, dnscore.StatusSecure)
+	l.Record("a.example", 1, dnscore.StatusSecure)
+	d := l.Domains()
+	if len(d) != 2 || d[0] != "a.example" {
+		t.Fatalf("Domains = %v", d)
+	}
+	if !strings.Contains(l.String(), "2 domains") {
+		t.Error("String wrong")
+	}
+	if l.History("absent.example") != nil {
+		t.Error("phantom history")
+	}
+	if l.Changes("absent.example") != nil {
+		t.Error("phantom changes")
+	}
+}

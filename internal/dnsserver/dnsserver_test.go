@@ -1,0 +1,326 @@
+package dnsserver
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"retrodns/internal/dnscore"
+)
+
+var (
+	rootIP     = netip.MustParseAddr("198.41.0.4")
+	kgTLDIP    = netip.MustParseAddr("92.62.64.1")
+	infocomIP  = netip.MustParseAddr("92.62.65.2")
+	attackerNS = netip.MustParseAddr("178.20.41.140")
+	legitMail  = netip.MustParseAddr("92.62.65.20")
+	evilMail   = netip.MustParseAddr("94.103.91.159")
+)
+
+// buildHierarchy wires a three-level DNS hierarchy into a MemTransport:
+//
+//	root (.)           → delegates kg
+//	kg TLD             → delegates mfa.gov.kg and infocom.kg to ns1.infocom.kg
+//	ns1.infocom.kg     → serves mfa.gov.kg and infocom.kg
+//
+// It returns the transport, the resolver, and the kg TLD zone (which the
+// hijack tests mutate).
+func buildHierarchy(t *testing.T) (*MemTransport, *Resolver, *dnscore.Zone) {
+	t.Helper()
+	transport := NewMemTransport()
+
+	rootZone := dnscore.NewZone("")
+	rootZone.MustAdd(dnscore.NS("kg", 86400, "ns.tld.kg"))
+	rootZone.MustAdd(dnscore.A("ns.tld.kg", 86400, kgTLDIP))
+	rootSrv := NewServer()
+	rootSrv.AddZone(rootZone)
+	transport.Register(rootIP, rootSrv)
+
+	kgZone := dnscore.NewZone("kg")
+	kgZone.MustAdd(dnscore.SOA("kg", 3600, "ns.tld.kg", 1))
+	kgZone.MustAdd(dnscore.NS("mfa.gov.kg", 3600, "ns1.infocom.kg"))
+	kgZone.MustAdd(dnscore.NS("infocom.kg", 3600, "ns1.infocom.kg"))
+	kgZone.MustAdd(dnscore.A("ns1.infocom.kg", 3600, infocomIP))
+	kgSrv := NewServer()
+	kgSrv.AddZone(kgZone)
+	transport.Register(kgTLDIP, kgSrv)
+
+	mfaZone := dnscore.NewZone("mfa.gov.kg")
+	mfaZone.MustAdd(dnscore.SOA("mfa.gov.kg", 3600, "ns1.infocom.kg", 1))
+	mfaZone.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, legitMail))
+	mfaZone.MustAdd(dnscore.CNAME("webmail.mfa.gov.kg", 300, "mail.mfa.gov.kg"))
+	infocomZone := dnscore.NewZone("infocom.kg")
+	infocomZone.MustAdd(dnscore.A("ns1.infocom.kg", 3600, infocomIP))
+	infocomSrv := NewServer()
+	infocomSrv.AddZone(mfaZone)
+	infocomSrv.AddZone(infocomZone)
+	transport.Register(infocomIP, infocomSrv)
+
+	return transport, NewResolver(transport, []netip.Addr{rootIP}), kgZone
+}
+
+func TestIterativeResolution(t *testing.T) {
+	_, resolver, _ := buildHierarchy(t)
+	addrs, err := resolver.ResolveA("mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != legitMail {
+		t.Fatalf("resolved to %v, want %v", addrs, legitMail)
+	}
+}
+
+func TestCNAMEChase(t *testing.T) {
+	_, resolver, _ := buildHierarchy(t)
+	rrs, err := resolver.Resolve("webmail.mfa.gov.kg", dnscore.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrs[0].Type != dnscore.TypeCNAME {
+		t.Fatalf("first answer should be the CNAME, got %v", rrs[0])
+	}
+	last := rrs[len(rrs)-1]
+	if last.Type != dnscore.TypeA || last.Addr() != legitMail {
+		t.Fatalf("chain did not end at the A record: %v", rrs)
+	}
+}
+
+func TestNXDomainAndNoData(t *testing.T) {
+	_, resolver, _ := buildHierarchy(t)
+	if _, err := resolver.ResolveA("nonexistent.mfa.gov.kg"); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("want NXDOMAIN, got %v", err)
+	}
+	if _, err := resolver.ResolveTXT("mail.mfa.gov.kg"); !errors.Is(err, ErrNoData) {
+		t.Errorf("want NoData, got %v", err)
+	}
+}
+
+func TestHijackRedirectsResolution(t *testing.T) {
+	transport, resolver, kgZone := buildHierarchy(t)
+
+	// Attacker stands up their own nameserver answering for mfa.gov.kg.
+	evilZone := dnscore.NewZone("mfa.gov.kg")
+	evilZone.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, evilMail))
+	evilSrv := NewServer()
+	evilSrv.AddZone(evilZone)
+	evilNSZone := dnscore.NewZone("kg-infocom.ru")
+	evilNSZone.MustAdd(dnscore.A("ns1.kg-infocom.ru", 300, attackerNS))
+	evilSrv.AddZone(evilNSZone)
+	transport.Register(attackerNS, evilSrv)
+
+	// The attacker's nameserver name lives under .ru, so it is reached via
+	// the root (the kg registry cannot carry out-of-bailiwick glue).
+	rootSrv, _ := transport.Server(rootIP)
+	rootZone, _ := rootSrv.Zone("")
+	rootZone.MustAdd(dnscore.NS("kg-infocom.ru", 86400, "ns1.kg-infocom.ru"))
+	rootZone.MustAdd(dnscore.A("ns1.kg-infocom.ru", 86400, attackerNS))
+
+	// Registry-level hijack: replace the delegation in the kg TLD zone,
+	// exactly as in the paper's mfa.gov.kg case study.
+	if err := kgZone.Replace("mfa.gov.kg", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, err := resolver.ResolveA("mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs[0] != evilMail {
+		t.Fatalf("hijacked resolution returned %v, want %v", addrs, evilMail)
+	}
+
+	// Roll back the hijack; resolution must return to legitimate infra.
+	if err := kgZone.Replace("mfa.gov.kg", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("mfa.gov.kg", 3600, "ns1.infocom.kg"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err = resolver.ResolveA("mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs[0] != legitMail {
+		t.Fatalf("post-rollback resolution returned %v, want %v", addrs, legitMail)
+	}
+}
+
+func TestObserverSeesDelegationsAndAnswers(t *testing.T) {
+	_, resolver, _ := buildHierarchy(t)
+	var mu sync.Mutex
+	var seen []Observation
+	resolver.AddObserver(func(o Observation) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, o)
+	})
+	if _, err := resolver.ResolveA("mail.mfa.gov.kg"); err != nil {
+		t.Fatal(err)
+	}
+	var sawDelegation, sawAnswer bool
+	for _, o := range seen {
+		if o.Type == dnscore.TypeNS && o.Name == "mfa.gov.kg" {
+			sawDelegation = true
+		}
+		if o.Type == dnscore.TypeA && o.Name == "mail.mfa.gov.kg" {
+			sawAnswer = true
+		}
+	}
+	if !sawDelegation || !sawAnswer {
+		t.Fatalf("observer missed events: delegation=%v answer=%v (%d observations)", sawDelegation, sawAnswer, len(seen))
+	}
+}
+
+func TestGluelessDelegation(t *testing.T) {
+	transport, resolver, kgZone := buildHierarchy(t)
+	// Delegate fiu.gov.kg to a nameserver with no glue in the kg zone; the
+	// resolver must resolve ns1.infocom.kg out-of-band.
+	kgZone.MustAdd(dnscore.NS("fiu.gov.kg", 3600, "ns2.infocom.kg"))
+	fiuZone := dnscore.NewZone("fiu.gov.kg")
+	fiuZone.MustAdd(dnscore.A("mail.fiu.gov.kg", 300, netip.MustParseAddr("92.62.65.30")))
+	fiuSrv := NewServer()
+	fiuSrv.AddZone(fiuZone)
+	ns2IP := netip.MustParseAddr("92.62.65.3")
+	transport.Register(ns2IP, fiuSrv)
+	// ns2.infocom.kg lives in the infocom.kg zone (served with glue via kg).
+	infocomSrv, _ := transport.Server(infocomIP)
+	infocomZone, _ := infocomSrv.Zone("infocom.kg")
+	infocomZone.MustAdd(dnscore.A("ns2.infocom.kg", 3600, ns2IP))
+
+	addrs, err := resolver.ResolveA("mail.fiu.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs[0] != netip.MustParseAddr("92.62.65.30") {
+		t.Fatalf("glueless resolution returned %v", addrs)
+	}
+}
+
+func TestServerHandleErrors(t *testing.T) {
+	srv := NewServer()
+	z := dnscore.NewZone("example.com")
+	srv.AddZone(z)
+
+	// Response-bit queries are FORMERR.
+	resp := srv.Handle(&dnscore.Message{Response: true, Question: []dnscore.Question{{Name: "example.com", Type: dnscore.TypeA, Class: dnscore.ClassIN}}})
+	if resp.RCode != dnscore.RCodeFormErr {
+		t.Errorf("response-bit query: %s", resp.RCode)
+	}
+	// Zero questions are FORMERR.
+	resp = srv.Handle(&dnscore.Message{})
+	if resp.RCode != dnscore.RCodeFormErr {
+		t.Errorf("zero questions: %s", resp.RCode)
+	}
+	// Non-IN class is NOTIMP.
+	resp = srv.Handle(&dnscore.Message{Question: []dnscore.Question{{Name: "example.com", Type: dnscore.TypeA, Class: 3}}})
+	if resp.RCode != dnscore.RCodeNotImp {
+		t.Errorf("CHAOS query: %s", resp.RCode)
+	}
+	// Out-of-zone queries are REFUSED.
+	resp = srv.Handle(&dnscore.Message{Question: []dnscore.Question{{Name: "other.org", Type: dnscore.TypeA, Class: dnscore.ClassIN}}})
+	if resp.RCode != dnscore.RCodeRefused {
+		t.Errorf("out-of-zone query: %s", resp.RCode)
+	}
+}
+
+func TestServerZoneManagement(t *testing.T) {
+	srv := NewServer()
+	z := dnscore.NewZone("example.com")
+	srv.AddZone(z)
+	if _, ok := srv.Zone("example.com"); !ok {
+		t.Fatal("zone not found after add")
+	}
+	srv.RemoveZone("example.com")
+	if _, ok := srv.Zone("example.com"); ok {
+		t.Fatal("zone found after remove")
+	}
+}
+
+func TestLongestSuffixZoneSelection(t *testing.T) {
+	srv := NewServer()
+	parent := dnscore.NewZone("gov.kg")
+	parent.MustAdd(dnscore.A("x.mfa.gov.kg", 60, netip.MustParseAddr("10.0.0.1")))
+	child := dnscore.NewZone("mfa.gov.kg")
+	child.MustAdd(dnscore.A("x.mfa.gov.kg", 60, netip.MustParseAddr("10.0.0.2")))
+	srv.AddZone(parent)
+	srv.AddZone(child)
+	resp := srv.Handle(&dnscore.Message{Question: []dnscore.Question{{Name: "x.mfa.gov.kg", Type: dnscore.TypeA, Class: dnscore.ClassIN}}})
+	if len(resp.Answer) != 1 || resp.Answer[0].Data != "10.0.0.2" {
+		t.Fatalf("longest-suffix selection failed: %v", resp.Answer)
+	}
+}
+
+func TestMemTransportUnknownServer(t *testing.T) {
+	transport := NewMemTransport()
+	_, err := transport.Exchange(netip.MustParseAddr("10.9.9.9"), &dnscore.Message{
+		Question: []dnscore.Question{{Name: "x.com", Type: dnscore.TypeA, Class: dnscore.ClassIN}},
+	})
+	if !errors.Is(err, ErrNoServer) {
+		t.Fatalf("want ErrNoServer, got %v", err)
+	}
+	transport.Register(netip.MustParseAddr("10.9.9.9"), NewServer())
+	transport.Unregister(netip.MustParseAddr("10.9.9.9"))
+	if _, ok := transport.Server(netip.MustParseAddr("10.9.9.9")); ok {
+		t.Fatal("server found after unregister")
+	}
+}
+
+// TestUDPIntegration runs the same hierarchy over real UDP sockets.
+func TestUDPIntegration(t *testing.T) {
+	memTransport, _, _ := buildHierarchy(t)
+	udp := NewUDPTransport()
+	for _, sim := range []netip.Addr{rootIP, kgTLDIP, infocomIP} {
+		srv, _ := memTransport.Server(sim)
+		l, err := ListenUDP("127.0.0.1:0", srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		udp.Map(sim, l.Addr())
+	}
+	resolver := NewResolver(udp, []netip.Addr{rootIP})
+	addrs, err := resolver.ResolveA("mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs[0] != legitMail {
+		t.Fatalf("UDP resolution returned %v", addrs)
+	}
+	// Unknown simulated IP must error.
+	if _, err := udp.Exchange(netip.MustParseAddr("203.0.113.1"), &dnscore.Message{
+		Question: []dnscore.Question{{Name: "x.com", Type: dnscore.TypeA, Class: dnscore.ClassIN}},
+	}); !errors.Is(err, ErrNoServer) {
+		t.Fatalf("unknown UDP server: %v", err)
+	}
+}
+
+func TestResolutionFailsWithoutRoots(t *testing.T) {
+	transport := NewMemTransport()
+	resolver := NewResolver(transport, nil)
+	if _, err := resolver.ResolveA("x.com"); !errors.Is(err, ErrResolutionFailed) {
+		t.Fatalf("want resolution failure, got %v", err)
+	}
+}
+
+func TestCNAMELoopDetection(t *testing.T) {
+	transport := NewMemTransport()
+	z := dnscore.NewZone("loop.test")
+	z.MustAdd(dnscore.CNAME("a.loop.test", 60, "b.loop.test"))
+	z.MustAdd(dnscore.CNAME("b.loop.test", 60, "a.loop.test"))
+	srv := NewServer()
+	srv.AddZone(z)
+	rootZone := dnscore.NewZone("")
+	rootZone.MustAdd(dnscore.NS("loop.test", 60, "ns.loop.test"))
+	rootZone.MustAdd(dnscore.A("ns.loop.test", 60, netip.MustParseAddr("10.0.0.50")))
+	rootSrv := NewServer()
+	rootSrv.AddZone(rootZone)
+	transport.Register(rootIP, rootSrv)
+	transport.Register(netip.MustParseAddr("10.0.0.50"), srv)
+
+	resolver := NewResolver(transport, []netip.Addr{rootIP})
+	if _, err := resolver.ResolveA("a.loop.test"); err == nil {
+		t.Fatal("CNAME loop resolved successfully")
+	}
+}

@@ -1,0 +1,265 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+
+	"retrodns/internal/dnscore"
+)
+
+// Resolution limits mirroring conventional recursive resolver safeguards.
+const (
+	maxReferrals  = 24 // delegation hops per query
+	maxCNAMEChain = 8  // alias hops per query
+	maxNSDepth    = 4  // out-of-band glueless nameserver resolutions
+)
+
+// Resolution errors.
+var (
+	ErrResolutionFailed = errors.New("dnsserver: resolution failed")
+	ErrNXDomain         = errors.New("dnsserver: NXDOMAIN")
+	ErrNoData           = errors.New("dnsserver: no data")
+	ErrCNAMELoop        = errors.New("dnsserver: CNAME loop")
+)
+
+// Observation describes one fact learned during resolution. The passive-DNS
+// sensor subscribes to these; its view of a resolution is exactly what a
+// sensor between a recursive resolver and the authoritative hierarchy sees.
+type Observation struct {
+	// Name is the owner name of the observed record.
+	Name dnscore.Name
+	// Type is the record type (NS for delegations, A/CNAME/TXT for answers).
+	Type dnscore.Type
+	// Data is the record data in presentation form.
+	Data string
+	// Server is the authoritative nameserver IP that supplied the record.
+	Server netip.Addr
+}
+
+// Observer receives resolution observations.
+type Observer func(Observation)
+
+// Resolver performs iterative resolution starting from root hints, the way
+// a recursive resolver does: query a root server, follow referrals downward
+// using in-message glue (or resolving nameserver names out-of-band), and
+// chase CNAME chains.
+type Resolver struct {
+	transport Transport
+	roots     []netip.Addr
+
+	mu        sync.RWMutex
+	observers []Observer
+	anchor    *dnscore.RR // DNSSEC trust anchor (root DNSKEY)
+
+	// rng provides query IDs; deterministic seeding keeps simulations
+	// reproducible.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewResolver creates a resolver using the transport and root server hints.
+func NewResolver(transport Transport, roots []netip.Addr) *Resolver {
+	return &Resolver{
+		transport: transport,
+		roots:     append([]netip.Addr(nil), roots...),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+}
+
+// AddObserver registers an observer for every subsequent resolution.
+func (r *Resolver) AddObserver(obs Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observers = append(r.observers, obs)
+}
+
+func (r *Resolver) observe(o Observation) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, obs := range r.observers {
+		obs(o)
+	}
+}
+
+func (r *Resolver) queryID() uint16 {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return uint16(r.rng.Intn(1 << 16))
+}
+
+// Resolve iteratively resolves (name, typ) and returns the final answer
+// records. NXDOMAIN and NODATA are reported as wrapped errors so callers can
+// distinguish outcome classes.
+func (r *Resolver) Resolve(name dnscore.Name, typ dnscore.Type) (dnscore.RRSet, error) {
+	return r.resolve(name, typ, 0, 0)
+}
+
+// ResolveA resolves a name to its IPv4 addresses, following CNAMEs.
+func (r *Resolver) ResolveA(name dnscore.Name) ([]netip.Addr, error) {
+	rrs, err := r.Resolve(name, dnscore.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	var addrs []netip.Addr
+	for _, rr := range rrs {
+		if a := rr.Addr(); a.IsValid() {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: %s A", ErrNoData, name)
+	}
+	return addrs, nil
+}
+
+// ResolveTXT resolves a name's TXT strings; used by CA DNS-01 validation.
+func (r *Resolver) ResolveTXT(name dnscore.Name) ([]string, error) {
+	rrs, err := r.Resolve(name, dnscore.TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range rrs {
+		if rr.Type == dnscore.TypeTXT {
+			out = append(out, rr.Data)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s TXT", ErrNoData, name)
+	}
+	return out, nil
+}
+
+func (r *Resolver) resolve(name dnscore.Name, typ dnscore.Type, cnameDepth, nsDepth int) (dnscore.RRSet, error) {
+	if cnameDepth > maxCNAMEChain {
+		return nil, fmt.Errorf("%w: %s", ErrCNAMELoop, name)
+	}
+	if nsDepth > maxNSDepth {
+		return nil, errors.Join(ErrResolutionFailed, fmt.Errorf("glueless nameserver chain too deep at %s", name))
+	}
+	servers := append([]netip.Addr(nil), r.roots...)
+	var lastErr error
+	for hop := 0; hop < maxReferrals; hop++ {
+		if len(servers) == 0 {
+			break
+		}
+		resp, server, err := r.queryAny(servers, name, typ)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		switch {
+		case resp.RCode == dnscore.RCodeNXDomain:
+			return nil, fmt.Errorf("%w: %s", ErrNXDomain, name)
+		case resp.RCode != dnscore.RCodeNoError:
+			lastErr = fmt.Errorf("dnsserver: %s from %s for %s", resp.RCode, server, name)
+			return nil, errors.Join(ErrResolutionFailed, lastErr)
+		case len(resp.Answer) > 0:
+			for _, rr := range resp.Answer {
+				r.observe(Observation{Name: rr.Name, Type: rr.Type, Data: rr.Data, Server: server})
+			}
+			// If the answer is a CNAME chain without the target type at
+			// the end, restart resolution at the final alias target.
+			last := resp.Answer[len(resp.Answer)-1]
+			if last.Type == dnscore.TypeCNAME && typ != dnscore.TypeCNAME {
+				target := last.Target()
+				tail, err := r.resolve(target, typ, cnameDepth+1, nsDepth)
+				if err != nil {
+					return nil, err
+				}
+				return append(resp.Answer, tail...), nil
+			}
+			return resp.Answer, nil
+		case len(resp.Authority) > 0:
+			// Referral: follow the delegation.
+			for _, rr := range resp.Authority {
+				r.observe(Observation{Name: rr.Name, Type: rr.Type, Data: rr.Data, Server: server})
+			}
+			next, err := r.delegationTargets(resp, nsDepth)
+			if err != nil {
+				return nil, err
+			}
+			servers = next
+		default:
+			// Authoritative empty answer: NODATA.
+			return nil, fmt.Errorf("%w: %s %s", ErrNoData, name, typ)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("referral limit reached for %s", name)
+	}
+	return nil, errors.Join(ErrResolutionFailed, lastErr)
+}
+
+// queryAny tries each candidate server until one responds.
+func (r *Resolver) queryAny(servers []netip.Addr, name dnscore.Name, typ dnscore.Type) (*dnscore.Message, netip.Addr, error) {
+	var lastErr error
+	for _, server := range servers {
+		q := &dnscore.Message{
+			ID:       r.queryID(),
+			Question: []dnscore.Question{{Name: name, Type: typ, Class: dnscore.ClassIN}},
+		}
+		resp, err := r.transport.Exchange(server, q)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.RCode == dnscore.RCodeRefused || resp.RCode == dnscore.RCodeServFail {
+			lastErr = fmt.Errorf("dnsserver: %s from %s", resp.RCode, server)
+			continue
+		}
+		return resp, server, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no servers to query")
+	}
+	return nil, netip.Addr{}, errors.Join(ErrResolutionFailed, lastErr)
+}
+
+// delegationTargets extracts nameserver addresses from a referral, using
+// glue when present and resolving nameserver names otherwise.
+func (r *Resolver) delegationTargets(resp *dnscore.Message, nsDepth int) ([]netip.Addr, error) {
+	glue := make(map[dnscore.Name][]netip.Addr)
+	for _, rr := range resp.Additional {
+		if a := rr.Addr(); a.IsValid() {
+			glue[rr.Name] = append(glue[rr.Name], a)
+		}
+	}
+	var addrs []netip.Addr
+	var glueless []dnscore.Name
+	for _, rr := range resp.Authority {
+		if rr.Type != dnscore.TypeNS {
+			continue
+		}
+		target := rr.Target()
+		if g, ok := glue[target]; ok {
+			addrs = append(addrs, g...)
+		} else {
+			glueless = append(glueless, target)
+		}
+	}
+	// Resolve glueless nameservers out-of-band (bounded by the outer
+	// referral budget; depth here is fine because each resolves from the
+	// roots independently).
+	for _, target := range glueless {
+		if len(addrs) > 0 {
+			break // glue already gave us somewhere to go
+		}
+		got, err := r.resolve(target, dnscore.TypeA, 0, nsDepth+1)
+		if err != nil {
+			continue
+		}
+		for _, rr := range got {
+			if a := rr.Addr(); a.IsValid() {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, errors.Join(ErrResolutionFailed, errors.New("delegation with no reachable nameservers"))
+	}
+	return addrs, nil
+}

@@ -1,0 +1,183 @@
+// Package dnsserver provides the resolution plane of the simulation: an
+// authoritative nameserver that serves dnscore zones, pluggable transports
+// (in-memory for large simulations, UDP for integration tests and
+// examples), and an iterative resolver with an observation hook that feeds
+// the passive-DNS sensors.
+package dnsserver
+
+import (
+	"fmt"
+	"sync"
+
+	"retrodns/internal/dnscore"
+)
+
+// Server answers DNS queries authoritatively for a set of zones. A Server
+// models one nameserver host; in the simulation each authoritative
+// nameserver IP maps to one Server.
+type Server struct {
+	mu    sync.RWMutex
+	zones map[dnscore.Name]*dnscore.Zone
+}
+
+// NewServer creates a server with no zones.
+func NewServer() *Server {
+	return &Server{zones: make(map[dnscore.Name]*dnscore.Zone)}
+}
+
+// AddZone makes the server authoritative for z. Adding a second zone with
+// the same apex replaces the first.
+func (s *Server) AddZone(z *dnscore.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Apex()] = z
+}
+
+// RemoveZone drops authority for the zone rooted at apex.
+func (s *Server) RemoveZone(apex dnscore.Name) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, apex)
+}
+
+// Zone returns the zone with the given apex, if the server is authoritative
+// for it.
+func (s *Server) Zone(apex dnscore.Name) (*dnscore.Zone, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[apex]
+	return z, ok
+}
+
+// findZone returns the zone whose apex is the longest suffix of name.
+func (s *Server) findZone(name dnscore.Name) *dnscore.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *dnscore.Zone
+	bestLabels := -1
+	for apex, z := range s.zones {
+		if name.IsSubdomainOf(apex) && apex.NumLabels() > bestLabels {
+			best, bestLabels = z, apex.NumLabels()
+		}
+	}
+	return best
+}
+
+// Handle answers a single query message. It never returns nil: malformed or
+// unanswerable queries produce an error response, mirroring a real
+// authoritative daemon.
+func (s *Server) Handle(q *dnscore.Message) *dnscore.Message {
+	resp := &dnscore.Message{
+		ID:               q.ID,
+		Response:         true,
+		Opcode:           q.Opcode,
+		RecursionDesired: q.RecursionDesired,
+		Question:         q.Question,
+	}
+	if q.Response || len(q.Question) != 1 || q.Opcode != 0 {
+		resp.RCode = dnscore.RCodeFormErr
+		return resp
+	}
+	question := q.Question[0]
+	if question.Class != dnscore.ClassIN {
+		resp.RCode = dnscore.RCodeNotImp
+		return resp
+	}
+	zone := s.findZone(question.Name)
+	if zone == nil {
+		resp.RCode = dnscore.RCodeRefused
+		return resp
+	}
+	// DS queries are answered by the parent side of a delegation cut, as
+	// in real DNSSEC; ordinary queries at a cut are referrals.
+	if question.Type == dnscore.TypeDS {
+		if ds := zone.DirectSet(question.Name, dnscore.TypeDS); len(ds) > 0 {
+			resp.Authoritative = true
+			resp.Answer = ds
+			resp.Answer = append(resp.Answer, signaturesCovering(zone, question.Name, dnscore.TypeDS)...)
+			return resp
+		}
+	}
+	answer, delegation, exists := zone.Lookup(question.Name, question.Type)
+	switch {
+	case len(answer) > 0:
+		resp.Authoritative = true
+		resp.Answer = answer
+		resp.Answer = append(resp.Answer, signaturesCovering(zone, question.Name, question.Type)...)
+		// Chase in-zone CNAME chains for the convenience of stub clients.
+		if answer[0].Type == dnscore.TypeCNAME && question.Type != dnscore.TypeCNAME {
+			seen := map[dnscore.Name]bool{question.Name: true}
+			target := answer[0].Target()
+			for target != "" && !seen[target] {
+				seen[target] = true
+				more, _, _ := zone.Lookup(target, question.Type)
+				if len(more) == 0 {
+					break
+				}
+				resp.Answer = append(resp.Answer, more...)
+				if more[0].Type != dnscore.TypeCNAME {
+					break
+				}
+				target = more[0].Target()
+			}
+		}
+	case len(delegation) > 0:
+		// Referral: NS set in authority, any in-zone glue in additional.
+		// A signing parent also publishes the DS records (and their
+		// signatures) for the cut, so validating resolvers can extend
+		// the chain of trust.
+		resp.Authority = delegation
+		cut := delegation[0].Name
+		if ds := zone.DirectSet(cut, dnscore.TypeDS); len(ds) > 0 {
+			resp.Authority = append(resp.Authority, ds...)
+			resp.Authority = append(resp.Authority, signaturesCovering(zone, cut, dnscore.TypeDS)...)
+		}
+		for _, ns := range delegation {
+			if glue := zone.Glue(ns.Target()); len(glue) > 0 {
+				resp.Additional = append(resp.Additional, glue...)
+			}
+		}
+	case exists:
+		resp.Authoritative = true // NODATA
+	default:
+		resp.Authoritative = true
+		resp.RCode = dnscore.RCodeNXDomain
+	}
+	return resp
+}
+
+// signaturesCovering returns the RRSIG records at name that cover typ.
+func signaturesCovering(zone *dnscore.Zone, name dnscore.Name, typ dnscore.Type) dnscore.RRSet {
+	var out dnscore.RRSet
+	for _, sig := range zone.DirectSet(name, dnscore.TypeRRSIG) {
+		if covered, _, ok := dnscore.RRSIGCovers(sig); ok && covered == typ {
+			out = append(out, sig)
+		}
+	}
+	return out
+}
+
+// HandleWire answers a wire-format query, used by the UDP front end.
+func (s *Server) HandleWire(b []byte) ([]byte, error) {
+	q, err := dnscore.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: decode query: %w", err)
+	}
+	resp := s.Handle(q)
+	out, err := resp.Encode()
+	if err == nil {
+		return out, nil
+	}
+	// Truncate: shed sections until the response fits, setting TC.
+	resp.Truncated = true
+	resp.Additional = nil
+	if out, err = resp.Encode(); err == nil {
+		return out, nil
+	}
+	resp.Authority = nil
+	if out, err = resp.Encode(); err == nil {
+		return out, nil
+	}
+	resp.Answer = nil
+	return resp.Encode()
+}

@@ -1,0 +1,211 @@
+package dnsserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"retrodns/internal/dnscore"
+)
+
+// TCP transport for DNS, RFC 1035 §4.2.2: messages are length-prefixed with
+// a two-octet big-endian size, and responses that arrive truncated over UDP
+// (TC bit set) are retried over TCP, where the 512-octet ceiling does not
+// apply.
+
+// maxTCPMessage bounds a TCP-framed DNS message.
+const maxTCPMessage = 64 << 10
+
+// TCPListener serves a Server over a TCP socket with RFC 1035 framing.
+type TCPListener struct {
+	srv      *Server
+	listener net.Listener
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ListenTCP starts serving srv on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string, srv *Server) (*TCPListener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: listen tcp %q: %w", addr, err)
+	}
+	t := &TCPListener{srv: srv, listener: l, done: make(chan struct{})}
+	t.wg.Add(1)
+	go t.serve()
+	return t, nil
+}
+
+// Addr returns the bound address.
+func (t *TCPListener) Addr() net.Addr { return t.listener.Addr() }
+
+// Close stops the listener and waits for the accept loop.
+func (t *TCPListener) Close() error {
+	close(t.done)
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPListener) serve() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			t.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn serves queries on one connection until EOF or error. TCP DNS
+// allows multiple queries per connection.
+func (t *TCPListener) handleConn(conn net.Conn) {
+	for {
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+		query, err := readTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		q, err := dnscore.Decode(query)
+		if err != nil {
+			return
+		}
+		resp := t.srv.Handle(q)
+		wire, err := encodeUnbounded(resp)
+		if err != nil {
+			return
+		}
+		if err := writeTCPMessage(conn, wire); err != nil {
+			return
+		}
+	}
+}
+
+// encodeUnbounded encodes a response without the UDP size ceiling: TCP
+// responses never need truncation (within the 64 KiB frame).
+func encodeUnbounded(m *dnscore.Message) ([]byte, error) {
+	wire, err := m.Encode()
+	if err == nil {
+		return wire, nil
+	}
+	if !errors.Is(err, dnscore.ErrMessageTooLong) {
+		return nil, err
+	}
+	return m.EncodeTCP()
+}
+
+// readTCPMessage reads one length-prefixed message.
+func readTCPMessage(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n == 0 {
+		return nil, errors.New("dnsserver: zero-length TCP message")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeTCPMessage writes one length-prefixed message.
+func writeTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > maxTCPMessage {
+		return fmt.Errorf("dnsserver: message of %d octets exceeds TCP frame", len(msg))
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// FallbackTransport exchanges over UDP and retries truncated responses
+// over TCP, the way stub and recursive resolvers do.
+type FallbackTransport struct {
+	udp *UDPTransport
+
+	mu  sync.RWMutex
+	tcp map[netip.Addr]net.Addr
+	// Timeout bounds each TCP exchange.
+	Timeout time.Duration
+}
+
+// NewFallbackTransport wraps a UDP transport with TCP retry.
+func NewFallbackTransport(udp *UDPTransport) *FallbackTransport {
+	return &FallbackTransport{udp: udp, tcp: make(map[netip.Addr]net.Addr), Timeout: 2 * time.Second}
+}
+
+// MapTCP associates a simulated nameserver IP with a live TCP address.
+func (t *FallbackTransport) MapTCP(sim netip.Addr, real net.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tcp[sim] = real
+}
+
+// Exchange implements Transport.
+func (t *FallbackTransport) Exchange(server netip.Addr, query *dnscore.Message) (*dnscore.Message, error) {
+	resp, err := t.udp.Exchange(server, query)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Truncated {
+		return resp, nil
+	}
+	return t.exchangeTCP(server, query)
+}
+
+func (t *FallbackTransport) exchangeTCP(server netip.Addr, query *dnscore.Message) (*dnscore.Message, error) {
+	t.mu.RLock()
+	addr, ok := t.tcp[server]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no TCP mapping for %s", ErrNoServer, server)
+	}
+	conn, err := net.DialTimeout("tcp", addr.String(), t.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: dial tcp %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(t.Timeout))
+	wire, err := query.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeTCPMessage(conn, wire); err != nil {
+		return nil, err
+	}
+	respWire, err := readTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := dnscore.Decode(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != query.ID {
+		return nil, errors.New("dnsserver: TCP response ID mismatch")
+	}
+	return resp, nil
+}

@@ -1,0 +1,233 @@
+package dnsserver
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"retrodns/internal/dnscore"
+)
+
+// bigZone returns a zone whose TXT answer cannot fit a 512-octet UDP
+// message, forcing truncation.
+func bigZone(t *testing.T) (*Server, dnscore.Name) {
+	t.Helper()
+	zone := dnscore.NewZone("big.test")
+	name := dnscore.Name("records.big.test")
+	for i := 0; i < 6; i++ {
+		zone.MustAdd(dnscore.TXT(name, 60, fmt.Sprintf("%02d-%s", i, strings.Repeat("x", 180))))
+	}
+	srv := NewServer()
+	srv.AddZone(zone)
+	return srv, name
+}
+
+func TestUDPTruncationSetsTC(t *testing.T) {
+	srv, name := bigZone(t)
+	transport := NewMemTransport()
+	addr := netip.MustParseAddr("10.0.0.1")
+	transport.Register(addr, srv)
+
+	resp, err := transport.Exchange(addr, &dnscore.Message{
+		ID:       7,
+		Question: []dnscore.Question{{Name: name, Type: dnscore.TypeTXT, Class: dnscore.ClassIN}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("oversize answer not truncated over UDP")
+	}
+}
+
+func TestTCPFramingRoundTrip(t *testing.T) {
+	srv, name := bigZone(t)
+	l, err := ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+
+	// Two queries on one connection (TCP DNS allows pipelined use).
+	for i := 0; i < 2; i++ {
+		q := &dnscore.Message{
+			ID:       uint16(100 + i),
+			Question: []dnscore.Question{{Name: name, Type: dnscore.TypeTXT, Class: dnscore.ClassIN}},
+		}
+		wire, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeTCPMessage(conn, wire); err != nil {
+			t.Fatal(err)
+		}
+		respWire, err := readTCPMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := dnscore.Decode(respWire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Truncated {
+			t.Fatal("TCP response truncated")
+		}
+		if len(resp.Answer) != 6 {
+			t.Fatalf("TCP answer has %d records, want 6", len(resp.Answer))
+		}
+		if resp.ID != q.ID {
+			t.Fatalf("ID mismatch: %d vs %d", resp.ID, q.ID)
+		}
+	}
+}
+
+// TestFallbackTransport drives the full client behavior: UDP first, TC bit
+// observed, retry over TCP, full answer returned.
+func TestFallbackTransport(t *testing.T) {
+	srv, name := bigZone(t)
+	sim := netip.MustParseAddr("10.0.0.1")
+
+	udpListener, err := ListenUDP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udpListener.Close()
+	tcpListener, err := ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpListener.Close()
+
+	udp := NewUDPTransport()
+	udp.Map(sim, udpListener.Addr())
+	fb := NewFallbackTransport(udp)
+	fb.MapTCP(sim, tcpListener.Addr())
+
+	resp, err := fb.Exchange(sim, &dnscore.Message{
+		ID:       9,
+		Question: []dnscore.Question{{Name: name, Type: dnscore.TypeTXT, Class: dnscore.ClassIN}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated || len(resp.Answer) != 6 {
+		t.Fatalf("fallback answer: tc=%v records=%d", resp.Truncated, len(resp.Answer))
+	}
+
+	// Small answers stay on UDP (no TCP mapping needed).
+	smallZone := dnscore.NewZone("small.test")
+	smallZone.MustAdd(dnscore.A("www.small.test", 60, netip.MustParseAddr("10.1.1.1")))
+	smallSrv := NewServer()
+	smallSrv.AddZone(smallZone)
+	smallSim := netip.MustParseAddr("10.0.0.2")
+	smallUDP, err := ListenUDP("127.0.0.1:0", smallSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smallUDP.Close()
+	udp.Map(smallSim, smallUDP.Addr())
+	if _, err := fb.Exchange(smallSim, &dnscore.Message{
+		ID:       10,
+		Question: []dnscore.Question{{Name: "www.small.test", Type: dnscore.TypeA, Class: dnscore.ClassIN}},
+	}); err != nil {
+		t.Fatalf("small answer over UDP-only: %v", err)
+	}
+
+	// Truncated response with no TCP mapping errors cleanly.
+	fb2 := NewFallbackTransport(udp)
+	if _, err := fb2.Exchange(sim, &dnscore.Message{
+		ID:       11,
+		Question: []dnscore.Question{{Name: name, Type: dnscore.TypeTXT, Class: dnscore.ClassIN}},
+	}); err == nil {
+		t.Fatal("missing TCP mapping not reported")
+	}
+}
+
+// TestResolverOverFallback runs iterative resolution where the final
+// answer requires the TCP retry.
+func TestResolverOverFallback(t *testing.T) {
+	bigSrv, name := bigZone(t)
+	rootZone := dnscore.NewZone("")
+	rootZone.MustAdd(dnscore.NS("big.test", 60, "ns.big.test"))
+	rootZone.MustAdd(dnscore.A("ns.big.test", 60, netip.MustParseAddr("10.0.0.1")))
+	rootSrv := NewServer()
+	rootSrv.AddZone(rootZone)
+
+	udp := NewUDPTransport()
+	fb := NewFallbackTransport(udp)
+	rootSim := netip.MustParseAddr("198.41.0.4")
+	authSim := netip.MustParseAddr("10.0.0.1")
+	for _, pair := range []struct {
+		sim netip.Addr
+		srv *Server
+	}{{rootSim, rootSrv}, {authSim, bigSrv}} {
+		ul, err := ListenUDP("127.0.0.1:0", pair.srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ul.Close()
+		udp.Map(pair.sim, ul.Addr())
+		tl, err := ListenTCP("127.0.0.1:0", pair.srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tl.Close()
+		fb.MapTCP(pair.sim, tl.Addr())
+	}
+
+	resolver := NewResolver(fb, []netip.Addr{rootSim})
+	rrs, err := resolver.Resolve(name, dnscore.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 6 {
+		t.Fatalf("resolved %d TXT records, want 6", len(rrs))
+	}
+}
+
+func TestTCPMessageFraming(t *testing.T) {
+	// Zero-length frames are rejected.
+	if _, err := readTCPMessage(strings.NewReader("\x00\x00")); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	// Oversize writes are rejected.
+	var sink strings.Builder
+	if err := writeTCPMessage(&sink, make([]byte, maxTCPMessage+1)); err == nil {
+		t.Error("oversize frame accepted")
+	}
+	// Short reads surface as errors.
+	if _, err := readTCPMessage(strings.NewReader("\x00\x10abc")); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestEncodeTCPUnbounded(t *testing.T) {
+	m := &dnscore.Message{ID: 1}
+	for i := 0; i < 10; i++ {
+		m.Answer = append(m.Answer, dnscore.TXT("t.example.com", 60, strings.Repeat("y", 200)))
+	}
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("UDP encode accepted oversize message")
+	}
+	wire, err := m.EncodeTCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dnscore.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answer) != 10 {
+		t.Fatalf("TCP round trip lost records: %d", len(got.Answer))
+	}
+}

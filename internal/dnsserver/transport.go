@@ -1,0 +1,193 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"retrodns/internal/dnscore"
+)
+
+// Transport delivers a query to the nameserver at a (simulated) IP address
+// and returns its response. The simulation uses MemTransport for scale; the
+// examples and integration tests use UDPTransport over real sockets.
+type Transport interface {
+	Exchange(server netip.Addr, query *dnscore.Message) (*dnscore.Message, error)
+}
+
+// ErrNoServer is returned when no nameserver is reachable at an address.
+var ErrNoServer = errors.New("dnsserver: no server at address")
+
+// MemTransport routes queries directly to in-process Servers keyed by their
+// simulated IP address. Exchanges are synchronous function calls, so a
+// simulation can resolve millions of names without sockets.
+type MemTransport struct {
+	mu      sync.RWMutex
+	servers map[netip.Addr]*Server
+}
+
+// NewMemTransport creates an empty in-memory network.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{servers: make(map[netip.Addr]*Server)}
+}
+
+// Register places srv at addr, replacing any previous occupant.
+func (t *MemTransport) Register(addr netip.Addr, srv *Server) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.servers[addr] = srv
+}
+
+// Unregister removes whatever server is at addr.
+func (t *MemTransport) Unregister(addr netip.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.servers, addr)
+}
+
+// Server returns the server registered at addr.
+func (t *MemTransport) Server(addr netip.Addr) (*Server, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := t.servers[addr]
+	return s, ok
+}
+
+// Exchange implements Transport.
+func (t *MemTransport) Exchange(server netip.Addr, query *dnscore.Message) (*dnscore.Message, error) {
+	srv, ok := t.Server(server)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoServer, server)
+	}
+	// Round-trip through the wire format so that the in-memory path
+	// exercises exactly the same encoding as the UDP path.
+	wire, err := query.Encode()
+	if err != nil {
+		return nil, err
+	}
+	respWire, err := srv.HandleWire(wire)
+	if err != nil {
+		return nil, err
+	}
+	return dnscore.Decode(respWire)
+}
+
+// UDPListener serves a Server on a real UDP socket. It maps one simulated
+// nameserver onto localhost for integration tests and runnable examples.
+type UDPListener struct {
+	srv  *Server
+	conn *net.UDPConn
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ListenUDP starts serving srv on addr (e.g. "127.0.0.1:0") and returns the
+// listener. Close must be called to release the socket.
+func ListenUDP(addr string, srv *Server) (*UDPListener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: listen %q: %w", addr, err)
+	}
+	l := &UDPListener{srv: srv, conn: conn, done: make(chan struct{})}
+	l.wg.Add(1)
+	go l.serve()
+	return l, nil
+}
+
+// Addr returns the bound socket address.
+func (l *UDPListener) Addr() *net.UDPAddr { return l.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the listener and waits for the serve loop to exit.
+func (l *UDPListener) Close() error {
+	close(l.done)
+	err := l.conn.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *UDPListener) serve() {
+	defer l.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-l.done:
+				return
+			default:
+				continue // transient read error; keep serving
+			}
+		}
+		resp, err := l.srv.HandleWire(buf[:n])
+		if err != nil {
+			continue // drop malformed queries, as real servers do
+		}
+		_, _ = l.conn.WriteToUDP(resp, peer)
+	}
+}
+
+// UDPTransport sends queries over real UDP sockets. Simulated nameserver
+// IPs are mapped to localhost socket addresses via Map.
+type UDPTransport struct {
+	mu      sync.RWMutex
+	mapping map[netip.Addr]*net.UDPAddr
+	// Timeout bounds each exchange; defaults to one second.
+	Timeout time.Duration
+}
+
+// NewUDPTransport creates an empty UDP transport.
+func NewUDPTransport() *UDPTransport {
+	return &UDPTransport{mapping: make(map[netip.Addr]*net.UDPAddr), Timeout: time.Second}
+}
+
+// Map associates a simulated nameserver IP with a live socket address.
+func (t *UDPTransport) Map(sim netip.Addr, real *net.UDPAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mapping[sim] = real
+}
+
+// Exchange implements Transport.
+func (t *UDPTransport) Exchange(server netip.Addr, query *dnscore.Message) (*dnscore.Message, error) {
+	t.mu.RLock()
+	real, ok := t.mapping[server]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoServer, server)
+	}
+	wire, err := query.Encode()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, real)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: dial %s: %w", real, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(t.Timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("dnsserver: send: %w", err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: receive: %w", err)
+	}
+	resp, err := dnscore.Decode(buf[:n])
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != query.ID {
+		return nil, errors.New("dnsserver: response ID mismatch")
+	}
+	return resp, nil
+}

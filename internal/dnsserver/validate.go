@@ -1,0 +1,267 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"retrodns/internal/dnscore"
+)
+
+// DNSSEC validation: ResolveSecure walks the delegation chain like Resolve
+// but additionally maintains the chain of trust — trust anchor → root
+// DNSKEY → DS → child DNSKEY → RRSIG — and reports whether the final
+// answer was Secure, Insecure (a delegation legitimately published no DS),
+// or Bogus (a published DS was not honored by a valid signature).
+//
+// This is the mechanism the paper's §2.2 shows failing under
+// infrastructure hijack: the attacker who rewrites the delegation also
+// strips the DS, downgrading the domain from Secure to Insecure rather
+// than to Bogus — a transition a monitor can observe (§7.1).
+
+// ErrNoTrustAnchor is returned by ResolveSecure when no anchor is set.
+var ErrNoTrustAnchor = errors.New("dnsserver: no trust anchor configured")
+
+// SetTrustAnchor installs the root zone's DNSKEY as the validation anchor.
+func (r *Resolver) SetTrustAnchor(anchor dnscore.RR) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.anchor = &anchor
+}
+
+// trustAnchor returns the configured anchor.
+func (r *Resolver) trustAnchor() *dnscore.RR {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.anchor
+}
+
+// chainState tracks validation as the walk descends.
+type chainState struct {
+	// secure is true while an unbroken chain of DS records exists.
+	secure bool
+	// zone is the apex of the zone the current servers are authoritative
+	// for ("" at the root).
+	zone dnscore.Name
+	// ds holds the DS set published by the parent for `zone` (nil at the
+	// root, where the trust anchor takes its place).
+	ds dnscore.RRSet
+}
+
+// ResolveSecure resolves (name, typ) with DNSSEC validation and returns
+// the answer records (signatures stripped), the security status, and any
+// resolution error. A Bogus chain returns an error: validating resolvers
+// refuse bogus data.
+func (r *Resolver) ResolveSecure(name dnscore.Name, typ dnscore.Type) (dnscore.RRSet, dnscore.SecurityStatus, error) {
+	if r.trustAnchor() == nil {
+		return nil, dnscore.StatusInsecure, ErrNoTrustAnchor
+	}
+	return r.resolveSecure(name, typ, 0)
+}
+
+func (r *Resolver) resolveSecure(name dnscore.Name, typ dnscore.Type, cnameDepth int) (dnscore.RRSet, dnscore.SecurityStatus, error) {
+	if cnameDepth > maxCNAMEChain {
+		return nil, dnscore.StatusInsecure, fmt.Errorf("%w: %s", ErrCNAMELoop, name)
+	}
+	servers := append([]netip.Addr(nil), r.roots...)
+	state := chainState{secure: true, zone: ""}
+
+	for hop := 0; hop < maxReferrals; hop++ {
+		if len(servers) == 0 {
+			break
+		}
+		resp, server, err := r.queryAny(servers, name, typ)
+		if err != nil {
+			return nil, dnscore.StatusInsecure, err
+		}
+		switch {
+		case resp.RCode == dnscore.RCodeNXDomain:
+			return nil, statusOf(state), fmt.Errorf("%w: %s", ErrNXDomain, name)
+		case resp.RCode != dnscore.RCodeNoError:
+			return nil, dnscore.StatusInsecure, errors.Join(ErrResolutionFailed,
+				fmt.Errorf("dnsserver: %s from %s for %s", resp.RCode, server, name))
+		case len(answersOnly(resp.Answer)) > 0:
+			return r.validateAnswer(name, typ, resp, server, state, cnameDepth)
+		case len(resp.Authority) > 0:
+			next, err := r.delegationTargets(resp, 0)
+			if err != nil {
+				return nil, statusOf(state), err
+			}
+			state, err = r.descend(resp, server, state)
+			if err != nil {
+				return nil, dnscore.StatusBogus, err
+			}
+			servers = next
+		default:
+			return nil, statusOf(state), fmt.Errorf("%w: %s %s", ErrNoData, name, typ)
+		}
+	}
+	return nil, dnscore.StatusInsecure, errors.Join(ErrResolutionFailed,
+		fmt.Errorf("referral limit reached for %s", name))
+}
+
+func statusOf(state chainState) dnscore.SecurityStatus {
+	if state.secure {
+		return dnscore.StatusSecure
+	}
+	return dnscore.StatusInsecure
+}
+
+// answersOnly strips RRSIG records from an answer section.
+func answersOnly(rrs dnscore.RRSet) dnscore.RRSet {
+	var out dnscore.RRSet
+	for _, rr := range rrs {
+		if rr.Type != dnscore.TypeRRSIG {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// zoneKeyFor fetches and authenticates the DNSKEY of the current zone from
+// the given server: at the root it must equal the trust anchor; below, it
+// must match the DS set the parent published.
+func (r *Resolver) zoneKeyFor(server netip.Addr, state chainState) (dnscore.RR, error) {
+	q := &dnscore.Message{
+		ID:       r.queryID(),
+		Question: []dnscore.Question{{Name: state.zone, Type: dnscore.TypeDNSKEY, Class: dnscore.ClassIN}},
+	}
+	resp, err := r.transport.Exchange(server, q)
+	if err != nil {
+		return dnscore.RR{}, fmt.Errorf("fetching DNSKEY %s: %w", state.zone, err)
+	}
+	var dnskey *dnscore.RR
+	for i, rr := range resp.Answer {
+		if rr.Type == dnscore.TypeDNSKEY && rr.Name == state.zone {
+			dnskey = &resp.Answer[i]
+			break
+		}
+	}
+	if dnskey == nil {
+		return dnscore.RR{}, fmt.Errorf("zone %s publishes no DNSKEY", state.zone)
+	}
+	if state.zone == "" || state.ds == nil {
+		anchor := r.trustAnchor()
+		if anchor == nil || anchor.Data != dnskey.Data {
+			return dnscore.RR{}, fmt.Errorf("root DNSKEY does not match trust anchor")
+		}
+		return *dnskey, nil
+	}
+	for _, ds := range state.ds {
+		if dnscore.DSMatchesKey(ds, *dnskey) {
+			return *dnskey, nil
+		}
+	}
+	return dnscore.RR{}, fmt.Errorf("DNSKEY of %s does not match the DS its parent published", state.zone)
+}
+
+// descend processes a referral: if the current zone is secure, the DS set
+// for the cut (validated under the parent key) extends the chain; a
+// missing DS downgrades to insecure; a DS whose signature fails is bogus.
+func (r *Resolver) descend(resp *dnscore.Message, server netip.Addr, state chainState) (chainState, error) {
+	var cut dnscore.Name
+	var ds, dsSigs dnscore.RRSet
+	for _, rr := range resp.Authority {
+		switch rr.Type {
+		case dnscore.TypeNS:
+			cut = rr.Name
+		case dnscore.TypeDS:
+			ds = append(ds, rr)
+		case dnscore.TypeRRSIG:
+			if covered, _, ok := dnscore.RRSIGCovers(rr); ok && covered == dnscore.TypeDS {
+				dsSigs = append(dsSigs, rr)
+			}
+		}
+	}
+	next := chainState{zone: cut, secure: false}
+	if !state.secure {
+		return next, nil
+	}
+	if len(ds) == 0 {
+		// Legitimate unsigned delegation — or an attacker-stripped DS.
+		// Either way the subtree is insecure, not bogus.
+		return next, nil
+	}
+	parentKey, err := r.zoneKeyFor(server, state)
+	if err != nil {
+		return next, err
+	}
+	sigOK := false
+	for _, sig := range dsSigs {
+		if dnscore.VerifyRRSet(cut, dnscore.TypeDS, ds, sig, parentKey) {
+			sigOK = true
+			break
+		}
+	}
+	if !sigOK {
+		return next, fmt.Errorf("DS set for %s fails validation under %s's key", cut, parentNameOf(state.zone))
+	}
+	next.secure = true
+	next.ds = ds
+	return next, nil
+}
+
+func parentNameOf(zone dnscore.Name) string {
+	if zone == "" {
+		return "the root"
+	}
+	return zone.String()
+}
+
+// validateAnswer checks the final answer's RRSIG under the authenticated
+// zone key, then chases CNAMEs with fresh validation.
+func (r *Resolver) validateAnswer(name dnscore.Name, typ dnscore.Type, resp *dnscore.Message, server netip.Addr, state chainState, cnameDepth int) (dnscore.RRSet, dnscore.SecurityStatus, error) {
+	answers := answersOnly(resp.Answer)
+	status := dnscore.StatusInsecure
+	if state.secure {
+		dnskey, err := r.zoneKeyFor(server, state)
+		if err != nil {
+			return nil, dnscore.StatusBogus, fmt.Errorf("dnsserver: bogus chain: %w", err)
+		}
+		// The first answered set is what the signature must cover.
+		first := answers[0]
+		var set dnscore.RRSet
+		for _, rr := range answers {
+			if rr.Name == first.Name && rr.Type == first.Type {
+				set = append(set, rr)
+			}
+		}
+		verified := false
+		for _, rr := range resp.Answer {
+			if rr.Type != dnscore.TypeRRSIG {
+				continue
+			}
+			if dnscore.VerifyRRSet(first.Name, first.Type, set, rr, dnskey) {
+				verified = true
+				break
+			}
+		}
+		if !verified {
+			return nil, dnscore.StatusBogus, fmt.Errorf("dnsserver: bogus answer for %s %s: signed zone returned no valid RRSIG", name, typ)
+		}
+		status = dnscore.StatusSecure
+	}
+	for _, rr := range answers {
+		r.observe(Observation{Name: rr.Name, Type: rr.Type, Data: rr.Data, Server: server})
+	}
+	last := answers[len(answers)-1]
+	if last.Type == dnscore.TypeCNAME && typ != dnscore.TypeCNAME {
+		tail, tailStatus, err := r.resolveSecure(last.Target(), typ, cnameDepth+1)
+		if err != nil {
+			return nil, tailStatus, err
+		}
+		return append(answers, tail...), worstStatus(status, tailStatus), nil
+	}
+	return answers, status, nil
+}
+
+// worstStatus combines chain outcomes: Bogus dominates, then Insecure.
+func worstStatus(a, b dnscore.SecurityStatus) dnscore.SecurityStatus {
+	if a == dnscore.StatusBogus || b == dnscore.StatusBogus {
+		return dnscore.StatusBogus
+	}
+	if a == dnscore.StatusInsecure || b == dnscore.StatusInsecure {
+		return dnscore.StatusInsecure
+	}
+	return dnscore.StatusSecure
+}

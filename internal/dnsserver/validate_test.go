@@ -1,0 +1,226 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"retrodns/internal/dnscore"
+)
+
+// signedHierarchy builds a fully signed chain:
+//
+//	root (signed, trust anchor) → kg (signed, DS in root)
+//	  → mfa.gov.kg (signed, DS in kg)   [the victim]
+//	  → unsigned.kg (no DS)             [legitimately insecure]
+//
+// It returns the resolver (with anchor installed) plus the zones and keys
+// the tests manipulate.
+type signedWorld struct {
+	transport *MemTransport
+	resolver  *Resolver
+	rootZone  *dnscore.Zone
+	rootKey   *dnscore.ZoneKey
+	kgZone    *dnscore.Zone
+	kgKey     *dnscore.ZoneKey
+	mfaZone   *dnscore.Zone
+	mfaKey    *dnscore.ZoneKey
+	evilSrv   *Server
+}
+
+func newSignedWorld(t *testing.T) *signedWorld {
+	t.Helper()
+	w := &signedWorld{transport: NewMemTransport()}
+
+	w.rootKey = dnscore.NewZoneKey("", 1)
+	w.kgKey = dnscore.NewZoneKey("kg", 2)
+	w.mfaKey = dnscore.NewZoneKey("mfa.gov.kg", 3)
+
+	w.rootZone = dnscore.NewZone("")
+	w.rootZone.MustAdd(dnscore.NS("kg", 86400, "ns.tld.kg"))
+	w.rootZone.MustAdd(dnscore.A("ns.tld.kg", 86400, kgTLDIP))
+	w.rootZone.MustAdd(dnscore.NS("kg-infocom.ru", 86400, "ns1.kg-infocom.ru"))
+	w.rootZone.MustAdd(dnscore.A("ns1.kg-infocom.ru", 86400, attackerNS))
+	w.rootZone.MustAdd(w.kgKey.DS())
+	rootSrv := NewServer()
+	rootSrv.AddZone(w.rootZone)
+	w.transport.Register(rootIP, rootSrv)
+
+	w.kgZone = dnscore.NewZone("kg")
+	w.kgZone.MustAdd(dnscore.NS("mfa.gov.kg", 3600, "ns1.infocom.kg"))
+	w.kgZone.MustAdd(dnscore.A("ns1.infocom.kg", 3600, infocomIP))
+	w.kgZone.MustAdd(dnscore.NS("unsigned.kg", 3600, "ns1.infocom.kg"))
+	w.kgZone.MustAdd(w.mfaKey.DS())
+	kgSrv := NewServer()
+	kgSrv.AddZone(w.kgZone)
+	w.transport.Register(kgTLDIP, kgSrv)
+
+	w.mfaZone = dnscore.NewZone("mfa.gov.kg")
+	w.mfaZone.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, legitMail))
+	unsignedZone := dnscore.NewZone("unsigned.kg")
+	unsignedZone.MustAdd(dnscore.A("www.unsigned.kg", 300, legitMail))
+	authSrv := NewServer()
+	authSrv.AddZone(w.mfaZone)
+	authSrv.AddZone(unsignedZone)
+	w.transport.Register(infocomIP, authSrv)
+
+	// Attacker server: answers for mfa.gov.kg, unsigned.
+	evilZone := dnscore.NewZone("mfa.gov.kg")
+	evilZone.MustAdd(dnscore.A("mail.mfa.gov.kg", 300, evilMail))
+	evilHome := dnscore.NewZone("kg-infocom.ru")
+	evilHome.MustAdd(dnscore.A("ns1.kg-infocom.ru", 3600, attackerNS))
+	w.evilSrv = NewServer()
+	w.evilSrv.AddZone(evilZone)
+	w.evilSrv.AddZone(evilHome)
+	w.transport.Register(attackerNS, w.evilSrv)
+
+	w.sign(t)
+	w.resolver = NewResolver(w.transport, []netip.Addr{rootIP})
+	w.resolver.SetTrustAnchor(w.rootKey.DNSKEY())
+	return w
+}
+
+func (w *signedWorld) sign(t *testing.T) {
+	t.Helper()
+	for _, pair := range []struct {
+		z *dnscore.Zone
+		k *dnscore.ZoneKey
+	}{{w.rootZone, w.rootKey}, {w.kgZone, w.kgKey}, {w.mfaZone, w.mfaKey}} {
+		if err := dnscore.SignZone(pair.z, pair.k); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestResolveSecureFullChain(t *testing.T) {
+	w := newSignedWorld(t)
+	rrs, status, err := w.resolver.ResolveSecure("mail.mfa.gov.kg", dnscore.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != dnscore.StatusSecure {
+		t.Fatalf("status = %s", status)
+	}
+	if len(rrs) != 1 || rrs[0].Addr() != legitMail {
+		t.Fatalf("answer = %v", rrs)
+	}
+}
+
+func TestResolveSecureUnsignedDelegation(t *testing.T) {
+	w := newSignedWorld(t)
+	_, status, err := w.resolver.ResolveSecure("www.unsigned.kg", dnscore.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != dnscore.StatusInsecure {
+		t.Fatalf("unsigned delegation status = %s", status)
+	}
+}
+
+// TestHijackWithDSStripping is the paper's §2.2 scenario: the attacker who
+// rewrites the delegation also removes the DS, so validation degrades to
+// Insecure — the resolution succeeds, pointing at the attacker, and
+// DNSSEC raises no alarm. The Secure→Insecure transition is the signal.
+func TestHijackWithDSStripping(t *testing.T) {
+	w := newSignedWorld(t)
+
+	// Pre-hijack baseline.
+	_, status, err := w.resolver.ResolveSecure("mail.mfa.gov.kg", dnscore.TypeA)
+	if err != nil || status != dnscore.StatusSecure {
+		t.Fatalf("baseline: %s, %v", status, err)
+	}
+
+	// The hijack: delegation swapped AND DS stripped at the registry.
+	if err := w.kgZone.Replace("mfa.gov.kg", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.kgZone.RemoveSet("mfa.gov.kg", dnscore.TypeDS)
+	w.sign(t) // the registry re-signs its own zone; the chain is "valid"
+
+	rrs, status, err := w.resolver.ResolveSecure("mail.mfa.gov.kg", dnscore.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != dnscore.StatusInsecure {
+		t.Fatalf("post-hijack status = %s, want insecure (DNSSEC silently bypassed)", status)
+	}
+	if rrs[0].Addr() != evilMail {
+		t.Fatalf("post-hijack answer = %v", rrs)
+	}
+}
+
+// TestHijackWithoutDSStrippingIsBogus: if the attacker forgets to strip
+// the DS, validating resolvers reject the forged answers.
+func TestHijackWithoutDSStrippingIsBogus(t *testing.T) {
+	w := newSignedWorld(t)
+	if err := w.kgZone.Replace("mfa.gov.kg", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("mfa.gov.kg", 3600, "ns1.kg-infocom.ru"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.sign(t) // DS still present
+
+	_, status, err := w.resolver.ResolveSecure("mail.mfa.gov.kg", dnscore.TypeA)
+	if status != dnscore.StatusBogus {
+		t.Fatalf("status = %s, want bogus", status)
+	}
+	if err == nil {
+		t.Fatal("bogus resolution returned no error")
+	}
+}
+
+func TestResolveSecureDetectsForgedDS(t *testing.T) {
+	w := newSignedWorld(t)
+	// Replace the kg zone's DS for mfa.gov.kg with one for a key the
+	// attacker controls, WITHOUT re-signing (the attacker cannot sign the
+	// registry zone).
+	evilKey := dnscore.NewZoneKey("mfa.gov.kg", 666)
+	if err := w.kgZone.Replace("mfa.gov.kg", dnscore.TypeDS, dnscore.RRSet{evilKey.DS()}); err != nil {
+		t.Fatal(err)
+	}
+	_, status, err := w.resolver.ResolveSecure("mail.mfa.gov.kg", dnscore.TypeA)
+	if status != dnscore.StatusBogus || err == nil {
+		t.Fatalf("forged DS: status=%s err=%v", status, err)
+	}
+	if !strings.Contains(err.Error(), "DS") {
+		t.Fatalf("error should mention DS validation: %v", err)
+	}
+}
+
+func TestResolveSecureNoAnchor(t *testing.T) {
+	w := newSignedWorld(t)
+	bare := NewResolver(w.transport, []netip.Addr{rootIP})
+	if _, _, err := bare.ResolveSecure("mail.mfa.gov.kg", dnscore.TypeA); err != ErrNoTrustAnchor {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveSecureWrongAnchor(t *testing.T) {
+	w := newSignedWorld(t)
+	w.resolver.SetTrustAnchor(dnscore.NewZoneKey("", 999).DNSKEY())
+	_, status, err := w.resolver.ResolveSecure("mail.mfa.gov.kg", dnscore.TypeA)
+	if status != dnscore.StatusBogus || err == nil {
+		t.Fatalf("wrong anchor: status=%s err=%v", status, err)
+	}
+}
+
+func TestResolveSecureNXDomainKeepsStatus(t *testing.T) {
+	w := newSignedWorld(t)
+	_, _, err := w.resolver.ResolveSecure("absent.mfa.gov.kg", dnscore.TypeA)
+	if err == nil {
+		t.Fatal("NXDOMAIN resolved")
+	}
+}
+
+func TestPlainResolveUnaffectedBySigning(t *testing.T) {
+	w := newSignedWorld(t)
+	addrs, err := w.resolver.ResolveA("mail.mfa.gov.kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs[0] != legitMail {
+		t.Fatalf("plain resolution = %v", addrs)
+	}
+}

@@ -1,0 +1,332 @@
+// Package ipmeta provides the IP metadata services the paper consumes as
+// external data sets: origin-AS lookup (CAIDA Prefix-to-AS), AS-to-
+// Organization mapping (CAIDA as2org), and IP geolocation (NetAcuity). The
+// implementations are from scratch — a binary prefix trie for longest-
+// prefix match and simple keyed tables — loaded from the simulation's own
+// announcements rather than external feeds.
+package ipmeta
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String formats the ASN in the paper's style, e.g. "AS14061".
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// OrgID identifies an organization in the AS-to-Org mapping.
+type OrgID string
+
+// CountryCode is an ISO 3166-1 alpha-2 country code.
+type CountryCode string
+
+// Unknown sentinel values returned when a lookup has no coverage.
+const (
+	UnknownASN     ASN         = 0
+	UnknownOrg     OrgID       = ""
+	UnknownCountry CountryCode = "??"
+)
+
+// trieNode is a node of the binary prefix trie.
+type trieNode struct {
+	children [2]*trieNode
+	asn      ASN
+	hasASN   bool
+}
+
+// PrefixTable maps IPv4 prefixes to origin ASNs with longest-prefix-match
+// semantics, the query CAIDA pfx2as answers. It is safe for concurrent
+// reads after construction; Announce may be interleaved with lookups.
+type PrefixTable struct {
+	mu   sync.RWMutex
+	root *trieNode
+	n    int
+}
+
+// NewPrefixTable creates an empty table.
+func NewPrefixTable() *PrefixTable {
+	return &PrefixTable{root: &trieNode{}}
+}
+
+// Announce maps prefix to origin asn, replacing any previous announcement
+// of the identical prefix. IPv6 prefixes are rejected (the study, like the
+// paper's, is IPv4-only).
+func (t *PrefixTable) Announce(prefix netip.Prefix, asn ASN) error {
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("ipmeta: only IPv4 prefixes supported, got %s", prefix)
+	}
+	if prefix.Bits() < 0 || prefix.Bits() > 32 {
+		return fmt.Errorf("ipmeta: bad prefix length %d", prefix.Bits())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node := t.root
+	addr := ipv4ToUint(prefix.Addr())
+	for i := 0; i < prefix.Bits(); i++ {
+		bit := (addr >> (31 - i)) & 1
+		if node.children[bit] == nil {
+			node.children[bit] = &trieNode{}
+		}
+		node = node.children[bit]
+	}
+	if !node.hasASN {
+		t.n++
+	}
+	node.asn, node.hasASN = asn, true
+	return nil
+}
+
+// MustAnnounce is Announce for static tables; it panics on error.
+func (t *PrefixTable) MustAnnounce(prefix string, asn ASN) {
+	if err := t.Announce(netip.MustParsePrefix(prefix), asn); err != nil {
+		panic(err)
+	}
+}
+
+// OriginASN returns the origin AS of the longest announced prefix covering
+// addr, or UnknownASN when nothing covers it.
+func (t *PrefixTable) OriginASN(addr netip.Addr) ASN {
+	if !addr.Is4() {
+		return UnknownASN
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	node := t.root
+	best := UnknownASN
+	if node.hasASN {
+		best = node.asn
+	}
+	a := ipv4ToUint(addr)
+	for i := 0; i < 32 && node != nil; i++ {
+		bit := (a >> (31 - i)) & 1
+		node = node.children[bit]
+		if node != nil && node.hasASN {
+			best = node.asn
+		}
+	}
+	return best
+}
+
+// Len returns the number of announced prefixes.
+func (t *PrefixTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+func ipv4ToUint(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Org describes one organization in the AS-to-Org mapping.
+type Org struct {
+	ID      OrgID
+	Name    string
+	Country CountryCode
+}
+
+// OrgTable maps ASNs to organizations, the query CAIDA as2org answers. The
+// paper uses it to decide whether a transient deployment's ASN is
+// organizationally related to the stable deployment's ASN (e.g. Amazon's
+// AS16509 and AS14618).
+type OrgTable struct {
+	mu    sync.RWMutex
+	byASN map[ASN]OrgID
+	orgs  map[OrgID]Org
+	names map[ASN]string
+}
+
+// NewOrgTable creates an empty mapping.
+func NewOrgTable() *OrgTable {
+	return &OrgTable{byASN: make(map[ASN]OrgID), orgs: make(map[OrgID]Org), names: make(map[ASN]string)}
+}
+
+// AddOrg registers an organization.
+func (t *OrgTable) AddOrg(org Org) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.orgs[org.ID] = org
+}
+
+// Assign maps an ASN (with its display name) to an organization.
+func (t *OrgTable) Assign(asn ASN, name string, org OrgID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byASN[asn] = org
+	t.names[asn] = name
+}
+
+// OrgOf returns the organization owning asn, or UnknownOrg.
+func (t *OrgTable) OrgOf(asn ASN) OrgID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.byASN[asn]
+}
+
+// NameOf returns the display name of asn, or "AS<n>" when unregistered.
+func (t *OrgTable) NameOf(asn ASN) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n, ok := t.names[asn]; ok {
+		return n
+	}
+	return asn.String()
+}
+
+// SameOrg reports whether two ASNs belong to the same organization. Unknown
+// ASNs are never the same org (the detector must not suppress a transient
+// because both sides are unmapped).
+func (t *OrgTable) SameOrg(a, b ASN) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	oa, ok := t.byASN[a]
+	if !ok || oa == UnknownOrg {
+		return false
+	}
+	ob, ok := t.byASN[b]
+	return ok && oa == ob
+}
+
+// Siblings returns every ASN assigned to the same org as asn, including
+// itself; nil when unmapped.
+func (t *OrgTable) Siblings(asn ASN) []ASN {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	org, ok := t.byASN[asn]
+	if !ok {
+		return nil
+	}
+	var out []ASN
+	for a, o := range t.byASN {
+		if o == org {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// geoRange is a half-open IPv4 range mapped to a country.
+type geoRange struct {
+	lo, hi uint32 // [lo, hi)
+	cc     CountryCode
+}
+
+// GeoTable maps IP addresses to countries, the query NetAcuity answers.
+// Ranges are kept sorted for binary-search lookups.
+type GeoTable struct {
+	mu     sync.RWMutex
+	ranges []geoRange
+	sorted bool
+}
+
+// NewGeoTable creates an empty geolocation table.
+func NewGeoTable() *GeoTable {
+	return &GeoTable{}
+}
+
+// AddRange maps [lo, hi) to cc. Overlapping ranges resolve to whichever
+// sorts later (last-writer-wins on ties is acceptable for the simulation,
+// which never creates overlaps).
+func (t *GeoTable) AddRange(lo, hi netip.Addr, cc CountryCode) error {
+	if !lo.Is4() || !hi.Is4() {
+		return fmt.Errorf("ipmeta: geolocation ranges are IPv4-only")
+	}
+	l, h := ipv4ToUint(lo), ipv4ToUint(hi)
+	if l >= h {
+		return fmt.Errorf("ipmeta: empty range %s-%s", lo, hi)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ranges = append(t.ranges, geoRange{lo: l, hi: h, cc: cc})
+	t.sorted = false
+	return nil
+}
+
+// AddPrefix maps every address of an IPv4 prefix to cc.
+func (t *GeoTable) AddPrefix(prefix netip.Prefix, cc CountryCode) error {
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("ipmeta: geolocation ranges are IPv4-only")
+	}
+	lo := ipv4ToUint(prefix.Masked().Addr())
+	end := uint64(lo) + uint64(1)<<(32-prefix.Bits())
+	hi := uint32(end)
+	if end >= 1<<32 { // prefix reaches the top of the space; drop the
+		hi = ^uint32(0) // broadcast address rather than wrap to zero
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ranges = append(t.ranges, geoRange{lo: lo, hi: hi, cc: cc})
+	t.sorted = false
+	return nil
+}
+
+// MustAddPrefix is AddPrefix for static tables; it panics on error.
+func (t *GeoTable) MustAddPrefix(prefix string, cc CountryCode) {
+	if err := t.AddPrefix(netip.MustParsePrefix(prefix), cc); err != nil {
+		panic(err)
+	}
+}
+
+// Country returns the country covering addr, or UnknownCountry.
+func (t *GeoTable) Country(addr netip.Addr) CountryCode {
+	if !addr.Is4() {
+		return UnknownCountry
+	}
+	t.mu.Lock()
+	if !t.sorted {
+		sort.Slice(t.ranges, func(i, j int) bool { return t.ranges[i].lo < t.ranges[j].lo })
+		t.sorted = true
+	}
+	ranges := t.ranges
+	t.mu.Unlock()
+
+	a := ipv4ToUint(addr)
+	// Find the last range starting at or before a, then walk back through
+	// any nested ranges that also start at or before it. Later entries are
+	// more specific (the simulation nests at most a handful deep), so the
+	// first hit walking backwards is the narrowest match.
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].lo > a })
+	for j := i - 1; j >= 0; j-- {
+		if a < ranges[j].hi {
+			return ranges[j].cc
+		}
+	}
+	return UnknownCountry
+}
+
+// Directory bundles the three services the way the pipeline consumes them.
+type Directory struct {
+	Prefixes *PrefixTable
+	Orgs     *OrgTable
+	Geo      *GeoTable
+}
+
+// NewDirectory creates an empty directory with all three tables.
+func NewDirectory() *Directory {
+	return &Directory{
+		Prefixes: NewPrefixTable(),
+		Orgs:     NewOrgTable(),
+		Geo:      NewGeoTable(),
+	}
+}
+
+// Annotate returns the (ASN, country) pair for an address, the annotation
+// the paper applies to every scanned IP.
+func (d *Directory) Annotate(addr netip.Addr) (ASN, CountryCode) {
+	return d.Prefixes.OriginASN(addr), d.Geo.Country(addr)
+}
+
+// Summary renders the directory's coverage for diagnostics.
+func (d *Directory) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ipmeta: %d prefixes", d.Prefixes.Len())
+	return sb.String()
+}

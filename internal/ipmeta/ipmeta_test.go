@@ -1,0 +1,239 @@
+package ipmeta
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixLongestMatch(t *testing.T) {
+	pt := NewPrefixTable()
+	pt.MustAnnounce("94.103.0.0/16", 100)
+	pt.MustAnnounce("94.103.91.0/24", 48282)
+	pt.MustAnnounce("0.0.0.0/0", 1)
+
+	cases := []struct {
+		ip   string
+		want ASN
+	}{
+		{"94.103.91.159", 48282}, // most specific /24
+		{"94.103.1.1", 100},      // covered by /16 only
+		{"8.8.8.8", 1},           // default route
+	}
+	for _, c := range cases {
+		if got := pt.OriginASN(netip.MustParseAddr(c.ip)); got != c.want {
+			t.Errorf("OriginASN(%s) = %v, want AS%d", c.ip, got, c.want)
+		}
+	}
+	if pt.Len() != 3 {
+		t.Errorf("Len = %d", pt.Len())
+	}
+}
+
+func TestPrefixNoCoverage(t *testing.T) {
+	pt := NewPrefixTable()
+	pt.MustAnnounce("10.0.0.0/8", 64512)
+	if got := pt.OriginASN(netip.MustParseAddr("11.0.0.1")); got != UnknownASN {
+		t.Errorf("uncovered IP mapped to %v", got)
+	}
+	if got := pt.OriginASN(netip.MustParseAddr("2001:db8::1")); got != UnknownASN {
+		t.Errorf("IPv6 mapped to %v", got)
+	}
+}
+
+func TestPrefixReplacement(t *testing.T) {
+	pt := NewPrefixTable()
+	pt.MustAnnounce("10.0.0.0/8", 1)
+	pt.MustAnnounce("10.0.0.0/8", 2)
+	if got := pt.OriginASN(netip.MustParseAddr("10.1.2.3")); got != 2 {
+		t.Errorf("re-announcement not applied: %v", got)
+	}
+	if pt.Len() != 1 {
+		t.Errorf("Len after replacement = %d", pt.Len())
+	}
+}
+
+func TestPrefixRejectsIPv6(t *testing.T) {
+	pt := NewPrefixTable()
+	if err := pt.Announce(netip.MustParsePrefix("2001:db8::/32"), 5); err == nil {
+		t.Fatal("IPv6 prefix accepted")
+	}
+}
+
+// Property: an address inside an announced /24 always resolves to that
+// /24's ASN when it is the most specific announcement.
+func TestPrefixMatchProperty(t *testing.T) {
+	pt := NewPrefixTable()
+	rng := rand.New(rand.NewSource(3))
+	type ann struct {
+		pfx netip.Prefix
+		asn ASN
+	}
+	var anns []ann
+	for i := 0; i < 200; i++ {
+		b := [4]byte{byte(rng.Intn(223) + 1), byte(rng.Intn(256)), byte(rng.Intn(256)), 0}
+		pfx := netip.PrefixFrom(netip.AddrFrom4(b), 24)
+		asn := ASN(rng.Intn(65000) + 1)
+		if err := pt.Announce(pfx, asn); err != nil {
+			t.Fatal(err)
+		}
+		anns = append(anns, ann{pfx, asn})
+	}
+	// Re-announcements of the same /24 overwrite; verify against the final
+	// announcement per prefix.
+	final := map[netip.Prefix]ASN{}
+	for _, a := range anns {
+		final[a.pfx] = a.asn
+	}
+	for pfx, asn := range final {
+		b := pfx.Addr().As4()
+		b[3] = byte(rng.Intn(256))
+		if got := pt.OriginASN(netip.AddrFrom4(b)); got != asn {
+			t.Fatalf("OriginASN inside %s = %v, want %v", pfx, got, asn)
+		}
+	}
+}
+
+func TestOrgTable(t *testing.T) {
+	ot := NewOrgTable()
+	ot.AddOrg(Org{ID: "amazon", Name: "Amazon.com, Inc.", Country: "US"})
+	ot.Assign(16509, "AMAZON-02", "amazon")
+	ot.Assign(14618, "AMAZON-AES", "amazon")
+	ot.Assign(14061, "DIGITALOCEAN", "do")
+
+	if !ot.SameOrg(16509, 14618) {
+		t.Error("Amazon siblings not same org")
+	}
+	if ot.SameOrg(16509, 14061) {
+		t.Error("Amazon and DO same org")
+	}
+	if ot.SameOrg(16509, 99999) || ot.SameOrg(99999, 99999) {
+		t.Error("unknown ASN matched an org")
+	}
+	if got := ot.OrgOf(16509); got != "amazon" {
+		t.Errorf("OrgOf = %q", got)
+	}
+	if got := ot.NameOf(14618); got != "AMAZON-AES" {
+		t.Errorf("NameOf = %q", got)
+	}
+	if got := ot.NameOf(424242); got != "AS424242" {
+		t.Errorf("NameOf unknown = %q", got)
+	}
+	sibs := ot.Siblings(16509)
+	if len(sibs) != 2 || sibs[0] != 14618 || sibs[1] != 16509 {
+		t.Errorf("Siblings = %v", sibs)
+	}
+	if ot.Siblings(77777) != nil {
+		t.Error("unknown ASN has siblings")
+	}
+}
+
+func TestGeoTable(t *testing.T) {
+	gt := NewGeoTable()
+	gt.MustAddPrefix("94.103.0.0/16", "RU")
+	gt.MustAddPrefix("92.62.64.0/19", "KG")
+	gt.MustAddPrefix("146.185.128.0/17", "NL")
+
+	cases := []struct {
+		ip   string
+		want CountryCode
+	}{
+		{"94.103.91.159", "RU"},
+		{"92.62.65.10", "KG"},
+		{"146.185.143.158", "NL"},
+		{"8.8.8.8", UnknownCountry},
+	}
+	for _, c := range cases {
+		if got := gt.Country(netip.MustParseAddr(c.ip)); got != c.want {
+			t.Errorf("Country(%s) = %q, want %q", c.ip, got, c.want)
+		}
+	}
+	if got := gt.Country(netip.MustParseAddr("2001:db8::1")); got != UnknownCountry {
+		t.Errorf("IPv6 geolocated to %q", got)
+	}
+}
+
+func TestGeoTableRangesAndErrors(t *testing.T) {
+	gt := NewGeoTable()
+	if err := gt.AddRange(netip.MustParseAddr("10.0.0.10"), netip.MustParseAddr("10.0.0.5"), "XX"); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := gt.AddRange(netip.MustParseAddr("2001:db8::1"), netip.MustParseAddr("2001:db8::2"), "XX"); err == nil {
+		t.Error("IPv6 range accepted")
+	}
+	if err := gt.AddPrefix(netip.MustParsePrefix("2001:db8::/64"), "XX"); err == nil {
+		t.Error("IPv6 prefix accepted")
+	}
+	if err := gt.AddRange(netip.MustParseAddr("10.0.0.0"), netip.MustParseAddr("10.0.1.0"), "AA"); err != nil {
+		t.Fatal(err)
+	}
+	if got := gt.Country(netip.MustParseAddr("10.0.0.128")); got != "AA" {
+		t.Errorf("range lookup = %q", got)
+	}
+	// Half-open: hi itself is outside.
+	if got := gt.Country(netip.MustParseAddr("10.0.1.0")); got != UnknownCountry {
+		t.Errorf("hi bound included: %q", got)
+	}
+}
+
+func TestGeoNestedRanges(t *testing.T) {
+	gt := NewGeoTable()
+	gt.MustAddPrefix("100.0.0.0/8", "US")
+	gt.MustAddPrefix("100.50.0.0/16", "DE") // more specific carve-out
+	if got := gt.Country(netip.MustParseAddr("100.50.1.1")); got != "DE" {
+		t.Errorf("nested lookup = %q", got)
+	}
+	if got := gt.Country(netip.MustParseAddr("100.51.1.1")); got != "US" {
+		t.Errorf("outer lookup = %q", got)
+	}
+}
+
+func TestGeoTopOfSpace(t *testing.T) {
+	gt := NewGeoTable()
+	gt.MustAddPrefix("255.255.255.0/24", "ZZ")
+	if got := gt.Country(netip.MustParseAddr("255.255.255.1")); got != "ZZ" {
+		t.Errorf("top-of-space lookup = %q", got)
+	}
+}
+
+func TestDirectoryAnnotate(t *testing.T) {
+	d := NewDirectory()
+	d.Prefixes.MustAnnounce("94.103.88.0/21", 48282)
+	d.Geo.MustAddPrefix("94.103.88.0/21", "RU")
+	asn, cc := d.Annotate(netip.MustParseAddr("94.103.91.159"))
+	if asn != 48282 || cc != "RU" {
+		t.Errorf("Annotate = %v, %q", asn, cc)
+	}
+	if d.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// Property: geolocation is consistent with the prefix that was inserted —
+// any address in a registered /24 maps to its country.
+func TestGeoConsistencyProperty(t *testing.T) {
+	gt := NewGeoTable()
+	codes := []CountryCode{"US", "DE", "NL", "RU", "KG", "AE"}
+	f := func(a, b uint8, pick uint8) bool {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(a%200 + 1), b, 0, 0}), 16)
+		cc := codes[int(pick)%len(codes)]
+		if err := gt.AddPrefix(pfx, cc); err != nil {
+			return false
+		}
+		got := gt.Country(netip.AddrFrom4([4]byte{byte(a%200 + 1), b, 77, 88}))
+		// Another iteration may have inserted the same /16 with a
+		// different code; accept any registered code for overlap cases,
+		// but the lookup must never be unknown.
+		return got != UnknownCountry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASNString(t *testing.T) {
+	if ASN(14061).String() != "AS14061" {
+		t.Errorf("ASN.String = %s", ASN(14061))
+	}
+}

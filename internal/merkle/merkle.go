@@ -1,0 +1,249 @@
+// Package merkle implements the append-only Merkle hash tree of RFC 6962
+// (Certificate Transparency): leaf and node hashing with domain separation,
+// root computation, audit (inclusion) proofs, and consistency proofs
+// between tree sizes. The ctlog package builds the public CT log on top of
+// it; auditors in the simulation verify the proofs end to end.
+package merkle
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the size of tree hashes in bytes.
+const HashSize = sha256.Size
+
+// Hash is a tree node hash.
+type Hash [HashSize]byte
+
+// String renders the first bytes of the hash for diagnostics.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:8]) }
+
+// Domain-separation prefixes per RFC 6962 §2.1.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// HashLeaf computes the leaf hash of data: SHA-256(0x00 || data).
+func HashLeaf(data []byte) Hash {
+	hsh := sha256.New()
+	hsh.Write([]byte{leafPrefix})
+	hsh.Write(data)
+	var out Hash
+	copy(out[:], hsh.Sum(nil))
+	return out
+}
+
+// HashChildren computes an interior node hash: SHA-256(0x01 || l || r).
+func HashChildren(l, r Hash) Hash {
+	hsh := sha256.New()
+	hsh.Write([]byte{nodePrefix})
+	hsh.Write(l[:])
+	hsh.Write(r[:])
+	var out Hash
+	copy(out[:], hsh.Sum(nil))
+	return out
+}
+
+// Tree is an append-only Merkle tree. It stores leaf hashes and caches
+// nothing else; recomputation is O(n) per proof, which is ample for the
+// simulation's log sizes and keeps the structure trivially correct.
+type Tree struct {
+	leaves []Hash
+}
+
+// NewTree creates an empty tree.
+func NewTree() *Tree { return &Tree{} }
+
+// Errors returned by proof generation.
+var (
+	ErrIndexOutOfRange = errors.New("merkle: leaf index out of range")
+	ErrBadTreeSize     = errors.New("merkle: tree size out of range")
+)
+
+// Append adds a leaf (already serialized entry data) and returns its index.
+func (t *Tree) Append(data []byte) int {
+	t.leaves = append(t.leaves, HashLeaf(data))
+	return len(t.leaves) - 1
+}
+
+// AppendLeafHash adds a precomputed leaf hash and returns its index.
+func (t *Tree) AppendLeafHash(h Hash) int {
+	t.leaves = append(t.leaves, h)
+	return len(t.leaves) - 1
+}
+
+// Size returns the number of leaves.
+func (t *Tree) Size() int { return len(t.leaves) }
+
+// Root returns the root hash of the whole tree. The root of the empty tree
+// is SHA-256 of the empty string, per RFC 6962.
+func (t *Tree) Root() Hash {
+	return t.RootAt(len(t.leaves))
+}
+
+// RootAt returns the root hash of the first size leaves.
+func (t *Tree) RootAt(size int) Hash {
+	if size <= 0 {
+		return sha256.Sum256(nil)
+	}
+	if size > len(t.leaves) {
+		size = len(t.leaves)
+	}
+	return subtreeRoot(t.leaves[:size])
+}
+
+// subtreeRoot computes MTH per RFC 6962 §2.1: split at the largest power of
+// two strictly less than n.
+func subtreeRoot(leaves []Hash) Hash {
+	n := len(leaves)
+	if n == 1 {
+		return leaves[0]
+	}
+	k := splitPoint(n)
+	return HashChildren(subtreeRoot(leaves[:k]), subtreeRoot(leaves[k:]))
+}
+
+// splitPoint returns the largest power of two strictly less than n (n ≥ 2).
+func splitPoint(n int) int {
+	k := 1
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// InclusionProof returns the audit path for leaf index within the first
+// treeSize leaves (RFC 6962 §2.1.1).
+func (t *Tree) InclusionProof(index, treeSize int) ([]Hash, error) {
+	if treeSize <= 0 || treeSize > len(t.leaves) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadTreeSize, treeSize, len(t.leaves))
+	}
+	if index < 0 || index >= treeSize {
+		return nil, fmt.Errorf("%w: %d of %d", ErrIndexOutOfRange, index, treeSize)
+	}
+	return inclusion(t.leaves[:treeSize], index), nil
+}
+
+func inclusion(leaves []Hash, index int) []Hash {
+	n := len(leaves)
+	if n == 1 {
+		return nil
+	}
+	k := splitPoint(n)
+	if index < k {
+		return append(inclusion(leaves[:k], index), subtreeRoot(leaves[k:]))
+	}
+	return append(inclusion(leaves[k:], index-k), subtreeRoot(leaves[:k]))
+}
+
+// VerifyInclusion checks an audit path: that leafHash at index is included
+// in the tree of the given size with the given root (RFC 6962 §2.1.1
+// algorithm, iterative form).
+func VerifyInclusion(leafHash Hash, index, treeSize int, proof []Hash, root Hash) bool {
+	if index < 0 || treeSize <= 0 || index >= treeSize {
+		return false
+	}
+	fn, sn := index, treeSize-1
+	r := leafHash
+	for _, p := range proof {
+		if sn == 0 {
+			return false // proof longer than the path
+		}
+		if fn%2 == 1 || fn == sn {
+			r = HashChildren(p, r)
+			if fn%2 == 0 {
+				for fn%2 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = HashChildren(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && r == root
+}
+
+// ConsistencyProof returns a proof that the tree of size m is a prefix of
+// the tree of size n (RFC 6962 §2.1.2).
+func (t *Tree) ConsistencyProof(m, n int) ([]Hash, error) {
+	if n <= 0 || n > len(t.leaves) {
+		return nil, fmt.Errorf("%w: n=%d of %d", ErrBadTreeSize, n, len(t.leaves))
+	}
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrBadTreeSize, m, n)
+	}
+	if m == n {
+		return nil, nil
+	}
+	return consistency(t.leaves[:n], m, true), nil
+}
+
+func consistency(leaves []Hash, m int, completeSubtree bool) []Hash {
+	n := len(leaves)
+	if m == n {
+		if completeSubtree {
+			return nil
+		}
+		return []Hash{subtreeRoot(leaves)}
+	}
+	k := splitPoint(n)
+	if m <= k {
+		proof := consistency(leaves[:k], m, completeSubtree)
+		return append(proof, subtreeRoot(leaves[k:]))
+	}
+	proof := consistency(leaves[k:], m-k, false)
+	return append(proof, subtreeRoot(leaves[:k]))
+}
+
+// VerifyConsistency checks that root2 (size n) extends root1 (size m) using
+// the consistency proof (RFC 6962 §2.1.4.2).
+func VerifyConsistency(m, n int, root1, root2 Hash, proof []Hash) bool {
+	switch {
+	case m <= 0 || n <= 0 || m > n:
+		return false
+	case m == n:
+		return root1 == root2 && len(proof) == 0
+	}
+	// If m is a power of two dividing into the left subtree exactly, the
+	// proof starts implicitly from root1.
+	fn, sn := m-1, n-1
+	var fr, sr Hash
+	rest := proof
+	if fn&(fn+1) == 0 { // m is a power of two (fn is all ones)
+		fr, sr = root1, root1
+	} else {
+		if len(proof) == 0 {
+			return false
+		}
+		fr, sr = proof[0], proof[0]
+		rest = proof[1:]
+	}
+	for fn%2 == 1 { // skip complete right-subtrees of the first root
+		fn >>= 1
+		sn >>= 1
+	}
+	for _, p := range rest {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			fr = HashChildren(p, fr)
+			sr = HashChildren(p, sr)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			sr = HashChildren(sr, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && fr == root1 && sr == root2
+}

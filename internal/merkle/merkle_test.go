@@ -1,0 +1,242 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// RFC 6962 test vectors for the tree built from leaves "", "\x00", "\x10",
+// "\x20\x21", "\x30\x31", "\x40\x41\x42\x43", "\x50\x51\x52\x53\x54\x55\x56\x57",
+// "\x60\x61\x62\x63\x64\x65\x66\x67\x68\x69\x6a\x6b\x6c\x6d\x6e\x6f".
+var rfcLeaves = [][]byte{
+	{},
+	{0x00},
+	{0x10},
+	{0x20, 0x21},
+	{0x30, 0x31},
+	{0x40, 0x41, 0x42, 0x43},
+	{0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57},
+	{0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x6b, 0x6c, 0x6d, 0x6e, 0x6f},
+}
+
+var rfcRoots = map[int]string{
+	1: "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d",
+	2: "fac54203e7cc696cf0dfcb42c92a1d9dbaf70ad9e621f4bd8d98662f00e3c125",
+	3: "aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77",
+	4: "d37ee418976dd95753c1c73862b9398fa2a2cf9b4ff0fdfe8b30cd95209614b7",
+	5: "4e3bbb1f7b478dcfe71fb631631519a3bca12c9aefca1612bfce4c13a86264d4",
+	6: "76e67dadbcdf1e10e1b74ddc608abd2f98dfb16fbce75277b5232a127f2087ef",
+	7: "ddb89be403809e325750d3d263cd78929c2942b7942a34b77e122c9594a74c8c",
+	8: "5dc9da79a70659a9ad559cb701ded9a2ab9d823aad2f4960cfe370eff4604328",
+}
+
+func TestRFC6962RootVectors(t *testing.T) {
+	tree := NewTree()
+	for i, leaf := range rfcLeaves {
+		tree.Append(leaf)
+		want := rfcRoots[i+1]
+		got := tree.Root()
+		if hex.EncodeToString(got[:]) != want {
+			t.Fatalf("root at size %d = %x, want %s", i+1, got, want)
+		}
+	}
+}
+
+func TestEmptyTreeRoot(t *testing.T) {
+	tree := NewTree()
+	want := sha256.Sum256(nil)
+	if tree.Root() != Hash(want) {
+		t.Fatalf("empty root = %v", tree.Root())
+	}
+	if tree.Size() != 0 {
+		t.Fatalf("empty size = %d", tree.Size())
+	}
+}
+
+func TestInclusionAllSizesAllIndices(t *testing.T) {
+	tree := NewTree()
+	var leafHashes []Hash
+	for i := 0; i < 64; i++ {
+		data := []byte(fmt.Sprintf("cert-entry-%d", i))
+		tree.Append(data)
+		leafHashes = append(leafHashes, HashLeaf(data))
+		for idx := 0; idx <= i; idx++ {
+			proof, err := tree.InclusionProof(idx, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifyInclusion(leafHashes[idx], idx, i+1, proof, tree.RootAt(i+1)) {
+				t.Fatalf("inclusion proof failed: index %d size %d", idx, i+1)
+			}
+		}
+	}
+}
+
+func TestInclusionRejectsWrongLeaf(t *testing.T) {
+	tree := NewTree()
+	for i := 0; i < 10; i++ {
+		tree.Append([]byte{byte(i)})
+	}
+	proof, err := tree.InclusionProof(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := HashLeaf([]byte("forged"))
+	if VerifyInclusion(wrong, 3, 10, proof, tree.Root()) {
+		t.Fatal("forged leaf verified")
+	}
+	// Right leaf, wrong index.
+	if VerifyInclusion(HashLeaf([]byte{3}), 4, 10, proof, tree.Root()) {
+		t.Fatal("wrong index verified")
+	}
+	// Truncated proof.
+	if len(proof) > 0 && VerifyInclusion(HashLeaf([]byte{3}), 3, 10, proof[:len(proof)-1], tree.Root()) {
+		t.Fatal("truncated proof verified")
+	}
+	// Extended proof.
+	if VerifyInclusion(HashLeaf([]byte{3}), 3, 10, append(append([]Hash{}, proof...), Hash{}), tree.Root()) {
+		t.Fatal("padded proof verified")
+	}
+}
+
+func TestInclusionErrors(t *testing.T) {
+	tree := NewTree()
+	tree.Append([]byte("x"))
+	if _, err := tree.InclusionProof(0, 2); err == nil {
+		t.Error("oversize treeSize accepted")
+	}
+	if _, err := tree.InclusionProof(1, 1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := tree.InclusionProof(-1, 1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := tree.InclusionProof(0, 0); err == nil {
+		t.Error("zero treeSize accepted")
+	}
+	if VerifyInclusion(Hash{}, 0, 0, nil, Hash{}) {
+		t.Error("zero-size verify passed")
+	}
+}
+
+func TestConsistencyAllSizePairs(t *testing.T) {
+	tree := NewTree()
+	for i := 0; i < 40; i++ {
+		tree.Append([]byte(fmt.Sprintf("entry-%d", i)))
+	}
+	for m := 1; m <= 40; m++ {
+		for n := m; n <= 40; n++ {
+			proof, err := tree.ConsistencyProof(m, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifyConsistency(m, n, tree.RootAt(m), tree.RootAt(n), proof) {
+				t.Fatalf("consistency proof failed: m=%d n=%d", m, n)
+			}
+		}
+	}
+}
+
+func TestConsistencyDetectsSplitView(t *testing.T) {
+	honest := NewTree()
+	forked := NewTree()
+	for i := 0; i < 16; i++ {
+		honest.Append([]byte(fmt.Sprintf("entry-%d", i)))
+		if i == 7 {
+			forked.Append([]byte("EQUIVOCATED")) // fork diverges at entry 7
+		} else {
+			forked.Append([]byte(fmt.Sprintf("entry-%d", i)))
+		}
+	}
+	proof, err := honest.ConsistencyProof(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forked tree's size-8 root must NOT be consistent with the honest
+	// size-16 root under the honest proof.
+	if VerifyConsistency(8, 16, forked.RootAt(8), honest.RootAt(16), proof) {
+		t.Fatal("split view went undetected")
+	}
+}
+
+func TestConsistencyErrors(t *testing.T) {
+	tree := NewTree()
+	for i := 0; i < 4; i++ {
+		tree.Append([]byte{byte(i)})
+	}
+	if _, err := tree.ConsistencyProof(0, 4); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := tree.ConsistencyProof(3, 5); err == nil {
+		t.Error("n beyond size accepted")
+	}
+	if _, err := tree.ConsistencyProof(4, 3); err == nil {
+		t.Error("m>n accepted")
+	}
+	if proof, _ := tree.ConsistencyProof(4, 4); proof != nil {
+		t.Error("m=n proof not empty")
+	}
+	if !VerifyConsistency(4, 4, tree.Root(), tree.Root(), nil) {
+		t.Error("m=n verify failed")
+	}
+	if VerifyConsistency(4, 4, tree.Root(), tree.Root(), []Hash{{}}) {
+		t.Error("m=n with spurious proof verified")
+	}
+	if VerifyConsistency(0, 4, Hash{}, tree.Root(), nil) {
+		t.Error("m=0 verified")
+	}
+}
+
+func TestAppendLeafHash(t *testing.T) {
+	t1 := NewTree()
+	t2 := NewTree()
+	for i := 0; i < 9; i++ {
+		data := []byte{byte(i), byte(i * 3)}
+		t1.Append(data)
+		t2.AppendLeafHash(HashLeaf(data))
+	}
+	if t1.Root() != t2.Root() {
+		t.Fatal("AppendLeafHash diverged from Append")
+	}
+}
+
+// Property test: random incremental growth preserves inclusion and
+// consistency across snapshots.
+func TestIncrementalGrowthProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tree := NewTree()
+	type snapshot struct {
+		size int
+		root Hash
+	}
+	var snaps []snapshot
+	for step := 0; step < 30; step++ {
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			buf := make([]byte, 8)
+			rng.Read(buf)
+			tree.Append(buf)
+		}
+		snaps = append(snaps, snapshot{tree.Size(), tree.Root()})
+	}
+	for i := 0; i < len(snaps); i++ {
+		for j := i; j < len(snaps); j++ {
+			proof, err := tree.ConsistencyProof(snaps[i].size, snaps[j].size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifyConsistency(snaps[i].size, snaps[j].size, snaps[i].root, snaps[j].root, proof) {
+				t.Fatalf("snapshot consistency failed: %d → %d", snaps[i].size, snaps[j].size)
+			}
+		}
+	}
+}
+
+func TestHashString(t *testing.T) {
+	h := HashLeaf([]byte("x"))
+	if len(h.String()) != 16 {
+		t.Errorf("Hash.String length = %d", len(h.String()))
+	}
+}

@@ -1,0 +1,304 @@
+// Package netsim simulates the IPv4 hosting plane: which certificate every
+// host serves on every TLS port on every day of the study. It is the ground
+// truth that the scanner package observes, the way the real Internet is the
+// ground truth Censys observes.
+//
+// Endpoints are time-bounded bindings of (IP, port) to a certificate. Two
+// special behaviours matter to the paper's attack model:
+//
+//   - Proxy endpoints forward the TLS handshake to another endpoint and
+//     therefore present whatever certificate the target currently serves —
+//     the mechanism behind the paper's Pattern T2 prelude, where attacker
+//     infrastructure returns the victim's legitimate certificate.
+//
+//   - Flaky hosts are invisible to a fraction of scans, modelling the
+//     coverage gaps that the paper's shortlisting stage must tolerate (the
+//     "missing from 20% of scans" pruning rule).
+package netsim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// TLSPorts are the ports the paper scans for certificates: HTTPS, SMTPS,
+// SMTP submission, IMAPS, POP3S.
+var TLSPorts = []uint16{443, 465, 587, 993, 995}
+
+// Endpoint addresses a TLS service.
+type Endpoint struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+// String renders ip:port.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// binding is one time-bounded service on an endpoint: either a directly
+// served certificate or a proxy to another endpoint.
+type binding struct {
+	from, to simtime.Date // [from, to)
+	cert     *x509lite.Certificate
+	proxy    *Endpoint
+}
+
+func (b *binding) activeAt(d simtime.Date) bool { return d >= b.from && d < b.to }
+
+// host carries every binding and the flakiness model for one IP.
+type host struct {
+	ports    map[uint16][]*binding
+	downProb float64
+	downSeed uint64
+}
+
+// Internet is the simulated hosting plane. It is safe for concurrent use.
+type Internet struct {
+	mu     sync.RWMutex
+	hosts  map[netip.Addr]*host
+	tokens map[httpKey][]*tokenBinding
+}
+
+type httpKey struct {
+	addr netip.Addr
+	path string
+}
+
+type tokenBinding struct {
+	from, to simtime.Date
+	token    string
+}
+
+// NewInternet creates an empty hosting plane.
+func NewInternet() *Internet {
+	return &Internet{
+		hosts:  make(map[netip.Addr]*host),
+		tokens: make(map[httpKey][]*tokenBinding),
+	}
+}
+
+// ServeHTTPToken publishes a plain-HTTP resource at addr+path during
+// [from, to) — the hosting side of ACME HTTP-01 challenges. A zero `to`
+// keeps it up through the end of the study.
+func (n *Internet) ServeHTTPToken(addr netip.Addr, path, token string, from, to simtime.Date) error {
+	if !addr.Is4() {
+		return fmt.Errorf("netsim: IPv4 only, got %s", addr)
+	}
+	to = clampEnd(to)
+	if from >= to {
+		return fmt.Errorf("netsim: empty token window at %s%s", addr, path)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := httpKey{addr, path}
+	n.tokens[k] = append(n.tokens[k], &tokenBinding{from: from, to: to, token: token})
+	return nil
+}
+
+// RemoveHTTPToken withdraws the resource at addr+path immediately.
+func (n *Internet) RemoveHTTPToken(addr netip.Addr, path string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.tokens, httpKey{addr, path})
+}
+
+// FetchHTTP retrieves the resource at addr+path on the given date,
+// honoring host flakiness like any other probe.
+func (n *Internet) FetchHTTP(addr netip.Addr, path string, at simtime.Date) (string, bool) {
+	if !n.Available(addr, at) {
+		return "", false
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var active *tokenBinding
+	for _, b := range n.tokens[httpKey{addr, path}] {
+		if at >= b.from && at < b.to {
+			active = b
+		}
+	}
+	if active == nil {
+		return "", false
+	}
+	return active.token, true
+}
+
+func (n *Internet) hostFor(addr netip.Addr) *host {
+	h, ok := n.hosts[addr]
+	if !ok {
+		h = &host{ports: make(map[uint16][]*binding)}
+		n.hosts[addr] = h
+	}
+	return h
+}
+
+// Provision serves cert on ep during [from, to). A zero to keeps the
+// endpoint up through the end of the study.
+func (n *Internet) Provision(ep Endpoint, cert *x509lite.Certificate, from, to simtime.Date) error {
+	if cert == nil {
+		return fmt.Errorf("netsim: nil certificate for %s", ep)
+	}
+	return n.bind(ep, &binding{from: from, to: clampEnd(to), cert: cert})
+}
+
+// ProvisionProxy makes ep forward handshakes to target during [from, to):
+// scans of ep observe whatever certificate target serves at scan time.
+func (n *Internet) ProvisionProxy(ep, target Endpoint, from, to simtime.Date) error {
+	if ep == target {
+		return fmt.Errorf("netsim: proxy to self at %s", ep)
+	}
+	t := target
+	return n.bind(ep, &binding{from: from, to: clampEnd(to), proxy: &t})
+}
+
+func clampEnd(to simtime.Date) simtime.Date {
+	if to <= 0 {
+		return simtime.StudyEnd
+	}
+	return to
+}
+
+func (n *Internet) bind(ep Endpoint, b *binding) error {
+	if !ep.Addr.Is4() {
+		return fmt.Errorf("netsim: IPv4 only, got %s", ep.Addr)
+	}
+	if b.from >= b.to {
+		return fmt.Errorf("netsim: empty binding window [%s,%s) at %s", b.from, b.to, ep)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.hostFor(ep.Addr)
+	h.ports[ep.Port] = append(h.ports[ep.Port], b)
+	return nil
+}
+
+// Decommission ends every binding on addr at the given date: bindings that
+// would have extended past it are truncated.
+func (n *Internet) Decommission(addr netip.Addr, at simtime.Date) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[addr]
+	if !ok {
+		return
+	}
+	for _, bindings := range h.ports {
+		for _, b := range bindings {
+			if b.to > at && b.from < at {
+				b.to = at
+			}
+		}
+	}
+}
+
+// SetFlakiness makes the host at addr invisible to a scan with probability
+// prob (deterministically derived from the seed and scan date).
+func (n *Internet) SetFlakiness(addr netip.Addr, prob float64, seed uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.hostFor(addr)
+	h.downProb = prob
+	h.downSeed = seed
+}
+
+// Available reports whether the host at addr responds to a probe on the
+// given date under its flakiness model. Unprovisioned hosts are available
+// (and simply have nothing to serve).
+func (n *Internet) Available(addr netip.Addr, at simtime.Date) bool {
+	n.mu.RLock()
+	h, ok := n.hosts[addr]
+	n.mu.RUnlock()
+	if !ok || h.downProb <= 0 {
+		return true
+	}
+	var buf [20]byte
+	b := addr.As4()
+	copy(buf[:4], b[:])
+	binary.BigEndian.PutUint64(buf[4:], h.downSeed)
+	binary.BigEndian.PutUint64(buf[12:], uint64(int64(at)))
+	sum := sha256.Sum256(buf[:])
+	v := binary.BigEndian.Uint64(sum[:8])
+	return float64(v)/float64(^uint64(0)) >= h.downProb
+}
+
+// maxProxyHops bounds proxy chains (the attack model uses depth one; the
+// bound guards against misconfigured scenarios).
+const maxProxyHops = 4
+
+// ServeAt returns the certificate presented by ep on the given date,
+// resolving proxy bindings, or false when nothing answers. When several
+// bindings overlap, the most recently provisioned wins (last writer), which
+// matches an operator re-deploying a service.
+func (n *Internet) ServeAt(ep Endpoint, at simtime.Date) (*x509lite.Certificate, bool) {
+	return n.serveAt(ep, at, 0)
+}
+
+func (n *Internet) serveAt(ep Endpoint, at simtime.Date, hops int) (*x509lite.Certificate, bool) {
+	if hops > maxProxyHops {
+		return nil, false
+	}
+	n.mu.RLock()
+	h, ok := n.hosts[ep.Addr]
+	var active *binding
+	if ok {
+		for _, b := range h.ports[ep.Port] {
+			if b.activeAt(at) {
+				active = b // later bindings override earlier ones
+			}
+		}
+	}
+	n.mu.RUnlock()
+	if active == nil {
+		return nil, false
+	}
+	if active.proxy != nil {
+		return n.serveAt(*active.proxy, at, hops+1)
+	}
+	return active.cert, true
+}
+
+// Observation is one (endpoint, certificate) fact on a date — the unit the
+// scanner collects.
+type Observation struct {
+	Endpoint Endpoint
+	Cert     *x509lite.Certificate
+}
+
+// ScanAt returns every responding TLS endpoint and the certificate it
+// presents on the given date, in deterministic (IP, port) order. Hosts that
+// are flaky-down on the date are omitted entirely, like hosts that drop
+// probes during a real scan.
+func (n *Internet) ScanAt(at simtime.Date) []Observation {
+	n.mu.RLock()
+	addrs := make([]netip.Addr, 0, len(n.hosts))
+	for a := range n.hosts {
+		addrs = append(addrs, a)
+	}
+	n.mu.RUnlock()
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+
+	var out []Observation
+	for _, addr := range addrs {
+		if !n.Available(addr, at) {
+			continue
+		}
+		for _, port := range TLSPorts {
+			ep := Endpoint{Addr: addr, Port: port}
+			if cert, ok := n.ServeAt(ep, at); ok {
+				out = append(out, Observation{Endpoint: ep, Cert: cert})
+			}
+		}
+	}
+	return out
+}
+
+// Hosts returns the number of provisioned hosts.
+func (n *Internet) Hosts() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.hosts)
+}

@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+var key = x509lite.NewSigningKey("test-ca", 1)
+
+func cert(serial uint64, name dnscore.Name, from, to simtime.Date) *x509lite.Certificate {
+	c := &x509lite.Certificate{
+		Serial: serial, Subject: name, SANs: []dnscore.Name{name},
+		Issuer: "Test CA", NotBefore: from, NotAfter: to,
+		Method: x509lite.ValidationManual,
+	}
+	key.Sign(c)
+	return c
+}
+
+var (
+	legitIP = netip.MustParseAddr("84.205.248.69")
+	evilIP  = netip.MustParseAddr("95.179.131.225")
+)
+
+func TestProvisionAndServe(t *testing.T) {
+	net := NewInternet()
+	c := cert(1, "mail.kyvernisi.gr", 0, 365)
+	ep := Endpoint{Addr: legitIP, Port: 443}
+	if err := net.Provision(ep, c, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := net.ServeAt(ep, 100)
+	if !ok || got != c {
+		t.Fatal("endpoint not serving")
+	}
+	if _, ok := net.ServeAt(Endpoint{Addr: legitIP, Port: 993}, 100); ok {
+		t.Fatal("unprovisioned port serving")
+	}
+	if _, ok := net.ServeAt(Endpoint{Addr: evilIP, Port: 443}, 100); ok {
+		t.Fatal("unprovisioned host serving")
+	}
+}
+
+func TestBindingWindow(t *testing.T) {
+	net := NewInternet()
+	c := cert(1, "mail.example.com", 0, 365)
+	ep := Endpoint{Addr: evilIP, Port: 993}
+	if err := net.Provision(ep, c, 100, 130); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   simtime.Date
+		want bool
+	}{{99, false}, {100, true}, {129, true}, {130, false}} {
+		if _, ok := net.ServeAt(ep, tc.at); ok != tc.want {
+			t.Errorf("ServeAt(%d) = %v, want %v", tc.at, ok, tc.want)
+		}
+	}
+}
+
+func TestLastBindingWins(t *testing.T) {
+	net := NewInternet()
+	old := cert(1, "www.example.com", 0, 400)
+	renewed := cert(2, "www.example.com", 300, 700)
+	ep := Endpoint{Addr: legitIP, Port: 443}
+	if err := net.Provision(ep, old, 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Provision(ep, renewed, 300, 700); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := net.ServeAt(ep, 350); got != renewed {
+		t.Fatal("rollover did not take precedence during overlap")
+	}
+	if got, _ := net.ServeAt(ep, 100); got != old {
+		t.Fatal("old cert gone before rollover")
+	}
+}
+
+func TestProxyServesTargetCert(t *testing.T) {
+	net := NewInternet()
+	victim := cert(1, "mail.mgov.ae", 0, 600)
+	victimEP := Endpoint{Addr: legitIP, Port: 443}
+	if err := net.Provision(victimEP, victim, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	proxyEP := Endpoint{Addr: evilIP, Port: 443}
+	if err := net.ProvisionProxy(proxyEP, victimEP, 200, 230); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := net.ServeAt(proxyEP, 210)
+	if !ok || got != victim {
+		t.Fatal("proxy did not relay victim certificate")
+	}
+	// After the victim rotates certificates, the proxy reflects the change
+	// at scan time — the key property behind Pattern T2.
+	rotated := cert(2, "mail.mgov.ae", 205, 800)
+	if err := net.Provision(victimEP, rotated, 205, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := net.ServeAt(proxyEP, 215); got != rotated {
+		t.Fatal("proxy did not track target rotation")
+	}
+	if _, ok := net.ServeAt(proxyEP, 231); ok {
+		t.Fatal("proxy alive outside window")
+	}
+}
+
+func TestProxyChainBounded(t *testing.T) {
+	net := NewInternet()
+	ips := make([]Endpoint, 8)
+	for i := range ips {
+		ips[i] = Endpoint{Addr: netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}), Port: 443}
+	}
+	// Build a proxy ring: every hop proxies to the next.
+	for i := range ips {
+		if err := net.ProvisionProxy(ips[i], ips[(i+1)%len(ips)], 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := net.ServeAt(ips[0], 5); ok {
+		t.Fatal("proxy ring produced a certificate")
+	}
+	if err := net.ProvisionProxy(ips[0], ips[0], 0, 10); err == nil {
+		t.Fatal("self-proxy accepted")
+	}
+}
+
+func TestDecommission(t *testing.T) {
+	net := NewInternet()
+	c := cert(1, "mail.example.com", 0, 600)
+	ep := Endpoint{Addr: evilIP, Port: 443}
+	if err := net.Provision(ep, c, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.Decommission(evilIP, 150)
+	if _, ok := net.ServeAt(ep, 160); ok {
+		t.Fatal("endpoint alive after decommission")
+	}
+	if _, ok := net.ServeAt(ep, 120); !ok {
+		t.Fatal("endpoint dead before decommission date")
+	}
+	// Decommissioning an unknown host is a no-op.
+	net.Decommission(netip.MustParseAddr("203.0.113.99"), 10)
+}
+
+func TestScanAt(t *testing.T) {
+	net := NewInternet()
+	c1 := cert(1, "mail.a.com", 0, 600)
+	c2 := cert(2, "mail.b.com", 0, 600)
+	if err := net.Provision(Endpoint{Addr: legitIP, Port: 443}, c1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Provision(Endpoint{Addr: legitIP, Port: 993}, c1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Provision(Endpoint{Addr: evilIP, Port: 995}, c2, 50, 100); err != nil {
+		t.Fatal(err)
+	}
+	obs := net.ScanAt(60)
+	if len(obs) != 3 {
+		t.Fatalf("scan found %d endpoints", len(obs))
+	}
+	// Deterministic order: sorted by IP then port.
+	if obs[0].Endpoint.Addr != legitIP || obs[0].Endpoint.Port != 443 {
+		t.Errorf("scan order wrong: %v", obs[0])
+	}
+	obs = net.ScanAt(120)
+	if len(obs) != 2 {
+		t.Fatalf("expired endpoint still scanned: %d", len(obs))
+	}
+	if net.Hosts() != 2 {
+		t.Errorf("Hosts = %d", net.Hosts())
+	}
+}
+
+func TestFlakiness(t *testing.T) {
+	net := NewInternet()
+	c := cert(1, "mail.example.com", 0, simtime.StudyEnd)
+	flaky := netip.MustParseAddr("10.1.1.1")
+	if err := net.Provision(Endpoint{Addr: flaky, Port: 443}, c, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.SetFlakiness(flaky, 0.5, 99)
+
+	down := 0
+	scans := simtime.ScanDates(simtime.StudyStart, simtime.StudyEnd)
+	for _, d := range scans {
+		if !net.Available(flaky, d) {
+			down++
+		}
+		// Availability is deterministic.
+		if net.Available(flaky, d) != net.Available(flaky, d) {
+			t.Fatal("availability not deterministic")
+		}
+	}
+	frac := float64(down) / float64(len(scans))
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("down fraction %.2f far from 0.5", frac)
+	}
+	// ScanAt must omit down hosts.
+	for _, d := range scans {
+		hit := false
+		for _, o := range net.ScanAt(d) {
+			if o.Endpoint.Addr == flaky {
+				hit = true
+			}
+		}
+		if hit == !net.Available(flaky, d) {
+			t.Fatalf("scan visibility disagrees with availability at %s", d)
+		}
+	}
+	// Unknown hosts and prob=0 hosts are always available.
+	if !net.Available(netip.MustParseAddr("203.0.113.7"), 0) {
+		t.Error("unknown host unavailable")
+	}
+}
+
+func TestProvisionErrors(t *testing.T) {
+	net := NewInternet()
+	c := cert(1, "x.com", 0, 90)
+	if err := net.Provision(Endpoint{Addr: netip.MustParseAddr("2001:db8::1"), Port: 443}, c, 0, 0); err == nil {
+		t.Error("IPv6 provision accepted")
+	}
+	if err := net.Provision(Endpoint{Addr: legitIP, Port: 443}, nil, 0, 0); err == nil {
+		t.Error("nil cert accepted")
+	}
+	if err := net.Provision(Endpoint{Addr: legitIP, Port: 443}, c, 50, 50); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := net.Provision(Endpoint{Addr: legitIP, Port: 443}, c, 60, 50); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	ep := Endpoint{Addr: legitIP, Port: 993}
+	if ep.String() != "84.205.248.69:993" {
+		t.Errorf("String = %s", ep)
+	}
+}

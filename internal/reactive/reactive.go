@@ -1,0 +1,207 @@
+// Package reactive implements the paper's §7.1 proposal: reactive DNS
+// measurement triggered by certificate issuance. A Monitor tails a CT log;
+// every new certificate covering a watched domain triggers an immediate
+// measurement of the domain's delegation and the certified name's
+// resolution, compared against a recorded baseline. The hijack signature —
+// issuance coinciding with a delegation or resolution anomaly — is flagged
+// at issuance time rather than years later.
+package reactive
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnsserver"
+	"retrodns/internal/simtime"
+)
+
+// Severity grades an alert.
+type Severity int
+
+// Alert severities.
+const (
+	// SeverityInfo: issuance observed, measurements match the baseline.
+	SeverityInfo Severity = iota
+	// SeverityWarning: the certified name resolves outside the baseline
+	// address set (possible provider-level tampering).
+	SeverityWarning
+	// SeverityCritical: the domain's delegation differs from the baseline
+	// at issuance time — the registrar-level hijack signature.
+	SeverityCritical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityCritical:
+		return "critical"
+	case SeverityWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Alert is the monitor's output for one triggering certificate.
+type Alert struct {
+	Severity Severity
+	Domain   dnscore.Name
+	// Name is the certified name that triggered the measurement.
+	Name dnscore.Name
+	// EntryID is the CT log entry.
+	EntryID int64
+	Issuer  string
+	Date    simtime.Date
+	// Delegation is the measured NS set; Addresses the measured A set.
+	Delegation []dnscore.Name
+	Addresses  []netip.Addr
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// String renders the alert one line.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%s] %s: cert %d (%s) — %s", a.Severity, a.Name, a.EntryID, a.Issuer, a.Reason)
+}
+
+// Baseline is the expected steady state of a watched domain.
+type Baseline struct {
+	// NS is the expected nameserver set.
+	NS []dnscore.Name
+	// Addresses is the expected address set for certified names, keyed by
+	// name; names absent from the map only get delegation checks.
+	Addresses map[dnscore.Name][]netip.Addr
+}
+
+// Monitor watches a CT log and measures watched domains reactively.
+type Monitor struct {
+	log      *ctlog.Log
+	resolver *dnsserver.Resolver
+	watched  map[dnscore.Name]Baseline
+	lastID   int64
+}
+
+// NewMonitor creates a monitor over the log and resolver. firstID sets the
+// CT entry to start after (0 = from the beginning of the log's ID space
+// minus one is not knowable; pass log's current last ID to skip history).
+func NewMonitor(log *ctlog.Log, resolver *dnsserver.Resolver, firstID int64) *Monitor {
+	return &Monitor{
+		log:      log,
+		resolver: resolver,
+		watched:  make(map[dnscore.Name]Baseline),
+		lastID:   firstID,
+	}
+}
+
+// Watch registers a domain with its expected baseline.
+func (m *Monitor) Watch(domain dnscore.Name, baseline Baseline) {
+	m.watched[domain] = baseline
+}
+
+// Watched returns the watched domains, sorted.
+func (m *Monitor) Watched() []dnscore.Name {
+	out := make([]dnscore.Name, 0, len(m.watched))
+	for d := range m.watched {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Poll processes CT entries issued since the last poll and returns one
+// alert per triggering certificate.
+func (m *Monitor) Poll(now simtime.Date) []Alert {
+	var alerts []Alert
+	for id := m.lastID + 1; ; id++ {
+		entry, ok := m.log.Entry(id)
+		if !ok {
+			break
+		}
+		m.lastID = id
+		seen := map[dnscore.Name]bool{}
+		for _, san := range entry.Cert.SANs {
+			domain := registrable(san)
+			baseline, watched := m.watched[domain]
+			if !watched || seen[domain] {
+				continue
+			}
+			seen[domain] = true
+			alerts = append(alerts, m.measure(domain, san, baseline, entry, now))
+		}
+	}
+	return alerts
+}
+
+func registrable(name dnscore.Name) dnscore.Name {
+	if rd := name.RegisteredDomain(); rd != "" {
+		return rd
+	}
+	return name
+}
+
+// measure performs the reactive measurement for one triggering entry.
+func (m *Monitor) measure(domain, san dnscore.Name, baseline Baseline, entry *ctlog.Entry, now simtime.Date) Alert {
+	alert := Alert{
+		Severity: SeverityInfo,
+		Domain:   domain,
+		Name:     san,
+		EntryID:  entry.ID,
+		Issuer:   entry.Cert.Issuer,
+		Date:     now,
+		Reason:   "issuance consistent with baseline",
+	}
+
+	// Delegation check.
+	expectedNS := make(map[dnscore.Name]bool, len(baseline.NS))
+	for _, ns := range baseline.NS {
+		expectedNS[ns] = true
+	}
+	rrs, err := m.resolver.Resolve(domain, dnscore.TypeNS)
+	if err != nil {
+		alert.Severity = SeverityWarning
+		alert.Reason = fmt.Sprintf("delegation measurement failed: %v", err)
+	} else {
+		var anomalous []string
+		for _, rr := range rrs {
+			if rr.Type != dnscore.TypeNS {
+				continue
+			}
+			target := rr.Target()
+			alert.Delegation = append(alert.Delegation, target)
+			if len(expectedNS) > 0 && !expectedNS[target] {
+				anomalous = append(anomalous, string(target))
+			}
+		}
+		if len(anomalous) > 0 {
+			alert.Severity = SeverityCritical
+			alert.Reason = fmt.Sprintf("issuance coincides with delegation change to [%s]", strings.Join(anomalous, " "))
+		}
+	}
+
+	// Resolution check for the certified name.
+	if addrs, err := m.resolver.ResolveA(san); err == nil {
+		alert.Addresses = addrs
+		if expected, ok := baseline.Addresses[san]; ok && alert.Severity < SeverityCritical {
+			inBaseline := func(a netip.Addr) bool {
+				for _, e := range expected {
+					if e == a {
+						return true
+					}
+				}
+				return false
+			}
+			for _, a := range addrs {
+				if !inBaseline(a) {
+					alert.Severity = SeverityWarning
+					alert.Reason = fmt.Sprintf("certified name resolves to %s, outside the baseline", a)
+					break
+				}
+			}
+		}
+	}
+	return alert
+}

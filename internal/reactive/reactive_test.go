@@ -1,0 +1,175 @@
+package reactive
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"retrodns/internal/ca"
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnsserver"
+	"retrodns/internal/simtime"
+)
+
+var (
+	rootIP   = netip.MustParseAddr("198.41.0.4")
+	tldIP    = netip.MustParseAddr("203.0.113.1")
+	legitNS  = netip.MustParseAddr("203.0.113.10")
+	legitSvc = netip.MustParseAddr("203.0.113.20")
+	evilNS   = netip.MustParseAddr("198.51.100.66")
+	evilSvc  = netip.MustParseAddr("198.51.100.99")
+)
+
+type fixture struct {
+	transport *dnsserver.MemTransport
+	resolver  *dnsserver.Resolver
+	tld       *dnscore.Zone
+	ministry  *dnscore.Zone
+	evilZone  *dnscore.Zone
+	log       *ctlog.Log
+	issuer    *ca.CA
+	monitor   *Monitor
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{transport: dnsserver.NewMemTransport()}
+
+	root := dnscore.NewZone("")
+	root.MustAdd(dnscore.NS("xx", 86400, "ns.nic.xx"))
+	root.MustAdd(dnscore.A("ns.nic.xx", 86400, tldIP))
+	root.MustAdd(dnscore.NS("evil-dns.net", 86400, "ns1.evil-dns.net"))
+	root.MustAdd(dnscore.A("ns1.evil-dns.net", 86400, evilNS))
+	rootSrv := dnsserver.NewServer()
+	rootSrv.AddZone(root)
+	f.transport.Register(rootIP, rootSrv)
+
+	f.tld = dnscore.NewZone("xx")
+	f.tld.MustAdd(dnscore.NS("ministry.xx", 3600, "ns1.ministry.xx"))
+	f.tld.MustAdd(dnscore.A("ns1.ministry.xx", 3600, legitNS))
+	tldSrv := dnsserver.NewServer()
+	tldSrv.AddZone(f.tld)
+	f.transport.Register(tldIP, tldSrv)
+
+	f.ministry = dnscore.NewZone("ministry.xx")
+	f.ministry.MustAdd(dnscore.NS("ministry.xx", 3600, "ns1.ministry.xx"))
+	f.ministry.MustAdd(dnscore.A("mail.ministry.xx", 300, legitSvc))
+	legitSrv := dnsserver.NewServer()
+	legitSrv.AddZone(f.ministry)
+	f.transport.Register(legitNS, legitSrv)
+
+	f.evilZone = dnscore.NewZone("ministry.xx")
+	f.evilZone.MustAdd(dnscore.NS("ministry.xx", 300, "ns1.evil-dns.net"))
+	f.evilZone.MustAdd(dnscore.A("mail.ministry.xx", 300, evilSvc))
+	evilHome := dnscore.NewZone("evil-dns.net")
+	evilHome.MustAdd(dnscore.A("ns1.evil-dns.net", 3600, evilNS))
+	evilSrv := dnsserver.NewServer()
+	evilSrv.AddZone(f.evilZone)
+	evilSrv.AddZone(evilHome)
+	f.transport.Register(evilNS, evilSrv)
+
+	f.resolver = dnsserver.NewResolver(f.transport, []netip.Addr{rootIP})
+	f.log = ctlog.NewLog("reactive-test", 100)
+	f.issuer = ca.New(ca.Config{Name: "Let's Encrypt", KeyID: "le-r", Seed: 9}, f.resolver, f.log)
+
+	f.monitor = NewMonitor(f.log, f.resolver, 99)
+	f.monitor.Watch("ministry.xx", Baseline{
+		NS:        []dnscore.Name{"ns1.ministry.xx"},
+		Addresses: map[dnscore.Name][]netip.Addr{"mail.ministry.xx": {legitSvc}},
+	})
+	return f
+}
+
+func TestRoutineRenewalIsInfo(t *testing.T) {
+	f := setup(t)
+	if _, err := f.issuer.IssueDV(100, ca.ZoneSolver{Zone: f.ministry}, "mail.ministry.xx"); err != nil {
+		t.Fatal(err)
+	}
+	alerts := f.monitor.Poll(100)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+	if alerts[0].Severity != SeverityInfo {
+		t.Fatalf("routine renewal severity = %s (%s)", alerts[0].Severity, alerts[0].Reason)
+	}
+	// Nothing new on the next poll.
+	if again := f.monitor.Poll(101); len(again) != 0 {
+		t.Fatalf("re-poll produced %d alerts", len(again))
+	}
+}
+
+func TestRegistrarHijackIsCritical(t *testing.T) {
+	f := setup(t)
+	// Delegation swapped at the registry; attacker passes DNS-01.
+	if err := f.tld.Replace("ministry.xx", dnscore.TypeNS, dnscore.RRSet{
+		dnscore.NS("ministry.xx", 300, "ns1.evil-dns.net"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.issuer.IssueDV(200, ca.ZoneSolver{Zone: f.evilZone}, "mail.ministry.xx"); err != nil {
+		t.Fatal(err)
+	}
+	alerts := f.monitor.Poll(200)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+	a := alerts[0]
+	if a.Severity != SeverityCritical {
+		t.Fatalf("severity = %s (%s)", a.Severity, a.Reason)
+	}
+	if !strings.Contains(a.Reason, "evil-dns.net") {
+		t.Errorf("reason missing anomalous NS: %s", a.Reason)
+	}
+	if len(a.Addresses) == 0 || a.Addresses[0] != evilSvc {
+		t.Errorf("measured addresses: %v", a.Addresses)
+	}
+	if a.String() == "" || !strings.Contains(a.String(), "critical") {
+		t.Errorf("alert string: %s", a)
+	}
+}
+
+func TestProviderRedirectIsWarning(t *testing.T) {
+	f := setup(t)
+	// Attacker edits the A record at the legitimate nameservers (provider
+	// account compromise) — delegation unchanged.
+	if err := f.ministry.Replace("mail.ministry.xx", dnscore.TypeA, dnscore.RRSet{
+		dnscore.A("mail.ministry.xx", 300, evilSvc),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.issuer.IssueDV(300, ca.ZoneSolver{Zone: f.ministry}, "mail.ministry.xx"); err != nil {
+		t.Fatal(err)
+	}
+	alerts := f.monitor.Poll(300)
+	if len(alerts) != 1 || alerts[0].Severity != SeverityWarning {
+		t.Fatalf("alerts: %v", alerts)
+	}
+	if !strings.Contains(alerts[0].Reason, "outside the baseline") {
+		t.Errorf("reason: %s", alerts[0].Reason)
+	}
+}
+
+func TestUnwatchedDomainIgnored(t *testing.T) {
+	f := setup(t)
+	other := dnscore.NewZone("other.xx")
+	f.tld.MustAdd(dnscore.NS("other.xx", 3600, "ns1.ministry.xx"))
+	srv, _ := f.transport.Server(legitNS)
+	srv.AddZone(other)
+	if _, err := f.issuer.IssueDV(100, ca.ZoneSolver{Zone: other}, "www.other.xx"); err != nil {
+		t.Fatal(err)
+	}
+	if alerts := f.monitor.Poll(100); len(alerts) != 0 {
+		t.Fatalf("unwatched domain alerted: %v", alerts)
+	}
+	if got := f.monitor.Watched(); len(got) != 1 || got[0] != "ministry.xx" {
+		t.Fatalf("Watched = %v", got)
+	}
+}
+
+func TestSeverityNames(t *testing.T) {
+	if SeverityInfo.String() != "info" || SeverityWarning.String() != "warning" || SeverityCritical.String() != "critical" {
+		t.Fatal("severity names wrong")
+	}
+	_ = simtime.StudyStart
+}

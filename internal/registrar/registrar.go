@@ -1,0 +1,275 @@
+// Package registrar models the DNS provisioning control plane the paper's
+// attackers subvert: registrant accounts at registrars, the registrar's
+// privileged channel into the TLD registry, and the registry database that
+// publishes delegations and DS records into the TLD zone.
+//
+// The three compromise paths of §3 map onto three capabilities:
+//
+//   - stolen registrant credentials → authenticated account operations;
+//   - registrar compromise → operations on any domain the registrar
+//     sponsors, bypassing account authentication;
+//   - registry compromise → direct database writes for any domain in the
+//     TLD.
+//
+// Registry Lock (§7.2) is modelled as the real control: a locked domain
+// rejects delegation and DS changes arriving through the registrar channel
+// — even from a compromised registrar — until the lock is lifted through
+// the registry's out-of-band process. Only a registry-level compromise
+// bypasses it.
+package registrar
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"retrodns/internal/dnscore"
+)
+
+// Errors returned by control-plane operations.
+var (
+	ErrAuthFailed     = errors.New("registrar: authentication failed")
+	ErrNotSponsored   = errors.New("registrar: domain not sponsored here")
+	ErrNoSuchDomain   = errors.New("registrar: domain not registered")
+	ErrRegistryLocked = errors.New("registrar: domain is registry-locked")
+)
+
+// Registry is the authoritative database for one TLD. Accepted changes are
+// applied to the TLD zone it publishes.
+type Registry struct {
+	mu      sync.Mutex
+	tld     dnscore.Name
+	zone    *dnscore.Zone
+	locked  map[dnscore.Name]bool
+	domains map[dnscore.Name]string // domain → sponsoring registrar ID
+	// onChange, when set, runs after every accepted mutation (the world
+	// uses it to re-sign the TLD zone).
+	onChange func()
+}
+
+// NewRegistry creates the registry for a TLD publishing into zone.
+func NewRegistry(tld dnscore.Name, zone *dnscore.Zone) *Registry {
+	return &Registry{
+		tld:     tld,
+		zone:    zone,
+		locked:  make(map[dnscore.Name]bool),
+		domains: make(map[dnscore.Name]string),
+	}
+}
+
+// OnChange registers a hook run after every accepted mutation.
+func (r *Registry) OnChange(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onChange = fn
+}
+
+// Register records a domain as sponsored by the given registrar and
+// publishes its initial delegation.
+func (r *Registry) Register(domain dnscore.Name, sponsor string, ns []dnscore.Name, glue map[dnscore.Name]string) error {
+	if !domain.IsSubdomainOf(r.tld) {
+		return fmt.Errorf("registrar: %s is not under %s", domain, r.tld)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.domains[domain] = sponsor
+	return r.applyDelegation(domain, ns, glue)
+}
+
+// applyDelegation writes the NS set (and optional glue) into the TLD zone.
+// Callers hold the lock.
+func (r *Registry) applyDelegation(domain dnscore.Name, ns []dnscore.Name, glue map[dnscore.Name]string) error {
+	set := make(dnscore.RRSet, 0, len(ns))
+	for _, n := range ns {
+		set = append(set, dnscore.NS(domain, 3600, n))
+	}
+	if err := r.zone.Replace(domain, dnscore.TypeNS, set); err != nil {
+		return err
+	}
+	for name, addr := range glue {
+		r.zone.RemoveSet(name, dnscore.TypeA)
+		if err := r.zone.Add(dnscore.RR{Name: name, Type: dnscore.TypeA, Class: dnscore.ClassIN, TTL: 3600, Data: addr}); err != nil {
+			return err
+		}
+	}
+	if r.onChange != nil {
+		r.onChange()
+	}
+	return nil
+}
+
+// SetLock enables or disables Registry Lock for a domain. This is the
+// out-of-band process (phone call, notarized request) the paper's §7.2
+// references — it is NOT reachable through the registrar channel.
+func (r *Registry) SetLock(domain dnscore.Name, locked bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.domains[domain]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDomain, domain)
+	}
+	r.locked[domain] = locked
+	return nil
+}
+
+// Locked reports the lock state.
+func (r *Registry) Locked(domain dnscore.Name) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.locked[domain]
+}
+
+// registrarChannelUpdate is the path registrar-originated changes take:
+// it enforces sponsorship and Registry Lock.
+func (r *Registry) registrarChannelUpdate(sponsor string, domain dnscore.Name, apply func() error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	actual, ok := r.domains[domain]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDomain, domain)
+	}
+	if actual != sponsor {
+		return fmt.Errorf("%w: %s is sponsored by %q", ErrNotSponsored, domain, actual)
+	}
+	if r.locked[domain] {
+		return fmt.Errorf("%w: %s", ErrRegistryLocked, domain)
+	}
+	return apply()
+}
+
+// DirectUpdate is the registry-compromise path: a delegation change
+// applied straight to the database, bypassing sponsorship checks AND
+// Registry Lock (an attacker inside the registry controls the lock too).
+func (r *Registry) DirectUpdate(domain dnscore.Name, ns []dnscore.Name, glue map[dnscore.Name]string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.domains[domain]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDomain, domain)
+	}
+	return r.applyDelegation(domain, ns, glue)
+}
+
+// StripDS removes the domain's DS set through the registrar channel
+// (subject to Registry Lock).
+func (r *Registry) StripDS(sponsor string, domain dnscore.Name) error {
+	return r.registrarChannelUpdate(sponsor, domain, func() error {
+		r.zone.RemoveSet(domain, dnscore.TypeDS)
+		if r.onChange != nil {
+			r.onChange()
+		}
+		return nil
+	})
+}
+
+// RestoreDS publishes a DS set through the registrar channel.
+func (r *Registry) RestoreDS(sponsor string, domain dnscore.Name, ds dnscore.RRSet) error {
+	return r.registrarChannelUpdate(sponsor, domain, func() error {
+		if err := r.zone.Replace(domain, dnscore.TypeDS, ds); err != nil {
+			return err
+		}
+		if r.onChange != nil {
+			r.onChange()
+		}
+		return nil
+	})
+}
+
+// Account is a registrant's account at a registrar.
+type Account struct {
+	user     string
+	passHash [sha256.Size]byte
+	domains  map[dnscore.Name]bool
+}
+
+// Registrar sponsors domains at registries on behalf of registrant
+// accounts.
+type Registrar struct {
+	mu       sync.Mutex
+	id       string
+	accounts map[string]*Account
+	registry func(tld dnscore.Name) (*Registry, bool)
+}
+
+// NewRegistrar creates a registrar with the given ID; registryOf resolves
+// the registry responsible for a TLD.
+func NewRegistrar(id string, registryOf func(tld dnscore.Name) (*Registry, bool)) *Registrar {
+	return &Registrar{id: id, accounts: make(map[string]*Account), registry: registryOf}
+}
+
+// ID returns the registrar identifier.
+func (g *Registrar) ID() string { return g.id }
+
+// CreateAccount provisions a registrant account.
+func (g *Registrar) CreateAccount(user, password string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.accounts[user] = &Account{
+		user:     user,
+		passHash: sha256.Sum256([]byte(password)),
+		domains:  make(map[dnscore.Name]bool),
+	}
+}
+
+// AssignDomain places a domain under an account (after Register at the
+// registry, which records this registrar as sponsor).
+func (g *Registrar) AssignDomain(user string, domain dnscore.Name) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	acct, ok := g.accounts[user]
+	if !ok {
+		return fmt.Errorf("%w: no account %q", ErrAuthFailed, user)
+	}
+	acct.domains[domain] = true
+	return nil
+}
+
+// authenticate verifies account credentials and domain ownership.
+func (g *Registrar) authenticate(user, password string, domain dnscore.Name) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	acct, ok := g.accounts[user]
+	if !ok || acct.passHash != sha256.Sum256([]byte(password)) {
+		return ErrAuthFailed
+	}
+	if !acct.domains[domain] {
+		return fmt.Errorf("%w: %s not in account %q", ErrAuthFailed, domain, user)
+	}
+	return nil
+}
+
+// UpdateDelegation changes a domain's delegation with registrant
+// credentials — the path taken both by the legitimate owner and by an
+// attacker who phished them (§3's path (a)).
+func (g *Registrar) UpdateDelegation(user, password string, domain dnscore.Name, ns []dnscore.Name, glue map[dnscore.Name]string) error {
+	if err := g.authenticate(user, password, domain); err != nil {
+		return err
+	}
+	return g.asRegistrar(domain, ns, glue)
+}
+
+// CompromisedUpdateDelegation is §3's path (b): an attacker inside the
+// registrar needs no account credentials at all. Registry Lock still
+// applies — the change travels the same registrar→registry channel.
+func (g *Registrar) CompromisedUpdateDelegation(domain dnscore.Name, ns []dnscore.Name, glue map[dnscore.Name]string) error {
+	return g.asRegistrar(domain, ns, glue)
+}
+
+func (g *Registrar) asRegistrar(domain dnscore.Name, ns []dnscore.Name, glue map[dnscore.Name]string) error {
+	reg, ok := g.registry(domain.TLD())
+	if !ok {
+		return fmt.Errorf("registrar: no registry for %s", domain.TLD())
+	}
+	return reg.registrarChannelUpdate(g.id, domain, func() error {
+		return reg.applyDelegation(domain, ns, glue)
+	})
+}
+
+// CompromisedStripDS is the DS-removal counterpart of a registrar
+// compromise, also blocked by Registry Lock.
+func (g *Registrar) CompromisedStripDS(domain dnscore.Name) error {
+	reg, ok := g.registry(domain.TLD())
+	if !ok {
+		return fmt.Errorf("registrar: no registry for %s", domain.TLD())
+	}
+	return reg.StripDS(g.id, domain)
+}

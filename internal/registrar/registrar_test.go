@@ -1,0 +1,196 @@
+package registrar
+
+import (
+	"errors"
+	"testing"
+
+	"retrodns/internal/dnscore"
+)
+
+type fixture struct {
+	registry  *Registry
+	registrar *Registrar
+	zone      *dnscore.Zone
+	changes   int
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{zone: dnscore.NewZone("kg")}
+	f.registry = NewRegistry("kg", f.zone)
+	f.registry.OnChange(func() { f.changes++ })
+	f.registrar = NewRegistrar("key-systems", func(tld dnscore.Name) (*Registry, bool) {
+		if tld == "kg" {
+			return f.registry, true
+		}
+		return nil, false
+	})
+	if err := f.registry.Register("mfa.gov.kg", "key-systems",
+		[]dnscore.Name{"ns1.infocom.kg"}, map[dnscore.Name]string{"ns1.infocom.kg": "92.62.65.2"}); err != nil {
+		t.Fatal(err)
+	}
+	f.registrar.CreateAccount("mfa-admin", "correct horse")
+	if err := f.registrar.AssignDomain("mfa-admin", "mfa.gov.kg"); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func delegationOf(t *testing.T, z *dnscore.Zone, domain dnscore.Name) []string {
+	t.Helper()
+	var out []string
+	for _, rr := range z.DirectSet(domain, dnscore.TypeNS) {
+		out = append(out, rr.Data)
+	}
+	return out
+}
+
+func TestOwnerUpdatesDelegation(t *testing.T) {
+	f := setup(t)
+	err := f.registrar.UpdateDelegation("mfa-admin", "correct horse", "mfa.gov.kg",
+		[]dnscore.Name{"ns9.newhost.kg"}, map[dnscore.Name]string{"ns9.newhost.kg": "92.62.70.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := delegationOf(t, f.zone, "mfa.gov.kg"); len(got) != 1 || got[0] != "ns9.newhost.kg" {
+		t.Fatalf("delegation = %v", got)
+	}
+	if f.changes == 0 {
+		t.Error("onChange not fired")
+	}
+}
+
+func TestStolenCredentialsPath(t *testing.T) {
+	f := setup(t)
+	// Wrong password: rejected.
+	if err := f.registrar.UpdateDelegation("mfa-admin", "guess", "mfa.gov.kg",
+		[]dnscore.Name{"ns1.kg-infocom.ru"}, nil); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	// Phished password: the attacker is indistinguishable from the owner.
+	if err := f.registrar.UpdateDelegation("mfa-admin", "correct horse", "mfa.gov.kg",
+		[]dnscore.Name{"ns1.kg-infocom.ru"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := delegationOf(t, f.zone, "mfa.gov.kg"); got[0] != "ns1.kg-infocom.ru" {
+		t.Fatalf("delegation = %v", got)
+	}
+}
+
+func TestAccountBoundaries(t *testing.T) {
+	f := setup(t)
+	f.registrar.CreateAccount("other", "pw")
+	// An authenticated account cannot touch domains it does not hold.
+	if err := f.registrar.UpdateDelegation("other", "pw", "mfa.gov.kg",
+		[]dnscore.Name{"ns1.evil"}, nil); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("cross-account update: %v", err)
+	}
+	if err := f.registrar.AssignDomain("ghost", "x.kg"); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("assign to missing account: %v", err)
+	}
+}
+
+func TestRegistrarCompromiseBypassesAccounts(t *testing.T) {
+	f := setup(t)
+	// No credentials needed once the registrar itself is owned (§3 path b).
+	if err := f.registrar.CompromisedUpdateDelegation("mfa.gov.kg",
+		[]dnscore.Name{"ns1.kg-infocom.ru"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := delegationOf(t, f.zone, "mfa.gov.kg"); got[0] != "ns1.kg-infocom.ru" {
+		t.Fatalf("delegation = %v", got)
+	}
+}
+
+func TestRegistryLockBlocksRegistrarChannel(t *testing.T) {
+	f := setup(t)
+	if err := f.registry.SetLock("mfa.gov.kg", true); err != nil {
+		t.Fatal(err)
+	}
+	if !f.registry.Locked("mfa.gov.kg") {
+		t.Fatal("lock not set")
+	}
+	// Owner, phisher, and compromised registrar are all blocked alike.
+	if err := f.registrar.UpdateDelegation("mfa-admin", "correct horse", "mfa.gov.kg",
+		[]dnscore.Name{"ns1.kg-infocom.ru"}, nil); !errors.Is(err, ErrRegistryLocked) {
+		t.Fatalf("owner under lock: %v", err)
+	}
+	if err := f.registrar.CompromisedUpdateDelegation("mfa.gov.kg",
+		[]dnscore.Name{"ns1.kg-infocom.ru"}, nil); !errors.Is(err, ErrRegistryLocked) {
+		t.Fatalf("compromised registrar under lock: %v", err)
+	}
+	if err := f.registrar.CompromisedStripDS("mfa.gov.kg"); !errors.Is(err, ErrRegistryLocked) {
+		t.Fatalf("DS strip under lock: %v", err)
+	}
+	// Delegation unchanged.
+	if got := delegationOf(t, f.zone, "mfa.gov.kg"); got[0] != "ns1.infocom.kg" {
+		t.Fatalf("delegation changed under lock: %v", got)
+	}
+	// Unlock through the out-of-band process; changes flow again.
+	if err := f.registry.SetLock("mfa.gov.kg", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.registrar.CompromisedUpdateDelegation("mfa.gov.kg",
+		[]dnscore.Name{"ns1.kg-infocom.ru"}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryCompromiseBypassesLock(t *testing.T) {
+	f := setup(t)
+	if err := f.registry.SetLock("mfa.gov.kg", true); err != nil {
+		t.Fatal(err)
+	}
+	// §3 path (c): inside the registry, the lock is the attacker's to keep
+	// or discard.
+	if err := f.registry.DirectUpdate("mfa.gov.kg",
+		[]dnscore.Name{"ns1.kg-infocom.ru"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := delegationOf(t, f.zone, "mfa.gov.kg"); got[0] != "ns1.kg-infocom.ru" {
+		t.Fatalf("delegation = %v", got)
+	}
+}
+
+func TestDSStripAndRestore(t *testing.T) {
+	f := setup(t)
+	key := dnscore.NewZoneKey("mfa.gov.kg", 1)
+	ds := dnscore.RRSet{key.DS()}
+	if err := f.registry.RestoreDS("key-systems", "mfa.gov.kg", ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.zone.DirectSet("mfa.gov.kg", dnscore.TypeDS); len(got) != 1 {
+		t.Fatalf("DS not published: %v", got)
+	}
+	if err := f.registrar.CompromisedStripDS("mfa.gov.kg"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.zone.DirectSet("mfa.gov.kg", dnscore.TypeDS); len(got) != 0 {
+		t.Fatalf("DS not stripped: %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	f := setup(t)
+	if err := f.registry.Register("mfa.gov.xx", "key-systems", nil, nil); err == nil {
+		t.Error("cross-TLD registration accepted")
+	}
+	if err := f.registry.SetLock("ghost.kg", true); !errors.Is(err, ErrNoSuchDomain) {
+		t.Errorf("lock on unregistered: %v", err)
+	}
+	if err := f.registry.DirectUpdate("ghost.kg", nil, nil); !errors.Is(err, ErrNoSuchDomain) {
+		t.Errorf("direct update on unregistered: %v", err)
+	}
+	// Another registrar cannot update a domain it does not sponsor.
+	other := NewRegistrar("other-registrar", func(tld dnscore.Name) (*Registry, bool) { return f.registry, true })
+	if err := other.CompromisedUpdateDelegation("mfa.gov.kg", []dnscore.Name{"x.y"}, nil); !errors.Is(err, ErrNotSponsored) {
+		t.Errorf("cross-registrar update: %v", err)
+	}
+	noReg := NewRegistrar("r", func(tld dnscore.Name) (*Registry, bool) { return nil, false })
+	if err := noReg.CompromisedUpdateDelegation("mfa.gov.kg", nil, nil); err == nil {
+		t.Error("missing registry accepted")
+	}
+	if noReg.ID() != "r" {
+		t.Error("ID accessor")
+	}
+}

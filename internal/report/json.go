@@ -1,0 +1,102 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"retrodns/internal/core"
+)
+
+// JSONFinding is the machine-readable form of a finding, stable across
+// releases for downstream consumers.
+type JSONFinding struct {
+	Domain       string   `json:"domain"`
+	TargetName   string   `json:"target_name"`
+	Sub          string   `json:"sub,omitempty"`
+	Method       string   `json:"method"`
+	Verdict      string   `json:"verdict"`
+	Date         string   `json:"date"`
+	PDNS         bool     `json:"pdns_corroborated"`
+	CT           bool     `json:"ct_corroborated"`
+	DNSSECChange bool     `json:"dnssec_downgrade,omitempty"`
+	AttackerIP   string   `json:"attacker_ip,omitempty"`
+	AttackerASN  uint32   `json:"attacker_asn,omitempty"`
+	AttackerCC   string   `json:"attacker_cc,omitempty"`
+	AttackerNS   []string `json:"attacker_ns,omitempty"`
+	VictimASNs   []uint32 `json:"victim_asns,omitempty"`
+	VictimCCs    []string `json:"victim_ccs,omitempty"`
+	CrtShID      int64    `json:"crtsh_id,omitempty"`
+	IssuerCA     string   `json:"issuer_ca,omitempty"`
+	CertSHA256   string   `json:"cert_sha256,omitempty"`
+}
+
+// JSONReport is the top-level export document.
+type JSONReport struct {
+	Hijacked []JSONFinding  `json:"hijacked"`
+	Targeted []JSONFinding  `json:"targeted"`
+	Funnel   map[string]int `json:"funnel"`
+}
+
+func toJSONFinding(f *core.Finding) JSONFinding {
+	out := JSONFinding{
+		Domain:       string(f.Domain),
+		TargetName:   string(f.TargetName()),
+		Sub:          f.Sub,
+		Method:       string(f.Method),
+		Verdict:      f.Verdict.String(),
+		Date:         f.Date.String(),
+		PDNS:         f.PDNS,
+		CT:           f.CT,
+		DNSSECChange: f.DNSSECChange,
+		AttackerASN:  uint32(f.AttackerASN),
+		AttackerCC:   string(f.AttackerCC),
+		CrtShID:      f.CrtShID,
+		IssuerCA:     f.IssuerCA,
+	}
+	if f.AttackerIP.IsValid() {
+		out.AttackerIP = f.AttackerIP.String()
+	}
+	if f.CrtShID != 0 {
+		out.CertSHA256 = f.CertFP.Hex()
+	}
+	for _, ns := range f.AttackerNS {
+		out.AttackerNS = append(out.AttackerNS, string(ns))
+	}
+	for _, a := range f.VictimASNs {
+		out.VictimASNs = append(out.VictimASNs, uint32(a))
+	}
+	for _, c := range f.VictimCCs {
+		out.VictimCCs = append(out.VictimCCs, string(c))
+	}
+	return out
+}
+
+// WriteJSON streams the result as indented JSON.
+func WriteJSON(w io.Writer, res *core.Result) error {
+	doc := JSONReport{
+		Hijacked: make([]JSONFinding, 0, len(res.Hijacked)),
+		Targeted: make([]JSONFinding, 0, len(res.Targeted)),
+		Funnel: map[string]int{
+			"domains":           res.Funnel.Domains,
+			"maps":              res.Funnel.Maps,
+			"stable":            res.Funnel.DomainCategories[core.CategoryStable],
+			"transition":        res.Funnel.DomainCategories[core.CategoryTransition],
+			"transient":         res.Funnel.DomainCategories[core.CategoryTransient],
+			"noisy":             res.Funnel.DomainCategories[core.CategoryNoisy],
+			"shortlisted":       res.Funnel.Shortlisted,
+			"worth_examining":   res.Funnel.WorthExamining,
+			"pivot_found":       res.Funnel.PivotFound,
+			"hijacked_verdicts": len(res.Hijacked),
+			"targeted_verdicts": len(res.Targeted),
+		},
+	}
+	for _, f := range res.Hijacked {
+		doc.Hijacked = append(doc.Hijacked, toJSONFinding(f))
+	}
+	for _, f := range res.Targeted {
+		doc.Targeted = append(doc.Targeted, toJSONFinding(f))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

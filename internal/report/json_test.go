@@ -1,0 +1,63 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"retrodns/internal/core"
+)
+
+func TestWriteJSON(t *testing.T) {
+	hij, tar := testFindings()
+	res := &core.Result{
+		Hijacked: hij,
+		Targeted: tar,
+		Funnel: core.FunnelStats{
+			Domains: 10, Maps: 90,
+			DomainCategories: map[core.Category]int{core.CategoryStable: 6},
+			Shortlisted:      4, WorthExamining: 4, PivotFound: 2,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Hijacked) != 3 || len(doc.Targeted) != 1 {
+		t.Fatalf("counts: %d/%d", len(doc.Hijacked), len(doc.Targeted))
+	}
+	var kyv *JSONFinding
+	for i := range doc.Hijacked {
+		if doc.Hijacked[i].Domain == "kyvernisi.gr" {
+			kyv = &doc.Hijacked[i]
+		}
+	}
+	if kyv == nil {
+		t.Fatal("kyvernisi.gr missing")
+	}
+	if kyv.TargetName != "mail.kyvernisi.gr" || kyv.Method != "T1" || kyv.Verdict != "hijacked" {
+		t.Errorf("finding fields: %+v", kyv)
+	}
+	if kyv.AttackerIP != "95.179.131.225" || kyv.AttackerASN != 20473 {
+		t.Errorf("attacker fields: %+v", kyv)
+	}
+	if kyv.Date != "2019-04-23" {
+		t.Errorf("date = %s", kyv.Date)
+	}
+	if len(kyv.VictimASNs) != 1 || kyv.VictimASNs[0] != 35506 {
+		t.Errorf("victim ASNs: %v", kyv.VictimASNs)
+	}
+	if doc.Funnel["domains"] != 10 || doc.Funnel["hijacked_verdicts"] != 3 {
+		t.Errorf("funnel: %v", doc.Funnel)
+	}
+	// embassy.ly carries no certificate fields.
+	for _, f := range doc.Hijacked {
+		if f.Domain == "embassy.ly" && (f.CrtShID != 0 || f.CertSHA256 != "") {
+			t.Errorf("no-cert victim has cert fields: %+v", f)
+		}
+	}
+}

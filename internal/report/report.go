@@ -1,0 +1,430 @@
+// Package report renders the paper's tables and figures from pipeline
+// output: the annotated scan rows of Table 1, ASCII deployment maps in the
+// style of Figures 2–5, the victim tables (2 and 3), the sector and
+// attacker-network breakdowns (4 and 5), the certificate table (9), the
+// methodology funnel, and the §5.3 observability statistics.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"retrodns/internal/core"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+	"retrodns/internal/zonefiles"
+)
+
+func yn(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "x"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Table1 renders the annotated scan rows for one domain over a date window
+// — the paper's Table 1 (kyvernisi.gr, April 2019).
+func Table1(ds *scanner.Dataset, domain dnscore.Name, from, to simtime.Date) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(w, "Scan Date\tIP Address\tPorts (TCP)\tASN\tCC\tcrt.sh ID\tIssuing CA\tTrust\tSens\tName(s) Secured\n")
+	for _, r := range ds.DomainRecords(domain, from, to) {
+		ports := make([]string, len(r.Ports))
+		for i, p := range r.Ports {
+			ports[i] = fmt.Sprint(p)
+		}
+		names := make([]string, len(r.Cert.SANs))
+		for i, n := range r.Cert.SANs {
+			names[i] = string(n)
+		}
+		id := "-"
+		if r.CrtShID != 0 {
+			id = fmt.Sprint(r.CrtShID)
+		}
+		fmt.Fprintf(w, "%s\t%s\t[%s]\t%d\t%s\t%s\t%s\t%s\t%s\t[%s]\n",
+			r.ScanDate, r.IP, strings.Join(ports, ", "), uint32(r.ASN), r.Country,
+			id, r.Cert.Issuer, yn(r.Trusted), yn(r.Sensitive), strings.Join(names, ", "))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// DeploymentMapFigure renders a deployment map as ASCII art in the style
+// of Figure 2: one row per deployment, one column per weekly scan.
+func DeploymentMapFigure(m *core.DeploymentMap, scans []simtime.Date) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Deployment map: %s  period %s  presence %.0f%%\n",
+		m.Domain, m.Period, m.Presence()*100)
+	index := make(map[simtime.Date]int, len(scans))
+	for i, d := range scans {
+		index[d] = i
+	}
+	for i, dep := range m.Deployments {
+		cells := make([]byte, len(scans))
+		for j := range cells {
+			cells[j] = '.'
+		}
+		for _, d := range dep.ScanDates {
+			if j, ok := index[d]; ok {
+				cells[j] = '#'
+			}
+		}
+		fmt.Fprintf(&sb, "  #%d %-8s %-18s |%s| certs=%d ips=%d\n",
+			i+1, dep.ASN, fmt.Sprint(dep.CountryList()), cells, len(dep.Certs), len(dep.IPs))
+	}
+	return sb.String()
+}
+
+// PatternGallery classifies and renders one map per named example domain,
+// reproducing the pattern families of Figures 3–5.
+func PatternGallery(ds *scanner.Dataset, params core.Params, examples map[string]dnscore.Name) string {
+	var sb strings.Builder
+	keys := make([]string, 0, len(examples))
+	for k := range examples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, label := range keys {
+		domain := examples[label]
+		best := pickIllustrativePeriod(ds, params, domain)
+		if best == nil {
+			fmt.Fprintf(&sb, "%s (%s): no data\n", label, domain)
+			continue
+		}
+		scans := ds.ScanDates(best.Map.Period.Start(), best.Map.Period.End())
+		fmt.Fprintf(&sb, "%s → classified %s", label, best.Category)
+		if best.Category == core.CategoryTransient {
+			fmt.Fprintf(&sb, " (pattern %s)", best.Pattern)
+		}
+		sb.WriteString("\n")
+		sb.WriteString(DeploymentMapFigure(best.Map, scans))
+	}
+	return sb.String()
+}
+
+// pickIllustrativePeriod classifies every period of the domain and returns
+// the most interesting classification (transient > transition > noisy >
+// stable), which is the period worth drawing.
+func pickIllustrativePeriod(ds *scanner.Dataset, params core.Params, domain dnscore.Name) *core.Classification {
+	rank := map[core.Category]int{
+		core.CategoryTransient:  3,
+		core.CategoryTransition: 2,
+		core.CategoryNoisy:      1,
+		core.CategoryStable:     0,
+	}
+	var best *core.Classification
+	for p := simtime.Period(0); p < simtime.NumPeriods; p++ {
+		m := core.BuildMap(ds, domain, p)
+		if m == nil {
+			continue
+		}
+		c := params.Classify(m, ds.ScanDates(p.Start(), p.End()))
+		if best == nil || rank[c.Category] > rank[best.Category] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Table2 renders the hijacked-domain table.
+func Table2(findings []*core.Finding) string {
+	return victimTable("Table 2: domains identified as hijacked", findings)
+}
+
+// Table3 renders the targeted-domain table.
+func Table3(findings []*core.Finding) string {
+	return victimTable("Table 3: domains identified as targeted", findings)
+}
+
+func victimTable(title string, findings []*core.Finding) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%d rows)\n", title, len(findings))
+	w := tabwriter.NewWriter(&sb, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(w, "Type\tDate\tCC\tDomain\tSub\tpDNS\tcrt\tAttacker IP\tASN\tCC\tVictim ASNs\tCCs\n")
+	for _, f := range findings {
+		victimASNs, victimCCs := "-", "-"
+		if len(f.VictimASNs) > 0 {
+			parts := make([]string, len(f.VictimASNs))
+			for i, a := range f.VictimASNs {
+				parts[i] = fmt.Sprint(uint32(a))
+			}
+			victimASNs = "[" + strings.Join(parts, ",") + "]"
+			ccs := make([]string, len(f.VictimCCs))
+			for i, c := range f.VictimCCs {
+				ccs[i] = string(c)
+			}
+			victimCCs = "[" + strings.Join(ccs, ",") + "]"
+		}
+		ip := "-"
+		if f.AttackerIP.IsValid() {
+			ip = f.AttackerIP.String()
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\n",
+			f.Method, f.Date.MonthYear(), victimCountryLabel(f), f.Domain, orDash(f.Sub),
+			yn(f.PDNS), yn(f.CT), ip, uint32(f.AttackerASN), f.AttackerCC,
+			victimASNs, victimCCs)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+func victimCountryLabel(f *core.Finding) string {
+	if len(f.VictimCCs) > 0 {
+		return string(f.VictimCCs[0])
+	}
+	tld := f.Domain.TLD()
+	if len(tld) == 2 {
+		return strings.ToUpper(string(tld))
+	}
+	return "--"
+}
+
+// Table4 breaks down affected organizations by sector, given the sector of
+// each domain (the simulation's ground-truth metadata; the paper compiled
+// this by hand).
+func Table4(hijacked, targeted []*core.Finding, sectors map[dnscore.Name]string) string {
+	type row struct{ hij, tar int }
+	bySector := map[string]*row{}
+	count := func(fs []*core.Finding, hij bool) {
+		for _, f := range fs {
+			sector := sectors[f.Domain]
+			if sector == "" {
+				sector = "Unknown"
+			}
+			r := bySector[sector]
+			if r == nil {
+				r = &row{}
+				bySector[sector] = r
+			}
+			if hij {
+				r.hij++
+			} else {
+				r.tar++
+			}
+		}
+	}
+	count(hijacked, true)
+	count(targeted, false)
+
+	names := make([]string, 0, len(bySector))
+	for s := range bySector {
+		names = append(names, s)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ti := bySector[names[i]].hij + bySector[names[i]].tar
+		tj := bySector[names[j]].hij + bySector[names[j]].tar
+		if ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
+	})
+
+	var sb strings.Builder
+	sb.WriteString("Table 4: affected organizations by sector\n")
+	w := tabwriter.NewWriter(&sb, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(w, "Sector\tHij.\tTar.\tTotal\n")
+	totH, totT := 0, 0
+	for _, s := range names {
+		r := bySector[s]
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", s, r.hij, r.tar, r.hij+r.tar)
+		totH += r.hij
+		totT += r.tar
+	}
+	fmt.Fprintf(w, "Total\t%d\t%d\t%d\n", totH, totT, totH+totT)
+	w.Flush()
+	return sb.String()
+}
+
+// Table5 lists the networks used by attackers with victim counts.
+func Table5(hijacked, targeted []*core.Finding, orgs *ipmeta.OrgTable) string {
+	type row struct{ hij, tar int }
+	byASN := map[ipmeta.ASN]*row{}
+	count := func(fs []*core.Finding, hij bool) {
+		for _, f := range fs {
+			if f.AttackerASN == ipmeta.UnknownASN {
+				continue
+			}
+			r := byASN[f.AttackerASN]
+			if r == nil {
+				r = &row{}
+				byASN[f.AttackerASN] = r
+			}
+			if hij {
+				r.hij++
+			} else {
+				r.tar++
+			}
+		}
+	}
+	count(hijacked, true)
+	count(targeted, false)
+
+	asns := make([]ipmeta.ASN, 0, len(byASN))
+	for a := range byASN {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool {
+		ti := byASN[asns[i]].hij + byASN[asns[i]].tar
+		tj := byASN[asns[j]].hij + byASN[asns[j]].tar
+		if ti != tj {
+			return ti > tj
+		}
+		return asns[i] < asns[j]
+	})
+
+	var sb strings.Builder
+	sb.WriteString("Table 5: networks used by attackers\n")
+	w := tabwriter.NewWriter(&sb, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(w, "ASN\tName\tHij.\tTar.\tTotal\n")
+	totH, totT := 0, 0
+	for _, a := range asns {
+		r := byASN[a]
+		name := fmt.Sprint(a)
+		if orgs != nil {
+			name = orgs.NameOf(a)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\n", uint32(a), name, r.hij, r.tar, r.hij+r.tar)
+		totH += r.hij
+		totT += r.tar
+	}
+	fmt.Fprintf(w, "\tTotal\t%d\t%d\t%d\n", totH, totT, totH+totT)
+	w.Flush()
+	return sb.String()
+}
+
+// RevocationChecker answers whether a certificate was revoked; Table 9
+// uses it against the CRL-publishing CA.
+type RevocationChecker func(f *core.Finding) (revoked bool, known bool)
+
+// Table9 lists the maliciously-obtained certificates with issuer and
+// revocation status.
+func Table9(hijacked []*core.Finding, revocation RevocationChecker) string {
+	var sb strings.Builder
+	sb.WriteString("Table 9: suspiciously obtained certificates for hijacked domains\n")
+	w := tabwriter.NewWriter(&sb, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(w, "CC\tDomain\tTarget\tcrt.sh ID\tIssuer CA\tCRL\n")
+	issuerCounts := map[string]int{}
+	revoked := 0
+	for _, f := range hijacked {
+		if f.CrtShID == 0 {
+			fmt.Fprintf(w, "%s\t%s\t%s\t-\t-\t-\n", victimCountryLabel(f), f.Domain, orDash(f.Sub))
+			continue
+		}
+		issuerCounts[f.IssuerCA]++
+		crl := "-"
+		if revocation != nil {
+			if r, known := revocation(f); known {
+				crl = yn(r)
+				if r {
+					revoked++
+				}
+			}
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%s\t%s\n",
+			victimCountryLabel(f), f.Domain, orDash(f.Sub), f.CrtShID, f.IssuerCA, crl)
+	}
+	w.Flush()
+	issuers := make([]string, 0, len(issuerCounts))
+	for s := range issuerCounts {
+		issuers = append(issuers, s)
+	}
+	sort.Strings(issuers)
+	for _, s := range issuers {
+		fmt.Fprintf(&sb, "issuer %s: %d certificates\n", s, issuerCounts[s])
+	}
+	fmt.Fprintf(&sb, "revoked: %d\n", revoked)
+	return sb.String()
+}
+
+// Funnel renders the per-stage counts of the methodology.
+func Funnel(res *core.Result) string {
+	var sb strings.Builder
+	sb.WriteString("Methodology funnel (paper §4.2–§4.5)\n")
+	f := res.Funnel
+	total := 0
+	for _, n := range f.DomainCategories {
+		total += n
+	}
+	pct := func(n int) string {
+		if total == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.2f%%", float64(n)/float64(total)*100)
+	}
+	fmt.Fprintf(&sb, "  domains observed: %d (maps built: %d)\n", f.Domains, f.Maps)
+	for _, c := range []core.Category{core.CategoryStable, core.CategoryTransition, core.CategoryTransient, core.CategoryNoisy} {
+		fmt.Fprintf(&sb, "  %-10s %8d  (%s)\n", c.String()+":", f.DomainCategories[c], pct(f.DomainCategories[c]))
+	}
+	fmt.Fprintf(&sb, "  shortlisted: %d (truly anomalous: %d)\n", f.Shortlisted, f.ShortlistedAnomalous)
+	reasons := make([]string, 0, len(f.PruneCounts))
+	for r := range f.PruneCounts {
+		reasons = append(reasons, string(r))
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&sb, "    pruned (%s): %d\n", r, f.PruneCounts[core.PruneReason(r)])
+	}
+	fmt.Fprintf(&sb, "  worth examining: %d\n", f.WorthExamining)
+	fmt.Fprintf(&sb, "  inspection: hijacked=%d targeted=%d pending=%d inconclusive=%d no-data=%d\n",
+		f.Outcomes[core.OutcomeHijacked], f.Outcomes[core.OutcomeTargeted],
+		f.Outcomes[core.OutcomePendingReuse], f.Outcomes[core.OutcomeInconclusive],
+		f.Outcomes[core.OutcomeNoData])
+	fmt.Fprintf(&sb, "  pivot discovered: %d\n", f.PivotFound)
+	methods := make([]string, 0, len(f.ByMethod))
+	for m := range f.ByMethod {
+		methods = append(methods, string(m))
+	}
+	sort.Strings(methods)
+	fmt.Fprintf(&sb, "  final hijacked by method:")
+	for _, m := range methods {
+		fmt.Fprintf(&sb, " %s=%d", m, f.ByMethod[core.Method(m)])
+	}
+	fmt.Fprintf(&sb, "\n  verdicts: hijacked=%d targeted=%d\n", len(res.Hijacked), len(res.Targeted))
+	return sb.String()
+}
+
+// ZoneFileReport renders the §5.3 zone-file comparison: for hijacked
+// victims under archive-covered TLDs, how many daily zone files captured
+// the delegation anomaly versus what passive DNS saw.
+func ZoneFileReport(hijacked []*core.Finding, archive *zonefiles.Archive) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Zone-file visibility (§5.3; covered TLDs: %v)\n", archive.CoveredTLDs())
+	w := tabwriter.NewWriter(&sb, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(w, "Domain\tVisible zone-file days\tpDNS corroboration\n")
+	covered := 0
+	for _, f := range hijacked {
+		if !archive.Covers(f.Domain) {
+			continue
+		}
+		covered++
+		days := archive.VisibleAnomalyDays(f.Domain, f.Date-40, f.Date+40)
+		fmt.Fprintf(w, "%s\t%d\t%s\n", f.Domain, days, yn(f.PDNS))
+	}
+	w.Flush()
+	if covered == 0 {
+		sb.WriteString("  (no hijacked domains under covered TLDs)\n")
+	}
+	return sb.String()
+}
+
+// ObservabilityReport renders the §5.3 statistics.
+func ObservabilityReport(stats core.ObservabilityStats) string {
+	var sb strings.Builder
+	sb.WriteString(stats.String())
+	sb.WriteString("hijack pDNS visibility distribution (days):\n")
+	sb.WriteString(core.Histogram(stats.PDNSDays, []int{1, 3, 7, 20}))
+	sb.WriteString("malicious certificate scan appearances:\n")
+	sb.WriteString(core.Histogram(stats.ScanAppearances, []int{1, 2, 4, 8}))
+	return sb.String()
+}

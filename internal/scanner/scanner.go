@@ -1,0 +1,278 @@
+// Package scanner produces the simulation's analogue of the Censys
+// Universal Internet Data Set (CUIDS): weekly Internet-wide scans of the
+// TLS ports, annotated the way the paper annotates them — origin ASN
+// (pfx2as), country (geolocation), certificate names and issuer, browser
+// trust, CT log entry ID (the crt.sh ID), and whether a secured name looks
+// like a sensitive subdomain.
+package scanner
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/netsim"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// SensitiveKeywords is the paper's subdomain substring list (§4.3): names
+// commonly attached to services that receive cleartext credentials.
+var SensitiveKeywords = []string{
+	"secure", "mail", "remote", "login", "logon", "portal", "admin", "owa",
+	"vpn", "connect", "cloud", "signin", "citrix", "box", "account",
+	"intranet", "imap", "smtp", "pop", "ftp", "api",
+}
+
+// IsSensitiveName reports whether the name contains a sensitive keyword as
+// a substring, the paper's §4.3 matching rule. Only registrable names
+// qualify (bare TLDs and public suffixes are never sensitive). The
+// substring semantics are deliberate: they catch webmail.gov.cy (a
+// suffix-child domain), personal.govcloud.gov.cy ("cloud" inside the
+// registered label), and mail2010.kotc.com.kw alike.
+func IsSensitiveName(name dnscore.Name) bool {
+	if name.RegisteredDomain() == "" {
+		return false
+	}
+	s := strings.ToLower(string(name))
+	for _, kw := range SensitiveKeywords {
+		if strings.Contains(s, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// Record is one annotated scan observation: a certificate seen at an IP on
+// a scan date, with the ports it was returned on. It mirrors the rows of
+// the paper's Table 1.
+type Record struct {
+	// ScanDate is the weekly scan this record came from.
+	ScanDate simtime.Date
+	// IP is the responding host.
+	IP netip.Addr
+	// Ports lists the TLS ports on which this certificate was returned.
+	Ports []uint16
+	// ASN is the origin AS of IP per the prefix table.
+	ASN ipmeta.ASN
+	// Country is IP's geolocation.
+	Country ipmeta.CountryCode
+	// Cert is the certificate presented.
+	Cert *x509lite.Certificate
+	// CrtShID is the CT log entry ID for the certificate, 0 if unlogged.
+	CrtShID int64
+	// Trusted reports browser trust at scan time (Apple/Microsoft/Mozilla).
+	Trusted bool
+	// Sensitive reports whether any SAN is a sensitive subdomain.
+	Sensitive bool
+}
+
+// Names returns the certificate's SANs (the "Name(s) Secured" column).
+func (r *Record) Names() []dnscore.Name { return r.Cert.SANs }
+
+// String renders the record like a row of the paper's Table 1.
+func (r *Record) String() string {
+	ports := make([]string, len(r.Ports))
+	for i, p := range r.Ports {
+		ports[i] = fmt.Sprint(p)
+	}
+	names := make([]string, len(r.Cert.SANs))
+	for i, n := range r.Cert.SANs {
+		names[i] = string(n)
+	}
+	yn := func(b bool) string {
+		if b {
+			return "T"
+		}
+		return "F"
+	}
+	return fmt.Sprintf("%s  %-15s  [%s]  %-6d %s  %-10d  %-14s  %s  %s  [%s]",
+		r.ScanDate, r.IP, strings.Join(ports, ", "), uint32(r.ASN), r.Country,
+		r.CrtShID, r.Cert.Issuer, yn(r.Trusted), yn(r.Sensitive), strings.Join(names, ", "))
+}
+
+// Scanner runs weekly scans against the simulated Internet and annotates
+// the observations.
+type Scanner struct {
+	internet *netsim.Internet
+	meta     *ipmeta.Directory
+	trust    *x509lite.TrustStore
+	log      *ctlog.Log
+}
+
+// New creates a scanner over the hosting plane with the given annotation
+// sources. The CT log may be nil (records then carry CrtShID 0).
+func New(internet *netsim.Internet, meta *ipmeta.Directory, trust *x509lite.TrustStore, log *ctlog.Log) *Scanner {
+	return &Scanner{internet: internet, meta: meta, trust: trust, log: log}
+}
+
+// ScanWeek scans every provisioned host on the given date and returns one
+// record per (IP, certificate), with ports aggregated.
+func (s *Scanner) ScanWeek(date simtime.Date) []*Record {
+	obs := s.internet.ScanAt(date)
+	// Aggregate ports per (IP, cert fingerprint).
+	type ipCert struct {
+		ip netip.Addr
+		fp x509lite.Fingerprint
+	}
+	agg := make(map[ipCert]*Record)
+	var order []ipCert
+	for _, o := range obs {
+		k := ipCert{o.Endpoint.Addr, o.Cert.Fingerprint()}
+		r, ok := agg[k]
+		if !ok {
+			asn, cc := s.meta.Annotate(o.Endpoint.Addr)
+			r = &Record{
+				ScanDate: date,
+				IP:       o.Endpoint.Addr,
+				ASN:      asn,
+				Country:  cc,
+				Cert:     o.Cert,
+				Trusted:  s.trust.BrowserTrusted(o.Cert, date),
+			}
+			for _, san := range o.Cert.SANs {
+				if IsSensitiveName(san) {
+					r.Sensitive = true
+					break
+				}
+			}
+			if s.log != nil {
+				if e, ok := s.log.Lookup(o.Cert.Fingerprint()); ok {
+					r.CrtShID = e.ID
+				}
+			}
+			agg[k] = r
+			order = append(order, k)
+		}
+		r.Ports = append(r.Ports, o.Endpoint.Port)
+	}
+	records := make([]*Record, len(order))
+	for i, k := range order {
+		records[i] = agg[k]
+		sort.Slice(records[i].Ports, func(a, b int) bool { return records[i].Ports[a] < records[i].Ports[b] })
+	}
+	return records
+}
+
+// RunStudy scans every weekly scan date in [from, to) and returns the
+// accumulated dataset.
+func (s *Scanner) RunStudy(from, to simtime.Date) *Dataset {
+	return s.RunStudyEvery(from, to, simtime.DaysPerWeek)
+}
+
+// RunStudyEvery scans at an arbitrary cadence — the paper's study period
+// had weekly Censys scans, but Censys moved to daily scans in April 2021
+// (footnote 9), and the cadence materially changes how observable
+// short-lived attacker infrastructure is.
+func (s *Scanner) RunStudyEvery(from, to simtime.Date, everyDays int) *Dataset {
+	if everyDays < 1 {
+		everyDays = 1
+	}
+	ds := NewDataset()
+	start := from
+	if start < simtime.StudyStart {
+		start = simtime.StudyStart
+	}
+	end := to
+	if end > simtime.StudyEnd {
+		end = simtime.StudyEnd
+	}
+	for date := start; date < end; date += simtime.Date(everyDays) {
+		ds.AddScan(date, s.ScanWeek(date))
+	}
+	return ds
+}
+
+// Dataset indexes scan records the way the pipeline consumes them: by the
+// registered domain of each secured name. It is safe for concurrent reads
+// after loading.
+type Dataset struct {
+	mu sync.RWMutex
+	// byDomain maps a registered domain to every record whose certificate
+	// secures a name under it.
+	byDomain map[dnscore.Name][]*Record
+	// scanDates lists the scan dates ingested, in order.
+	scanDates []simtime.Date
+	records   int
+}
+
+// NewDataset creates an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{byDomain: make(map[dnscore.Name][]*Record)}
+}
+
+// AddScan ingests the records of one weekly scan.
+func (d *Dataset) AddScan(date simtime.Date, records []*Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.scanDates = append(d.scanDates, date)
+	d.records += len(records)
+	for _, r := range records {
+		seen := make(map[dnscore.Name]bool)
+		for _, san := range r.Cert.SANs {
+			apex := san.RegisteredDomain()
+			if apex == "" || seen[apex] {
+				continue
+			}
+			seen[apex] = true
+			d.byDomain[apex] = append(d.byDomain[apex], r)
+		}
+	}
+}
+
+// Domains returns every registered domain with at least one record, sorted.
+func (d *Dataset) Domains() []dnscore.Name {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]dnscore.Name, 0, len(d.byDomain))
+	for n := range d.byDomain {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DomainRecords returns the records for a registered domain within
+// [from, to), in scan-date order. Zero bounds disable that side.
+func (d *Dataset) DomainRecords(domain dnscore.Name, from, to simtime.Date) []*Record {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []*Record
+	for _, r := range d.byDomain[domain] {
+		if r.ScanDate < from {
+			continue
+		}
+		if to > 0 && r.ScanDate >= to {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ScanDate < out[j].ScanDate })
+	return out
+}
+
+// ScanDates returns the ingested scan dates within [from, to); zero to
+// disables the upper bound.
+func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []simtime.Date
+	for _, s := range d.scanDates {
+		if s >= from && (to <= 0 || s < to) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Size returns (domains, records) counts.
+func (d *Dataset) Size() (int, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byDomain), d.records
+}

@@ -1,0 +1,222 @@
+package scanner
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"retrodns/internal/ctlog"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/netsim"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+var (
+	leKey   = x509lite.NewSigningKey("le", 1)
+	corpKey = x509lite.NewSigningKey("corp", 2)
+)
+
+func mkCert(t *testing.T, key *x509lite.SigningKey, issuer string, from, to simtime.Date, sans ...dnscore.Name) *x509lite.Certificate {
+	t.Helper()
+	c := &x509lite.Certificate{
+		Serial: uint64(from)*1000 + uint64(len(sans)), Subject: sans[0], SANs: sans,
+		Issuer: issuer, NotBefore: from, NotAfter: to, Method: x509lite.ValidationDNS01,
+	}
+	key.Sign(c)
+	return c
+}
+
+type fixture struct {
+	scanner  *Scanner
+	internet *netsim.Internet
+	log      *ctlog.Log
+	legit    *x509lite.Certificate
+	evil     *x509lite.Certificate
+	internal *x509lite.Certificate
+}
+
+var (
+	legitIP = netip.MustParseAddr("84.205.248.69")
+	evilIP  = netip.MustParseAddr("95.179.131.225")
+)
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	internet := netsim.NewInternet()
+	meta := ipmeta.NewDirectory()
+	meta.Prefixes.MustAnnounce("84.205.0.0/16", 35506)
+	meta.Prefixes.MustAnnounce("95.179.128.0/18", 20473)
+	meta.Geo.MustAddPrefix("84.205.0.0/16", "GR")
+	meta.Geo.MustAddPrefix("95.179.128.0/18", "NL")
+
+	trust := x509lite.NewTrustStore()
+	trust.Include(leKey, x509lite.ProgramApple, x509lite.ProgramMozilla)
+	trust.Include(corpKey) // internal CA: registered, not browser-trusted
+
+	log := ctlog.NewLog("sim", 1245068498)
+
+	f := &fixture{internet: internet, log: log}
+	f.legit = mkCert(t, leKey, "DigiCert Inc", 0, 400, "mail.kyvernisi.gr")
+	f.evil = mkCert(t, leKey, "Let's Encrypt", 800, 890, "mail.kyvernisi.gr")
+	f.internal = mkCert(t, corpKey, "Corp CA", 0, 2000, "intranet.kyvernisi.gr")
+	for _, c := range []*x509lite.Certificate{f.legit, f.evil} {
+		if _, err := log.Submit(c, c.NotBefore); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, port := range []uint16{443, 993, 995} {
+		must(internet.Provision(netsim.Endpoint{Addr: legitIP, Port: port}, f.legit, 0, 400))
+	}
+	must(internet.Provision(netsim.Endpoint{Addr: evilIP, Port: 993}, f.evil, 805, 820))
+	must(internet.Provision(netsim.Endpoint{Addr: legitIP, Port: 587}, f.internal, 0, 400))
+
+	f.scanner = New(internet, meta, trust, log)
+	return f
+}
+
+func TestScanWeekAnnotations(t *testing.T) {
+	f := setup(t)
+	records := f.scanner.ScanWeek(7)
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2 (legit cert + internal cert)", len(records))
+	}
+	var legitRec, internalRec *Record
+	for _, r := range records {
+		switch r.Cert {
+		case f.legit:
+			legitRec = r
+		case f.internal:
+			internalRec = r
+		}
+	}
+	if legitRec == nil || internalRec == nil {
+		t.Fatal("expected records missing")
+	}
+	if got := legitRec.Ports; len(got) != 3 || got[0] != 443 || got[2] != 995 {
+		t.Errorf("ports = %v", got)
+	}
+	if legitRec.ASN != 35506 || legitRec.Country != "GR" {
+		t.Errorf("annotation = %v %v", legitRec.ASN, legitRec.Country)
+	}
+	if !legitRec.Trusted {
+		t.Error("LE-signed record not trusted")
+	}
+	if legitRec.CrtShID != 1245068498 {
+		t.Errorf("CrtShID = %d", legitRec.CrtShID)
+	}
+	if !legitRec.Sensitive {
+		t.Error("mail.* not flagged sensitive")
+	}
+	if internalRec.Trusted {
+		t.Error("internal CA record trusted")
+	}
+	if internalRec.CrtShID != 0 {
+		t.Error("unlogged cert has a crt.sh ID")
+	}
+	if !internalRec.Sensitive {
+		t.Error("intranet.* not flagged sensitive")
+	}
+}
+
+func TestScanSeesTransientOnlyInWindow(t *testing.T) {
+	f := setup(t)
+	if recs := f.scanner.ScanWeek(805); len(recs) == 0 {
+		t.Fatal("no records at 805")
+	}
+	found := func(date simtime.Date) bool {
+		for _, r := range f.scanner.ScanWeek(date) {
+			if r.Cert == f.evil {
+				return true
+			}
+		}
+		return false
+	}
+	// 805 is not a scan date necessarily; scan dates are multiples of 7.
+	// The window [805,820) contains scans 805? 805%7=0 → yes 805 = 115*7.
+	if !found(805) {
+		t.Error("transient invisible during window")
+	}
+	if found(798) || found(826) {
+		t.Error("transient visible outside window")
+	}
+}
+
+func TestRunStudyDataset(t *testing.T) {
+	f := setup(t)
+	ds := f.scanner.RunStudy(0, 100)
+	domains, records := ds.Size()
+	if domains != 1 {
+		t.Fatalf("domains = %d", domains)
+	}
+	if records == 0 {
+		t.Fatal("no records")
+	}
+	if got := ds.Domains(); len(got) != 1 || got[0] != "kyvernisi.gr" {
+		t.Fatalf("Domains = %v", got)
+	}
+	recs := ds.DomainRecords("kyvernisi.gr", 0, 100)
+	if len(recs) == 0 {
+		t.Fatal("no domain records")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ScanDate < recs[i-1].ScanDate {
+			t.Fatal("records out of order")
+		}
+	}
+	// Window filtering.
+	if got := ds.DomainRecords("kyvernisi.gr", 50, 60); len(got) != 2 {
+		t.Fatalf("windowed records = %d, want 2 (legit + internal on scan 56)", len(got))
+	}
+	if got := ds.ScanDates(0, 100); len(got) != len(simtime.ScanDates(0, 100)) {
+		t.Fatalf("ScanDates = %d", len(got))
+	}
+	if got := ds.ScanDates(50, 60); len(got) != 1 {
+		t.Fatalf("windowed ScanDates = %d", len(got))
+	}
+}
+
+func TestIsSensitiveName(t *testing.T) {
+	cases := []struct {
+		name dnscore.Name
+		want bool
+	}{
+		{"mail.mfa.gov.kg", true},
+		{"advpn.adpolice.gov.ae", true},
+		{"dnsnodeapi.netnod.se", true}, // "api" substring
+		{"www.example.com", false},
+		{"example.com", false},
+		{"webmail.gov.cy", true}, // suffix-child domain, sensitive label
+		{"kyvernisi.gr", false},  // registered domain, benign label
+		{"mail2010.kotc.com.kw", true},
+		{"memail.mea.com.lb", true},
+		{"personal.govcloud.gov.cy", true}, // "cloud" in the domain part? No: sub is "personal.", apex govcloud.gov.cy
+		{"com", false},
+	}
+	for _, c := range cases {
+		if got := IsSensitiveName(c.name); got != c.want {
+			t.Errorf("IsSensitiveName(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	f := setup(t)
+	records := f.scanner.ScanWeek(7)
+	s := records[0].String()
+	for _, want := range []string{"84.205.248.69", "35506", "GR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("record string missing %q: %s", want, s)
+		}
+	}
+	if len(records[0].Names()) == 0 {
+		t.Error("Names empty")
+	}
+}

@@ -1,0 +1,192 @@
+// Package simtime provides the discrete calendar used throughout the
+// simulation: a study window divided into weekly scan dates (matching the
+// cadence of the Censys Universal Internet Data Set the paper consumes) and
+// six-month analysis periods (the window over which the paper builds one
+// deployment map per domain).
+//
+// All simulation components — the network simulator, the scanner, passive
+// DNS, the CA, and the detection pipeline — address time as a simtime.Date
+// (days since the study epoch) so that the entire system is deterministic
+// and independent of the wall clock.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Date is a day offset from the study epoch. Day 0 is StudyStart.
+type Date int
+
+// Duration is a span measured in days.
+type Duration int
+
+// Study window constants mirror the paper: January 2017 through March 2021,
+// divided into nine six-month periods, scanned weekly.
+const (
+	// DaysPerWeek is the scan cadence of the simulated CUIDS.
+	DaysPerWeek = 7
+	// DaysPerPeriod is the length of one analysis period (~6 months).
+	DaysPerPeriod = 182
+	// NumPeriods is the number of analysis periods in the study window.
+	NumPeriods = 9
+	// StudyDays is the total length of the study window in days.
+	StudyDays = DaysPerPeriod * NumPeriods
+)
+
+// studyEpoch anchors Date 0 to the paper's study start.
+var studyEpoch = time.Date(2017, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// StudyStart is the first day of the study window.
+const StudyStart Date = 0
+
+// StudyEnd is the first day after the study window.
+const StudyEnd Date = StudyDays
+
+// FromTime converts a wall-clock time to a study Date, truncating to days.
+func FromTime(t time.Time) Date {
+	return Date(t.Sub(studyEpoch) / (24 * time.Hour))
+}
+
+// Time converts a study Date back to a wall-clock time (midnight UTC).
+func (d Date) Time() time.Time {
+	return studyEpoch.Add(time.Duration(d) * 24 * time.Hour)
+}
+
+// String formats a Date as an ISO calendar day, e.g. "2019-04-23".
+func (d Date) String() string {
+	return d.Time().Format("2006-01-02")
+}
+
+// MonthYear formats a Date like the paper's hijack timestamps, e.g. "Apr'19".
+func (d Date) MonthYear() string {
+	t := d.Time()
+	return fmt.Sprintf("%s'%02d", t.Format("Jan"), t.Year()%100)
+}
+
+// Add returns the date n days later.
+func (d Date) Add(n Duration) Date { return d + Date(n) }
+
+// Sub returns the number of days from other to d.
+func (d Date) Sub(other Date) Duration { return Duration(d - other) }
+
+// Before reports whether d is strictly earlier than other.
+func (d Date) Before(other Date) bool { return d < other }
+
+// After reports whether d is strictly later than other.
+func (d Date) After(other Date) bool { return d > other }
+
+// InStudy reports whether d falls inside the study window.
+func (d Date) InStudy() bool { return d >= StudyStart && d < StudyEnd }
+
+// Period identifies one of the six-month analysis periods, 0-based.
+type Period int
+
+// PeriodOf returns the analysis period containing d. Dates outside the study
+// window are clamped into the first or last period.
+func PeriodOf(d Date) Period {
+	if d < StudyStart {
+		return 0
+	}
+	if d >= StudyEnd {
+		return NumPeriods - 1
+	}
+	return Period(d / DaysPerPeriod)
+}
+
+// Start returns the first day of the period.
+func (p Period) Start() Date { return Date(p) * DaysPerPeriod }
+
+// End returns the first day after the period.
+func (p Period) End() Date { return p.Start() + DaysPerPeriod }
+
+// Contains reports whether d falls inside the period.
+func (p Period) Contains(d Date) bool { return d >= p.Start() && d < p.End() }
+
+// String formats the period with its calendar bounds.
+func (p Period) String() string {
+	return fmt.Sprintf("P%d[%s,%s)", int(p), p.Start(), p.End())
+}
+
+// Valid reports whether p is a real study period.
+func (p Period) Valid() bool { return p >= 0 && p < NumPeriods }
+
+// ScanDates returns every weekly scan date in the half-open window
+// [from, to). The first scan of the study falls on StudyStart and scans
+// repeat every DaysPerWeek days thereafter.
+func ScanDates(from, to Date) []Date {
+	if from < StudyStart {
+		from = StudyStart
+	}
+	if to > StudyEnd {
+		to = StudyEnd
+	}
+	if from >= to {
+		return nil
+	}
+	// Round from up to the next scan date.
+	first := from
+	if rem := first % DaysPerWeek; rem != 0 {
+		first += DaysPerWeek - rem
+	}
+	var dates []Date
+	for d := first; d < to; d += DaysPerWeek {
+		dates = append(dates, d)
+	}
+	return dates
+}
+
+// ScansInPeriod returns every weekly scan date inside the period.
+func ScansInPeriod(p Period) []Date { return ScanDates(p.Start(), p.End()) }
+
+// ScansPerPeriod is the number of weekly scans in one analysis period.
+var ScansPerPeriod = len(ScansInPeriod(0))
+
+// IsScanDate reports whether d is one of the weekly scan dates.
+func IsScanDate(d Date) bool {
+	return d.InStudy() && d%DaysPerWeek == 0
+}
+
+// PrevScan returns the latest scan date at or before d, and false if no scan
+// has happened yet.
+func PrevScan(d Date) (Date, bool) {
+	if d < StudyStart {
+		return 0, false
+	}
+	if d >= StudyEnd {
+		d = StudyEnd - 1
+	}
+	return d - d%DaysPerWeek, true
+}
+
+// NextScan returns the earliest scan date strictly after d, and false if the
+// study window has ended.
+func NextScan(d Date) (Date, bool) {
+	n := d - d%DaysPerWeek + DaysPerWeek
+	if d < StudyStart {
+		n = StudyStart
+	}
+	if n >= StudyEnd {
+		return 0, false
+	}
+	return n, true
+}
+
+// MustParse parses an ISO day ("2019-04-23") into a Date, panicking on
+// malformed input. Intended for tests and static campaign tables.
+func MustParse(s string) Date {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Parse parses an ISO day ("2019-04-23") into a Date.
+func Parse(s string) (Date, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("simtime: parse %q: %w", s, err)
+	}
+	return FromTime(t), nil
+}

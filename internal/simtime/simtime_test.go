@@ -1,0 +1,196 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	if got := FromTime(time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)); got != 0 {
+		t.Fatalf("epoch maps to %d, want 0", got)
+	}
+	if got := Date(0).Time(); !got.Equal(time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("Date(0).Time() = %v", got)
+	}
+}
+
+func TestParseString(t *testing.T) {
+	d := MustParse("2019-04-23")
+	if d.String() != "2019-04-23" {
+		t.Fatalf("round trip: %s", d)
+	}
+	if d.MonthYear() != "Apr'19" {
+		t.Fatalf("MonthYear = %s", d.MonthYear())
+	}
+	if _, err := Parse("not-a-date"); err == nil {
+		t.Fatal("Parse accepted garbage")
+	}
+}
+
+func TestParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on garbage")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestStudyWindow(t *testing.T) {
+	if !StudyStart.InStudy() {
+		t.Error("StudyStart not in study")
+	}
+	if StudyEnd.InStudy() {
+		t.Error("StudyEnd in study")
+	}
+	if Date(-1).InStudy() {
+		t.Error("negative date in study")
+	}
+	// Study should span Jan 2017 into roughly early 2021.
+	if y := (StudyEnd - 1).Time().Year(); y != 2021 {
+		t.Errorf("study ends in %d, want 2021", y)
+	}
+}
+
+func TestPeriodOf(t *testing.T) {
+	cases := []struct {
+		d    Date
+		want Period
+	}{
+		{0, 0},
+		{DaysPerPeriod - 1, 0},
+		{DaysPerPeriod, 1},
+		{StudyEnd - 1, NumPeriods - 1},
+		{-5, 0},                        // clamped
+		{StudyEnd + 5, NumPeriods - 1}, // clamped
+	}
+	for _, c := range cases {
+		if got := PeriodOf(c.d); got != c.want {
+			t.Errorf("PeriodOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPeriodBounds(t *testing.T) {
+	for p := Period(0); p < NumPeriods; p++ {
+		if !p.Valid() {
+			t.Fatalf("period %d invalid", p)
+		}
+		if p.End()-p.Start() != DaysPerPeriod {
+			t.Fatalf("period %d has length %d", p, p.End()-p.Start())
+		}
+		if !p.Contains(p.Start()) || p.Contains(p.End()) {
+			t.Fatalf("period %d half-open violation", p)
+		}
+	}
+	if Period(-1).Valid() || Period(NumPeriods).Valid() {
+		t.Fatal("out-of-range period reported valid")
+	}
+}
+
+func TestScanDates(t *testing.T) {
+	all := ScanDates(StudyStart, StudyEnd)
+	if len(all) == 0 {
+		t.Fatal("no scan dates")
+	}
+	if all[0] != StudyStart {
+		t.Fatalf("first scan %d, want %d", all[0], StudyStart)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i]-all[i-1] != DaysPerWeek {
+			t.Fatalf("scan gap %d between %d and %d", all[i]-all[i-1], all[i-1], all[i])
+		}
+	}
+	if got := ScanDates(10, 10); got != nil {
+		t.Fatalf("empty window returned %v", got)
+	}
+	// Window starting mid-week should round up to the next scan.
+	from := Date(3)
+	dates := ScanDates(from, 30)
+	if len(dates) == 0 || dates[0] != 7 {
+		t.Fatalf("mid-week window starts at %v", dates)
+	}
+}
+
+func TestScansPerPeriod(t *testing.T) {
+	if ScansPerPeriod != 26 {
+		t.Fatalf("ScansPerPeriod = %d, want 26 (~12 scans per 3 months as in the paper)", ScansPerPeriod)
+	}
+}
+
+func TestPrevNextScan(t *testing.T) {
+	if _, ok := PrevScan(-1); ok {
+		t.Error("PrevScan before study succeeded")
+	}
+	if d, ok := PrevScan(13); !ok || d != 7 {
+		t.Errorf("PrevScan(13) = %d,%v", d, ok)
+	}
+	if d, ok := PrevScan(StudyEnd + 100); !ok || d > StudyEnd-1 {
+		t.Errorf("PrevScan past end = %d,%v", d, ok)
+	}
+	if d, ok := NextScan(0); !ok || d != 7 {
+		t.Errorf("NextScan(0) = %d,%v", d, ok)
+	}
+	if d, ok := NextScan(-100); !ok || d != StudyStart {
+		t.Errorf("NextScan(-100) = %d,%v", d, ok)
+	}
+	if _, ok := NextScan(StudyEnd - 1); ok {
+		t.Error("NextScan at end succeeded")
+	}
+}
+
+func TestIsScanDate(t *testing.T) {
+	for _, d := range ScanDates(StudyStart, StudyEnd) {
+		if !IsScanDate(d) {
+			t.Fatalf("scan date %d not recognized", d)
+		}
+	}
+	if IsScanDate(1) || IsScanDate(-7) || IsScanDate(StudyEnd) {
+		t.Error("non-scan date recognized")
+	}
+}
+
+// Property: every in-study date belongs to exactly one period and that
+// period contains it.
+func TestPeriodPartitionProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		d := Date(int(raw) % StudyDays)
+		p := PeriodOf(d)
+		return p.Valid() && p.Contains(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time round trip through wall clock is lossless for in-study dates.
+func TestTimeRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		d := Date(int(raw) % StudyDays)
+		return FromTime(d.Time()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PrevScan/NextScan bracket the date.
+func TestScanBracketProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		d := Date(int(raw) % StudyDays)
+		prev, ok := PrevScan(d)
+		if !ok || prev > d || !IsScanDate(prev) || d-prev >= DaysPerWeek {
+			return false
+		}
+		next, ok := NextScan(d)
+		if !ok {
+			// Only acceptable near the end of the study.
+			return d >= StudyEnd-DaysPerWeek
+		}
+		return next > d && IsScanDate(next) && next-d <= DaysPerWeek
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

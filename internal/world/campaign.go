@@ -1,0 +1,478 @@
+package world
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"retrodns/internal/ca"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/dnsserver"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/netsim"
+	"retrodns/internal/registrar"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// nsGroupDomains names the attacker nameserver infrastructure per
+// campaign operator. The Kyrgyzstan names are the paper's (§5.1); the Sea
+// Turtle names are synthetic stand-ins for the campaign's shared
+// nameservers.
+var nsGroupDomains = map[string]struct {
+	domain dnscore.Name
+	asn    ipmeta.ASN
+	cc     ipmeta.CountryCode
+}{
+	groupSeaTurtle: {"rootdnsnet.net", 14061, "NL"},
+	groupKyrgyz:    {"kg-infocom.ru", 48282, "RU"},
+}
+
+// zoneFileTimings lists the victims whose TLDs the zone-file archive
+// covers, with the evening on which the attacker reverts the delegation.
+// ocom.com and netnod.se revert the same evening (invisible to daily zone
+// files); pch.net reverts a day later (visible in exactly one snapshot) —
+// matching §5.3's observations.
+var zoneFileTimings = map[dnscore.Name]simtime.Duration{
+	"ocom.com":  0,
+	"netnod.se": 0,
+	"pch.net":   1,
+}
+
+type nsGroupInfo struct {
+	names []dnscore.Name
+	srv   *dnsserver.Server
+}
+
+// attackPlan is the derived schedule for one victim row.
+type attackPlan struct {
+	row VictimRow
+	// H is the first attack day (delegation switch / redirection start).
+	H simtime.Date
+	// visDays is how long attacker infrastructure answers scans.
+	visDays simtime.Duration
+	// redirDays is how long DNS resolution is redirected.
+	redirDays simtime.Duration
+	target    dnscore.Name
+}
+
+// buildCampaigns stages every Table 2 and Table 3 attack.
+func (w *World) buildCampaigns() {
+	w.nsGroups = make(map[string]*nsGroupInfo)
+	for name, spec := range nsGroupDomains {
+		zone, _, nsIP := w.hostZone(spec.domain, spec.asn, spec.cc)
+		srv, _ := w.Transport.Server(nsIP)
+		// The group hosts two nameserver names at the same server host,
+		// like the paper's ns{1,2}.kg-infocom.ru.
+		ns2 := spec.domain.Child("ns2")
+		zone.MustAdd(dnscore.A(ns2, 3600, nsIP))
+		tld := w.tlds[spec.domain.TLD()]
+		tld.zone.MustAdd(dnscore.A(ns2, 3600, nsIP))
+		w.nsGroups[name] = &nsGroupInfo{
+			names: []dnscore.Name{spec.domain.Child("ns1"), ns2},
+			srv:   srv,
+		}
+	}
+	for i, row := range HijackedRows {
+		w.buildVictim(i, row)
+	}
+	for i, row := range TargetedRows {
+		w.buildVictim(i, row)
+	}
+}
+
+// planFor derives the attack schedule from the row's month label, keeping
+// the attacker's scan visibility strictly inside one analysis period so
+// the deployment map can classify it (the paper's month labels are
+// coarser than its data; we nudge boundary dates by a few days).
+func (w *World) planFor(i int, row VictimRow) attackPlan {
+	t, err := time.Parse("Jan'06", row.Month)
+	if err != nil {
+		panic(fmt.Sprintf("world: bad month %q: %v", row.Month, err))
+	}
+	mid := simtime.FromTime(t.AddDate(0, 0, 14))
+	period := simtime.PeriodOf(mid)
+	scans := simtime.ScansInPeriod(period)
+	idx := int((mid - scans[0]) / simtime.DaysPerWeek)
+	if idx < 3 {
+		idx = 3
+	}
+	if idx > len(scans)-4 {
+		idx = len(scans) - 4
+	}
+	H := scans[idx] - 1
+
+	// Visibility distribution per §5.3: >50% of malicious certificates
+	// appear in one scan, ~20% in two, the rest linger for weeks.
+	var vis simtime.Duration
+	switch i % 10 {
+	case 0, 1, 2, 3, 4:
+		vis = 8
+	case 5, 6:
+		vis = 15
+	case 7:
+		vis = 36
+	default:
+		vis = 57
+	}
+	// Keep the last covered scan at least two scans from the period edge.
+	if cap := scans[len(scans)-3].Sub(H) + simtime.DaysPerWeek; vis > cap {
+		vis = cap
+	}
+	// Redirection durations: ~half the hijacks resolve to attacker
+	// infrastructure for at most one day.
+	var redir simtime.Duration
+	switch i % 4 {
+	case 0, 2:
+		redir = 1
+	case 1:
+		redir = 3
+	default:
+		redir = 9 + simtime.Duration(i%12)
+	}
+	target := row.Domain
+	if row.Sub != "" {
+		target = row.Domain.Child(row.Sub)
+	}
+	return attackPlan{row: row, H: H, visDays: vis, redirDays: redir, target: target}
+}
+
+// issuerFor returns the CA behind a row's malicious certificate.
+func (w *World) issuerFor(row VictimRow) *ca.CA {
+	switch row.Issuer {
+	case "Comodo":
+		return w.Comodo
+	default:
+		return w.LetsEncrypt
+	}
+}
+
+// victimNSProvider returns the "national ISP" provider ASN hosting a pivot
+// victim's nameservers in its country.
+func (w *World) victimNSProvider(country ipmeta.CountryCode) ipmeta.ASN {
+	if asn, ok := w.nationalISP[country]; ok {
+		return asn
+	}
+	asn := ipmeta.ASN(65001 + len(w.nationalISP))
+	w.alloc.RegisterProvider(Provider{
+		ASN: asn, Name: fmt.Sprintf("National-ISP-%s", country),
+		Org: ipmeta.OrgID(fmt.Sprintf("isp-%s", country)), Countries: cc(country),
+	})
+	w.nationalISP[country] = asn
+	return asn
+}
+
+// registerAttackerIP announces the /24 around a literal attacker IP with
+// the row's origin AS and geolocation, once.
+func (w *World) registerAttackerIP(ipStr string, asn ipmeta.ASN, country ipmeta.CountryCode) netip.Addr {
+	ip := netip.MustParseAddr(ipStr)
+	prefix := netip.PrefixFrom(ip, 24).Masked()
+	if !w.attackerPrefixes[prefix] {
+		w.attackerPrefixes[prefix] = true
+		if err := w.Meta.Prefixes.Announce(prefix, asn); err != nil {
+			panic(err)
+		}
+		if err := w.Meta.Geo.AddPrefix(prefix, country); err != nil {
+			panic(err)
+		}
+	}
+	return ip
+}
+
+// buildVictim stages one row: the victim's legitimate DNS and hosting, the
+// attack timeline, and the ground-truth entry.
+func (w *World) buildVictim(i int, row VictimRow) {
+	plan := w.planFor(i, row)
+	attackIP := w.registerAttackerIP(row.IP, row.ASN, row.AttCC)
+	domain := row.Domain
+
+	// Legitimate DNS. Victims with scannable infrastructure host their
+	// nameservers in their first stable ASN; pivot victims use a national
+	// ISP in their country.
+	nsASN, nsCC := w.victimNSProvider(row.CC), row.CC
+	if len(row.Victim) > 0 {
+		nsASN = row.Victim[0]
+		w.alloc.RegisterProvider(Provider{
+			ASN: nsASN, Name: fmt.Sprintf("Victim-AS%d", nsASN),
+			Org: ipmeta.OrgID(fmt.Sprintf("victim-%d", nsASN)), Countries: row.VicCC,
+		})
+		nsCC = row.VicCC[0]
+	}
+	legitZone, legitNS, legitNSIP := w.hostZone(domain, nsASN, nsCC)
+
+	// Legitimate hosting: one endpoint per stable ASN, serving one
+	// long-lived certificate (paper pattern S1). A few victims use an
+	// internal CA, whose certificates never appear in CT (§5.6).
+	var legitServiceIP netip.Addr
+	if len(row.Victim) > 0 {
+		certNames := []dnscore.Name{plan.target, domain.Child("www")}
+		if plan.target != domain {
+			certNames = append(certNames, domain)
+		}
+		var legitCert *x509lite.Certificate
+		if row.Kind == KindT1 && i%7 == 2 {
+			legitCert = w.issueInternal(-60, int(simtime.StudyDays)+150, certNames...)
+		} else {
+			legitCert, _ = w.DigiCert.IssueManual(-60, int(simtime.StudyDays)+150, certNames...)
+		}
+		for vi, vASN := range row.Victim {
+			vcc := row.VicCC[0]
+			if vi < len(row.VicCC) {
+				vcc = row.VicCC[vi]
+			}
+			w.alloc.RegisterProvider(Provider{
+				ASN: vASN, Name: fmt.Sprintf("Victim-AS%d", vASN),
+				Org: ipmeta.OrgID(fmt.Sprintf("victim-%d", vASN)), Countries: cc(vcc),
+			})
+			ip := w.alloc.Alloc(vASN, vcc)
+			if vi == 0 {
+				legitServiceIP = ip
+			}
+			for _, port := range []uint16{443, 993} {
+				_ = w.Internet.Provision(netsim.Endpoint{Addr: ip, Port: port}, legitCert, simtime.StudyStart, 0)
+			}
+		}
+	} else {
+		// Pivot victims run services that scans cannot see (internal or
+		// plain HTTP); allocate the address their names resolve to.
+		legitServiceIP = w.alloc.Alloc(nsASN, nsCC)
+	}
+	legitZone.MustAdd(dnscore.A(plan.target, 300, legitServiceIP))
+	if plan.target != domain.Child("www") {
+		legitZone.MustAdd(dnscore.A(domain.Child("www"), 300, legitServiceIP))
+	}
+
+	// A third of victims deploy DNSSEC on their zones (the paper notes
+	// DNSSEC is sparsely deployed and, either way, bypassed by registry-
+	// level attackers). Their validation status is monitored daily.
+	signed := w.Cfg.DNSSEC && i%3 == 0
+	if signed {
+		w.signVictimZone(domain, legitZone)
+		w.secTrack = append(w.secTrack, trackedQuery{plan.target, dnscore.TypeA})
+	}
+
+	// Steady client traffic feeds passive DNS.
+	w.track(plan.target, dnscore.TypeA)
+	w.track(domain, dnscore.TypeNS)
+
+	// Registry Lock counterfactual (§7.2): the lock blocks the registrar
+	// channel, so registrar-path attacks never execute. Provider-path
+	// attacks (P-IP) and proxy stagings are unaffected.
+	if w.Cfg.RegistryLockAll {
+		if err := w.registries[domain.TLD()].SetLock(domain, true); err != nil {
+			w.Errors = append(w.Errors, err)
+		}
+	}
+	truthKind := "hijacked"
+	if row.Kind == KindTarget {
+		truthKind = "targeted"
+	}
+	if w.Cfg.RegistryLockAll {
+		switch row.Kind {
+		case KindT1, KindT1Star, KindPivNS:
+			truthKind = "prevented"
+		case KindT2:
+			// The proxy staging still happens; the hijack does not.
+			truthKind = "targeted"
+		}
+	}
+	w.Truth[domain] = &GroundTruth{
+		Domain: domain, Kind: truthKind, Method: string(row.Kind),
+		Sector: row.Sector, Org: row.Org, Country: row.CC,
+	}
+
+	switch row.Kind {
+	case KindT1, KindT1Star:
+		w.stageRegistrarHijack(plan, attackIP, legitZone, legitNS, legitNSIP, true)
+		if row.Kind == KindT1Star {
+			w.Sensor.ExcludeDomain(domain)
+		}
+	case KindT2:
+		w.stageProxyPrelude(plan, attackIP, legitServiceIP)
+		w.stageRegistrarHijack(plan, attackIP, legitZone, legitNS, legitNSIP, false)
+	case KindPivIP:
+		w.stageProviderHijack(plan, attackIP, legitZone, legitServiceIP)
+	case KindPivNS:
+		w.stageRegistrarHijack(plan, attackIP, legitZone, legitNS, legitNSIP, false)
+	case KindTarget:
+		w.stageProxyPrelude(plan, attackIP, legitServiceIP)
+		if row.PDNS {
+			// justice.gov.ma / ais.gov.vn: a brief redirection was
+			// observed even though no certificate was ever issued.
+			w.stageZoneRedirect(plan, attackIP, legitZone, legitServiceIP, false)
+		}
+	}
+}
+
+// stageRegistrarHijack mounts the registrar/registry-level attack: the
+// TLD delegation moves to the group's nameservers, which answer the CA's
+// DNS-01 challenge and redirect the targeted subdomain. When
+// provisionEndpoint is set, the attacker also stands up scannable
+// infrastructure serving the mis-issued certificate (pattern T1);
+// otherwise the certificate exists only in CT (T2 and P-NS).
+func (w *World) stageRegistrarHijack(plan attackPlan, attackIP netip.Addr, legitZone *dnscore.Zone, legitNS dnscore.Name, legitNSIP netip.Addr, provisionEndpoint bool) {
+	row := plan.row
+	var evilPort uint16
+	if provisionEndpoint {
+		evilPort = w.nextAttackerPort(attackIP)
+	}
+	group := w.nsGroups[row.NSGroup]
+	domain := row.Domain
+	tld := w.tlds[domain.TLD()]
+
+	// The attacker's authoritative zone for the victim domain.
+	azone := dnscore.NewZone(domain)
+	azone.MustAdd(dnscore.SOA(domain, 300, group.names[0], 1))
+	for _, ns := range group.names {
+		azone.MustAdd(dnscore.NS(domain, 300, ns))
+	}
+	azone.MustAdd(dnscore.A(plan.target, 300, attackIP))
+	group.srv.AddZone(azone)
+
+	legitDS := tld.zone.DirectSet(domain, dnscore.TypeDS)
+	reg := w.registries[domain.TLD()]
+
+	w.at(plan.H, func() {
+		// The delegation change travels the compromised registrar's
+		// channel into the registry — where Registry Lock, if set, stops
+		// it cold (§7.2).
+		if err := w.Registrar.CompromisedUpdateDelegation(domain, group.names, nil); err != nil {
+			if errors.Is(err, registrar.ErrRegistryLocked) {
+				if !w.prevented[domain] {
+					w.prevented[domain] = true
+					w.Prevented = append(w.Prevented, domain)
+				}
+				return
+			}
+			w.Errors = append(w.Errors, fmt.Errorf("%s: switch delegation: %w", domain, err))
+			return
+		}
+		// A registrar-level attacker also disables DNSSEC by stripping
+		// the DS record (paper §2.2); the registry's own signer re-signs
+		// the mutated zone, so the chain stays "valid" — just shorter.
+		if len(legitDS) > 0 {
+			if err := w.Registrar.CompromisedStripDS(domain); err != nil {
+				w.Errors = append(w.Errors, fmt.Errorf("%s: strip DS: %w", domain, err))
+			}
+		}
+		if row.CT {
+			cert, err := w.issuerFor(row).IssueDV(plan.H, ca.ZoneSolver{Zone: azone}, plan.target)
+			if err != nil {
+				w.Errors = append(w.Errors, fmt.Errorf("%s: malicious issuance: %w", domain, err))
+				return
+			}
+			w.maliciousCerts[domain] = cert
+			if row.Revoked {
+				// The victim eventually notices and has the certificate
+				// revoked — weeks later, per the paper's observation that
+				// most victims never do.
+				w.at(plan.H+45, func() {
+					if err := w.issuerFor(row).Revoke(cert, plan.H+45); err != nil {
+						w.Errors = append(w.Errors, err)
+					}
+				})
+			}
+			if provisionEndpoint {
+				_ = w.Internet.Provision(netsim.Endpoint{Addr: attackIP, Port: evilPort}, cert, plan.H, plan.H.Add(plan.visDays))
+			}
+		}
+	})
+	revert := func() {
+		if w.prevented[domain] {
+			return // nothing to revert: the attack never executed
+		}
+		if err := w.Registrar.CompromisedUpdateDelegation(domain, []dnscore.Name{legitNS},
+			map[dnscore.Name]string{legitNS: legitNSIP.String()}); err != nil {
+			w.Errors = append(w.Errors, fmt.Errorf("%s: revert delegation: %w", domain, err))
+		}
+		if len(legitDS) > 0 {
+			if err := reg.RestoreDS(w.Registrar.ID(), domain, legitDS); err != nil {
+				w.Errors = append(w.Errors, fmt.Errorf("%s: restore DS: %w", domain, err))
+			}
+		}
+	}
+	if evenings, ok := zoneFileTimings[domain]; ok {
+		// Zone-file-covered victims revert in the evening, dodging (or
+		// barely grazing) the nightly snapshot.
+		w.atEvening(plan.H.Add(evenings), revert)
+	} else {
+		w.at(plan.H.Add(plan.redirDays), revert)
+	}
+}
+
+// stageProxyPrelude stands up the attacker's proxy: a host at the attacker
+// IP that relays TLS to the victim's legitimate endpoint, so scans observe
+// the victim's own certificate at foreign infrastructure (pattern T2).
+func (w *World) stageProxyPrelude(plan attackPlan, attackIP, legitServiceIP netip.Addr) {
+	from := plan.H - 3
+	if plan.row.Kind == KindTarget {
+		from = plan.H
+	}
+	port := w.nextAttackerPort(attackIP)
+	_ = w.Internet.ProvisionProxy(
+		netsim.Endpoint{Addr: attackIP, Port: port},
+		netsim.Endpoint{Addr: legitServiceIP, Port: 443},
+		from, from.Add(plan.visDays))
+}
+
+// stageProviderHijack mounts the DNS-provider-account attack used for the
+// P-IP victims: the attacker edits A records at the victim's existing
+// nameservers (no delegation change) and, when a certificate was issued,
+// validates through the same tampered zone and deploys it at a reused IP.
+func (w *World) stageProviderHijack(plan attackPlan, attackIP netip.Addr, legitZone *dnscore.Zone, legitServiceIP netip.Addr) {
+	w.stageZoneRedirect(plan, attackIP, legitZone, legitServiceIP, plan.row.CT)
+}
+
+// stageZoneRedirect repoints the target's A record inside the legitimate
+// zone for the redirection window, optionally issuing and deploying a
+// certificate validated through the tampered zone.
+func (w *World) stageZoneRedirect(plan attackPlan, attackIP netip.Addr, legitZone *dnscore.Zone, legitServiceIP netip.Addr, issueCert bool) {
+	row := plan.row
+	var evilPort uint16
+	if issueCert {
+		evilPort = w.nextAttackerPort(attackIP)
+	}
+	w.at(plan.H, func() {
+		if err := legitZone.Replace(plan.target, dnscore.TypeA, dnscore.RRSet{dnscore.A(plan.target, 300, attackIP)}); err != nil {
+			w.Errors = append(w.Errors, fmt.Errorf("%s: redirect: %w", row.Domain, err))
+			return
+		}
+		// A provider-account attacker holds the provider's signing key,
+		// so a signed zone stays validly signed: DNSSEC sees nothing.
+		w.resignVictim(row.Domain, legitZone)
+		if issueCert {
+			cert, err := w.issuerFor(row).IssueDV(plan.H, ca.ZoneSolver{Zone: legitZone}, plan.target)
+			if err != nil {
+				w.Errors = append(w.Errors, fmt.Errorf("%s: provider-path issuance: %w", row.Domain, err))
+				return
+			}
+			w.maliciousCerts[row.Domain] = cert
+			if row.Revoked {
+				w.at(plan.H+45, func() {
+					if err := w.issuerFor(row).Revoke(cert, plan.H+45); err != nil {
+						w.Errors = append(w.Errors, err)
+					}
+				})
+			}
+			_ = w.Internet.Provision(netsim.Endpoint{Addr: attackIP, Port: evilPort}, cert, plan.H, plan.H.Add(plan.visDays))
+		}
+	})
+	w.at(plan.H.Add(plan.redirDays), func() {
+		if err := legitZone.Replace(plan.target, dnscore.TypeA, dnscore.RRSet{dnscore.A(plan.target, 300, legitServiceIP)}); err != nil {
+			w.Errors = append(w.Errors, fmt.Errorf("%s: revert redirect: %w", row.Domain, err))
+		}
+		w.resignVictim(row.Domain, legitZone)
+	})
+}
+
+// nextAttackerPort hands each campaign using a shared attacker IP its own
+// TLS port, round-robin. Real operators running several counterfeit
+// services from one host bind them to different service ports; without
+// this, overlapping campaigns at one IP would shadow each other's
+// certificates in scans.
+func (w *World) nextAttackerPort(ip netip.Addr) uint16 {
+	i := w.portRR[ip]
+	w.portRR[ip] = i + 1
+	return netsim.TLSPorts[i%len(netsim.TLSPorts)]
+}

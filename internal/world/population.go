@@ -1,0 +1,238 @@
+package world
+
+import (
+	"fmt"
+	"net/netip"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/netsim"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// hostingCountries is the country pool for generic hosting providers.
+var hostingCountries = []ipmeta.CountryCode{
+	"US", "DE", "NL", "FR", "GB", "SG", "JP", "IN", "BR", "AU", "CA", "IT", "ES", "SE", "PL",
+}
+
+var benignTLDs = []string{"com", "net", "org", "io", "co"}
+
+// buildPopulation creates the benign domain populations: the overwhelming
+// majority of the Internet that the pipeline must classify as stable,
+// transition, or noisy — and the benign transients it must prune.
+func (w *World) buildPopulation() {
+	// Twenty generic hosting providers.
+	var pool []Provider
+	for i := 0; i < 20; i++ {
+		p := Provider{
+			ASN:       ipmeta.ASN(70001 + i),
+			Name:      fmt.Sprintf("Hosting-%02d", i),
+			Org:       ipmeta.OrgID(fmt.Sprintf("hosting-%02d", i)),
+			Countries: cc(hostingCountries[i%len(hostingCountries)], hostingCountries[(i+4)%len(hostingCountries)]),
+		}
+		w.alloc.RegisterProvider(p)
+		pool = append(pool, p)
+	}
+
+	for i := 0; i < w.Cfg.StableDomains; i++ {
+		w.addStableDomain(i, pool)
+	}
+	for i := 0; i < w.Cfg.TransitionDomains; i++ {
+		w.addTransitionDomain(i, pool)
+	}
+	for i := 0; i < w.Cfg.NoisyDomains; i++ {
+		w.addNoisyDomain(i, pool)
+	}
+	for i := 0; i < w.Cfg.BenignTransients; i++ {
+		w.addBenignTransient(i, pool)
+	}
+	if w.Cfg.CDNDomains > 0 {
+		w.addCDNPopulation(pool)
+	}
+}
+
+// addCDNPopulation models shared-infrastructure hosting: one certificate
+// carrying many customers' names, served from a handful of edge IPs in one
+// provider. Every covered domain observes the same records, so all of them
+// must classify stable — multi-SAN certificates are the most common source
+// of cross-domain record sharing in real scan data.
+func (w *World) addCDNPopulation(pool []Provider) {
+	p := pool[0]
+	country := p.Countries[0]
+	const sansPerCert = 25
+	for base := 0; base < w.Cfg.CDNDomains; base += sansPerCert {
+		n := sansPerCert
+		if base+n > w.Cfg.CDNDomains {
+			n = w.Cfg.CDNDomains - base
+		}
+		names := make([]dnscore.Name, 0, n*2)
+		for i := 0; i < n; i++ {
+			domain := w.benignName("cdn", base+i)
+			names = append(names, domain.Child("www"), domain)
+			w.Truth[domain] = &GroundTruth{Domain: domain, Kind: "stable", Country: country}
+		}
+		// Two edge IPs in the same AS serve the shared certificate, with
+		// 90-day rollovers, for the whole study.
+		for e := 0; e < 2; e++ {
+			ip := w.alloc.Alloc(p.ASN, country)
+			w.provisionService(endpointSpec{addr: ip, ports: []uint16{443}}, names, "Let's Encrypt", 90, simtime.StudyStart, 0)
+		}
+	}
+}
+
+func (w *World) pick(p Provider) ipmeta.CountryCode {
+	return p.Countries[w.rng.Intn(len(p.Countries))]
+}
+
+func (w *World) benignName(kind string, i int) dnscore.Name {
+	tld := benignTLDs[i%len(benignTLDs)]
+	return dnscore.MustParseName(fmt.Sprintf("%s%04d.%s", kind, i, tld))
+}
+
+// provisionService binds a certificate chain to an endpoint for the whole
+// study: long-lived certificates roll over at expiry, like the paper's
+// pattern S2.
+func (w *World) provisionService(ip endpointSpec, names []dnscore.Name, issuer string, lifetimeDays int, from, to simtime.Date) {
+	if to <= 0 {
+		to = simtime.StudyEnd
+	}
+	for start := from; start < to; start = start.Add(simtime.Duration(lifetimeDays)) {
+		var cert *x509lite.Certificate
+		switch issuer {
+		case "internal":
+			cert = w.issueInternal(start, lifetimeDays, names...)
+		case "Let's Encrypt":
+			cert, _ = w.LetsEncrypt.IssueManual(start, lifetimeDays, names...)
+		case "Comodo":
+			cert, _ = w.Comodo.IssueManual(start, lifetimeDays, names...)
+		default:
+			cert, _ = w.DigiCert.IssueManual(start, lifetimeDays, names...)
+		}
+		end := start.Add(simtime.Duration(lifetimeDays))
+		if end > to {
+			end = to
+		}
+		for _, port := range ip.ports {
+			_ = w.Internet.Provision(netsim.Endpoint{Addr: ip.addr, Port: port}, cert, start, end)
+		}
+	}
+}
+
+type endpointSpec struct {
+	addr  netip.Addr
+	ports []uint16
+}
+
+func (w *World) addStableDomain(i int, pool []Provider) {
+	p := pool[w.rng.Intn(len(pool))]
+	country := w.pick(p)
+	domain := w.benignName("stable", i)
+	ip := w.alloc.Alloc(p.ASN, country)
+
+	names := []dnscore.Name{domain.Child("www"), domain}
+	ports := []uint16{443}
+	if w.rng.Float64() < 0.4 {
+		names = append(names, domain.Child("mail"))
+		ports = append(ports, 993)
+	}
+	issuer, lifetime := "DigiCert Inc", 730
+	switch w.rng.Intn(10) {
+	case 0, 1, 2:
+		issuer, lifetime = "Let's Encrypt", 90
+	case 3:
+		issuer, lifetime = "internal", 365
+	}
+	w.provisionService(endpointSpec{addr: ip, ports: ports}, names, issuer, lifetime, simtime.StudyStart, 0)
+	if w.rng.Float64() < w.Cfg.FlakyFraction {
+		w.Internet.SetFlakiness(ip, 0.3, uint64(w.Cfg.Seed)+uint64(i))
+	}
+	w.Truth[domain] = &GroundTruth{Domain: domain, Kind: "stable", Country: country}
+}
+
+func (w *World) addTransitionDomain(i int, pool []Provider) {
+	a := pool[w.rng.Intn(len(pool))]
+	b := pool[w.rng.Intn(len(pool))]
+	for b.ASN == a.ASN {
+		b = pool[w.rng.Intn(len(pool))]
+	}
+	domain := w.benignName("mover", i)
+	// Switch providers at a random date in the middle 70% of the study.
+	switchAt := simtime.Date(float64(simtime.StudyDays) * (0.15 + 0.7*w.rng.Float64()))
+	ipA := w.alloc.Alloc(a.ASN, w.pick(a))
+	ipB := w.alloc.Alloc(b.ASN, w.pick(b))
+	names := []dnscore.Name{domain.Child("www"), domain}
+	w.provisionService(endpointSpec{addr: ipA, ports: []uint16{443}}, names, "DigiCert Inc", 730, simtime.StudyStart, switchAt.Add(simtime.DaysPerWeek))
+	w.provisionService(endpointSpec{addr: ipB, ports: []uint16{443}}, names, "Let's Encrypt", 90, switchAt, 0)
+	w.Truth[domain] = &GroundTruth{Domain: domain, Kind: "transition"}
+}
+
+func (w *World) addNoisyDomain(i int, pool []Provider) {
+	domain := w.benignName("churn", i)
+	names := []dnscore.Name{domain.Child("www"), domain}
+	// Hop to a new provider every 3–7 weeks for the whole study.
+	for start := simtime.StudyStart; start < simtime.StudyEnd; {
+		p := pool[w.rng.Intn(len(pool))]
+		ip := w.alloc.Alloc(p.ASN, w.pick(p))
+		dur := simtime.Duration((3 + w.rng.Intn(5)) * 7)
+		end := start.Add(dur)
+		w.provisionService(endpointSpec{addr: ip, ports: []uint16{443}}, names, "Let's Encrypt", 90, start, end)
+		start = end
+	}
+	w.Truth[domain] = &GroundTruth{Domain: domain, Kind: "noisy"}
+}
+
+// addBenignTransient creates domains with innocuous transient deployments
+// that exercise each §4.3 pruning rule.
+func (w *World) addBenignTransient(i int, pool []Provider) {
+	domain := w.benignName("flash", i)
+	scans := simtime.ScansInPeriod(simtime.Period(1 + i%7))
+	tDate := scans[5+w.rng.Intn(len(scans)-10)]
+
+	switch i % 3 {
+	case 0:
+		// Same organization: stable on AMAZON-02 in DE, transient on
+		// AMAZON-AES in US. Pruned by the as2org rule.
+		stableIP := w.alloc.Alloc(16509, "DE")
+		names := []dnscore.Name{domain.Child("mail"), domain}
+		w.provisionService(endpointSpec{addr: stableIP, ports: []uint16{443, 993}}, names, "DigiCert Inc", 730, simtime.StudyStart, 0)
+		tIP := w.alloc.Alloc(14618, "US")
+		tCert, _ := w.LetsEncrypt.IssueManual(tDate-1, 90, domain.Child("mail"))
+		_ = w.Internet.Provision(netsim.Endpoint{Addr: tIP, Port: 443}, tCert, tDate-1, tDate+8)
+	case 1:
+		// Same country: transient in a different ASN but the same country
+		// as the stable deployment. Pruned by geolocation.
+		p := pool[i%len(pool)]
+		country := p.Countries[0]
+		stableIP := w.alloc.Alloc(p.ASN, country)
+		names := []dnscore.Name{domain.Child("mail"), domain}
+		w.provisionService(endpointSpec{addr: stableIP, ports: []uint16{443, 993}}, names, "DigiCert Inc", 730, simtime.StudyStart, 0)
+		q := pool[(i+3)%len(pool)]
+		var tIP netip.Addr
+		hasCountry := false
+		for _, qc := range q.Countries {
+			if qc == country {
+				hasCountry = true
+			}
+		}
+		if !hasCountry {
+			q.Countries = append(q.Countries, country)
+			w.alloc.RegisterProvider(q)
+		}
+		tIP = w.alloc.Alloc(q.ASN, country)
+		tCert, _ := w.LetsEncrypt.IssueManual(tDate-1, 90, domain.Child("mail"))
+		_ = w.Internet.Provision(netsim.Endpoint{Addr: tIP, Port: 443}, tCert, tDate-1, tDate+8)
+	default:
+		// Non-sensitive name, different AS and country: survives the
+		// geo/org prunes but carries no credential-bearing subdomain;
+		// inspection finds no corroborating activity.
+		p := pool[i%len(pool)]
+		stableIP := w.alloc.Alloc(p.ASN, "US")
+		names := []dnscore.Name{domain.Child("www"), domain}
+		w.provisionService(endpointSpec{addr: stableIP, ports: []uint16{443}}, names, "DigiCert Inc", 730, simtime.StudyStart, 0)
+		tIP := w.alloc.Alloc(24940, "DE") // Hetzner
+		tCert, _ := w.LetsEncrypt.IssueManual(tDate-1, 90, domain.Child("www"))
+		_ = w.Internet.Provision(netsim.Endpoint{Addr: tIP, Port: 443}, tCert, tDate-1, tDate+8)
+	}
+	w.Truth[domain] = &GroundTruth{Domain: domain, Kind: "benign-transient"}
+}

@@ -1,0 +1,125 @@
+package world
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"retrodns/internal/ipmeta"
+)
+
+// Provider describes one hosting network: an ASN, its display name, its
+// owning organization, and the countries it operates in. The world
+// allocates each (provider, country) pair a /20 of address space and
+// registers it with the prefix, organization, and geolocation tables.
+type Provider struct {
+	ASN       ipmeta.ASN
+	Name      string
+	Org       ipmeta.OrgID
+	Countries []ipmeta.CountryCode
+}
+
+// AttackerProviders are the networks of the paper's Table 5, with the
+// countries their attacker-leased hosts geolocated to in Tables 2 and 3.
+var AttackerProviders = []Provider{
+	{14061, "Digital Ocean", "digitalocean", cc("NL", "DE", "US")},
+	{20473, "Vultr", "vultr", cc("NL", "FR", "DE", "US", "SG", "JP")},
+	{45102, "Alibaba", "alibaba", cc("SG", "HK", "US", "JP")},
+	{50673, "Serverius", "serverius", cc("NL")},
+	{48282, "VDSINA", "vdsina", cc("RU")},
+	{47220, "ANTENA3", "antena3", cc("RO")},
+	{9009, "M247", "m247", cc("AT", "US")},
+	{24961, "MYLOC", "myloc", cc("DE")},
+	{63949, "Linode", "linode", cc("DE")},
+	{136574, "Zheye Network", "zheye", cc("HK", "JP")},
+	{20860, "IOMart", "iomart", cc("GB")},
+	{54825, "Packet Host", "packet", cc("US")},
+	{24940, "Hetzner", "hetzner", cc("DE")},
+	{41436, "CloudWebManage", "cwm", cc("NL")},
+	{64022, "Kamatera", "kamatera", cc("HK")},
+}
+
+// CloudSiblings model the paper's same-organization pruning case (Amazon
+// announcing from both AS16509 and AS14618): benign transients inside
+// these org pairs must be pruned, not flagged.
+var CloudSiblings = []Provider{
+	{16509, "AMAZON-02", "amazon", cc("US", "DE", "IE")},
+	{14618, "AMAZON-AES", "amazon", cc("US")},
+}
+
+func cc(codes ...ipmeta.CountryCode) []ipmeta.CountryCode { return codes }
+
+// allocator hands out deterministic IPv4 space: each (ASN, country) pair
+// receives a /20 carved from sequential /16s starting at base.
+type allocator struct {
+	mu     sync.Mutex
+	meta   *ipmeta.Directory
+	nextB  int // second octet of the next unallocated /16
+	blocks map[blockKey]*block
+}
+
+type blockKey struct {
+	asn ipmeta.ASN
+	cc  ipmeta.CountryCode
+}
+
+type block struct {
+	prefix netip.Prefix
+	next   uint32 // host counter within the /20
+}
+
+const allocFirstOctet = 100 // allocations live in 100.B.0.0/16 space
+
+func newAllocator(meta *ipmeta.Directory) *allocator {
+	return &allocator{meta: meta, nextB: 1, blocks: make(map[blockKey]*block)}
+}
+
+// ensureBlock registers the /20 for (asn, cc), creating prefix, geo, and
+// origin entries on first use.
+func (a *allocator) ensureBlock(asn ipmeta.ASN, country ipmeta.CountryCode) *block {
+	k := blockKey{asn, country}
+	if b, ok := a.blocks[k]; ok {
+		return b
+	}
+	// Four /20s per /16 keeps octet arithmetic trivial: sub-block s
+	// covers 100.B.(s*16).0/20.
+	idx := len(a.blocks)
+	b16 := a.nextB + idx/4
+	sub := idx % 4
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{allocFirstOctet, byte(b16), byte(sub * 16), 0}), 20)
+	if err := a.meta.Prefixes.Announce(prefix, asn); err != nil {
+		panic(fmt.Sprintf("world: announce %s: %v", prefix, err))
+	}
+	if err := a.meta.Geo.AddPrefix(prefix, country); err != nil {
+		panic(fmt.Sprintf("world: geolocate %s: %v", prefix, err))
+	}
+	b := &block{prefix: prefix, next: 1}
+	a.blocks[k] = b
+	return b
+}
+
+// Alloc returns the next unused address announced by asn in country.
+func (a *allocator) Alloc(asn ipmeta.ASN, country ipmeta.CountryCode) netip.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.ensureBlock(asn, country)
+	base := b.prefix.Addr().As4()
+	n := b.next
+	b.next++
+	if n >= 1<<12-2 {
+		panic(fmt.Sprintf("world: /20 exhausted for %s %s", asn, country))
+	}
+	return netip.AddrFrom4([4]byte{base[0], base[1], base[2] + byte(n>>8), byte(n)})
+}
+
+// RegisterProvider makes every (ASN, country) block of the provider
+// available and records the organization mapping.
+func (a *allocator) RegisterProvider(p Provider) {
+	a.meta.Orgs.AddOrg(ipmeta.Org{ID: p.Org, Name: p.Name})
+	a.meta.Orgs.Assign(p.ASN, p.Name, p.Org)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, country := range p.Countries {
+		a.ensureBlock(p.ASN, country)
+	}
+}

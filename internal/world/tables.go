@@ -1,0 +1,129 @@
+package world
+
+import (
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+)
+
+// VictimKind distinguishes how the paper identified a victim, which also
+// determines how the attack is staged in the simulation.
+type VictimKind string
+
+// Victim kinds mirroring the Type column of Tables 2/3.
+const (
+	KindT1     VictimKind = "T1"   // registrar-level hijack, new certificate visible in scans
+	KindT1Star VictimKind = "T1*"  // T1 whose victim population has no pDNS coverage
+	KindT2     VictimKind = "T2"   // proxy prelude visible in scans; hijack corroborated via pDNS+CT
+	KindPivIP  VictimKind = "P-IP" // no scannable stable infra; found by pivoting on a reused attacker IP
+	KindPivNS  VictimKind = "P-NS" // no scannable stable infra; found by pivoting on shared attacker nameservers
+	KindTarget VictimKind = "TAR"  // Table 3: staged proxy, attack never executed
+)
+
+// VictimRow is one row of the paper's Table 2 or Table 3 plus the
+// organization metadata of Tables 7/8 and the issuer/revocation data of
+// Table 9.
+type VictimRow struct {
+	Kind    VictimKind
+	Month   string // paper's hijack month, e.g. "Dec'20"
+	CC      ipmeta.CountryCode
+	Domain  dnscore.Name
+	Sub     string // targeted subdomain label; "" when the domain itself is the target
+	PDNS    bool   // paper's pDNS corroboration column
+	CT      bool   // paper's crt corroboration column
+	IP      string // attacker (transient) IP
+	ASN     ipmeta.ASN
+	AttCC   ipmeta.CountryCode
+	Victim  []ipmeta.ASN // stable (victim) infrastructure ASNs; nil for pivot rows
+	VicCC   []ipmeta.CountryCode
+	NSGroup string // attacker nameserver group (campaign operator)
+	Issuer  string // CA of the maliciously-obtained certificate
+	Revoked bool   // certificate later revoked (Comodo CRL)
+	Sector  string // organization sector (Tables 7/8)
+	Org     string // organization description
+}
+
+// nsGroup identifiers: the 2017–2019 wave (Sea Turtle) shares one
+// nameserver set; the Dec'20–Jan'21 Kyrgyzstan wave shares another.
+const (
+	groupSeaTurtle = "seaturtle"
+	groupKyrgyz    = "kg"
+	groupNone      = "" // targeted preludes never stood up nameservers
+)
+
+// HijackedRows reproduces the paper's Table 2: the 41 domains identified
+// as hijacked between January 2017 and March 2021.
+var HijackedRows = []VictimRow{
+	{KindT1, "May'18", "AE", "mofa.gov.ae", "webmail", true, true, "146.185.143.158", 14061, "NL", asns(5384, 202024), ccs("AE"), groupSeaTurtle, "Comodo", false, "Government Ministry", "Ministry of Foreign Affairs, UAE"},
+	{KindT1, "Sep'18", "AE", "adpolice.gov.ae", "advpn", true, true, "185.20.187.8", 50673, "NL", asns(5384), ccs("AE"), groupSeaTurtle, "Let's Encrypt", false, "Law Enforcement", "Abu Dhabi Police, UAE"},
+	{KindT1Star, "Sep'18", "AE", "apc.gov.ae", "mail", false, true, "185.20.187.8", 50673, "NL", asns(5384), ccs("AE"), groupSeaTurtle, "Let's Encrypt", false, "Law Enforcement", "Police College Website, UAE"},
+	{KindT2, "Sep'18", "AE", "mgov.ae", "mail", true, true, "185.20.187.8", 50673, "NL", asns(202024), ccs("AE"), groupSeaTurtle, "Let's Encrypt", false, "Government Organization", "Telecommunications Regulatory Authority, UAE"},
+	{KindT1, "Jan'18", "AL", "e-albania.al", "owa", true, true, "185.15.247.140", 24961, "DE", asns(5576), ccs("AL"), groupSeaTurtle, "Let's Encrypt", false, "Government Internet Services", "E-Government Portal, Albania"},
+	{KindT2, "Nov'18", "AL", "asp.gov.al", "mail", true, true, "199.247.3.191", 20473, "DE", asns(201524), ccs("AL"), groupSeaTurtle, "Comodo", true, "Law Enforcement", "Albanian State Police, Albania"},
+	{KindT1, "Nov'18", "AL", "shish.gov.al", "mail", true, true, "37.139.11.155", 14061, "NL", asns(5576), ccs("AL"), groupSeaTurtle, "Let's Encrypt", false, "Intelligence Services", "State Intelligence Service, Albania"},
+	{KindT1, "Dec'18", "CY", "govcloud.gov.cy", "personal", true, true, "178.62.218.244", 14061, "NL", asns(50233), ccs("CY"), groupSeaTurtle, "Comodo", false, "Government Internet Services", "Government Internet Services, Cyprus"},
+	{KindPivIP, "Dec'18", "CY", "owa.gov.cy", "", true, true, "178.62.218.244", 14061, "NL", nil, nil, groupSeaTurtle, "Comodo", false, "Government Internet Services", "Government Internet Services, Cyprus"},
+	{KindT1, "Dec'18", "CY", "webmail.gov.cy", "", true, true, "178.62.218.244", 14061, "NL", asns(50233), ccs("CY"), groupSeaTurtle, "Comodo", false, "Government Internet Services", "Government Internet Services, Cyprus"},
+	{KindPivIP, "Jan'19", "CY", "cyta.com.cy", "mbox", true, true, "178.62.218.244", 14061, "NL", nil, nil, groupSeaTurtle, "Comodo", true, "Infrastructure Provider", "Telecommunications Provider, Cyprus"},
+	{KindT1, "Jan'19", "CY", "sslvpn.gov.cy", "", true, true, "178.62.218.244", 14061, "NL", asns(50233), ccs("CY"), groupSeaTurtle, "Comodo", false, "Government Internet Services", "Government Internet Services, Cyprus"},
+	{KindT1, "Feb'19", "CY", "defa.com.cy", "mail", true, true, "108.61.123.149", 20473, "FR", asns(35432), ccs("CY"), groupSeaTurtle, "Comodo", false, "Energy Company", "Natural Gas Public Company, Cyprus"},
+	{KindT1, "Nov'18", "EG", "mfa.gov.eg", "mail", true, true, "188.166.119.57", 14061, "NL", asns(37066), ccs("EG"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Ministry of Foreign Affairs, Egypt"},
+	{KindT2, "Nov'18", "EG", "mod.gov.eg", "mail", true, true, "188.166.119.57", 14061, "NL", asns(25576), ccs("EG"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Ministry of Defense, Egypt"},
+	{KindT2, "Nov'18", "EG", "nmi.gov.eg", "mail", true, true, "188.166.119.57", 14061, "NL", asns(31065), ccs("EG"), groupSeaTurtle, "Comodo", false, "Government Organization", "National Institute for Governance, Egypt"},
+	{KindT1, "Nov'18", "EG", "petroleum.gov.eg", "mail", true, true, "206.221.184.133", 20473, "US", asns(24835, 37191), ccs("EG"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Petroleum and Mineral Wealth Ministry, Egypt"},
+	{KindT1, "Apr'19", "GR", "kyvernisi.gr", "mail", true, true, "95.179.131.225", 20473, "NL", asns(35506), ccs("GR"), groupSeaTurtle, "Let's Encrypt", false, "Government Internet Services", "Government Internet Services, Greece"},
+	{KindT1, "Apr'19", "GR", "mfa.gr", "pop3", true, true, "95.179.131.225", 20473, "NL", asns(35506, 6799), ccs("GR"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Ministry of Foreign Affairs, Greece"},
+	{KindT2, "Sep'18", "IQ", "mofa.gov.iq", "mail", true, true, "82.196.9.10", 14061, "NL", asns(50710), ccs("IQ"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Ministry of Foreign Affairs, Iraq"},
+	{KindPivIP, "Nov'18", "IQ", "inc-vrdl.iq", "", true, true, "199.247.3.191", 20473, "DE", nil, nil, groupSeaTurtle, "Let's Encrypt", false, "Government Internet Services", "E-Government Portal, Iraq"},
+	{KindPivNS, "Dec'18", "JO", "gid.gov.jo", "", true, true, "139.162.144.139", 63949, "DE", nil, nil, groupSeaTurtle, "Let's Encrypt", false, "Intelligence Services", "General Intelligence Directorate, Jordan"},
+	{KindPivNS, "Dec'20", "KG", "fiu.gov.kg", "mail", true, true, "178.20.41.140", 48282, "RU", nil, nil, groupKyrgyz, "Let's Encrypt", false, "Government Ministry", "Financial Intelligence Service, Kyrgyzstan"},
+	{KindT1, "Dec'20", "KG", "invest.gov.kg", "mail", true, true, "94.103.90.182", 48282, "RU", asns(39659), ccs("KG"), groupKyrgyz, "Let's Encrypt", false, "Government Ministry", "Investment Portal, Kyrgyzstan"},
+	{KindT1, "Dec'20", "KG", "mfa.gov.kg", "mail", true, true, "94.103.91.159", 48282, "RU", asns(39659), ccs("KG"), groupKyrgyz, "Let's Encrypt", false, "Government Ministry", "Ministry of Foreign Affairs, Kyrgyzstan"},
+	{KindPivNS, "Jan'21", "KG", "infocom.kg", "mail", true, true, "195.2.84.10", 48282, "RU", nil, nil, groupKyrgyz, "Let's Encrypt", false, "Infrastructure Provider", "State Agency for Information Services, Kyrgyzstan"},
+	{KindT1, "Dec'17", "KW", "csb.gov.kw", "mail", true, true, "82.102.14.232", 20860, "GB", asns(6412), ccs("KW"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Central Statistical Bureau, Kuwait"},
+	{KindPivIP, "Dec'18", "KW", "dgca.gov.kw", "mail", true, true, "185.15.247.140", 24961, "DE", nil, nil, groupSeaTurtle, "Let's Encrypt", false, "Civil Aviation", "Directorate General of Civil Aviation, Kuwait"},
+	{KindT1Star, "Apr'19", "KW", "moh.gov.kw", "webmail", false, true, "91.132.139.200", 9009, "AT", asns(21050), ccs("KW"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Ministry of Health, Kuwait"},
+	{KindT2, "May'19", "KW", "kotc.com.kw", "mail2010", true, true, "91.132.139.200", 9009, "AT", asns(57719), ccs("KW"), groupSeaTurtle, "Let's Encrypt", false, "Energy Company", "Kuwait Oil Tanker Company"},
+	{KindPivIP, "Nov'18", "LB", "finance.gov.lb", "webmail", true, true, "185.20.187.8", 50673, "NL", nil, nil, groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Ministry of Finance, Lebanon"},
+	{KindPivIP, "Nov'18", "LB", "mea.com.lb", "memail", true, true, "185.20.187.8", 50673, "NL", nil, nil, groupSeaTurtle, "Let's Encrypt", false, "Civil Aviation", "Middle East Airlines, Lebanon"},
+	{KindT1, "Nov'18", "LB", "medgulf.com.lb", "mail", true, true, "185.161.209.147", 50673, "NL", asns(31126), ccs("LB"), groupSeaTurtle, "Let's Encrypt", false, "Insurance", "Insurance Company, Lebanon"},
+	{KindT1, "Nov'18", "LB", "pcm.gov.lb", "mail1", true, true, "185.20.187.8", 50673, "NL", asns(51167), ccs("DE"), groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Presidency of the Council of Ministers, Lebanon"},
+	{KindPivIP, "Oct'18", "LY", "embassy.ly", "", true, false, "188.166.119.57", 14061, "NL", nil, nil, groupSeaTurtle, "", false, "Government Organization", "Libyan Embassies"},
+	{KindPivNS, "Oct'18", "LY", "foreign.ly", "", true, true, "188.166.119.57", 14061, "NL", nil, nil, groupSeaTurtle, "Let's Encrypt", false, "Government Ministry", "Ministry of Foreign Affairs, Libya"},
+	{KindT1, "Oct'18", "LY", "noc.ly", "mail", true, true, "188.166.119.57", 14061, "NL", asns(37284), ccs("LY"), groupSeaTurtle, "Let's Encrypt", false, "Energy Company", "National Oil Corporation, Libya"},
+	{KindT1, "Jan'18", "NL", "ocom.com", "connect", true, true, "147.75.205.145", 54825, "US", asns(60781), ccs("NL"), groupSeaTurtle, "Comodo", false, "Infrastructure Provider", "Internet Services"},
+	{KindPivNS, "Jan'19", "SE", "netnod.se", "dnsnodeapi", true, true, "139.59.134.216", 14061, "DE", nil, nil, groupSeaTurtle, "Comodo", true, "Infrastructure Provider", "Internet Services"},
+	{KindT1, "Mar'19", "SY", "syriatel.sy", "mail", true, true, "45.77.137.65", 20473, "NL", asns(29256), ccs("SY"), groupSeaTurtle, "Let's Encrypt", false, "Infrastructure Provider", "Telecommunications Provider, Syria"},
+	{KindPivNS, "Dec'18", "US", "pch.net", "keriomail", true, true, "159.89.101.204", 14061, "DE", nil, nil, groupSeaTurtle, "Comodo", true, "Infrastructure Provider", "Internet Services"},
+}
+
+// TargetedRows reproduces the paper's Table 3: the 24 domains identified
+// as targeted (staged T2 preludes that never visibly executed).
+var TargetedRows = []VictimRow{
+	{KindTarget, "Apr'20", "AE", "milmail.ae", "", false, false, "194.152.42.16", 47220, "RO", asns(5384), ccs("AE"), groupNone, "", false, "Law Enforcement", "Armed Forces Mail, UAE"},
+	{KindTarget, "Apr'20", "AE", "mocaf.gov.ae", "", false, false, "194.152.42.16", 47220, "RO", asns(5384), ccs("AE"), groupNone, "", false, "Government Ministry", "Ministry of Cabinet Affairs, UAE"},
+	{KindTarget, "Apr'20", "AE", "moi.gov.ae", "", false, false, "194.152.42.16", 47220, "RO", asns(5384), ccs("AE"), groupNone, "", false, "Government Ministry", "Ministry of Interior, UAE"},
+	{KindTarget, "Dec'20", "AE", "epg.gov.ae", "", false, false, "159.69.193.152", 24940, "DE", asns(202024), ccs("AE"), groupNone, "", false, "Postal Service", "Emirates Post, UAE"},
+	{KindTarget, "Jun'20", "CH", "parlament.ch", "", false, false, "8.210.146.182", 45102, "SG", asns(61098, 3303), ccs("CH"), groupNone, "", false, "Government Organization", "Parliament, Switzerland"},
+	{KindTarget, "Nov'20", "GH", "nita.gov.gh", "", false, false, "78.141.218.158", 20473, "NL", asns(37313), ccs("GH"), groupNone, "", false, "Government Organization", "National Information Technology Agency, Ghana"},
+	{KindTarget, "Sep'17", "JO", "psd.gov.jo", "mail", false, false, "185.162.235.106", 50673, "NL", asns(8934), ccs("JO"), groupNone, "", false, "Intelligence Services", "Public Security Directorate, Jordan"},
+	{KindTarget, "Jun'20", "KZ", "zerde.gov.kz", "", false, false, "8.210.190.81", 45102, "SG", asns(48716, 15549), ccs("KZ"), groupNone, "", false, "Government Organization", "National Infocommunication Holdings, Kazakhstan"},
+	{KindTarget, "Nov'20", "LT", "stat.gov.lt", "", false, false, "8.210.190.214", 45102, "SG", asns(6769), ccs("LT"), groupNone, "", false, "Government Ministry", "Statistics Lithuania"},
+	{KindTarget, "Jul'20", "LV", "iem.gov.lv", "", false, false, "8.210.199.85", 45102, "SG", asns(8194, 25241), ccs("LV"), groupNone, "", false, "Government Ministry", "Ministry of the Interior, Latvia"},
+	{KindTarget, "Nov'20", "LV", "zva.gov.lv", "", false, false, "8.210.36.66", 45102, "SG", asns(8194, 199300), ccs("LV"), groupNone, "", false, "Government Organization", "State Agency of Medicines, Latvia"},
+	{KindTarget, "Apr'18", "MA", "justice.gov.ma", "micj", true, false, "188.166.160.110", 14061, "DE", asns(6713), ccs("MA"), groupNone, "", false, "Government Ministry", "Ministry of Justice, Morocco"},
+	{KindTarget, "Apr'20", "MA", "mem.gov.ma", "", false, false, "47.75.34.153", 45102, "HK", asns(6713), ccs("MA"), groupNone, "", false, "Government Ministry", "Ministry of Sustainable Development, Morocco"},
+	{KindTarget, "Oct'20", "MM", "mofa.gov.mm", "", false, false, "47.242.150.18", 45102, "US", asns(136465), ccs("MM"), groupNone, "", false, "Government Ministry", "Ministry of Foreign Affairs, Myanmar"},
+	{KindTarget, "Nov'20", "PL", "knf.gov.pl", "", false, false, "103.195.6.231", 64022, "HK", asns(34986), ccs("PL"), groupNone, "", false, "Government Ministry", "Polish Financial Supervision Authority"},
+	{KindTarget, "May'20", "SA", "cmail.sa", "", false, false, "194.152.42.16", 47220, "RO", asns(49474), ccs("SA"), groupNone, "", false, "IT Firm", "Al-Elm Information Security"},
+	{KindTarget, "Sep'20", "TM", "turkmenpost.gov.tm", "", false, false, "185.229.225.228", 41436, "NL", asns(20661), ccs("TM"), groupNone, "", false, "Postal Service", "Turkmen Post"},
+	{KindTarget, "Aug'20", "US", "manchesternh.gov", "", false, false, "8.210.210.235", 45102, "SG", asns(13977), ccs("US"), groupNone, "", false, "Local Government", "City of Manchester, NH"},
+	{KindTarget, "Dec'20", "US", "batesvillearkansas.gov", "host", false, false, "95.179.153.176", 20473, "NL", asns(32244), ccs("US"), groupNone, "", false, "Local Government", "City of Batesville, AR"},
+	{KindTarget, "Apr'19", "VN", "ais.gov.vn", "intranet", true, false, "45.77.45.193", 20473, "SG", asns(131375, 63748), ccs("VN"), groupNone, "", false, "Government Organization", "Authority of Information Security, Vietnam"},
+	{KindTarget, "Dec'20", "VN", "mofa.gov.vn", "", false, false, "45.77.27.9", 20473, "JP", asns(24035), ccs("VN"), groupNone, "", false, "Government Ministry", "Ministry of Foreign Affairs, Vietnam"},
+	{KindTarget, "Mar'20", "VN", "cpt.gov.vn", "", false, false, "103.213.244.205", 136574, "JP", asns(63747), ccs("VN"), groupNone, "", false, "Postal Service", "Central Post Office, Vietnam"},
+	{KindTarget, "Mar'20", "VN", "most.gov.vn", "", false, false, "103.213.244.205", 136574, "JP", asns(38731, 131373), ccs("VN"), groupNone, "", false, "Government Ministry", "Ministry of Science and Technology, Vietnam"},
+	{KindTarget, "Sep'20", "VN", "vass.gov.vn", "", false, false, "47.74.3.121", 45102, "JP", asns(18403), ccs("VN"), groupNone, "", false, "Government Organization", "Vietnam Academy of Social Sciences"},
+}
+
+func asns(a ...ipmeta.ASN) []ipmeta.ASN                { return a }
+func ccs(c ...ipmeta.CountryCode) []ipmeta.CountryCode { return c }

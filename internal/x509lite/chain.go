@@ -1,0 +1,115 @@
+package x509lite
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// Certificate chains. Real CAs do not sign leaves with their root keys:
+// an offline root signs one or more intermediates, and intermediates sign
+// leaves. The chain a server presents is verified link by link up to a
+// root-program member. In this package's symmetric-crypto model, a CA
+// certificate carries the key material its subject signs children with
+// (the analogue of the public key in a real CA certificate), so verifiers
+// can check child signatures without out-of-band key distribution.
+
+// Chain verification errors.
+var (
+	ErrEmptyChain     = errors.New("x509lite: empty chain")
+	ErrBrokenChain    = errors.New("x509lite: chain link does not verify")
+	ErrNotCA          = errors.New("x509lite: intermediate is not a CA certificate")
+	ErrUntrustedRoot  = errors.New("x509lite: chain does not terminate at a trusted root")
+	ErrLeafIsCA       = errors.New("x509lite: leaf certificate is a CA certificate")
+	ErrChainKeyMix    = errors.New("x509lite: certificate not signed by the presented intermediate")
+	ErrMissingSubject = errors.New("x509lite: CA certificate carries no subject key")
+)
+
+// IssueIntermediate creates an intermediate CA certificate signed by the
+// parent key, together with the signing key the intermediate uses for its
+// children. Determinism follows from the seed.
+func IssueIntermediate(parent *SigningKey, name dnscore.Name, keyID string, seed int64, notBefore, notAfter simtime.Date) (*Certificate, *SigningKey) {
+	child := NewSigningKey(keyID, seed)
+	cert := &Certificate{
+		Serial:        uint64(seed),
+		Subject:       name,
+		SANs:          []dnscore.Name{name},
+		Issuer:        string(name) + " parent",
+		NotBefore:     notBefore,
+		NotAfter:      notAfter,
+		Method:        ValidationManual,
+		IsCA:          true,
+		SubjectKeyID:  child.ID,
+		SubjectKeyHex: hex.EncodeToString(child.key),
+	}
+	parent.Sign(cert)
+	return cert, child
+}
+
+// SubjectSigningKey reconstructs the signing key a CA certificate's
+// subject uses, from the key material the certificate carries.
+func (c *Certificate) SubjectSigningKey() (*SigningKey, error) {
+	if !c.IsCA {
+		return nil, ErrNotCA
+	}
+	if c.SubjectKeyID == "" || c.SubjectKeyHex == "" {
+		return nil, ErrMissingSubject
+	}
+	key, err := hex.DecodeString(c.SubjectKeyHex)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMissingSubject, err)
+	}
+	return &SigningKey{ID: c.SubjectKeyID, key: key}, nil
+}
+
+// VerifyChain validates a leaf-first chain at the given date: each
+// certificate must be signed by the next one's subject key, every
+// non-leaf must be a CA certificate, and the last certificate must be
+// signed by a key included in at least one root program. It returns the
+// root programs trusting the chain.
+func (s *TrustStore) VerifyChain(chain []*Certificate, at simtime.Date) ([]RootProgram, error) {
+	if len(chain) == 0 {
+		return nil, ErrEmptyChain
+	}
+	leaf := chain[0]
+	if leaf.IsCA {
+		return nil, ErrLeafIsCA
+	}
+	// Verify each link against the next certificate's subject key.
+	for i := 0; i < len(chain)-1; i++ {
+		issuerCert := chain[i+1]
+		if !issuerCert.IsCA {
+			return nil, fmt.Errorf("%w: position %d", ErrNotCA, i+1)
+		}
+		issuerKey, err := issuerCert.SubjectSigningKey()
+		if err != nil {
+			return nil, err
+		}
+		if chain[i].IssuerID != issuerKey.ID {
+			return nil, fmt.Errorf("%w: %q signed by %q, intermediate key is %q",
+				ErrChainKeyMix, chain[i].Subject, chain[i].IssuerID, issuerKey.ID)
+		}
+		if err := issuerKey.Verify(chain[i], at); err != nil {
+			return nil, fmt.Errorf("%w: position %d: %v", ErrBrokenChain, i, err)
+		}
+	}
+	// The chain's top certificate must verify under a registered root key
+	// included in a program.
+	top := chain[len(chain)-1]
+	programs := s.TrustedBy(top, at)
+	if len(programs) == 0 {
+		// Direct root issuance: a single-certificate chain whose issuer
+		// is itself a program member is also acceptable.
+		return nil, fmt.Errorf("%w: top issuer %q", ErrUntrustedRoot, top.IssuerID)
+	}
+	return programs, nil
+}
+
+// BrowserTrustedChain reports whether any root program trusts the chain.
+func (s *TrustStore) BrowserTrustedChain(chain []*Certificate, at simtime.Date) bool {
+	programs, err := s.VerifyChain(chain, at)
+	return err == nil && len(programs) > 0
+}

@@ -1,0 +1,136 @@
+package x509lite
+
+import (
+	"errors"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// chainFixture builds root → intermediate → leaf with the root included in
+// two programs.
+type chainFixture struct {
+	store        *TrustStore
+	rootKey      *SigningKey
+	intermediate *Certificate
+	interKey     *SigningKey
+	leaf         *Certificate
+}
+
+func newChainFixture(t *testing.T) *chainFixture {
+	t.Helper()
+	f := &chainFixture{store: NewTrustStore()}
+	f.rootKey = NewSigningKey("isrg-root-x1", 1)
+	f.store.Include(f.rootKey, ProgramApple, ProgramMozilla)
+	f.intermediate, f.interKey = IssueIntermediate(f.rootKey, "r3.letsencrypt.example", "le-r3", 7, 0, simtime.StudyEnd)
+	f.leaf = &Certificate{
+		Serial: 99, Subject: "mail.mfa.gov.kg", SANs: []dnscore.Name{"mail.mfa.gov.kg"},
+		Issuer: "Let's Encrypt", NotBefore: 100, NotAfter: 190, Method: ValidationDNS01,
+	}
+	f.interKey.Sign(f.leaf)
+	return f
+}
+
+func TestChainVerifies(t *testing.T) {
+	f := newChainFixture(t)
+	chain := []*Certificate{f.leaf, f.intermediate}
+	programs, err := f.store.VerifyChain(chain, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(programs) != 2 {
+		t.Fatalf("programs = %v", programs)
+	}
+	if !f.store.BrowserTrustedChain(chain, 150) {
+		t.Fatal("chain not browser trusted")
+	}
+	// The leaf alone does NOT verify against the store: the intermediate
+	// key is not a root-program member.
+	if f.store.BrowserTrusted(f.leaf, 150) {
+		t.Fatal("leaf trusted without its chain")
+	}
+}
+
+func TestChainRejectsForgery(t *testing.T) {
+	f := newChainFixture(t)
+
+	// Leaf tampered after signing.
+	tampered := *f.leaf
+	tampered.SANs = []dnscore.Name{"mail.mfa.gov.kg", "evil.example"}
+	if _, err := f.store.VerifyChain([]*Certificate{&tampered, f.intermediate}, 150); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("tampered leaf: %v", err)
+	}
+
+	// Intermediate swapped for one from an untrusted root.
+	rogueRoot := NewSigningKey("rogue-root", 2)
+	rogueInter, rogueKey := IssueIntermediate(rogueRoot, "rogue.example", "rogue-r1", 8, 0, simtime.StudyEnd)
+	rogueLeaf := *f.leaf
+	rogueKey.Sign(&rogueLeaf)
+	if _, err := f.store.VerifyChain([]*Certificate{&rogueLeaf, rogueInter}, 150); !errors.Is(err, ErrUntrustedRoot) {
+		t.Fatalf("rogue chain: %v", err)
+	}
+
+	// Leaf signed by one intermediate but presented with another.
+	otherInter, _ := IssueIntermediate(f.rootKey, "e1.letsencrypt.example", "le-e1", 9, 0, simtime.StudyEnd)
+	if _, err := f.store.VerifyChain([]*Certificate{f.leaf, otherInter}, 150); !errors.Is(err, ErrChainKeyMix) {
+		t.Fatalf("mismatched intermediate: %v", err)
+	}
+
+	// Expired intermediate breaks the chain.
+	shortInter, shortKey := IssueIntermediate(f.rootKey, "old.letsencrypt.example", "le-old", 10, 0, 50)
+	shortLeaf := *f.leaf
+	shortKey.Sign(&shortLeaf)
+	if _, err := f.store.VerifyChain([]*Certificate{&shortLeaf, shortInter}, 150); err == nil {
+		t.Fatal("expired intermediate accepted")
+	}
+}
+
+func TestChainStructuralRules(t *testing.T) {
+	f := newChainFixture(t)
+	if _, err := f.store.VerifyChain(nil, 150); !errors.Is(err, ErrEmptyChain) {
+		t.Errorf("empty chain: %v", err)
+	}
+	// A CA certificate cannot serve as a leaf.
+	if _, err := f.store.VerifyChain([]*Certificate{f.intermediate}, 150); !errors.Is(err, ErrLeafIsCA) {
+		t.Errorf("CA as leaf: %v", err)
+	}
+	// A non-CA certificate cannot appear as an intermediate.
+	nonCA := *f.leaf
+	if _, err := f.store.VerifyChain([]*Certificate{f.leaf, &nonCA}, 150); !errors.Is(err, ErrNotCA) {
+		t.Errorf("leaf as intermediate: %v", err)
+	}
+	// A CA certificate stripped of its subject key is unusable.
+	stripped := *f.intermediate
+	stripped.SubjectKeyHex = ""
+	if _, err := f.store.VerifyChain([]*Certificate{f.leaf, &stripped}, 150); !errors.Is(err, ErrMissingSubject) {
+		t.Errorf("stripped subject key: %v", err)
+	}
+	if _, err := (&Certificate{}).SubjectSigningKey(); !errors.Is(err, ErrNotCA) {
+		t.Errorf("SubjectSigningKey on leaf: %v", err)
+	}
+	bad := *f.intermediate
+	bad.SubjectKeyHex = "zz-not-hex"
+	if _, err := bad.SubjectSigningKey(); !errors.Is(err, ErrMissingSubject) {
+		t.Errorf("garbage subject key: %v", err)
+	}
+}
+
+func TestTwoLevelIntermediates(t *testing.T) {
+	f := newChainFixture(t)
+	// root → intermediate → issuing CA → leaf.
+	issuing, issuingKey := IssueIntermediate(f.interKey, "issuing.letsencrypt.example", "le-i1", 11, 0, simtime.StudyEnd)
+	leaf := &Certificate{
+		Serial: 5, Subject: "vpn.example.org", SANs: []dnscore.Name{"vpn.example.org"},
+		Issuer: "Let's Encrypt", NotBefore: 10, NotAfter: 100, Method: ValidationDNS01,
+	}
+	issuingKey.Sign(leaf)
+	chain := []*Certificate{leaf, issuing, f.intermediate}
+	if _, err := f.store.VerifyChain(chain, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the middle link breaks it.
+	if _, err := f.store.VerifyChain([]*Certificate{leaf, f.intermediate}, 50); err == nil {
+		t.Fatal("gap in chain accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package x509lite
+
+import (
+	"sort"
+	"sync"
+
+	"retrodns/internal/simtime"
+)
+
+// RootProgram identifies a browser/OS root program. The paper marks a
+// certificate browser-trusted if Apple, Microsoft, or Mozilla trusts its
+// issuer (the Chrome root store postdates the study window).
+type RootProgram string
+
+// The three root programs the paper consults.
+const (
+	ProgramApple     RootProgram = "apple"
+	ProgramMicrosoft RootProgram = "microsoft"
+	ProgramMozilla   RootProgram = "mozilla"
+)
+
+// AllPrograms lists the root programs in a stable order.
+var AllPrograms = []RootProgram{ProgramApple, ProgramMicrosoft, ProgramMozilla}
+
+// TrustStore records which issuing-CA keys each root program includes, and
+// exposes the paper's "browser-trusted" predicate.
+type TrustStore struct {
+	mu       sync.RWMutex
+	included map[RootProgram]map[string]bool // program → issuer key ID
+	keys     map[string]*SigningKey          // issuer key ID → key
+}
+
+// NewTrustStore creates an empty store.
+func NewTrustStore() *TrustStore {
+	inc := make(map[RootProgram]map[string]bool, len(AllPrograms))
+	for _, p := range AllPrograms {
+		inc[p] = make(map[string]bool)
+	}
+	return &TrustStore{included: inc, keys: make(map[string]*SigningKey)}
+}
+
+// Include adds the CA key to the given root programs and registers the key
+// for verification. An empty program list registers the key without
+// trusting it anywhere (an internal/enterprise CA).
+func (s *TrustStore) Include(key *SigningKey, programs ...RootProgram) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[key.ID] = key
+	for _, p := range programs {
+		if m, ok := s.included[p]; ok {
+			m[key.ID] = true
+		}
+	}
+}
+
+// Key returns the registered signing key with the given ID.
+func (s *TrustStore) Key(id string) (*SigningKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.keys[id]
+	return k, ok
+}
+
+// TrustedBy returns the root programs that include the certificate's
+// issuer, provided the certificate verifies at the given date.
+func (s *TrustStore) TrustedBy(c *Certificate, at simtime.Date) []RootProgram {
+	s.mu.RLock()
+	key, ok := s.keys[c.IssuerID]
+	s.mu.RUnlock()
+	if !ok || key.Verify(c, at) != nil {
+		return nil
+	}
+	var programs []RootProgram
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range AllPrograms {
+		if s.included[p][c.IssuerID] {
+			programs = append(programs, p)
+		}
+	}
+	sort.Slice(programs, func(i, j int) bool { return programs[i] < programs[j] })
+	return programs
+}
+
+// BrowserTrusted implements the paper's predicate: trusted by Apple,
+// Microsoft, or Mozilla (any one suffices) with a valid signature and
+// in-window date.
+func (s *TrustStore) BrowserTrusted(c *Certificate, at simtime.Date) bool {
+	return len(s.TrustedBy(c, at)) > 0
+}

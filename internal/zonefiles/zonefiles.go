@@ -1,0 +1,221 @@
+// Package zonefiles models the CAIDA-DZDB zone-file archive the paper
+// cross-references: daily snapshots of TLD zone delegations, available for
+// only a few TLDs. Zone files are the coarsest of the paper's data sources
+// — one snapshot per day — and §5.3 shows why that matters: hijacks that
+// switch and revert a delegation between snapshots are entirely invisible,
+// and even multi-week attacks may surface for a single day.
+package zonefiles
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// Delegation is one domain's NS set as seen in a zone-file snapshot.
+type Delegation struct {
+	Domain dnscore.Name
+	NS     []dnscore.Name
+}
+
+// key canonicalizes the NS set for comparison.
+func nsKey(ns []dnscore.Name) string {
+	ss := make([]string, len(ns))
+	for i, n := range ns {
+		ss[i] = string(n)
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, ",")
+}
+
+// sample is a compressed per-domain history entry: the delegation as of a
+// date, kept only when it differs from the previous snapshot.
+type sample struct {
+	date simtime.Date
+	ns   string // canonical NS set; "" = not delegated
+}
+
+// Archive stores daily delegation snapshots for the covered TLDs,
+// compressed to changes.
+type Archive struct {
+	mu      sync.RWMutex
+	covered map[dnscore.Name]bool
+	history map[dnscore.Name][]sample // domain → change-compressed history
+	days    int
+}
+
+// NewArchive creates an archive covering the given TLDs (the paper has
+// zone-file access for 3 of its victims' 15 TLDs).
+func NewArchive(tlds ...dnscore.Name) *Archive {
+	covered := make(map[dnscore.Name]bool, len(tlds))
+	for _, t := range tlds {
+		covered[t] = true
+	}
+	return &Archive{covered: covered, history: make(map[dnscore.Name][]sample)}
+}
+
+// Covers reports whether the archive has zone files for the domain's TLD.
+func (a *Archive) Covers(domain dnscore.Name) bool {
+	return a.CoversTLD(domain.TLD())
+}
+
+// CoversTLD reports whether the archive snapshots the given TLD.
+func (a *Archive) CoversTLD(tld dnscore.Name) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.covered[tld]
+}
+
+// CoveredTLDs returns the covered TLDs, sorted.
+func (a *Archive) CoveredTLDs() []dnscore.Name {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]dnscore.Name, 0, len(a.covered))
+	for t := range a.covered {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot ingests one day's delegations for a TLD. Domains absent from
+// the snapshot that previously appeared are recorded as undelegated.
+func (a *Archive) Snapshot(tld dnscore.Name, date simtime.Date, delegations []Delegation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.covered[tld] {
+		return
+	}
+	a.days++
+	seen := make(map[dnscore.Name]bool, len(delegations))
+	for _, d := range delegations {
+		seen[d.Domain] = true
+		a.record(d.Domain, date, nsKey(d.NS))
+	}
+	for domain, h := range a.history {
+		if domain.TLD() != tld || seen[domain] {
+			continue
+		}
+		if n := len(h); n > 0 && h[n-1].ns != "" {
+			a.record(domain, date, "")
+		}
+	}
+}
+
+func (a *Archive) record(domain dnscore.Name, date simtime.Date, ns string) {
+	h := a.history[domain]
+	if n := len(h); n > 0 && h[n-1].ns == ns {
+		return
+	}
+	a.history[domain] = append(a.history[domain], sample{date: date, ns: ns})
+}
+
+// Change is a delegation change between consecutive snapshots.
+type Change struct {
+	Date     simtime.Date
+	From, To []dnscore.Name
+}
+
+// String renders the change.
+func (c Change) String() string {
+	return fmt.Sprintf("%s: [%s] → [%s]", c.Date, nsKey(c.From), nsKey(c.To))
+}
+
+// Changes returns the domain's delegation changes across the archive, or
+// nil when the TLD is not covered.
+func (a *Archive) Changes(domain dnscore.Name) []Change {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if !a.covered[domain.TLD()] {
+		return nil
+	}
+	h := a.history[domain]
+	var out []Change
+	for i := 1; i < len(h); i++ {
+		out = append(out, Change{
+			Date: h[i].date,
+			From: splitNS(h[i-1].ns),
+			To:   splitNS(h[i].ns),
+		})
+	}
+	return out
+}
+
+func splitNS(s string) []dnscore.Name {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]dnscore.Name, len(parts))
+	for i, p := range parts {
+		out[i] = dnscore.Name(p)
+	}
+	return out
+}
+
+// VisibleAnomalyDays counts the days inside [from, to] on which the
+// domain's archived delegation differed from its delegation at `from` —
+// the number of daily zone files in which a hijack would have been
+// visible.
+func (a *Archive) VisibleAnomalyDays(domain dnscore.Name, from, to simtime.Date) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if !a.covered[domain.TLD()] {
+		return 0
+	}
+	h := a.history[domain]
+	if len(h) == 0 {
+		return 0
+	}
+	// Baseline: the delegation in force at `from`.
+	baseline := h[0].ns
+	for _, s := range h {
+		if s.date <= from {
+			baseline = s.ns
+		}
+	}
+	days := 0
+	for d := from; d <= to; d++ {
+		current := h[0].ns
+		known := false
+		for _, s := range h {
+			if s.date <= d {
+				current = s.ns
+				known = true
+			}
+		}
+		if known && current != baseline {
+			days++
+		}
+	}
+	return days
+}
+
+// String summarizes the archive.
+func (a *Archive) String() string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return fmt.Sprintf("zonefiles: %d covered TLDs, %d domains tracked", len(a.covered), len(a.history))
+}
+
+// DelegationsOf extracts the delegations of a TLD zone for snapshotting:
+// every NS set below the apex, grouped by owner.
+func DelegationsOf(zone *dnscore.Zone) []Delegation {
+	byDomain := make(map[dnscore.Name][]dnscore.Name)
+	for _, rr := range zone.Records() {
+		if rr.Type != dnscore.TypeNS || rr.Name == zone.Apex() {
+			continue
+		}
+		byDomain[rr.Name] = append(byDomain[rr.Name], rr.Target())
+	}
+	out := make([]Delegation, 0, len(byDomain))
+	for domain, ns := range byDomain {
+		out = append(out, Delegation{Domain: domain, NS: ns})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}

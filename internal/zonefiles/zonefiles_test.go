@@ -1,0 +1,114 @@
+package zonefiles
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+func delegations(pairs map[dnscore.Name][]dnscore.Name) []Delegation {
+	var out []Delegation
+	for d, ns := range pairs {
+		out = append(out, Delegation{Domain: d, NS: ns})
+	}
+	return out
+}
+
+func TestCoverage(t *testing.T) {
+	a := NewArchive("com", "se", "net")
+	if !a.Covers("ocom.com") || !a.Covers("netnod.se") || !a.Covers("pch.net") {
+		t.Error("covered TLDs not recognized")
+	}
+	if a.Covers("mfa.gov.kg") {
+		t.Error("uncovered TLD covered")
+	}
+	if got := a.CoveredTLDs(); len(got) != 3 || got[0] != "com" {
+		t.Errorf("CoveredTLDs = %v", got)
+	}
+	// Snapshots for uncovered TLDs are dropped.
+	a.Snapshot("kg", 1, delegations(map[dnscore.Name][]dnscore.Name{"mfa.gov.kg": {"ns1.x"}}))
+	if a.Changes("mfa.gov.kg") != nil {
+		t.Error("uncovered snapshot recorded")
+	}
+}
+
+func TestChangeCompression(t *testing.T) {
+	a := NewArchive("net")
+	legit := []dnscore.Name{"ns1.pch.net", "ns2.pch.net"}
+	evil := []dnscore.Name{"ns1.rootdnsnet.net", "ns2.rootdnsnet.net"}
+	for d := 0; d < 10; d++ {
+		a.Snapshot("net", simtime.Date(d), delegations(map[dnscore.Name][]dnscore.Name{"pch.net": legit}))
+	}
+	a.Snapshot("net", 10, delegations(map[dnscore.Name][]dnscore.Name{"pch.net": evil}))
+	a.Snapshot("net", 11, delegations(map[dnscore.Name][]dnscore.Name{"pch.net": legit}))
+
+	changes := a.Changes("pch.net")
+	if len(changes) != 2 {
+		t.Fatalf("changes = %d", len(changes))
+	}
+	if changes[0].Date != 10 || nsKey(changes[0].To) != nsKey(evil) {
+		t.Errorf("first change: %v", changes[0])
+	}
+	if !strings.Contains(changes[0].String(), "rootdnsnet") {
+		t.Errorf("change string: %s", changes[0])
+	}
+}
+
+func TestVisibleAnomalyDays(t *testing.T) {
+	a := NewArchive("net")
+	legit := []dnscore.Name{"ns1.pch.net"}
+	evil := []dnscore.Name{"ns1.evil.net"}
+	// Days 0–9 legit, day 10 hijacked, days 11+ legit again.
+	for d := 0; d < 10; d++ {
+		a.Snapshot("net", simtime.Date(d), delegations(map[dnscore.Name][]dnscore.Name{"pch.net": legit}))
+	}
+	a.Snapshot("net", 10, delegations(map[dnscore.Name][]dnscore.Name{"pch.net": evil}))
+	for d := 11; d < 20; d++ {
+		a.Snapshot("net", simtime.Date(d), delegations(map[dnscore.Name][]dnscore.Name{"pch.net": legit}))
+	}
+	if got := a.VisibleAnomalyDays("pch.net", 5, 19); got != 1 {
+		t.Errorf("visible days = %d, want 1", got)
+	}
+	if got := a.VisibleAnomalyDays("pch.net", 0, 9); got != 0 {
+		t.Errorf("baseline-only window = %d", got)
+	}
+	if got := a.VisibleAnomalyDays("uncovered.example", 0, 10); got != 0 {
+		t.Errorf("uncovered domain days = %d", got)
+	}
+	if got := a.VisibleAnomalyDays("absent.net", 0, 10); got != 0 {
+		t.Errorf("absent domain days = %d", got)
+	}
+}
+
+func TestUndelegationRecorded(t *testing.T) {
+	a := NewArchive("com")
+	a.Snapshot("com", 0, delegations(map[dnscore.Name][]dnscore.Name{"ocom.com": {"ns1.ocom.com"}}))
+	a.Snapshot("com", 1, nil) // domain dropped from the zone
+	changes := a.Changes("ocom.com")
+	if len(changes) != 1 || changes[0].To != nil {
+		t.Fatalf("undelegation not recorded: %v", changes)
+	}
+}
+
+func TestDelegationsOf(t *testing.T) {
+	z := dnscore.NewZone("com")
+	z.MustAdd(dnscore.NS("ocom.com", 3600, "ns1.ocom.com"))
+	z.MustAdd(dnscore.NS("ocom.com", 3600, "ns2.ocom.com"))
+	z.MustAdd(dnscore.NS("other.com", 3600, "ns1.other.com"))
+	z.MustAdd(dnscore.A("ns1.ocom.com", 3600, netip.MustParseAddr("10.0.0.1")))
+	z.MustAdd(dnscore.NS("com", 3600, "ns.registry.com")) // apex: excluded
+
+	dels := DelegationsOf(z)
+	if len(dels) != 2 {
+		t.Fatalf("delegations = %d", len(dels))
+	}
+	if dels[0].Domain != "ocom.com" || len(dels[0].NS) != 2 {
+		t.Errorf("first delegation: %+v", dels[0])
+	}
+	if a := NewArchive("com"); a.String() == "" {
+		t.Error("empty String")
+	}
+}

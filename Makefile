@@ -1,0 +1,26 @@
+# Tier-1 verification plus the race-detector pass over the concurrent
+# packages. `make ci` is what a pre-merge check should run.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The pipeline's worker pool and the frozen dataset's lock-free reads are
+# exercised under the race detector here (includes TestPipelineDeterminism
+# and TestDatasetConcurrentReads).
+race:
+	$(GO) test -race ./internal/core ./internal/scanner
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

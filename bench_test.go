@@ -437,6 +437,52 @@ func BenchmarkPipelineScale(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineWorkers measures the parallel classification engine's
+// scaling across worker-pool sizes on the standard bench world. The
+// results are provably identical across worker counts (the core package's
+// TestPipelineDeterminism asserts byte-identical output for 1 vs 8).
+func BenchmarkPipelineWorkers(b *testing.B) {
+	fx := getStudy(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				p := &core.Pipeline{Params: core.DefaultParams(), Dataset: fx.dataset,
+					Meta: fx.world.Meta, PDNS: fx.world.PDNSDB, CT: fx.world.CT, Workers: workers}
+				res = p.Run()
+				if len(res.Hijacked) != len(world.HijackedRows) {
+					b.Fatalf("hijacked = %d", len(res.Hijacked))
+				}
+			}
+			b.ReportMetric(res.Stats.Stage("classify").Throughput(), "maps/s")
+			b.ReportMetric(res.Stats.Stage("inspect").Throughput(), "candidates/s")
+			b.ReportMetric(res.Stats.Stage("classify").Utilization(), "util")
+		})
+	}
+}
+
+// BenchmarkDomainRecordsWindow measures the period-window lookup on
+// BuildMap's critical path, in both modes: the pre-freeze filter+sort per
+// call, and the post-freeze lock-free binary search over the presorted
+// per-domain slice.
+func BenchmarkDomainRecordsWindow(b *testing.B) {
+	ds, _ := syntheticDataset(2000)
+	domains := ds.Domains()
+	period := simtime.Period(0)
+	from, to := period.Start()+30, period.End()-30
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if recs := ds.DomainRecords(domains[i%len(domains)], from, to); len(recs) == 0 {
+				b.Fatal("empty window")
+			}
+		}
+	}
+	b.Run("filter", run)
+	ds.Freeze()
+	b.Run("indexed", run)
+}
+
 // BenchmarkWorldGeneration measures end-to-end simulation cost (DNS clock,
 // ACME issuance, scanning) for a small world.
 func BenchmarkWorldGeneration(b *testing.B) {

@@ -31,6 +31,7 @@ func main() {
 		all     = flag.Bool("all", false, "print everything")
 		seed    = flag.Int64("seed", 1, "world generation seed")
 		stable  = flag.Int("stable", 400, "benign stable-domain population")
+		workers = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
 		shortRn = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -66,8 +67,9 @@ func main() {
 	progress("%s; dataset: %d domains, %d records", w.Summary(), domains, records)
 
 	progress("running detection pipeline...")
-	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT}
+	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, Workers: *workers}
 	res := pipe.Run()
+	progress("%s", res.Stats)
 
 	sectors := make(map[dnscore.Name]string)
 	for _, truth := range w.TruthList() {
@@ -143,7 +145,7 @@ func main() {
 		lockCfg.RegistryLockAll = true
 		lw := world.New(lockCfg)
 		lds := lw.Run()
-		lp := &core.Pipeline{Params: core.DefaultParams(), Dataset: lds, Meta: lw.Meta, PDNS: lw.PDNSDB, CT: lw.CT}
+		lp := &core.Pipeline{Params: core.DefaultParams(), Dataset: lds, Meta: lw.Meta, PDNS: lw.PDNSDB, CT: lw.CT, Workers: *workers}
 		lres := lp.Run()
 		truthHijacked := 0
 		for _, truth := range lw.TruthList() {

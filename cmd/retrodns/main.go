@@ -26,6 +26,7 @@ func main() {
 		noCampaigns = flag.Bool("no-campaigns", false, "disable the attack campaigns")
 		coverage    = flag.Float64("pdns-coverage", 0.85, "passive-DNS sensor coverage (0..1]")
 		evaluate    = flag.Bool("eval", false, "score verdicts against simulation ground truth")
+		workers     = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "print every finding")
 		jsonOut     = flag.Bool("json", false, "emit findings as JSON on stdout")
 	)
@@ -50,8 +51,9 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, w.Summary())
 
-	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog}
+	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog, Workers: *workers}
 	res := pipe.Run()
+	fmt.Fprint(os.Stderr, res.Stats)
 
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout, res); err != nil {

@@ -13,7 +13,7 @@ import (
 // on a synthetic world its precision collapses against benign transients
 // while the full pipeline stays clean.
 func NaiveTransientDetector(ds *scanner.Dataset, params Params) []*Finding {
-	if params == (Params{}) {
+	if params.IsZero() {
 		params = DefaultParams()
 	}
 	var findings []*Finding

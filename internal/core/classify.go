@@ -83,6 +83,22 @@ type Params struct {
 	StitchPeriods bool
 }
 
+// IsZero reports whether every parameter is unset, the signal that a
+// caller left Params at its zero value and wants DefaultParams. The check
+// is written field by field rather than as a struct comparison so that
+// adding a non-comparable field (a slice of thresholds, say) later cannot
+// silently change the semantics or break compilation of callers.
+func (p Params) IsZero() bool {
+	return p.TransientMaxDays == 0 &&
+		p.StableMinDays == 0 &&
+		p.EdgeMarginScans == 0 &&
+		p.MinPresence == 0 &&
+		p.MaxTransientPeriods == 0 &&
+		p.InspectSlackDays == 0 &&
+		!p.DisableSensitiveGate &&
+		!p.StitchPeriods
+}
+
 // DefaultParams returns the paper's thresholds.
 func DefaultParams() Params {
 	return Params{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"retrodns/internal/ctlog"
 	"retrodns/internal/dnscore"
@@ -11,6 +12,84 @@ import (
 	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
 )
+
+// StageStats captures the wall-clock cost and throughput of one pipeline
+// stage in a single Run — the operational counterpart to the funnel's
+// quality counters. Items is stage-specific: deployment maps for the
+// classification stage, domains for stitching, candidates for inspection.
+type StageStats struct {
+	Name string
+	// Items is the number of work units the stage processed.
+	Items int
+	// Wall is the stage's elapsed wall-clock time.
+	Wall time.Duration
+	// Busy sums the time every worker spent inside the stage body.
+	Busy time.Duration
+	// Workers is the fan-out bound the stage ran with (1 for serial
+	// stages).
+	Workers int
+}
+
+// Throughput returns items per second of wall-clock time.
+func (s StageStats) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Items) / s.Wall.Seconds()
+}
+
+// Utilization returns the fraction of worker capacity the stage kept busy:
+// 1.0 means every worker computed for the full wall-clock span.
+func (s StageStats) Utilization() float64 {
+	if s.Wall <= 0 || s.Workers <= 0 {
+		return 0
+	}
+	u := s.Busy.Seconds() / (s.Wall.Seconds() * float64(s.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// String renders one stage's counters on a single line.
+func (s StageStats) String() string {
+	return fmt.Sprintf("%-9s %7d items in %9s  (%10.0f items/s, %d workers, %3.0f%% util)",
+		s.Name+":", s.Items, s.Wall.Round(time.Microsecond), s.Throughput(), s.Workers, s.Utilization()*100)
+}
+
+// PipelineStats aggregates the per-stage counters of one Pipeline.Run.
+// Unlike FunnelStats it describes the execution, not the findings, so it
+// is excluded from determinism comparisons: two runs with different
+// Workers settings produce identical funnels and findings but different
+// timings.
+type PipelineStats struct {
+	// Workers is the pipeline's fan-out bound for the parallel stages.
+	Workers int
+	// Total is the wall-clock time of the whole Run.
+	Total time.Duration
+	// Stages lists the per-stage counters in execution order.
+	Stages []StageStats
+}
+
+// Stage returns the named stage's stats, or a zero StageStats.
+func (p PipelineStats) Stage(name string) StageStats {
+	for _, s := range p.Stages {
+		if s.Name == name {
+			return s
+		}
+	}
+	return StageStats{}
+}
+
+// String renders the stage table the way cmd/repro prints it.
+func (p PipelineStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipeline stages (workers=%d, total %s):\n", p.Workers, p.Total.Round(time.Microsecond))
+	for _, s := range p.Stages {
+		fmt.Fprintf(&sb, "  %s\n", s)
+	}
+	return sb.String()
+}
 
 // ObservabilityStats reproduces the paper's §5.3 analysis of how visible
 // the attacks were to each data source: how long the hijack itself was

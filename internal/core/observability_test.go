@@ -4,6 +4,7 @@ import (
 	"net/netip"
 	"strings"
 	"testing"
+	"time"
 
 	"retrodns/internal/ctlog"
 	"retrodns/internal/dnscore"
@@ -95,5 +96,47 @@ func TestHistogram(t *testing.T) {
 	}
 	if Histogram(nil, []int{1}) == "" {
 		t.Error("empty histogram output")
+	}
+}
+
+func TestStageStatsMetrics(t *testing.T) {
+	s := StageStats{Name: "classify", Items: 500, Wall: 250 * time.Millisecond,
+		Busy: 1500 * time.Millisecond, Workers: 8}
+	if got := s.Throughput(); got < 1999 || got > 2001 {
+		t.Errorf("throughput = %f, want 2000", got)
+	}
+	if got := s.Utilization(); got < 0.74 || got > 0.76 {
+		t.Errorf("utilization = %f, want 0.75", got)
+	}
+	for _, want := range []string{"classify", "500", "8 workers", "75% util"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("stage string missing %q: %s", want, s)
+		}
+	}
+	// Degenerate cases: zero wall time and over-unity busy clamp.
+	if (StageStats{}).Throughput() != 0 || (StageStats{}).Utilization() != 0 {
+		t.Error("zero stage produced nonzero metrics")
+	}
+	over := StageStats{Wall: time.Millisecond, Busy: 10 * time.Millisecond, Workers: 1}
+	if over.Utilization() != 1 {
+		t.Errorf("utilization not clamped: %f", over.Utilization())
+	}
+}
+
+func TestPipelineStatsLookupAndString(t *testing.T) {
+	ps := PipelineStats{Workers: 4, Total: time.Second, Stages: []StageStats{
+		{Name: "classify", Items: 10, Wall: time.Millisecond, Workers: 4},
+		{Name: "inspect", Items: 3, Wall: time.Millisecond, Workers: 4},
+	}}
+	if got := ps.Stage("inspect"); got.Items != 3 {
+		t.Errorf("Stage lookup = %+v", got)
+	}
+	if got := ps.Stage("nonexistent"); got.Name != "" {
+		t.Errorf("missing stage lookup = %+v", got)
+	}
+	for _, want := range []string{"workers=4", "classify", "inspect"} {
+		if !strings.Contains(ps.String(), want) {
+			t.Errorf("stats string missing %q:\n%s", want, ps)
+		}
 	}
 }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines. Indexes are handed out through a shared atomic counter so
+// uneven per-item cost balances dynamically; callers get determinism by
+// writing results into per-index slots and merging in index order after
+// the call returns. The returned duration is the summed busy time of all
+// workers — the numerator of the stage-utilization metric.
+func parallelFor(n, workers int, fn func(i int)) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return time.Since(start)
+	}
+	var next, busy atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(i)
+			}
+			busy.Add(int64(time.Since(start)))
+		}()
+	}
+	wg.Wait()
+	return time.Duration(busy.Load())
+}

@@ -2,8 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 	"strings"
+	"time"
 
 	"retrodns/internal/ctlog"
 	"retrodns/internal/dnscore"
@@ -28,6 +29,20 @@ type Pipeline struct {
 	// contribute?). T1* reuse promotion is also disabled, since it feeds
 	// on pivot-confirmed infrastructure.
 	DisablePivot bool
+	// Workers bounds the fan-out of the map-building/classification,
+	// stitching, and inspection stages, which are independent per domain
+	// (or per candidate) and merge deterministically. <= 0 means
+	// runtime.GOMAXPROCS(0). The result is byte-identical regardless of
+	// the setting.
+	Workers int
+}
+
+// workerCount resolves the Workers knob.
+func (p *Pipeline) workerCount() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // FunnelStats counts every stage of the pipeline, mirroring the numbers the
@@ -90,6 +105,10 @@ type Result struct {
 	Candidates []*Candidate
 	// History maps every observed domain to its per-period category.
 	History map[dnscore.Name]map[simtime.Period]Category
+	// Stats carries the per-stage wall-clock and throughput counters of
+	// this run. Execution metadata only: excluded from determinism
+	// comparisons.
+	Stats PipelineStats
 }
 
 // Findings returns hijacked and targeted findings together.
@@ -101,11 +120,18 @@ func (r *Result) Findings() []*Finding {
 }
 
 // Run executes the whole methodology and returns the result.
+//
+// The map-building/classification, stitching, and inspection stages fan
+// out over Workers goroutines: each unit (domain or candidate) is
+// independent, results land in per-index slots, and the merge walks those
+// slots in input order, so the Result is byte-identical for any Workers
+// setting (asserted by TestPipelineDeterminism).
 func (p *Pipeline) Run() *Result {
 	params := p.Params
-	if params == (Params{}) {
+	if params.IsZero() {
 		params = DefaultParams()
 	}
+	workers := p.workerCount()
 
 	res := &Result{
 		History: make(map[dnscore.Name]map[simtime.Period]Category),
@@ -116,47 +142,90 @@ func (p *Pipeline) Run() *Result {
 			Outcomes:         make(map[InspectOutcome]int),
 			ByMethod:         make(map[Method]int),
 		},
+		Stats: PipelineStats{Workers: workers},
+	}
+	runStart := time.Now()
+	stage := func(name string, items, stageWorkers int, start time.Time, busy time.Duration) {
+		res.Stats.Stages = append(res.Stats.Stages, StageStats{
+			Name: name, Items: items, Wall: time.Since(start), Busy: busy, Workers: stageWorkers,
+		})
 	}
 
-	// Step 1 + 2: build and classify deployment maps per period.
+	// Index the dataset: one-time per-domain sort, after which every
+	// period-window read below is a lock-free binary search.
+	t0 := time.Now()
+	p.Dataset.Freeze()
+	domains := p.Dataset.Domains()
+	stage("freeze", len(domains), 1, t0, time.Since(t0))
+
+	// Step 1 + 2: build and classify deployment maps per period, fanned
+	// out per domain.
+	t0 = time.Now()
 	periods := p.periodsInData()
 	scansByPeriod := make(map[simtime.Period][]simtime.Date, len(periods))
 	for _, period := range periods {
 		scansByPeriod[period] = p.Dataset.ScanDates(period.Start(), period.End())
 	}
-	domains := p.Dataset.Domains()
 	res.Funnel.Domains = len(domains)
-	var transientClasses []*Classification
-	for _, domain := range domains {
+	type classifyOut struct {
+		byPeriod   map[simtime.Period]Category
+		maps       int
+		transients []*Classification
+	}
+	outs := make([]classifyOut, len(domains))
+	busy := parallelFor(len(domains), workers, func(i int) {
+		o := &outs[i]
 		for _, period := range periods {
-			m := BuildMap(p.Dataset, domain, period)
+			m := BuildMap(p.Dataset, domains[i], period)
 			if m == nil {
 				continue
 			}
-			res.Funnel.Maps++
+			o.maps++
 			c := params.Classify(m, scansByPeriod[period])
-			byPeriod := res.History[domain]
-			if byPeriod == nil {
-				byPeriod = make(map[simtime.Period]Category)
-				res.History[domain] = byPeriod
+			if o.byPeriod == nil {
+				o.byPeriod = make(map[simtime.Period]Category, len(periods))
 			}
-			byPeriod[period] = c.Category
-			res.Funnel.MapCategories[c.Category]++
+			o.byPeriod[period] = c.Category
 			if c.Category == CategoryTransient {
-				transientClasses = append(transientClasses, c)
+				o.transients = append(o.transients, c)
 			}
 		}
+	})
+	var transientClasses []*Classification
+	for i, domain := range domains {
+		o := outs[i]
+		res.Funnel.Maps += o.maps
+		if o.byPeriod != nil {
+			res.History[domain] = o.byPeriod
+		}
+		for _, cat := range o.byPeriod {
+			res.Funnel.MapCategories[cat]++
+		}
+		transientClasses = append(transientClasses, o.transients...)
 	}
 	for _, domain := range domains {
 		res.Funnel.DomainCategories[rollupCategory(res.History[domain])]++
 	}
+	stage("classify", res.Funnel.Maps, workers, t0, busy)
+
 	if params.StitchPeriods {
-		stitched := p.stitchBoundaryTransients(params, periods, scansByPeriod, res.History)
+		t0 = time.Now()
+		stitchOut := make([][]*Classification, len(domains))
+		busy = parallelFor(len(domains), workers, func(i int) {
+			stitchOut[i] = p.stitchDomain(params, domains[i], periods, scansByPeriod, res.History[domains[i]])
+		})
+		var stitched []*Classification
+		for _, s := range stitchOut {
+			stitched = append(stitched, s...)
+		}
 		transientClasses = append(transientClasses, stitched...)
 		res.Funnel.Stitched = len(stitched)
+		stage("stitch", len(domains), workers, t0, busy)
 	}
 
-	// Step 3: shortlist.
+	// Step 3: shortlist. Serial: cheap, and prune tallies accumulate in
+	// classification order.
+	t0 = time.Now()
 	shortlister := &Shortlister{Params: params, Orgs: orgsOf(p.Meta), History: res.History}
 	for _, c := range transientClasses {
 		candidates, pruned := shortlister.Shortlist(c)
@@ -174,13 +243,25 @@ func (p *Pipeline) Run() *Result {
 			res.Funnel.ShortlistedAnomalous++
 		}
 	}
+	stage("shortlist", len(transientClasses), 1, t0, time.Since(t0))
 
-	// Step 4: inspect.
+	// Step 4: inspect, fanned out per candidate; outcomes merge in
+	// candidate order.
+	t0 = time.Now()
 	inspector := &Inspector{Params: params, PDNS: p.PDNS, CT: p.CT, DNSSEC: p.DNSSEC}
+	type inspectOut struct {
+		finding *Finding
+		outcome InspectOutcome
+	}
+	iouts := make([]inspectOut, len(res.Candidates))
+	busy = parallelFor(len(res.Candidates), workers, func(i int) {
+		f, outcome := inspector.Inspect(res.Candidates[i])
+		iouts[i] = inspectOut{f, outcome}
+	})
 	known := make(map[dnscore.Name]bool)
 	var hijacked, targeted, pending []*Finding
-	for _, c := range res.Candidates {
-		f, outcome := inspector.Inspect(c)
+	for _, io := range iouts {
+		f, outcome := io.finding, io.outcome
 		res.Funnel.Outcomes[outcome]++
 		if outcome != OutcomeNoData {
 			res.Funnel.WorthExamining++
@@ -197,8 +278,11 @@ func (p *Pipeline) Run() *Result {
 			known[f.Domain] = true
 		}
 	}
+	stage("inspect", len(res.Candidates), workers, t0, busy)
 
 	// Step 5: pivot on confirmed infrastructure, then promote T1* reuse.
+	// Serial: each iteration consumes the previous one's findings.
+	t0 = time.Now()
 	pivoter := &Pivoter{Params: params, PDNS: p.PDNS, CT: p.CT, Meta: p.Meta}
 	prevCount := -1
 	if p.DisablePivot {
@@ -230,22 +314,14 @@ func (p *Pipeline) Run() *Result {
 	SortFindings(targeted)
 	res.Hijacked = hijacked
 	res.Targeted = targeted
+	stage("pivot", res.Funnel.PivotFound, 1, t0, time.Since(t0))
+	res.Stats.Total = time.Since(runStart)
 	return res
 }
 
 // periodsInData returns the study periods covered by the dataset.
 func (p *Pipeline) periodsInData() []simtime.Period {
-	seen := make(map[simtime.Period]bool)
-	var out []simtime.Period
-	for _, d := range p.Dataset.ScanDates(simtime.StudyStart, simtime.StudyEnd) {
-		period := simtime.PeriodOf(d)
-		if !seen[period] {
-			seen[period] = true
-			out = append(out, period)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return p.Dataset.Periods()
 }
 
 // rollupCategory reduces a domain's per-period categories to one label,

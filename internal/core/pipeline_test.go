@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"retrodns/internal/ctlog"
@@ -218,6 +220,106 @@ func TestPipelineDefaultParams(t *testing.T) {
 	res := p.Run()
 	if len(res.Hijacked) == 0 {
 		t.Fatal("default-params run found nothing")
+	}
+}
+
+// requireIdenticalResults asserts that two pipeline runs produced the
+// same findings, funnel, history, and candidate list — everything except
+// Stats, which records execution timings.
+func requireIdenticalResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Funnel, b.Funnel) {
+		t.Errorf("funnels differ:\n%v\nvs\n%v", a.Funnel, b.Funnel)
+	}
+	if !reflect.DeepEqual(a.History, b.History) {
+		t.Error("histories differ")
+	}
+	renderFindings := func(fs []*Finding) []string {
+		out := make([]string, len(fs))
+		for i, f := range fs {
+			out[i] = f.String()
+		}
+		return out
+	}
+	if got, want := renderFindings(a.Hijacked), renderFindings(b.Hijacked); !reflect.DeepEqual(got, want) {
+		t.Errorf("hijacked differ:\n%v\nvs\n%v", got, want)
+	}
+	if got, want := renderFindings(a.Targeted), renderFindings(b.Targeted); !reflect.DeepEqual(got, want) {
+		t.Errorf("targeted differ:\n%v\nvs\n%v", got, want)
+	}
+	if len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(a.Candidates), len(b.Candidates))
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i].String() != b.Candidates[i].String() {
+			t.Errorf("candidate %d differs: %s vs %s", i, a.Candidates[i], b.Candidates[i])
+		}
+	}
+}
+
+// TestPipelineDeterminism runs the same seeded world serially and with an
+// 8-way worker pool and requires identical results — the guarantee that
+// lets the Workers knob be purely an execution detail. The stitching
+// variant exercises the stitchDomain fan-out too. Run under -race by the
+// ci target.
+func TestPipelineDeterminism(t *testing.T) {
+	for _, stitch := range []bool{false, true} {
+		run := func(workers int) *Result {
+			p := buildPipelineWorld(t)
+			p.Params.StitchPeriods = stitch
+			p.Workers = workers
+			return p.Run()
+		}
+		serial := run(1)
+		parallel := run(8)
+		requireIdenticalResults(t, serial, parallel)
+		if serial.Stats.Workers != 1 || parallel.Stats.Workers != 8 {
+			t.Errorf("stats workers = %d, %d", serial.Stats.Workers, parallel.Stats.Workers)
+		}
+	}
+}
+
+func TestPipelineStageStats(t *testing.T) {
+	p := buildPipelineWorld(t)
+	res := p.Run()
+	if res.Stats.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS=%d", res.Stats.Workers, runtime.GOMAXPROCS(0))
+	}
+	if res.Stats.Total <= 0 {
+		t.Error("total wall time not recorded")
+	}
+	for _, name := range []string{"freeze", "classify", "shortlist", "inspect", "pivot"} {
+		s := res.Stats.Stage(name)
+		if s.Name != name {
+			t.Errorf("stage %q missing from %v", name, res.Stats.Stages)
+		}
+	}
+	if got := res.Stats.Stage("classify").Items; got != res.Funnel.Maps {
+		t.Errorf("classify items = %d, want maps = %d", got, res.Funnel.Maps)
+	}
+	if got := res.Stats.Stage("inspect").Items; got != res.Funnel.Shortlisted {
+		t.Errorf("inspect items = %d, want shortlisted = %d", got, res.Funnel.Shortlisted)
+	}
+	if s := res.Stats.String(); s == "" {
+		t.Error("stats string empty")
+	}
+	if !p.Dataset.Frozen() {
+		t.Error("Run did not freeze the dataset")
+	}
+}
+
+func TestParamsIsZero(t *testing.T) {
+	if !(Params{}).IsZero() {
+		t.Error("zero Params not IsZero")
+	}
+	if DefaultParams().IsZero() {
+		t.Error("DefaultParams IsZero")
+	}
+	if (Params{StitchPeriods: true}).IsZero() {
+		t.Error("StitchPeriods-only Params IsZero")
+	}
+	if (Params{MinPresence: 0.5}).IsZero() {
+		t.Error("MinPresence-only Params IsZero")
 	}
 }
 

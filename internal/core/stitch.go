@@ -20,21 +20,20 @@ import (
 // synthesized into a transient classification and fed to the shortlist
 // like any other.
 
-// stitchBoundaryTransients scans consecutive period pairs of every domain
-// for boundary-straddling transients. History is consulted to avoid
-// re-flagging domains already transient in either period.
-func (p *Pipeline) stitchBoundaryTransients(params Params, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, history map[dnscore.Name]map[simtime.Period]Category) []*Classification {
+// stitchDomain scans one domain's consecutive period pairs for
+// boundary-straddling transients. The domain's per-period history is
+// consulted to avoid re-flagging periods already transient. Independent
+// per domain, so Pipeline.Run fans it out over the worker pool and merges
+// the per-domain slices in domain order.
+func (p *Pipeline) stitchDomain(params Params, domain dnscore.Name, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, byPeriod map[simtime.Period]Category) []*Classification {
 	var out []*Classification
-	for _, domain := range p.Dataset.Domains() {
-		byPeriod := history[domain]
-		for i := 0; i+1 < len(periods); i++ {
-			a, b := periods[i], periods[i+1]
-			if byPeriod[a] == CategoryTransient || byPeriod[b] == CategoryTransient {
-				continue // already handled by single-period analysis
-			}
-			if c := p.stitchPair(params, domain, a, b, scansByPeriod); c != nil {
-				out = append(out, c)
-			}
+	for i := 0; i+1 < len(periods); i++ {
+		a, b := periods[i], periods[i+1]
+		if byPeriod[a] == CategoryTransient || byPeriod[b] == CategoryTransient {
+			continue // already handled by single-period analysis
+		}
+		if c := p.stitchPair(params, domain, a, b, scansByPeriod); c != nil {
+			out = append(out, c)
 		}
 	}
 	return out

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"retrodns/internal/ctlog"
 	"retrodns/internal/dnscore"
@@ -190,15 +191,29 @@ func (s *Scanner) RunStudyEvery(from, to simtime.Date, everyDays int) *Dataset {
 
 // Dataset indexes scan records the way the pipeline consumes them: by the
 // registered domain of each secured name. It is safe for concurrent reads
-// after loading.
+// after loading, and after Freeze every read path is lock-free and
+// period-window lookups run in O(log n) by binary search over presorted
+// per-domain record slices.
 type Dataset struct {
 	mu sync.RWMutex
 	// byDomain maps a registered domain to every record whose certificate
-	// secures a name under it.
+	// secures a name under it. After Freeze, each slice is sorted by scan
+	// date (stable, preserving ingest order within a date).
 	byDomain map[dnscore.Name][]*Record
-	// scanDates lists the scan dates ingested, in order.
+	// scanDates lists the scan dates ingested, in ingest order until
+	// Freeze sorts them ascending.
 	scanDates []simtime.Date
 	records   int
+
+	// frozen flips once Freeze has built the read indexes. After that the
+	// read paths skip the mutex entirely and AddScan panics: the flag is
+	// stored with release semantics after every index is in place, so a
+	// reader observing frozen==true also observes the sorted slices.
+	frozen atomic.Bool
+	// domains caches the sorted domain list (built by Freeze).
+	domains []dnscore.Name
+	// periods caches the sorted distinct study periods with scans.
+	periods []simtime.Period
 }
 
 // NewDataset creates an empty dataset.
@@ -206,10 +221,14 @@ func NewDataset() *Dataset {
 	return &Dataset{byDomain: make(map[dnscore.Name][]*Record)}
 }
 
-// AddScan ingests the records of one weekly scan.
+// AddScan ingests the records of one weekly scan. It panics on a frozen
+// dataset: Freeze trades mutability for lock-free indexed reads.
 func (d *Dataset) AddScan(date simtime.Date, records []*Record) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.frozen.Load() {
+		panic("scanner: AddScan on a frozen Dataset")
+	}
 	d.scanDates = append(d.scanDates, date)
 	d.records += len(records)
 	for _, r := range records {
@@ -225,8 +244,54 @@ func (d *Dataset) AddScan(date simtime.Date, records []*Record) {
 	}
 }
 
+// Freeze ends the ingest phase and builds the read indexes: each domain's
+// records are stably sorted by scan date once, the domain list and scan
+// dates are sorted and cached, and every subsequent read is lock-free.
+// Freeze is idempotent and safe to call concurrently; AddScan panics
+// afterwards.
+func (d *Dataset) Freeze() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frozen.Load() {
+		return
+	}
+	for _, recs := range d.byDomain {
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].ScanDate < recs[j].ScanDate })
+	}
+	d.domains = make([]dnscore.Name, 0, len(d.byDomain))
+	for n := range d.byDomain {
+		d.domains = append(d.domains, n)
+	}
+	sort.Slice(d.domains, func(i, j int) bool { return d.domains[i] < d.domains[j] })
+	sort.Slice(d.scanDates, func(i, j int) bool { return d.scanDates[i] < d.scanDates[j] })
+	d.periods = periodsOf(d.scanDates)
+	d.frozen.Store(true)
+}
+
+// Frozen reports whether Freeze has run.
+func (d *Dataset) Frozen() bool { return d.frozen.Load() }
+
+// periodsOf reduces sorted scan dates to the distinct study periods.
+func periodsOf(dates []simtime.Date) []simtime.Period {
+	var out []simtime.Period
+	for _, s := range dates {
+		if !s.InStudy() {
+			continue
+		}
+		p := simtime.PeriodOf(s)
+		if n := len(out); n == 0 || out[n-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Domains returns every registered domain with at least one record, sorted.
+// On a frozen dataset the cached slice is returned; treat it as read-only.
 func (d *Dataset) Domains() []dnscore.Name {
+	if d.frozen.Load() {
+		return d.domains
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]dnscore.Name, 0, len(d.byDomain))
@@ -237,9 +302,28 @@ func (d *Dataset) Domains() []dnscore.Name {
 	return out
 }
 
+// Periods returns the sorted distinct study periods covered by the
+// dataset's scan dates. On a frozen dataset the cached slice is returned;
+// treat it as read-only.
+func (d *Dataset) Periods() []simtime.Period {
+	if d.frozen.Load() {
+		return d.periods
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sorted := append([]simtime.Date(nil), d.scanDates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return periodsOf(sorted)
+}
+
 // DomainRecords returns the records for a registered domain within
-// [from, to), in scan-date order. Zero bounds disable that side.
+// [from, to), in scan-date order. Zero bounds disable that side. On a
+// frozen dataset this is a lock-free binary search returning a window of
+// the shared presorted slice; treat it as read-only.
 func (d *Dataset) DomainRecords(domain dnscore.Name, from, to simtime.Date) []*Record {
+	if d.frozen.Load() {
+		return windowRecords(d.byDomain[domain], from, to)
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	var out []*Record
@@ -256,9 +340,37 @@ func (d *Dataset) DomainRecords(domain dnscore.Name, from, to simtime.Date) []*R
 	return out
 }
 
+// windowRecords slices the [from, to) window out of a date-sorted record
+// slice. Zero bounds disable that side, matching DomainRecords.
+func windowRecords(recs []*Record, from, to simtime.Date) []*Record {
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].ScanDate >= from })
+	hi := len(recs)
+	if to > 0 {
+		hi = lo + sort.Search(len(recs)-lo, func(i int) bool { return recs[lo+i].ScanDate >= to })
+	}
+	if lo >= hi {
+		return nil
+	}
+	return recs[lo:hi]
+}
+
 // ScanDates returns the ingested scan dates within [from, to); zero to
-// disables the upper bound.
+// disables the upper bound. On a frozen dataset this is a lock-free binary
+// search returning a window of the shared sorted slice; treat it as
+// read-only.
 func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
+	if d.frozen.Load() {
+		dates := d.scanDates
+		lo := sort.Search(len(dates), func(i int) bool { return dates[i] >= from })
+		hi := len(dates)
+		if to > 0 {
+			hi = lo + sort.Search(len(dates)-lo, func(i int) bool { return dates[lo+i] >= to })
+		}
+		if lo >= hi {
+			return nil
+		}
+		return dates[lo:hi]
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	var out []simtime.Date
@@ -272,6 +384,9 @@ func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
 
 // Size returns (domains, records) counts.
 func (d *Dataset) Size() (int, int) {
+	if d.frozen.Load() {
+		return len(d.byDomain), d.records
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.byDomain), d.records

@@ -2,7 +2,10 @@ package scanner
 
 import (
 	"net/netip"
+	"reflect"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"retrodns/internal/ctlog"
@@ -181,6 +184,128 @@ func TestRunStudyDataset(t *testing.T) {
 	if got := ds.ScanDates(50, 60); len(got) != 1 {
 		t.Fatalf("windowed ScanDates = %d", len(got))
 	}
+}
+
+// TestFreezeIndexEquivalence ingests scans out of order and requires the
+// frozen binary-search read paths to return exactly what the unfrozen
+// filter+sort paths returned.
+func TestFreezeIndexEquivalence(t *testing.T) {
+	f := setup(t)
+	ds := NewDataset()
+	// Out-of-order ingest exercises the freeze-time sort.
+	var dates []simtime.Date
+	for d := simtime.Date(0); d < 100; d += 7 {
+		dates = append(dates, d)
+	}
+	for i := len(dates) - 1; i >= 0; i-- {
+		ds.AddScan(dates[i], f.scanner.ScanWeek(dates[i]))
+	}
+
+	type snapshot struct {
+		domains []dnscore.Name
+		periods []simtime.Period
+		recs    [][]*Record
+		scans   [][]simtime.Date
+	}
+	windows := []struct{ from, to simtime.Date }{
+		{0, 0}, {0, 100}, {50, 60}, {56, 57}, {99, 0}, {200, 300},
+	}
+	capture := func() snapshot {
+		s := snapshot{domains: append([]dnscore.Name(nil), ds.Domains()...)}
+		s.periods = append([]simtime.Period(nil), ds.Periods()...)
+		for _, d := range s.domains {
+			for _, w := range windows {
+				s.recs = append(s.recs, append([]*Record(nil), ds.DomainRecords(d, w.from, w.to)...))
+			}
+		}
+		for _, w := range windows {
+			s.scans = append(s.scans, append([]simtime.Date(nil), ds.ScanDates(w.from, w.to)...))
+		}
+		return s
+	}
+
+	before := capture()
+	if ds.Frozen() {
+		t.Fatal("dataset frozen before Freeze")
+	}
+	ds.Freeze()
+	ds.Freeze() // idempotent
+	if !ds.Frozen() {
+		t.Fatal("dataset not frozen after Freeze")
+	}
+	after := capture()
+
+	if !reflect.DeepEqual(before.domains, after.domains) {
+		t.Errorf("Domains changed: %v vs %v", before.domains, after.domains)
+	}
+	if !reflect.DeepEqual(before.periods, after.periods) {
+		t.Errorf("Periods changed: %v vs %v", before.periods, after.periods)
+	}
+	for i := range before.recs {
+		if len(before.recs[i]) != len(after.recs[i]) {
+			t.Fatalf("record window %d: %d vs %d records", i, len(before.recs[i]), len(after.recs[i]))
+		}
+		for j := range before.recs[i] {
+			if before.recs[i][j] != after.recs[i][j] {
+				t.Fatalf("record window %d entry %d differs", i, j)
+			}
+		}
+	}
+	for i := range before.scans {
+		// Unfrozen ScanDates preserves (here: reversed) ingest order;
+		// frozen returns sorted — compare as sets of equal length.
+		sort.Slice(before.scans[i], func(a, b int) bool { return before.scans[i][a] < before.scans[i][b] })
+		if !reflect.DeepEqual(before.scans[i], after.scans[i]) {
+			t.Errorf("scan window %d: %v vs %v", i, before.scans[i], after.scans[i])
+		}
+	}
+}
+
+func TestFrozenAddScanPanics(t *testing.T) {
+	f := setup(t)
+	ds := f.scanner.RunStudy(0, 30)
+	ds.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddScan on frozen dataset did not panic")
+		}
+	}()
+	ds.AddScan(1000, nil)
+}
+
+// TestDatasetConcurrentReads hammers every frozen read path from many
+// goroutines; run under -race by the ci target.
+func TestDatasetConcurrentReads(t *testing.T) {
+	f := setup(t)
+	ds := f.scanner.RunStudy(0, 200)
+	ds.Freeze()
+	domains := ds.Domains()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := domains[(g+i)%len(domains)]
+				from := simtime.Date(i % 150)
+				recs := ds.DomainRecords(d, from, from+50)
+				for k := 1; k < len(recs); k++ {
+					if recs[k].ScanDate < recs[k-1].ScanDate {
+						t.Error("records out of order")
+						return
+					}
+				}
+				_ = ds.ScanDates(from, from+50)
+				_ = ds.Domains()
+				_ = ds.Periods()
+				if n, _ := ds.Size(); n == 0 {
+					t.Error("empty size")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestIsSensitiveName(t *testing.T) {

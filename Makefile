@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-all
 
 ci: vet build test race
 
@@ -16,11 +16,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The pipeline's worker pool and the frozen dataset's lock-free reads are
-# exercised under the race detector here (includes TestPipelineDeterminism
-# and TestDatasetConcurrentReads).
+# The pipeline's worker pool, the frozen dataset's lock-free reads, and the
+# incremental Append path are exercised under the race detector here
+# (includes TestPipelineDeterminism, TestDatasetConcurrentReads,
+# TestAppendConcurrentReads, and TestIncrementalReplayEquivalence).
 race:
 	$(GO) test -race ./internal/core ./internal/scanner
 
+# The incremental-engine benchmarks: append+cached-rerun vs full rerun
+# (the headline >=10x), certificate-fingerprint memoization, and the
+# allocation cost of bulk scan ingest.
 bench:
+	$(GO) test -bench='BenchmarkIncrementalAppend|BenchmarkFingerprint|BenchmarkAddScan' -benchmem -count=3 -run='^$$' .
+
+# Every benchmark in the harness (tables, figures, scale sweeps, ablations).
+bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -483,6 +483,124 @@ func BenchmarkDomainRecordsWindow(b *testing.B) {
 	b.Run("indexed", run)
 }
 
+// replayStudy precomputes the bench world's scan series for incremental
+// replay: RunClock is idempotent, so the scans can be regenerated from the
+// shared fixture's world after its bulk Run.
+func replayStudy(b *testing.B) (dates []simtime.Date, scans [][]*scanner.Record, fx *studyFixture) {
+	b.Helper()
+	fx = getStudy(b)
+	sc := fx.world.Scanner()
+	dates = fx.world.ScanDates()
+	scans = make([][]*scanner.Record, len(dates))
+	for i, d := range dates {
+		scans[i] = sc.ScanWeek(d)
+	}
+	return dates, scans, fx
+}
+
+// BenchmarkIncrementalAppend compares the cost of analyzing one more scan:
+// "full" re-runs the whole uncached pipeline over the complete dataset
+// (what every new scan used to cost), "append" ingests one scan through
+// Dataset.Append and re-runs a warm cached pipeline (what it costs now).
+// The incremental path must be >=10x faster; the equivalence tests pin
+// both paths to byte-identical results.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	dates, scans, fx := replayStudy(b)
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := &core.Pipeline{Params: core.DefaultParams(), Dataset: fx.dataset,
+				Meta: fx.world.Meta, PDNS: fx.world.PDNSDB, CT: fx.world.CT}
+			if res := p.Run(); len(res.Hijacked) == 0 {
+				b.Fatal("no findings")
+			}
+		}
+	})
+
+	b.Run("append", func(b *testing.B) {
+		// Steady state: a warm cache over most of the study, then each
+		// iteration appends the next scan and re-analyzes. When the study
+		// runs out, the dataset and cache reset off the clock.
+		warm := len(dates) - 30
+		var ds *scanner.Dataset
+		var pipe *core.Pipeline
+		var next int
+		reset := func() {
+			ds = scanner.NewDataset()
+			for i := 0; i < warm; i++ {
+				ds.Append(dates[i], scans[i])
+			}
+			pipe = &core.Pipeline{Params: core.DefaultParams(), Dataset: ds,
+				Meta: fx.world.Meta, PDNS: fx.world.PDNSDB, CT: fx.world.CT,
+				Cache: core.NewClassifyCache()}
+			pipe.Run()
+			next = warm
+		}
+		reset()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if next == len(dates) {
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+			ds.Append(dates[next], scans[next])
+			res := pipe.Run()
+			if res.Stats.CacheHits == 0 {
+				b.Fatal("cache never hit")
+			}
+			next++
+		}
+	})
+}
+
+// BenchmarkFingerprint measures the certificate-digest memoization:
+// "cold" clones the certificate first so every call recomputes the
+// SHA-256; "memoized" hits the cached digest.
+func BenchmarkFingerprint(b *testing.B) {
+	key := x509lite.NewSigningKey("bench-fp", 9)
+	c := &x509lite.Certificate{
+		Serial: 77, Subject: "mail.bench.example",
+		SANs:      []dnscore.Name{"mail.bench.example", "www.bench.example"},
+		Issuer:    "Bench CA", NotBefore: 0, NotAfter: 400,
+		Method: x509lite.ValidationDNS01,
+	}
+	key.Sign(c)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fp := c.Clone().Fingerprint(); fp == (x509lite.Fingerprint{}) {
+				b.Fatal("zero fingerprint")
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fp := c.Fingerprint(); fp == (x509lite.Fingerprint{}) {
+				b.Fatal("zero fingerprint")
+			}
+		}
+	})
+}
+
+// BenchmarkAddScan measures bulk ingest of one weekly scan — the per-record
+// apex dedupe runs without any map allocation.
+func BenchmarkAddScan(b *testing.B) {
+	fx := getStudy(b)
+	sc := fx.world.Scanner()
+	week := sc.ScanWeek(700)
+	if len(week) == 0 {
+		b.Fatal("empty scan")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := scanner.NewDataset()
+		ds.AddScan(700, week)
+	}
+}
+
 // BenchmarkWorldGeneration measures end-to-end simulation cost (DNS clock,
 // ACME issuance, scanning) for a small world.
 func BenchmarkWorldGeneration(b *testing.B) {

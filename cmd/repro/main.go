@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"retrodns/internal/core"
 	"retrodns/internal/dnscore"
@@ -33,8 +35,37 @@ func main() {
 		stable  = flag.Int("stable", 400, "benign stable-domain population")
 		workers = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
 		shortRn = flag.Bool("quiet", false, "suppress progress output")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 	if *table == 0 && *figure == 0 && !*funnel && !*observ && !*counter {
 		*all = true
 	}
@@ -67,7 +98,7 @@ func main() {
 	progress("%s; dataset: %d domains, %d records", w.Summary(), domains, records)
 
 	progress("running detection pipeline...")
-	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, Workers: *workers}
+	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, Workers: *workers, Cache: core.NewClassifyCache()}
 	res := pipe.Run()
 	progress("%s", res.Stats)
 

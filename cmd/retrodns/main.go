@@ -6,6 +6,7 @@
 //	retrodns -seed 42 -stable 2000
 //	retrodns -no-campaigns    # benign-only world (expect zero findings)
 //	retrodns -eval            # compare verdicts against ground truth
+//	retrodns -follow          # ingest scan-by-scan through the incremental engine
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"retrodns/internal/core"
 	"retrodns/internal/dnscore"
 	"retrodns/internal/report"
+	"retrodns/internal/scanner"
 	"retrodns/internal/world"
 )
 
@@ -27,6 +29,7 @@ func main() {
 		coverage    = flag.Float64("pdns-coverage", 0.85, "passive-DNS sensor coverage (0..1]")
 		evaluate    = flag.Bool("eval", false, "score verdicts against simulation ground truth")
 		workers     = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
+		follow      = flag.Bool("follow", false, "ingest the study scan-by-scan through the incremental engine, re-analyzing after each scan")
 		verbose     = flag.Bool("v", false, "print every finding")
 		jsonOut     = flag.Bool("json", false, "emit findings as JSON on stdout")
 	)
@@ -42,17 +45,42 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "building world (seed=%d stable=%d campaigns=%v)...\n", cfg.Seed, cfg.StableDomains, cfg.Campaigns)
 	w := world.New(cfg)
-	ds := w.Run()
-	if len(w.Errors) > 0 {
-		for _, err := range w.Errors {
-			fmt.Fprintf(os.Stderr, "world error: %v\n", err)
-		}
-		os.Exit(1)
-	}
-	fmt.Fprintln(os.Stderr, w.Summary())
 
-	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog, Workers: *workers}
-	res := pipe.Run()
+	var res *core.Result
+	if *follow {
+		// Incremental mode: advance the simulation clock once, then feed
+		// the scan series through Dataset.Append one scan at a time,
+		// re-running the cached pipeline after each — the production shape
+		// where analysis cost tracks the delta, not the corpus.
+		w.RunClock()
+		checkWorldErrors(w)
+		sc := w.Scanner()
+		ds := scanner.NewDataset()
+		pipe := &core.Pipeline{
+			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+			Workers: *workers, Cache: core.NewClassifyCache(),
+		}
+		for _, date := range w.ScanDates() {
+			ds.Append(date, sc.ScanWeek(date))
+			res = pipe.Run()
+			fmt.Fprintf(os.Stderr, "scan %s: gen=%d dirty=%d hits=%d misses=%d hijacked=%d targeted=%d\n",
+				date, res.Stats.Generation, res.Stats.DirtyCells,
+				res.Stats.CacheHits, res.Stats.CacheMisses,
+				len(res.Hijacked), len(res.Targeted))
+		}
+		fmt.Fprintln(os.Stderr, w.Summary())
+	} else {
+		ds := w.Run()
+		checkWorldErrors(w)
+		fmt.Fprintln(os.Stderr, w.Summary())
+		pipe := &core.Pipeline{
+			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+			Workers: *workers, Cache: core.NewClassifyCache(),
+		}
+		res = pipe.Run()
+	}
 	fmt.Fprint(os.Stderr, res.Stats)
 
 	if *jsonOut {
@@ -75,6 +103,17 @@ func main() {
 	if *evaluate {
 		score(w, res)
 	}
+}
+
+// checkWorldErrors aborts on world-generation failures.
+func checkWorldErrors(w *world.World) {
+	if len(w.Errors) == 0 {
+		return
+	}
+	for _, err := range w.Errors {
+		fmt.Fprintf(os.Stderr, "world error: %v\n", err)
+	}
+	os.Exit(1)
 }
 
 // score compares verdicts to ground truth and prints recall/precision —

@@ -8,19 +8,30 @@
 // The DNS hierarchy runs on real localhost UDP sockets to demonstrate the
 // wire path end to end.
 //
+// With -follow the demo instead drives the incremental analysis engine:
+// a simulated study is ingested scan-by-scan through Dataset.Append and
+// the cached pipeline re-runs after every scan, printing each finding the
+// week it first becomes detectable — the detection-latency view of the
+// same continuous-monitoring idea.
+//
 //	go run ./examples/livemonitor
+//	go run ./examples/livemonitor -follow
 package main
 
 import (
+	"flag"
 	"fmt"
 	"net/netip"
 
 	"retrodns/internal/ca"
+	"retrodns/internal/core"
 	"retrodns/internal/ctlog"
 	"retrodns/internal/dnscore"
 	"retrodns/internal/dnsserver"
 	"retrodns/internal/reactive"
+	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
+	"retrodns/internal/world"
 )
 
 var (
@@ -33,6 +44,56 @@ var (
 )
 
 func main() {
+	follow := flag.Bool("follow", false, "replay a simulated study through the incremental analysis engine")
+	flag.Parse()
+	if *follow {
+		followStudy()
+		return
+	}
+	reactiveDemo()
+}
+
+// followStudy replays a small simulated study scan-by-scan: each Append
+// dirties only the cells the new scan touched, the cached pipeline
+// re-analyzes just those, and findings print the week they first surface.
+func followStudy() {
+	cfg := world.DefaultConfig()
+	cfg.StableDomains = 60
+	cfg.TransitionDomains = 2
+	cfg.NoisyDomains = 2
+	w := world.New(cfg)
+	fmt.Println("advancing the simulation clock over the study window...")
+	w.RunClock()
+	sc := w.Scanner()
+
+	ds := scanner.NewDataset()
+	pipe := &core.Pipeline{
+		Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+		PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+		Cache: core.NewClassifyCache(),
+	}
+
+	seen := make(map[dnscore.Name]bool)
+	var res *core.Result
+	for _, date := range w.ScanDates() {
+		ds.Append(date, sc.ScanWeek(date))
+		res = pipe.Run()
+		for _, f := range res.Findings() {
+			if seen[f.Domain] {
+				continue
+			}
+			seen[f.Domain] = true
+			fmt.Printf("scan %s (dirty=%d hits=%d misses=%d): NEW %s\n",
+				date, res.Stats.DirtyCells, res.Stats.CacheHits, res.Stats.CacheMisses, f)
+		}
+	}
+	fmt.Printf("\nstudy complete after %d scans: %d hijacked, %d targeted\n",
+		len(w.ScanDates()), len(res.Hijacked), len(res.Targeted))
+	fmt.Print(res.Stats)
+}
+
+// reactiveDemo is the original CT-triggered measurement walkthrough.
+func reactiveDemo() {
 	dnscore.RegisterPublicSuffix("gov.xx")
 
 	root := dnscore.NewZone("")

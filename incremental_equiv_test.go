@@ -1,0 +1,92 @@
+package retrodns_bench
+
+import (
+	"bytes"
+	"testing"
+
+	"retrodns/internal/core"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+	"retrodns/internal/world"
+)
+
+// TestIncrementalReplayBytesIdentical is the end-to-end acceptance test for
+// the incremental engine: a study ingested scan-by-scan through
+// Dataset.Append with a warm classification cache must serialize to the
+// exact same JSON report as a cold full pipeline over the same prefix —
+// byte for byte, at every step, regardless of worker count.
+func TestIncrementalReplayBytesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study replay")
+	}
+	cfg := world.Config{Seed: 2, StableDomains: 20, Campaigns: true, PDNSCoverage: 1}
+	w := world.New(cfg)
+	w.RunClock()
+	if len(w.Errors) > 0 {
+		t.Fatalf("world errors: %v", w.Errors)
+	}
+	sc := w.Scanner()
+	dates := w.ScanDates()
+	scans := make([][]*scanner.Record, len(dates))
+	for i, d := range dates {
+		scans[i] = sc.ScanWeek(d)
+	}
+
+	inc := scanner.NewDataset()
+	pipe := &core.Pipeline{
+		Params: core.DefaultParams(), Dataset: inc, Meta: w.Meta,
+		PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+		Workers: 4, Cache: core.NewClassifyCache(),
+	}
+	coldJSON := func(n int) []byte {
+		ds := scanner.NewDataset()
+		for i := 0; i < n; i++ {
+			ds.AddScan(dates[i], scans[i])
+		}
+		p := &core.Pipeline{
+			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog, Workers: 1,
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, p.Run()); err != nil {
+			t.Fatalf("cold WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	checkEvery := 1
+	if len(dates) > 60 {
+		// Byte-check every scan through the first campaign window, then
+		// sample: the cold rerun is the expensive side.
+		checkEvery = 4
+	}
+	var lastGen uint64
+	for i, date := range dates {
+		inc.Append(date, scans[i])
+		res := pipe.Run()
+		if g := res.Stats.Generation; g <= lastGen {
+			t.Fatalf("scan %s: generation did not advance (%d -> %d)", date, lastGen, g)
+		} else {
+			lastGen = g
+		}
+		if i%checkEvery != 0 && i != len(dates)-1 && i > 60 {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatalf("incremental WriteJSON: %v", err)
+		}
+		want := coldJSON(i + 1)
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("scan %d (%s): incremental report diverged from cold run\nincremental:\n%s\ncold:\n%s",
+				i, date, buf.Bytes(), want)
+		}
+	}
+	if lastGen != uint64(len(dates))+1 {
+		t.Fatalf("final generation %d, want %d (freeze + one per append)", lastGen, len(dates)+1)
+	}
+	if simtime.PeriodOf(dates[len(dates)-1]) != simtime.NumPeriods-1 {
+		t.Fatalf("study did not reach the final period")
+	}
+}

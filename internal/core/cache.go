@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// cellState caches one (domain, period) analysis cell: the deployment map,
+// its classification, and enough of the record window's shape to validate
+// an incremental extension on the next run.
+type cellState struct {
+	// built marks that the cell has been computed at least once (a built
+	// cell with a nil map means the domain has no records in the period).
+	built bool
+	m     *DeploymentMap
+	class *Classification
+	// recCount and lastRec snapshot the record window the map was built
+	// from: an extension is valid only if the current window begins with
+	// the same recCount records (checked by pointer identity on the last
+	// one) — otherwise records merged out of order and the cell rebuilds.
+	recCount int
+	lastRec  *scanner.Record
+}
+
+// domainCells holds one domain's cells as a fixed array so parallel
+// workers touch disjoint memory with no shared map writes.
+type domainCells struct {
+	cells [simtime.NumPeriods]cellState
+	// byPeriod is the domain's category history, reused across runs (cells
+	// only ever gain records, so entries are overwritten, never removed).
+	// Results alias it — see the ClassifyCache doc.
+	byPeriod map[simtime.Period]Category
+}
+
+// ClassifyCache memoizes the build-and-classify stage of Pipeline.Run
+// across runs over the same dataset. Keyed by (domain, period) cell and
+// validated against the dataset's generation and a fingerprint of the
+// effective Params: clean cells replay their cached Classification
+// verbatim, cells the dataset journaled as dirty re-enter BuildMap (as an
+// incremental extension when the new records merely extend the window),
+// and cells in a period that gained a scan date re-classify against the
+// period's new scan roster. A params change invalidates classifications
+// but keeps the maps — maps depend only on the records.
+//
+// The cache is owned by at most one Pipeline at a time: Run mutates it
+// without locking (the per-cell work is partitioned per domain across the
+// worker pool). Results handed out by cached runs alias cache-owned state —
+// deployment maps and per-domain category histories — which later Appends
+// and Runs may update in place; callers comparing successive Results should
+// consume each one before the next Append.
+type ClassifyCache struct {
+	dataset  *scanner.Dataset
+	gen      uint64
+	paramsFP string
+	byDomain map[dnscore.Name]*domainCells
+}
+
+// NewClassifyCache returns an empty cache ready to attach to a Pipeline.
+func NewClassifyCache() *ClassifyCache {
+	return &ClassifyCache{byDomain: make(map[dnscore.Name]*domainCells)}
+}
+
+// fingerprint canonicalizes Params for cache validation. Params is a flat
+// struct of scalars, so the %+v rendering is a faithful identity.
+func (p Params) fingerprint() string { return fmt.Sprintf("%+v", p) }
+
+// reset clears the cache for a new dataset.
+func (c *ClassifyCache) reset(ds *scanner.Dataset) {
+	c.dataset = ds
+	c.gen = 0
+	c.paramsFP = ""
+	c.byDomain = make(map[dnscore.Name]*domainCells)
+}
+
+// classifyCached is the cached counterpart of Run's build-and-classify
+// stage. It fills the per-domain classifyOut slots exactly as the cold
+// path does — same maps, same classifications, same order — reusing
+// cached cells where the dataset's dirty journal proves nothing changed.
+// It returns the workers' summed busy time and the journaled dirty-cell
+// count for the stage stats.
+func (p *Pipeline) classifyCached(params Params, workers int, domains []dnscore.Name, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, outs []classifyOut) (busy time.Duration, dirtyCells int) {
+	cache := p.Cache
+	if cache.dataset != p.Dataset || cache.byDomain == nil {
+		cache.reset(p.Dataset)
+	}
+	fp := params.fingerprint()
+	paramsChanged := cache.gen != 0 && cache.paramsFP != fp
+
+	// What changed since the cached generation: cells that gained records
+	// rebuild or extend; periods that gained a scan date re-classify every
+	// cell against the new scan roster (presence and edge checks shift even
+	// for domains with no new records).
+	var dirtyMask map[dnscore.Name]uint16
+	var periodMask uint16
+	dirtyCellCount := 0
+	if cache.gen != 0 {
+		cells, dirtyPeriods := p.Dataset.DirtySince(cache.gen)
+		dirtyCellCount = len(cells)
+		dirtyMask = make(map[dnscore.Name]uint16, len(cells))
+		for _, c := range cells {
+			dirtyMask[c.Domain] |= 1 << uint(c.Period)
+		}
+		for _, per := range dirtyPeriods {
+			periodMask |= 1 << uint(per)
+		}
+	}
+
+	// Cell containers are created serially — workers then write only into
+	// their own domain's fixed-size cell array.
+	cellsOf := make([]*domainCells, len(domains))
+	for i, domain := range domains {
+		dc := cache.byDomain[domain]
+		if dc == nil {
+			dc = &domainCells{}
+			cache.byDomain[domain] = dc
+		}
+		cellsOf[i] = dc
+	}
+
+	busy = parallelFor(len(domains), workers, func(i int) {
+		domain := domains[i]
+		dc := cellsOf[i]
+		o := &outs[i]
+		mask := dirtyMask[domain]
+		for _, period := range periods {
+			ps := &dc.cells[period]
+			bit := uint16(1) << uint(period)
+			scans := scansByPeriod[period]
+			recomputed := true
+			switch {
+			case !ps.built:
+				rebuildCell(p.Dataset, params, domain, period, scans, ps)
+				if ps.m != nil {
+					o.misses++
+				}
+			case mask&bit != 0:
+				extendCell(p.Dataset, params, domain, period, scans, ps)
+				if ps.m != nil {
+					o.misses++
+				}
+			case periodMask&bit != 0 || paramsChanged:
+				if ps.m != nil {
+					ps.m.TotalScans = len(scans)
+					ps.class = params.Classify(ps.m, scans)
+					o.misses++
+				}
+			default:
+				if ps.m != nil {
+					o.hits++
+				}
+				recomputed = false
+			}
+			if ps.m == nil {
+				continue
+			}
+			o.maps++
+			if dc.byPeriod == nil {
+				dc.byPeriod = make(map[simtime.Period]Category, len(periods))
+			}
+			if recomputed {
+				dc.byPeriod[period] = ps.class.Category
+			}
+			if ps.class.Category == CategoryTransient {
+				o.transients = append(o.transients, ps.class)
+			}
+		}
+		o.byPeriod = dc.byPeriod
+	})
+	cache.gen = p.Dataset.Generation()
+	cache.paramsFP = fp
+	return busy, dirtyCellCount
+}
+
+// rebuildCell computes a cell from scratch over its full record window.
+func rebuildCell(ds *scanner.Dataset, params Params, domain dnscore.Name, period simtime.Period, scans []simtime.Date, ps *cellState) {
+	window := ds.DomainRecords(domain, period.Start(), period.End())
+	ps.built = true
+	ps.recCount = len(window)
+	if len(window) == 0 {
+		ps.m, ps.class, ps.lastRec = nil, nil, nil
+		return
+	}
+	ps.lastRec = window[len(window)-1]
+	ps.m = buildMapFrom(domain, period, window, len(scans))
+	ps.class = params.Classify(ps.m, scans)
+}
+
+// extendCell folds a dirty cell's new records into its cached map when the
+// window grew by pure append (the cached prefix is untouched); any other
+// shape — out-of-order merge, shrink — falls back to a full rebuild.
+func extendCell(ds *scanner.Dataset, params Params, domain dnscore.Name, period simtime.Period, scans []simtime.Date, ps *cellState) {
+	window := ds.DomainRecords(domain, period.Start(), period.End())
+	if ps.m == nil || len(window) < ps.recCount || ps.recCount == 0 ||
+		window[ps.recCount-1] != ps.lastRec {
+		rebuildCell(ds, params, domain, period, scans, ps)
+		return
+	}
+	mergeRecords(ps.m, window[ps.recCount:])
+	ps.m.TotalScans = len(scans)
+	ps.recCount = len(window)
+	ps.lastRec = window[len(window)-1]
+	ps.class = params.Classify(ps.m, scans)
+}

@@ -143,21 +143,60 @@ func BuildMap(ds *scanner.Dataset, domain dnscore.Name, period simtime.Period) *
 	if len(records) == 0 {
 		return nil
 	}
-	byASN := make(map[ipmeta.ASN]*Deployment)
-	presentDates := make(map[simtime.Date]bool)
-	var order []ipmeta.ASN
+	return buildMapFrom(domain, period, records, len(ds.ScanDates(period.Start(), period.End())))
+}
+
+// buildMapFrom builds a map from an explicit date-sorted record window and
+// period scan count — the cold half of the incremental path.
+func buildMapFrom(domain dnscore.Name, period simtime.Period, records []*scanner.Record, totalScans int) *DeploymentMap {
+	m := &DeploymentMap{Domain: domain, Period: period, TotalScans: totalScans}
+	mergeRecords(m, records)
+	return m
+}
+
+// mergeRecords folds further date-sorted records into a deployment map.
+// Every record's date must be >= the map's last observed date, which holds
+// both for a cold build (m empty, records sorted) and for an incremental
+// extension (appended scans never predate the analyzed window — Append
+// journals out-of-order merges as full-rebuild cells). The aggregation
+// mirrors the cold build exactly — get-or-create deployments by ASN in
+// first-seen order, then a stable sort by first appearance — so extending
+// a map yields a result byte-identical to rebuilding it from the full
+// window.
+func mergeRecords(m *DeploymentMap, records []*scanner.Record) {
+	// Deployments per map number in the low single digits, so the
+	// get-or-create lookup is a linear scan instead of a throwaway map —
+	// this runs once per dirty cell per incremental Run.
+	var last simtime.Date
+	haveLast := false
+	for _, d := range m.Deployments {
+		if l := d.Last(); !haveLast || l > last {
+			last, haveLast = l, true
+		}
+	}
+	deps := m.Deployments
+	added := 0
 	for _, r := range records {
-		presentDates[r.ScanDate] = true
-		d, ok := byASN[r.ASN]
-		if !ok {
+		if !haveLast || r.ScanDate != last {
+			m.PresentScans++
+			last, haveLast = r.ScanDate, true
+		}
+		var d *Deployment
+		for _, e := range deps {
+			if e.ASN == r.ASN {
+				d = e
+				break
+			}
+		}
+		if d == nil {
 			d = &Deployment{
 				ASN:       r.ASN,
 				IPs:       make(map[netip.Addr]bool),
 				Countries: make(map[ipmeta.CountryCode]bool),
 				Certs:     make(map[x509lite.Fingerprint]*x509lite.Certificate),
 			}
-			byASN[r.ASN] = d
-			order = append(order, r.ASN)
+			deps = append(deps, d)
+			added++
 		}
 		d.IPs[r.IP] = true
 		d.Countries[r.Country] = true
@@ -167,17 +206,16 @@ func BuildMap(ds *scanner.Dataset, domain dnscore.Name, period simtime.Period) *
 			d.ScanDates = append(d.ScanDates, r.ScanDate)
 		}
 	}
-	m := &DeploymentMap{
-		Domain:       domain,
-		Period:       period,
-		PresentScans: len(presentDates),
-		TotalScans:   len(ds.ScanDates(period.Start(), period.End())),
+	m.Deployments = deps
+	if added == 0 {
+		// Extension that touched only existing deployments: their First
+		// dates are unchanged, so the order is already the cold build's.
+		return
 	}
-	for _, asn := range order {
-		m.Deployments = append(m.Deployments, byASN[asn])
-	}
+	// New deployments start at dates >= every existing deployment's first
+	// date, so the stable sort reproduces the cold build's order: ties on
+	// First keep existing (earlier-seen) deployments ahead.
 	sort.SliceStable(m.Deployments, func(i, j int) bool {
 		return m.Deployments[i].First() < m.Deployments[j].First()
 	})
-	return m
 }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"retrodns/internal/scanner"
+)
+
+// incrementalWorld wires a cached pipeline over an Append-fed dataset and
+// keeps the raw scan series for cold replays.
+func incrementalWorld(t *testing.T, workers int, stitch bool) ([]worldScan, *Pipeline) {
+	t.Helper()
+	scans, db, log, meta := pipelineWorldData(t)
+	params := DefaultParams()
+	params.StitchPeriods = stitch
+	pipe := &Pipeline{
+		Params:  params,
+		Dataset: scanner.NewDataset(),
+		Meta:    meta,
+		PDNS:    db,
+		CT:      log,
+		Workers: workers,
+		Cache:   NewClassifyCache(),
+	}
+	return scans, pipe
+}
+
+// coldRunThrough rebuilds a fresh dataset from scans[:n] and runs an
+// uncached single-worker pipeline over it — the ground truth the
+// incremental path must match byte for byte.
+func coldRunThrough(t *testing.T, src *Pipeline, scans []worldScan, n int) *Result {
+	t.Helper()
+	ds := scanner.NewDataset()
+	for _, s := range scans[:n] {
+		ds.AddScan(s.date, s.recs)
+	}
+	cold := &Pipeline{
+		Params:  src.Params,
+		Dataset: ds,
+		Meta:    src.Meta,
+		PDNS:    src.PDNS,
+		CT:      src.CT,
+		Workers: 1,
+	}
+	return cold.Run()
+}
+
+// TestIncrementalReplayEquivalence replays the fabricated study one scan
+// at a time through Append + a cached pipeline and requires the Result
+// after every step to be identical to a cold full run over the same
+// prefix — for serial and 8-way workers, with and without stitching.
+func TestIncrementalReplayEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		for _, stitch := range []bool{false, true} {
+			scans, pipe := incrementalWorld(t, workers, stitch)
+			for i, s := range scans {
+				pipe.Dataset.Append(s.date, s.recs)
+				got := pipe.Run()
+				want := coldRunThrough(t, pipe, scans, i+1)
+				requireIdenticalResults(t, got, want)
+				if t.Failed() {
+					t.Fatalf("diverged at scan %d (%s), workers=%d stitch=%v", i, s.date, workers, stitch)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalOutOfOrderAppend appends the study in reverse scan order
+// — every Append lands before the analyzed window, forcing the
+// out-of-order merge and full-rebuild paths — and still requires
+// equivalence with a cold run over the same (re-sorted) records.
+func TestIncrementalOutOfOrderAppend(t *testing.T) {
+	scans, pipe := incrementalWorld(t, 4, false)
+	for i := len(scans) - 1; i >= 0; i-- {
+		s := scans[i]
+		pipe.Dataset.Append(s.date, s.recs)
+		got := pipe.Run()
+
+		ds := scanner.NewDataset()
+		for _, c := range scans[i:] {
+			ds.AddScan(c.date, c.recs)
+		}
+		cold := &Pipeline{Params: pipe.Params, Dataset: ds, Meta: pipe.Meta, PDNS: pipe.PDNS, CT: pipe.CT, Workers: 1}
+		want := cold.Run()
+		requireIdenticalResults(t, got, want)
+		if t.Failed() {
+			t.Fatalf("diverged at reverse step %d (%s)", i, s.date)
+		}
+	}
+}
+
+// TestIncrementalCacheCounters pins the hit/miss accounting: a cold
+// cached run misses every map, an unchanged re-run hits every map, and a
+// params change invalidates all classifications again.
+func TestIncrementalCacheCounters(t *testing.T) {
+	pipe := buildPipelineWorld(t)
+	pipe.Cache = NewClassifyCache()
+
+	first := pipe.Run()
+	if first.Stats.CacheHits != 0 {
+		t.Errorf("cold run hits = %d", first.Stats.CacheHits)
+	}
+	if first.Stats.CacheMisses != first.Funnel.Maps {
+		t.Errorf("cold run misses = %d, want maps = %d", first.Stats.CacheMisses, first.Funnel.Maps)
+	}
+	if first.Stats.DirtyCells != 0 {
+		t.Errorf("cold run dirty cells = %d", first.Stats.DirtyCells)
+	}
+	if first.Stats.Generation == 0 {
+		t.Error("cached run recorded generation 0")
+	}
+
+	second := pipe.Run()
+	requireIdenticalResults(t, first, second)
+	if second.Stats.CacheHits != second.Funnel.Maps || second.Stats.CacheMisses != 0 {
+		t.Errorf("clean re-run hits=%d misses=%d, want hits=maps=%d misses=0",
+			second.Stats.CacheHits, second.Stats.CacheMisses, second.Funnel.Maps)
+	}
+	if !strings.Contains(second.Stats.String(), "cache:") {
+		t.Errorf("stats string missing cache line:\n%s", second.Stats.String())
+	}
+
+	// A params change keeps the maps but re-classifies every cell.
+	pipe.Params.TransientMaxDays = 60
+	third := pipe.Run()
+	if third.Stats.CacheMisses != third.Funnel.Maps || third.Stats.CacheHits != 0 {
+		t.Errorf("params-change run hits=%d misses=%d, want all %d missed",
+			third.Stats.CacheHits, third.Stats.CacheMisses, third.Funnel.Maps)
+	}
+	cold := buildPipelineWorld(t)
+	cold.Params.TransientMaxDays = 60
+	requireIdenticalResults(t, third, cold.Run())
+}

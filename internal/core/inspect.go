@@ -102,13 +102,17 @@ func (i *Inspector) nsEvidence(domain dnscore.Name, w window) (baseline, changed
 // redirections finds pDNS rows showing a name under the domain resolving to
 // one of the transient deployment's IPs inside the window.
 func (i *Inspector) redirections(domain dnscore.Name, t *Deployment, w window) []pdns.Entry {
+	ips := make([]string, 0, len(t.IPs))
+	for ip := range t.IPs {
+		ips = append(ips, ip.String())
+	}
 	var out []pdns.Entry
 	for _, e := range i.PDNS.SubdomainResolutions(domain) {
 		if e.Type != dnscore.TypeA || !w.contains(e.FirstSeen) {
 			continue
 		}
-		for ip := range t.IPs {
-			if e.Data == ip.String() {
+		for _, ip := range ips {
+			if e.Data == ip {
 				out = append(out, e)
 				break
 			}

@@ -69,6 +69,14 @@ type PipelineStats struct {
 	Total time.Duration
 	// Stages lists the per-stage counters in execution order.
 	Stages []StageStats
+	// CacheHits and CacheMisses count (domain, period) cells whose
+	// classification was reused versus recomputed, when the pipeline runs
+	// with a ClassifyCache. DirtyCells is the number of cells the dataset
+	// journaled as having gained records since the cached generation.
+	CacheHits, CacheMisses, DirtyCells int
+	// Generation is the dataset generation this run analyzed (0 when the
+	// run was uncached).
+	Generation uint64
 }
 
 // Stage returns the named stage's stats, or a zero StageStats.
@@ -87,6 +95,10 @@ func (p PipelineStats) String() string {
 	fmt.Fprintf(&sb, "pipeline stages (workers=%d, total %s):\n", p.Workers, p.Total.Round(time.Microsecond))
 	for _, s := range p.Stages {
 		fmt.Fprintf(&sb, "  %s\n", s)
+	}
+	if p.Generation > 0 {
+		fmt.Fprintf(&sb, "  cache:    hits=%d misses=%d dirty-cells=%d (dataset generation %d)\n",
+			p.CacheHits, p.CacheMisses, p.DirtyCells, p.Generation)
 	}
 	return sb.String()
 }

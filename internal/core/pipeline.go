@@ -35,6 +35,23 @@ type Pipeline struct {
 	// runtime.GOMAXPROCS(0). The result is byte-identical regardless of
 	// the setting.
 	Workers int
+	// Cache, when set, memoizes build-and-classify across Runs over the
+	// same dataset: only cells the dataset journaled as dirty since the
+	// last analyzed generation recompute, the rest replay verbatim. The
+	// Result stays byte-identical to an uncached run (asserted by
+	// TestIncrementalReplayEquivalence). A cache belongs to one pipeline
+	// at a time: Run mutates it without locking.
+	Cache *ClassifyCache
+}
+
+// classifyOut is one domain's slot of the build-and-classify stage: both
+// the cold and the cached path fill these identically, so the merge below
+// them is shared.
+type classifyOut struct {
+	byPeriod     map[simtime.Period]Category
+	maps         int
+	transients   []*Classification
+	hits, misses int
 }
 
 // workerCount resolves the Workers knob.
@@ -167,34 +184,37 @@ func (p *Pipeline) Run() *Result {
 		scansByPeriod[period] = p.Dataset.ScanDates(period.Start(), period.End())
 	}
 	res.Funnel.Domains = len(domains)
-	type classifyOut struct {
-		byPeriod   map[simtime.Period]Category
-		maps       int
-		transients []*Classification
-	}
 	outs := make([]classifyOut, len(domains))
-	busy := parallelFor(len(domains), workers, func(i int) {
-		o := &outs[i]
-		for _, period := range periods {
-			m := BuildMap(p.Dataset, domains[i], period)
-			if m == nil {
-				continue
+	var busy time.Duration
+	if p.Cache != nil {
+		busy, res.Stats.DirtyCells = p.classifyCached(params, workers, domains, periods, scansByPeriod, outs)
+		res.Stats.Generation = p.Dataset.Generation()
+	} else {
+		busy = parallelFor(len(domains), workers, func(i int) {
+			o := &outs[i]
+			for _, period := range periods {
+				m := BuildMap(p.Dataset, domains[i], period)
+				if m == nil {
+					continue
+				}
+				o.maps++
+				c := params.Classify(m, scansByPeriod[period])
+				if o.byPeriod == nil {
+					o.byPeriod = make(map[simtime.Period]Category, len(periods))
+				}
+				o.byPeriod[period] = c.Category
+				if c.Category == CategoryTransient {
+					o.transients = append(o.transients, c)
+				}
 			}
-			o.maps++
-			c := params.Classify(m, scansByPeriod[period])
-			if o.byPeriod == nil {
-				o.byPeriod = make(map[simtime.Period]Category, len(periods))
-			}
-			o.byPeriod[period] = c.Category
-			if c.Category == CategoryTransient {
-				o.transients = append(o.transients, c)
-			}
-		}
-	})
+		})
+	}
 	var transientClasses []*Classification
 	for i, domain := range domains {
 		o := outs[i]
 		res.Funnel.Maps += o.maps
+		res.Stats.CacheHits += o.hits
+		res.Stats.CacheMisses += o.misses
 		if o.byPeriod != nil {
 			res.History[domain] = o.byPeriod
 		}
@@ -333,7 +353,7 @@ func rollupCategory(byPeriod map[simtime.Period]Category) Category {
 	if len(byPeriod) == 0 {
 		return CategoryNoisy
 	}
-	counts := make(map[Category]int)
+	var counts [CategoryNoisy + 1]int
 	for _, c := range byPeriod {
 		counts[c]++
 	}

@@ -16,7 +16,16 @@ import (
 	"retrodns/internal/x509lite"
 )
 
-// buildPipelineWorld fabricates a multi-domain dataset over periods 0–2:
+// worldScan is one scan of the fabricated pipeline world, in date order —
+// the replayable form the incremental tests feed through Dataset.Append
+// one scan at a time.
+type worldScan struct {
+	date simtime.Date
+	recs []*scanner.Record
+}
+
+// pipelineWorldData fabricates the multi-domain scan series and evidence
+// sources over periods 0–2:
 //
 //   - 10 stable domains;
 //   - 1 transition domain (provider switch in period 1);
@@ -25,9 +34,8 @@ import (
 //   - 1 T2 prelude victim (truly anomalous, targeted);
 //   - 1 pivot-only victim visible exclusively in pDNS (P-NS);
 //   - 1 benign-transient domain pruned for same-country.
-func buildPipelineWorld(t *testing.T) *Pipeline {
+func pipelineWorldData(t *testing.T) ([]worldScan, *pdns.DB, *ctlog.Log, *ipmeta.Directory) {
 	t.Helper()
-	ds := scanner.NewDataset()
 	db := pdns.NewDB()
 	log := ctlog.NewLog("sim", 5000)
 	meta := ipmeta.NewDirectory()
@@ -86,6 +94,7 @@ func buildPipelineWorld(t *testing.T) *Pipeline {
 	}
 
 	// Scans.
+	var scans []worldScan
 	for _, period := range periods {
 		for _, d := range simtime.ScansInPeriod(period) {
 			var recs []*scanner.Record
@@ -112,7 +121,7 @@ func buildPipelineWorld(t *testing.T) *Pipeline {
 				// Benign transient: same country as stable → pruned.
 				recs = append(recs, rec(d, "84.205.9.9", 64999, "GR", benignTNew))
 			}
-			ds.AddScan(d, recs)
+			scans = append(scans, worldScan{date: d, recs: recs})
 		}
 	}
 
@@ -136,6 +145,18 @@ func buildPipelineWorld(t *testing.T) *Pipeline {
 	db.Record(hijackScan+3, "pivot-victim.gov.kg", dnscore.TypeNS, "ns1.kg-infocom.ru")
 	db.Record(hijackScan+3, "mail.pivot-victim.gov.kg", dnscore.TypeA, "178.20.41.140")
 
+	return scans, db, log, meta
+}
+
+// buildPipelineWorld loads the fabricated world into a bulk-ingested
+// dataset, the way a cold retroactive run consumes it.
+func buildPipelineWorld(t *testing.T) *Pipeline {
+	t.Helper()
+	scans, db, log, meta := pipelineWorldData(t)
+	ds := scanner.NewDataset()
+	for _, s := range scans {
+		ds.AddScan(s.date, s.recs)
+	}
 	return &Pipeline{Params: DefaultParams(), Dataset: ds, Meta: meta, PDNS: db, CT: log}
 }
 

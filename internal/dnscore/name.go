@@ -169,19 +169,29 @@ func RegisterPublicSuffix(suffix Name) { multiLabelSuffixes[suffix] = true }
 // simulation controls its own namespace, so only suffixes registered via
 // RegisterPublicSuffix (plus all single-label TLDs) exist.
 func (n Name) RegisteredDomain() Name {
-	labels := n.Labels()
-	if len(labels) < 2 || multiLabelSuffixes[n] {
+	if multiLabelSuffixes[n] {
 		return ""
 	}
-	// Check for a multi-label suffix match: need at least one label above it.
-	for i := 1; i < len(labels)-1; i++ {
-		suffix := Name(strings.Join(labels[i:], "."))
-		if multiLabelSuffixes[suffix] {
-			return Name(strings.Join(labels[i-1:], "."))
+	// Allocation-free: every candidate suffix and the result are
+	// substrings of n, so the hot loops that call this per SAN (dataset
+	// ingest, shortlisting, pivoting) never touch the heap.
+	s := string(n)
+	last := strings.LastIndexByte(s, '.')
+	if last < 0 {
+		return "" // fewer than two labels
+	}
+	prev := -1 // dot preceding the suffix under test
+	for d := strings.IndexByte(s, '.'); d != last; {
+		// The suffix after d has at least two labels; longest first, so
+		// the first registered match wins.
+		if multiLabelSuffixes[n[d+1:]] {
+			return n[prev+1:]
 		}
+		prev = d
+		d = prev + 1 + strings.IndexByte(s[prev+1:], '.')
 	}
 	// Single-label TLD: registrable domain is the last two labels.
-	return Name(strings.Join(labels[len(labels)-2:], "."))
+	return n[prev+1:]
 }
 
 // TLD returns the rightmost label, or "" for the root.

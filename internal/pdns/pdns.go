@@ -53,6 +53,10 @@ type DB struct {
 	rows   map[Key]*Entry
 	byName map[dnscore.Name][]*Entry
 	byData map[string][]*Entry
+	// byApex groups rows by the registered domain of their name, so the
+	// subdomain query the inspector issues per candidate scans one apex's
+	// rows instead of the whole corpus.
+	byApex map[dnscore.Name][]*Entry
 	n      int
 }
 
@@ -62,6 +66,7 @@ func NewDB() *DB {
 		rows:   make(map[Key]*Entry),
 		byName: make(map[dnscore.Name][]*Entry),
 		byData: make(map[string][]*Entry),
+		byApex: make(map[dnscore.Name][]*Entry),
 	}
 }
 
@@ -76,6 +81,9 @@ func (d *DB) Record(date simtime.Date, name dnscore.Name, typ dnscore.Type, data
 		d.rows[k] = e
 		d.byName[name] = append(d.byName[name], e)
 		d.byData[data] = append(d.byData[data], e)
+		if apex := name.RegisteredDomain(); apex != "" {
+			d.byApex[apex] = append(d.byApex[apex], e)
+		}
 		d.n++
 	}
 	if date < e.FirstSeen {
@@ -152,16 +160,28 @@ func (d *DB) WhoResolvedTo(data string) []Entry {
 
 // SubdomainResolutions returns rows for every observed name at or under
 // domain, sorted by name then first-seen.
+//
+// When domain is itself a registered domain the apex index answers the
+// query directly; only suffix-level queries (a TLD, a public suffix) fall
+// back to scanning every name.
 func (d *DB) SubdomainResolutions(domain dnscore.Name) []Entry {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	var out []Entry
-	for name, entries := range d.byName {
-		if !name.IsSubdomainOf(domain) {
-			continue
+	if domain.RegisteredDomain() == domain {
+		for _, e := range d.byApex[domain] {
+			if e.Name.IsSubdomainOf(domain) {
+				out = append(out, *e)
+			}
 		}
-		for _, e := range entries {
-			out = append(out, *e)
+	} else {
+		for name, entries := range d.byName {
+			if !name.IsSubdomainOf(domain) {
+				continue
+			}
+			for _, e := range entries {
+				out = append(out, *e)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

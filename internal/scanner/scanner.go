@@ -189,87 +189,276 @@ func (s *Scanner) RunStudyEvery(from, to simtime.Date, everyDays int) *Dataset {
 	return ds
 }
 
+// datasetIndex is one immutable snapshot of the frozen dataset's read
+// indexes. Append publishes a fresh snapshot through an atomic pointer, so
+// readers holding an older snapshot keep a consistent view with no locks.
+// Per-domain record slices may share backing arrays across generations:
+// Append only ever grows a slice in place when the new record sorts last,
+// and a reader never indexes beyond its own snapshot's length, so the
+// sharing is race-free under the single-writer mutex.
+type datasetIndex struct {
+	// generation counts publishes: 1 for the Freeze snapshot, +1 per Append.
+	generation uint64
+	// byDomain maps a registered domain to every record whose certificate
+	// secures a name under it, sorted by scan date (stable, preserving
+	// ingest order within a date).
+	byDomain map[dnscore.Name][]*Record
+	// domains is the sorted domain list.
+	domains []dnscore.Name
+	// scanDates is the sorted list of ingested scan dates.
+	scanDates []simtime.Date
+	// periods is the sorted distinct study periods with scans.
+	periods []simtime.Period
+	records int
+}
+
+// DirtyCell identifies one (domain, period) analysis cell that gained
+// records since some generation — the unit of cache invalidation in the
+// incremental pipeline.
+type DirtyCell struct {
+	Domain dnscore.Name
+	Period simtime.Period
+}
+
 // Dataset indexes scan records the way the pipeline consumes them: by the
 // registered domain of each secured name. It is safe for concurrent reads
-// after loading, and after Freeze every read path is lock-free and
+// after loading; after Freeze every read path is lock-free and
 // period-window lookups run in O(log n) by binary search over presorted
-// per-domain record slices.
+// per-domain record slices. Append ingests further scans without thawing:
+// each call publishes a fresh index snapshot, bumps the dataset
+// generation, and journals which (domain, period) cells gained records so
+// incremental consumers can recompute only the delta.
 type Dataset struct {
 	mu sync.RWMutex
-	// byDomain maps a registered domain to every record whose certificate
-	// secures a name under it. After Freeze, each slice is sorted by scan
-	// date (stable, preserving ingest order within a date).
-	byDomain map[dnscore.Name][]*Record
-	// scanDates lists the scan dates ingested, in ingest order until
-	// Freeze sorts them ascending.
+	// byDomain and scanDates accumulate the ingest-order records before
+	// Freeze; freezeLocked moves them into the first index snapshot.
+	byDomain  map[dnscore.Name][]*Record
 	scanDates []simtime.Date
 	records   int
 
-	// frozen flips once Freeze has built the read indexes. After that the
-	// read paths skip the mutex entirely and AddScan panics: the flag is
-	// stored with release semantics after every index is in place, so a
-	// reader observing frozen==true also observes the sorted slices.
-	frozen atomic.Bool
-	// domains caches the sorted domain list (built by Freeze).
-	domains []dnscore.Name
-	// periods caches the sorted distinct study periods with scans.
-	periods []simtime.Period
+	// idx holds the current immutable index snapshot, nil until Freeze.
+	// Readers load it once per call; Append swaps in a successor under mu.
+	idx atomic.Pointer[datasetIndex]
+
+	// dirtyCells journals, per (domain, period) cell, the generation at
+	// which it last gained records; dirtyPeriods journals the generation at
+	// which a period last gained a scan date (which changes the period's
+	// scan roster for every domain, not just those with new records).
+	dirtyCells   map[DirtyCell]uint64
+	dirtyPeriods map[simtime.Period]uint64
 }
 
 // NewDataset creates an empty dataset.
 func NewDataset() *Dataset {
-	return &Dataset{byDomain: make(map[dnscore.Name][]*Record)}
+	return &Dataset{
+		byDomain:     make(map[dnscore.Name][]*Record),
+		dirtyCells:   make(map[DirtyCell]uint64),
+		dirtyPeriods: make(map[simtime.Period]uint64),
+	}
 }
 
 // AddScan ingests the records of one weekly scan. It panics on a frozen
-// dataset: Freeze trades mutability for lock-free indexed reads.
+// dataset: use Append for post-freeze ingest.
 func (d *Dataset) AddScan(date simtime.Date, records []*Record) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.frozen.Load() {
-		panic("scanner: AddScan on a frozen Dataset")
+	if d.idx.Load() != nil {
+		panic("scanner: AddScan on a frozen Dataset (use Append)")
 	}
 	d.scanDates = append(d.scanDates, date)
 	d.records += len(records)
+	// SAN lists are short (a handful of names), so apex dedupe is a linear
+	// scan over a scratch slice hoisted out of the record loop — no
+	// per-record map allocation.
+	var apexes []dnscore.Name
 	for _, r := range records {
-		seen := make(map[dnscore.Name]bool)
+		apexes = apexes[:0]
 		for _, san := range r.Cert.SANs {
 			apex := san.RegisteredDomain()
-			if apex == "" || seen[apex] {
+			if apex == "" || containsName(apexes, apex) {
 				continue
 			}
-			seen[apex] = true
+			apexes = append(apexes, apex)
 			d.byDomain[apex] = append(d.byDomain[apex], r)
 		}
 	}
 }
 
-// Freeze ends the ingest phase and builds the read indexes: each domain's
-// records are stably sorted by scan date once, the domain list and scan
-// dates are sorted and cached, and every subsequent read is lock-free.
-// Freeze is idempotent and safe to call concurrently; AddScan panics
-// afterwards.
+// containsName reports whether names holds n (linear scan; used where the
+// slice is known to stay tiny).
+func containsName(names []dnscore.Name, n dnscore.Name) bool {
+	for _, m := range names {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Freeze ends the bulk-ingest phase and builds the read indexes: each
+// domain's records are stably sorted by scan date once, the domain list
+// and scan dates are sorted and cached, and every subsequent read is
+// lock-free. Freeze is idempotent and safe to call concurrently; AddScan
+// panics afterwards, Append continues ingest incrementally.
 func (d *Dataset) Freeze() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.frozen.Load() {
+	d.freezeLocked()
+}
+
+// freezeLocked builds and publishes the generation-1 snapshot, taking
+// ownership of the ingest-phase containers. Caller holds d.mu.
+func (d *Dataset) freezeLocked() {
+	if d.idx.Load() != nil {
 		return
 	}
-	for _, recs := range d.byDomain {
+	idx := &datasetIndex{
+		generation: 1,
+		byDomain:   d.byDomain,
+		scanDates:  d.scanDates,
+		records:    d.records,
+	}
+	for _, recs := range idx.byDomain {
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].ScanDate < recs[j].ScanDate })
 	}
-	d.domains = make([]dnscore.Name, 0, len(d.byDomain))
-	for n := range d.byDomain {
-		d.domains = append(d.domains, n)
+	idx.domains = make([]dnscore.Name, 0, len(idx.byDomain))
+	for n := range idx.byDomain {
+		idx.domains = append(idx.domains, n)
 	}
-	sort.Slice(d.domains, func(i, j int) bool { return d.domains[i] < d.domains[j] })
-	sort.Slice(d.scanDates, func(i, j int) bool { return d.scanDates[i] < d.scanDates[j] })
-	d.periods = periodsOf(d.scanDates)
-	d.frozen.Store(true)
+	sort.Slice(idx.domains, func(i, j int) bool { return idx.domains[i] < idx.domains[j] })
+	sort.Slice(idx.scanDates, func(i, j int) bool { return idx.scanDates[i] < idx.scanDates[j] })
+	idx.periods = periodsOf(idx.scanDates)
+	d.byDomain, d.scanDates = nil, nil
+	d.idx.Store(idx)
 }
 
 // Frozen reports whether Freeze has run.
-func (d *Dataset) Frozen() bool { return d.frozen.Load() }
+func (d *Dataset) Frozen() bool { return d.idx.Load() != nil }
+
+// Generation returns the dataset's index generation: 0 before Freeze, 1
+// after, +1 per Append. Incremental consumers record the generation they
+// analyzed and later ask DirtySince what changed.
+func (d *Dataset) Generation() uint64 {
+	if idx := d.idx.Load(); idx != nil {
+		return idx.generation
+	}
+	return 0
+}
+
+// Append ingests the records of one scan into a frozen dataset without
+// thawing: per-domain indexes are maintained by merge-in-place, a fresh
+// immutable snapshot is published for lock-free readers, the generation
+// advances, and the (domain, period) cells that gained records are
+// journaled for DirtySince. Freeze is implied if it has not run yet.
+// Records carrying a ScanDate other than date are merged where their own
+// date sorts.
+func (d *Dataset) Append(date simtime.Date, records []*Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.freezeLocked()
+	old := d.idx.Load()
+	next := &datasetIndex{
+		generation: old.generation + 1,
+		byDomain:   make(map[dnscore.Name][]*Record, len(old.byDomain)),
+		domains:    old.domains,
+		records:    old.records + len(records),
+	}
+	for n, recs := range old.byDomain {
+		next.byDomain[n] = recs
+	}
+	next.scanDates = insertDate(old.scanDates, date)
+	next.periods = periodsOf(next.scanDates)
+	if date.InStudy() {
+		d.dirtyPeriods[simtime.PeriodOf(date)] = next.generation
+	}
+	var newDomains []dnscore.Name
+	var apexes []dnscore.Name
+	for _, r := range records {
+		apexes = apexes[:0]
+		for _, san := range r.Cert.SANs {
+			apex := san.RegisteredDomain()
+			if apex == "" || containsName(apexes, apex) {
+				continue
+			}
+			apexes = append(apexes, apex)
+			recs, existed := next.byDomain[apex]
+			next.byDomain[apex] = insertRecord(recs, r)
+			if !existed && !containsName(newDomains, apex) {
+				newDomains = append(newDomains, apex)
+			}
+			if r.ScanDate.InStudy() {
+				d.dirtyCells[DirtyCell{apex, simtime.PeriodOf(r.ScanDate)}] = next.generation
+			}
+		}
+	}
+	if len(newDomains) > 0 {
+		next.domains = make([]dnscore.Name, 0, len(old.domains)+len(newDomains))
+		next.domains = append(next.domains, old.domains...)
+		next.domains = append(next.domains, newDomains...)
+		sort.Slice(next.domains, func(i, j int) bool { return next.domains[i] < next.domains[j] })
+	}
+	d.idx.Store(next)
+}
+
+// insertRecord merges r into a date-sorted record slice, preserving the
+// stable order (a record ties after existing records of its date). The
+// common case — r's date sorts last — is a pure append, which may grow the
+// shared backing array in place: safe, because concurrent readers bound
+// themselves by their own snapshot's length. Out-of-order merges copy.
+func insertRecord(recs []*Record, r *Record) []*Record {
+	if n := len(recs); n == 0 || recs[n-1].ScanDate <= r.ScanDate {
+		return append(recs, r)
+	}
+	i := sort.Search(len(recs), func(k int) bool { return recs[k].ScanDate > r.ScanDate })
+	out := make([]*Record, 0, len(recs)+1)
+	out = append(out, recs[:i]...)
+	out = append(out, r)
+	out = append(out, recs[i:]...)
+	return out
+}
+
+// insertDate merges date into a sorted date slice, always copying so prior
+// snapshots never observe the mutation.
+func insertDate(dates []simtime.Date, date simtime.Date) []simtime.Date {
+	i := sort.Search(len(dates), func(k int) bool { return dates[k] > date })
+	out := make([]simtime.Date, 0, len(dates)+1)
+	out = append(out, dates[:i]...)
+	out = append(out, date)
+	out = append(out, dates[i:]...)
+	return out
+}
+
+// DirtySince reports what changed after the given generation: the
+// (domain, period) cells that gained records, and the study periods that
+// gained scan dates (every domain's cell in such a period must be
+// re-examined — the period's scan roster feeds presence and edge checks
+// even for domains with no new records). Both slices are sorted for
+// deterministic consumption. DirtySince(0) reports everything journaled
+// since Freeze.
+func (d *Dataset) DirtySince(gen uint64) ([]DirtyCell, []simtime.Period) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var cells []DirtyCell
+	for c, g := range d.dirtyCells {
+		if g > gen {
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Domain != cells[j].Domain {
+			return cells[i].Domain < cells[j].Domain
+		}
+		return cells[i].Period < cells[j].Period
+	})
+	var periods []simtime.Period
+	for p, g := range d.dirtyPeriods {
+		if g > gen {
+			periods = append(periods, p)
+		}
+	}
+	sort.Slice(periods, func(i, j int) bool { return periods[i] < periods[j] })
+	return cells, periods
+}
 
 // periodsOf reduces sorted scan dates to the distinct study periods.
 func periodsOf(dates []simtime.Date) []simtime.Period {
@@ -287,10 +476,11 @@ func periodsOf(dates []simtime.Date) []simtime.Period {
 }
 
 // Domains returns every registered domain with at least one record, sorted.
-// On a frozen dataset the cached slice is returned; treat it as read-only.
+// On a frozen dataset the snapshot's cached slice is returned; treat it as
+// read-only.
 func (d *Dataset) Domains() []dnscore.Name {
-	if d.frozen.Load() {
-		return d.domains
+	if idx := d.idx.Load(); idx != nil {
+		return idx.domains
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -306,8 +496,8 @@ func (d *Dataset) Domains() []dnscore.Name {
 // dataset's scan dates. On a frozen dataset the cached slice is returned;
 // treat it as read-only.
 func (d *Dataset) Periods() []simtime.Period {
-	if d.frozen.Load() {
-		return d.periods
+	if idx := d.idx.Load(); idx != nil {
+		return idx.periods
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -321,8 +511,8 @@ func (d *Dataset) Periods() []simtime.Period {
 // frozen dataset this is a lock-free binary search returning a window of
 // the shared presorted slice; treat it as read-only.
 func (d *Dataset) DomainRecords(domain dnscore.Name, from, to simtime.Date) []*Record {
-	if d.frozen.Load() {
-		return windowRecords(d.byDomain[domain], from, to)
+	if idx := d.idx.Load(); idx != nil {
+		return windowRecords(idx.byDomain[domain], from, to)
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -359,8 +549,8 @@ func windowRecords(recs []*Record, from, to simtime.Date) []*Record {
 // search returning a window of the shared sorted slice; treat it as
 // read-only.
 func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
-	if d.frozen.Load() {
-		dates := d.scanDates
+	if idx := d.idx.Load(); idx != nil {
+		dates := idx.scanDates
 		lo := sort.Search(len(dates), func(i int) bool { return dates[i] >= from })
 		hi := len(dates)
 		if to > 0 {
@@ -384,8 +574,8 @@ func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
 
 // Size returns (domains, records) counts.
 func (d *Dataset) Size() (int, int) {
-	if d.frozen.Load() {
-		return len(d.byDomain), d.records
+	if idx := d.idx.Load(); idx != nil {
+		return len(idx.byDomain), idx.records
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()

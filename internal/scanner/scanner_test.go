@@ -308,6 +308,179 @@ func TestDatasetConcurrentReads(t *testing.T) {
 	wg.Wait()
 }
 
+// TestAppendEquivalence requires Append-fed datasets to index records
+// exactly like bulk AddScan + Freeze, in forward and reverse ingest order.
+func TestAppendEquivalence(t *testing.T) {
+	f := setup(t)
+	var dates []simtime.Date
+	for d := simtime.Date(0); d < 200; d += 7 {
+		dates = append(dates, d)
+	}
+	scans := make(map[simtime.Date][]*Record, len(dates))
+	for _, d := range dates {
+		scans[d] = f.scanner.ScanWeek(d)
+	}
+
+	bulk := NewDataset()
+	for _, d := range dates {
+		bulk.AddScan(d, scans[d])
+	}
+	bulk.Freeze()
+
+	// Half bulk-ingested, half appended.
+	half := NewDataset()
+	mid := len(dates) / 2
+	for _, d := range dates[:mid] {
+		half.AddScan(d, scans[d])
+	}
+	for _, d := range dates[mid:] {
+		half.Append(d, scans[d])
+	}
+
+	// Fully appended, newest scan first: every merge is out of order.
+	reverse := NewDataset()
+	for i := len(dates) - 1; i >= 0; i-- {
+		reverse.Append(dates[i], scans[dates[i]])
+	}
+
+	for name, ds := range map[string]*Dataset{"half-appended": half, "reverse-appended": reverse} {
+		if !ds.Frozen() {
+			t.Fatalf("%s: not frozen after Append", name)
+		}
+		if !reflect.DeepEqual(ds.Domains(), bulk.Domains()) {
+			t.Errorf("%s: Domains = %v, want %v", name, ds.Domains(), bulk.Domains())
+		}
+		if !reflect.DeepEqual(ds.Periods(), bulk.Periods()) {
+			t.Errorf("%s: Periods = %v, want %v", name, ds.Periods(), bulk.Periods())
+		}
+		if !reflect.DeepEqual(ds.ScanDates(0, 0), bulk.ScanDates(0, 0)) {
+			t.Errorf("%s: ScanDates differ", name)
+		}
+		gd, gr := ds.Size()
+		wd, wr := bulk.Size()
+		if gd != wd || gr != wr {
+			t.Errorf("%s: Size = (%d,%d), want (%d,%d)", name, gd, gr, wd, wr)
+		}
+		for _, domain := range bulk.Domains() {
+			for _, w := range []struct{ from, to simtime.Date }{{0, 0}, {0, 100}, {50, 60}, {100, 0}} {
+				got := ds.DomainRecords(domain, w.from, w.to)
+				want := bulk.DomainRecords(domain, w.from, w.to)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %s window [%d,%d): %d records, want %d", name, domain, w.from, w.to, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: %s window [%d,%d) entry %d differs", name, domain, w.from, w.to, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAppendDirtyTracking pins the generation counter and the DirtySince
+// journal semantics the incremental pipeline relies on.
+func TestAppendDirtyTracking(t *testing.T) {
+	f := setup(t)
+	ds := NewDataset()
+	if ds.Generation() != 0 {
+		t.Fatalf("unfrozen generation = %d", ds.Generation())
+	}
+	ds.AddScan(0, f.scanner.ScanWeek(0))
+	ds.Freeze()
+	if ds.Generation() != 1 {
+		t.Fatalf("frozen generation = %d", ds.Generation())
+	}
+	cells, periods := ds.DirtySince(0)
+	if len(cells) != 0 || len(periods) != 0 {
+		t.Fatalf("freeze journaled dirt: cells=%v periods=%v", cells, periods)
+	}
+
+	ds.Append(7, f.scanner.ScanWeek(7))
+	if ds.Generation() != 2 {
+		t.Fatalf("generation after Append = %d", ds.Generation())
+	}
+	cells, periods = ds.DirtySince(1)
+	if len(cells) != 1 || cells[0] != (DirtyCell{Domain: "kyvernisi.gr", Period: 0}) {
+		t.Fatalf("dirty cells = %v", cells)
+	}
+	if len(periods) != 1 || periods[0] != 0 {
+		t.Fatalf("dirty periods = %v", periods)
+	}
+
+	// An empty scan dirties the period's roster but no cell.
+	ds.Append(14, nil)
+	cells, periods = ds.DirtySince(2)
+	if len(cells) != 0 {
+		t.Fatalf("empty append dirtied cells: %v", cells)
+	}
+	if len(periods) != 1 || periods[0] != 0 {
+		t.Fatalf("empty append dirty periods = %v", periods)
+	}
+
+	// The journal accumulates across generations and filters by gen.
+	cells, _ = ds.DirtySince(1)
+	if len(cells) != 1 {
+		t.Fatalf("DirtySince(1) cells = %v", cells)
+	}
+	if cells, periods = ds.DirtySince(ds.Generation()); len(cells) != 0 || len(periods) != 0 {
+		t.Fatalf("DirtySince(current) = %v, %v", cells, periods)
+	}
+}
+
+// TestAppendConcurrentReads interleaves Append with readers hammering the
+// lock-free read paths; run under -race by the ci target. Readers must
+// always observe a consistent snapshot: sorted windows, sizes that never
+// shrink.
+func TestAppendConcurrentReads(t *testing.T) {
+	f := setup(t)
+	ds := NewDataset()
+	ds.Append(0, f.scanner.ScanWeek(0))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			prevRecords := 0
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recs := ds.DomainRecords("kyvernisi.gr", 0, 0)
+				for k := 1; k < len(recs); k++ {
+					if recs[k].ScanDate < recs[k-1].ScanDate {
+						t.Error("records out of order")
+						return
+					}
+				}
+				dates := ds.ScanDates(0, 0)
+				for k := 1; k < len(dates); k++ {
+					if dates[k] < dates[k-1] {
+						t.Error("scan dates out of order")
+						return
+					}
+				}
+				_ = ds.Domains()
+				_ = ds.Periods()
+				_, nr := ds.Size()
+				if nr < prevRecords {
+					t.Errorf("record count shrank: %d -> %d", prevRecords, nr)
+					return
+				}
+				prevRecords = nr
+			}
+		}(g)
+	}
+	for d := simtime.Date(7); d < 400; d += 7 {
+		ds.Append(d, f.scanner.ScanWeek(d))
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestIsSensitiveName(t *testing.T) {
 	cases := []struct {
 		name dnscore.Name

@@ -162,6 +162,10 @@ type World struct {
 	tracked []trackedQuery
 
 	certSerial uint64
+
+	// clockDone marks that RunClock has advanced the daily clock, making
+	// repeat Run/RunClock calls no-ops on the event schedule.
+	clockDone bool
 }
 
 type tldInfo struct {
@@ -420,6 +424,21 @@ func (w *World) issueInternal(at simtime.Date, days int, names ...dnscore.Name) 
 // resolve the tracked names (feeding pDNS); afterwards, run the weekly
 // scanner over the whole window and return the assembled dataset.
 func (w *World) Run() *scanner.Dataset {
+	w.RunClock()
+	sc := w.Scanner()
+	cadence := w.scanCadence()
+	return sc.RunStudyEvery(simtime.StudyStart, simtime.StudyEnd, cadence)
+}
+
+// RunClock advances the daily simulation clock over the whole study
+// window without scanning, so a caller can afterwards replay the scan
+// series itself (ScanDates + Scanner().ScanWeek) — the shape the
+// incremental -follow mode consumes. Idempotent: the clock runs once.
+func (w *World) RunClock() {
+	if w.clockDone {
+		return
+	}
+	w.clockDone = true
 	for day := simtime.StudyStart; day < simtime.StudyEnd; day++ {
 		w.Sensor.SetDate(day)
 		for _, fn := range w.events[day] {
@@ -449,12 +468,30 @@ func (w *World) Run() *scanner.Dataset {
 			}
 		}
 	}
-	sc := scanner.New(w.Internet, w.Meta, w.Trust, w.CT)
-	cadence := w.Cfg.ScanCadenceDays
-	if cadence <= 0 {
-		cadence = simtime.DaysPerWeek
+}
+
+// Scanner returns a scanner over the world's hosting plane with its
+// annotation sources, for callers replaying the scan series themselves.
+func (w *World) Scanner() *scanner.Scanner {
+	return scanner.New(w.Internet, w.Meta, w.Trust, w.CT)
+}
+
+// scanCadence resolves the configured scan cadence in days.
+func (w *World) scanCadence() int {
+	if w.Cfg.ScanCadenceDays > 0 {
+		return w.Cfg.ScanCadenceDays
 	}
-	return sc.RunStudyEvery(simtime.StudyStart, simtime.StudyEnd, cadence)
+	return simtime.DaysPerWeek
+}
+
+// ScanDates lists the scan dates Run would cover at the configured
+// cadence, in order — the replay schedule for incremental ingest.
+func (w *World) ScanDates() []simtime.Date {
+	var out []simtime.Date
+	for d := simtime.StudyStart; d < simtime.StudyEnd; d += simtime.Date(w.scanCadence()) {
+		out = append(out, d)
+	}
+	return out
 }
 
 // MaliciousCerts returns the certificates attackers obtained, keyed by

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"retrodns/internal/dnscore"
 	"retrodns/internal/simtime"
@@ -74,6 +75,35 @@ type Certificate struct {
 	SubjectKeyHex string
 	// Signature authenticates the canonical encoding under the issuer key.
 	Signature []byte
+
+	// fp memoizes Fingerprint: certificates are immutable once signed and
+	// fingerprinted in several hot loops (ScanWeek, BuildMap), so the
+	// SHA-256 is computed once and shared. The atomic makes the memo itself
+	// safe under concurrent readers; Sign resets it. Because of this field,
+	// certificates must not be copied by value — use Clone.
+	fp atomic.Pointer[Fingerprint]
+}
+
+// Clone returns a deep copy of the certificate's public fields with a
+// fresh fingerprint memo. Tests that perturb a certificate start from a
+// Clone; copying a Certificate by value is rejected by go vet (the memo
+// embeds an atomic).
+func (c *Certificate) Clone() *Certificate {
+	out := &Certificate{
+		Serial:        c.Serial,
+		Subject:       c.Subject,
+		SANs:          append([]dnscore.Name(nil), c.SANs...),
+		Issuer:        c.Issuer,
+		IssuerID:      c.IssuerID,
+		NotBefore:     c.NotBefore,
+		NotAfter:      c.NotAfter,
+		Method:        c.Method,
+		IsCA:          c.IsCA,
+		SubjectKeyID:  c.SubjectKeyID,
+		SubjectKeyHex: c.SubjectKeyHex,
+		Signature:     append([]byte(nil), c.Signature...),
+	}
+	return out
 }
 
 // Errors from verification.
@@ -106,14 +136,19 @@ func (c *Certificate) canonical() []byte {
 	return b
 }
 
-// Fingerprint computes the certificate's identity digest. The signature is
-// included so re-issued certificates with fresh signatures are distinct.
+// Fingerprint computes the certificate's identity digest, memoized after
+// the first call. The signature is included so re-issued certificates with
+// fresh signatures are distinct; Sign invalidates the memo.
 func (c *Certificate) Fingerprint() Fingerprint {
+	if p := c.fp.Load(); p != nil {
+		return *p
+	}
 	h := sha256.New()
 	h.Write(c.canonical())
 	h.Write(c.Signature)
 	var out Fingerprint
 	copy(out[:], h.Sum(nil))
+	c.fp.Store(&out)
 	return out
 }
 
@@ -171,11 +206,13 @@ func NewSigningKey(id string, seed int64) *SigningKey {
 }
 
 // Sign seals the certificate under the key, setting IssuerID and Signature.
+// Any memoized fingerprint is invalidated: the digest covers the signature.
 func (k *SigningKey) Sign(c *Certificate) {
 	c.IssuerID = k.ID
 	mac := hmac.New(sha256.New, k.key)
 	mac.Write(c.canonical())
 	c.Signature = mac.Sum(nil)
+	c.fp.Store(nil)
 }
 
 // Verify checks the certificate's signature under the key and validity at

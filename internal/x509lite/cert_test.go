@@ -24,6 +24,34 @@ func testCert(key *SigningKey) *Certificate {
 	return c
 }
 
+func TestFingerprintMemoized(t *testing.T) {
+	key := NewSigningKey("le-key-1", 42)
+	c := testCert(key)
+	fp := c.Fingerprint()
+	if got := c.Fingerprint(); got != fp {
+		t.Fatalf("memoized fingerprint changed: %s != %s", got, fp)
+	}
+	// Re-signing invalidates the memo: the digest covers the signature.
+	c.Serial++
+	key.Sign(c)
+	if got := c.Fingerprint(); got == fp {
+		t.Fatal("fingerprint unchanged after re-sign")
+	}
+	// A clone carries its own memo and diverges independently.
+	clone := c.Clone()
+	if clone.Fingerprint() != c.Fingerprint() {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	clone.NotAfter++
+	key.Sign(clone)
+	if clone.Fingerprint() == c.Fingerprint() {
+		t.Fatal("mutated clone shares original's fingerprint")
+	}
+	if got := c.Fingerprint(); got == fp {
+		t.Fatal("original perturbed by clone mutation")
+	}
+}
+
 func TestSignVerify(t *testing.T) {
 	key := NewSigningKey("le-key-1", 42)
 	c := testCert(key)
@@ -213,8 +241,7 @@ func TestSignatureBindingProperty(t *testing.T) {
 		if err := key.Verify(c, 50); err != nil {
 			return false
 		}
-		mutant := *c
-		mutant.SANs = append([]dnscore.Name(nil), c.SANs...)
+		mutant := c.Clone()
 		switch {
 		case shiftValidity:
 			mutant.NotAfter++
@@ -223,7 +250,7 @@ func TestSignatureBindingProperty(t *testing.T) {
 		default:
 			mutant.Serial++
 		}
-		return key.Verify(&mutant, 50) != nil
+		return key.Verify(mutant, 50) != nil
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

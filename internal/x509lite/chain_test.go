@@ -56,18 +56,18 @@ func TestChainRejectsForgery(t *testing.T) {
 	f := newChainFixture(t)
 
 	// Leaf tampered after signing.
-	tampered := *f.leaf
+	tampered := f.leaf.Clone()
 	tampered.SANs = []dnscore.Name{"mail.mfa.gov.kg", "evil.example"}
-	if _, err := f.store.VerifyChain([]*Certificate{&tampered, f.intermediate}, 150); !errors.Is(err, ErrBrokenChain) {
+	if _, err := f.store.VerifyChain([]*Certificate{tampered, f.intermediate}, 150); !errors.Is(err, ErrBrokenChain) {
 		t.Fatalf("tampered leaf: %v", err)
 	}
 
 	// Intermediate swapped for one from an untrusted root.
 	rogueRoot := NewSigningKey("rogue-root", 2)
 	rogueInter, rogueKey := IssueIntermediate(rogueRoot, "rogue.example", "rogue-r1", 8, 0, simtime.StudyEnd)
-	rogueLeaf := *f.leaf
-	rogueKey.Sign(&rogueLeaf)
-	if _, err := f.store.VerifyChain([]*Certificate{&rogueLeaf, rogueInter}, 150); !errors.Is(err, ErrUntrustedRoot) {
+	rogueLeaf := f.leaf.Clone()
+	rogueKey.Sign(rogueLeaf)
+	if _, err := f.store.VerifyChain([]*Certificate{rogueLeaf, rogueInter}, 150); !errors.Is(err, ErrUntrustedRoot) {
 		t.Fatalf("rogue chain: %v", err)
 	}
 
@@ -79,9 +79,9 @@ func TestChainRejectsForgery(t *testing.T) {
 
 	// Expired intermediate breaks the chain.
 	shortInter, shortKey := IssueIntermediate(f.rootKey, "old.letsencrypt.example", "le-old", 10, 0, 50)
-	shortLeaf := *f.leaf
-	shortKey.Sign(&shortLeaf)
-	if _, err := f.store.VerifyChain([]*Certificate{&shortLeaf, shortInter}, 150); err == nil {
+	shortLeaf := f.leaf.Clone()
+	shortKey.Sign(shortLeaf)
+	if _, err := f.store.VerifyChain([]*Certificate{shortLeaf, shortInter}, 150); err == nil {
 		t.Fatal("expired intermediate accepted")
 	}
 }
@@ -96,20 +96,20 @@ func TestChainStructuralRules(t *testing.T) {
 		t.Errorf("CA as leaf: %v", err)
 	}
 	// A non-CA certificate cannot appear as an intermediate.
-	nonCA := *f.leaf
-	if _, err := f.store.VerifyChain([]*Certificate{f.leaf, &nonCA}, 150); !errors.Is(err, ErrNotCA) {
+	nonCA := f.leaf.Clone()
+	if _, err := f.store.VerifyChain([]*Certificate{f.leaf, nonCA}, 150); !errors.Is(err, ErrNotCA) {
 		t.Errorf("leaf as intermediate: %v", err)
 	}
 	// A CA certificate stripped of its subject key is unusable.
-	stripped := *f.intermediate
+	stripped := f.intermediate.Clone()
 	stripped.SubjectKeyHex = ""
-	if _, err := f.store.VerifyChain([]*Certificate{f.leaf, &stripped}, 150); !errors.Is(err, ErrMissingSubject) {
+	if _, err := f.store.VerifyChain([]*Certificate{f.leaf, stripped}, 150); !errors.Is(err, ErrMissingSubject) {
 		t.Errorf("stripped subject key: %v", err)
 	}
 	if _, err := (&Certificate{}).SubjectSigningKey(); !errors.Is(err, ErrNotCA) {
 		t.Errorf("SubjectSigningKey on leaf: %v", err)
 	}
-	bad := *f.intermediate
+	bad := f.intermediate.Clone()
 	bad.SubjectKeyHex = "zz-not-hex"
 	if _, err := bad.SubjectSigningKey(); !errors.Is(err, ErrMissingSubject) {
 		t.Errorf("garbage subject key: %v", err)

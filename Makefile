@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-all
+.PHONY: ci vet build test race fuzz-smoke bench bench-all
 
-ci: vet build test race
+ci: vet build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,16 @@ test:
 # TestAppendConcurrentReads, and TestIncrementalReplayEquivalence).
 race:
 	$(GO) test -race ./internal/core ./internal/scanner
+
+# Ten seconds of coverage-guided fuzzing per parser: DNS names, zone-file
+# snapshots, certificate chains, and the JSON report round trip. Enough to
+# catch a freshly introduced data-shaped panic without stalling CI; run
+# `go test -fuzz=<target> ./internal/<pkg>` open-endedly when hunting.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseName -fuzztime=10s ./internal/dnscore
+	$(GO) test -run='^$$' -fuzz=FuzzZonefileParse -fuzztime=10s ./internal/zonefiles
+	$(GO) test -run='^$$' -fuzz=FuzzChainVerify -fuzztime=10s ./internal/x509lite
+	$(GO) test -run='^$$' -fuzz=FuzzReportJSONRoundTrip -fuzztime=10s ./internal/report
 
 # The incremental-engine benchmarks: append+cached-rerun vs full rerun
 # (the headline >=10x), certificate-fingerprint memoization, and the

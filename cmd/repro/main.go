@@ -34,6 +34,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "world generation seed")
 		stable  = flag.Int("stable", 400, "benign stable-domain population")
 		workers = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
+		strict  = flag.Bool("strict", false, "treat any record the ingest gate would quarantine as a fatal error instead of skipping it")
 		shortRn = flag.Bool("quiet", false, "suppress progress output")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -93,6 +94,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "world error: %v\n", err)
 		}
 		os.Exit(1)
+	}
+	if q := ds.Quarantine(); q.Total > 0 {
+		fmt.Fprintln(os.Stderr, q)
+		if *strict {
+			fmt.Fprintln(os.Stderr, "strict: refusing to analyze a partially-malformed feed")
+			os.Exit(1)
+		}
 	}
 	domains, records := ds.Size()
 	progress("%s; dataset: %d domains, %d records", w.Summary(), domains, records)

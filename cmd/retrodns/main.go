@@ -30,6 +30,7 @@ func main() {
 		evaluate    = flag.Bool("eval", false, "score verdicts against simulation ground truth")
 		workers     = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
 		follow      = flag.Bool("follow", false, "ingest the study scan-by-scan through the incremental engine, re-analyzing after each scan")
+		strict      = flag.Bool("strict", false, "treat any record the ingest gate would quarantine as a fatal error instead of skipping it")
 		verbose     = flag.Bool("v", false, "print every finding")
 		jsonOut     = flag.Bool("json", false, "emit findings as JSON on stdout")
 	)
@@ -56,23 +57,39 @@ func main() {
 		checkWorldErrors(w)
 		sc := w.Scanner()
 		ds := scanner.NewDataset()
+		ds.SetStrict(*strict)
 		pipe := &core.Pipeline{
 			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
 			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
 			Workers: *workers, Cache: core.NewClassifyCache(),
 		}
 		for _, date := range w.ScanDates() {
-			ds.Append(date, sc.ScanWeek(date))
+			if err := ds.Append(date, sc.ScanWeek(date)); err != nil {
+				fmt.Fprintf(os.Stderr, "ingest %s: %v\n", date, err)
+				os.Exit(1)
+			}
 			res = pipe.Run()
 			fmt.Fprintf(os.Stderr, "scan %s: gen=%d dirty=%d hits=%d misses=%d hijacked=%d targeted=%d\n",
 				date, res.Stats.Generation, res.Stats.DirtyCells,
 				res.Stats.CacheHits, res.Stats.CacheMisses,
 				len(res.Hijacked), len(res.Targeted))
 		}
+		if q := ds.Quarantine(); q.Total > 0 {
+			fmt.Fprintln(os.Stderr, q)
+		}
 		fmt.Fprintln(os.Stderr, w.Summary())
 	} else {
 		ds := w.Run()
 		checkWorldErrors(w)
+		// Bulk ingest builds the dataset inside the scanner, so strict mode
+		// is enforced after the fact: any quarantined record is fatal.
+		if q := ds.Quarantine(); q.Total > 0 {
+			fmt.Fprintln(os.Stderr, q)
+			if *strict {
+				fmt.Fprintln(os.Stderr, "strict: refusing to analyze a partially-malformed feed")
+				os.Exit(1)
+			}
+		}
 		fmt.Fprintln(os.Stderr, w.Summary())
 		pipe := &core.Pipeline{
 			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,

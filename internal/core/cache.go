@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"retrodns/internal/dnscore"
@@ -30,9 +31,11 @@ type cellState struct {
 // workers touch disjoint memory with no shared map writes.
 type domainCells struct {
 	cells [simtime.NumPeriods]cellState
-	// byPeriod is the domain's category history, reused across runs (cells
-	// only ever gain records, so entries are overwritten, never removed).
-	// Results alias it — see the ClassifyCache doc.
+	// byPeriod is the domain's category history as last published into a
+	// Result. It is copy-on-write: a run that changes any entry clones the
+	// map before mutating, so a Result handed out by an earlier run keeps
+	// its snapshot even as later Appends re-run the pipeline (asserted by
+	// TestCachedHistoryNotAliased).
 	byPeriod map[simtime.Period]Category
 }
 
@@ -48,10 +51,12 @@ type domainCells struct {
 //
 // The cache is owned by at most one Pipeline at a time: Run mutates it
 // without locking (the per-cell work is partitioned per domain across the
-// worker pool). Results handed out by cached runs alias cache-owned state —
-// deployment maps and per-domain category histories — which later Appends
-// and Runs may update in place; callers comparing successive Results should
-// consume each one before the next Append.
+// worker pool). Result.History is safe to retain across Appends: per-domain
+// category histories are published copy-on-write, so a later Run never
+// mutates a map an earlier Result holds. Deployment maps inside Candidates
+// and Classifications, by contrast, still alias cache-owned state that an
+// incremental extension may update in place; consume those before the next
+// Append.
 type ClassifyCache struct {
 	dataset  *scanner.Dataset
 	gen      uint64
@@ -64,9 +69,23 @@ func NewClassifyCache() *ClassifyCache {
 	return &ClassifyCache{byDomain: make(map[dnscore.Name]*domainCells)}
 }
 
-// fingerprint canonicalizes Params for cache validation. Params is a flat
-// struct of scalars, so the %+v rendering is a faithful identity.
-func (p Params) fingerprint() string { return fmt.Sprintf("%+v", p) }
+// fingerprint canonicalizes Params for cache validation with an explicit
+// field-by-field encoding. Every field MUST appear here: a field missing
+// from the fingerprint would silently stop invalidating cached
+// classifications when it changes (TestParamsFingerprintCoversAllFields
+// enforces this by reflection). Floats encode as exact bit patterns so
+// distinct values can never collide through decimal rounding.
+func (p Params) fingerprint() string {
+	return fmt.Sprintf("v1:tmd=%d;smd=%d;ems=%d;mp=%016x;mtp=%d;isd=%d;dsg=%t;sp=%t",
+		p.TransientMaxDays,
+		p.StableMinDays,
+		p.EdgeMarginScans,
+		math.Float64bits(p.MinPresence),
+		p.MaxTransientPeriods,
+		p.InspectSlackDays,
+		p.DisableSensitiveGate,
+		p.StitchPeriods)
+}
 
 // reset clears the cache for a new dataset.
 func (c *ClassifyCache) reset(ds *scanner.Dataset) {
@@ -126,6 +145,11 @@ func (p *Pipeline) classifyCached(params Params, workers int, domains []dnscore.
 		dc := cellsOf[i]
 		o := &outs[i]
 		mask := dirtyMask[domain]
+		// Copy-on-write over the published history: hist starts as the map
+		// the previous Result may hold and is cloned before the first entry
+		// this run actually changes, so retained Results keep their snapshot.
+		hist := dc.byPeriod
+		cloned := false
 		for _, period := range periods {
 			ps := &dc.cells[period]
 			bit := uint16(1) << uint(period)
@@ -158,17 +182,24 @@ func (p *Pipeline) classifyCached(params Params, workers int, domains []dnscore.
 				continue
 			}
 			o.maps++
-			if dc.byPeriod == nil {
-				dc.byPeriod = make(map[simtime.Period]Category, len(periods))
-			}
 			if recomputed {
-				dc.byPeriod[period] = ps.class.Category
+				if c, ok := hist[period]; !ok || c != ps.class.Category {
+					if !cloned {
+						next := make(map[simtime.Period]Category, len(periods))
+						for k, v := range hist {
+							next[k] = v
+						}
+						hist, cloned = next, true
+					}
+					hist[period] = ps.class.Category
+				}
 			}
 			if ps.class.Category == CategoryTransient {
 				o.transients = append(o.transients, ps.class)
 			}
 		}
-		o.byPeriod = dc.byPeriod
+		dc.byPeriod = hist
+		o.byPeriod = hist
 	})
 	cache.gen = p.Dataset.Generation()
 	cache.paramsFP = fp

@@ -77,6 +77,11 @@ type PipelineStats struct {
 	// Generation is the dataset generation this run analyzed (0 when the
 	// run was uncached).
 	Generation uint64
+	// Quarantined is the number of malformed records the dataset's ingest
+	// gate refused over its lifetime (scanner.Dataset.Quarantine): a
+	// nonzero count means the run's findings describe the valid subset of
+	// a partially-broken feed.
+	Quarantined int
 }
 
 // Stage returns the named stage's stats, or a zero StageStats.
@@ -99,6 +104,9 @@ func (p PipelineStats) String() string {
 	if p.Generation > 0 {
 		fmt.Fprintf(&sb, "  cache:    hits=%d misses=%d dirty-cells=%d (dataset generation %d)\n",
 			p.CacheHits, p.CacheMisses, p.DirtyCells, p.Generation)
+	}
+	if p.Quarantined > 0 {
+		fmt.Fprintf(&sb, "  quarantined: %d malformed records refused at ingest\n", p.Quarantined)
 	}
 	return sb.String()
 }

@@ -173,6 +173,7 @@ func (p *Pipeline) Run() *Result {
 	t0 := time.Now()
 	p.Dataset.Freeze()
 	domains := p.Dataset.Domains()
+	res.Stats.Quarantined = p.Dataset.Quarantine().Total
 	stage("freeze", len(domains), 1, t0, time.Since(t0))
 
 	// Step 1 + 2: build and classify deployment maps per period, fanned
@@ -347,8 +348,11 @@ func (p *Pipeline) periodsInData() []simtime.Period {
 // rollupCategory reduces a domain's per-period categories to one label,
 // with the precedence the paper's domain-level percentages imply: any
 // transient period marks the domain transient; otherwise any transition
-// marks it transition; otherwise majority-noisy marks it noisy; otherwise
-// it is stable.
+// marks it transition; otherwise majority-noisy (strictly more than half
+// of the periods) marks it noisy; otherwise it is stable. An exact
+// half-noisy split is NOT a majority and resolves to stable — the paper's
+// §4.2 split (96.5% stable vs 0.35% noisy) leans hard toward stable, and
+// a domain classifiable in half its periods has a usable history.
 func rollupCategory(byPeriod map[simtime.Period]Category) Category {
 	if len(byPeriod) == 0 {
 		return CategoryNoisy
@@ -362,7 +366,7 @@ func rollupCategory(byPeriod map[simtime.Period]Category) Category {
 		return CategoryTransient
 	case counts[CategoryTransition] > 0:
 		return CategoryTransition
-	case counts[CategoryNoisy]*2 >= len(byPeriod):
+	case counts[CategoryNoisy]*2 > len(byPeriod):
 		return CategoryNoisy
 	default:
 		return CategoryStable

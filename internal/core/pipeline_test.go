@@ -355,6 +355,14 @@ func TestRollupCategory(t *testing.T) {
 		{map[simtime.Period]Category{0: CategoryNoisy, 1: CategoryNoisy, 2: CategoryStable}, CategoryNoisy},
 		{map[simtime.Period]Category{0: CategoryNoisy, 1: CategoryStable, 2: CategoryStable}, CategoryStable},
 		{map[simtime.Period]Category{}, CategoryNoisy},
+		// Tie pin: "majority-noisy" means strictly more than half. An exact
+		// half-noisy split keeps the domain usable — the paper's §4.2 split
+		// (96.5% stable / 2.95% transition / 0.13% transient / 0.35% noisy)
+		// would be unreachable if every half-noisy history counted noisy.
+		{map[simtime.Period]Category{0: CategoryNoisy, 1: CategoryStable}, CategoryStable},
+		{map[simtime.Period]Category{0: CategoryNoisy, 1: CategoryNoisy, 2: CategoryStable, 3: CategoryStable}, CategoryStable},
+		{map[simtime.Period]Category{0: CategoryNoisy, 1: CategoryNoisy, 2: CategoryNoisy, 3: CategoryStable}, CategoryNoisy},
+		{map[simtime.Period]Category{0: CategoryNoisy}, CategoryNoisy},
 	}
 	for i, c := range cases {
 		if got := rollupCategory(c.in); got != c.want {

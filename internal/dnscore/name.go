@@ -18,16 +18,20 @@ type Name string
 
 // Errors returned by name parsing.
 var (
-	ErrNameTooLong  = errors.New("dnscore: name exceeds 253 octets")
-	ErrLabelTooLong = errors.New("dnscore: label exceeds 63 octets")
-	ErrEmptyLabel   = errors.New("dnscore: empty label")
-	ErrBadLabel     = errors.New("dnscore: label contains invalid character")
+	ErrNameTooLong   = errors.New("dnscore: name exceeds 253 octets")
+	ErrLabelTooLong  = errors.New("dnscore: label exceeds 63 octets")
+	ErrEmptyLabel    = errors.New("dnscore: empty label")
+	ErrBadLabel      = errors.New("dnscore: label contains invalid character")
+	ErrLabelEdgeDash = errors.New("dnscore: label begins or ends with a hyphen")
 )
 
 // ParseName canonicalizes and validates a domain name. It accepts an
 // optional trailing dot and upper-case letters; it rejects empty labels,
-// over-long names and labels, and characters outside letter-digit-hyphen
-// plus underscore (which appears in service labels such as _acme-challenge).
+// over-long names and labels, and anything outside LDH (letter-digit-hyphen
+// with no leading or trailing hyphen). The one exception to strict LDH is
+// the service-label convention: a label may start with a single underscore
+// (as in _acme-challenge or _dmarc); underscores anywhere else are
+// rejected.
 func ParseName(s string) (Name, error) {
 	s = strings.TrimSuffix(strings.ToLower(s), ".")
 	if s == "" {
@@ -60,12 +64,24 @@ func checkLabel(label string) error {
 	if len(label) > 63 {
 		return ErrLabelTooLong
 	}
-	for i := 0; i < len(label); i++ {
-		c := label[i]
+	// Service labels (_acme-challenge, _dmarc, _tcp) carry one leading
+	// underscore; the remainder must still be a valid LDH label.
+	body := label
+	if body[0] == '_' {
+		body = body[1:]
+		if body == "" {
+			return ErrBadLabel
+		}
+	}
+	if body[0] == '-' || body[len(body)-1] == '-' {
+		return ErrLabelEdgeDash
+	}
+	for i := 0; i < len(body); i++ {
+		c := body[i]
 		switch {
 		case c >= 'a' && c <= 'z':
 		case c >= '0' && c <= '9':
-		case c == '-' || c == '_':
+		case c == '-':
 		default:
 			return ErrBadLabel
 		}

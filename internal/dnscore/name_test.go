@@ -23,6 +23,19 @@ func TestParseName(t *testing.T) {
 		{"exa$mple.com", "", true},
 		{strings.Repeat("a", 64) + ".com", "", true},
 		{strings.Repeat("abcdefgh.", 32) + "com", "", true}, // > 253 octets
+		// LDH edges: labels may not begin or end with a hyphen.
+		{"-example.com", "", true},
+		{"example-.com", "", true},
+		{"www.-mid-.com", "", true},
+		{"xn--bcher-kva.com", "xn--bcher-kva.com", false}, // interior hyphens fine
+		// Underscore only as the service-label prefix.
+		{"_dmarc.example.com", "_dmarc.example.com", false},
+		{"_sip._tcp.example.com", "_sip._tcp.example.com", false},
+		{"foo_bar.com", "", true},
+		{"example_.com", "", true},
+		{"__x.com", "", true},
+		{"_.com", "", true},
+		{"_-x.com", "", true},
 	}
 	for _, c := range cases {
 		got, err := ParseName(c.in)

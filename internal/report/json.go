@@ -2,10 +2,16 @@ package report
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 
 	"retrodns/internal/core"
 )
+
+// ErrBadReport reports a document ReadJSON could not accept as a
+// previously exported report.
+var ErrBadReport = errors.New("report: malformed JSON report")
 
 // JSONFinding is the machine-readable form of a finding, stable across
 // releases for downstream consumers.
@@ -71,8 +77,8 @@ func toJSONFinding(f *core.Finding) JSONFinding {
 	return out
 }
 
-// WriteJSON streams the result as indented JSON.
-func WriteJSON(w io.Writer, res *core.Result) error {
+// BuildJSONReport assembles the export document from a pipeline result.
+func BuildJSONReport(res *core.Result) JSONReport {
 	doc := JSONReport{
 		Hijacked: make([]JSONFinding, 0, len(res.Hijacked)),
 		Targeted: make([]JSONFinding, 0, len(res.Targeted)),
@@ -96,7 +102,34 @@ func WriteJSON(w io.Writer, res *core.Result) error {
 	for _, f := range res.Targeted {
 		doc.Targeted = append(doc.Targeted, toJSONFinding(f))
 	}
+	return doc
+}
+
+// Encode streams the document as indented JSON.
+func (doc JSONReport) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// WriteJSON streams the result as indented JSON.
+func WriteJSON(w io.Writer, res *core.Result) error {
+	return BuildJSONReport(res).Encode(w)
+}
+
+// ReadJSON parses a document WriteJSON produced — the consumer side of
+// the stable export format. Strict by construction: unknown fields,
+// mistyped values, and trailing data are all ErrBadReport, so a truncated
+// or hand-mangled export fails loudly instead of reading as empty.
+func ReadJSON(r io.Reader) (*JSONReport, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc JSONReport
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after document", ErrBadReport)
+	}
+	return &doc, nil
 }

@@ -1,0 +1,229 @@
+package scanner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// The ingest gate. Four years of real scan data contain rows that are
+// simply broken — certificates that never parsed, names with junk bytes,
+// timestamps from before the feed existed, unroutable addresses. One such
+// row must not take down the pipeline or, worse, silently corrupt the
+// per-domain indexes: AddScan and Append validate every record and divert
+// malformed ones into a bounded per-reason quarantine journal. The valid
+// remainder of the scan is ingested unchanged.
+
+// ErrQuarantined wraps every hard ingest rejection a strict dataset
+// returns; errors.Is(err, ErrQuarantined) identifies them.
+var ErrQuarantined = errors.New("scanner: record quarantined")
+
+// QuarantineReason classifies why a record was refused.
+type QuarantineReason int
+
+// Quarantine reasons, in display order.
+const (
+	// QuarNilRecord: the feed produced a nil *Record.
+	QuarNilRecord QuarantineReason = iota
+	// QuarNilCert: the record carries no certificate.
+	QuarNilCert
+	// QuarBadName: a SAN fails dnscore.ParseName or is non-canonical, or
+	// the certificate secures no names at all.
+	QuarBadName
+	// QuarBadDate: the record's scan date falls outside the study window.
+	QuarBadDate
+	// QuarZeroIP: the responding address is the zero Addr or unspecified.
+	QuarZeroIP
+	numQuarReasons
+)
+
+// String names the reason.
+func (r QuarantineReason) String() string {
+	switch r {
+	case QuarNilRecord:
+		return "nil-record"
+	case QuarNilCert:
+		return "nil-cert"
+	case QuarBadName:
+		return "bad-name"
+	case QuarBadDate:
+		return "date-out-of-window"
+	case QuarZeroIP:
+		return "zero-ip"
+	default:
+		return fmt.Sprintf("reason-%d", int(r))
+	}
+}
+
+// maxQuarExamples bounds the per-reason journal: counters are exact, but
+// only the first few offending records are retained for diagnostics, so a
+// feed spewing millions of broken rows cannot balloon memory.
+const maxQuarExamples = 8
+
+// QuarantinedRecord is one journaled rejection.
+type QuarantinedRecord struct {
+	Reason QuarantineReason
+	// Date is the scan date the record arrived under.
+	Date simtime.Date
+	// Detail describes the offending value (an IP, a SAN, a date).
+	Detail string
+}
+
+func (q QuarantinedRecord) String() string {
+	return fmt.Sprintf("%s @%s: %s", q.Reason, q.Date, q.Detail)
+}
+
+// QuarantineReport is a point-in-time copy of the dataset's quarantine
+// journal: exact per-reason counters plus the first few examples of each.
+type QuarantineReport struct {
+	Total    int
+	ByReason map[QuarantineReason]int
+	Examples []QuarantinedRecord
+}
+
+// String renders the report for CLI diagnostics, one reason per line.
+func (r QuarantineReport) String() string {
+	if r.Total == 0 {
+		return "quarantine: clean"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "quarantine: %d records refused\n", r.Total)
+	reasons := make([]QuarantineReason, 0, len(r.ByReason))
+	for reason := range r.ByReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	for _, reason := range reasons {
+		fmt.Fprintf(&sb, "  %-20s %d\n", reason.String()+":", r.ByReason[reason])
+	}
+	for _, ex := range r.Examples {
+		fmt.Fprintf(&sb, "  e.g. %s\n", ex)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// quarantine is the dataset-owned journal. Callers hold d.mu.
+type quarantine struct {
+	counts   [numQuarReasons]int
+	total    int
+	examples []QuarantinedRecord
+}
+
+// add journals one rejection, keeping at most maxQuarExamples examples
+// across all reasons (earliest first — the head of a broken feed is where
+// debugging starts).
+func (q *quarantine) add(reason QuarantineReason, date simtime.Date, detail string) {
+	q.counts[reason]++
+	q.total++
+	if len(q.examples) < maxQuarExamples {
+		q.examples = append(q.examples, QuarantinedRecord{Reason: reason, Date: date, Detail: detail})
+	}
+}
+
+// report copies the journal out.
+func (q *quarantine) report() QuarantineReport {
+	r := QuarantineReport{Total: q.total, ByReason: make(map[QuarantineReason]int)}
+	for reason, n := range q.counts {
+		if n > 0 {
+			r.ByReason[QuarantineReason(reason)] = n
+		}
+	}
+	r.Examples = append([]QuarantinedRecord(nil), q.examples...)
+	return r
+}
+
+// validateRecord decides whether r may enter the indexes, returning the
+// refusal reason and a description of the offending value.
+func validateRecord(r *Record) (QuarantineReason, string, bool) {
+	if r == nil {
+		return QuarNilRecord, "nil record", false
+	}
+	if r.Cert == nil {
+		return QuarNilCert, fmt.Sprintf("record at %s has no certificate", r.IP), false
+	}
+	if !r.ScanDate.InStudy() {
+		return QuarBadDate, fmt.Sprintf("scan date %s outside study window", r.ScanDate), false
+	}
+	if !r.IP.IsValid() || r.IP.IsUnspecified() {
+		return QuarZeroIP, fmt.Sprintf("cert %d served from zero address", r.Cert.Serial), false
+	}
+	if len(r.Cert.SANs) == 0 {
+		return QuarBadName, fmt.Sprintf("cert %d secures no names", r.Cert.Serial), false
+	}
+	for _, san := range r.Cert.SANs {
+		parsed, err := dnscore.ParseName(string(san))
+		if err != nil {
+			return QuarBadName, fmt.Sprintf("cert %d SAN %q: %v", r.Cert.Serial, san, err), false
+		}
+		if parsed != san {
+			return QuarBadName, fmt.Sprintf("cert %d SAN %q is not canonical", r.Cert.Serial, san), false
+		}
+	}
+	return 0, "", true
+}
+
+// gateRecords validates one scan's records under d.mu: valid records are
+// returned for ingest, malformed ones are journaled. In strict mode the
+// first malformed record aborts the whole scan with a typed error and
+// nothing is ingested (atomic reject, so a strict caller can stop a feed
+// without half-applied state).
+func (d *Dataset) gateRecords(date simtime.Date, records []*Record) ([]*Record, error) {
+	valid := records
+	clean := true
+	for i, r := range records {
+		reason, detail, ok := validateRecord(r)
+		if ok {
+			if !clean {
+				valid = append(valid, r)
+			}
+			continue
+		}
+		if d.strict {
+			return nil, fmt.Errorf("%w: scan %s record %d: %s (%s)", ErrQuarantined, date, i, detail, reason)
+		}
+		if clean {
+			// First rejection: switch to a filtered copy of the prefix.
+			valid = append([]*Record(nil), records[:i]...)
+			clean = false
+		}
+		d.quar.add(reason, date, detail)
+	}
+	return valid, nil
+}
+
+// SetStrict switches the dataset between quarantine mode (default: skip
+// and journal malformed records, AddScan/Append return nil) and strict
+// mode (the first malformed record fails the whole call with an error
+// wrapping ErrQuarantined and nothing from that scan is ingested).
+func (d *Dataset) SetStrict(strict bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.strict = strict
+}
+
+// Quarantine returns a copy of the quarantine journal: how many records
+// the ingest gate refused, per reason, with the first few examples.
+func (d *Dataset) Quarantine() QuarantineReport {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.quar.report()
+}
+
+// gateDate validates the scan-date argument itself: a scan dated outside
+// the study window is refused as a whole (its date must not enter the
+// scan-date index, where it would distort every period roster).
+func (d *Dataset) gateDate(date simtime.Date) (bool, error) {
+	if date.InStudy() {
+		return true, nil
+	}
+	detail := fmt.Sprintf("scan date %s outside study window", date)
+	if d.strict {
+		return false, fmt.Errorf("%w: %s", ErrQuarantined, detail)
+	}
+	d.quar.add(QuarBadDate, date, detail)
+	return false, nil
+}

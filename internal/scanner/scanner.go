@@ -246,6 +246,11 @@ type Dataset struct {
 	// scan roster for every domain, not just those with new records).
 	dirtyCells   map[DirtyCell]uint64
 	dirtyPeriods map[simtime.Period]uint64
+
+	// quar journals records the ingest gate refused; strict turns the
+	// first refusal into a hard AddScan/Append error instead.
+	quar   quarantine
+	strict bool
 }
 
 // NewDataset creates an empty dataset.
@@ -257,15 +262,38 @@ func NewDataset() *Dataset {
 	}
 }
 
-// AddScan ingests the records of one weekly scan. It panics on a frozen
-// dataset: use Append for post-freeze ingest.
-func (d *Dataset) AddScan(date simtime.Date, records []*Record) {
+// AddScan ingests the records of one weekly scan. Malformed records — nil
+// records or certificates, invalid or non-canonical SANs, scan dates
+// outside the study window, zero addresses — are quarantined into the
+// dataset's journal (see Quarantine) rather than ingested; in strict mode
+// (SetStrict) the first malformed record instead fails the whole call
+// with an error wrapping ErrQuarantined and nothing from the scan lands.
+// AddScan panics on a frozen dataset — an API-misuse assert, not a data
+// condition: use Append for post-freeze ingest.
+func (d *Dataset) AddScan(date simtime.Date, records []*Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.idx.Load() != nil {
 		panic("scanner: AddScan on a frozen Dataset (use Append)")
 	}
-	d.scanDates = append(d.scanDates, date)
+	dateOK, err := d.gateDate(date)
+	if err != nil {
+		return err
+	}
+	records, err = d.gateRecords(date, records)
+	if err != nil {
+		return err
+	}
+	if !dateOK {
+		// Out-of-window scan: its in-window records (if any carry their own
+		// valid dates) still ingest, but the bogus date stays out of the
+		// scan-date index.
+		if len(records) == 0 {
+			return nil
+		}
+	} else {
+		d.scanDates = append(d.scanDates, date)
+	}
 	d.records += len(records)
 	// SAN lists are short (a handful of names), so apex dedupe is a linear
 	// scan over a scratch slice hoisted out of the record loop — no
@@ -282,6 +310,7 @@ func (d *Dataset) AddScan(date simtime.Date, records []*Record) {
 			d.byDomain[apex] = append(d.byDomain[apex], r)
 		}
 	}
+	return nil
 }
 
 // containsName reports whether names holds n (linear scan; used where the
@@ -351,10 +380,21 @@ func (d *Dataset) Generation() uint64 {
 // advances, and the (domain, period) cells that gained records are
 // journaled for DirtySince. Freeze is implied if it has not run yet.
 // Records carrying a ScanDate other than date are merged where their own
-// date sorts.
-func (d *Dataset) Append(date simtime.Date, records []*Record) {
+// date sorts. Malformed records are quarantined (or, in strict mode,
+// fail the whole call before any state changes) exactly as in AddScan;
+// a rejected scan still advances the generation so incremental consumers
+// observe that ingest was attempted.
+func (d *Dataset) Append(date simtime.Date, records []*Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	dateOK, err := d.gateDate(date)
+	if err != nil {
+		return err
+	}
+	records, err = d.gateRecords(date, records)
+	if err != nil {
+		return err
+	}
 	d.freezeLocked()
 	old := d.idx.Load()
 	next := &datasetIndex{
@@ -366,7 +406,11 @@ func (d *Dataset) Append(date simtime.Date, records []*Record) {
 	for n, recs := range old.byDomain {
 		next.byDomain[n] = recs
 	}
-	next.scanDates = insertDate(old.scanDates, date)
+	if dateOK {
+		next.scanDates = insertDate(old.scanDates, date)
+	} else {
+		next.scanDates = old.scanDates
+	}
 	next.periods = periodsOf(next.scanDates)
 	if date.InStudy() {
 		d.dirtyPeriods[simtime.PeriodOf(date)] = next.generation
@@ -398,6 +442,7 @@ func (d *Dataset) Append(date simtime.Date, records []*Record) {
 		sort.Slice(next.domains, func(i, j int) bool { return next.domains[i] < next.domains[j] })
 	}
 	d.idx.Store(next)
+	return nil
 }
 
 // insertRecord merges r into a date-sorted record slice, preserving the

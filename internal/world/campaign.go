@@ -16,6 +16,12 @@ import (
 	"retrodns/internal/x509lite"
 )
 
+// ErrBadVictimRow reports a campaign table row the world cannot stage —
+// an unparseable month label or attacker IP literal. buildCampaigns
+// collects these into World.Errors and skips the row, so one corrupt
+// entry costs one victim, not the whole world.
+var ErrBadVictimRow = errors.New("world: malformed victim row")
+
 // nsGroupDomains names the attacker nameserver infrastructure per
 // campaign operator. The Kyrgyzstan names are the paper's (§5.1); the Sea
 // Turtle names are synthetic stand-ins for the campaign's shared
@@ -75,10 +81,14 @@ func (w *World) buildCampaigns() {
 		}
 	}
 	for i, row := range HijackedRows {
-		w.buildVictim(i, row)
+		if err := w.buildVictim(i, row); err != nil {
+			w.Errors = append(w.Errors, fmt.Errorf("hijacked row %d (%s): %w", i, row.Domain, err))
+		}
 	}
 	for i, row := range TargetedRows {
-		w.buildVictim(i, row)
+		if err := w.buildVictim(i, row); err != nil {
+			w.Errors = append(w.Errors, fmt.Errorf("targeted row %d (%s): %w", i, row.Domain, err))
+		}
 	}
 }
 
@@ -86,14 +96,19 @@ func (w *World) buildCampaigns() {
 // the attacker's scan visibility strictly inside one analysis period so
 // the deployment map can classify it (the paper's month labels are
 // coarser than its data; we nudge boundary dates by a few days).
-func (w *World) planFor(i int, row VictimRow) attackPlan {
+func (w *World) planFor(i int, row VictimRow) (attackPlan, error) {
 	t, err := time.Parse("Jan'06", row.Month)
 	if err != nil {
-		panic(fmt.Sprintf("world: bad month %q: %v", row.Month, err))
+		return attackPlan{}, fmt.Errorf("%w: bad month %q: %v", ErrBadVictimRow, row.Month, err)
 	}
 	mid := simtime.FromTime(t.AddDate(0, 0, 14))
 	period := simtime.PeriodOf(mid)
 	scans := simtime.ScansInPeriod(period)
+	if len(scans) < 7 {
+		// The clamps below need at least scans[3] and scans[len-4] on the
+		// right side of each other.
+		return attackPlan{}, fmt.Errorf("%w: month %q lands in period %d with only %d scans", ErrBadVictimRow, row.Month, period, len(scans))
+	}
 	idx := int((mid - scans[0]) / simtime.DaysPerWeek)
 	if idx < 3 {
 		idx = 3
@@ -135,7 +150,7 @@ func (w *World) planFor(i int, row VictimRow) attackPlan {
 	if row.Sub != "" {
 		target = row.Domain.Child(row.Sub)
 	}
-	return attackPlan{row: row, H: H, visDays: vis, redirDays: redir, target: target}
+	return attackPlan{row: row, H: H, visDays: vis, redirDays: redir, target: target}, nil
 }
 
 // issuerFor returns the CA behind a row's malicious certificate.
@@ -165,26 +180,37 @@ func (w *World) victimNSProvider(country ipmeta.CountryCode) ipmeta.ASN {
 
 // registerAttackerIP announces the /24 around a literal attacker IP with
 // the row's origin AS and geolocation, once.
-func (w *World) registerAttackerIP(ipStr string, asn ipmeta.ASN, country ipmeta.CountryCode) netip.Addr {
-	ip := netip.MustParseAddr(ipStr)
+func (w *World) registerAttackerIP(ipStr string, asn ipmeta.ASN, country ipmeta.CountryCode) (netip.Addr, error) {
+	ip, err := netip.ParseAddr(ipStr)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("%w: bad attacker IP %q: %v", ErrBadVictimRow, ipStr, err)
+	}
 	prefix := netip.PrefixFrom(ip, 24).Masked()
 	if !w.attackerPrefixes[prefix] {
 		w.attackerPrefixes[prefix] = true
 		if err := w.Meta.Prefixes.Announce(prefix, asn); err != nil {
-			panic(err)
+			return netip.Addr{}, fmt.Errorf("announce attacker prefix %s: %w", prefix, err)
 		}
 		if err := w.Meta.Geo.AddPrefix(prefix, country); err != nil {
-			panic(err)
+			return netip.Addr{}, fmt.Errorf("geolocate attacker prefix %s: %w", prefix, err)
 		}
 	}
-	return ip
+	return ip, nil
 }
 
 // buildVictim stages one row: the victim's legitimate DNS and hosting, the
-// attack timeline, and the ground-truth entry.
-func (w *World) buildVictim(i int, row VictimRow) {
-	plan := w.planFor(i, row)
-	attackIP := w.registerAttackerIP(row.IP, row.ASN, row.AttCC)
+// attack timeline, and the ground-truth entry. A malformed row returns an
+// error before any world state changes — the caller skips the victim and
+// the rest of the campaign builds normally.
+func (w *World) buildVictim(i int, row VictimRow) error {
+	plan, err := w.planFor(i, row)
+	if err != nil {
+		return err
+	}
+	attackIP, err := w.registerAttackerIP(row.IP, row.ASN, row.AttCC)
+	if err != nil {
+		return err
+	}
 	domain := row.Domain
 
 	// Legitimate DNS. Victims with scannable infrastructure host their
@@ -303,6 +329,7 @@ func (w *World) buildVictim(i int, row VictimRow) {
 			w.stageZoneRedirect(plan, attackIP, legitZone, legitServiceIP, false)
 		}
 	}
+	return nil
 }
 
 // stageRegistrarHijack mounts the registrar/registry-level attack: the

@@ -1,0 +1,91 @@
+package world
+
+import (
+	"errors"
+	"testing"
+)
+
+// minimalWorld builds an empty substrate (no populations, no campaigns)
+// for exercising the error paths directly.
+func minimalWorld(t *testing.T) *World {
+	t.Helper()
+	w := New(Config{Seed: 1})
+	if len(w.Errors) != 0 {
+		t.Fatalf("empty world reported errors: %v", w.Errors)
+	}
+	return w
+}
+
+// TestBadVictimRowCollected stages rows a real campaign table could be
+// corrupted into — unparseable month, unparseable IP — and requires
+// buildVictim to refuse them with ErrBadVictimRow instead of panicking,
+// leaving no ground-truth entry behind.
+func TestBadVictimRowCollected(t *testing.T) {
+	good := HijackedRows[0]
+	cases := []struct {
+		name   string
+		mutate func(*VictimRow)
+	}{
+		{"bad-month", func(r *VictimRow) { r.Month = "Smarch'21" }},
+		{"bad-ip", func(r *VictimRow) { r.IP = "not-an-ip" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := minimalWorld(t)
+			w.nsGroups = map[string]*nsGroupInfo{} // buildVictim preconditions
+			row := good
+			tc.mutate(&row)
+			err := w.buildVictim(0, row)
+			if !errors.Is(err, ErrBadVictimRow) {
+				t.Fatalf("err = %v, want ErrBadVictimRow", err)
+			}
+			if w.Truth[row.Domain] != nil {
+				t.Error("refused row still entered ground truth")
+			}
+		})
+	}
+}
+
+// TestCampaignSurvivesBadRow corrupts one row of a full campaign world and
+// requires the rest of the campaign to stage normally, with the failure
+// surfaced in World.Errors.
+func TestCampaignSurvivesBadRow(t *testing.T) {
+	orig := HijackedRows[0]
+	HijackedRows[0].Month = "Smarch'21"
+	defer func() { HijackedRows[0] = orig }()
+
+	cfg := DefaultConfig()
+	cfg.StableDomains, cfg.TransitionDomains, cfg.NoisyDomains, cfg.BenignTransients = 4, 0, 0, 0
+	w := New(cfg)
+	if len(w.Errors) != 1 || !errors.Is(w.Errors[0], ErrBadVictimRow) {
+		t.Fatalf("Errors = %v, want exactly the bad row", w.Errors)
+	}
+	if w.Truth[orig.Domain] != nil {
+		t.Error("bad row entered ground truth")
+	}
+	if w.Truth[HijackedRows[1].Domain] == nil {
+		t.Error("later rows did not stage")
+	}
+}
+
+// TestAllocatorRotatesExhaustedBlock drains a /20 past its capacity and
+// requires fresh, unique addresses from a rotated block instead of the old
+// exhaustion panic.
+func TestAllocatorRotatesExhaustedBlock(t *testing.T) {
+	w := minimalWorld(t)
+	seen := make(map[string]bool)
+	const n = 1<<12 + 50 // past one /20
+	for i := 0; i < n; i++ {
+		ip := w.alloc.Alloc(64600, "US")
+		if !ip.IsValid() {
+			t.Fatalf("alloc %d returned invalid address", i)
+		}
+		if seen[ip.String()] {
+			t.Fatalf("alloc %d returned duplicate %s", i, ip)
+		}
+		seen[ip.String()] = true
+	}
+	if errs := w.alloc.drainErrors(); len(errs) != 0 {
+		t.Fatalf("rotation journaled errors: %v", errs)
+	}
+}

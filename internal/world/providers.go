@@ -1,12 +1,19 @@
 package world
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"sync"
 
 	"retrodns/internal/ipmeta"
 )
+
+// ErrAddressSpaceExhausted reports that the allocator ran out of /16s to
+// carve blocks from — only reachable with a pathologically oversized
+// provider table, but a data-shaped failure nonetheless, so it surfaces
+// through World.Errors instead of a panic.
+var ErrAddressSpaceExhausted = errors.New("world: allocator address space exhausted")
 
 // Provider describes one hosting network: an ASN, its display name, its
 // owning organization, and the countries it operates in. The world
@@ -55,7 +62,11 @@ type allocator struct {
 	mu     sync.Mutex
 	meta   *ipmeta.Directory
 	nextB  int // second octet of the next unallocated /16
+	carved int // total /20s carved, including rotated-away full ones
 	blocks map[blockKey]*block
+	// errs collects registration failures and exhaustion; drained into
+	// World.Errors by drainErrors so bad data degrades instead of crashing.
+	errs []error
 }
 
 type blockKey struct {
@@ -74,6 +85,33 @@ func newAllocator(meta *ipmeta.Directory) *allocator {
 	return &allocator{meta: meta, nextB: 1, blocks: make(map[blockKey]*block)}
 }
 
+// carveBlock claims the next /20, registers its prefix, geo, and origin
+// entries, and installs it as the current block for (asn, cc). Metadata
+// failures are journaled, not fatal: addresses keep flowing and the error
+// surfaces through World.Errors.
+func (a *allocator) carveBlock(k blockKey) *block {
+	// Four /20s per /16 keeps octet arithmetic trivial: sub-block s
+	// covers 100.B.(s*16).0/20.
+	idx := a.carved
+	a.carved++
+	b16 := a.nextB + idx/4
+	sub := idx % 4
+	if b16 > 255 {
+		a.errs = append(a.errs, fmt.Errorf("%w: no /16 left for AS%d %s", ErrAddressSpaceExhausted, k.asn, k.cc))
+		b16 = 255 // degrade into shared space; the journaled error flags the corruption
+	}
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{allocFirstOctet, byte(b16), byte(sub * 16), 0}), 20)
+	if err := a.meta.Prefixes.Announce(prefix, k.asn); err != nil {
+		a.errs = append(a.errs, fmt.Errorf("world: announce %s: %w", prefix, err))
+	}
+	if err := a.meta.Geo.AddPrefix(prefix, k.cc); err != nil {
+		a.errs = append(a.errs, fmt.Errorf("world: geolocate %s: %w", prefix, err))
+	}
+	b := &block{prefix: prefix, next: 1}
+	a.blocks[k] = b
+	return b
+}
+
 // ensureBlock registers the /20 for (asn, cc), creating prefix, geo, and
 // origin entries on first use.
 func (a *allocator) ensureBlock(asn ipmeta.ASN, country ipmeta.CountryCode) *block {
@@ -81,35 +119,33 @@ func (a *allocator) ensureBlock(asn ipmeta.ASN, country ipmeta.CountryCode) *blo
 	if b, ok := a.blocks[k]; ok {
 		return b
 	}
-	// Four /20s per /16 keeps octet arithmetic trivial: sub-block s
-	// covers 100.B.(s*16).0/20.
-	idx := len(a.blocks)
-	b16 := a.nextB + idx/4
-	sub := idx % 4
-	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{allocFirstOctet, byte(b16), byte(sub * 16), 0}), 20)
-	if err := a.meta.Prefixes.Announce(prefix, asn); err != nil {
-		panic(fmt.Sprintf("world: announce %s: %v", prefix, err))
-	}
-	if err := a.meta.Geo.AddPrefix(prefix, country); err != nil {
-		panic(fmt.Sprintf("world: geolocate %s: %v", prefix, err))
-	}
-	b := &block{prefix: prefix, next: 1}
-	a.blocks[k] = b
-	return b
+	return a.carveBlock(k)
 }
 
-// Alloc returns the next unused address announced by asn in country.
+// Alloc returns the next unused address announced by asn in country. A
+// /20 that fills up rotates to a freshly announced /20 for the same pair
+// — an oversized population degrades into more prefixes, never a panic.
 func (a *allocator) Alloc(asn ipmeta.ASN, country ipmeta.CountryCode) netip.Addr {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	b := a.ensureBlock(asn, country)
+	if b.next >= 1<<12-2 {
+		b = a.carveBlock(blockKey{asn, country})
+	}
 	base := b.prefix.Addr().As4()
 	n := b.next
 	b.next++
-	if n >= 1<<12-2 {
-		panic(fmt.Sprintf("world: /20 exhausted for %s %s", asn, country))
-	}
 	return netip.AddrFrom4([4]byte{base[0], base[1], base[2] + byte(n>>8), byte(n)})
+}
+
+// drainErrors hands the journaled allocator failures to the caller and
+// clears the journal.
+func (a *allocator) drainErrors() []error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	errs := a.errs
+	a.errs = nil
+	return errs
 }
 
 // RegisterProvider makes every (ASN, country) block of the provider

@@ -259,6 +259,7 @@ func New(cfg Config) *World {
 	if cfg.DNSSEC {
 		w.finalizeDNSSEC()
 	}
+	w.Errors = append(w.Errors, w.alloc.drainErrors()...)
 	return w
 }
 

@@ -20,6 +20,7 @@ import (
 // Chain verification errors.
 var (
 	ErrEmptyChain     = errors.New("x509lite: empty chain")
+	ErrNilCertificate = errors.New("x509lite: nil certificate in chain")
 	ErrBrokenChain    = errors.New("x509lite: chain link does not verify")
 	ErrNotCA          = errors.New("x509lite: intermediate is not a CA certificate")
 	ErrUntrustedRoot  = errors.New("x509lite: chain does not terminate at a trusted root")
@@ -73,6 +74,13 @@ func (c *Certificate) SubjectSigningKey() (*SigningKey, error) {
 func (s *TrustStore) VerifyChain(chain []*Certificate, at simtime.Date) ([]RootProgram, error) {
 	if len(chain) == 0 {
 		return nil, ErrEmptyChain
+	}
+	// A scanner handing over a partially-decoded presentation can leave
+	// nil slots; data must never turn into a dereference panic here.
+	for i, c := range chain {
+		if c == nil {
+			return nil, fmt.Errorf("%w: position %d", ErrNilCertificate, i)
+		}
 	}
 	leaf := chain[0]
 	if leaf.IsCA {

@@ -1,0 +1,137 @@
+package x509lite
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// FuzzChainVerify assembles certificate chains of fuzz-chosen depth,
+// applies one fuzz-chosen corruption (nil slot, flipped CA bit, stripped
+// subject key, broken signature, truncation, swap, emptying), and checks
+// that VerifyChain never panics, rejects every corrupted chain with one of
+// its typed sentinels, and still accepts the untouched chain.
+func FuzzChainVerify(f *testing.F) {
+	for mut := uint8(0); mut < 8; mut++ {
+		f.Add(uint8(0), mut, uint8(0), int16(100))
+		f.Add(uint8(2), mut, uint8(1), int16(500))
+	}
+	f.Add(uint8(1), uint8(4), uint8(7), int16(-50))
+	f.Add(uint8(2), uint8(1), uint8(255), int16(2000))
+
+	sentinels := []error{
+		ErrEmptyChain, ErrNilCertificate, ErrBrokenChain, ErrNotCA,
+		ErrUntrustedRoot, ErrLeafIsCA, ErrChainKeyMix, ErrMissingSubject,
+	}
+
+	f.Fuzz(func(t *testing.T, depth, mutation, pos uint8, at int16) {
+		store := NewTrustStore()
+		root := NewSigningKey("fuzz-root", 1)
+		store.Include(root, ProgramMozilla)
+
+		// Top-down issuance: root signs the first intermediate, each
+		// intermediate signs the next, the last key signs the leaf.
+		signer := root
+		var inters []*Certificate
+		for i := 0; i < int(depth%3); i++ {
+			cert, key := IssueIntermediate(signer, dnscore.Name(fmt.Sprintf("inter%d.example", i)),
+				fmt.Sprintf("fuzz-inter-%d", i), int64(i+2), 0, 1000)
+			inters = append(inters, cert)
+			signer = key
+		}
+		leaf := &Certificate{
+			Serial: 99, Subject: "www.example.com", SANs: []dnscore.Name{"www.example.com"},
+			Issuer: "fuzz", NotBefore: 0, NotAfter: 1000, Method: ValidationDNS01,
+		}
+		signer.Sign(leaf)
+		chain := []*Certificate{leaf}
+		for i := len(inters) - 1; i >= 0; i-- {
+			chain = append(chain, inters[i])
+		}
+
+		date := simtime.Date(at)
+		clean := false
+		p := int(pos) % len(chain)
+		switch mutation % 8 {
+		case 0:
+			clean = true
+			// Pin the date inside every certificate's validity so the
+			// clean chain must verify.
+			date = simtime.Date(int(at%1000+1000) % 1000)
+		case 1:
+			chain[p] = nil
+		case 2:
+			c := chain[p].Clone()
+			c.IsCA = !c.IsCA
+			chain[p] = c
+		case 3:
+			c := chain[p].Clone()
+			c.SubjectKeyHex = ""
+			chain[p] = c
+		case 4:
+			c := chain[p].Clone()
+			c.Signature = append(append([]byte(nil), c.Signature...), 0x5a)
+			chain[p] = c
+		case 5:
+			chain = chain[:len(chain)-1]
+			if len(chain) == 0 {
+				chain = nil
+			}
+		case 6:
+			chain[0], chain[len(chain)-1] = chain[len(chain)-1], chain[0]
+		case 7:
+			chain = nil
+		}
+
+		programs, err := store.VerifyChain(chain, date)
+		if clean {
+			if err != nil || len(programs) == 0 {
+				t.Fatalf("clean chain (depth %d) rejected at %s: %v", len(chain), date, err)
+			}
+		} else if err != nil {
+			known := false
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					known = true
+					break
+				}
+			}
+			if !known {
+				t.Fatalf("untyped chain error: %v", err)
+			}
+		}
+		// BrowserTrustedChain is the same predicate, never divergent.
+		if got, want := store.BrowserTrustedChain(chain, date), err == nil && len(programs) > 0; got != want {
+			t.Fatalf("BrowserTrustedChain = %v, VerifyChain said %v (err %v)", got, want, err)
+		}
+	})
+}
+
+// TestVerifyChainNilSlots pins the regression the fuzz target exists for:
+// nil chain elements must return ErrNilCertificate, not dereference.
+func TestVerifyChainNilSlots(t *testing.T) {
+	store := NewTrustStore()
+	root := NewSigningKey("nil-root", 1)
+	store.Include(root, ProgramMozilla)
+	leaf := &Certificate{
+		Serial: 1, Subject: "www.example.com", SANs: []dnscore.Name{"www.example.com"},
+		NotBefore: 0, NotAfter: 100, Method: ValidationDNS01,
+	}
+	root.Sign(leaf)
+	for _, chain := range [][]*Certificate{
+		{nil},
+		{nil, nil},
+		{leaf, nil},
+		{nil, leaf},
+	} {
+		if _, err := store.VerifyChain(chain, 10); !errors.Is(err, ErrNilCertificate) {
+			t.Errorf("VerifyChain(%v) err = %v, want ErrNilCertificate", chain, err)
+		}
+	}
+	if _, err := store.VerifyChain([]*Certificate{leaf}, 10); err != nil {
+		t.Errorf("valid single-cert chain rejected: %v", err)
+	}
+}

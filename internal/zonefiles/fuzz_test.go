@@ -1,0 +1,63 @@
+package zonefiles
+
+import (
+	"reflect"
+	"testing"
+
+	"retrodns/internal/dnscore"
+)
+
+// FuzzZonefileParse throws arbitrary bytes at the snapshot parser and
+// checks its gate invariants: no panic, only validated canonical names in
+// the output, exact-counter bookkeeping, and the format/parse metamorphic
+// round trip.
+func FuzzZonefileParse(f *testing.F) {
+	f.Add(fixtureSnapshot)
+	f.Add("")
+	f.Add("; nothing but comments\n# and more\n\n")
+	f.Add("example.com. NS ns1.example.net.")
+	f.Add("example.com. 86400 IN NS ns1.example.net.\nexample.com. IN NS ns2.example.net.")
+	f.Add("no-type-field.com.\nowner only\n")
+	f.Add("BAD$OWNER.com. NS ns.ok.net.\nok.com. NS BAD$TARGET.")
+	f.Add("a.com. NS b.net. trailing junk fields")
+	f.Add("-lead.com. NS x.net.\nx_y.com. NS y.net.\n__.com. NS z.net.")
+	f.Add("\x00\xff\xfe binary NS junk\nA.COM. ns lower.type.net.")
+	f.Add("dup.com. NS ns.x.net.\ndup.com. NS ns.x.net.\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		dels, rep := ParseSnapshot(text)
+		if rep.Bad < 0 || rep.Lines < rep.Skipped+rep.Bad {
+			t.Fatalf("inconsistent report: %+v", rep)
+		}
+		total := 0
+		for i, d := range dels {
+			if i > 0 && dels[i-1].Domain >= d.Domain {
+				t.Fatalf("owners unsorted: %q then %q", dels[i-1].Domain, d.Domain)
+			}
+			if rt, err := dnscore.ParseName(string(d.Domain)); err != nil || rt != d.Domain {
+				t.Fatalf("owner %q escaped validation (err=%v)", d.Domain, err)
+			}
+			for j, ns := range d.NS {
+				if j > 0 && d.NS[j-1] >= ns {
+					t.Fatalf("NS set of %q unsorted or duplicated: %v", d.Domain, d.NS)
+				}
+				if rt, err := dnscore.ParseName(string(ns)); err != nil || rt != ns {
+					t.Fatalf("target %q escaped validation (err=%v)", ns, err)
+				}
+			}
+			total += len(d.NS)
+		}
+		if total > rep.Records {
+			t.Fatalf("%d delegated NS from %d accepted records", total, rep.Records)
+		}
+		// Metamorphic: the canonical rendering reparses to the same
+		// delegations with nothing rejected.
+		again, rep2 := ParseSnapshot(FormatSnapshot(dels))
+		if rep2.Bad != 0 || rep2.Skipped != 0 {
+			t.Fatalf("canonical form rejected: %+v", rep2)
+		}
+		if !reflect.DeepEqual(dels, again) {
+			t.Fatalf("round trip diverged:\n%v\nvs\n%v", dels, again)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package zonefiles
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"retrodns/internal/dnscore"
+)
+
+// This file parses the textual zone-file snapshots the archive ingests —
+// the master-file subset DZDB-style TLD dumps actually use: one
+// whitespace-separated record per line, `;`/`#` comments, optional TTL and
+// class tokens. ParseSnapshot output feeds Archive.Snapshot directly.
+//
+// The parser is an ingest gate like scanner.Dataset's: malformed lines are
+// journaled into a bounded report and skipped, never fatal — a corrupt
+// line in a million-record dump costs one delegation, not the snapshot.
+
+// Sentinel errors for line-level failures, surfaced in ParseReport
+// examples via errors.Is-compatible wrapping.
+var (
+	// ErrBadRecordLine reports a line with too few fields to be a record.
+	ErrBadRecordLine = errors.New("zonefiles: malformed record line")
+	// ErrBadOwnerName reports an owner name that fails DNS name validation.
+	ErrBadOwnerName = errors.New("zonefiles: bad owner name")
+	// ErrBadTargetName reports an NS target failing DNS name validation.
+	ErrBadTargetName = errors.New("zonefiles: bad nameserver target")
+)
+
+// maxParseExamples bounds the journaled bad-line examples; the counters
+// stay exact.
+const maxParseExamples = 8
+
+// ParseReport summarizes one snapshot parse: exact counters plus a
+// bounded sample of the rejected lines.
+type ParseReport struct {
+	// Lines is the number of non-blank, non-comment lines examined.
+	Lines int
+	// Records is the number of NS records accepted into delegations.
+	Records int
+	// Skipped counts well-formed records of other types (SOA, A, DS, …),
+	// which a delegation snapshot ignores by design.
+	Skipped int
+	// Bad counts lines the parser refused.
+	Bad int
+	// Examples holds up to maxParseExamples refusal messages.
+	Examples []error
+}
+
+func (r *ParseReport) reject(lineNo int, line string, err error) {
+	r.Bad++
+	if len(r.Examples) < maxParseExamples {
+		r.Examples = append(r.Examples, fmt.Errorf("line %d %q: %w", lineNo, line, err))
+	}
+}
+
+// String renders the report for CLI diagnostics.
+func (r ParseReport) String() string {
+	s := fmt.Sprintf("zonefile parse: %d lines, %d NS records, %d other records skipped, %d bad lines",
+		r.Lines, r.Records, r.Skipped, r.Bad)
+	for _, e := range r.Examples {
+		s += "\n  " + e.Error()
+	}
+	return s
+}
+
+// parseName canonicalizes one master-file name token: trailing root dot
+// stripped, then full dnscore validation.
+func parseName(tok string) (dnscore.Name, error) {
+	tok = strings.TrimSuffix(tok, ".")
+	return dnscore.ParseName(tok)
+}
+
+// looksLikeTTL reports whether tok is a non-negative integer TTL field.
+func looksLikeTTL(tok string) bool {
+	_, err := strconv.ParseUint(tok, 10, 32)
+	return err == nil
+}
+
+// ParseSnapshot parses one day's zone-file text into delegations, grouped
+// by owner and sorted the way DelegationsOf emits them. Accepted shapes:
+//
+//	example.com. NS ns1.example.net.
+//	example.com. 86400 IN NS ns1.example.net.
+//	; comments and blank lines
+//
+// Records of other types count as Skipped; lines that parse as nothing at
+// all are journaled in the report and dropped.
+func ParseSnapshot(text string) ([]Delegation, ParseReport) {
+	var rep ParseReport
+	byOwner := make(map[dnscore.Name][]dnscore.Name)
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		rep.Lines++
+		if len(fields) < 3 {
+			rep.reject(lineNo+1, raw, ErrBadRecordLine)
+			continue
+		}
+		owner, rest := fields[0], fields[1:]
+		// Optional TTL and class tokens between owner and type.
+		if looksLikeTTL(rest[0]) {
+			rest = rest[1:]
+		}
+		if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+			rest = rest[1:]
+		}
+		if len(rest) < 2 {
+			rep.reject(lineNo+1, raw, ErrBadRecordLine)
+			continue
+		}
+		typ, data := rest[0], rest[1:]
+		if !strings.EqualFold(typ, "NS") {
+			rep.Skipped++
+			continue
+		}
+		o, err := parseName(owner)
+		if err != nil {
+			rep.reject(lineNo+1, raw, fmt.Errorf("%w: %v", ErrBadOwnerName, err))
+			continue
+		}
+		target, err := parseName(data[0])
+		if err != nil {
+			rep.reject(lineNo+1, raw, fmt.Errorf("%w: %v", ErrBadTargetName, err))
+			continue
+		}
+		// Duplicate NS lines collapse, matching DelegationsOf's set view.
+		dup := false
+		for _, t := range byOwner[o] {
+			if t == target {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			byOwner[o] = append(byOwner[o], target)
+		}
+		rep.Records++
+	}
+	out := make([]Delegation, 0, len(byOwner))
+	for domain, ns := range byOwner {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		out = append(out, Delegation{Domain: domain, NS: ns})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out, rep
+}
+
+// FormatSnapshot renders delegations back into the canonical record lines
+// ParseSnapshot accepts — the round-trip half of the parser's metamorphic
+// fuzz invariant.
+func FormatSnapshot(delegations []Delegation) string {
+	var sb strings.Builder
+	for _, d := range delegations {
+		for _, ns := range d.NS {
+			fmt.Fprintf(&sb, "%s. NS %s.\n", d.Domain, ns)
+		}
+	}
+	return sb.String()
+}

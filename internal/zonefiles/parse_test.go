@@ -1,0 +1,97 @@
+package zonefiles
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"retrodns/internal/dnscore"
+)
+
+const fixtureSnapshot = `
+; com zone, nightly dump
+example.com.            NS   ns1.example.net.
+example.com. 86400 IN NS ns2.example.net.
+example.com. NS ns1.example.net.   ; duplicate collapses
+other.com. 3600 IN A 192.0.2.1     # non-NS records skipped
+short-line
+BAD$OWNER.com. NS ns1.example.net.
+fine.com. NS BAD$TARGET.net.
+deep.example.com. IN NS ns1.example.net.
+`
+
+func TestParseSnapshot(t *testing.T) {
+	dels, rep := ParseSnapshot(fixtureSnapshot)
+	want := []Delegation{
+		{Domain: "deep.example.com", NS: []dnscore.Name{"ns1.example.net"}},
+		{Domain: "example.com", NS: []dnscore.Name{"ns1.example.net", "ns2.example.net"}},
+	}
+	if !reflect.DeepEqual(dels, want) {
+		t.Errorf("delegations = %v, want %v", dels, want)
+	}
+	if rep.Lines != 8 || rep.Records != 4 || rep.Skipped != 1 || rep.Bad != 3 {
+		t.Errorf("report = %+v, want lines=8 records=4 skipped=1 bad=3", rep)
+	}
+	var badLine, badOwner, badTarget bool
+	for _, e := range rep.Examples {
+		badLine = badLine || errors.Is(e, ErrBadRecordLine)
+		badOwner = badOwner || errors.Is(e, ErrBadOwnerName)
+		badTarget = badTarget || errors.Is(e, ErrBadTargetName)
+	}
+	if !badLine || !badOwner || !badTarget {
+		t.Errorf("examples missing a sentinel: line=%v owner=%v target=%v\n%v", badLine, badOwner, badTarget, rep.Examples)
+	}
+	if s := rep.String(); !strings.Contains(s, "3 bad lines") {
+		t.Errorf("report rendering: %q", s)
+	}
+}
+
+func TestParseSnapshotEmpty(t *testing.T) {
+	for _, text := range []string{"", "\n\n", "; only comments\n# here\n"} {
+		dels, rep := ParseSnapshot(text)
+		if len(dels) != 0 || rep.Lines != 0 || rep.Bad != 0 {
+			t.Errorf("ParseSnapshot(%q) = %v, %+v", text, dels, rep)
+		}
+	}
+}
+
+// TestParseExamplesBounded floods the parser with bad lines; counters
+// stay exact while the example journal stays bounded.
+func TestParseExamplesBounded(t *testing.T) {
+	text := strings.Repeat("junk\n", 100)
+	_, rep := ParseSnapshot(text)
+	if rep.Bad != 100 {
+		t.Errorf("bad = %d, want 100", rep.Bad)
+	}
+	if len(rep.Examples) > maxParseExamples {
+		t.Errorf("examples unbounded: %d", len(rep.Examples))
+	}
+}
+
+// TestParseFormatRoundTrip pins the metamorphic relation the fuzz target
+// relies on: format-then-parse is the identity on parsed delegations.
+func TestParseFormatRoundTrip(t *testing.T) {
+	dels, _ := ParseSnapshot(fixtureSnapshot)
+	again, rep := ParseSnapshot(FormatSnapshot(dels))
+	if rep.Bad != 0 {
+		t.Errorf("canonical form rejected lines: %+v", rep)
+	}
+	if !reflect.DeepEqual(dels, again) {
+		t.Errorf("round trip diverged:\n%v\nvs\n%v", dels, again)
+	}
+}
+
+// TestParsedSnapshotFeedsArchive wires the parser to the archive the way
+// a DZDB ingest job would.
+func TestParsedSnapshotFeedsArchive(t *testing.T) {
+	a := NewArchive("com")
+	day0, _ := ParseSnapshot("victim.com. NS ns1.good.net.\nvictim.com. NS ns2.good.net.\n")
+	day1, _ := ParseSnapshot("victim.com. NS ns1.evil.ru.\n")
+	a.Snapshot("com", 10, day0)
+	a.Snapshot("com", 11, day1)
+	changes := a.Changes("victim.com")
+	if len(changes) != 1 || nsKey(changes[0].To) != "ns1.evil.ru" {
+		t.Fatalf("changes = %v", changes)
+	}
+}

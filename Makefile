@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench bench-all
+.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline
 
-ci: vet build test race fuzz-smoke
+ci: lint vet build test race fuzz-smoke
+
+# The fault-tolerance conventions from PR 3, machine-checked: no panic(
+# reachable from data paths, no Must* constructors outside static tables.
+lint:
+	./scripts/lint.sh
 
 vet:
 	$(GO) vet ./...
@@ -16,12 +21,14 @@ build:
 test:
 	$(GO) test ./...
 
-# The pipeline's worker pool, the frozen dataset's lock-free reads, and the
-# incremental Append path are exercised under the race detector here
-# (includes TestPipelineDeterminism, TestDatasetConcurrentReads,
-# TestAppendConcurrentReads, and TestIncrementalReplayEquivalence).
+# The pipeline's worker pool, the frozen dataset's lock-free reads, the
+# incremental Append path, and the shared metrics registry are exercised
+# under the race detector here (includes TestPipelineDeterminism,
+# TestDatasetConcurrentReads, TestAppendConcurrentReads,
+# TestIncrementalReplayEquivalence, TestConcurrentRegistry, and
+# TestFollowScrapeRace).
 race:
-	$(GO) test -race ./internal/core ./internal/scanner
+	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv
 
 # Ten seconds of coverage-guided fuzzing per parser: DNS names, zone-file
 # snapshots, certificate chains, and the JSON report round trip. Enough to
@@ -42,3 +49,22 @@ bench:
 # Every benchmark in the harness (tables, figures, scale sweeps, ablations).
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# The CI perf gate's inputs: a run report from the seeded example world
+# plus one pass over the gated benchmarks. BENCHDIR defaults to a scratch
+# dir so `make benchgate` leaves no tracked files behind.
+BENCHDIR ?= /tmp/retrodns-bench
+bench-report:
+	mkdir -p $(BENCHDIR)
+	$(GO) run ./cmd/retrodns -stable 80 -seed 1 -report-json $(BENCHDIR)/run-report.json 2>/dev/null >/dev/null
+	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
+
+# Fail on funnel drift or a >20% perf regression against the committed
+# baseline (see cmd/benchdiff).
+benchgate: bench-report
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -report $(BENCHDIR)/run-report.json -bench $(BENCHDIR)/bench.txt
+
+# Regenerate the committed baseline after an intentional funnel or perf
+# change; commit the resulting BENCH_BASELINE.json with the change.
+bench-baseline: bench-report
+	$(GO) run ./cmd/benchdiff -update -baseline BENCH_BASELINE.json -report $(BENCHDIR)/run-report.json -bench $(BENCHDIR)/bench.txt

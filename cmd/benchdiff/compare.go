@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"retrodns/internal/report"
+)
+
+// minGatedStageWall is the noise floor for per-stage timing gates: a
+// stage whose baseline wall time is below this is too fast to measure a
+// 20% regression reliably from a single run, so it is reported but not
+// gated. Benchmark samples have no floor — the testing package already
+// averages them over N iterations.
+const minGatedStageWall = 50 * time.Millisecond
+
+// Result is the outcome of one baseline comparison.
+type Result struct {
+	// Failures are gate violations; any entry fails the build.
+	Failures []string
+	// Info lines narrate what was compared and what moved.
+	Info []string
+}
+
+// compare applies the two gates: funnel counts must match exactly, and
+// timings (bench ns/op; stage wall times above the noise floor) must not
+// regress past tol.
+func compare(baseline, current *report.RunReport, tol float64) Result {
+	var res Result
+	res.compareFunnel(baseline, current)
+	res.compareStages(baseline, current, tol)
+	res.compareBench(baseline, current, tol)
+	return res
+}
+
+// compareFunnel enforces zero drift across the union of funnel keys —
+// plus the quarantine total, which is equally deterministic on the
+// seeded world.
+func (res *Result) compareFunnel(baseline, current *report.RunReport) {
+	if len(current.Funnel) == 0 {
+		if len(baseline.Funnel) > 0 {
+			res.Info = append(res.Info, "no fresh run report given: funnel drift not checked")
+		}
+		return
+	}
+	keys := make(map[string]bool, len(baseline.Funnel))
+	for k := range baseline.Funnel {
+		keys[k] = true
+	}
+	for k := range current.Funnel {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	matched := 0
+	for _, k := range sorted {
+		b, inB := baseline.Funnel[k]
+		c, inC := current.Funnel[k]
+		switch {
+		case !inB:
+			res.Failures = append(res.Failures, fmt.Sprintf("funnel %s: new count %d absent from baseline (regenerate the baseline if intended)", k, c))
+		case !inC:
+			res.Failures = append(res.Failures, fmt.Sprintf("funnel %s: baseline count %d missing from fresh run", k, b))
+		case b != c:
+			res.Failures = append(res.Failures, fmt.Sprintf("funnel %s: %d -> %d (drift on the seeded world)", k, b, c))
+		default:
+			matched++
+		}
+	}
+	if baseline.Quarantine.Total != current.Quarantine.Total {
+		res.Failures = append(res.Failures, fmt.Sprintf("quarantine total: %d -> %d", baseline.Quarantine.Total, current.Quarantine.Total))
+	}
+	res.Info = append(res.Info, fmt.Sprintf("funnel: %d/%d counts match", matched, len(sorted)))
+}
+
+// compareStages gates wall-time regressions for stages slow enough to
+// measure, matching stages by name.
+func (res *Result) compareStages(baseline, current *report.RunReport, tol float64) {
+	if len(current.Stages) == 0 || len(baseline.Stages) == 0 {
+		return
+	}
+	byName := make(map[string]report.StageReport, len(baseline.Stages))
+	for _, s := range baseline.Stages {
+		byName[s.Name] = s
+	}
+	for _, c := range current.Stages {
+		b, ok := byName[c.Name]
+		if !ok || b.WallNS <= 0 {
+			continue
+		}
+		ratio := float64(c.WallNS) / float64(b.WallNS)
+		line := fmt.Sprintf("stage %s: %s -> %s (%+.1f%%)", c.Name,
+			time.Duration(b.WallNS).Round(time.Microsecond),
+			time.Duration(c.WallNS).Round(time.Microsecond), (ratio-1)*100)
+		if ratio > 1+tol && time.Duration(b.WallNS) >= minGatedStageWall {
+			res.Failures = append(res.Failures, line)
+			continue
+		}
+		res.Info = append(res.Info, line)
+	}
+}
+
+// compareBench gates ns/op regressions for benchmarks present on both
+// sides; benchmarks that appear or disappear are informational, since
+// the bench selection legitimately changes across PRs.
+func (res *Result) compareBench(baseline, current *report.RunReport, tol float64) {
+	if len(current.Bench) == 0 || len(baseline.Bench) == 0 {
+		return
+	}
+	byName := make(map[string]report.BenchSample, len(baseline.Bench))
+	for _, s := range baseline.Bench {
+		byName[s.Name] = s
+	}
+	for _, c := range current.Bench {
+		b, ok := byName[c.Name]
+		if !ok {
+			res.Info = append(res.Info, fmt.Sprintf("bench %s: new benchmark, no baseline", c.Name))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		line := fmt.Sprintf("bench %s: %.0f -> %.0f ns/op (%+.1f%%)", c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		if ratio > 1+tol {
+			res.Failures = append(res.Failures, line)
+			continue
+		}
+		res.Info = append(res.Info, line)
+	}
+}

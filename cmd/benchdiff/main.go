@@ -1,0 +1,144 @@
+// Command benchdiff is the CI performance/correctness gate. It compares a
+// fresh machine-readable run report (retrodns -report-json) plus `go test
+// -bench` output against the committed baseline (BENCH_BASELINE.json) and
+// exits non-zero when either
+//
+//   - any funnel count drifted — the seeded world is deterministic, so a
+//     single-domain difference means the methodology changed, or
+//   - a benchmark or a substantial pipeline stage regressed past the
+//     tolerance (default 20%).
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_BASELINE.json -report run.json -bench bench.txt
+//	benchdiff -update -baseline BENCH_BASELINE.json -report run.json -bench bench.txt
+//
+// Exit codes: 0 gate passed, 1 gate failed, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"retrodns/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_BASELINE.json", "committed baseline run report")
+		reportPath   = fs.String("report", "", "fresh run report (retrodns -report-json)")
+		benchPath    = fs.String("bench", "", "fresh `go test -bench` output to merge into the comparison")
+		tolerance    = fs.Float64("tolerance", 0.20, "allowed fractional timing regression before failing")
+		update       = fs.Bool("update", false, "write -report (+ -bench) as the new baseline instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *reportPath == "" && *benchPath == "" {
+		fmt.Fprintln(stderr, "benchdiff: need -report and/or -bench")
+		return 2
+	}
+
+	current, err := loadCurrent(*reportPath, *benchPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	if *update {
+		// The baseline needs the funnel, stage timings, and bench samples;
+		// the embedded metrics snapshot is scrape surface, not gate input,
+		// and only bloats the committed file.
+		current.Metrics = nil
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		if err := current.Encode(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: wrote baseline %s (%d funnel counts, %d stages, %d bench samples)\n",
+			*baselinePath, len(current.Funnel), len(current.Stages), len(current.Bench))
+		return 0
+	}
+
+	baseline, err := loadReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	result := compare(baseline, current, *tolerance)
+	for _, line := range result.Info {
+		fmt.Fprintln(stdout, "  "+line)
+	}
+	if len(result.Failures) > 0 {
+		for _, line := range result.Failures {
+			fmt.Fprintln(stderr, "FAIL: "+line)
+		}
+		fmt.Fprintf(stderr, "benchdiff: %d gate failure(s) against %s\n", len(result.Failures), *baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: ok against %s\n", *baselinePath)
+	return 0
+}
+
+// loadCurrent assembles the fresh side of the comparison from a run
+// report and/or raw bench output. Bench samples parsed from -bench
+// replace any embedded in the report: the gate should see what this run
+// measured, not what the report writer happened to embed.
+func loadCurrent(reportPath, benchPath string) (*report.RunReport, error) {
+	var current *report.RunReport
+	if reportPath != "" {
+		r, err := loadReport(reportPath)
+		if err != nil {
+			return nil, err
+		}
+		current = r
+	} else {
+		current = &report.RunReport{Schema: report.RunReportSchema}
+	}
+	if benchPath != "" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		samples, err := report.ParseBench(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(samples) == 0 {
+			return nil, fmt.Errorf("%s: no benchmark samples found", benchPath)
+		}
+		current.Bench = samples
+	}
+	return current, nil
+}
+
+func loadReport(path string) (*report.RunReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := report.ReadRunReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"retrodns/internal/report"
+)
+
+func loadFixture(t *testing.T, name string) *report.RunReport {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := report.ReadRunReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCompareBaselineAgainstItself(t *testing.T) {
+	b := loadFixture(t, "baseline.json")
+	res := compare(b, loadFixture(t, "baseline.json"), 0.20)
+	if len(res.Failures) != 0 {
+		t.Errorf("baseline vs itself failed: %v", res.Failures)
+	}
+}
+
+// TestCommittedBaselineSelfCompare is the acceptance pin: the committed
+// BENCH_BASELINE.json must pass its own gate.
+func TestCommittedBaselineSelfCompare(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_BASELINE.json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := report.ReadRunReport(f)
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if len(b.Funnel) == 0 || len(b.Bench) == 0 {
+		t.Fatalf("committed baseline is hollow: %d funnel counts, %d bench samples", len(b.Funnel), len(b.Bench))
+	}
+	if res := compare(b, b, 0.20); len(res.Failures) != 0 {
+		t.Errorf("committed baseline vs itself failed: %v", res.Failures)
+	}
+}
+
+// TestSyntheticRegressionFails is the other acceptance pin: a 25% bench
+// regression must trip the 20% gate, via the full CLI path.
+func TestSyntheticRegressionFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-baseline", filepath.Join("testdata", "baseline.json"),
+		"-bench", filepath.Join("testdata", "regressed_bench.txt"),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "BenchmarkAddScan") {
+		t.Errorf("failure does not name the regressed benchmark:\n%s", &stderr)
+	}
+}
+
+func TestHealthyBenchPasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-baseline", filepath.Join("testdata", "baseline.json"),
+		"-bench", filepath.Join("testdata", "healthy_bench.txt"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, &stderr)
+	}
+}
+
+func TestFunnelDriftFails(t *testing.T) {
+	b := loadFixture(t, "baseline.json")
+	c := loadFixture(t, "baseline.json")
+	c.Funnel["hijacked_verdicts"]--
+	res := compare(b, c, 0.20)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "hijacked_verdicts") {
+		t.Errorf("failures = %v, want one hijacked_verdicts drift", res.Failures)
+	}
+
+	// A vanished count is drift too, not a silent pass.
+	c2 := loadFixture(t, "baseline.json")
+	delete(c2.Funnel, "maps")
+	if res := compare(b, c2, 0.20); len(res.Failures) == 0 {
+		t.Error("missing funnel key passed the gate")
+	}
+}
+
+func TestStageGateRespectsNoiseFloor(t *testing.T) {
+	b := loadFixture(t, "baseline.json")
+
+	// classify (200ms baseline) is above the floor: +50% wall fails.
+	c := loadFixture(t, "baseline.json")
+	c.Stages[0].WallNS = b.Stages[0].WallNS * 3 / 2
+	res := compare(b, c, 0.20)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "classify") {
+		t.Errorf("failures = %v, want one classify regression", res.Failures)
+	}
+
+	// inspect (1ms baseline) is below minGatedStageWall: even a 10x blowup
+	// is reported, not gated — single-run microsecond walls are noise.
+	if time.Duration(b.Stages[1].WallNS) >= minGatedStageWall {
+		t.Fatal("fixture stage no longer below the noise floor")
+	}
+	c2 := loadFixture(t, "baseline.json")
+	c2.Stages[1].WallNS = b.Stages[1].WallNS * 10
+	if res := compare(b, c2, 0.20); len(res.Failures) != 0 {
+		t.Errorf("sub-floor stage regression gated: %v", res.Failures)
+	}
+}
+
+func TestQuarantineDriftFails(t *testing.T) {
+	b := loadFixture(t, "baseline.json")
+	c := loadFixture(t, "baseline.json")
+	c.Quarantine.Total = 7
+	if res := compare(b, c, 0.20); len(res.Failures) == 0 {
+		t.Error("quarantine drift passed the gate")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no inputs: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-report", "testdata/does-not-exist.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing report: exit = %d, want 2", code)
+	}
+}
+
+func TestUpdateWritesBaseline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "baseline.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-update", "-baseline", out,
+		"-report", filepath.Join("testdata", "baseline.json"),
+		"-bench", filepath.Join("testdata", "healthy_bench.txt"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("update exit = %d\nstderr: %s", code, &stderr)
+	}
+	// The freshly written baseline gates the same inputs cleanly.
+	code = run([]string{
+		"-baseline", out,
+		"-report", filepath.Join("testdata", "baseline.json"),
+		"-bench", filepath.Join("testdata", "healthy_bench.txt"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-compare after update: exit = %d\nstderr: %s", code, &stderr)
+	}
+}

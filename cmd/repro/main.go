@@ -18,6 +18,7 @@ import (
 
 	"retrodns/internal/core"
 	"retrodns/internal/dnscore"
+	"retrodns/internal/obsv"
 	"retrodns/internal/report"
 	"retrodns/internal/simtime"
 	"retrodns/internal/world"
@@ -38,6 +39,7 @@ func main() {
 		shortRn = flag.Bool("quiet", false, "suppress progress output")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		repJSON = flag.String("report-json", "", "write the machine-readable run report to this file ('-' for stdout)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -106,9 +108,31 @@ func main() {
 	progress("%s; dataset: %d domains, %d records", w.Summary(), domains, records)
 
 	progress("running detection pipeline...")
-	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, Workers: *workers, Cache: core.NewClassifyCache()}
+	metrics := obsv.NewRegistry()
+	ds.SetMetrics(metrics)
+	w.PDNSDB.SetMetrics(metrics)
+	w.CT.SetMetrics(metrics)
+	pipe := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta, PDNS: w.PDNSDB, CT: w.CT, Workers: *workers, Cache: core.NewClassifyCache(), Metrics: metrics}
 	res := pipe.Run()
 	progress("%s", res.Stats)
+
+	if *repJSON != "" {
+		doc := report.BuildRunReport(res, ds.Quarantine(), metrics)
+		out := os.Stdout
+		if *repJSON != "-" {
+			f, err := os.Create(*repJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "report-json:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := doc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "report-json:", err)
+			os.Exit(1)
+		}
+	}
 
 	sectors := make(map[dnscore.Name]string)
 	for _, truth := range w.TruthList() {

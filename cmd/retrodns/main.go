@@ -12,10 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"retrodns/internal/core"
 	"retrodns/internal/dnscore"
+	"retrodns/internal/obsv"
 	"retrodns/internal/report"
 	"retrodns/internal/scanner"
 	"retrodns/internal/world"
@@ -33,8 +35,21 @@ func main() {
 		strict      = flag.Bool("strict", false, "treat any record the ingest gate would quarantine as a fatal error instead of skipping it")
 		verbose     = flag.Bool("v", false, "print every finding")
 		jsonOut     = flag.Bool("json", false, "emit findings as JSON on stdout")
+		reportJSON  = flag.String("report-json", "", "write the machine-readable run report to this file ('-' for stdout)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running (most useful with -follow)")
 	)
 	flag.Parse()
+
+	metrics := obsv.NewRegistry()
+	if *metricsAddr != "" {
+		srv := &http.Server{Addr: *metricsAddr, Handler: metrics.Mux()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", *metricsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+	}
 
 	cfg := world.DefaultConfig()
 	cfg.Seed = *seed
@@ -48,6 +63,7 @@ func main() {
 	w := world.New(cfg)
 
 	var res *core.Result
+	var dataset *scanner.Dataset
 	if *follow {
 		// Incremental mode: advance the simulation clock once, then feed
 		// the scan series through Dataset.Append one scan at a time,
@@ -57,11 +73,16 @@ func main() {
 		checkWorldErrors(w)
 		sc := w.Scanner()
 		ds := scanner.NewDataset()
+		dataset = ds
 		ds.SetStrict(*strict)
+		ds.SetMetrics(metrics)
+		w.PDNSDB.SetMetrics(metrics)
+		w.CT.SetMetrics(metrics)
 		pipe := &core.Pipeline{
 			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
 			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
 			Workers: *workers, Cache: core.NewClassifyCache(),
+			Metrics: metrics,
 		}
 		for _, date := range w.ScanDates() {
 			if err := ds.Append(date, sc.ScanWeek(date)); err != nil {
@@ -80,6 +101,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, w.Summary())
 	} else {
 		ds := w.Run()
+		dataset = ds
 		checkWorldErrors(w)
 		// Bulk ingest builds the dataset inside the scanner, so strict mode
 		// is enforced after the fact: any quarantined record is fatal.
@@ -91,14 +113,25 @@ func main() {
 			}
 		}
 		fmt.Fprintln(os.Stderr, w.Summary())
+		ds.SetMetrics(metrics)
+		w.PDNSDB.SetMetrics(metrics)
+		w.CT.SetMetrics(metrics)
 		pipe := &core.Pipeline{
 			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
 			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
 			Workers: *workers, Cache: core.NewClassifyCache(),
+			Metrics: metrics,
 		}
 		res = pipe.Run()
 	}
 	fmt.Fprint(os.Stderr, res.Stats)
+
+	if *reportJSON != "" {
+		if err := writeRunReport(*reportJSON, res, dataset, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "report-json:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout, res); err != nil {
@@ -120,6 +153,24 @@ func main() {
 	if *evaluate {
 		score(w, res)
 	}
+}
+
+// writeRunReport emits the machine-readable run report — the document
+// cmd/benchdiff gates CI on — to a file or stdout.
+func writeRunReport(path string, res *core.Result, ds *scanner.Dataset, metrics *obsv.Registry) error {
+	doc := report.BuildRunReport(res, ds.Quarantine(), metrics)
+	if path == "-" {
+		return doc.Encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := doc.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // checkWorldErrors aborts on world-generation failures.

@@ -21,13 +21,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"net/netip"
+	"os"
 
 	"retrodns/internal/ca"
 	"retrodns/internal/core"
 	"retrodns/internal/ctlog"
 	"retrodns/internal/dnscore"
 	"retrodns/internal/dnsserver"
+	"retrodns/internal/obsv"
 	"retrodns/internal/reactive"
 	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
@@ -45,9 +48,10 @@ var (
 
 func main() {
 	follow := flag.Bool("follow", false, "replay a simulated study through the incremental analysis engine")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while following")
 	flag.Parse()
 	if *follow {
-		followStudy()
+		followStudy(*metricsAddr)
 		return
 	}
 	reactiveDemo()
@@ -56,7 +60,7 @@ func main() {
 // followStudy replays a small simulated study scan-by-scan: each Append
 // dirties only the cells the new scan touched, the cached pipeline
 // re-analyzes just those, and findings print the week they first surface.
-func followStudy() {
+func followStudy(metricsAddr string) {
 	cfg := world.DefaultConfig()
 	cfg.StableDomains = 60
 	cfg.TransitionDomains = 2
@@ -66,11 +70,28 @@ func followStudy() {
 	w.RunClock()
 	sc := w.Scanner()
 
+	// The shared registry: ingest counters from the dataset, funnel and
+	// stage series from the pipeline, query counters from the evidence
+	// sources — scraped live while the study replays.
+	metrics := obsv.NewRegistry()
+	if metricsAddr != "" {
+		srv := &http.Server{Addr: metricsAddr, Handler: metrics.Mux()}
+		go func() {
+			fmt.Printf("metrics on http://%s/metrics\n", metricsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+	}
+
 	ds := scanner.NewDataset()
+	ds.SetMetrics(metrics)
+	w.PDNSDB.SetMetrics(metrics)
+	w.CT.SetMetrics(metrics)
 	pipe := &core.Pipeline{
 		Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
 		PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
-		Cache: core.NewClassifyCache(),
+		Cache: core.NewClassifyCache(), Metrics: metrics,
 	}
 
 	seen := make(map[dnscore.Name]bool)

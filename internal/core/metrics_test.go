@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"retrodns/internal/obsv"
+	"retrodns/internal/scanner"
+)
+
+// keepDeterministic filters out the wall-clock metric families — by the
+// package convention, exactly the ones whose name ends in _seconds.
+func keepDeterministic(name string) bool {
+	return !strings.HasSuffix(name, "_seconds")
+}
+
+// TestPipelineBusyWallAccounting pins the busy/wall accounting under the
+// worker pool: utilization must come out ≤ 1.0 up to clock-measurement
+// noise — not clamped into correctness. A stage whose summed busy time
+// exceeds workers × wall by more than the noise margin has double-counted
+// worker time.
+func TestPipelineBusyWallAccounting(t *testing.T) {
+	p := buildPipelineWorld(t)
+	p.Workers = 4
+	res := p.Run()
+
+	if len(res.Stats.Stages) == 0 {
+		t.Fatal("no stage stats recorded")
+	}
+	const noise = 1.05 // 5% slack for per-worker clock reads vs the stage clock
+	for _, s := range res.Stats.Stages {
+		if s.Wall <= 0 {
+			t.Errorf("stage %s: wall = %s, want > 0", s.Name, s.Wall)
+		}
+		if s.Busy <= 0 {
+			t.Errorf("stage %s: busy = %s, want > 0", s.Name, s.Busy)
+		}
+		if util := s.Utilization(); util > noise {
+			t.Errorf("stage %s: utilization = %.3f > %.2f — busy/wall accounting bug (busy=%s wall=%s workers=%d)",
+				s.Name, util, noise, s.Busy, s.Wall, s.Workers)
+		}
+		if s.Busy > s.Wall && s.Workers == 1 {
+			t.Errorf("stage %s: serial stage busy %s exceeds wall %s", s.Name, s.Busy, s.Wall)
+		}
+	}
+	// Serial stages inherit their wall time as busy time (one worker,
+	// always computing), so their utilization reads exactly 1.0.
+	for _, name := range []string{"freeze", "shortlist", "pivot"} {
+		s := res.Stats.Stage(name)
+		if s.Name == "" {
+			t.Fatalf("stage %s missing from stats", name)
+		}
+		if s.Workers != 1 {
+			t.Errorf("stage %s: workers = %d, want 1", name, s.Workers)
+		}
+		if s.Busy != s.Wall {
+			t.Errorf("stage %s: serial busy %s != wall %s", name, s.Busy, s.Wall)
+		}
+	}
+	// Parallel stages ran with the configured fan-out.
+	for _, name := range []string{"classify", "inspect"} {
+		if s := res.Stats.Stage(name); s.Workers != 4 {
+			t.Errorf("stage %s: workers = %d, want 4", name, s.Workers)
+		}
+	}
+}
+
+// TestPipelineMetricsAndTrace checks that a Run publishes the funnel into
+// an attached registry, that the numbers agree with the Result, and that
+// the span tree mirrors the stage table.
+func TestPipelineMetricsAndTrace(t *testing.T) {
+	reg := obsv.NewRegistry()
+	p := buildPipelineWorld(t)
+	p.Metrics = reg
+	res := p.Run()
+
+	gauge := func(name string, labels ...string) int64 {
+		t.Helper()
+		return reg.Gauge(name, labels...).Value()
+	}
+	if got := reg.Counter(MetricRunsTotal).Value(); got != 1 {
+		t.Errorf("runs_total = %d, want 1", got)
+	}
+	if got := gauge(MetricFunnelDomains); got != int64(res.Funnel.Domains) {
+		t.Errorf("funnel_domains = %d, want %d", got, res.Funnel.Domains)
+	}
+	if got := gauge(MetricFunnelMaps); got != int64(res.Funnel.Maps) {
+		t.Errorf("funnel_maps = %d, want %d", got, res.Funnel.Maps)
+	}
+	for cat := CategoryStable; cat <= CategoryNoisy; cat++ {
+		if got := gauge(MetricDomainCategory, "category", cat.String()); got != int64(res.Funnel.DomainCategories[cat]) {
+			t.Errorf("domain_category{%s} = %d, want %d", cat, got, res.Funnel.DomainCategories[cat])
+		}
+	}
+	if got := gauge(MetricVerdicts, "verdict", "hijacked"); got != int64(len(res.Hijacked)) {
+		t.Errorf("verdicts{hijacked} = %d, want %d", got, len(res.Hijacked))
+	}
+	if got := gauge(MetricVerdicts, "verdict", "targeted"); got != int64(len(res.Targeted)) {
+		t.Errorf("verdicts{targeted} = %d, want %d", got, len(res.Targeted))
+	}
+	if got := gauge(MetricShortlisted); got != int64(res.Funnel.Shortlisted) {
+		t.Errorf("shortlisted = %d, want %d", got, res.Funnel.Shortlisted)
+	}
+
+	// Per-stage series agree with the stage table.
+	for _, s := range res.Stats.Stages {
+		if got := gauge(MetricStageItems, "stage", s.Name); got != int64(s.Items) {
+			t.Errorf("stage_items{%s} = %d, want %d", s.Name, got, s.Items)
+		}
+	}
+
+	// The trace mirrors the stage table: a pipeline.run root with one
+	// ended child per stage, same wall and busy readings.
+	root := res.Trace
+	if root == nil || root.Name() != "pipeline.run" {
+		t.Fatalf("trace root = %v", root)
+	}
+	if root.Wall() != res.Stats.Total {
+		t.Errorf("root wall %s != stats total %s", root.Wall(), res.Stats.Total)
+	}
+	children := root.Children()
+	if len(children) != len(res.Stats.Stages) {
+		t.Fatalf("trace children = %d, stages = %d", len(children), len(res.Stats.Stages))
+	}
+	for i, s := range res.Stats.Stages {
+		c := children[i]
+		if c.Name() != s.Name {
+			t.Errorf("trace child %d = %s, want %s", i, c.Name(), s.Name)
+		}
+		if c.Wall() != s.Wall || c.Busy() != s.Busy {
+			t.Errorf("trace %s wall/busy %s/%s != stats %s/%s", s.Name, c.Wall(), c.Busy(), s.Wall, s.Busy)
+		}
+	}
+	for _, want := range []string{"pipeline.run", "classify", "inspect"} {
+		if !strings.Contains(root.String(), want) {
+			t.Errorf("trace rendering missing %q:\n%s", want, root)
+		}
+	}
+}
+
+// TestPipelineMetricsDeterministic runs two fresh pipelines over the same
+// world and requires the Prometheus exposition — minus the _seconds
+// timing families — to be byte-identical.
+func TestPipelineMetricsDeterministic(t *testing.T) {
+	expose := func() []byte {
+		reg := obsv.NewRegistry()
+		p := buildPipelineWorld(t)
+		p.Metrics = reg
+		p.Workers = 3
+		p.Dataset.SetMetrics(reg)
+		p.Run()
+		var buf bytes.Buffer
+		if err := reg.WritePrometheusFiltered(&buf, keepDeterministic); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := expose(), expose()
+	if len(a) == 0 {
+		t.Fatal("empty exposition")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("exposition differs across identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestFollowScrapeRace replays the -follow shape under the race detector:
+// the dataset, evidence sources, and pipeline all write one shared
+// registry while concurrent scrapers read the Prometheus exposition and
+// snapshot mid-append. Correctness of values is covered elsewhere; this
+// test exists to fail under -race if any registry path is unsynchronized.
+func TestFollowScrapeRace(t *testing.T) {
+	scans, db, log, meta := pipelineWorldData(t)
+	reg := obsv.NewRegistry()
+	ds := scanner.NewDataset()
+	ds.SetMetrics(reg)
+	db.SetMetrics(reg)
+	log.SetMetrics(reg)
+	pipe := &Pipeline{
+		Params: DefaultParams(), Dataset: ds, Meta: meta, PDNS: db, CT: log,
+		Workers: 4, Cache: NewClassifyCache(), Metrics: reg,
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				reg.Snapshot()
+			}
+		}()
+	}
+
+	var res *Result
+	for _, s := range scans {
+		if err := ds.Append(s.date, s.recs); err != nil {
+			t.Fatalf("append %s: %v", s.date, err)
+		}
+		res = pipe.Run()
+	}
+	close(done)
+	wg.Wait()
+
+	if res == nil || len(res.Hijacked) == 0 {
+		t.Fatal("follow run found nothing — world fixture broke")
+	}
+	if got := reg.Counter(MetricRunsTotal).Value(); got != int64(len(scans)) {
+		t.Errorf("runs_total = %d, want %d", got, len(scans))
+	}
+}

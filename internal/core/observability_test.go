@@ -113,13 +113,19 @@ func TestStageStatsMetrics(t *testing.T) {
 			t.Errorf("stage string missing %q: %s", want, s)
 		}
 	}
-	// Degenerate cases: zero wall time and over-unity busy clamp.
+	// Degenerate cases: zero wall time, and over-unity busy/wall ratios.
 	if (StageStats{}).Throughput() != 0 || (StageStats{}).Utilization() != 0 {
 		t.Error("zero stage produced nonzero metrics")
 	}
-	over := StageStats{Wall: time.Millisecond, Busy: 10 * time.Millisecond, Workers: 1}
-	if over.Utilization() != 1 {
-		t.Errorf("utilization not clamped: %f", over.Utilization())
+	// Utilization reports the raw ratio — an accounting bug like this one
+	// (busy 10× wall on one worker) must stay visible to tests. Only the
+	// String rendering clamps at 100%.
+	over := StageStats{Name: "over", Wall: time.Millisecond, Busy: 10 * time.Millisecond, Workers: 1}
+	if got := over.Utilization(); got < 9.99 || got > 10.01 {
+		t.Errorf("raw utilization = %f, want 10.0", got)
+	}
+	if !strings.Contains(over.String(), "100% util") {
+		t.Errorf("rendered utilization not clamped at 100%%: %s", over)
 	}
 }
 

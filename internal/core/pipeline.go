@@ -10,6 +10,7 @@ import (
 	"retrodns/internal/dnscore"
 	"retrodns/internal/dnssecmon"
 	"retrodns/internal/ipmeta"
+	"retrodns/internal/obsv"
 	"retrodns/internal/pdns"
 	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
@@ -42,6 +43,11 @@ type Pipeline struct {
 	// TestIncrementalReplayEquivalence). A cache belongs to one pipeline
 	// at a time: Run mutates it without locking.
 	Cache *ClassifyCache
+	// Metrics, when set, receives the funnel gauges, cache counters, and
+	// per-stage timing series of every Run (family names in metrics.go).
+	// The registry may be shared with the dataset and evidence sources
+	// and scraped concurrently; nil disables publication entirely.
+	Metrics *obsv.Registry
 }
 
 // classifyOut is one domain's slot of the build-and-classify stage: both
@@ -126,6 +132,10 @@ type Result struct {
 	// this run. Execution metadata only: excluded from determinism
 	// comparisons.
 	Stats PipelineStats
+	// Trace is the run's span tree: a pipeline.run root with one child
+	// per stage, carrying the same wall/busy numbers as Stats.Stages.
+	// Execution metadata only, like Stats.
+	Trace *obsv.Span
 }
 
 // Findings returns hijacked and targeted findings together.
@@ -161,24 +171,36 @@ func (p *Pipeline) Run() *Result {
 		},
 		Stats: PipelineStats{Workers: workers},
 	}
-	runStart := time.Now()
-	stage := func(name string, items, stageWorkers int, start time.Time, busy time.Duration) {
+	describeMetrics(p.Metrics)
+	root := obsv.StartSpan("pipeline.run")
+	res.Trace = root
+	// stage closes sp, folds the parallel busy time in (serial stages
+	// pass 0 and inherit their wall time), records the StageStats row,
+	// and publishes the per-stage metric series.
+	stage := func(sp *obsv.Span, items, stageWorkers int, busy time.Duration) {
+		sp.AddBusy(busy)
+		wall := sp.End()
 		res.Stats.Stages = append(res.Stats.Stages, StageStats{
-			Name: name, Items: items, Wall: time.Since(start), Busy: busy, Workers: stageWorkers,
+			Name: sp.Name(), Items: items, Wall: wall, Busy: sp.Busy(), Workers: stageWorkers,
 		})
+		if m := p.Metrics; m != nil {
+			m.Gauge(MetricStageItems, "stage", sp.Name()).Set(int64(items))
+			m.Histogram(MetricStageWallSec, obsv.DurationBuckets, "stage", sp.Name()).Observe(wall.Seconds())
+			m.Histogram(MetricStageBusySec, obsv.DurationBuckets, "stage", sp.Name()).Observe(sp.Busy().Seconds())
+		}
 	}
 
 	// Index the dataset: one-time per-domain sort, after which every
 	// period-window read below is a lock-free binary search.
-	t0 := time.Now()
+	sp := root.Child("freeze")
 	p.Dataset.Freeze()
 	domains := p.Dataset.Domains()
 	res.Stats.Quarantined = p.Dataset.Quarantine().Total
-	stage("freeze", len(domains), 1, t0, time.Since(t0))
+	stage(sp, len(domains), 1, 0)
 
 	// Step 1 + 2: build and classify deployment maps per period, fanned
 	// out per domain.
-	t0 = time.Now()
+	sp = root.Child("classify")
 	periods := p.periodsInData()
 	scansByPeriod := make(map[simtime.Period][]simtime.Date, len(periods))
 	for _, period := range periods {
@@ -227,10 +249,10 @@ func (p *Pipeline) Run() *Result {
 	for _, domain := range domains {
 		res.Funnel.DomainCategories[rollupCategory(res.History[domain])]++
 	}
-	stage("classify", res.Funnel.Maps, workers, t0, busy)
+	stage(sp, res.Funnel.Maps, workers, busy)
 
 	if params.StitchPeriods {
-		t0 = time.Now()
+		sp = root.Child("stitch")
 		stitchOut := make([][]*Classification, len(domains))
 		busy = parallelFor(len(domains), workers, func(i int) {
 			stitchOut[i] = p.stitchDomain(params, domains[i], periods, scansByPeriod, res.History[domains[i]])
@@ -241,12 +263,12 @@ func (p *Pipeline) Run() *Result {
 		}
 		transientClasses = append(transientClasses, stitched...)
 		res.Funnel.Stitched = len(stitched)
-		stage("stitch", len(domains), workers, t0, busy)
+		stage(sp, len(domains), workers, busy)
 	}
 
 	// Step 3: shortlist. Serial: cheap, and prune tallies accumulate in
 	// classification order.
-	t0 = time.Now()
+	sp = root.Child("shortlist")
 	shortlister := &Shortlister{Params: params, Orgs: orgsOf(p.Meta), History: res.History}
 	for _, c := range transientClasses {
 		candidates, pruned := shortlister.Shortlist(c)
@@ -264,11 +286,11 @@ func (p *Pipeline) Run() *Result {
 			res.Funnel.ShortlistedAnomalous++
 		}
 	}
-	stage("shortlist", len(transientClasses), 1, t0, time.Since(t0))
+	stage(sp, len(transientClasses), 1, 0)
 
 	// Step 4: inspect, fanned out per candidate; outcomes merge in
 	// candidate order.
-	t0 = time.Now()
+	sp = root.Child("inspect")
 	inspector := &Inspector{Params: params, PDNS: p.PDNS, CT: p.CT, DNSSEC: p.DNSSEC}
 	type inspectOut struct {
 		finding *Finding
@@ -299,11 +321,11 @@ func (p *Pipeline) Run() *Result {
 			known[f.Domain] = true
 		}
 	}
-	stage("inspect", len(res.Candidates), workers, t0, busy)
+	stage(sp, len(res.Candidates), workers, busy)
 
 	// Step 5: pivot on confirmed infrastructure, then promote T1* reuse.
 	// Serial: each iteration consumes the previous one's findings.
-	t0 = time.Now()
+	sp = root.Child("pivot")
 	pivoter := &Pivoter{Params: params, PDNS: p.PDNS, CT: p.CT, Meta: p.Meta}
 	prevCount := -1
 	if p.DisablePivot {
@@ -335,8 +357,9 @@ func (p *Pipeline) Run() *Result {
 	SortFindings(targeted)
 	res.Hijacked = hijacked
 	res.Targeted = targeted
-	stage("pivot", res.Funnel.PivotFound, 1, t0, time.Since(t0))
-	res.Stats.Total = time.Since(runStart)
+	stage(sp, res.Funnel.PivotFound, 1, 0)
+	res.Stats.Total = root.End()
+	p.publishMetrics(res)
 	return res
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"retrodns/internal/dnscore"
 	"retrodns/internal/merkle"
+	"retrodns/internal/obsv"
 	"retrodns/internal/simtime"
 	"retrodns/internal/x509lite"
 )
@@ -52,6 +53,40 @@ type Log struct {
 	byApex  map[dnscore.Name][]*Entry // registered-domain match
 	byFP    map[x509lite.Fingerprint]*Entry
 	nextID  int64
+
+	// Per-query-kind counters, populated by SetMetrics; the nil handles
+	// of an uninstrumented log no-op.
+	metSearch, metSearchApex, metLookup, metEntry *obsv.Counter
+	metEntries                                    *obsv.Gauge
+}
+
+// MetricQueries is the CT search-service counter family, labeled by
+// query kind — the inspection stage's crt.sh query load.
+const (
+	MetricQueries = "retrodns_ctlog_queries_total"
+	MetricEntries = "retrodns_ctlog_entries"
+)
+
+// SetMetrics attaches query instrumentation: Search / SearchApex /
+// Lookup / Entry calls count into retrodns_ctlog_queries_total by kind,
+// and retrodns_ctlog_entries gauges the log size. The log id labels
+// every series, so per-CA logs stay distinguishable on one registry. A
+// nil registry detaches.
+func (l *Log) SetMetrics(reg *obsv.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if reg == nil {
+		l.metSearch, l.metSearchApex, l.metLookup, l.metEntry, l.metEntries = nil, nil, nil, nil, nil
+		return
+	}
+	reg.SetHelp(MetricQueries, "CT log search-service queries served, by kind.")
+	reg.SetHelp(MetricEntries, "Certificates logged.")
+	l.metSearch = reg.Counter(MetricQueries, "log", l.id, "kind", "search")
+	l.metSearchApex = reg.Counter(MetricQueries, "log", l.id, "kind", "search_apex")
+	l.metLookup = reg.Counter(MetricQueries, "log", l.id, "kind", "lookup")
+	l.metEntry = reg.Counter(MetricQueries, "log", l.id, "kind", "entry")
+	l.metEntries = reg.Gauge(MetricEntries, "log", l.id)
+	l.metEntries.Set(int64(len(l.entries)))
 }
 
 // NewLog creates an empty log. The id distinguishes logs when several are
@@ -89,6 +124,7 @@ func (l *Log) Submit(cert *x509lite.Certificate, at simtime.Date) (SCT, error) {
 	e := &Entry{ID: l.nextID, Cert: cert, LoggedAt: at, Index: index}
 	l.nextID++
 	l.entries = append(l.entries, e)
+	l.metEntries.Set(int64(len(l.entries)))
 	l.byFP[fp] = e
 	seenApex := make(map[dnscore.Name]bool)
 	for _, san := range cert.SANs {
@@ -125,6 +161,7 @@ func (l *Log) Root() merkle.Hash {
 func (l *Log) Entry(id int64) (*Entry, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	l.metEntry.Inc()
 	for _, e := range l.entries {
 		if e.ID == id {
 			return e, true
@@ -145,6 +182,7 @@ func (l *Log) Entries() []*Entry {
 func (l *Log) Lookup(fp x509lite.Fingerprint) (*Entry, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	l.metLookup.Inc()
 	e, ok := l.byFP[fp]
 	return e, ok
 }
@@ -197,6 +235,7 @@ func (q Query) matches(e *Entry) bool {
 func (l *Log) Search(q Query) []*Entry {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	l.metSearch.Inc()
 	return filterEntries(l.byName[q.Name], q)
 }
 
@@ -205,6 +244,7 @@ func (l *Log) Search(q Query) []*Entry {
 func (l *Log) SearchApex(q Query) []*Entry {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	l.metSearchApex.Inc()
 	apex := q.Name.RegisteredDomain()
 	if apex == "" {
 		apex = q.Name

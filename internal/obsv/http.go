@@ -1,0 +1,71 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// MetricsHandler serves the Prometheus text exposition — the endpoint a
+// scrape config points at.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the registry expvar-style: one flat JSON object
+// mapping each canonical series name (name{k="v"}) to its value —
+// counters and gauges as numbers, histograms as {count, sum, buckets}.
+// Keys are emitted in the registry's deterministic snapshot order
+// (encoding/json sorts object keys, which matches).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		vars := make(map[string]any)
+		for _, s := range r.Snapshot() {
+			switch s.Kind {
+			case "histogram":
+				vars[s.SeriesName()] = map[string]any{
+					"count": s.Count, "sum": s.Sum, "buckets": s.Buckets,
+				}
+			default:
+				vars[s.SeriesName()] = s.Value
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(vars)
+	})
+}
+
+// Mux mounts the registry's HTTP surface the way the CLIs serve it:
+// /metrics for Prometheus scrapes and /debug/vars for the expvar-style
+// JSON view. The root path lists the endpoints.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", r.VarsHandler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		names := make(map[string]bool)
+		for _, s := range r.Snapshot() {
+			names[s.Name] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("retrodns observability\n\n  /metrics     Prometheus text exposition\n  /debug/vars  expvar-style JSON\n\nfamilies:\n"))
+		for _, n := range sorted {
+			w.Write([]byte("  " + n + "\n"))
+		}
+	})
+	return mux
+}

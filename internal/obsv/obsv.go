@@ -1,0 +1,424 @@
+// Package obsv is the observability layer: a dependency-free metrics
+// registry (counters, gauges, fixed-bucket histograms — all atomic and
+// race-clean) plus lightweight span tracing for the pipeline's stage tree.
+//
+// The registry is the single source the three sinks read from: the
+// Prometheus text exposition (WritePrometheus), the expvar-style HTTP
+// handlers (VarsHandler / MetricsHandler), and the machine-readable run
+// report (Snapshot, consumed by internal/report). Every read is a
+// point-in-time snapshot with deterministic ordering, so two runs over
+// the same seeded world expose byte-identical text for every metric that
+// does not measure wall-clock time.
+//
+// Handles are nil-safe throughout: a nil *Registry hands out nil
+// *Counter/*Gauge/*Histogram handles whose methods no-op, so
+// instrumented packages thread metrics unconditionally and pay one nil
+// check when observability is off.
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the three metric types.
+type Kind int
+
+// Metric kinds, in exposition order of their TYPE names.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind the way Prometheus TYPE lines spell it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind-%d", int(k))
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Negative deltas are ignored — counters only go up.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper limits (Prometheus "le" semantics); an implicit +Inf bucket
+// catches everything beyond the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the bucket upper bounds (shared; treat as read-only).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, one per
+// bound plus the trailing +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// DurationBuckets is the default bound set for stage-duration histograms,
+// in seconds: 100µs up to ~1 minute.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels  []string // sorted k,v pairs
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histogram families only
+	series map[string]*series
+	order  []string // insertion-independent: kept sorted
+}
+
+// Registry holds metric families and hands out live handles. All methods
+// are safe for concurrent use; handle operations after registration are
+// lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// SetHelp attaches a HELP string to a metric family; exposition emits it
+// before the TYPE line. Setting help on a family that does not exist yet
+// is fine — the text is kept for when it does. No-op on a nil registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: -1, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	f.help = help
+}
+
+// labelKey canonicalizes k,v pairs: sorted by key, joined with \xff.
+// Panics on an odd-length pair list — metric registration sites are
+// compile-time code, so this is an API-misuse assert, never data-shaped.
+func labelKey(labels []string) (string, []string) {
+	if len(labels)%2 != 0 {
+		panic("obsv: odd label list (want k1, v1, k2, v2, ...)")
+	}
+	if len(labels) == 0 {
+		return "", nil
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	flat := make([]string, 0, len(labels))
+	for _, p := range pairs {
+		sb.WriteString(p.k)
+		sb.WriteByte(0xff)
+		sb.WriteString(p.v)
+		sb.WriteByte(0xff)
+		flat = append(flat, p.k, p.v)
+	}
+	return sb.String(), flat
+}
+
+// lookup finds or creates the series for (name, labels) with the wanted
+// kind. Kind conflicts across call sites are API misuse and panic.
+func (r *Registry) lookup(name string, kind Kind, bounds []float64, labels []string) *series {
+	key, flat := labelKey(labels)
+	r.mu.RLock()
+	f := r.families[name]
+	if f != nil && f.kind == kind {
+		if s := f.series[key]; s != nil {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f = r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind == -1 { // help registered before first series
+		f.kind = kind
+		f.bounds = nil
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obsv: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	if s := f.series[key]; s != nil {
+		return s
+	}
+	s := &series{labels: flat}
+	switch kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		if f.bounds == nil {
+			b := append([]float64(nil), bounds...)
+			sort.Float64s(b)
+			f.bounds = b
+		}
+		s.hist = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	sort.Strings(f.order)
+	return s
+}
+
+// Counter returns the live counter for (name, labels), creating it on
+// first use. Labels are k,v pairs. A nil registry returns a nil handle.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindCounter, nil, labels).counter
+}
+
+// Gauge returns the live gauge for (name, labels).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindGauge, nil, labels).gauge
+}
+
+// Histogram returns the live histogram for (name, labels). The bounds of
+// the first registration fix the family's buckets; later calls may pass
+// nil.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindHistogram, bounds, labels).hist
+}
+
+// Bucket is one histogram bucket in a snapshot: the inclusive upper
+// bound (spelled the Prometheus way, "+Inf" for the catch-all) and the
+// non-cumulative count of observations that landed in it. The bound is a
+// string so the snapshot stays JSON-encodable — encoding/json rejects
+// infinities.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Sample is one series' point-in-time value, the unit of the Snapshot
+// sink (run reports, expvar-style JSON).
+type Sample struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counter and gauge readings.
+	Value int64 `json:"value"`
+	// Count, Sum and Buckets carry histogram readings.
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// SeriesName renders the canonical series identity: name{k="v",...}.
+func (s Sample) SeriesName() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, s.Labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Snapshot copies every series out of the registry, sorted by family
+// name then label signature — the deterministic order every sink shares.
+// A nil registry snapshots empty.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Sample
+	for _, name := range names {
+		f := r.families[name]
+		if f.kind == -1 {
+			continue // help-only family, no series yet
+		}
+		for _, key := range f.order {
+			s := f.series[key]
+			sample := Sample{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				sample.Labels = make(map[string]string, len(s.labels)/2)
+				for i := 0; i < len(s.labels); i += 2 {
+					sample.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				sample.Value = s.counter.Value()
+			case KindGauge:
+				sample.Value = s.gauge.Value()
+			case KindHistogram:
+				sample.Count = s.hist.Count()
+				sample.Sum = s.hist.Sum()
+				counts := s.hist.BucketCounts()
+				sample.Buckets = make([]Bucket, len(counts))
+				for i, c := range counts {
+					le := math.Inf(1)
+					if i < len(f.bounds) {
+						le = f.bounds[i]
+					}
+					sample.Buckets[i] = Bucket{LE: formatLE(le), Count: c}
+				}
+			}
+			out = append(out, sample)
+		}
+	}
+	return out
+}

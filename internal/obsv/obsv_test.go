@@ -1,0 +1,317 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "kind", "a")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters never go down
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("requests_total", "kind", "a") != c {
+		t.Fatal("same (name, labels) must return the same handle")
+	}
+	if r.Counter("requests_total", "kind", "b") == c {
+		t.Fatal("distinct labels must return distinct handles")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "x", "1", "y", "2")
+	b := r.Counter("m", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order must not matter for series identity")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.0001, 5, 7, 11, 100} {
+		h.Observe(v)
+	}
+	// le semantics are inclusive: 1 lands in the le=1 bucket.
+	want := []int64{2, 2, 1, 2}
+	if got := h.BucketCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket counts = %v, want %v", got, want)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-125.5001) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil registry exposition must be empty")
+	}
+	r.SetHelp("x", "help")
+
+	var sp *Span
+	if sp.Child("c") != nil {
+		t.Fatal("nil span Child must be nil")
+	}
+	sp.AddBusy(time.Second)
+	sp.End()
+	if sp.Wall() != 0 || sp.Busy() != 0 || sp.Name() != "" || sp.String() != "" {
+		t.Fatal("nil span must read as zero")
+	}
+	sp.Walk(func(int, *Span) { t.Fatal("nil span must not walk") })
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("run")
+	a := root.Child("a")
+	a.AddBusy(2 * time.Millisecond)
+	time.Sleep(time.Millisecond)
+	if a.End() <= 0 {
+		t.Fatal("ended span must have positive wall")
+	}
+	wall := a.Wall()
+	a.End() // idempotent
+	if a.Wall() != wall {
+		t.Fatal("second End must keep the first measurement")
+	}
+	if a.Busy() != 2*time.Millisecond {
+		t.Fatalf("busy = %v", a.Busy())
+	}
+	b := root.Child("b")
+	b.End()
+	if b.Busy() != b.Wall() {
+		t.Fatal("serial span must inherit wall as busy on End")
+	}
+	root.End()
+
+	var names []string
+	var depths []int
+	root.Walk(func(depth int, s *Span) {
+		names = append(names, s.Name())
+		depths = append(depths, depth)
+	})
+	if !reflect.DeepEqual(names, []string{"run", "a", "b"}) || !reflect.DeepEqual(depths, []int{0, 1, 1}) {
+		t.Fatalf("walk order: %v %v", names, depths)
+	}
+	if !strings.Contains(root.String(), "  a wall=") {
+		t.Fatalf("tree render:\n%s", root.String())
+	}
+}
+
+// goldenRegistry builds the fully deterministic registry the exposition
+// golden pins: every family kind, labeled and unlabeled series, escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.SetHelp("retrodns_funnel_domains", "Registered domains with deployment maps in the last run.")
+	r.Gauge("retrodns_funnel_domains").Set(15)
+	r.SetHelp("retrodns_ingest_records_total", "Scan records accepted at ingest.")
+	r.Counter("retrodns_ingest_records_total").Add(1234)
+	r.Counter("retrodns_quarantined_total", "reason", "bad-name").Add(3)
+	r.Counter("retrodns_quarantined_total", "reason", "zero-ip").Inc()
+	h := r.Histogram("retrodns_items_per_stage", []float64{10, 100, 1000}, "stage", "classify")
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	r.Counter("escape_total", "path", `C:\x "quoted"`+"\nline2").Inc()
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden_prom.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden (run with UPDATE_GOLDEN=1 to regenerate)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical registries must expose byte-identical text")
+	}
+}
+
+func TestPrometheusFiltered(t *testing.T) {
+	var buf bytes.Buffer
+	err := goldenRegistry().WritePrometheusFiltered(&buf, func(name string) bool {
+		return name != "retrodns_items_per_stage"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "retrodns_items_per_stage") {
+		t.Fatal("filtered family leaked into the exposition")
+	}
+	if !strings.Contains(buf.String(), "retrodns_funnel_domains 15") {
+		t.Fatal("kept family missing")
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	r := goldenRegistry()
+	srv := httptest.NewServer(r.Mux())
+	defer srv.Close()
+
+	get := func(path string) ([]byte, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(string(body), "# TYPE retrodns_funnel_domains gauge") {
+		t.Fatalf("/metrics: ctype=%s body:\n%s", ctype, body)
+	}
+
+	body, ctype = get("/debug/vars")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/vars ctype = %s", ctype)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars["retrodns_funnel_domains"] != float64(15) {
+		t.Fatalf("vars gauge = %v", vars["retrodns_funnel_domains"])
+	}
+	if _, ok := vars[`retrodns_quarantined_total{reason="bad-name"}`]; !ok {
+		t.Fatalf("labeled series missing from vars: %v", vars)
+	}
+
+	body, _ = get("/")
+	if !strings.Contains(string(body), "/metrics") {
+		t.Fatalf("index body:\n%s", body)
+	}
+}
+
+// TestConcurrentRegistry hammers registration, writes, snapshots, and
+// exposition from many goroutines — the race detector's view of the
+// -follow mode pattern where appends and scrapes overlap.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := string(rune('a' + g%4))
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", "w", label).Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h", []float64{1, 10}, "w", label).Observe(float64(i % 20))
+				if i%100 == 0 {
+					r.Snapshot()
+					var buf bytes.Buffer
+					_ = r.WritePrometheus(&buf)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, s := range r.Snapshot() {
+		if s.Name == "c_total" {
+			total += s.Value
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("lost counter increments: %d", total)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	root := StartSpan("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := root.Child("c")
+				c.AddBusy(time.Microsecond)
+				c.End()
+				_ = root.String()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children()) != 800 {
+		t.Fatalf("children = %d", len(root.Children()))
+	}
+}

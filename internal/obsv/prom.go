@@ -1,0 +1,138 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in Prometheus text exposition
+// format (version 0.0.4). Output ordering is fully deterministic:
+// families sort by name, series by their canonical label signature, so
+// two registries holding the same values expose byte-identical text —
+// the property the golden tests pin.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusFiltered(w, nil)
+}
+
+// WritePrometheusFiltered writes the families whose names pass keep
+// (nil keeps everything). Golden tests over live runs use this to drop
+// wall-clock families, which are the only nondeterministic ones.
+func (r *Registry) WritePrometheusFiltered(w io.Writer, keep func(name string) bool) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		if f.kind == -1 || (keep != nil && !keep(name)) {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.order {
+			if err := writeSeries(w, f, f.series[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelBlock(s.labels, "", 0), s.counter.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelBlock(s.labels, "", 0), s.gauge.Value())
+		return err
+	case KindHistogram:
+		counts := s.hist.BucketCounts()
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			le := math.Inf(1)
+			if i < len(f.bounds) {
+				le = f.bounds[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelBlock(s.labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelBlock(s.labels, "", 0), formatFloat(s.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelBlock(s.labels, "", 0), s.hist.Count())
+		return err
+	}
+	return nil
+}
+
+// labelBlock renders {k="v",...}, appending an le label when leKey is
+// non-empty. Empty label sets render as nothing (or {le="x"} alone).
+func labelBlock(labels []string, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(labels[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[i+1]))
+		sb.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(leKey)
+		sb.WriteString(`="`)
+		sb.WriteString(formatLE(le))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatLE renders a bucket bound the canonical Prometheus way.
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return formatFloat(le)
+}
+
+// formatFloat renders a float deterministically with minimal digits.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(v)
+}

@@ -1,0 +1,144 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of work, nestable into a trace tree. A span
+// tracks wall-clock time (start to End) and busy time (the summed
+// in-stage compute of every worker, fed via AddBusy) — the two numbers
+// the stage-utilization metric divides. Spans are safe for concurrent
+// children and AddBusy calls; all methods no-op on a nil span so callers
+// can thread an optional trace without branching.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	wall     time.Duration
+	busy     time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan begins a root span now.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child begins a nested span now and attaches it.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// AddBusy accumulates worker compute time into the span.
+func (s *Span) AddBusy(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.busy += d
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its wall time, and returns it. Ending
+// twice keeps the first measurement. A span with no recorded busy time
+// inherits its wall time as busy on End (a serial region is busy for its
+// whole duration).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.wall = time.Since(s.start)
+		if s.busy == 0 {
+			s.busy = s.wall
+		}
+		s.ended = true
+	}
+	return s.wall
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Wall returns the span's wall-clock duration (elapsed-so-far if the
+// span has not ended).
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.wall
+}
+
+// Busy returns the span's accumulated busy time.
+func (s *Span) Busy() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy
+}
+
+// Children returns a copy of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and its descendants depth-first, parents before
+// children, with the nesting depth (0 for the receiver).
+func (s *Span) Walk(fn func(depth int, s *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(depth int, s *Span)) {
+	fn(depth, s)
+	for _, c := range s.Children() {
+		c.walk(depth+1, fn)
+	}
+}
+
+// String renders the trace tree, one span per line, indented by depth.
+func (s *Span) String() string {
+	if s == nil {
+		return ""
+	}
+	var sb strings.Builder
+	s.Walk(func(depth int, sp *Span) {
+		fmt.Fprintf(&sb, "%s%s wall=%s busy=%s\n",
+			strings.Repeat("  ", depth), sp.Name(),
+			sp.Wall().Round(time.Microsecond), sp.Busy().Round(time.Microsecond))
+	})
+	return strings.TrimRight(sb.String(), "\n")
+}

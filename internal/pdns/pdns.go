@@ -21,6 +21,7 @@ import (
 
 	"retrodns/internal/dnscore"
 	"retrodns/internal/dnsserver"
+	"retrodns/internal/obsv"
 	"retrodns/internal/simtime"
 )
 
@@ -58,6 +59,39 @@ type DB struct {
 	// rows instead of the whole corpus.
 	byApex map[dnscore.Name][]*Entry
 	n      int
+
+	// Per-query-kind lookup counters, populated by SetMetrics; the nil
+	// handles of an uninstrumented DB no-op.
+	metResolutions, metWhoResolvedTo, metSubdomain *obsv.Counter
+	metRows                                       *obsv.Gauge
+}
+
+// MetricLookups is the pDNS query counter family, labeled by kind —
+// the inspection stage's per-candidate query load against the
+// DomainTools analogue.
+const (
+	MetricLookups = "retrodns_pdns_lookups_total"
+	MetricRows    = "retrodns_pdns_rows"
+)
+
+// SetMetrics attaches lookup instrumentation: every Resolutions /
+// WhoResolvedTo / SubdomainResolutions query counts into
+// retrodns_pdns_lookups_total by kind, and retrodns_pdns_rows gauges
+// the aggregated corpus. A nil registry detaches.
+func (d *DB) SetMetrics(reg *obsv.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if reg == nil {
+		d.metResolutions, d.metWhoResolvedTo, d.metSubdomain, d.metRows = nil, nil, nil, nil
+		return
+	}
+	reg.SetHelp(MetricLookups, "Passive-DNS queries served, by query kind.")
+	reg.SetHelp(MetricRows, "Aggregated passive-DNS rows held.")
+	d.metResolutions = reg.Counter(MetricLookups, "kind", "resolutions")
+	d.metWhoResolvedTo = reg.Counter(MetricLookups, "kind", "who_resolved_to")
+	d.metSubdomain = reg.Counter(MetricLookups, "kind", "subdomain")
+	d.metRows = reg.Gauge(MetricRows)
+	d.metRows.Set(int64(d.n))
 }
 
 // NewDB creates an empty database.
@@ -85,6 +119,7 @@ func (d *DB) Record(date simtime.Date, name dnscore.Name, typ dnscore.Type, data
 			d.byApex[apex] = append(d.byApex[apex], e)
 		}
 		d.n++
+		d.metRows.Set(int64(d.n))
 	}
 	if date < e.FirstSeen {
 		e.FirstSeen = date
@@ -128,6 +163,7 @@ func (d *DB) All() []Entry {
 func (d *DB) Resolutions(name dnscore.Name, typ dnscore.Type) []Entry {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	d.metResolutions.Inc()
 	var out []Entry
 	for _, e := range d.byName[name] {
 		if typ == 0 || e.Type == typ {
@@ -150,6 +186,7 @@ func (d *DB) NSHistory(domain dnscore.Name) []Entry {
 func (d *DB) WhoResolvedTo(data string) []Entry {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	d.metWhoResolvedTo.Inc()
 	out := make([]Entry, 0, len(d.byData[data]))
 	for _, e := range d.byData[data] {
 		out = append(out, *e)
@@ -167,6 +204,7 @@ func (d *DB) WhoResolvedTo(data string) []Entry {
 func (d *DB) SubdomainResolutions(domain dnscore.Name) []Entry {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	d.metSubdomain.Inc()
 	var out []Entry
 	if domain.RegisteredDomain() == domain {
 		for _, e := range d.byApex[domain] {

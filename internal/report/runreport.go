@@ -1,0 +1,236 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"retrodns/internal/core"
+	"retrodns/internal/obsv"
+	"retrodns/internal/scanner"
+)
+
+// The machine-readable run report: one JSON document per Pipeline.Run
+// capturing what the run found (funnel counts), what it cost (per-stage
+// wall/busy timings, cache counters), what the ingest gate refused
+// (quarantine), and a point-in-time metrics snapshot. Both CLIs emit it
+// via -report-json, and cmd/benchdiff consumes it as the CI contract:
+// funnel counts must not drift at all, timings must not regress past the
+// tolerance.
+//
+// Determinism contract: on a seeded world every field is byte-identical
+// across reruns except the timing fields — stage wall/busy nanoseconds,
+// metric families suffixed _seconds, and benchmark samples. Canonical()
+// strips exactly those, and the golden tests pin the canonical form.
+
+// RunReportSchema identifies the document version; readers refuse other
+// schemas rather than misinterpreting fields.
+const RunReportSchema = "retrodns/run-report/v1"
+
+// StageReport is one pipeline stage's row: identity and throughput are
+// deterministic, the _ns timings are not.
+type StageReport struct {
+	Name    string `json:"name"`
+	Items   int    `json:"items"`
+	Workers int    `json:"workers"`
+	WallNS  int64  `json:"wall_ns"`
+	BusyNS  int64  `json:"busy_ns"`
+}
+
+// CacheReport carries the incremental engine's counters for the run.
+type CacheReport struct {
+	Hits       int    `json:"hits"`
+	Misses     int    `json:"misses"`
+	DirtyCells int    `json:"dirty_cells"`
+	Generation uint64 `json:"generation"`
+}
+
+// QuarantineSection summarizes the ingest gate's lifetime refusals.
+type QuarantineSection struct {
+	Total    int            `json:"total"`
+	ByReason map[string]int `json:"by_reason,omitempty"`
+}
+
+// BenchSample is one `go test -bench` measurement, normalized for
+// cross-run comparison (the -<GOMAXPROCS> suffix is stripped from Name).
+type BenchSample struct {
+	Name    string  `json:"name"`
+	N       int64   `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// RunReport is the top-level document.
+type RunReport struct {
+	Schema     string            `json:"schema"`
+	Workers    int               `json:"workers"`
+	Funnel     map[string]int    `json:"funnel"`
+	Stages     []StageReport     `json:"stages"`
+	Cache      CacheReport       `json:"cache"`
+	Quarantine QuarantineSection `json:"quarantine"`
+	Metrics    []obsv.Sample     `json:"metrics,omitempty"`
+	Bench      []BenchSample     `json:"bench,omitempty"`
+}
+
+// runFunnel flattens the funnel into the stable key set benchdiff gates
+// on. Every count the paper's §4 running totals report is here.
+func runFunnel(res *core.Result) map[string]int {
+	return map[string]int{
+		"domains":               res.Funnel.Domains,
+		"maps":                  res.Funnel.Maps,
+		"stable":                res.Funnel.DomainCategories[core.CategoryStable],
+		"transition":            res.Funnel.DomainCategories[core.CategoryTransition],
+		"transient":             res.Funnel.DomainCategories[core.CategoryTransient],
+		"noisy":                 res.Funnel.DomainCategories[core.CategoryNoisy],
+		"shortlisted":           res.Funnel.Shortlisted,
+		"shortlisted_anomalous": res.Funnel.ShortlistedAnomalous,
+		"worth_examining":       res.Funnel.WorthExamining,
+		"stitched":              res.Funnel.Stitched,
+		"pivot_found":           res.Funnel.PivotFound,
+		"hijacked_verdicts":     len(res.Hijacked),
+		"targeted_verdicts":     len(res.Targeted),
+	}
+}
+
+// BuildRunReport assembles the document from a pipeline result, the
+// dataset's quarantine journal, and an optional metrics registry whose
+// snapshot is embedded verbatim.
+func BuildRunReport(res *core.Result, quar scanner.QuarantineReport, reg *obsv.Registry) RunReport {
+	r := RunReport{
+		Schema:  RunReportSchema,
+		Workers: res.Stats.Workers,
+		Funnel:  runFunnel(res),
+		Cache: CacheReport{
+			Hits:       res.Stats.CacheHits,
+			Misses:     res.Stats.CacheMisses,
+			DirtyCells: res.Stats.DirtyCells,
+			Generation: res.Stats.Generation,
+		},
+		Quarantine: QuarantineSection{Total: quar.Total},
+	}
+	for _, s := range res.Stats.Stages {
+		r.Stages = append(r.Stages, StageReport{
+			Name: s.Name, Items: s.Items, Workers: s.Workers,
+			WallNS: s.Wall.Nanoseconds(), BusyNS: s.Busy.Nanoseconds(),
+		})
+	}
+	if len(quar.ByReason) > 0 {
+		r.Quarantine.ByReason = make(map[string]int, len(quar.ByReason))
+		for reason, n := range quar.ByReason {
+			r.Quarantine.ByReason[reason.String()] = n
+		}
+	}
+	if reg != nil {
+		r.Metrics = reg.Snapshot()
+	}
+	return r
+}
+
+// Canonical returns a copy with every nondeterministic field stripped:
+// stage timings zeroed, _seconds metric families dropped, bench samples
+// dropped. Two runs over the same seeded world produce byte-identical
+// canonical encodings — the golden tests and drift gates compare this
+// form.
+func (r RunReport) Canonical() RunReport {
+	out := r
+	out.Stages = make([]StageReport, len(r.Stages))
+	for i, s := range r.Stages {
+		s.WallNS, s.BusyNS = 0, 0
+		out.Stages[i] = s
+	}
+	out.Metrics = nil
+	for _, s := range r.Metrics {
+		if strings.HasSuffix(s.Name, "_seconds") {
+			continue
+		}
+		out.Metrics = append(out.Metrics, s)
+	}
+	out.Bench = nil
+	return out
+}
+
+// Encode streams the report as indented JSON. Map keys are sorted by
+// encoding/json and the metrics snapshot arrives pre-sorted from the
+// registry, so the encoding is deterministic for a fixed report.
+func (r RunReport) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadRunReport parses a document Encode produced. Strict like ReadJSON:
+// unknown fields, trailing data, and foreign schemas are ErrBadReport.
+func ReadRunReport(rd io.Reader) (*RunReport, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r RunReport
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after document", ErrBadReport)
+	}
+	if r.Schema != RunReportSchema {
+		return nil, fmt.Errorf("%w: schema %q, want %q", ErrBadReport, r.Schema, RunReportSchema)
+	}
+	return &r, nil
+}
+
+// ParseBench extracts benchmark samples from `go test -bench` output.
+// Lines that are not benchmark results (headers, PASS, ok) are skipped;
+// a malformed Benchmark line is an error, not a silent drop, so a broken
+// bench run cannot pass the regression gate by parsing as empty. The
+// -<GOMAXPROCS> suffix is stripped so samples compare across machines.
+func ParseBench(rd io.Reader) ([]BenchSample, error) {
+	var out []BenchSample
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Name  N  value ns/op  [more unit pairs...]
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("report: bench line %q: iteration count: %v", sc.Text(), err)
+		}
+		sample := BenchSample{Name: normalizeBenchName(fields[0]), N: n}
+		found := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("report: bench line %q: ns/op value: %v", sc.Text(), err)
+			}
+			sample.NsPerOp = v
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("report: bench line %q: no ns/op measurement", sc.Text())
+		}
+		out = append(out, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading bench output: %v", err)
+	}
+	return out, nil
+}
+
+// normalizeBenchName strips the trailing -<n> parallelism suffix the
+// testing package appends (BenchmarkIngest-8 → BenchmarkIngest).
+func normalizeBenchName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

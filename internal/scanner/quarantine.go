@@ -190,7 +190,7 @@ func (d *Dataset) gateRecords(date simtime.Date, records []*Record) ([]*Record, 
 			valid = append([]*Record(nil), records[:i]...)
 			clean = false
 		}
-		d.quar.add(reason, date, detail)
+		d.quarAdd(reason, date, detail)
 	}
 	return valid, nil
 }
@@ -224,6 +224,14 @@ func (d *Dataset) gateDate(date simtime.Date) (bool, error) {
 	if d.strict {
 		return false, fmt.Errorf("%w: %s", ErrQuarantined, detail)
 	}
-	d.quar.add(QuarBadDate, date, detail)
+	d.quarAdd(QuarBadDate, date, detail)
 	return false, nil
+}
+
+// quarAdd journals one rejection and bumps its per-reason metric
+// counter (a no-op handle when the dataset is uninstrumented). Callers
+// hold d.mu.
+func (d *Dataset) quarAdd(reason QuarantineReason, date simtime.Date, detail string) {
+	d.quar.add(reason, date, detail)
+	d.met.quarantined[reason].Inc()
 }

@@ -18,6 +18,7 @@ import (
 	"retrodns/internal/dnscore"
 	"retrodns/internal/ipmeta"
 	"retrodns/internal/netsim"
+	"retrodns/internal/obsv"
 	"retrodns/internal/simtime"
 	"retrodns/internal/x509lite"
 )
@@ -251,6 +252,72 @@ type Dataset struct {
 	// first refusal into a hard AddScan/Append error instead.
 	quar   quarantine
 	strict bool
+
+	// met holds the dataset's metric handles, populated by SetMetrics.
+	// The nil handles of an uninstrumented dataset no-op.
+	met datasetMetrics
+}
+
+// datasetMetrics is the dataset's ingest instrumentation: scan and
+// record throughput counters, corpus-size gauges, and one quarantine
+// counter per refusal reason.
+type datasetMetrics struct {
+	scans       *obsv.Counter
+	records     *obsv.Counter
+	quarantined [numQuarReasons]*obsv.Counter
+	domains     *obsv.Gauge
+	size        *obsv.Gauge
+	generation  *obsv.Gauge
+}
+
+// Dataset metric family names.
+const (
+	MetricIngestScans       = "retrodns_ingest_scans_total"
+	MetricIngestRecords     = "retrodns_ingest_records_total"
+	MetricIngestQuarantined = "retrodns_ingest_quarantined_total"
+	MetricDatasetDomains    = "retrodns_dataset_domains"
+	MetricDatasetRecords    = "retrodns_dataset_records"
+	MetricDatasetGen        = "retrodns_dataset_ingest_generation"
+)
+
+// SetMetrics points the dataset's ingest instrumentation at a registry:
+// accepted scans and records count into retrodns_ingest_*_total, refused
+// records into retrodns_ingest_quarantined_total by reason, and the
+// corpus gauges track domains/records/generation after every ingest.
+// Call before ingest begins; a nil registry detaches (handles go nil).
+func (d *Dataset) SetMetrics(reg *obsv.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if reg == nil {
+		d.met = datasetMetrics{}
+		return
+	}
+	reg.SetHelp(MetricIngestScans, "Scans accepted by AddScan/Append.")
+	reg.SetHelp(MetricIngestRecords, "Scan records accepted into the per-domain indexes.")
+	reg.SetHelp(MetricIngestQuarantined, "Records the ingest gate refused, by reason.")
+	reg.SetHelp(MetricDatasetDomains, "Registered domains currently indexed.")
+	reg.SetHelp(MetricDatasetRecords, "Scan records currently indexed.")
+	reg.SetHelp(MetricDatasetGen, "Dataset index generation (1 at Freeze, +1 per Append).")
+	d.met.scans = reg.Counter(MetricIngestScans)
+	d.met.records = reg.Counter(MetricIngestRecords)
+	for reason := QuarantineReason(0); reason < numQuarReasons; reason++ {
+		d.met.quarantined[reason] = reg.Counter(MetricIngestQuarantined, "reason", reason.String())
+	}
+	d.met.domains = reg.Gauge(MetricDatasetDomains)
+	d.met.size = reg.Gauge(MetricDatasetRecords)
+	d.met.generation = reg.Gauge(MetricDatasetGen)
+}
+
+// publishSizeLocked refreshes the corpus gauges. Caller holds d.mu.
+func (d *Dataset) publishSizeLocked() {
+	if idx := d.idx.Load(); idx != nil {
+		d.met.domains.Set(int64(len(idx.byDomain)))
+		d.met.size.Set(int64(idx.records))
+		d.met.generation.Set(int64(idx.generation))
+		return
+	}
+	d.met.domains.Set(int64(len(d.byDomain)))
+	d.met.size.Set(int64(d.records))
 }
 
 // NewDataset creates an empty dataset.
@@ -293,8 +360,11 @@ func (d *Dataset) AddScan(date simtime.Date, records []*Record) error {
 		}
 	} else {
 		d.scanDates = append(d.scanDates, date)
+		d.met.scans.Inc()
 	}
 	d.records += len(records)
+	d.met.records.Add(int64(len(records)))
+	defer d.publishSizeLocked()
 	// SAN lists are short (a handful of names), so apex dedupe is a linear
 	// scan over a scratch slice hoisted out of the record loop — no
 	// per-record map allocation.
@@ -359,6 +429,7 @@ func (d *Dataset) freezeLocked() {
 	idx.periods = periodsOf(idx.scanDates)
 	d.byDomain, d.scanDates = nil, nil
 	d.idx.Store(idx)
+	d.publishSizeLocked()
 }
 
 // Frozen reports whether Freeze has run.
@@ -442,6 +513,11 @@ func (d *Dataset) Append(date simtime.Date, records []*Record) error {
 		sort.Slice(next.domains, func(i, j int) bool { return next.domains[i] < next.domains[j] })
 	}
 	d.idx.Store(next)
+	if dateOK {
+		d.met.scans.Inc()
+	}
+	d.met.records.Add(int64(len(records)))
+	d.publishSizeLocked()
 	return nil
 }
 

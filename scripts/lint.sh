@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# lint.sh — machine-check the repo's fault-tolerance conventions (PR 3),
+# previously enforced only by reviewer grep:
+#
+#   1. `panic(` must not be reachable from data paths. Every panic in
+#      non-test library/CLI code must be a known API-misuse assert or a
+#      Must* static-table helper, allowlisted below by file and content.
+#      A new panic — even in an allowlisted file — fails the build until
+#      it is either converted to a typed error or explicitly added here.
+#
+#   2. Must* constructors (MustParse, MustAdd, MustName, ...) may only be
+#      called from static tables: the world generator's fixed populations
+#      and campaigns, tests, and examples. Data paths must use the
+#      error-returning forms.
+#
+# Run via `make lint` (part of `make ci`).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Non-test library and CLI sources. Examples are demos with static
+# fixture zones and are exempt from both rules.
+srcs=$(find internal cmd -name '*.go' ! -name '*_test.go' | sort)
+
+# ---- Rule 1: panic( allowlist -------------------------------------------
+# file<TAB>content-regex. Content matching keeps the gate tight: a second,
+# different panic in an allowlisted file still fails.
+panic_allow="
+internal/dnscore/name.go	panic(err)
+internal/dnscore/zone.go	panic(err)
+internal/ipmeta/ipmeta.go	panic(err)
+internal/simtime/simtime.go	panic(err)
+internal/scanner/scanner.go	panic(\"scanner: AddScan on a frozen Dataset
+internal/obsv/obsv.go	panic(\"obsv: odd label list
+internal/obsv/obsv.go	panic(fmt.Sprintf(\"obsv: metric %q re-registered
+"
+
+while IFS=: read -r file line content; do
+    [ -z "$file" ] && continue
+    allowed=0
+    while IFS=$(printf '\t') read -r afile apattern; do
+        [ -z "$afile" ] && continue
+        if [ "$file" = "$afile" ] && printf '%s' "$content" | grep -qF "$apattern"; then
+            allowed=1
+            break
+        fi
+    done <<EOF
+$panic_allow
+EOF
+    if [ "$allowed" -eq 0 ]; then
+        echo "lint: $file:$line: unallowlisted panic( — return a typed error, or add an API-misuse assert to scripts/lint.sh" >&2
+        echo "      $content" >&2
+        fail=1
+    fi
+done <<EOF
+$(grep -n 'panic(' $srcs /dev/null | grep -v '^\s*//')
+EOF
+
+# ---- Rule 2: Must* only in static tables --------------------------------
+# Call sites of Must-prefixed identifiers (MustParse, zone.MustAdd, ...)
+# outside the allowlisted static-table files. Definitions (func Must...,
+# method declarations) and doc comments are excluded by pattern.
+# ipmeta.go is allowlisted as a definition site: its Must* helpers wrap
+# netip.MustParsePrefix for the world generator's static prefix tables.
+must_allow_files="
+internal/world/population.go
+internal/world/campaign.go
+internal/world/world.go
+internal/ipmeta/ipmeta.go
+"
+
+while IFS=: read -r file line content; do
+    [ -z "$file" ] && continue
+    case "$content" in
+        *"func Must"*|*"func ("*) continue ;;
+    esac
+    # Skip pure comment lines.
+    if printf '%s' "$content" | grep -qE '^[[:space:]]*//'; then
+        continue
+    fi
+    allowed=0
+    for afile in $must_allow_files; do
+        if [ "$file" = "$afile" ]; then
+            allowed=1
+            break
+        fi
+    done
+    if [ "$allowed" -eq 0 ]; then
+        echo "lint: $file:$line: Must* call outside a static table — use the error-returning form" >&2
+        echo "      $content" >&2
+        fail=1
+    fi
+done <<EOF
+$(grep -nE '(^|[^[:alnum:]_])(\w+\.)?Must[A-Z][A-Za-z]*\(' $srcs /dev/null)
+EOF
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint: FAILED" >&2
+    exit 1
+fi
+echo "lint: ok ($(printf '%s\n' $srcs | wc -l | tr -d ' ') files)"

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline
+.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve
 
 ci: lint vet build test race fuzz-smoke
 
@@ -22,13 +22,14 @@ test:
 	$(GO) test ./...
 
 # The pipeline's worker pool, the frozen dataset's lock-free reads, the
-# incremental Append path, and the shared metrics registry are exercised
-# under the race detector here (includes TestPipelineDeterminism,
-# TestDatasetConcurrentReads, TestAppendConcurrentReads,
-# TestIncrementalReplayEquivalence, TestConcurrentRegistry, and
-# TestFollowScrapeRace).
+# incremental Append path, the shared metrics registry, and the serving
+# layer's RCU snapshot swap are exercised under the race detector here
+# (includes TestPipelineDeterminism, TestDatasetConcurrentReads,
+# TestAppendConcurrentReads, TestIncrementalReplayEquivalence,
+# TestConcurrentRegistry, TestFollowScrapeRace, and
+# TestSnapshotSwapConsistency).
 race:
-	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv
+	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv ./internal/serve
 
 # Ten seconds of coverage-guided fuzzing per parser: DNS names, zone-file
 # snapshots, certificate chains, and the JSON report round trip. Enough to
@@ -41,10 +42,11 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReportJSONRoundTrip -fuzztime=10s ./internal/report
 
 # The incremental-engine benchmarks: append+cached-rerun vs full rerun
-# (the headline >=10x), certificate-fingerprint memoization, and the
-# allocation cost of bulk scan ingest.
+# (the headline >=10x), certificate-fingerprint memoization, the
+# allocation cost of bulk scan ingest, and the serving layer's query
+# latency (cold render vs LRU hit).
 bench:
-	$(GO) test -bench='BenchmarkIncrementalAppend|BenchmarkFingerprint|BenchmarkAddScan' -benchmem -count=3 -run='^$$' .
+	$(GO) test -bench='BenchmarkIncrementalAppend|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkServeQuery' -benchmem -count=3 -run='^$$' .
 
 # Every benchmark in the harness (tables, figures, scale sweeps, ablations).
 bench-all:
@@ -57,7 +59,7 @@ BENCHDIR ?= /tmp/retrodns-bench
 bench-report:
 	mkdir -p $(BENCHDIR)
 	$(GO) run ./cmd/retrodns -stable 80 -seed 1 -report-json $(BENCHDIR)/run-report.json 2>/dev/null >/dev/null
-	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
+	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkServeQuery' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
 
 # Fail on funnel drift or a >20% perf regression against the committed
 # baseline (see cmd/benchdiff).
@@ -68,3 +70,9 @@ benchgate: bench-report
 # change; commit the resulting BENCH_BASELINE.json with the change.
 bench-baseline: bench-report
 	$(GO) run ./cmd/benchdiff -update -baseline BENCH_BASELINE.json -report $(BENCHDIR)/run-report.json -bench $(BENCHDIR)/bench.txt
+
+# End-to-end daemon smoke: start retrodnsd on a small -follow world, poll
+# /v1/healthz until a snapshot is live, hit every /v1 endpoint, and check
+# the daemon drains cleanly on SIGTERM.
+smoke-serve:
+	./scripts/smoke_serve.sh

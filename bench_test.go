@@ -8,9 +8,12 @@ package retrodns_bench
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"sync"
 	"testing"
+	"time"
 
 	"retrodns/internal/core"
 	"retrodns/internal/ctlog"
@@ -21,6 +24,7 @@ import (
 	"retrodns/internal/pdns"
 	"retrodns/internal/report"
 	"retrodns/internal/scanner"
+	"retrodns/internal/serve"
 	"retrodns/internal/simtime"
 	"retrodns/internal/world"
 	"retrodns/internal/x509lite"
@@ -552,6 +556,40 @@ func BenchmarkIncrementalAppend(b *testing.B) {
 			next++
 		}
 	})
+}
+
+// BenchmarkServeQuery measures the query engine's response path over the
+// standard bench world: "cold" renders every response from the snapshot
+// (cache disabled), "hit" serves rendered bytes from the warmed LRU. The
+// benchgate guards both, so a regression in either the renderers or the
+// cache path fails CI.
+func BenchmarkServeQuery(b *testing.B) {
+	fx := getStudy(b)
+	snap := serve.BuildSnapshot(fx.result, fx.dataset, time.Now())
+	paths := []string{"/v1/funnel", "/v1/shortlist", "/v1/patterns/T1"}
+	run := func(b *testing.B, opts serve.Options) {
+		e := serve.NewEngine(opts)
+		e.Publish(snap)
+		h := e.Handler()
+		for _, p := range paths { // warm the LRU (a no-op when disabled)
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", p, nil))
+			if rr.Code != http.StatusOK {
+				b.Fatalf("%s = %d", p, rr.Code)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", paths[i%len(paths)], nil))
+			if rr.Code != http.StatusOK {
+				b.Fatalf("status %d", rr.Code)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, serve.Options{LRUSize: -1}) })
+	b.Run("hit", func(b *testing.B) { run(b, serve.Options{}) })
 }
 
 // BenchmarkFingerprint measures the certificate-digest memoization:

@@ -10,10 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"time"
 
 	"retrodns/internal/core"
 	"retrodns/internal/dnscore"
@@ -42,12 +43,16 @@ func main() {
 
 	metrics := obsv.NewRegistry()
 	if *metricsAddr != "" {
-		srv := &http.Server{Addr: *metricsAddr, Handler: metrics.Mux()}
-		go func() {
-			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", *metricsAddr)
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "metrics server:", err)
-			}
+		bound, stop, err := obsv.ListenAndServeMetrics(*metricsAddr, metrics, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			stop(ctx)
 		}()
 	}
 

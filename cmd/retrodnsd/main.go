@@ -1,0 +1,298 @@
+// Command retrodnsd is the serving daemon: it ingests a simulated study,
+// runs the analysis pipeline, and serves the results over a versioned
+// HTTP API while the study replays underneath.
+//
+// The read side never blocks on the write side. Each pipeline run is
+// folded into an immutable snapshot that is published with one atomic
+// pointer swap; every request reads exactly one snapshot, so responses
+// are internally consistent even while -follow ingest drives generation
+// after generation through the incremental engine.
+//
+//	retrodnsd -listen :8080                  # analyze once, serve forever
+//	retrodnsd -listen :8080 -follow          # re-analyze and swap after every scan
+//	curl localhost:8080/v1/healthz
+//	curl localhost:8080/v1/funnel
+//	curl localhost:8080/v1/shortlist
+//	curl localhost:8080/v1/patterns/T1
+//	curl localhost:8080/v1/domain/login.treasury.gov.aa
+//
+// Endpoints: /v1/domain/{name}, /v1/shortlist, /v1/funnel,
+// /v1/patterns/{label}, /v1/healthz — plus /metrics and /debug/vars from
+// the shared observability registry on the same listener.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"retrodns/internal/core"
+	"retrodns/internal/obsv"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/serve"
+	"retrodns/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "retrodnsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", ":8080", "serve the /v1 query API (and /metrics) on this address")
+		metricsAddr = flag.String("metrics-addr", "", "also serve /metrics and /debug/vars on this side address (they are always on -listen)")
+		seed        = flag.Int64("seed", 1, "world generation seed")
+		stable      = flag.Int("stable", 400, "benign stable-domain population")
+		noCampaigns = flag.Bool("no-campaigns", false, "disable the attack campaigns")
+		coverage    = flag.Float64("pdns-coverage", 0.85, "passive-DNS sensor coverage (0..1]")
+		workers     = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
+		strict      = flag.Bool("strict", false, "treat any record the ingest gate would quarantine as a fatal error")
+		follow      = flag.Bool("follow", false, "ingest scan-by-scan, re-analyzing and swapping the snapshot after each scan")
+		interval    = flag.Duration("scan-interval", 0, "pause between scans in -follow mode (0 = replay as fast as possible)")
+		lruSize     = flag.Int("lru", serve.DefaultLRUSize, "rendered-response cache entries (negative disables)")
+		rate        = flag.Float64("rate", 0, "token-bucket request rate limit per second (0 disables)")
+		burst       = flag.Int("burst", 0, "rate-limiter burst capacity (defaults to 1 when -rate is set)")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window on SIGTERM/SIGINT")
+		reportJSON  = flag.String("report-json", "", "write the run report (with serve section) here on shutdown ('-' for stdout)")
+	)
+	flag.Parse()
+
+	metrics := obsv.NewRegistry()
+	engine := serve.NewEngine(serve.Options{
+		LRUSize:    lruFlag(*lruSize),
+		RatePerSec: *rate,
+		Burst:      *burst,
+	})
+	engine.SetMetrics(metrics)
+
+	// One mux, one listener: the query API and the scrape surface share
+	// -listen; -metrics-addr adds an optional side listener for setups
+	// that keep scrapes off the serving port.
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", engine.Handler())
+	metrics.Mount(mux)
+	srv := &http.Server{
+		Handler:           http.TimeoutHandler(mux, *reqTimeout, `{"error":"request timed out"}`+"\n"),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	fmt.Fprintf(os.Stderr, "serving /v1 API on http://%s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+		close(serveErr)
+	}()
+
+	var stopMetrics func(context.Context) error
+	if *metricsAddr != "" {
+		bound, stop, err := obsv.ListenAndServeMetrics(*metricsAddr, metrics, os.Stderr)
+		if err != nil {
+			return err
+		}
+		stopMetrics = stop
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	// Ingest on the main goroutine: the daemon serves whatever snapshot is
+	// current while this loop advances it.
+	res, ds, err := ingest(ctx, engine, metrics, ingestConfig{
+		seed: *seed, stable: *stable, campaigns: !*noCampaigns,
+		coverage: *coverage, workers: *workers, strict: *strict,
+		follow: *follow, interval: *interval,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Serve until signalled (or until the HTTP server dies on its own).
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutdown signal received, draining...")
+	case err := <-serveErr:
+		if err != nil {
+			return fmt.Errorf("http server: %w", err)
+		}
+	}
+
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	if stopMetrics != nil {
+		if err := stopMetrics(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics drain:", err)
+		}
+	}
+
+	if *reportJSON != "" && res != nil {
+		if err := writeRunReport(*reportJSON, res, ds, metrics, engine); err != nil {
+			return fmt.Errorf("report-json: %w", err)
+		}
+	}
+	return nil
+}
+
+// lruFlag maps the -lru flag onto serve.Options.LRUSize, where 0 means
+// "use the default" rather than "disabled" — a user passing -lru 0 wants
+// caching off.
+func lruFlag(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
+type ingestConfig struct {
+	seed      int64
+	stable    int
+	campaigns bool
+	coverage  float64
+	workers   int
+	strict    bool
+	follow    bool
+	interval  time.Duration
+}
+
+// ingest builds the world and drives it through the pipeline, publishing
+// a snapshot per generation (-follow) or once for the whole corpus. It
+// returns the final result and dataset for the shutdown report; a nil
+// result means the context was cancelled before the first analysis.
+func ingest(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, cfg ingestConfig) (*core.Result, *scanner.Dataset, error) {
+	wcfg := world.DefaultConfig()
+	wcfg.Seed = cfg.seed
+	wcfg.StableDomains = cfg.stable
+	wcfg.TransitionDomains = cfg.stable * 3 / 100
+	wcfg.NoisyDomains = max(2, cfg.stable/250)
+	wcfg.PDNSCoverage = cfg.coverage
+	wcfg.Campaigns = cfg.campaigns
+
+	fmt.Fprintf(os.Stderr, "building world (seed=%d stable=%d campaigns=%v)...\n", wcfg.Seed, wcfg.StableDomains, wcfg.Campaigns)
+	w := world.New(wcfg)
+
+	if !cfg.follow {
+		ds := w.Run()
+		if err := worldErrors(w); err != nil {
+			return nil, nil, err
+		}
+		if q := ds.Quarantine(); q.Total > 0 {
+			fmt.Fprintln(os.Stderr, q)
+			if cfg.strict {
+				return nil, nil, fmt.Errorf("strict: refusing to analyze a partially-malformed feed")
+			}
+		}
+		ds.SetMetrics(metrics)
+		w.PDNSDB.SetMetrics(metrics)
+		w.CT.SetMetrics(metrics)
+		pipe := newPipeline(w, ds, metrics, cfg.workers)
+		res := pipe.Run()
+		engine.Publish(serve.BuildSnapshot(res, ds, time.Now()))
+		fmt.Fprintf(os.Stderr, "published snapshot gen=%d hijacked=%d targeted=%d\n",
+			ds.Generation(), len(res.Hijacked), len(res.Targeted))
+		return res, ds, nil
+	}
+
+	w.RunClock()
+	if err := worldErrors(w); err != nil {
+		return nil, nil, err
+	}
+	sc := w.Scanner()
+	ds := scanner.NewDataset()
+	ds.SetStrict(cfg.strict)
+	ds.SetMetrics(metrics)
+	w.PDNSDB.SetMetrics(metrics)
+	w.CT.SetMetrics(metrics)
+	pipe := newPipeline(w, ds, metrics, cfg.workers)
+
+	var res *core.Result
+	for _, date := range w.ScanDates() {
+		select {
+		case <-ctx.Done():
+			return res, ds, nil
+		default:
+		}
+		if err := ds.Append(date, sc.ScanWeek(date)); err != nil {
+			return res, ds, fmt.Errorf("ingest %s: %w", date, err)
+		}
+		res = pipe.Run()
+		engine.Publish(serve.BuildSnapshot(res, ds, time.Now()))
+		fmt.Fprintf(os.Stderr, "scan %s: published gen=%d dirty=%d hijacked=%d targeted=%d\n",
+			date, ds.Generation(), res.Stats.DirtyCells, len(res.Hijacked), len(res.Targeted))
+		if cfg.interval > 0 {
+			select {
+			case <-ctx.Done():
+				return res, ds, nil
+			case <-time.After(cfg.interval):
+			}
+		}
+	}
+	if q := ds.Quarantine(); q.Total > 0 {
+		fmt.Fprintln(os.Stderr, q)
+	}
+	fmt.Fprintln(os.Stderr, "study replay complete; serving final snapshot")
+	return res, ds, nil
+}
+
+// newPipeline wires the analysis pipeline the same way both CLIs do.
+func newPipeline(w *world.World, ds *scanner.Dataset, metrics *obsv.Registry, workers int) *core.Pipeline {
+	return &core.Pipeline{
+		Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+		PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+		Workers: workers, Cache: core.NewClassifyCache(),
+		Metrics: metrics,
+	}
+}
+
+// worldErrors folds world-generation failures into one error.
+func worldErrors(w *world.World) error {
+	if len(w.Errors) == 0 {
+		return nil
+	}
+	for _, err := range w.Errors {
+		fmt.Fprintf(os.Stderr, "world error: %v\n", err)
+	}
+	return fmt.Errorf("world generation failed with %d errors", len(w.Errors))
+}
+
+// writeRunReport emits the run report with the serving section attached —
+// the only producer that fills it in.
+func writeRunReport(path string, res *core.Result, ds *scanner.Dataset, metrics *obsv.Registry, engine *serve.Engine) error {
+	doc := report.BuildRunReport(res, ds.Quarantine(), metrics)
+	st := engine.Stats()
+	doc.Serve = &report.ServeSection{
+		Generation: st.Generation,
+		Swaps:      st.Swaps,
+		Requests:   st.Requests,
+	}
+	if path == "-" {
+		return doc.Encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := doc.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

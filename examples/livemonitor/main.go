@@ -19,11 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"net/netip"
 	"os"
+	"time"
 
 	"retrodns/internal/ca"
 	"retrodns/internal/core"
@@ -75,12 +76,16 @@ func followStudy(metricsAddr string) {
 	// sources — scraped live while the study replays.
 	metrics := obsv.NewRegistry()
 	if metricsAddr != "" {
-		srv := &http.Server{Addr: metricsAddr, Handler: metrics.Mux()}
-		go func() {
-			fmt.Printf("metrics on http://%s/metrics\n", metricsAddr)
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "metrics server:", err)
-			}
+		bound, stop, err := obsv.ListenAndServeMetrics(metricsAddr, metrics, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			stop(ctx)
 		}()
 	}
 
@@ -104,8 +109,9 @@ func followStudy(metricsAddr string) {
 				continue
 			}
 			seen[f.Domain] = true
-			fmt.Printf("scan %s (dirty=%d hits=%d misses=%d): NEW %s\n",
-				date, res.Stats.DirtyCells, res.Stats.CacheHits, res.Stats.CacheMisses, f)
+			fmt.Printf("scan %s gen=%d (dirty=%d hits=%d misses=%d): NEW %s\n",
+				date, res.Stats.Generation, res.Stats.DirtyCells,
+				res.Stats.CacheHits, res.Stats.CacheMisses, f)
 		}
 	}
 	fmt.Printf("\nstudy complete after %d scans: %d hijacked, %d targeted\n",

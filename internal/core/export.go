@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// DomainExport aggregates everything one Run concluded about a single
+// registered domain: its per-period classifications, the shortlist
+// candidates it produced, and the findings (hijacked/targeted verdicts)
+// it appears in. It is the per-domain unit a read-optimized serving
+// index holds, so a query for one domain never walks the full Result.
+type DomainExport struct {
+	Domain dnscore.Name
+	// Rollup is the domain-level category (the paper's §4.2 split).
+	Rollup Category
+	// Categories maps each analyzed period to its map category; nil for
+	// pivot-discovered domains with no deployment maps of their own.
+	Categories map[simtime.Period]Category
+	// Candidates lists the domain's shortlist survivors in pipeline order.
+	Candidates []*Candidate
+	// Findings lists the domain's rows of Tables 2 and 3, hijacked first,
+	// each in its table's order.
+	Findings []*Finding
+}
+
+// Verdict reduces the domain's findings to the single most severe
+// verdict, or VerdictInconclusive when the domain has none.
+func (d *DomainExport) Verdict() Verdict {
+	v := VerdictInconclusive
+	for _, f := range d.Findings {
+		if f.Verdict > v {
+			v = f.Verdict
+		}
+	}
+	return v
+}
+
+// ResultExport is the snapshot-export view of a Result: one DomainExport
+// per domain the run said anything about (classified, shortlisted, or
+// found via pivot), addressable by name and iterable in sorted order.
+// The export aliases the Result's candidates and findings rather than
+// copying them; treat both as read-only.
+type ResultExport struct {
+	// Domains is sorted by domain name.
+	Domains  []*DomainExport
+	byDomain map[dnscore.Name]*DomainExport
+}
+
+// Domain returns the export entry for one domain, or nil if the run had
+// nothing to say about it.
+func (e *ResultExport) Domain(name dnscore.Name) *DomainExport {
+	return e.byDomain[name]
+}
+
+// Export builds the read-optimized per-domain index of the result — the
+// hook a serving layer snapshots after every Run. The walk covers
+// History (every classified domain), Candidates, and both verdict
+// tables, so pivot-discovered domains absent from History still get an
+// entry. Cost is one pass over each; the Result itself is not mutated.
+func (r *Result) Export() *ResultExport {
+	e := &ResultExport{byDomain: make(map[dnscore.Name]*DomainExport, len(r.History))}
+	entry := func(name dnscore.Name) *DomainExport {
+		d := e.byDomain[name]
+		if d == nil {
+			d = &DomainExport{Domain: name}
+			e.byDomain[name] = d
+		}
+		return d
+	}
+	for name, byPeriod := range r.History {
+		d := entry(name)
+		d.Categories = byPeriod
+		d.Rollup = rollupCategory(byPeriod)
+	}
+	for _, c := range r.Candidates {
+		d := entry(c.Domain)
+		d.Candidates = append(d.Candidates, c)
+	}
+	for _, f := range r.Hijacked {
+		d := entry(f.Domain)
+		d.Findings = append(d.Findings, f)
+	}
+	for _, f := range r.Targeted {
+		d := entry(f.Domain)
+		d.Findings = append(d.Findings, f)
+	}
+	// Pivot-only domains never went through classification; their rollup
+	// defaults to noisy via rollupCategory's empty-map case.
+	for _, d := range e.byDomain {
+		if d.Categories == nil {
+			d.Rollup = rollupCategory(nil)
+		}
+	}
+	e.Domains = make([]*DomainExport, 0, len(e.byDomain))
+	for _, d := range e.byDomain {
+		e.Domains = append(e.Domains, d)
+	}
+	sort.Slice(e.Domains, func(i, j int) bool { return e.Domains[i].Domain < e.Domains[j].Domain })
+	return e
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+func TestExportIndexesEveryDomain(t *testing.T) {
+	dep := &Deployment{ScanDates: []simtime.Date{simtime.MustParse("2017-07-10")}}
+	res := &Result{
+		History: map[dnscore.Name]map[simtime.Period]Category{
+			"bravo.gov.xx": {0: CategoryStable, 1: CategoryTransient},
+			"alpha.com":    {0: CategoryStable},
+		},
+		Candidates: []*Candidate{
+			{Domain: "bravo.gov.xx", Period: 1, Pattern: PatternT1, Transient: dep, Sensitive: true},
+		},
+		Hijacked: []*Finding{
+			{Domain: "bravo.gov.xx", Verdict: VerdictHijacked, Date: simtime.MustParse("2017-07-10")},
+		},
+		Targeted: []*Finding{
+			// Pivot-discovered: never classified, absent from History.
+			{Domain: "pivot.gov.xx", Verdict: VerdictTargeted, Date: simtime.MustParse("2017-07-17")},
+		},
+	}
+
+	e := res.Export()
+	if len(e.Domains) != 3 {
+		t.Fatalf("exported %d domains, want 3", len(e.Domains))
+	}
+	// Sorted by name.
+	for i, want := range []dnscore.Name{"alpha.com", "bravo.gov.xx", "pivot.gov.xx"} {
+		if e.Domains[i].Domain != want {
+			t.Errorf("Domains[%d] = %s, want %s", i, e.Domains[i].Domain, want)
+		}
+	}
+
+	b := e.Domain("bravo.gov.xx")
+	if b == nil {
+		t.Fatal("bravo.gov.xx missing")
+	}
+	if b.Rollup != CategoryTransient {
+		t.Errorf("bravo rollup = %v, want transient", b.Rollup)
+	}
+	if len(b.Candidates) != 1 || len(b.Findings) != 1 {
+		t.Errorf("bravo candidates=%d findings=%d, want 1/1", len(b.Candidates), len(b.Findings))
+	}
+	if b.Verdict() != VerdictHijacked {
+		t.Errorf("bravo verdict = %v, want hijacked", b.Verdict())
+	}
+
+	p := e.Domain("pivot.gov.xx")
+	if p == nil {
+		t.Fatal("pivot.gov.xx missing despite having a finding")
+	}
+	if p.Rollup != CategoryNoisy {
+		t.Errorf("pivot-only rollup = %v, want noisy default", p.Rollup)
+	}
+	if p.Verdict() != VerdictTargeted {
+		t.Errorf("pivot verdict = %v, want targeted", p.Verdict())
+	}
+
+	a := e.Domain("alpha.com")
+	if a.Verdict() != VerdictInconclusive {
+		t.Errorf("alpha verdict = %v, want inconclusive", a.Verdict())
+	}
+	if e.Domain("absent.example") != nil {
+		t.Error("lookup of unknown domain returned an entry")
+	}
+}

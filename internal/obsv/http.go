@@ -1,9 +1,14 @@
 package obsv
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"sort"
+	"time"
 )
 
 // MetricsHandler serves the Prometheus text exposition — the endpoint a
@@ -40,13 +45,20 @@ func (r *Registry) VarsHandler() http.Handler {
 	})
 }
 
+// Mount registers the registry's scrape surface — /metrics and
+// /debug/vars — on an existing mux, so a daemon can serve metrics from
+// the same listener as its API instead of a side port.
+func (r *Registry) Mount(mux *http.ServeMux) {
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", r.VarsHandler())
+}
+
 // Mux mounts the registry's HTTP surface the way the CLIs serve it:
 // /metrics for Prometheus scrapes and /debug/vars for the expvar-style
 // JSON view. The root path lists the endpoints.
 func (r *Registry) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.MetricsHandler())
-	mux.Handle("/debug/vars", r.VarsHandler())
+	r.Mount(mux)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -68,4 +80,26 @@ func (r *Registry) Mux() *http.ServeMux {
 		}
 	})
 	return mux
+}
+
+// ListenAndServeMetrics serves the registry's Mux on addr from a
+// background goroutine — the -metrics-addr wiring every CLI shares. The
+// listener is opened synchronously, so a bad address is an immediate
+// error rather than a log line from the goroutine; the bound address
+// (useful with ":0") and a stop function are returned. Stop drains
+// in-flight scrapes gracefully within the context's deadline and is
+// idempotent. Serve-side failures after startup are reported to errlog
+// (nil discards them).
+func ListenAndServeMetrics(addr string, r *Registry, errlog io.Writer) (bound string, stop func(context.Context) error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obsv: metrics listener %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Mux(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed && errlog != nil {
+			fmt.Fprintln(errlog, "metrics server:", serr)
+		}
+	}()
+	return ln.Addr().String(), srv.Shutdown, nil
 }

@@ -1,0 +1,70 @@
+package obsv
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestListenAndServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("obsv_http_test_total").Add(3)
+
+	bound, stop, err := ListenAndServeMetrics("127.0.0.1:0", r, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "obsv_http_test_total") {
+			t.Errorf("%s body missing the registered counter:\n%s", path, body)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := stop(ctx); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
+		t.Error("listener still serving after stop")
+	}
+	// Stop is idempotent.
+	if err := stop(ctx); err != nil {
+		t.Errorf("second stop: %v", err)
+	}
+}
+
+func TestListenAndServeMetricsBadAddr(t *testing.T) {
+	if _, _, err := ListenAndServeMetrics("256.256.256.256:1", NewRegistry(), io.Discard); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestMountSharesMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mounted_total").Inc()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("app")) })
+	r.Mount(mux)
+
+	for path, want := range map[string]string{"/app": "app", "/metrics": "mounted_total"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("%s: code=%d body=%q", path, rec.Code, rec.Body.String())
+		}
+	}
+}

@@ -43,6 +43,11 @@ type JSONReport struct {
 	Funnel   map[string]int `json:"funnel"`
 }
 
+// FindingJSON converts one finding to its stable machine-readable form —
+// the same shape WriteJSON emits, shared with the serving layer so a
+// /v1/domain response and a CLI export never disagree on field names.
+func FindingJSON(f *core.Finding) JSONFinding { return toJSONFinding(f) }
+
 func toJSONFinding(f *core.Finding) JSONFinding {
 	out := JSONFinding{
 		Domain:       string(f.Domain),

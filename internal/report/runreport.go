@@ -54,6 +54,16 @@ type QuarantineSection struct {
 	ByReason map[string]int `json:"by_reason,omitempty"`
 }
 
+// ServeSection captures the serving layer at report time: the snapshot
+// generation that was live, how many Publish swaps got it there, and
+// per-endpoint request totals. All of it depends on what traffic the
+// daemon happened to receive, so Canonical() strips the whole section.
+type ServeSection struct {
+	Generation uint64           `json:"generation"`
+	Swaps      uint64           `json:"swaps"`
+	Requests   map[string]int64 `json:"requests,omitempty"`
+}
+
 // BenchSample is one `go test -bench` measurement, normalized for
 // cross-run comparison (the -<GOMAXPROCS> suffix is stripped from Name).
 type BenchSample struct {
@@ -72,11 +82,13 @@ type RunReport struct {
 	Quarantine QuarantineSection `json:"quarantine"`
 	Metrics    []obsv.Sample     `json:"metrics,omitempty"`
 	Bench      []BenchSample     `json:"bench,omitempty"`
+	Serve      *ServeSection     `json:"serve,omitempty"`
 }
 
-// runFunnel flattens the funnel into the stable key set benchdiff gates
-// on. Every count the paper's §4 running totals report is here.
-func runFunnel(res *core.Result) map[string]int {
+// FunnelCounts flattens the funnel into the stable key set benchdiff
+// gates on and the serving layer's /v1/funnel endpoint exposes. Every
+// count the paper's §4 running totals report is here.
+func FunnelCounts(res *core.Result) map[string]int {
 	return map[string]int{
 		"domains":               res.Funnel.Domains,
 		"maps":                  res.Funnel.Maps,
@@ -101,7 +113,7 @@ func BuildRunReport(res *core.Result, quar scanner.QuarantineReport, reg *obsv.R
 	r := RunReport{
 		Schema:  RunReportSchema,
 		Workers: res.Stats.Workers,
-		Funnel:  runFunnel(res),
+		Funnel:  FunnelCounts(res),
 		Cache: CacheReport{
 			Hits:       res.Stats.CacheHits,
 			Misses:     res.Stats.CacheMisses,
@@ -148,6 +160,7 @@ func (r RunReport) Canonical() RunReport {
 		out.Metrics = append(out.Metrics, s)
 	}
 	out.Bench = nil
+	out.Serve = nil
 	return out
 }
 

@@ -1,0 +1,46 @@
+package scanner
+
+import "testing"
+
+// LatestScanDate must answer correctly in all three dataset states: empty,
+// bulk-ingest (mutex path, unsorted accumulation), and frozen/appended
+// (lock-free index path).
+func TestLatestScanDate(t *testing.T) {
+	f := setup(t)
+	ds := NewDataset()
+	if _, ok := ds.LatestScanDate(); ok {
+		t.Fatal("empty dataset reported a scan date")
+	}
+
+	// Bulk phase, deliberately out of order: the fallback path scans for
+	// the max rather than trusting insertion order.
+	if err := ds.AddScan(14, f.scanner.ScanWeek(14)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddScan(0, f.scanner.ScanWeek(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := ds.LatestScanDate(); !ok || got != 14 {
+		t.Fatalf("bulk latest = %v,%v, want 14,true", got, ok)
+	}
+
+	ds.Freeze()
+	if got, ok := ds.LatestScanDate(); !ok || got != 14 {
+		t.Fatalf("frozen latest = %v,%v, want 14,true", got, ok)
+	}
+
+	if err := ds.Append(21, f.scanner.ScanWeek(21)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ds.LatestScanDate(); got != 21 {
+		t.Fatalf("after append latest = %v, want 21", got)
+	}
+
+	// A backfill append of an older scan must not move the latest date.
+	if err := ds.Append(7, f.scanner.ScanWeek(7)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ds.LatestScanDate(); got != 21 {
+		t.Fatalf("after backfill latest = %v, want 21", got)
+	}
+}

@@ -693,6 +693,29 @@ func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
 	return out
 }
 
+// LatestScanDate returns the most recent ingested scan date and whether
+// any scan has been ingested at all — the data-recency stamp a serving
+// layer reports next to its snapshot generation. Lock-free on a frozen
+// dataset.
+func (d *Dataset) LatestScanDate() (simtime.Date, bool) {
+	if idx := d.idx.Load(); idx != nil {
+		if n := len(idx.scanDates); n > 0 {
+			return idx.scanDates[n-1], true
+		}
+		return 0, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var latest simtime.Date
+	found := false
+	for _, s := range d.scanDates {
+		if !found || s > latest {
+			latest, found = s, true
+		}
+	}
+	return latest, found
+}
+
 // Size returns (domains, records) counts.
 func (d *Dataset) Size() (int, int) {
 	if idx := d.idx.Load(); idx != nil {

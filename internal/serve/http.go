@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"retrodns/internal/dnscore"
+)
+
+// GenerationHeader carries the snapshot generation a response was built
+// from; it always equals the "generation" field of the JSON body, because
+// both come from the one snapshot pointer the request loaded.
+const GenerationHeader = "X-Retrodns-Generation"
+
+// errorDoc is the JSON error envelope.
+type errorDoc struct {
+	Error      string `json:"error"`
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+// Handler returns the /v1 API: five read endpoints over the published
+// snapshot. Each request loads the snapshot pointer exactly once, so the
+// whole response — headers included — reflects a single generation even
+// while Publish swaps underneath. Mount it at the server root (patterns
+// are absolute) alongside whatever else the process serves.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/domain/{name}", e.endpoint("domain", e.handleDomain))
+	mux.Handle("GET /v1/shortlist", e.endpoint("shortlist", e.handleShortlist))
+	mux.Handle("GET /v1/funnel", e.endpoint("funnel", e.handleFunnel))
+	mux.Handle("GET /v1/patterns/{label}", e.endpoint("patterns", e.handlePatterns))
+	mux.Handle("GET /v1/healthz", e.endpoint("healthz", e.handleHealthz))
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound,
+			"unknown endpoint; have /v1/domain/{name} /v1/shortlist /v1/funnel /v1/patterns/{label} /v1/healthz", 0)
+	})
+	return mux
+}
+
+// statusWriter captures the status code for the error metric.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpoint wraps a handler with the per-endpoint concerns: request
+// counting, the global rate limiter, the no-snapshot-yet gate, and
+// latency/error metrics. The snapshot is loaded here, once, and handed
+// down — handlers never touch e.snap themselves.
+func (e *Engine) endpoint(name string, fn func(w http.ResponseWriter, r *http.Request, snap *Snapshot)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := e.now()
+		e.requests[name].Add(1)
+		m := e.met[name]
+		m.requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		switch {
+		case e.limiter != nil && !e.limiter.allow(start):
+			e.ratelimited.Inc()
+			writeError(sw, http.StatusTooManyRequests, "rate limit exceeded", 0)
+		default:
+			snap := e.snap.Load()
+			if snap == nil && name != "healthz" {
+				writeError(sw, http.StatusServiceUnavailable, "no snapshot published yet", 0)
+			} else {
+				fn(sw, r, snap)
+			}
+		}
+		if sw.code >= 400 {
+			e.reg.Counter(MetricServeErrors, "endpoint", name, "code", strconv.Itoa(sw.code)).Inc()
+		}
+		m.latency.Observe(e.now().Sub(start).Seconds())
+	})
+}
+
+// serveDoc renders doc through the LRU and writes it. Error responses
+// never pass through here, so the cache only ever holds the bounded set
+// of real documents (request-shaped keys like unknown domain names would
+// otherwise let a client churn the cache).
+func (e *Engine) serveDoc(w http.ResponseWriter, cacheKey string, gen uint64, doc any) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	if body, ok := e.cache.get(cacheKey); ok {
+		e.cacheHits.Inc()
+		w.Write(body)
+		return
+	}
+	e.cacheMisses.Inc()
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "render: "+err.Error(), gen)
+		return
+	}
+	body = append(body, '\n')
+	if evicted := e.cache.put(cacheKey, body); evicted > 0 {
+		e.cacheEvict.Add(int64(evicted))
+	}
+	w.Write(body)
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, code int, msg string, gen uint64) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	if gen > 0 {
+		h.Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	}
+	w.WriteHeader(code)
+	body, _ := json.MarshalIndent(errorDoc{Error: msg, Generation: gen}, "", "  ")
+	w.Write(append(body, '\n'))
+}
+
+// handleDomain serves /v1/domain/{name}.
+func (e *Engine) handleDomain(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	name, err := dnscore.ParseName(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad domain name: %v", err), snap.Generation)
+		return
+	}
+	doc, ok := snap.domains[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("domain %s not in snapshot", name), snap.Generation)
+		return
+	}
+	e.serveDoc(w, fmt.Sprintf("domain|%s|g%d", name, snap.Generation), snap.Generation, doc)
+}
+
+// handleShortlist serves /v1/shortlist.
+func (e *Engine) handleShortlist(w http.ResponseWriter, _ *http.Request, snap *Snapshot) {
+	e.serveDoc(w, fmt.Sprintf("shortlist|g%d", snap.Generation), snap.Generation, snap.shortlist)
+}
+
+// handleFunnel serves /v1/funnel.
+func (e *Engine) handleFunnel(w http.ResponseWriter, _ *http.Request, snap *Snapshot) {
+	e.serveDoc(w, fmt.Sprintf("funnel|g%d", snap.Generation), snap.Generation, snap.funnel)
+}
+
+// handlePatterns serves /v1/patterns/{label}. Labels are matched
+// case-insensitively against PatternLabels.
+func (e *Engine) handlePatterns(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	label := strings.ToLower(r.PathValue("label"))
+	if label == "t1" || label == "t2" {
+		label = strings.ToUpper(label)
+	}
+	doc, ok := snap.patterns[label]
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown pattern label %q; have %s", r.PathValue("label"), strings.Join(PatternLabels, " ")),
+			snap.Generation)
+		return
+	}
+	e.serveDoc(w, fmt.Sprintf("patterns|%s|g%d", label, snap.Generation), snap.Generation, doc)
+}
+
+// HealthDoc is the /v1/healthz response: liveness plus snapshot
+// freshness — which generation is being served, how many swaps got it
+// there, how old it is, and how recent its data is.
+type HealthDoc struct {
+	Status             string  `json:"status"`
+	Generation         uint64  `json:"generation"`
+	Swaps              uint64  `json:"swaps"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	Domains            int     `json:"domains"`
+	LastScan           string  `json:"last_scan,omitempty"`
+}
+
+// handleHealthz serves /v1/healthz. Never cached: age moves every call.
+// Before the first Publish it reports status "empty" with 503 so load
+// balancers hold traffic until a snapshot exists.
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request, snap *Snapshot) {
+	doc := HealthDoc{Status: "ok"}
+	code := http.StatusOK
+	if snap == nil {
+		doc.Status = "empty"
+		code = http.StatusServiceUnavailable
+	} else {
+		doc.Generation = snap.Generation
+		doc.SnapshotAgeSeconds = e.now().Sub(snap.Built).Seconds()
+		doc.Domains = snap.Domains()
+		if snap.hasLastScan {
+			doc.LastScan = snap.lastScan.String()
+		}
+	}
+	doc.Swaps = e.swaps.Load()
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set(GenerationHeader, strconv.FormatUint(doc.Generation, 10))
+	w.WriteHeader(code)
+	body, _ := json.MarshalIndent(doc, "", "  ")
+	w.Write(append(body, '\n'))
+}

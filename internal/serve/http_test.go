@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"retrodns/internal/core"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/obsv"
+	"retrodns/internal/report"
+	"retrodns/internal/simtime"
+)
+
+// testResult builds a small, fully-synthetic pipeline result: one
+// hijacked domain with a T1 candidate in period 1, one quietly stable
+// domain, generation 7. Every golden body below derives from it.
+func testResult() *core.Result {
+	dep := &core.Deployment{
+		ASN:       64500,
+		Countries: map[ipmeta.CountryCode]bool{"RU": true, "MD": true},
+		ScanDates: []simtime.Date{simtime.MustParse("2017-07-10"), simtime.MustParse("2017-07-17")},
+	}
+	cand := &core.Candidate{
+		Domain: "victim.gov.xx", Period: 1, Transient: dep,
+		Pattern: core.PatternT1, TrulyAnomalous: true, Sensitive: true,
+	}
+	find := &core.Finding{
+		Domain: "victim.gov.xx", Sub: "mail", Method: core.MethodT1,
+		Verdict: core.VerdictHijacked, Date: simtime.MustParse("2017-07-10"),
+		PDNS: true, CT: true, AttackerASN: 64500, AttackerCC: "RU",
+	}
+	res := &core.Result{
+		History: map[dnscore.Name]map[simtime.Period]core.Category{
+			"victim.gov.xx": {0: core.CategoryStable, 1: core.CategoryTransient},
+			"steady.com":    {0: core.CategoryStable, 1: core.CategoryStable},
+		},
+		Candidates: []*core.Candidate{cand},
+		Hijacked:   []*core.Finding{find},
+		Funnel: core.FunnelStats{
+			Domains: 2, Maps: 4,
+			DomainCategories: map[core.Category]int{
+				core.CategoryStable: 1, core.CategoryTransient: 1,
+			},
+			Shortlisted: 1, ShortlistedAnomalous: 1, WorthExamining: 1,
+		},
+	}
+	res.Stats.Generation = 7
+	return res
+}
+
+var testBuilt = time.Date(2022, 6, 1, 12, 0, 0, 0, time.UTC)
+
+// testEngine publishes the testResult snapshot under a clock frozen 90
+// seconds after the snapshot was built.
+func testEngine(t *testing.T, opts Options) (*Engine, http.Handler) {
+	t.Helper()
+	if opts.Now == nil {
+		opts.Now = func() time.Time { return testBuilt.Add(90 * time.Second) }
+	}
+	e := NewEngine(opts)
+	e.Publish(BuildSnapshot(testResult(), nil, testBuilt))
+	return e, e.Handler()
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+// golden marshals want exactly the way serveDoc renders and compares.
+func golden(t *testing.T, rr *httptest.ResponseRecorder, wantGen uint64, want any) {
+	t.Helper()
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rr.Code, rr.Body)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("content-type = %q", ct)
+	}
+	if g := rr.Header().Get(GenerationHeader); g != strconv.FormatUint(wantGen, 10) {
+		t.Errorf("%s = %q, want %d", GenerationHeader, g, wantGen)
+	}
+	body, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rr.Body.String(); got != string(body)+"\n" {
+		t.Errorf("body mismatch:\n got: %s\nwant: %s", got, body)
+	}
+}
+
+func TestDomainEndpointGolden(t *testing.T) {
+	_, h := testEngine(t, Options{})
+	p0, p1 := simtime.Period(0), simtime.Period(1)
+	res := testResult()
+	golden(t, get(t, h, "/v1/domain/victim.gov.xx"), 7, DomainDoc{
+		Generation: 7,
+		Domain:     "victim.gov.xx",
+		Category:   "transient",
+		Verdict:    "hijacked",
+		Periods: []PeriodDoc{
+			{Period: 0, Start: p0.Start().String(), End: p0.End().String(), Category: "stable"},
+			{Period: 1, Start: p1.Start().String(), End: p1.End().String(), Category: "transient"},
+		},
+		Candidates: []CandidateDoc{{
+			Period: 1, Pattern: "T1", ASN: 64500, Countries: []string{"MD", "RU"},
+			FirstSeen: "2017-07-10", LastSeen: "2017-07-17",
+			Reason: "truly-anomalous+sensitive-subdomain",
+		}},
+		Findings: []report.JSONFinding{report.FindingJSON(res.Hijacked[0])},
+	})
+}
+
+func TestShortlistEndpointGolden(t *testing.T) {
+	_, h := testEngine(t, Options{})
+	golden(t, get(t, h, "/v1/shortlist"), 7, ShortlistDoc{
+		Generation: 7, Total: 1, TrulyAnomalous: 1,
+		Candidates: []ShortlistEntryDoc{{
+			Domain: "victim.gov.xx", Period: 1, Pattern: "T1", ASN: 64500,
+			Reason: "truly-anomalous+sensitive-subdomain",
+		}},
+	})
+}
+
+func TestFunnelEndpointGolden(t *testing.T) {
+	_, h := testEngine(t, Options{})
+	p0, p1 := simtime.Period(0), simtime.Period(1)
+	golden(t, get(t, h, "/v1/funnel"), 7, FunnelDoc{
+		Generation: 7,
+		Funnel:     report.FunnelCounts(testResult()),
+		Periods: []PeriodFunnelDoc{
+			{Period: 0, Start: p0.Start().String(), End: p0.End().String(),
+				Categories: map[string]int{"stable": 2}},
+			{Period: 1, Start: p1.Start().String(), End: p1.End().String(),
+				Categories: map[string]int{"stable": 1, "transient": 1},
+				Candidates: 1, Findings: 1},
+		},
+	})
+}
+
+func TestPatternsEndpointGolden(t *testing.T) {
+	_, h := testEngine(t, Options{})
+	golden(t, get(t, h, "/v1/patterns/T1"), 7, PatternsDoc{
+		Generation: 7, Label: "T1", Count: 1, Domains: []string{"victim.gov.xx"},
+	})
+	golden(t, get(t, h, "/v1/patterns/stable"), 7, PatternsDoc{
+		Generation: 7, Label: "stable", Count: 1, Domains: []string{"steady.com"},
+	})
+	// Labels match case-insensitively.
+	golden(t, get(t, h, "/v1/patterns/t1"), 7, PatternsDoc{
+		Generation: 7, Label: "T1", Count: 1, Domains: []string{"victim.gov.xx"},
+	})
+	// An empty label still serves a well-formed document.
+	golden(t, get(t, h, "/v1/patterns/T2"), 7, PatternsDoc{
+		Generation: 7, Label: "T2", Count: 0, Domains: nil,
+	})
+}
+
+func TestHealthzEndpointGolden(t *testing.T) {
+	_, h := testEngine(t, Options{})
+	rr := get(t, h, "/v1/healthz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var doc HealthDoc
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := HealthDoc{
+		Status: "ok", Generation: 7, Swaps: 1,
+		SnapshotAgeSeconds: 90, Domains: 2,
+	}
+	if doc != want {
+		t.Errorf("healthz = %+v, want %+v", doc, want)
+	}
+	if g := rr.Header().Get(GenerationHeader); g != "7" {
+		t.Errorf("generation header = %q", g)
+	}
+}
+
+func TestNoSnapshotYet(t *testing.T) {
+	e := NewEngine(Options{})
+	h := e.Handler()
+	for _, path := range []string{"/v1/funnel", "/v1/shortlist", "/v1/domain/a.com", "/v1/patterns/T1"} {
+		if rr := get(t, h, path); rr.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s = %d before first publish, want 503", path, rr.Code)
+		}
+	}
+	rr := get(t, h, "/v1/healthz")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %d, want 503", rr.Code)
+	}
+	var doc HealthDoc
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "empty" {
+		t.Errorf("status = %q, want empty", doc.Status)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	_, h := testEngine(t, Options{})
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/v1/domain/..bad..name..", http.StatusBadRequest},
+		{"/v1/domain/unknown.example", http.StatusNotFound},
+		{"/v1/patterns/bogus", http.StatusNotFound},
+		{"/v1/nope", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		rr := get(t, h, tc.path)
+		if rr.Code != tc.code {
+			t.Errorf("%s = %d, want %d", tc.path, rr.Code, tc.code)
+			continue
+		}
+		var doc errorDoc
+		if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+			t.Errorf("%s: non-JSON error body: %v", tc.path, err)
+		}
+		if doc.Error == "" {
+			t.Errorf("%s: empty error message", tc.path)
+		}
+	}
+	// Known-endpoint errors carry the generation they were answered under.
+	rr := get(t, h, "/v1/domain/unknown.example")
+	if g := rr.Header().Get(GenerationHeader); g != "7" {
+		t.Errorf("404 generation header = %q, want 7", g)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	clock := testBuilt
+	e := NewEngine(Options{
+		RatePerSec: 1, Burst: 2,
+		Now: func() time.Time { return clock },
+	})
+	e.Publish(BuildSnapshot(testResult(), nil, testBuilt))
+	h := e.Handler()
+	for i := 0; i < 2; i++ {
+		if rr := get(t, h, "/v1/funnel"); rr.Code != http.StatusOK {
+			t.Fatalf("request %d = %d inside burst", i, rr.Code)
+		}
+	}
+	if rr := get(t, h, "/v1/funnel"); rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("burst exceeded = %d, want 429", rr.Code)
+	}
+	clock = clock.Add(time.Second)
+	if rr := get(t, h, "/v1/funnel"); rr.Code != http.StatusOK {
+		t.Fatalf("after refill = %d, want 200", rr.Code)
+	}
+}
+
+func TestResponseCacheHit(t *testing.T) {
+	e, h := testEngine(t, Options{})
+	first := get(t, h, "/v1/funnel")
+	second := get(t, h, "/v1/funnel")
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cached response differs from first render")
+	}
+	st := e.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.Requests["funnel"] != 2 {
+		t.Errorf("funnel requests = %d, want 2", st.Requests["funnel"])
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e, h := testEngine(t, Options{LRUSize: -1})
+	get(t, h, "/v1/funnel")
+	get(t, h, "/v1/funnel")
+	if st := e.Stats(); st.CacheHits != 0 || st.CacheLen != 0 {
+		t.Errorf("disabled cache: hits=%d len=%d", st.CacheHits, st.CacheLen)
+	}
+}
+
+func TestEndpointMetrics(t *testing.T) {
+	reg := obsv.NewRegistry()
+	e := NewEngine(Options{})
+	e.SetMetrics(reg)
+	e.Publish(BuildSnapshot(testResult(), nil, testBuilt))
+	h := e.Handler()
+	get(t, h, "/v1/funnel")
+	get(t, h, "/v1/funnel")
+	get(t, h, "/v1/domain/unknown.example") // 404 → error series
+
+	if got := reg.Counter(MetricServeRequests, "endpoint", "funnel").Value(); got != 2 {
+		t.Errorf("funnel request counter = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricServeErrors, "endpoint", "domain", "code", "404").Value(); got != 1 {
+		t.Errorf("domain 404 counter = %d, want 1", got)
+	}
+	if got := reg.Gauge(MetricServeGeneration).Value(); got != 7 {
+		t.Errorf("generation gauge = %d, want 7", got)
+	}
+	if got := reg.Counter(MetricServeSwaps).Value(); got != 1 {
+		t.Errorf("swap counter = %d, want 1", got)
+	}
+	if got := reg.Histogram(MetricServeLatencySec, obsv.DurationBuckets, "endpoint", "funnel").Count(); got != 2 {
+		t.Errorf("latency observations = %d, want 2", got)
+	}
+}
+
+func TestGenerationSourcedFromDataset(t *testing.T) {
+	// Without a dataset the snapshot generation falls back to the result's
+	// own stats — the synthetic-test shape used throughout this file.
+	snap := BuildSnapshot(testResult(), nil, testBuilt)
+	if snap.Generation != 7 {
+		t.Fatalf("generation = %d, want 7 (from Result.Stats)", snap.Generation)
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import "sync"
+
+// lruCache is the bounded cache of rendered JSON responses. Keys embed
+// the snapshot generation, so a swap never serves a stale body — old
+// generations simply stop being asked for and age out of the tail. The
+// cache is a plain mutex around a map plus an intrusive doubly-linked
+// recency list: entries are small (a key and a rendered body), the
+// critical section is a few pointer swaps, and the renderers it fronts
+// are the expensive part.
+type lruCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*lruEntry
+	// head is the most recently used entry, tail the eviction victim.
+	head, tail *lruEntry
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	key        string
+	body       []byte
+	prev, next *lruEntry
+}
+
+// newLRU creates a cache bounded to max entries; max <= 0 disables
+// caching entirely (every get misses, every put is dropped).
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, entries: make(map[string]*lruEntry)}
+}
+
+// get returns the cached body for key, promoting it to most recent.
+// The returned slice is shared: callers must treat it as read-only.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.body, true
+}
+
+// put stores body under key, evicting from the tail past capacity, and
+// returns how many entries were evicted.
+func (c *lruCache) put(key string, body []byte) int {
+	if c.max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.body = body
+		c.unlink(e)
+		c.pushFront(e)
+		return 0
+	}
+	e := &lruEntry{key: key, body: body}
+	c.entries[key] = e
+	c.pushFront(e)
+	evicted := 0
+	for len(c.entries) > c.max {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// stats returns (hits, misses, evictions).
+func (c *lruCache) stats() (int64, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// unlink removes e from the recency list. Caller holds mu.
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recent entry. Caller holds mu.
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUBoundsAndEviction(t *testing.T) {
+	c := newLRU(3)
+	for i := 0; i < 5; i++ {
+		if ev := c.put(fmt.Sprintf("k%d", i), []byte{byte(i)}); i < 3 && ev != 0 {
+			t.Fatalf("put %d evicted %d before capacity", i, ev)
+		}
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	// k0 and k1 were the least recent; they must be gone.
+	for _, k := range []string{"k0", "k1"} {
+		if _, ok := c.get(k); ok {
+			t.Errorf("%s survived eviction", k)
+		}
+	}
+	for _, k := range []string{"k2", "k3", "k4"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s missing", k)
+		}
+	}
+	_, _, evictions := c.stats()
+	if evictions != 2 {
+		t.Errorf("evictions = %d, want 2", evictions)
+	}
+}
+
+func TestLRUPromotionOnGet(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	// Touch a so b becomes the eviction victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before promotion")
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || string(v) != "A" {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+}
+
+func TestLRUUpdateExistingKey(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("old"))
+	if ev := c.put("a", []byte("new")); ev != 0 {
+		t.Fatalf("update evicted %d", ev)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if v, _ := c.get("a"); string(v) != "new" {
+		t.Errorf("a = %q, want new", v)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		c := newLRU(size)
+		c.put("a", []byte("A"))
+		if _, ok := c.get("a"); ok {
+			t.Errorf("size %d: disabled cache returned a hit", size)
+		}
+		if c.len() != 0 {
+			t.Errorf("size %d: len = %d", size, c.len())
+		}
+	}
+}
+
+func TestLRUStatsCount(t *testing.T) {
+	c := newLRU(4)
+	c.put("a", []byte("A"))
+	c.get("a")
+	c.get("a")
+	c.get("nope")
+	hits, misses, _ := c.stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}

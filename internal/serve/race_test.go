@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"maps"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"retrodns/internal/core"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/world"
+)
+
+// TestSnapshotSwapConsistency hammers the query API from several readers
+// while real Dataset.Append calls drive the incremental pipeline and a
+// snapshot swap per generation. Each reader asserts that every response
+// is internally consistent: the generation header matches the body, and
+// the body's funnel equals the funnel the publisher recorded for exactly
+// that generation before publishing it — a mixed-generation response
+// fails the comparison. Run under -race this also exercises the RCU
+// publication path for data races.
+func TestSnapshotSwapConsistency(t *testing.T) {
+	cfg := world.DefaultConfig()
+	cfg.StableDomains = 24
+	cfg.TransitionDomains = 1
+	cfg.NoisyDomains = 1
+	w := world.New(cfg)
+	w.RunClock()
+	if len(w.Errors) > 0 {
+		t.Fatalf("world errors: %v", w.Errors)
+	}
+	sc := w.Scanner()
+	ds := scanner.NewDataset()
+	pipe := &core.Pipeline{
+		Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+		PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+		Cache: core.NewClassifyCache(),
+	}
+	engine := NewEngine(Options{})
+	h := engine.Handler()
+
+	// The publisher records each generation's expected funnel BEFORE the
+	// swap, so any generation a reader can observe has an entry.
+	var mu sync.Mutex
+	expected := make(map[uint64]map[string]int)
+
+	done := make(chan struct{})
+	errs := make(chan error, 64)
+	report1 := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	const readers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/funnel", nil))
+				if rr.Code == http.StatusServiceUnavailable {
+					continue // before the first publish
+				}
+				if rr.Code != http.StatusOK {
+					report1(fmt.Errorf("funnel status %d: %s", rr.Code, rr.Body))
+					return
+				}
+				var doc struct {
+					Generation uint64         `json:"generation"`
+					Funnel     map[string]int `json:"funnel"`
+				}
+				if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+					report1(fmt.Errorf("funnel body: %v", err))
+					return
+				}
+				headerGen, err := strconv.ParseUint(rr.Header().Get(GenerationHeader), 10, 64)
+				if err != nil || headerGen != doc.Generation {
+					report1(fmt.Errorf("generation header %q vs body %d", rr.Header().Get(GenerationHeader), doc.Generation))
+					return
+				}
+				mu.Lock()
+				want := expected[doc.Generation]
+				mu.Unlock()
+				if want == nil {
+					report1(fmt.Errorf("response claims unpublished generation %d", doc.Generation))
+					return
+				}
+				if !maps.Equal(doc.Funnel, want) {
+					report1(fmt.Errorf("generation %d served mixed funnel: got %v want %v", doc.Generation, doc.Funnel, want))
+					return
+				}
+			}
+		}()
+	}
+
+	for _, date := range w.ScanDates() {
+		if err := ds.Append(date, sc.ScanWeek(date)); err != nil {
+			close(done)
+			t.Fatalf("append %s: %v", date, err)
+		}
+		res := pipe.Run()
+		snap := BuildSnapshot(res, ds, time.Now())
+		mu.Lock()
+		expected[snap.Generation] = report.FunnelCounts(res)
+		mu.Unlock()
+		engine.Publish(snap)
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if st := engine.Stats(); st.Swaps != uint64(len(w.ScanDates())) {
+		t.Errorf("swaps = %d, want %d", st.Swaps, len(w.ScanDates()))
+	}
+}

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the engine's global request rate limiter: capacity
+// `burst` tokens, refilled at `rate` tokens per second, one token per
+// admitted request. A single mutex suffices — the critical section is a
+// handful of float operations, far cheaper than the request it gates.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket creates a limiter admitting rate requests per second
+// with the given burst capacity. The bucket starts full. burst values
+// below 1 are raised to 1 so a positive rate can ever admit anything.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+// allow consumes one token if available at the given instant.
+func (t *tokenBucket) allow(now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	}
+	t.last = now
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefuse(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := newTokenBucket(1, 3)
+	for i := 0; i < 3; i++ {
+		if !tb.allow(now) {
+			t.Fatalf("request %d refused inside burst", i)
+		}
+	}
+	if tb.allow(now) {
+		t.Fatal("request allowed past burst with no refill")
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := newTokenBucket(2, 1) // 2 tokens/sec, burst 1
+	if !tb.allow(now) {
+		t.Fatal("first request refused")
+	}
+	if tb.allow(now) {
+		t.Fatal("second request allowed with empty bucket")
+	}
+	// Half a second refills one token at 2/sec.
+	now = now.Add(500 * time.Millisecond)
+	if !tb.allow(now) {
+		t.Fatal("request refused after refill")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := newTokenBucket(100, 2)
+	// A long idle stretch must not bank more than the burst.
+	now = now.Add(time.Hour)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if tb.allow(now) {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("allowed %d after idle, want burst cap 2", allowed)
+	}
+}
+
+func TestTokenBucketMinimumBurst(t *testing.T) {
+	tb := newTokenBucket(1, 0)
+	if !tb.allow(time.Unix(1000, 0)) {
+		t.Fatal("burst 0 should clamp to 1 and allow one request")
+	}
+}

@@ -1,0 +1,270 @@
+// Package serve is the read side of the system: an embeddable query
+// engine that turns each pipeline Result into an immutable Snapshot with
+// precomputed per-domain, per-period, and per-pattern indexes, swaps
+// snapshots atomically (RCU-style — readers never lock, writers publish
+// a fully-built successor), fronts the renderers with a bounded LRU of
+// rendered JSON, and exposes the paper's §4 artifacts as versioned HTTP
+// endpoints. cmd/retrodnsd is the daemon wrapping it; the engine itself
+// embeds into any process that already runs the pipeline.
+package serve
+
+import (
+	"time"
+
+	"retrodns/internal/core"
+	"retrodns/internal/dnscore"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// PatternLabels are the valid /v1/patterns/{label} selectors: the four
+// §4.2 map categories by domain rollup, plus the T1/T2 transient
+// patterns by shortlisted candidate.
+var PatternLabels = []string{"stable", "transition", "transient", "noisy", "T1", "T2"}
+
+// PeriodDoc is one analysis period's classification of a domain.
+type PeriodDoc struct {
+	Period   int    `json:"period"`
+	Start    string `json:"start"`
+	End      string `json:"end"`
+	Category string `json:"category"`
+}
+
+// CandidateDoc is one shortlist survivor: the transient deployment that
+// triggered it and the §4.3 reason it survived pruning.
+type CandidateDoc struct {
+	Period    int      `json:"period"`
+	Pattern   string   `json:"pattern"`
+	ASN       uint32   `json:"transient_asn"`
+	Countries []string `json:"transient_countries,omitempty"`
+	FirstSeen string   `json:"first_seen"`
+	LastSeen  string   `json:"last_seen"`
+	Reason    string   `json:"shortlist_reason"`
+}
+
+// DomainDoc is the /v1/domain/{name} response: everything the last run
+// concluded about one registered domain, under a single generation.
+type DomainDoc struct {
+	Generation uint64               `json:"generation"`
+	Domain     string               `json:"domain"`
+	Category   string               `json:"category"`
+	Verdict    string               `json:"verdict"`
+	Periods    []PeriodDoc          `json:"periods,omitempty"`
+	Candidates []CandidateDoc       `json:"candidates,omitempty"`
+	Findings   []report.JSONFinding `json:"findings,omitempty"`
+}
+
+// ShortlistEntryDoc is one row of the /v1/shortlist response.
+type ShortlistEntryDoc struct {
+	Domain  string `json:"domain"`
+	Period  int    `json:"period"`
+	Pattern string `json:"pattern"`
+	ASN     uint32 `json:"transient_asn"`
+	Reason  string `json:"shortlist_reason"`
+}
+
+// ShortlistDoc is the /v1/shortlist response: the §4.3 survivor list.
+type ShortlistDoc struct {
+	Generation     uint64              `json:"generation"`
+	Total          int                 `json:"total"`
+	TrulyAnomalous int                 `json:"truly_anomalous"`
+	Candidates     []ShortlistEntryDoc `json:"candidates"`
+}
+
+// PeriodFunnelDoc is one period's slice of the funnel: how many domains
+// each category claimed, and the candidate/finding activity dated there.
+type PeriodFunnelDoc struct {
+	Period     int            `json:"period"`
+	Start      string         `json:"start"`
+	End        string         `json:"end"`
+	Categories map[string]int `json:"categories"`
+	Candidates int            `json:"candidates"`
+	Findings   int            `json:"findings"`
+}
+
+// FunnelDoc is the /v1/funnel response: the global §4.2–§4.5 running
+// totals plus the per-period breakdown.
+type FunnelDoc struct {
+	Generation uint64            `json:"generation"`
+	Funnel     map[string]int    `json:"funnel"`
+	Periods    []PeriodFunnelDoc `json:"periods,omitempty"`
+}
+
+// PatternsDoc is the /v1/patterns/{label} response.
+type PatternsDoc struct {
+	Generation uint64   `json:"generation"`
+	Label      string   `json:"label"`
+	Count      int      `json:"count"`
+	Domains    []string `json:"domains"`
+}
+
+// Snapshot is one immutable, fully-indexed view of a pipeline Result.
+// Everything a request needs is precomputed at build time: after Publish
+// the snapshot is only ever read, so request handlers share it freely
+// across goroutines with no locking, and every field of every response
+// body derives from the same generation by construction.
+type Snapshot struct {
+	// Generation is the dataset generation the snapshot was built from.
+	Generation uint64
+	// Built is the wall-clock instant BuildSnapshot ran; /v1/healthz
+	// reports the snapshot's age from it.
+	Built time.Time
+
+	lastScan    simtime.Date
+	hasLastScan bool
+
+	domains   map[dnscore.Name]*DomainDoc
+	shortlist *ShortlistDoc
+	funnel    *FunnelDoc
+	patterns  map[string]*PatternsDoc
+}
+
+// Domains returns the number of indexed domains.
+func (s *Snapshot) Domains() int { return len(s.domains) }
+
+// shortlistReason names why a candidate survived §4.3 pruning.
+func shortlistReason(c *core.Candidate) string {
+	switch {
+	case c.TrulyAnomalous && c.Sensitive:
+		return "truly-anomalous+sensitive-subdomain"
+	case c.TrulyAnomalous:
+		return "truly-anomalous"
+	case c.Sensitive:
+		return "sensitive-subdomain"
+	default:
+		// Only reachable with Params.DisableSensitiveGate.
+		return "sensitive-gate-disabled"
+	}
+}
+
+// candidateDoc flattens one shortlist candidate.
+func candidateDoc(c *core.Candidate) CandidateDoc {
+	doc := CandidateDoc{
+		Period:    int(c.Period),
+		Pattern:   c.Pattern.String(),
+		ASN:       uint32(c.Transient.ASN),
+		FirstSeen: c.Transient.First().String(),
+		LastSeen:  c.Transient.Last().String(),
+		Reason:    shortlistReason(c),
+	}
+	for _, cc := range c.Transient.CountryList() {
+		doc.Countries = append(doc.Countries, string(cc))
+	}
+	return doc
+}
+
+// BuildSnapshot indexes one pipeline Result for serving. The generation
+// is taken from the dataset when one is supplied (the live -follow
+// shape), else from the Result's own stats; built stamps the snapshot's
+// age for /v1/healthz. The Result is read, never retained mutably — the
+// caller may keep running the pipeline while the snapshot serves.
+func BuildSnapshot(res *core.Result, ds *scanner.Dataset, built time.Time) *Snapshot {
+	gen := res.Stats.Generation
+	if ds != nil {
+		gen = ds.Generation()
+	}
+	snap := &Snapshot{
+		Generation: gen,
+		Built:      built,
+		domains:    make(map[dnscore.Name]*DomainDoc),
+		patterns:   make(map[string]*PatternsDoc),
+	}
+	if ds != nil {
+		snap.lastScan, snap.hasLastScan = ds.LatestScanDate()
+	}
+
+	export := res.Export()
+
+	// Per-domain docs, plus the pattern lists they imply.
+	patternDomains := make(map[string][]string, len(PatternLabels))
+	for _, d := range export.Domains {
+		doc := &DomainDoc{
+			Generation: gen,
+			Domain:     string(d.Domain),
+			Category:   d.Rollup.String(),
+			Verdict:    d.Verdict().String(),
+		}
+		for p := simtime.Period(0); p < simtime.NumPeriods; p++ {
+			cat, ok := d.Categories[p]
+			if !ok {
+				continue
+			}
+			doc.Periods = append(doc.Periods, PeriodDoc{
+				Period: int(p), Start: p.Start().String(), End: p.End().String(),
+				Category: cat.String(),
+			})
+		}
+		seenPattern := map[string]bool{}
+		for _, c := range d.Candidates {
+			doc.Candidates = append(doc.Candidates, candidateDoc(c))
+			if label := c.Pattern.String(); (label == "T1" || label == "T2") && !seenPattern[label] {
+				seenPattern[label] = true
+				patternDomains[label] = append(patternDomains[label], string(d.Domain))
+			}
+		}
+		for _, f := range d.Findings {
+			doc.Findings = append(doc.Findings, report.FindingJSON(f))
+		}
+		snap.domains[d.Domain] = doc
+		patternDomains[d.Rollup.String()] = append(patternDomains[d.Rollup.String()], string(d.Domain))
+	}
+	for _, label := range PatternLabels {
+		// export.Domains is sorted, so the per-label lists arrive sorted.
+		snap.patterns[label] = &PatternsDoc{
+			Generation: gen,
+			Label:      label,
+			Count:      len(patternDomains[label]),
+			Domains:    patternDomains[label],
+		}
+	}
+
+	// Shortlist, in the Result's candidate (pipeline) order.
+	snap.shortlist = &ShortlistDoc{
+		Generation:     gen,
+		Total:          len(res.Candidates),
+		TrulyAnomalous: res.Funnel.ShortlistedAnomalous,
+		Candidates:     make([]ShortlistEntryDoc, 0, len(res.Candidates)),
+	}
+	for _, c := range res.Candidates {
+		snap.shortlist.Candidates = append(snap.shortlist.Candidates, ShortlistEntryDoc{
+			Domain:  string(c.Domain),
+			Period:  int(c.Period),
+			Pattern: c.Pattern.String(),
+			ASN:     uint32(c.Transient.ASN),
+			Reason:  shortlistReason(c),
+		})
+	}
+
+	// Funnel: global counts plus the per-period breakdown.
+	snap.funnel = &FunnelDoc{Generation: gen, Funnel: report.FunnelCounts(res)}
+	perPeriod := make(map[simtime.Period]*PeriodFunnelDoc)
+	periodDoc := func(p simtime.Period) *PeriodFunnelDoc {
+		doc := perPeriod[p]
+		if doc == nil {
+			doc = &PeriodFunnelDoc{
+				Period: int(p), Start: p.Start().String(), End: p.End().String(),
+				Categories: make(map[string]int),
+			}
+			perPeriod[p] = doc
+		}
+		return doc
+	}
+	for _, d := range export.Domains {
+		for p, cat := range d.Categories {
+			periodDoc(p).Categories[cat.String()]++
+		}
+	}
+	for _, c := range res.Candidates {
+		periodDoc(c.Period).Candidates++
+	}
+	for _, f := range res.Findings() {
+		periodDoc(simtime.PeriodOf(f.Date)).Findings++
+	}
+	for p := simtime.Period(0); p < simtime.NumPeriods; p++ {
+		if doc, ok := perPeriod[p]; ok {
+			snap.funnel.Periods = append(snap.funnel.Periods, *doc)
+		}
+	}
+	return snap
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve
+.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale
 
 ci: lint vet build test race fuzz-smoke
 
@@ -43,10 +43,12 @@ fuzz-smoke:
 
 # The incremental-engine benchmarks: append+cached-rerun vs full rerun
 # (the headline >=10x), certificate-fingerprint memoization, the
-# allocation cost of bulk scan ingest, and the serving layer's query
-# latency (cold render vs LRU hit).
+# allocation cost of bulk scan ingest, paper-shaped sharded ingest and
+# classification over the synthetic corpus (shard counts 1/4/8, plus the
+# interning on/off retained-heap comparison), and the serving layer's
+# query latency (cold render vs LRU hit).
 bench:
-	$(GO) test -bench='BenchmarkIncrementalAppend|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkServeQuery' -benchmem -count=3 -run='^$$' .
+	$(GO) test -bench='BenchmarkIncrementalAppend|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkIngestIntern|BenchmarkSynthClassify|BenchmarkServeQuery' -benchmem -count=3 -run='^$$' .
 
 # Every benchmark in the harness (tables, figures, scale sweeps, ablations).
 bench-all:
@@ -59,7 +61,7 @@ BENCHDIR ?= /tmp/retrodns-bench
 bench-report:
 	mkdir -p $(BENCHDIR)
 	$(GO) run ./cmd/retrodns -stable 80 -seed 1 -report-json $(BENCHDIR)/run-report.json 2>/dev/null >/dev/null
-	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkServeQuery' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
+	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkServeQuery' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
 
 # Fail on funnel drift or a >20% perf regression against the committed
 # baseline (see cmd/benchdiff).
@@ -76,3 +78,9 @@ bench-baseline: bench-report
 # the daemon drains cleanly on SIGTERM.
 smoke-serve:
 	./scripts/smoke_serve.sh
+
+# Paper-scale smoke: 50k-domain streaming worldgen (byte-identical per
+# seed), sharded ingest+classify with shards 1 vs 8 (identical findings),
+# corpus gauges in the run report, all under a wall-clock budget.
+smoke-scale:
+	./scripts/smoke_scale.sh

@@ -20,6 +20,7 @@ import (
 	"retrodns/internal/dnscore"
 	"retrodns/internal/obsv"
 	"retrodns/internal/report"
+	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
 	"retrodns/internal/world"
 )
@@ -35,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "world generation seed")
 		stable  = flag.Int("stable", 400, "benign stable-domain population")
 		workers = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", scanner.DefaultShards, "dataset shard count (1..64)")
 		strict  = flag.Bool("strict", false, "treat any record the ingest gate would quarantine as a fatal error instead of skipping it")
 		shortRn = flag.Bool("quiet", false, "suppress progress output")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -90,7 +92,7 @@ func main() {
 	progress("generating world (seed %d, %d stable domains, full campaign replay)...", cfg.Seed, cfg.StableDomains)
 	w := world.New(cfg)
 	progress("running study clock and weekly scans (%d days)...", simtime.StudyDays)
-	ds := w.Run()
+	ds := w.RunShards(*shards)
 	if len(w.Errors) > 0 {
 		for _, err := range w.Errors {
 			fmt.Fprintf(os.Stderr, "world error: %v\n", err)

@@ -7,6 +7,7 @@
 //	retrodns -no-campaigns    # benign-only world (expect zero findings)
 //	retrodns -eval            # compare verdicts against ground truth
 //	retrodns -follow          # ingest scan-by-scan through the incremental engine
+//	retrodns -synth-domains 1000000   # paper-scale synthetic corpus, no world
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"retrodns/internal/core"
 	"retrodns/internal/dnscore"
 	"retrodns/internal/obsv"
+	"retrodns/internal/pdns"
 	"retrodns/internal/report"
 	"retrodns/internal/scanner"
+	"retrodns/internal/synth"
 	"retrodns/internal/world"
 )
 
@@ -32,12 +35,17 @@ func main() {
 		coverage    = flag.Float64("pdns-coverage", 0.85, "passive-DNS sensor coverage (0..1]")
 		evaluate    = flag.Bool("eval", false, "score verdicts against simulation ground truth")
 		workers     = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", scanner.DefaultShards, "dataset shard count (1..64)")
 		follow      = flag.Bool("follow", false, "ingest the study scan-by-scan through the incremental engine, re-analyzing after each scan")
 		strict      = flag.Bool("strict", false, "treat any record the ingest gate would quarantine as a fatal error instead of skipping it")
 		verbose     = flag.Bool("v", false, "print every finding")
 		jsonOut     = flag.Bool("json", false, "emit findings as JSON on stdout")
 		reportJSON  = flag.String("report-json", "", "write the machine-readable run report to this file ('-' for stdout)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running (most useful with -follow)")
+
+		synthDomains = flag.Int("synth-domains", 0, "generate a paper-scale synthetic corpus with this many registered domains instead of simulating a world")
+		zipfS        = flag.Float64("zipf-s", 1.1, "zipf exponent for synthetic deployment popularity")
+		synthScans   = flag.Int("synth-scans", 4, "number of synthetic scan dates")
 	)
 	flag.Parse()
 
@@ -54,6 +62,15 @@ func main() {
 			defer cancel()
 			stop(ctx)
 		}()
+	}
+
+	if *synthDomains > 0 {
+		runSynth(synthRun{
+			domains: *synthDomains, zipfS: *zipfS, scans: *synthScans,
+			seed: *seed, shards: *shards, workers: *workers,
+			strict: *strict, jsonOut: *jsonOut, reportJSON: *reportJSON,
+		}, metrics)
+		return
 	}
 
 	cfg := world.DefaultConfig()
@@ -77,7 +94,7 @@ func main() {
 		w.RunClock()
 		checkWorldErrors(w)
 		sc := w.Scanner()
-		ds := scanner.NewDataset()
+		ds := scanner.NewDatasetShards(*shards)
 		dataset = ds
 		ds.SetStrict(*strict)
 		ds.SetMetrics(metrics)
@@ -105,7 +122,7 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, w.Summary())
 	} else {
-		ds := w.Run()
+		ds := w.RunShards(*shards)
 		dataset = ds
 		checkWorldErrors(w)
 		// Bulk ingest builds the dataset inside the scanner, so strict mode
@@ -158,6 +175,69 @@ func main() {
 	if *evaluate {
 		score(w, res)
 	}
+}
+
+// synthRun carries the flag values for the paper-scale synthetic mode.
+type synthRun struct {
+	domains, scans, shards, workers int
+	zipfS                           float64
+	seed                            int64
+	strict, jsonOut                 bool
+	reportJSON                      string
+}
+
+// runSynth ingests a paper-scale synthetic corpus (internal/synth) through
+// the sharded dataset and runs the classification funnel over it. There is
+// no simulated world behind the records, so the auxiliary data sources are
+// empty and -eval is meaningless here; the mode exists to exercise — and
+// measure — the ingest spine and classifier at corpus sizes the behavioral
+// simulation cannot reach.
+func runSynth(cfg synthRun, metrics *obsv.Registry) {
+	g := synth.New(synth.Config{
+		Domains: cfg.domains, ZipfS: cfg.zipfS, Seed: cfg.seed, Scans: cfg.scans,
+	})
+	fmt.Fprintf(os.Stderr, "synth corpus: %d domains, ~%d records/scan, %d scans, %d shards\n",
+		cfg.domains, g.EstimatedRecords(), len(g.ScanDates()), cfg.shards)
+
+	ds := scanner.NewDatasetShards(cfg.shards)
+	ds.SetStrict(cfg.strict)
+	ds.SetMetrics(metrics)
+	start := time.Now()
+	for _, date := range g.ScanDates() {
+		if err := ds.Append(date, g.Scan(date)); err != nil {
+			fmt.Fprintf(os.Stderr, "ingest %s: %v\n", date, err)
+			os.Exit(1)
+		}
+	}
+	domains, records := ds.Size()
+	fmt.Fprintf(os.Stderr, "ingested %d records over %d domains in %v (~%d MiB estimated, %d pooled certs)\n",
+		records, domains, time.Since(start).Round(time.Millisecond),
+		ds.EstimatedBytes()>>20, ds.Pool().Stats().Certs)
+
+	pipe := &core.Pipeline{
+		Params: core.DefaultParams(), Dataset: ds,
+		PDNS: pdns.NewDB(), Workers: cfg.workers,
+		Cache: core.NewClassifyCache(), Metrics: metrics,
+	}
+	start = time.Now()
+	res := pipe.Run()
+	fmt.Fprintf(os.Stderr, "classified in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprint(os.Stderr, res.Stats)
+
+	if cfg.reportJSON != "" {
+		if err := writeRunReport(cfg.reportJSON, res, ds, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "report-json:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.jsonOut {
+		if err := report.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println(report.Funnel(res))
 }
 
 // writeRunReport emits the machine-readable run report — the document

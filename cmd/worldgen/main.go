@@ -6,9 +6,23 @@
 //	worldgen -out ./data -seed 1 -stable 400
 //
 // Files written: scans.csv, pdns.csv, ct.csv, truth.csv.
+//
+// With -domains N (N > 0) worldgen switches to paper-scale mode: instead
+// of simulating a behavioral world it streams a synthetic corpus of N
+// registered domains (internal/synth) straight into scans.csv, one record
+// at a time — constant memory at any corpus size, so a million-domain
+// corpus needs no more RAM than a hundred-domain one. Deployment sizes
+// follow a zipf distribution (-zipf-s). Generation is a pure function of
+// the seed: the same -seed (with the same -domains/-zipf-s/-scans) always
+// yields a byte-identical scans.csv. Only scans.csv is written in this
+// mode — there is no simulated world behind the records to export pDNS,
+// CT, or ground truth from.
+//
+//	worldgen -out ./data -domains 1000000 -zipf-s 1.1 -seed 7
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -16,17 +30,27 @@ import (
 	"path/filepath"
 	"strings"
 
+	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
+	"retrodns/internal/synth"
 	"retrodns/internal/world"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", "data", "output directory")
-		seed   = flag.Int64("seed", 1, "world generation seed")
-		stable = flag.Int("stable", 200, "benign stable-domain population")
+		out     = flag.String("out", "data", "output directory")
+		seed    = flag.Int64("seed", 1, "world generation seed")
+		stable  = flag.Int("stable", 200, "benign stable-domain population")
+		domains = flag.Int("domains", 0, "paper-scale mode: stream a synthetic corpus with this many registered domains (0 = simulate a world)")
+		zipfS   = flag.Float64("zipf-s", 1.1, "zipf exponent for synthetic deployment popularity")
+		scans   = flag.Int("scans", 4, "number of synthetic scan dates")
 	)
 	flag.Parse()
+
+	if *domains > 0 {
+		writeSynth(*out, synth.Config{Domains: *domains, ZipfS: *zipfS, Seed: *seed, Scans: *scans})
+		return
+	}
 
 	cfg := world.DefaultConfig()
 	cfg.Seed = *seed
@@ -49,8 +73,7 @@ func main() {
 	}
 
 	// scans.csv — the CUIDS analogue.
-	writeCSV(filepath.Join(*out, "scans.csv"),
-		[]string{"scan_date", "ip", "ports", "asn", "country", "crtsh_id", "issuer", "trusted", "sensitive", "names"},
+	writeCSV(filepath.Join(*out, "scans.csv"), scanHeader,
 		func(emit func([]string)) {
 			for _, domain := range ds.Domains() {
 				for _, r := range ds.DomainRecords(domain, 0, 0) {
@@ -59,21 +82,7 @@ func main() {
 					if r.Cert.SANs[0].RegisteredDomain() != domain && r.Cert.SANs[0] != domain {
 						continue
 					}
-					ports := make([]string, len(r.Ports))
-					for i, p := range r.Ports {
-						ports[i] = fmt.Sprint(p)
-					}
-					names := make([]string, len(r.Cert.SANs))
-					for i, n := range r.Cert.SANs {
-						names[i] = string(n)
-					}
-					emit([]string{
-						r.ScanDate.String(), r.IP.String(), strings.Join(ports, " "),
-						fmt.Sprint(uint32(r.ASN)), string(r.Country),
-						fmt.Sprint(r.CrtShID), r.Cert.Issuer,
-						fmt.Sprint(r.Trusted), fmt.Sprint(r.Sensitive),
-						strings.Join(names, " "),
-					})
+					emit(scanRow(r))
 				}
 			}
 		})
@@ -116,9 +125,76 @@ func main() {
 			}
 		})
 
-	domains, records := ds.Size()
+	nd, nr := ds.Size()
 	fmt.Fprintf(os.Stderr, "wrote %s: %d domains, %d scan records, %d pdns rows, %d CT entries (study %s..%s)\n",
-		*out, domains, records, w.PDNSDB.Rows(), w.CT.Size(), simtime.StudyStart, simtime.StudyEnd-1)
+		*out, nd, nr, w.PDNSDB.Rows(), w.CT.Size(), simtime.StudyStart, simtime.StudyEnd-1)
+}
+
+// scanHeader is the scans.csv schema, shared by both modes.
+var scanHeader = []string{"scan_date", "ip", "ports", "asn", "country", "crtsh_id", "issuer", "trusted", "sensitive", "names"}
+
+// scanRow renders one scan record as a scans.csv row.
+func scanRow(r *scanner.Record) []string {
+	ports := make([]string, len(r.Ports))
+	for i, p := range r.Ports {
+		ports[i] = fmt.Sprint(p)
+	}
+	names := make([]string, len(r.Cert.SANs))
+	for i, n := range r.Cert.SANs {
+		names[i] = string(n)
+	}
+	return []string{
+		r.ScanDate.String(), r.IP.String(), strings.Join(ports, " "),
+		fmt.Sprint(uint32(r.ASN)), string(r.Country),
+		fmt.Sprint(r.CrtShID), r.Cert.Issuer,
+		fmt.Sprint(r.Trusted), fmt.Sprint(r.Sensitive),
+		strings.Join(names, " "),
+	}
+}
+
+// writeSynth streams a paper-scale synthetic corpus into scans.csv.
+// Records flow generator → csv writer → buffered file one at a time;
+// nothing is accumulated, so memory stays flat regardless of corpus size.
+func writeSynth(out string, cfg synth.Config) {
+	g := synth.New(cfg)
+	dates := g.ScanDates()
+	fmt.Fprintf(os.Stderr, "streaming synth corpus (seed %d, %d domains, ~%d records/scan, %d scans)...\n",
+		cfg.Seed, g.Config().Domains, g.EstimatedRecords(), len(dates))
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(out, "scans.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write(scanHeader); err != nil {
+		fatal(err)
+	}
+	rows := 0
+	for _, date := range dates {
+		g.EmitScan(date, func(r *scanner.Record) {
+			rows++
+			if err := cw.Write(scanRow(r)); err != nil {
+				fatal(err)
+			}
+		})
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d scan records over %d domains, %d scans\n",
+		path, rows, g.Config().Domains, len(dates))
 }
 
 func writeCSV(path string, header []string, fill func(emit func([]string))) {

@@ -70,6 +70,8 @@ func (s StageStats) String() string {
 type PipelineStats struct {
 	// Workers is the pipeline's fan-out bound for the parallel stages.
 	Workers int
+	// Shards is the analyzed dataset's shard count (0 when unknown).
+	Shards int
 	// Total is the wall-clock time of the whole Run.
 	Total time.Duration
 	// Stages lists the per-stage counters in execution order.
@@ -102,7 +104,7 @@ func (p PipelineStats) Stage(name string) StageStats {
 // String renders the stage table the way cmd/repro prints it.
 func (p PipelineStats) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "pipeline stages (workers=%d, total %s):\n", p.Workers, p.Total.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "pipeline stages (workers=%d, shards=%d, total %s):\n", p.Workers, p.Shards, p.Total.Round(time.Microsecond))
 	for _, s := range p.Stages {
 		fmt.Fprintf(&sb, "  %s\n", s)
 	}

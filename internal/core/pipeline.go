@@ -169,7 +169,7 @@ func (p *Pipeline) Run() *Result {
 			Outcomes:         make(map[InspectOutcome]int),
 			ByMethod:         make(map[Method]int),
 		},
-		Stats: PipelineStats{Workers: workers},
+		Stats: PipelineStats{Workers: workers, Shards: p.Dataset.Shards()},
 	}
 	describeMetrics(p.Metrics)
 	root := obsv.StartSpan("pipeline.run")

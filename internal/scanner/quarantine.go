@@ -17,6 +17,12 @@ import (
 // per-domain indexes: AddScan and Append validate every record and divert
 // malformed ones into a bounded per-reason quarantine journal. The valid
 // remainder of the scan is ingested unchanged.
+//
+// With the sharded corpus, validation runs as its own parallel phase
+// before shard fan-out, and record-level rejections journal into the shard
+// that would have owned the record. Every rejection carries a global
+// sequence number, so the merged report (Quarantine) reproduces the exact
+// feed-order journal regardless of shard count.
 
 // ErrQuarantined wraps every hard ingest rejection a strict dataset
 // returns; errors.Is(err, ErrQuarantined) identifies them.
@@ -59,9 +65,10 @@ func (r QuarantineReason) String() string {
 	}
 }
 
-// maxQuarExamples bounds the per-reason journal: counters are exact, but
-// only the first few offending records are retained for diagnostics, so a
-// feed spewing millions of broken rows cannot balloon memory.
+// maxQuarExamples bounds the journal: counters are exact, but only the
+// first few offending records are retained for diagnostics, so a feed
+// spewing millions of broken rows cannot balloon memory. Each shard
+// journal and the merged report observe the same bound.
 const maxQuarExamples = 8
 
 // QuarantinedRecord is one journaled rejection.
@@ -106,22 +113,43 @@ func (r QuarantineReport) String() string {
 	return strings.TrimRight(sb.String(), "\n")
 }
 
-// quarantine is the dataset-owned journal. Callers hold d.mu.
+// quarExample is one retained rejection plus its global sequence number,
+// which orders examples across shard journals at merge time.
+type quarExample struct {
+	QuarantinedRecord
+	seq uint64
+}
+
+// quarantine is one journal — the dataset holds one for scan-date-level
+// rejections and each shard holds one for its records. Writers hold d.mu.
 type quarantine struct {
 	counts   [numQuarReasons]int
 	total    int
-	examples []QuarantinedRecord
+	examples []quarExample
 }
 
 // add journals one rejection, keeping at most maxQuarExamples examples
 // across all reasons (earliest first — the head of a broken feed is where
 // debugging starts).
-func (q *quarantine) add(reason QuarantineReason, date simtime.Date, detail string) {
+func (q *quarantine) add(reason QuarantineReason, date simtime.Date, detail string, seq uint64) {
 	q.counts[reason]++
 	q.total++
 	if len(q.examples) < maxQuarExamples {
-		q.examples = append(q.examples, QuarantinedRecord{Reason: reason, Date: date, Detail: detail})
+		q.examples = append(q.examples, quarExample{
+			QuarantinedRecord: QuarantinedRecord{Reason: reason, Date: date, Detail: detail},
+			seq:               seq,
+		})
 	}
+}
+
+// absorb folds another journal into this one (counters summed exactly,
+// examples concatenated for a later seq-sort).
+func (q *quarantine) absorb(other *quarantine) {
+	for reason, n := range other.counts {
+		q.counts[reason] += n
+	}
+	q.total += other.total
+	q.examples = append(q.examples, other.examples...)
 }
 
 // report copies the journal out.
@@ -132,7 +160,10 @@ func (q *quarantine) report() QuarantineReport {
 			r.ByReason[QuarantineReason(reason)] = n
 		}
 	}
-	r.Examples = append([]QuarantinedRecord(nil), q.examples...)
+	r.Examples = make([]QuarantinedRecord, len(q.examples))
+	for i, ex := range q.examples {
+		r.Examples[i] = ex.QuarantinedRecord
+	}
 	return r
 }
 
@@ -166,33 +197,58 @@ func validateRecord(r *Record) (QuarantineReason, string, bool) {
 	return 0, "", true
 }
 
-// gateRecords validates one scan's records under d.mu: valid records are
-// returned for ingest, malformed ones are journaled. In strict mode the
-// first malformed record aborts the whole scan with a typed error and
-// nothing is ingested (atomic reject, so a strict caller can stop a feed
-// without half-applied state).
-func (d *Dataset) gateRecords(date simtime.Date, records []*Record) ([]*Record, error) {
-	valid := records
-	clean := true
-	for i, r := range records {
-		reason, detail, ok := validateRecord(r)
-		if ok {
-			if !clean {
-				valid = append(valid, r)
+// gateRecordsLocked is ingest phase A: validate one scan's records — in
+// parallel chunks for bulk scans — and return a per-record gate slice
+// (0 = valid, else reason+1) plus the accepted count. Rejections journal
+// into the owning shard's quarantine in feed order; in strict mode the
+// first malformed record (lowest index, deterministic regardless of worker
+// count) aborts the whole scan with a typed error before anything is
+// journaled or ingested (atomic reject, so a strict caller can stop a feed
+// without half-applied state). Caller holds d.mu.
+func (d *Dataset) gateRecordsLocked(date simtime.Date, records []*Record) ([]uint8, int, error) {
+	if len(records) == 0 {
+		return nil, 0, nil
+	}
+	gates := make([]uint8, len(records))
+	forChunks(len(records), ingestWorkers(len(records)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if reason, _, ok := validateRecord(records[i]); !ok {
+				gates[i] = uint8(reason) + 1
 			}
+		}
+	})
+	accepted := 0
+	for i, g := range gates {
+		if g == 0 {
+			accepted++
 			continue
 		}
+		// Rejections are rare; recomputing the detail string here keeps the
+		// parallel validation pass allocation-free for valid records.
+		reason := QuarantineReason(g - 1)
+		_, detail, _ := validateRecord(records[i])
 		if d.strict {
-			return nil, fmt.Errorf("%w: scan %s record %d: %s (%s)", ErrQuarantined, date, i, detail, reason)
+			return nil, 0, fmt.Errorf("%w: scan %s record %d: %s (%s)", ErrQuarantined, date, i, detail, reason)
 		}
-		if clean {
-			// First rejection: switch to a filtered copy of the prefix.
-			valid = append([]*Record(nil), records[:i]...)
-			clean = false
-		}
-		d.quarAdd(reason, date, detail)
+		d.quarSeq++
+		d.quarShardFor(records[i]).quar.add(reason, date, detail, d.quarSeq)
+		d.met.quarantined[reason].Inc()
 	}
-	return valid, nil
+	return gates, accepted, nil
+}
+
+// quarShardFor routes a rejected record to the shard that would have owned
+// it: the shard of its first SAN with a registered domain, else shard 0.
+// Pure function of the record, so the journal layout is reproducible.
+func (d *Dataset) quarShardFor(r *Record) *shard {
+	if r != nil && r.Cert != nil {
+		for _, san := range r.Cert.SANs {
+			if apex := san.RegisteredDomain(); apex != "" {
+				return d.shardFor(apex)
+			}
+		}
+	}
+	return d.shards[0]
 }
 
 // SetStrict switches the dataset between quarantine mode (default: skip
@@ -205,17 +261,29 @@ func (d *Dataset) SetStrict(strict bool) {
 	d.strict = strict
 }
 
-// Quarantine returns a copy of the quarantine journal: how many records
-// the ingest gate refused, per reason, with the first few examples.
+// Quarantine returns a merged copy of the quarantine journals — the
+// dataset's scan-date journal plus every shard's record journal: exact
+// summed per-reason counters, with the earliest maxQuarExamples examples
+// in feed order. The merge is byte-identical for any shard count.
 func (d *Dataset) Quarantine() QuarantineReport {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.quar.report()
+	var merged quarantine
+	merged.absorb(&d.quar)
+	for _, s := range d.shards {
+		merged.absorb(&s.quar)
+	}
+	sort.Slice(merged.examples, func(i, j int) bool { return merged.examples[i].seq < merged.examples[j].seq })
+	if len(merged.examples) > maxQuarExamples {
+		merged.examples = merged.examples[:maxQuarExamples]
+	}
+	return merged.report()
 }
 
 // gateDate validates the scan-date argument itself: a scan dated outside
 // the study window is refused as a whole (its date must not enter the
-// scan-date index, where it would distort every period roster).
+// scan-date index, where it would distort every period roster). Date
+// rejections journal at the dataset level — they belong to no shard.
 func (d *Dataset) gateDate(date simtime.Date) (bool, error) {
 	if date.InStudy() {
 		return true, nil
@@ -224,14 +292,8 @@ func (d *Dataset) gateDate(date simtime.Date) (bool, error) {
 	if d.strict {
 		return false, fmt.Errorf("%w: %s", ErrQuarantined, detail)
 	}
-	d.quarAdd(QuarBadDate, date, detail)
+	d.quarSeq++
+	d.quar.add(QuarBadDate, date, detail, d.quarSeq)
+	d.met.quarantined[QuarBadDate].Inc()
 	return false, nil
-}
-
-// quarAdd journals one rejection and bumps its per-reason metric
-// counter (a no-op handle when the dataset is uninstrumented). Callers
-// hold d.mu.
-func (d *Dataset) quarAdd(reason QuarantineReason, date simtime.Date, detail string) {
-	d.quar.add(reason, date, detail)
-	d.met.quarantined[reason].Inc()
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -172,10 +173,18 @@ func (s *Scanner) RunStudy(from, to simtime.Date) *Dataset {
 // (footnote 9), and the cadence materially changes how observable
 // short-lived attacker infrastructure is.
 func (s *Scanner) RunStudyEvery(from, to simtime.Date, everyDays int) *Dataset {
+	ds := NewDataset()
+	s.RunStudyEveryInto(ds, from, to, everyDays)
+	return ds
+}
+
+// RunStudyEveryInto runs the same scan series into a caller-provided
+// dataset, so the accumulator's shard count (NewDatasetShards) and strict
+// mode can be chosen up front.
+func (s *Scanner) RunStudyEveryInto(ds *Dataset, from, to simtime.Date, everyDays int) {
 	if everyDays < 1 {
 		everyDays = 1
 	}
-	ds := NewDataset()
 	start := from
 	if start < simtime.StudyStart {
 		start = simtime.StudyStart
@@ -187,30 +196,6 @@ func (s *Scanner) RunStudyEvery(from, to simtime.Date, everyDays int) *Dataset {
 	for date := start; date < end; date += simtime.Date(everyDays) {
 		ds.AddScan(date, s.ScanWeek(date))
 	}
-	return ds
-}
-
-// datasetIndex is one immutable snapshot of the frozen dataset's read
-// indexes. Append publishes a fresh snapshot through an atomic pointer, so
-// readers holding an older snapshot keep a consistent view with no locks.
-// Per-domain record slices may share backing arrays across generations:
-// Append only ever grows a slice in place when the new record sorts last,
-// and a reader never indexes beyond its own snapshot's length, so the
-// sharing is race-free under the single-writer mutex.
-type datasetIndex struct {
-	// generation counts publishes: 1 for the Freeze snapshot, +1 per Append.
-	generation uint64
-	// byDomain maps a registered domain to every record whose certificate
-	// secures a name under it, sorted by scan date (stable, preserving
-	// ingest order within a date).
-	byDomain map[dnscore.Name][]*Record
-	// domains is the sorted domain list.
-	domains []dnscore.Name
-	// scanDates is the sorted list of ingested scan dates.
-	scanDates []simtime.Date
-	// periods is the sorted distinct study periods with scans.
-	periods []simtime.Period
-	records int
 }
 
 // DirtyCell identifies one (domain, period) analysis cell that gained
@@ -221,37 +206,77 @@ type DirtyCell struct {
 	Period simtime.Period
 }
 
+// datasetView is the dataset-global immutable snapshot published after
+// Freeze and after every Append: the merged domain list, scan-date index,
+// period roster, generation, and corpus counts. Per-domain record windows
+// live in the per-shard indexes (shardIndex); the view carries only the
+// cross-shard aggregates, so publishing it is O(changed domains), not
+// O(corpus).
+type datasetView struct {
+	// generation counts publishes: 1 for the Freeze snapshot, +1 per Append.
+	generation uint64
+	// domains is the sorted merge of every shard's domain list.
+	domains []dnscore.Name
+	// scanDates is the sorted list of ingested scan dates.
+	scanDates []simtime.Date
+	// periods is the sorted distinct study periods with scans.
+	periods []simtime.Period
+	// records counts accepted records; domainCount counts distinct domains.
+	records     int
+	domainCount int
+}
+
 // Dataset indexes scan records the way the pipeline consumes them: by the
-// registered domain of each secured name. It is safe for concurrent reads
-// after loading; after Freeze every read path is lock-free and
-// period-window lookups run in O(log n) by binary search over presorted
-// per-domain record slices. Append ingests further scans without thawing:
-// each call publishes a fresh index snapshot, bumps the dataset
-// generation, and journals which (domain, period) cells gained records so
-// incremental consumers can recompute only the delta.
+// registered domain of each secured name. Internally the corpus is sharded
+// by registered-domain hash (see shard.go): each shard owns its slice of
+// the per-domain indexes with its own lock, sorted indexes, and quarantine
+// journal, so large scans validate and ingest in parallel across shards
+// while every read and the pipeline output stay byte-identical for any
+// shard count. Records pass through an interning layer on ingest (see
+// intern.go): certificates dedup through a fingerprint-keyed pool and SAN
+// strings through a shared string pool, so a certificate observed in
+// thousands of weekly scans is stored once.
+//
+// The dataset takes ownership of the records handed to AddScan/Append:
+// interning may replace a record's Cert with the pool's canonical instance
+// and canonicalize a first-seen certificate's SAN strings in place.
+//
+// The lifecycle is unchanged from the unsharded design: after Freeze every
+// read path is lock-free and period-window lookups run in O(log n) by
+// binary search over presorted per-domain record slices. Append ingests
+// further scans without thawing: each call publishes fresh snapshots,
+// bumps the dataset generation, and journals which (domain, period) cells
+// gained records so incremental consumers can recompute only the delta.
 type Dataset struct {
-	mu sync.RWMutex
-	// byDomain and scanDates accumulate the ingest-order records before
-	// Freeze; freezeLocked moves them into the first index snapshot.
-	byDomain  map[dnscore.Name][]*Record
+	mu     sync.RWMutex
+	shards []*shard
+
+	// scanDates and records accumulate dataset-global state before Freeze;
+	// freezeLocked moves them into the first view snapshot.
 	scanDates []simtime.Date
 	records   int
 
-	// idx holds the current immutable index snapshot, nil until Freeze.
-	// Readers load it once per call; Append swaps in a successor under mu.
-	idx atomic.Pointer[datasetIndex]
+	// view holds the current dataset-global snapshot, nil until Freeze.
+	view atomic.Pointer[datasetView]
 
-	// dirtyCells journals, per (domain, period) cell, the generation at
-	// which it last gained records; dirtyPeriods journals the generation at
-	// which a period last gained a scan date (which changes the period's
-	// scan roster for every domain, not just those with new records).
-	dirtyCells   map[DirtyCell]uint64
+	// dirtyPeriods journals the generation at which a period last gained a
+	// scan date (which changes the period's scan roster for every domain,
+	// not just those with new records). Per-cell journals live in the
+	// shards.
 	dirtyPeriods map[simtime.Period]uint64
 
-	// quar journals records the ingest gate refused; strict turns the
+	// quar journals scan-date-level rejections; record-level rejections
+	// journal into the owning shard. quarSeq orders rejections globally so
+	// the merged report is identical for any shard count. strict turns the
 	// first refusal into a hard AddScan/Append error instead.
-	quar   quarantine
-	strict bool
+	quar    quarantine
+	quarSeq uint64
+	strict  bool
+
+	// pool interns names, IP strings, and certificates; intern gates
+	// whether ingest routes records through it.
+	pool   *Pool
+	intern bool
 
 	// met holds the dataset's metric handles, populated by SetMetrics.
 	// The nil handles of an uninstrumented dataset no-op.
@@ -259,32 +284,45 @@ type Dataset struct {
 }
 
 // datasetMetrics is the dataset's ingest instrumentation: scan and
-// record throughput counters, corpus-size gauges, and one quarantine
-// counter per refusal reason.
+// record throughput counters, corpus-size gauges, one quarantine counter
+// per refusal reason, per-shard occupancy gauges, and intern-pool gauges.
 type datasetMetrics struct {
-	scans       *obsv.Counter
-	records     *obsv.Counter
-	quarantined [numQuarReasons]*obsv.Counter
-	domains     *obsv.Gauge
-	size        *obsv.Gauge
-	generation  *obsv.Gauge
+	scans        *obsv.Counter
+	records      *obsv.Counter
+	quarantined  [numQuarReasons]*obsv.Counter
+	domains      *obsv.Gauge
+	size         *obsv.Gauge
+	generation   *obsv.Gauge
+	shardDomains []*obsv.Gauge
+	shardRecords []*obsv.Gauge
+	internized   *obsv.Gauge
+	certPool     *obsv.Gauge
+	corpusBytes  *obsv.Gauge
 }
 
 // Dataset metric family names.
 const (
-	MetricIngestScans       = "retrodns_ingest_scans_total"
-	MetricIngestRecords     = "retrodns_ingest_records_total"
-	MetricIngestQuarantined = "retrodns_ingest_quarantined_total"
-	MetricDatasetDomains    = "retrodns_dataset_domains"
-	MetricDatasetRecords    = "retrodns_dataset_records"
-	MetricDatasetGen        = "retrodns_dataset_ingest_generation"
+	MetricIngestScans        = "retrodns_ingest_scans_total"
+	MetricIngestRecords      = "retrodns_ingest_records_total"
+	MetricIngestQuarantined  = "retrodns_ingest_quarantined_total"
+	MetricDatasetDomains     = "retrodns_dataset_domains"
+	MetricDatasetRecords     = "retrodns_dataset_records"
+	MetricDatasetGen         = "retrodns_dataset_ingest_generation"
+	MetricCorpusShardDomains = "retrodns_corpus_shard_domains"
+	MetricCorpusShardRecords = "retrodns_corpus_shard_records"
+	MetricInternStrings      = "retrodns_intern_strings"
+	MetricCertPoolSize       = "retrodns_cert_pool_size"
+	MetricCorpusBytes        = "retrodns_corpus_bytes_estimate"
 )
 
 // SetMetrics points the dataset's ingest instrumentation at a registry:
 // accepted scans and records count into retrodns_ingest_*_total, refused
-// records into retrodns_ingest_quarantined_total by reason, and the
-// corpus gauges track domains/records/generation after every ingest.
-// Call before ingest begins; a nil registry detaches (handles go nil).
+// records into retrodns_ingest_quarantined_total by reason, the corpus
+// gauges track domains/records/generation after every ingest, the
+// per-shard gauges expose shard occupancy (domain count and record
+// attachments per shard), and the intern gauges track pool sizes and the
+// estimated resident corpus bytes. Call before ingest begins; a nil
+// registry detaches (handles go nil).
 func (d *Dataset) SetMetrics(reg *obsv.Registry) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -298,6 +336,11 @@ func (d *Dataset) SetMetrics(reg *obsv.Registry) {
 	reg.SetHelp(MetricDatasetDomains, "Registered domains currently indexed.")
 	reg.SetHelp(MetricDatasetRecords, "Scan records currently indexed.")
 	reg.SetHelp(MetricDatasetGen, "Dataset index generation (1 at Freeze, +1 per Append).")
+	reg.SetHelp(MetricCorpusShardDomains, "Registered domains indexed per corpus shard.")
+	reg.SetHelp(MetricCorpusShardRecords, "Record attachments indexed per corpus shard.")
+	reg.SetHelp(MetricInternStrings, "Distinct strings (names + IP renderings) interned in the pool.")
+	reg.SetHelp(MetricCertPoolSize, "Distinct certificates interned in the dedup pool.")
+	reg.SetHelp(MetricCorpusBytes, "Estimated resident bytes of the indexed corpus (model-based).")
 	d.met.scans = reg.Counter(MetricIngestScans)
 	d.met.records = reg.Counter(MetricIngestRecords)
 	for reason := QuarantineReason(0); reason < numQuarReasons; reason++ {
@@ -306,27 +349,104 @@ func (d *Dataset) SetMetrics(reg *obsv.Registry) {
 	d.met.domains = reg.Gauge(MetricDatasetDomains)
 	d.met.size = reg.Gauge(MetricDatasetRecords)
 	d.met.generation = reg.Gauge(MetricDatasetGen)
+	d.met.shardDomains = make([]*obsv.Gauge, len(d.shards))
+	d.met.shardRecords = make([]*obsv.Gauge, len(d.shards))
+	for sid := range d.shards {
+		lbl := strconv.Itoa(sid)
+		d.met.shardDomains[sid] = reg.Gauge(MetricCorpusShardDomains, "shard", lbl)
+		d.met.shardRecords[sid] = reg.Gauge(MetricCorpusShardRecords, "shard", lbl)
+	}
+	d.met.internized = reg.Gauge(MetricInternStrings)
+	d.met.certPool = reg.Gauge(MetricCertPoolSize)
+	d.met.corpusBytes = reg.Gauge(MetricCorpusBytes)
 }
 
 // publishSizeLocked refreshes the corpus gauges. Caller holds d.mu.
 func (d *Dataset) publishSizeLocked() {
-	if idx := d.idx.Load(); idx != nil {
-		d.met.domains.Set(int64(len(idx.byDomain)))
-		d.met.size.Set(int64(idx.records))
-		d.met.generation.Set(int64(idx.generation))
-		return
+	if v := d.view.Load(); v != nil {
+		d.met.domains.Set(int64(v.domainCount))
+		d.met.size.Set(int64(v.records))
+		d.met.generation.Set(int64(v.generation))
+	} else {
+		domains := 0
+		for _, s := range d.shards {
+			domains += len(s.byDomain)
+		}
+		d.met.domains.Set(int64(domains))
+		d.met.size.Set(int64(d.records))
 	}
-	d.met.domains.Set(int64(len(d.byDomain)))
-	d.met.size.Set(int64(d.records))
+	for sid, s := range d.shards {
+		domains, attach := s.counts()
+		if d.met.shardDomains != nil {
+			d.met.shardDomains[sid].Set(int64(domains))
+			d.met.shardRecords[sid].Set(int64(attach))
+		}
+	}
+	st := d.pool.Stats()
+	d.met.internized.Set(int64(st.Names + st.IPStrings))
+	d.met.certPool.Set(st.Certs)
+	d.met.corpusBytes.Set(d.estimatedBytesLocked(st))
 }
 
-// NewDataset creates an empty dataset.
+// DefaultShards is the shard count of NewDataset. It is a fixed constant —
+// not derived from GOMAXPROCS — so corpus layout, per-shard metrics, and
+// run reports are machine-independent.
+const DefaultShards = 8
+
+// maxShards bounds NewDatasetShards: past this, per-shard fixed costs
+// (locks, journals, merge fan-in) outweigh any parallelism.
+const maxShards = 64
+
+// NewDataset creates an empty dataset with DefaultShards shards and
+// interning enabled.
 func NewDataset() *Dataset {
-	return &Dataset{
-		byDomain:     make(map[dnscore.Name][]*Record),
-		dirtyCells:   make(map[DirtyCell]uint64),
-		dirtyPeriods: make(map[simtime.Period]uint64),
+	return NewDatasetShards(DefaultShards)
+}
+
+// NewDatasetShards creates an empty dataset sharded n ways (clamped to
+// [1, 64]; n < 1 selects DefaultShards). The shard count is an ingest
+// concurrency knob only: every read and the pipeline output are
+// byte-identical for any value.
+func NewDatasetShards(n int) *Dataset {
+	if n < 1 {
+		n = DefaultShards
 	}
+	if n > maxShards {
+		n = maxShards
+	}
+	d := &Dataset{
+		shards:       make([]*shard, n),
+		dirtyPeriods: make(map[simtime.Period]uint64),
+		pool:         NewPool(),
+		intern:       true,
+	}
+	for i := range d.shards {
+		d.shards[i] = newShard()
+	}
+	return d
+}
+
+// Shards returns the dataset's shard count.
+func (d *Dataset) Shards() int { return len(d.shards) }
+
+// Pool returns the dataset's intern pool (never nil). Callers may use it
+// to share interned names and IP renderings with structures derived from
+// the corpus.
+func (d *Dataset) Pool() *Pool { return d.pool }
+
+// SetIntern enables or disables the interning layer for subsequent ingest
+// (enabled by default). Call before ingest begins; already-interned
+// records are unaffected. Disabling is for benchmarking the allocation
+// savings — correctness does not depend on the setting.
+func (d *Dataset) SetIntern(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.intern = on
+}
+
+// shardFor routes a registered domain to its owning shard.
+func (d *Dataset) shardFor(domain dnscore.Name) *shard {
+	return d.shards[shardIndexOf(domain, len(d.shards))]
 }
 
 // AddScan ingests the records of one weekly scan. Malformed records — nil
@@ -335,52 +455,136 @@ func NewDataset() *Dataset {
 // dataset's journal (see Quarantine) rather than ingested; in strict mode
 // (SetStrict) the first malformed record instead fails the whole call
 // with an error wrapping ErrQuarantined and nothing from the scan lands.
+// Large scans validate and ingest in parallel across the corpus shards.
 // AddScan panics on a frozen dataset — an API-misuse assert, not a data
 // condition: use Append for post-freeze ingest.
 func (d *Dataset) AddScan(date simtime.Date, records []*Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.idx.Load() != nil {
+	if d.view.Load() != nil {
 		panic("scanner: AddScan on a frozen Dataset (use Append)")
 	}
+	return d.ingestLocked(date, records, false)
+}
+
+// Append ingests the records of one scan into a frozen dataset without
+// thawing: per-domain indexes are maintained by merge-in-place within each
+// affected shard, fresh immutable snapshots are published for lock-free
+// readers, the generation advances, and the (domain, period) cells that
+// gained records are journaled for DirtySince. Freeze is implied if it has
+// not run yet. Records carrying a ScanDate other than date are merged
+// where their own date sorts. Malformed records are quarantined (or, in
+// strict mode, fail the whole call before any state changes) exactly as in
+// AddScan; a rejected scan still advances the generation so incremental
+// consumers observe that ingest was attempted.
+func (d *Dataset) Append(date simtime.Date, records []*Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ingestLocked(date, records, true)
+}
+
+// ingestLocked is the shared ingest path: gate the scan date, validate
+// records (phase A, parallel over chunks), intern certificates (phase A2),
+// fan records out to their owning shards (phase B, parallel over shards),
+// then publish the dataset-global view and metrics (phase C). Caller
+// holds d.mu; appendMode selects Append semantics (implied freeze,
+// generation bump, dirty journaling).
+func (d *Dataset) ingestLocked(date simtime.Date, records []*Record, appendMode bool) error {
 	dateOK, err := d.gateDate(date)
 	if err != nil {
 		return err
 	}
-	records, err = d.gateRecords(date, records)
+	gates, accepted, err := d.gateRecordsLocked(date, records)
 	if err != nil {
 		return err
 	}
-	if !dateOK {
-		// Out-of-window scan: its in-window records (if any carry their own
-		// valid dates) still ingest, but the bogus date stays out of the
-		// scan-date index.
-		if len(records) == 0 {
-			return nil
+	if appendMode {
+		d.freezeLocked()
+	} else if !dateOK && accepted == 0 {
+		// Out-of-window bulk scan with nothing valid: the date rejection is
+		// journaled, nothing else changes.
+		return nil
+	}
+	if d.intern && accepted > 0 {
+		d.internRecordsLocked(records, gates)
+	}
+	gen := uint64(0)
+	if appendMode {
+		gen = d.view.Load().generation + 1
+	}
+	var newDomainsBy [][]dnscore.Name
+	if accepted > 0 {
+		nsh := len(d.shards)
+		if workers := shardWorkers(len(records), nsh); workers <= 1 {
+			newDomainsBy = d.consumeSerialLocked(records, gates, gen, appendMode)
+		} else {
+			newDomainsBy = make([][]dnscore.Name, nsh)
+			forShards(nsh, workers, func(sid int) {
+				newDomainsBy[sid] = d.shards[sid].consume(sid, nsh, records, gates, gen, appendMode)
+			})
 		}
+	}
+	if appendMode {
+		old := d.view.Load()
+		next := &datasetView{
+			generation:  gen,
+			domains:     old.domains,
+			scanDates:   old.scanDates,
+			records:     old.records + accepted,
+			domainCount: old.domainCount,
+		}
+		if dateOK {
+			next.scanDates = insertDate(old.scanDates, date)
+			d.dirtyPeriods[simtime.PeriodOf(date)] = gen
+		}
+		next.periods = periodsOf(next.scanDates)
+		added := 0
+		for _, nd := range newDomainsBy {
+			added += len(nd)
+		}
+		if added > 0 {
+			merged := make([]dnscore.Name, 0, len(old.domains)+added)
+			merged = append(merged, old.domains...)
+			for _, nd := range newDomainsBy {
+				merged = append(merged, nd...)
+			}
+			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+			next.domains = merged
+			next.domainCount = old.domainCount + added
+		}
+		d.view.Store(next)
 	} else {
-		d.scanDates = append(d.scanDates, date)
+		if dateOK {
+			d.scanDates = append(d.scanDates, date)
+		}
+		d.records += accepted
+	}
+	if dateOK {
 		d.met.scans.Inc()
 	}
-	d.records += len(records)
-	d.met.records.Add(int64(len(records)))
-	defer d.publishSizeLocked()
-	// SAN lists are short (a handful of names), so apex dedupe is a linear
-	// scan over a scratch slice hoisted out of the record loop — no
-	// per-record map allocation.
-	var apexes []dnscore.Name
-	for _, r := range records {
-		apexes = apexes[:0]
-		for _, san := range r.Cert.SANs {
-			apex := san.RegisteredDomain()
-			if apex == "" || containsName(apexes, apex) {
+	d.met.records.Add(int64(accepted))
+	d.publishSizeLocked()
+	return nil
+}
+
+// internRecordsLocked routes the accepted records of a scan through the
+// dedup pool: each record's certificate is replaced by the pool's
+// canonical instance (first-seen certificates are inserted, with their SAN
+// strings canonicalized through the string pool). Runs before shard
+// fan-out so shards only ever index pooled certificates. Caller holds
+// d.mu; the records are not yet visible to any reader.
+func (d *Dataset) internRecordsLocked(records []*Record, gates []uint8) {
+	forChunks(len(records), ingestWorkers(len(records)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if gates[i] != 0 {
 				continue
 			}
-			apexes = append(apexes, apex)
-			d.byDomain[apex] = append(d.byDomain[apex], r)
+			r := records[i]
+			if c := d.pool.Cert(r.Cert); c != r.Cert {
+				r.Cert = c
+			}
 		}
-	}
-	return nil
+	})
 }
 
 // containsName reports whether names holds n (linear scan; used where the
@@ -395,130 +599,61 @@ func containsName(names []dnscore.Name, n dnscore.Name) bool {
 }
 
 // Freeze ends the bulk-ingest phase and builds the read indexes: each
-// domain's records are stably sorted by scan date once, the domain list
-// and scan dates are sorted and cached, and every subsequent read is
-// lock-free. Freeze is idempotent and safe to call concurrently; AddScan
-// panics afterwards, Append continues ingest incrementally.
+// shard sorts its per-domain record slices by scan date once (shards sort
+// in parallel), the merged domain list and scan dates are sorted and
+// cached in the dataset view, and every subsequent read is lock-free.
+// Freeze is idempotent and safe to call concurrently; AddScan panics
+// afterwards, Append continues ingest incrementally.
 func (d *Dataset) Freeze() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.freezeLocked()
 }
 
-// freezeLocked builds and publishes the generation-1 snapshot, taking
+// freezeLocked builds and publishes the generation-1 snapshots, taking
 // ownership of the ingest-phase containers. Caller holds d.mu.
 func (d *Dataset) freezeLocked() {
-	if d.idx.Load() != nil {
+	if d.view.Load() != nil {
 		return
 	}
-	idx := &datasetIndex{
-		generation: 1,
-		byDomain:   d.byDomain,
-		scanDates:  d.scanDates,
-		records:    d.records,
+	nsh := len(d.shards)
+	forShards(nsh, shardWorkers(d.records, nsh), func(sid int) {
+		d.shards[sid].freeze()
+	})
+	domainCount := 0
+	for _, s := range d.shards {
+		domainCount += len(s.idx.Load().domains)
 	}
-	for _, recs := range idx.byDomain {
-		sort.SliceStable(recs, func(i, j int) bool { return recs[i].ScanDate < recs[j].ScanDate })
+	domains := make([]dnscore.Name, 0, domainCount)
+	for _, s := range d.shards {
+		domains = append(domains, s.idx.Load().domains...)
 	}
-	idx.domains = make([]dnscore.Name, 0, len(idx.byDomain))
-	for n := range idx.byDomain {
-		idx.domains = append(idx.domains, n)
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	sort.Slice(d.scanDates, func(i, j int) bool { return d.scanDates[i] < d.scanDates[j] })
+	view := &datasetView{
+		generation:  1,
+		domains:     domains,
+		scanDates:   d.scanDates,
+		periods:     periodsOf(d.scanDates),
+		records:     d.records,
+		domainCount: domainCount,
 	}
-	sort.Slice(idx.domains, func(i, j int) bool { return idx.domains[i] < idx.domains[j] })
-	sort.Slice(idx.scanDates, func(i, j int) bool { return idx.scanDates[i] < idx.scanDates[j] })
-	idx.periods = periodsOf(idx.scanDates)
-	d.byDomain, d.scanDates = nil, nil
-	d.idx.Store(idx)
+	d.scanDates = nil
+	d.view.Store(view)
 	d.publishSizeLocked()
 }
 
 // Frozen reports whether Freeze has run.
-func (d *Dataset) Frozen() bool { return d.idx.Load() != nil }
+func (d *Dataset) Frozen() bool { return d.view.Load() != nil }
 
 // Generation returns the dataset's index generation: 0 before Freeze, 1
 // after, +1 per Append. Incremental consumers record the generation they
 // analyzed and later ask DirtySince what changed.
 func (d *Dataset) Generation() uint64 {
-	if idx := d.idx.Load(); idx != nil {
-		return idx.generation
+	if v := d.view.Load(); v != nil {
+		return v.generation
 	}
 	return 0
-}
-
-// Append ingests the records of one scan into a frozen dataset without
-// thawing: per-domain indexes are maintained by merge-in-place, a fresh
-// immutable snapshot is published for lock-free readers, the generation
-// advances, and the (domain, period) cells that gained records are
-// journaled for DirtySince. Freeze is implied if it has not run yet.
-// Records carrying a ScanDate other than date are merged where their own
-// date sorts. Malformed records are quarantined (or, in strict mode,
-// fail the whole call before any state changes) exactly as in AddScan;
-// a rejected scan still advances the generation so incremental consumers
-// observe that ingest was attempted.
-func (d *Dataset) Append(date simtime.Date, records []*Record) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	dateOK, err := d.gateDate(date)
-	if err != nil {
-		return err
-	}
-	records, err = d.gateRecords(date, records)
-	if err != nil {
-		return err
-	}
-	d.freezeLocked()
-	old := d.idx.Load()
-	next := &datasetIndex{
-		generation: old.generation + 1,
-		byDomain:   make(map[dnscore.Name][]*Record, len(old.byDomain)),
-		domains:    old.domains,
-		records:    old.records + len(records),
-	}
-	for n, recs := range old.byDomain {
-		next.byDomain[n] = recs
-	}
-	if dateOK {
-		next.scanDates = insertDate(old.scanDates, date)
-	} else {
-		next.scanDates = old.scanDates
-	}
-	next.periods = periodsOf(next.scanDates)
-	if date.InStudy() {
-		d.dirtyPeriods[simtime.PeriodOf(date)] = next.generation
-	}
-	var newDomains []dnscore.Name
-	var apexes []dnscore.Name
-	for _, r := range records {
-		apexes = apexes[:0]
-		for _, san := range r.Cert.SANs {
-			apex := san.RegisteredDomain()
-			if apex == "" || containsName(apexes, apex) {
-				continue
-			}
-			apexes = append(apexes, apex)
-			recs, existed := next.byDomain[apex]
-			next.byDomain[apex] = insertRecord(recs, r)
-			if !existed && !containsName(newDomains, apex) {
-				newDomains = append(newDomains, apex)
-			}
-			if r.ScanDate.InStudy() {
-				d.dirtyCells[DirtyCell{apex, simtime.PeriodOf(r.ScanDate)}] = next.generation
-			}
-		}
-	}
-	if len(newDomains) > 0 {
-		next.domains = make([]dnscore.Name, 0, len(old.domains)+len(newDomains))
-		next.domains = append(next.domains, old.domains...)
-		next.domains = append(next.domains, newDomains...)
-		sort.Slice(next.domains, func(i, j int) bool { return next.domains[i] < next.domains[j] })
-	}
-	d.idx.Store(next)
-	if dateOK {
-		d.met.scans.Inc()
-	}
-	d.met.records.Add(int64(len(records)))
-	d.publishSizeLocked()
-	return nil
 }
 
 // insertRecord merges r into a date-sorted record slice, preserving the
@@ -553,16 +688,18 @@ func insertDate(dates []simtime.Date, date simtime.Date) []simtime.Date {
 // (domain, period) cells that gained records, and the study periods that
 // gained scan dates (every domain's cell in such a period must be
 // re-examined — the period's scan roster feeds presence and edge checks
-// even for domains with no new records). Both slices are sorted for
-// deterministic consumption. DirtySince(0) reports everything journaled
-// since Freeze.
+// even for domains with no new records). Per-shard journals are merged and
+// sorted, so the result is deterministic and independent of the shard
+// count. DirtySince(0) reports everything journaled since Freeze.
 func (d *Dataset) DirtySince(gen uint64) ([]DirtyCell, []simtime.Period) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	var cells []DirtyCell
-	for c, g := range d.dirtyCells {
-		if g > gen {
-			cells = append(cells, c)
+	for _, s := range d.shards {
+		for c, g := range s.dirtyCells {
+			if g > gen {
+				cells = append(cells, c)
+			}
 		}
 	}
 	sort.Slice(cells, func(i, j int) bool {
@@ -597,17 +734,26 @@ func periodsOf(dates []simtime.Date) []simtime.Period {
 }
 
 // Domains returns every registered domain with at least one record, sorted.
-// On a frozen dataset the snapshot's cached slice is returned; treat it as
-// read-only.
+// On a frozen dataset the view's cached merged slice is returned; treat it
+// as read-only.
 func (d *Dataset) Domains() []dnscore.Name {
-	if idx := d.idx.Load(); idx != nil {
-		return idx.domains
+	if v := d.view.Load(); v != nil {
+		return v.domains
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]dnscore.Name, 0, len(d.byDomain))
-	for n := range d.byDomain {
-		out = append(out, n)
+	if v := d.view.Load(); v != nil {
+		return v.domains
+	}
+	n := 0
+	for _, s := range d.shards {
+		n += len(s.byDomain)
+	}
+	out := make([]dnscore.Name, 0, n)
+	for _, s := range d.shards {
+		for name := range s.byDomain {
+			out = append(out, name)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -617,11 +763,14 @@ func (d *Dataset) Domains() []dnscore.Name {
 // dataset's scan dates. On a frozen dataset the cached slice is returned;
 // treat it as read-only.
 func (d *Dataset) Periods() []simtime.Period {
-	if idx := d.idx.Load(); idx != nil {
-		return idx.periods
+	if v := d.view.Load(); v != nil {
+		return v.periods
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	if v := d.view.Load(); v != nil {
+		return v.periods
+	}
 	sorted := append([]simtime.Date(nil), d.scanDates...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	return periodsOf(sorted)
@@ -629,16 +778,20 @@ func (d *Dataset) Periods() []simtime.Period {
 
 // DomainRecords returns the records for a registered domain within
 // [from, to), in scan-date order. Zero bounds disable that side. On a
-// frozen dataset this is a lock-free binary search returning a window of
-// the shared presorted slice; treat it as read-only.
+// frozen dataset this is a lock-free binary search over the owning shard's
+// presorted slice, returning a shared window; treat it as read-only.
 func (d *Dataset) DomainRecords(domain dnscore.Name, from, to simtime.Date) []*Record {
-	if idx := d.idx.Load(); idx != nil {
+	s := d.shardFor(domain)
+	if idx := s.idx.Load(); idx != nil {
 		return windowRecords(idx.byDomain[domain], from, to)
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	if idx := s.idx.Load(); idx != nil {
+		return windowRecords(idx.byDomain[domain], from, to)
+	}
 	var out []*Record
-	for _, r := range d.byDomain[domain] {
+	for _, r := range s.byDomain[domain] {
 		if r.ScanDate < from {
 			continue
 		}
@@ -670,20 +823,14 @@ func windowRecords(recs []*Record, from, to simtime.Date) []*Record {
 // search returning a window of the shared sorted slice; treat it as
 // read-only.
 func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
-	if idx := d.idx.Load(); idx != nil {
-		dates := idx.scanDates
-		lo := sort.Search(len(dates), func(i int) bool { return dates[i] >= from })
-		hi := len(dates)
-		if to > 0 {
-			hi = lo + sort.Search(len(dates)-lo, func(i int) bool { return dates[lo+i] >= to })
-		}
-		if lo >= hi {
-			return nil
-		}
-		return dates[lo:hi]
+	if v := d.view.Load(); v != nil {
+		return windowDates(v.scanDates, from, to)
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	if v := d.view.Load(); v != nil {
+		return windowDates(v.scanDates, from, to)
+	}
 	var out []simtime.Date
 	for _, s := range d.scanDates {
 		if s >= from && (to <= 0 || s < to) {
@@ -693,14 +840,27 @@ func (d *Dataset) ScanDates(from, to simtime.Date) []simtime.Date {
 	return out
 }
 
+// windowDates slices the [from, to) window out of a sorted date slice.
+func windowDates(dates []simtime.Date, from, to simtime.Date) []simtime.Date {
+	lo := sort.Search(len(dates), func(i int) bool { return dates[i] >= from })
+	hi := len(dates)
+	if to > 0 {
+		hi = lo + sort.Search(len(dates)-lo, func(i int) bool { return dates[lo+i] >= to })
+	}
+	if lo >= hi {
+		return nil
+	}
+	return dates[lo:hi]
+}
+
 // LatestScanDate returns the most recent ingested scan date and whether
 // any scan has been ingested at all — the data-recency stamp a serving
 // layer reports next to its snapshot generation. Lock-free on a frozen
 // dataset.
 func (d *Dataset) LatestScanDate() (simtime.Date, bool) {
-	if idx := d.idx.Load(); idx != nil {
-		if n := len(idx.scanDates); n > 0 {
-			return idx.scanDates[n-1], true
+	if v := d.view.Load(); v != nil {
+		if n := len(v.scanDates); n > 0 {
+			return v.scanDates[n-1], true
 		}
 		return 0, false
 	}
@@ -718,10 +878,59 @@ func (d *Dataset) LatestScanDate() (simtime.Date, bool) {
 
 // Size returns (domains, records) counts.
 func (d *Dataset) Size() (int, int) {
-	if idx := d.idx.Load(); idx != nil {
-		return len(idx.byDomain), idx.records
+	if v := d.view.Load(); v != nil {
+		return v.domainCount, v.records
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.byDomain), d.records
+	if v := d.view.Load(); v != nil {
+		return v.domainCount, v.records
+	}
+	domains := 0
+	for _, s := range d.shards {
+		domains += len(s.byDomain)
+	}
+	return domains, d.records
+}
+
+// Estimated per-object resident footprints for EstimatedBytes. These are
+// model constants (struct sizes plus typical allocator overhead), chosen
+// so the estimate is deterministic across machines rather than exact.
+const (
+	estRecordBytes      = 112 // Record struct + small Ports backing array
+	estAttachBytes      = 16  // one *Record slot in a per-domain slice, amortized growth
+	estDomainEntryBytes = 96  // map entry + sorted-slice slot per domain, per index
+	estCertBytes        = 480 // Certificate struct + signature + SAN headers
+)
+
+// EstimatedBytes returns a deterministic model-based estimate of the
+// corpus's resident memory: record structs, per-domain index attachments,
+// domain entries, and the intern pools (actual interned string bytes plus
+// a per-certificate footprint). It is an accounting estimate for capacity
+// planning and the retrodns_corpus_bytes_estimate gauge, not a heap
+// measurement.
+func (d *Dataset) EstimatedBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.estimatedBytesLocked(d.pool.Stats())
+}
+
+// estimatedBytesLocked computes the corpus-bytes estimate from current
+// counts and the given pool stats. Caller holds d.mu.
+func (d *Dataset) estimatedBytesLocked(st PoolStats) int64 {
+	records := d.records
+	if v := d.view.Load(); v != nil {
+		records = v.records
+	}
+	var domains, attach int
+	for _, s := range d.shards {
+		sd, sa := s.counts()
+		domains += sd
+		attach += sa
+	}
+	return int64(records)*estRecordBytes +
+		int64(attach)*estAttachBytes +
+		int64(domains)*estDomainEntryBytes +
+		st.NameBytes + st.IPBytes +
+		st.Certs*estCertBytes
 }

@@ -1,0 +1,369 @@
+package scanner
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// The corpus shards. A registered domain is owned by exactly one shard,
+// selected by FNV-1a hash of the domain bytes — a keyless, stable hash, so
+// the routing (and therefore the per-shard metric layout) is identical
+// across runs and machines. Each shard carries its own lock, its own
+// pre-freeze accumulation map, its own immutable sorted index snapshot,
+// its own dirty-cell journal, and its own quarantine journal: parallel
+// ingest workers touch disjoint shards and never contend. Reads merge
+// shards deterministically (sorted merges keyed on domain, seq-ordered
+// quarantine examples), so every public Dataset result is byte-identical
+// for any shard count.
+
+// shardIndex is one immutable snapshot of a frozen shard's read index.
+// Append publishes a fresh snapshot through an atomic pointer per affected
+// shard only, so readers holding an older snapshot keep a consistent view
+// with no locks and untouched shards pay nothing. Per-domain record slices
+// may share backing arrays across generations: Append only ever grows a
+// slice in place when the new record sorts last, and a reader never
+// indexes beyond its own snapshot's length, so the sharing is race-free
+// under the single-writer dataset mutex.
+type shardIndex struct {
+	// byDomain maps a registered domain owned by this shard to every record
+	// whose certificate secures a name under it, sorted by scan date
+	// (stable, preserving ingest order within a date).
+	byDomain map[dnscore.Name][]*Record
+	// domains is this shard's sorted domain list.
+	domains []dnscore.Name
+	// attach counts record attachments (a record indexed under two apexes
+	// counts twice).
+	attach int
+}
+
+// clone copies the index's domain map for copy-on-write Append; the
+// domain list and record slices are shared until modified.
+func (idx *shardIndex) clone() *shardIndex {
+	next := &shardIndex{
+		byDomain: make(map[dnscore.Name][]*Record, len(idx.byDomain)+1),
+		domains:  idx.domains,
+		attach:   idx.attach,
+	}
+	for n, recs := range idx.byDomain {
+		next.byDomain[n] = recs
+	}
+	return next
+}
+
+// shard is one slice of the corpus.
+type shard struct {
+	mu sync.RWMutex
+	// byDomain and attach accumulate ingest-order records before Freeze;
+	// freeze moves them into the first index snapshot.
+	byDomain map[dnscore.Name][]*Record
+	attach   int
+	// idx holds the shard's current immutable index snapshot, nil until
+	// the dataset freezes.
+	idx atomic.Pointer[shardIndex]
+	// dirtyCells journals, per (domain, period) cell owned by this shard,
+	// the dataset generation at which it last gained records.
+	dirtyCells map[DirtyCell]uint64
+	// quar journals record-level rejections routed to this shard.
+	quar quarantine
+}
+
+func newShard() *shard {
+	return &shard{
+		byDomain:   make(map[dnscore.Name][]*Record),
+		dirtyCells: make(map[DirtyCell]uint64),
+	}
+}
+
+// counts returns the shard's (domains, record attachments), from the index
+// snapshot when frozen. Safe under d.mu (read or write).
+func (s *shard) counts() (int, int) {
+	if idx := s.idx.Load(); idx != nil {
+		return len(idx.domains), idx.attach
+	}
+	return len(s.byDomain), s.attach
+}
+
+// freeze builds and publishes the shard's generation-1 index, taking
+// ownership of the accumulation map. Runs once per shard, possibly on a
+// worker goroutine; the dataset mutex serializes it against ingest.
+func (s *shard) freeze() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := &shardIndex{byDomain: s.byDomain, attach: s.attach}
+	for _, recs := range idx.byDomain {
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].ScanDate < recs[j].ScanDate })
+	}
+	idx.domains = make([]dnscore.Name, 0, len(idx.byDomain))
+	for n := range idx.byDomain {
+		idx.domains = append(idx.domains, n)
+	}
+	sort.Slice(idx.domains, func(i, j int) bool { return idx.domains[i] < idx.domains[j] })
+	s.byDomain = nil
+	s.idx.Store(idx)
+}
+
+// consume ingests one scan's share of records into this shard: every
+// accepted record whose certificate secures a name whose apex hashes here.
+// It scans the full record slice and filters by ownership — each shard
+// worker reads the shared input and writes only its own state, so workers
+// run lock-free relative to each other. In frozen mode the shard's index
+// is copied-on-write and republished only if it gained records, and
+// (domain, period) cells are journaled under gen; newly seen domains are
+// returned for the dataset-level merge.
+func (s *shard) consume(sid, nshards int, records []*Record, gates []uint8, gen uint64, frozen bool) []dnscore.Name {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var apexes []dnscore.Name
+	if !frozen {
+		for i, r := range records {
+			if gates[i] != 0 {
+				continue
+			}
+			apexes = apexes[:0]
+			for _, san := range r.Cert.SANs {
+				apex := san.RegisteredDomain()
+				if apex == "" || containsName(apexes, apex) {
+					continue
+				}
+				apexes = append(apexes, apex)
+				if shardIndexOf(apex, nshards) != sid {
+					continue
+				}
+				s.byDomain[apex] = append(s.byDomain[apex], r)
+				s.attach++
+			}
+		}
+		return nil
+	}
+	old := s.idx.Load()
+	var next *shardIndex
+	var newDomains []dnscore.Name
+	for i, r := range records {
+		if gates[i] != 0 {
+			continue
+		}
+		apexes = apexes[:0]
+		for _, san := range r.Cert.SANs {
+			apex := san.RegisteredDomain()
+			if apex == "" || containsName(apexes, apex) {
+				continue
+			}
+			apexes = append(apexes, apex)
+			if shardIndexOf(apex, nshards) != sid {
+				continue
+			}
+			if next == nil {
+				next = old.clone()
+			}
+			recs, existed := next.byDomain[apex]
+			next.byDomain[apex] = insertRecord(recs, r)
+			next.attach++
+			// existed reflects next.byDomain, which accumulates within the
+			// batch — each new apex passes here exactly once.
+			if !existed {
+				newDomains = append(newDomains, apex)
+			}
+			if r.ScanDate.InStudy() {
+				s.dirtyCells[DirtyCell{apex, simtime.PeriodOf(r.ScanDate)}] = gen
+			}
+		}
+	}
+	if next != nil {
+		if len(newDomains) > 0 {
+			merged := make([]dnscore.Name, 0, len(old.domains)+len(newDomains))
+			merged = append(merged, old.domains...)
+			merged = append(merged, newDomains...)
+			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+			next.domains = merged
+		}
+		s.idx.Store(next)
+	}
+	return newDomains
+}
+
+// consumeSerialLocked is the single-pass ingest path for small scans (and
+// single-shard datasets): one walk over the records routes each apex
+// directly to its shard, avoiding the per-shard rescans of the parallel
+// path. Caller holds d.mu, which excludes every other writer; shard locks
+// are still taken around index publication for uniformity with the
+// parallel path.
+func (d *Dataset) consumeSerialLocked(records []*Record, gates []uint8, gen uint64, frozen bool) [][]dnscore.Name {
+	nsh := len(d.shards)
+	newDomainsBy := make([][]dnscore.Name, nsh)
+	var nexts []*shardIndex
+	if frozen {
+		nexts = make([]*shardIndex, nsh)
+	}
+	var apexes []dnscore.Name
+	for i, r := range records {
+		if gates[i] != 0 {
+			continue
+		}
+		apexes = apexes[:0]
+		for _, san := range r.Cert.SANs {
+			apex := san.RegisteredDomain()
+			if apex == "" || containsName(apexes, apex) {
+				continue
+			}
+			apexes = append(apexes, apex)
+			sid := shardIndexOf(apex, nsh)
+			s := d.shards[sid]
+			if !frozen {
+				s.byDomain[apex] = append(s.byDomain[apex], r)
+				s.attach++
+				continue
+			}
+			next := nexts[sid]
+			if next == nil {
+				next = s.idx.Load().clone()
+				nexts[sid] = next
+			}
+			recs, existed := next.byDomain[apex]
+			next.byDomain[apex] = insertRecord(recs, r)
+			next.attach++
+			if !existed {
+				newDomainsBy[sid] = append(newDomainsBy[sid], apex)
+			}
+			if r.ScanDate.InStudy() {
+				s.dirtyCells[DirtyCell{apex, simtime.PeriodOf(r.ScanDate)}] = gen
+			}
+		}
+	}
+	if frozen {
+		for sid, next := range nexts {
+			if next == nil {
+				continue
+			}
+			s := d.shards[sid]
+			if added := newDomainsBy[sid]; len(added) > 0 {
+				old := s.idx.Load()
+				merged := make([]dnscore.Name, 0, len(old.domains)+len(added))
+				merged = append(merged, old.domains...)
+				merged = append(merged, added...)
+				sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+				next.domains = merged
+			}
+			s.mu.Lock()
+			s.idx.Store(next)
+			s.mu.Unlock()
+		}
+	}
+	return newDomainsBy
+}
+
+// FNV-1a 64-bit, hand-rolled so routing a name allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// shardIndexOf routes a registered domain to a shard in [0, n).
+func shardIndexOf(domain dnscore.Name, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(fnvString(string(domain)) % uint64(n))
+}
+
+// parallelIngestThreshold is the record count below which ingest stays
+// serial: fan-out overhead (goroutines, per-shard rescans) only pays for
+// itself on bulk scans. Weekly incremental scans of the toy world are two
+// orders of magnitude under it.
+const parallelIngestThreshold = 2048
+
+// ingestWorkers sizes the worker pool for a record-parallel phase:
+// 1 below the threshold, else bounded by GOMAXPROCS (capped — validation
+// and interning stop scaling past the memory bus).
+func ingestWorkers(n int) int {
+	if n < parallelIngestThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	return w
+}
+
+// shardWorkers sizes the worker pool for the shard fan-out phase: never
+// more workers than shards.
+func shardWorkers(n, nshards int) int {
+	w := ingestWorkers(n)
+	if w > nshards {
+		w = nshards
+	}
+	return w
+}
+
+// forShards runs fn(0..n-1) across the given number of workers, handing
+// out shard ids from an atomic counter. Serial when workers <= 1. The
+// WaitGroup join gives the caller a happens-before on every worker's
+// writes.
+func forShards(n, workers int, fn func(sid int)) {
+	if workers <= 1 || n <= 1 {
+		for sid := 0; sid < n; sid++ {
+			fn(sid)
+		}
+		return
+	}
+	var nextID atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sid := int(nextID.Add(1)) - 1
+				if sid >= n {
+					return
+				}
+				fn(sid)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forChunks splits [0, n) into one contiguous chunk per worker and runs
+// fn(lo, hi) concurrently. Serial when workers <= 1. Chunk boundaries are
+// a pure function of (n, workers); workers write only their own chunk's
+// slots, so results are deterministic.
+func forChunks(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -425,10 +425,16 @@ func (w *World) issueInternal(at simtime.Date, days int, names ...dnscore.Name) 
 // resolve the tracked names (feeding pDNS); afterwards, run the weekly
 // scanner over the whole window and return the assembled dataset.
 func (w *World) Run() *scanner.Dataset {
+	return w.RunShards(scanner.DefaultShards)
+}
+
+// RunShards is Run with an explicit shard count for the accumulating
+// dataset (see scanner.NewDatasetShards).
+func (w *World) RunShards(shards int) *scanner.Dataset {
 	w.RunClock()
-	sc := w.Scanner()
-	cadence := w.scanCadence()
-	return sc.RunStudyEvery(simtime.StudyStart, simtime.StudyEnd, cadence)
+	ds := scanner.NewDatasetShards(shards)
+	w.Scanner().RunStudyEveryInto(ds, simtime.StudyStart, simtime.StudyEnd, w.scanCadence())
+	return ds
 }
 
 // RunClock advances the daily simulation clock over the whole study

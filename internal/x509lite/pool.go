@@ -1,0 +1,96 @@
+package x509lite
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"retrodns/internal/dnscore"
+)
+
+// Pool deduplicates certificates by Fingerprint. Four years of weekly
+// scans observe the same certificate tens of thousands of times — once
+// per (IP, scan) — and a feed that parses its input allocates a fresh
+// Certificate for every observation. Interning through the pool collapses
+// all of them onto one canonical instance, so the corpus stores each
+// distinct certificate exactly once and pointer comparisons on certs
+// become identity comparisons.
+//
+// The identity key is the already-memoized Fingerprint (SHA-256 over the
+// canonical encoding plus signature), so two certificates intern to the
+// same instance iff they are byte-identical — re-issued certificates with
+// fresh signatures stay distinct, exactly as the detection method needs.
+//
+// The pool is safe for concurrent use and lives as long as its owner
+// (typically a scanner.Dataset): entries are never evicted, so its size
+// is bounded by the number of distinct certificates in the feed, not by
+// the number of observations.
+type Pool struct {
+	// InternName, when set, canonicalizes the SAN strings of a
+	// certificate on first insertion (typically through a shared string
+	// pool, so SANs repeated across certificate generations share
+	// backing bytes). It runs under the stripe lock, before the
+	// certificate becomes visible to other interners. Callers must only
+	// hand Intern certificates they own at that point: the SAN slice of
+	// a first-seen certificate is rewritten in place.
+	InternName func(dnscore.Name) dnscore.Name
+
+	stripes [certPoolStripes]certPoolStripe
+	size    atomic.Int64
+}
+
+// certPoolStripes spreads the pool over independent locks so parallel
+// ingest shards do not serialize on one mutex. Must be a power of two.
+const certPoolStripes = 32
+
+type certPoolStripe struct {
+	mu sync.RWMutex
+	m  map[Fingerprint]*Certificate
+}
+
+// NewPool returns an empty certificate pool.
+func NewPool() *Pool {
+	p := &Pool{}
+	for i := range p.stripes {
+		p.stripes[i].m = make(map[Fingerprint]*Certificate)
+	}
+	return p
+}
+
+// Intern returns the pool's canonical instance for c, inserting c itself
+// if its fingerprint is new. A nil pool or certificate passes through
+// unchanged. On insertion the certificate's SANs are canonicalized via
+// InternName (when set); lookups never mutate anything.
+func (p *Pool) Intern(c *Certificate) *Certificate {
+	if p == nil || c == nil {
+		return c
+	}
+	fp := c.Fingerprint()
+	st := &p.stripes[fp[0]&(certPoolStripes-1)]
+	st.mu.RLock()
+	got := st.m[fp]
+	st.mu.RUnlock()
+	if got != nil {
+		return got
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if got := st.m[fp]; got != nil {
+		return got
+	}
+	if p.InternName != nil {
+		for i, san := range c.SANs {
+			c.SANs[i] = p.InternName(san)
+		}
+	}
+	st.m[fp] = c
+	p.size.Add(1)
+	return c
+}
+
+// Size returns the number of distinct certificates interned.
+func (p *Pool) Size() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.size.Load()
+}

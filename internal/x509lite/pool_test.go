@@ -1,0 +1,95 @@
+package x509lite
+
+import (
+	"sync"
+	"testing"
+
+	"retrodns/internal/dnscore"
+)
+
+func poolCert(serial uint64, sans ...dnscore.Name) *Certificate {
+	key := NewSigningKey("pool-test", 11)
+	c := &Certificate{
+		Serial: serial, Subject: sans[0], SANs: sans,
+		Issuer: "Pool CA", NotBefore: 0, NotAfter: 100, Method: ValidationDNS01,
+	}
+	key.Sign(c)
+	return c
+}
+
+func TestPoolInternDedups(t *testing.T) {
+	p := NewPool()
+	a := poolCert(1, "www.a.example")
+	b := poolCert(1, "www.a.example") // identical bytes, distinct object
+	if got := p.Intern(a); got != a {
+		t.Fatal("first intern must return the inserted cert")
+	}
+	if got := p.Intern(b); got != a {
+		t.Fatal("identical cert did not dedup to the pooled instance")
+	}
+	if p.Size() != 1 {
+		t.Fatalf("pool size = %d, want 1", p.Size())
+	}
+	// A reissued cert (different signature) is a distinct identity.
+	c := poolCert(1, "www.a.example")
+	c.Signature = append([]byte(nil), c.Signature...)
+	c.Signature[0] ^= 0xFF
+	if got := p.Intern(c); got != c {
+		t.Fatal("distinct-signature cert wrongly deduped")
+	}
+	if p.Size() != 2 {
+		t.Fatalf("pool size = %d, want 2", p.Size())
+	}
+}
+
+func TestPoolNilTolerance(t *testing.T) {
+	var p *Pool
+	c := poolCert(3, "www.nil.example")
+	if got := p.Intern(c); got != c {
+		t.Fatal("nil pool must pass certs through")
+	}
+	if p.Size() != 0 {
+		t.Fatal("nil pool size != 0")
+	}
+	full := NewPool()
+	if got := full.Intern(nil); got != nil {
+		t.Fatal("nil cert must pass through")
+	}
+}
+
+func TestPoolInternNameCanonicalizesFirstSeen(t *testing.T) {
+	p := NewPool()
+	var interned []dnscore.Name
+	p.InternName = func(n dnscore.Name) dnscore.Name {
+		interned = append(interned, n)
+		return n
+	}
+	c := poolCert(5, "www.b.example", "mail.b.example")
+	p.Intern(c)
+	if len(interned) != 2 {
+		t.Fatalf("InternName ran %d times, want 2 (once per SAN)", len(interned))
+	}
+	// Lookups never re-canonicalize.
+	p.Intern(poolCert(5, "www.b.example", "mail.b.example"))
+	if len(interned) != 2 {
+		t.Fatalf("lookup re-ran InternName: %d calls", len(interned))
+	}
+}
+
+func TestPoolConcurrentIntern(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Intern(poolCert(uint64(i%10)+1, "www.c.example"))
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Size() != 10 {
+		t.Fatalf("pool size = %d, want 10", p.Size())
+	}
+}

@@ -1,0 +1,112 @@
+package retrodns_bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"retrodns/internal/core"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/world"
+)
+
+// TestShardCountInvariance is the end-to-end acceptance test for the
+// sharded dataset: the full study analyzed over datasets sharded 1, 3,
+// and 8 ways — bulk-ingested and incrementally Appended with a warm
+// classification cache — must serialize to the exact same JSON report,
+// byte for byte, and agree on every funnel count and the quarantine
+// journal. Shard count is an execution knob, never an analysis input.
+func TestShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study replay")
+	}
+	cfg := world.Config{Seed: 2, StableDomains: 20, Campaigns: true, PDNSCoverage: 1}
+	w := world.New(cfg)
+	w.RunClock()
+	if len(w.Errors) > 0 {
+		t.Fatalf("world errors: %v", w.Errors)
+	}
+	sc := w.Scanner()
+	dates := w.ScanDates()
+	scans := make([][]*scanner.Record, len(dates))
+	for i, d := range dates {
+		scans[i] = sc.ScanWeek(d)
+	}
+
+	pipeline := func(ds *scanner.Dataset, cached bool) *core.Pipeline {
+		p := &core.Pipeline{
+			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog, Workers: 4,
+		}
+		if cached {
+			p.Cache = core.NewClassifyCache()
+		}
+		return p
+	}
+	reportJSON := func(res *core.Result) []byte {
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	type outcome struct {
+		bulk, incr []byte
+		funnel     map[string]int
+		quar       string
+	}
+	var want *outcome
+	for _, shards := range []int{1, 3, 8} {
+		// Bulk: every scan AddScanned into a fresh dataset, uncached run.
+		bulk := scanner.NewDatasetShards(shards)
+		for i, d := range dates {
+			if err := bulk.AddScan(d, scans[i]); err != nil {
+				t.Fatalf("shards=%d AddScan %s: %v", shards, d, err)
+			}
+		}
+		bulkRes := pipeline(bulk, false).Run()
+		if bulkRes.Stats.Shards != shards {
+			t.Fatalf("Stats.Shards = %d, want %d", bulkRes.Stats.Shards, shards)
+		}
+
+		// Incremental: the same series Appended scan-by-scan with a warm
+		// classification cache, re-running after each scan.
+		incr := scanner.NewDatasetShards(shards)
+		pipe := pipeline(incr, true)
+		var incrRes *core.Result
+		for i, d := range dates {
+			if err := incr.Append(d, scans[i]); err != nil {
+				t.Fatalf("shards=%d Append %s: %v", shards, d, err)
+			}
+			incrRes = pipe.Run()
+		}
+
+		got := &outcome{
+			bulk:   reportJSON(bulkRes),
+			incr:   reportJSON(incrRes),
+			funnel: report.FunnelCounts(bulkRes),
+			quar:   fmt.Sprint(bulk.Quarantine()),
+		}
+		if !bytes.Equal(got.bulk, got.incr) {
+			t.Fatalf("shards=%d: incremental report diverged from bulk", shards)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want.bulk, got.bulk) {
+			t.Errorf("shards=%d: bulk report differs from shards=1\nshards=1:\n%s\nshards=%d:\n%s",
+				shards, want.bulk, shards, got.bulk)
+		}
+		for k, v := range want.funnel {
+			if got.funnel[k] != v {
+				t.Errorf("shards=%d: funnel[%s] = %d, want %d", shards, k, got.funnel[k], v)
+			}
+		}
+		if want.quar != got.quar {
+			t.Errorf("shards=%d: quarantine journal differs:\n%s\nvs\n%s", shards, got.quar, want.quar)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale
+.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale profile-classify
 
 ci: lint vet build test race fuzz-smoke
 
@@ -21,13 +21,16 @@ build:
 test:
 	$(GO) test ./...
 
-# The pipeline's worker pool, the frozen dataset's lock-free reads, the
-# incremental Append path, the shared metrics registry, and the serving
-# layer's RCU snapshot swap are exercised under the race detector here
-# (includes TestPipelineDeterminism, TestDatasetConcurrentReads,
+# The pipeline's worker pool (now shard-affine: workers own whole shards,
+# walking pinned ShardViews with per-worker arenas for map/classification
+# storage), the frozen dataset's lock-free reads, the incremental Append
+# path, the shared metrics registry, and the serving layer's RCU snapshot
+# swap are exercised under the race detector here (includes
+# TestPipelineDeterminism, TestDatasetConcurrentReads,
 # TestAppendConcurrentReads, TestIncrementalReplayEquivalence,
 # TestConcurrentRegistry, TestFollowScrapeRace, and
-# TestSnapshotSwapConsistency).
+# TestSnapshotSwapConsistency; internal/core covers the arena and
+# slice-set deployment code on every parallel path).
 race:
 	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv ./internal/serve
 
@@ -61,7 +64,7 @@ BENCHDIR ?= /tmp/retrodns-bench
 bench-report:
 	mkdir -p $(BENCHDIR)
 	$(GO) run ./cmd/retrodns -stable 80 -seed 1 -report-json $(BENCHDIR)/run-report.json 2>/dev/null >/dev/null
-	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkServeQuery' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
+	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkSynthClassify|BenchmarkDeploymentAnyIP|BenchmarkServeQuery' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
 
 # Fail on funnel drift or a >20% perf regression against the committed
 # baseline (see cmd/benchdiff).
@@ -72,6 +75,14 @@ benchgate: bench-report
 # change; commit the resulting BENCH_BASELINE.json with the change.
 bench-baseline: bench-report
 	$(GO) run ./cmd/benchdiff -update -baseline BENCH_BASELINE.json -report $(BENCHDIR)/run-report.json -bench $(BENCHDIR)/bench.txt
+
+# CPU profile of the classification hot path: one uncached pipeline run
+# over a 50k-domain synthetic corpus (no simulator in the profile). Open
+# with `go tool pprof $(BENCHDIR)/classify.pprof`.
+profile-classify:
+	mkdir -p $(BENCHDIR)
+	$(GO) run ./cmd/repro -synth-domains 50000 -cpuprofile $(BENCHDIR)/classify.pprof -quiet
+	@echo "profile written to $(BENCHDIR)/classify.pprof"
 
 # End-to-end daemon smoke: start retrodnsd on a small -follow world, poll
 # /v1/healthz until a snapshot is live, hit every /v1 endpoint, and check

@@ -757,6 +757,25 @@ func BenchmarkSynthClassify(b *testing.B) {
 	b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
+// BenchmarkDeploymentAnyIP guards the representative-IP lookup on the
+// inspect path: AnyIP used to range a map (hash iteration plus its
+// nondeterministic order), now it reads the first element of the sorted
+// IP slice. Gated by benchgate so a regression back to map storage shows
+// up as both ns/op and allocs/op movement.
+func BenchmarkDeploymentAnyIP(b *testing.B) {
+	d := &core.Deployment{ASN: 64500}
+	for i := 0; i < 8; i++ {
+		d.IPs = append(d.IPs, netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.AnyIP().IsValid() {
+			b.Fatal("invalid representative IP")
+		}
+	}
+}
+
 // BenchmarkWorldGeneration measures end-to-end simulation cost (DNS clock,
 // ACME issuance, scanning) for a small world.
 func BenchmarkWorldGeneration(b *testing.B) {

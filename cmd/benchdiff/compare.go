@@ -104,9 +104,18 @@ func (res *Result) compareStages(baseline, current *report.RunReport, tol float6
 	}
 }
 
-// compareBench gates ns/op regressions for benchmarks present on both
-// sides; benchmarks that appear or disappear are informational, since
-// the bench selection legitimately changes across PRs.
+// allocTol is the gate for allocs/op regressions. Allocation counts are
+// deterministic (no timer noise), but GC-triggered map growth and pool
+// warm-up still wobble a few percent across runs; 20% headroom gates real
+// regressions — a dropped arena, a reintroduced per-record map — without
+// flaking on noise.
+const allocTol = 0.20
+
+// compareBench gates ns/op and allocs/op regressions for benchmarks
+// present on both sides; benchmarks that appear or disappear are
+// informational, since the bench selection legitimately changes across
+// PRs. The alloc gate only fires when both sides measured allocations
+// (ran with -benchmem), so old baselines without the column stay valid.
 func (res *Result) compareBench(baseline, current *report.RunReport, tol float64) {
 	if len(current.Bench) == 0 || len(baseline.Bench) == 0 {
 		return
@@ -128,8 +137,17 @@ func (res *Result) compareBench(baseline, current *report.RunReport, tol float64
 		line := fmt.Sprintf("bench %s: %.0f -> %.0f ns/op (%+.1f%%)", c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
 		if ratio > 1+tol {
 			res.Failures = append(res.Failures, line)
-			continue
+		} else {
+			res.Info = append(res.Info, line)
 		}
-		res.Info = append(res.Info, line)
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			aratio := c.AllocsPerOp / b.AllocsPerOp
+			aline := fmt.Sprintf("bench %s: %.0f -> %.0f allocs/op (%+.1f%%)", c.Name, b.AllocsPerOp, c.AllocsPerOp, (aratio-1)*100)
+			if aratio > 1+allocTol {
+				res.Failures = append(res.Failures, aline)
+				continue
+			}
+			res.Info = append(res.Info, aline)
+		}
 	}
 }

@@ -121,6 +121,39 @@ func TestStageGateRespectsNoiseFloor(t *testing.T) {
 	}
 }
 
+// TestAllocRegressionFails pins the allocation gate: an allocs/op jump
+// past allocTol fails even when ns/op is flat, in-tolerance growth
+// passes, and a baseline that never measured allocations cannot gate
+// them.
+func TestAllocRegressionFails(t *testing.T) {
+	b := loadFixture(t, "baseline.json")
+	c := loadFixture(t, "baseline.json")
+	for i := range b.Bench {
+		b.Bench[i].AllocsPerOp = 1000
+	}
+	for i := range c.Bench {
+		c.Bench[i].AllocsPerOp = 1000
+	}
+	c.Bench[0].AllocsPerOp = 1300 // +30%, ns/op untouched
+	res := compare(b, c, 0.20)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "allocs/op") {
+		t.Errorf("failures = %v, want one allocs/op regression", res.Failures)
+	}
+
+	c.Bench[0].AllocsPerOp = 1100 // +10%: inside allocTol
+	if res := compare(b, c, 0.20); len(res.Failures) != 0 {
+		t.Errorf("in-tolerance alloc growth gated: %v", res.Failures)
+	}
+
+	for i := range b.Bench {
+		b.Bench[i].AllocsPerOp = 0 // baseline predates -benchmem
+	}
+	c.Bench[0].AllocsPerOp = 90000
+	if res := compare(b, c, 0.20); len(res.Failures) != 0 {
+		t.Errorf("alloc gate fired without a baseline measurement: %v", res.Failures)
+	}
+}
+
 func TestQuarantineDriftFails(t *testing.T) {
 	b := loadFixture(t, "baseline.json")
 	c := loadFixture(t, "baseline.json")

@@ -46,6 +46,7 @@ func main() {
 		synthDomains = flag.Int("synth-domains", 0, "generate a paper-scale synthetic corpus with this many registered domains instead of simulating a world")
 		zipfS        = flag.Float64("zipf-s", 1.1, "zipf exponent for synthetic deployment popularity")
 		synthScans   = flag.Int("synth-scans", 4, "number of synthetic scan dates")
+		legacyFan    = flag.Bool("legacy-fanout", false, "classify with the pre-shard-affine per-domain fan-out (uncached; A/B reference — findings must be identical)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 			domains: *synthDomains, zipfS: *zipfS, scans: *synthScans,
 			seed: *seed, shards: *shards, workers: *workers,
 			strict: *strict, jsonOut: *jsonOut, reportJSON: *reportJSON,
+			legacyFanout: *legacyFan,
 		}, metrics)
 		return
 	}
@@ -184,6 +186,7 @@ type synthRun struct {
 	seed                            int64
 	strict, jsonOut                 bool
 	reportJSON                      string
+	legacyFanout                    bool
 }
 
 // runSynth ingests a paper-scale synthetic corpus (internal/synth) through
@@ -218,6 +221,13 @@ func runSynth(cfg synthRun, metrics *obsv.Registry) {
 		Params: core.DefaultParams(), Dataset: ds,
 		PDNS: pdns.NewDB(), Workers: cfg.workers,
 		Cache: core.NewClassifyCache(), Metrics: metrics,
+	}
+	if cfg.legacyFanout {
+		// The legacy per-domain fan-out only exists on the uncached path;
+		// scripts/smoke_scale.sh diffs its findings against the default
+		// shard-affine engine.
+		pipe.LegacyFanout = true
+		pipe.Cache = nil
 	}
 	start = time.Now()
 	res := pipe.Run()

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +66,7 @@ func run() error {
 		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window on SIGTERM/SIGINT")
 		reportJSON  = flag.String("report-json", "", "write the run report (with serve section) here on shutdown ('-' for stdout)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (off by default; never on -listen)")
 	)
 	flag.Parse()
 
@@ -98,6 +100,16 @@ func run() error {
 		}
 		close(serveErr)
 	}()
+
+	var stopPprof func(context.Context) error
+	if *pprofAddr != "" {
+		bound, stop, err := servePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		stopPprof = stop
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	var stopMetrics func(context.Context) error
 	if *metricsAddr != "" {
@@ -143,6 +155,11 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "metrics drain:", err)
 		}
 	}
+	if stopPprof != nil {
+		if err := stopPprof(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof drain:", err)
+		}
+	}
 
 	if *reportJSON != "" && res != nil {
 		if err := writeRunReport(*reportJSON, res, ds, metrics, engine); err != nil {
@@ -150,6 +167,31 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// servePprof starts the profiling side listener: its own mux carrying only
+// the net/http/pprof handlers, so the profiler surface never shares a port
+// with the query API or the metrics scrape — the same shape as
+// obsv.ListenAndServeMetrics. Returns the bound address and a shutdown
+// function.
+func servePprof(addr string) (string, func(context.Context) error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("pprof listen %s: %w", addr, err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "pprof server:", err)
+		}
+	}()
+	return ln.Addr().String(), srv.Shutdown, nil
 }
 
 // lruFlag maps the -lru flag onto serve.Options.LRUSize, where 0 means

@@ -15,7 +15,11 @@ import (
 // the incremental engine: a study ingested scan-by-scan through
 // Dataset.Append with a warm classification cache must serialize to the
 // exact same JSON report as a cold full pipeline over the same prefix —
-// byte for byte, at every step, regardless of worker count.
+// byte for byte, at every step, regardless of worker count. The warm side
+// runs 8 shard-affine workers against a serial cold side, so every
+// comparison also crosses the workers-1-vs-8 axis of the shard-affine
+// cached path (internal/core's TestIncrementalReplayEquivalence covers the
+// same axis per-scan on the fabricated world).
 func TestIncrementalReplayBytesIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full study replay")
@@ -37,7 +41,7 @@ func TestIncrementalReplayBytesIdentical(t *testing.T) {
 	pipe := &core.Pipeline{
 		Params: core.DefaultParams(), Dataset: inc, Meta: w.Meta,
 		PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
-		Workers: 4, Cache: core.NewClassifyCache(),
+		Workers: 8, Cache: core.NewClassifyCache(),
 	}
 	coldJSON := func(n int) []byte {
 		ds := scanner.NewDataset()

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"retrodns/internal/simtime"
+)
+
+// TestArenaNilSafe: every arena method must degrade to plain heap
+// allocation (or a no-op) on a nil receiver — the cached classify path and
+// the stitching stage pass nil because they retain what they build.
+func TestArenaNilSafe(t *testing.T) {
+	var ar *classifyArena
+	m := ar.newMap("nil.com", 0, 9)
+	if m == nil || m.Domain != "nil.com" || m.TotalScans != 9 {
+		t.Fatalf("nil arena newMap = %+v", m)
+	}
+	d := ar.newDeployment(64500)
+	if d == nil || d.ASN != 64500 {
+		t.Fatalf("nil arena newDeployment = %+v", d)
+	}
+	c := ar.newClassification(m)
+	if c == nil || c.Map != m || c.Pattern != PatternNone {
+		t.Fatalf("nil arena newClassification = %+v", c)
+	}
+	if p := ar.takePartials(); p != nil {
+		t.Errorf("nil arena takePartials = %v", p)
+	}
+	ar.putPartials([]*Deployment{d}) // must not panic
+	ar.recycle(c)                    // must not panic
+	ar.reset()                       // must not panic
+}
+
+// TestArenaRecycleReuse: a recycled cell's storage — the classification,
+// the map, and every deployment inside it — is what the next build hands
+// back, with state fully reset and slice capacities preserved.
+func TestArenaRecycleReuse(t *testing.T) {
+	ar := &classifyArena{}
+	m := ar.newMap("first.com", 1, 4)
+	d1 := ar.newDeployment(64500)
+	d1.IPs = insertAddr(d1.IPs, netip.MustParseAddr("10.0.0.1"))
+	d1.Countries = insertCountry(d1.Countries, "US")
+	d1.ScanDates = append(d1.ScanDates, simtime.Date(7))
+	d2 := ar.newDeployment(64501)
+	m.Deployments = append(m.Deployments, d1, d2)
+	m.PresentScans = 3
+	c := ar.newClassification(m)
+	c.Category = CategoryNoisy
+	c.Stables = append(c.Stables, d1)
+
+	ar.recycle(c)
+	if c.Map != nil {
+		t.Error("recycle left the classification pointing at its map")
+	}
+
+	m2 := ar.newMap("second.com", 2, 8)
+	if m2 != m {
+		t.Error("recycled map storage not reused")
+	}
+	if m2.Domain != "second.com" || m2.Period != 2 || m2.TotalScans != 8 ||
+		m2.PresentScans != 0 || len(m2.Deployments) != 0 {
+		t.Errorf("recycled map not reset: %+v", m2)
+	}
+	// Free list is LIFO: d2 was appended after d1.
+	got := ar.newDeployment(64502)
+	if got != d2 && got != d1 {
+		t.Error("recycled deployment storage not reused")
+	}
+	if got.ASN != 64502 || len(got.IPs) != 0 || len(got.Countries) != 0 ||
+		len(got.Certs) != 0 || len(got.Records) != 0 || len(got.ScanDates) != 0 {
+		t.Errorf("recycled deployment not reset: %+v", got)
+	}
+	c2 := ar.newClassification(m2)
+	if c2 != c {
+		t.Error("recycled classification storage not reused")
+	}
+	if c2.Map != m2 || c2.Category != CategoryStable || len(c2.Stables) != 0 ||
+		c2.Pattern != PatternNone || len(c2.Transients) != 0 {
+		t.Errorf("recycled classification not reset: %+v", c2)
+	}
+
+	ar.reset()
+	if len(ar.maps) != 0 || len(ar.deps) != 0 || len(ar.classes) != 0 || ar.depBlock != nil {
+		t.Errorf("reset left free lists populated: %+v", ar)
+	}
+}
+
+// TestArenaPartialsRoundTrip: the partials scratch slice lends out emptied
+// and comes back regrown for the next Classify call.
+func TestArenaPartialsRoundTrip(t *testing.T) {
+	ar := &classifyArena{}
+	p := ar.takePartials()
+	if len(p) != 0 {
+		t.Fatalf("fresh partials len = %d", len(p))
+	}
+	p = append(p, &Deployment{ASN: 1}, &Deployment{ASN: 2})
+	ar.putPartials(p)
+	p2 := ar.takePartials()
+	if len(p2) != 0 || cap(p2) < 2 {
+		t.Errorf("returned partials len=%d cap=%d, want empty with kept capacity", len(p2), cap(p2))
+	}
+}
+
+// TestArenaBlockCarving: with empty free lists, deployments carve out of
+// the bump block — depBlockSize structs per heap allocation — and the
+// carved structs are distinct.
+func TestArenaBlockCarving(t *testing.T) {
+	ar := &classifyArena{}
+	seen := make(map[*Deployment]bool, depBlockSize+1)
+	for i := 0; i < depBlockSize+1; i++ {
+		d := ar.newDeployment(64500)
+		if seen[d] {
+			t.Fatalf("block carve handed out deployment %d twice", i)
+		}
+		seen[d] = true
+	}
+	if len(ar.depBlock) != depBlockSize-1 {
+		t.Errorf("after depBlockSize+1 carves, %d structs left in block, want %d",
+			len(ar.depBlock), depBlockSize-1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"retrodns/internal/dnscore"
+	"retrodns/internal/obsv"
 	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
 )
@@ -96,12 +97,14 @@ func (c *ClassifyCache) reset(ds *scanner.Dataset) {
 }
 
 // classifyCached is the cached counterpart of Run's build-and-classify
-// stage. It fills the per-domain classifyOut slots exactly as the cold
-// path does — same maps, same classifications, same order — reusing
-// cached cells where the dataset's dirty journal proves nothing changed.
-// It returns the workers' summed busy time and the journaled dirty-cell
-// count for the stage stats.
-func (p *Pipeline) classifyCached(params Params, workers int, domains []dnscore.Name, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, outs []classifyOut) (busy time.Duration, dirtyCells int) {
+// stage, shard-affine like the cold path: workers claim whole shards and
+// walk them through pinned views, filling per-domain classifyOut slots
+// exactly as the cold path does — same maps, same classifications, same
+// order — reusing cached cells where the dataset's dirty journal proves
+// nothing changed. Cached cells are retained across runs, so this path
+// never touches an arena. It returns the workers' summed busy time, the
+// journaled dirty-cell count, and the per-shard fragments.
+func (p *Pipeline) classifyCached(params Params, workers int, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, sp *obsv.Span) (busy time.Duration, dirtyCells int, frags []shardClassifyOut) {
 	cache := p.Cache
 	if cache.dataset != p.Dataset || cache.byDomain == nil {
 		cache.reset(p.Dataset)
@@ -129,86 +132,107 @@ func (p *Pipeline) classifyCached(params Params, workers int, domains []dnscore.
 	}
 
 	// Cell containers are created serially — workers then write only into
-	// their own domain's fixed-size cell array.
-	cellsOf := make([]*domainCells, len(domains))
-	for i, domain := range domains {
-		dc := cache.byDomain[domain]
-		if dc == nil {
-			dc = &domainCells{}
-			cache.byDomain[domain] = dc
+	// their own shard's domains' fixed-size cell arrays.
+	nsh := p.Dataset.Shards()
+	frags = make([]shardClassifyOut, nsh)
+	views := make([]scanner.ShardView, nsh)
+	cells := make([][]*domainCells, nsh)
+	for sid := 0; sid < nsh; sid++ {
+		v := p.Dataset.ShardView(sid)
+		views[sid] = v
+		doms := v.Domains()
+		frags[sid].domains = doms
+		frags[sid].outs = make([]classifyOut, len(doms))
+		dcs := make([]*domainCells, len(doms))
+		for i, domain := range doms {
+			dc := cache.byDomain[domain]
+			if dc == nil {
+				dc = &domainCells{}
+				cache.byDomain[domain] = dc
+			}
+			dcs[i] = dc
 		}
-		cellsOf[i] = dc
+		cells[sid] = dcs
 	}
 
-	busy = parallelFor(len(domains), workers, func(i int) {
-		domain := domains[i]
-		dc := cellsOf[i]
-		o := &outs[i]
-		mask := dirtyMask[domain]
-		// Copy-on-write over the published history: hist starts as the map
-		// the previous Result may hold and is cloned before the first entry
-		// this run actually changes, so retained Results keep their snapshot.
-		hist := dc.byPeriod
-		cloned := false
-		for _, period := range periods {
-			ps := &dc.cells[period]
-			bit := uint16(1) << uint(period)
-			scans := scansByPeriod[period]
-			recomputed := true
-			switch {
-			case !ps.built:
-				rebuildCell(p.Dataset, params, domain, period, scans, ps)
-				if ps.m != nil {
-					o.misses++
-				}
-			case mask&bit != 0:
-				extendCell(p.Dataset, params, domain, period, scans, ps)
-				if ps.m != nil {
-					o.misses++
-				}
-			case periodMask&bit != 0 || paramsChanged:
-				if ps.m != nil {
-					ps.m.TotalScans = len(scans)
-					ps.class = params.Classify(ps.m, scans)
-					o.misses++
-				}
-			default:
-				if ps.m != nil {
-					o.hits++
-				}
-				recomputed = false
-			}
-			if ps.m == nil {
-				continue
-			}
-			o.maps++
-			if recomputed {
-				if c, ok := hist[period]; !ok || c != ps.class.Category {
-					if !cloned {
-						next := make(map[simtime.Period]Category, len(periods))
-						for k, v := range hist {
-							next[k] = v
-						}
-						hist, cloned = next, true
+	busy = parallelForWorkers(nsh, workers, func(_, sid int) {
+		start := time.Now()
+		child := sp.Child(shardSpanName(sid))
+		f := &frags[sid]
+		v := views[sid]
+		for i, domain := range f.domains {
+			dc := cells[sid][i]
+			o := &f.outs[i]
+			mask := dirtyMask[domain]
+			// Copy-on-write over the published history: hist starts as the map
+			// the previous Result may hold and is cloned before the first entry
+			// this run actually changes, so retained Results keep their snapshot.
+			hist := dc.byPeriod
+			cloned := false
+			for _, period := range periods {
+				ps := &dc.cells[period]
+				bit := uint16(1) << uint(period)
+				scans := scansByPeriod[period]
+				recomputed := true
+				switch {
+				case !ps.built:
+					rebuildCell(v, params, domain, period, scans, ps)
+					if ps.m != nil {
+						o.misses++
 					}
-					hist[period] = ps.class.Category
+				case mask&bit != 0:
+					extendCell(v, params, domain, period, scans, ps)
+					if ps.m != nil {
+						o.misses++
+					}
+				case periodMask&bit != 0 || paramsChanged:
+					if ps.m != nil {
+						ps.m.TotalScans = len(scans)
+						ps.class = params.Classify(ps.m, scans)
+						o.misses++
+					}
+				default:
+					if ps.m != nil {
+						o.hits++
+					}
+					recomputed = false
+				}
+				if ps.m == nil {
+					continue
+				}
+				o.maps++
+				if recomputed {
+					if c, ok := hist[period]; !ok || c != ps.class.Category {
+						if !cloned {
+							next := make(map[simtime.Period]Category, len(periods))
+							for k, v := range hist {
+								next[k] = v
+							}
+							hist, cloned = next, true
+						}
+						hist[period] = ps.class.Category
+					}
+				}
+				if ps.class.Category == CategoryTransient {
+					o.transients = append(o.transients, ps.class)
 				}
 			}
-			if ps.class.Category == CategoryTransient {
-				o.transients = append(o.transients, ps.class)
-			}
+			dc.byPeriod = hist
+			o.byPeriod = hist
 		}
-		dc.byPeriod = hist
-		o.byPeriod = hist
+		f.fold()
+		f.finish(child, start)
 	})
 	cache.gen = p.Dataset.Generation()
 	cache.paramsFP = fp
-	return busy, dirtyCellCount
+	return busy, dirtyCellCount, frags
 }
 
-// rebuildCell computes a cell from scratch over its full record window.
-func rebuildCell(ds *scanner.Dataset, params Params, domain dnscore.Name, period simtime.Period, scans []simtime.Date, ps *cellState) {
-	window := ds.DomainRecords(domain, period.Start(), period.End())
+// rebuildCell computes a cell from scratch over its full record window,
+// read through the owning shard's view. Cached maps are retained across
+// runs, so storage comes from the heap (nil arena), never a recycler.
+func rebuildCell(v scanner.ShardView, params Params, domain dnscore.Name, period simtime.Period, scans []simtime.Date, ps *cellState) {
+	window := v.DomainRecords(domain, period.Start(), period.End())
 	ps.built = true
 	ps.recCount = len(window)
 	if len(window) == 0 {
@@ -216,18 +240,21 @@ func rebuildCell(ds *scanner.Dataset, params Params, domain dnscore.Name, period
 		return
 	}
 	ps.lastRec = window[len(window)-1]
-	ps.m = buildMapFrom(domain, period, window, len(scans))
+	ps.m = buildMapFrom(domain, period, window, len(scans), nil)
 	ps.class = params.Classify(ps.m, scans)
 }
 
 // extendCell folds a dirty cell's new records into its cached map when the
 // window grew by pure append (the cached prefix is untouched); any other
-// shape — out-of-order merge, shrink — falls back to a full rebuild.
-func extendCell(ds *scanner.Dataset, params Params, domain dnscore.Name, period simtime.Period, scans []simtime.Date, ps *cellState) {
-	window := ds.DomainRecords(domain, period.Start(), period.End())
+// shape — out-of-order merge, shrink — falls back to a full rebuild. The
+// pointer-identity validation and the in-place mergeRecords both operate
+// on the slice-set deployment representation: growth appends into the
+// retained map's sorted/first-seen slices exactly as a cold build would.
+func extendCell(v scanner.ShardView, params Params, domain dnscore.Name, period simtime.Period, scans []simtime.Date, ps *cellState) {
+	window := v.DomainRecords(domain, period.Start(), period.End())
 	if ps.m == nil || len(window) < ps.recCount || ps.recCount == 0 ||
 		window[ps.recCount-1] != ps.lastRec {
-		rebuildCell(ds, params, domain, period, scans, ps)
+		rebuildCell(v, params, domain, period, scans, ps)
 		return
 	}
 	mergeRecords(ps.m, window[ps.recCount:])

@@ -88,9 +88,10 @@ func TestExtendCellFallbacks(t *testing.T) {
 	}
 	ds.Freeze()
 	scans := ds.ScanDates(p0.Start(), p0.End())
+	view := ds.ShardViewFor(domain)
 
 	var want cellState
-	rebuildCell(ds, params, domain, p0, scans, &want)
+	rebuildCell(view, params, domain, p0, scans, &want)
 	if want.m == nil || want.recCount == 0 {
 		t.Fatal("fixture built no map")
 	}
@@ -112,18 +113,18 @@ func TestExtendCellFallbacks(t *testing.T) {
 	t.Run("window-shrink", func(t *testing.T) {
 		got := want
 		got.recCount = want.recCount + 5
-		extendCell(ds, params, domain, p0, scans, &got)
+		extendCell(view, params, domain, p0, scans, &got)
 		checkRebuilt(t, &got, want.m)
 	})
 	t.Run("out-of-order-merge", func(t *testing.T) {
 		got := want
 		got.lastRec = &scanner.Record{}
-		extendCell(ds, params, domain, p0, scans, &got)
+		extendCell(view, params, domain, p0, scans, &got)
 		checkRebuilt(t, &got, want.m)
 	})
 	t.Run("zero-reccount", func(t *testing.T) {
 		got := cellState{built: true}
-		extendCell(ds, params, domain, p0, scans, &got)
+		extendCell(view, params, domain, p0, scans, &got)
 		checkRebuilt(t, &got, nil)
 	})
 }

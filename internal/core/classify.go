@@ -175,8 +175,14 @@ func (p Params) classifyDeployment(d *Deployment, period simtime.Period, scans [
 // Classify assigns the map its category and, for transient maps, the T1/T2
 // pattern of each transient deployment (paper §4.2).
 func (p Params) Classify(m *DeploymentMap, scans []simtime.Date) *Classification {
-	c := &Classification{Map: m, Pattern: PatternNone}
-	var partials []*Deployment
+	return p.classifyWith(m, scans, nil)
+}
+
+// classifyWith is Classify with the classification shell and scratch space
+// drawn from an optional per-worker arena (nil falls back to the heap).
+func (p Params) classifyWith(m *DeploymentMap, scans []simtime.Date, ar *classifyArena) *Classification {
+	c := ar.newClassification(m)
+	partials := ar.takePartials()
 	for _, d := range m.Deployments {
 		switch p.classifyDeployment(d, m.Period, scans) {
 		case KindStable:
@@ -194,15 +200,8 @@ func (p Params) Classify(m *DeploymentMap, scans []simtime.Date) *Classification
 			pattern := PatternT2
 			// T1 when the transient serves any certificate that none of
 			// the stable deployments serve.
-			for fp := range t.Certs {
-				servedByStable := false
-				for _, s := range c.Stables {
-					if _, ok := s.Certs[fp]; ok {
-						servedByStable = true
-						break
-					}
-				}
-				if !servedByStable {
+			for i := range t.Certs {
+				if !servedByAny(c.Stables, t.Certs[i].FP) {
 					pattern = PatternT1
 					break
 				}
@@ -230,5 +229,6 @@ func (p Params) Classify(m *DeploymentMap, scans []simtime.Date) *Classification
 	default:
 		c.Category = CategoryNoisy
 	}
+	ar.putPartials(partials)
 	return c
 }

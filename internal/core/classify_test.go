@@ -268,18 +268,27 @@ func TestDeploymentAccessors(t *testing.T) {
 	if d.String() == "" || m.String() == "" {
 		t.Error("empty String")
 	}
-	if (&Deployment{IPs: map[netip.Addr]bool{}}).AnyIP().IsValid() {
+	if (&Deployment{}).AnyIP().IsValid() {
 		t.Error("empty deployment has an IP")
 	}
 }
 
 func TestSharesCertWith(t *testing.T) {
 	c1, c2 := cert(1, "a.com"), cert(2, "a.com")
-	d1 := &Deployment{Certs: map[x509lite.Fingerprint]*x509lite.Certificate{c1.Fingerprint(): c1}}
-	d2 := &Deployment{Certs: map[x509lite.Fingerprint]*x509lite.Certificate{c1.Fingerprint(): c1, c2.Fingerprint(): c2}}
-	d3 := &Deployment{Certs: map[x509lite.Fingerprint]*x509lite.Certificate{c2.Fingerprint(): c2}}
+	d1, d2, d3 := &Deployment{}, &Deployment{}, &Deployment{}
+	d1.addCert(c1)
+	d2.addCert(c1)
+	d2.addCert(c2)
+	d3.addCert(c2)
 	if !d1.SharesCertWith(d2) || d1.SharesCertWith(d3) {
 		t.Fatal("SharesCertWith wrong")
+	}
+	if !d1.HasCert(c1.Fingerprint()) || d1.HasCert(c2.Fingerprint()) {
+		t.Fatal("HasCert wrong")
+	}
+	d2.addCert(c1) // duplicate fingerprint must not grow the set
+	if len(d2.Certs) != 2 {
+		t.Fatalf("cert set grew on duplicate: %d", len(d2.Certs))
 	}
 }
 

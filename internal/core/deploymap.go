@@ -28,20 +28,34 @@ import (
 	"retrodns/internal/x509lite"
 )
 
+// CertObs pairs a certificate with its memoized fingerprint, the element of
+// a deployment's certificate slice-set.
+type CertObs struct {
+	FP   x509lite.Fingerprint
+	Cert *x509lite.Certificate
+}
+
 // Deployment is the longitudinal aggregation of a domain's deployment
 // groups that share an origin AS within one analysis period: the IPs,
 // countries, certificates, and scan dates at which infrastructure in that
 // AS returned a certificate for the domain (paper §4.1).
+//
+// The member collections are small-slice sets, not maps: deployments hold
+// a handful of IPs/countries/certs, so linear or binary-search membership
+// beats hashed inserts on the build hot path, iteration order is
+// deterministic, and the backing arrays recycle through the classify arena
+// (arena.go).
 type Deployment struct {
 	// ASN originates every IP in the deployment (deployment groups are
 	// keyed by origin AS).
 	ASN ipmeta.ASN
-	// IPs observed serving the domain from this AS.
-	IPs map[netip.Addr]bool
-	// Countries the deployment's IPs geolocate to.
-	Countries map[ipmeta.CountryCode]bool
-	// Certs maps fingerprints of every certificate the deployment returned.
-	Certs map[x509lite.Fingerprint]*x509lite.Certificate
+	// IPs observed serving the domain from this AS, sorted ascending.
+	IPs []netip.Addr
+	// Countries the deployment's IPs geolocate to, sorted ascending.
+	Countries []ipmeta.CountryCode
+	// Certs holds each distinct certificate the deployment returned, in
+	// first-observed order.
+	Certs []CertObs
 	// Records holds the underlying scan records, in scan order.
 	Records []*scanner.Record
 	// ScanDates are the distinct scan dates the deployment appeared in,
@@ -62,36 +76,114 @@ func (d *Deployment) SpanDays() simtime.Duration {
 }
 
 // AnyIP returns one IP of the deployment (the lowest, for determinism).
+// IPs are kept sorted, so this is the first element.
 func (d *Deployment) AnyIP() netip.Addr {
-	var ips []netip.Addr
-	for ip := range d.IPs {
-		ips = append(ips, ip)
-	}
-	sort.Slice(ips, func(i, j int) bool { return ips[i].Less(ips[j]) })
-	if len(ips) == 0 {
+	if len(d.IPs) == 0 {
 		return netip.Addr{}
 	}
-	return ips[0]
+	return d.IPs[0]
 }
 
-// CountryList returns the deployment's countries, sorted.
+// CountryList returns the deployment's countries, sorted. The returned
+// slice is the deployment's own set — callers must not mutate it.
 func (d *Deployment) CountryList() []ipmeta.CountryCode {
-	out := make([]ipmeta.CountryCode, 0, len(d.Countries))
-	for cc := range d.Countries {
-		out = append(out, cc)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return d.Countries
 }
 
-// SharesCertWith reports whether any certificate of d is also served by o.
-func (d *Deployment) SharesCertWith(o *Deployment) bool {
-	for fp := range d.Certs {
-		if _, ok := o.Certs[fp]; ok {
+// HasCert reports whether the deployment served the fingerprinted cert.
+func (d *Deployment) HasCert(fp x509lite.Fingerprint) bool {
+	for i := range d.Certs {
+		if d.Certs[i].FP == fp {
 			return true
 		}
 	}
 	return false
+}
+
+// SharesCertWith reports whether any certificate of d is also served by o.
+func (d *Deployment) SharesCertWith(o *Deployment) bool {
+	for i := range d.Certs {
+		if o.HasCert(d.Certs[i].FP) {
+			return true
+		}
+	}
+	return false
+}
+
+// SharesCountryWith reports whether the two deployments geolocate to any
+// common country — a sorted-set intersection probe.
+func (d *Deployment) SharesCountryWith(o *Deployment) bool {
+	i, j := 0, 0
+	for i < len(d.Countries) && j < len(o.Countries) {
+		switch {
+		case d.Countries[i] == o.Countries[j]:
+			return true
+		case d.Countries[i] < o.Countries[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// servedByAny reports whether any deployment in deps serves the
+// fingerprinted certificate.
+func servedByAny(deps []*Deployment, fp x509lite.Fingerprint) bool {
+	for _, d := range deps {
+		if d.HasCert(fp) {
+			return true
+		}
+	}
+	return false
+}
+
+// resetFor clears the deployment for reuse under a new ASN, keeping the
+// slice capacities (the arena's free list recycles these).
+func (d *Deployment) resetFor(asn ipmeta.ASN) {
+	d.ASN = asn
+	d.IPs = d.IPs[:0]
+	d.Countries = d.Countries[:0]
+	d.Certs = d.Certs[:0]
+	d.Records = d.Records[:0]
+	d.ScanDates = d.ScanDates[:0]
+}
+
+// insertAddr adds ip to a sorted address slice-set, preserving order.
+func insertAddr(ips []netip.Addr, ip netip.Addr) []netip.Addr {
+	i := sort.Search(len(ips), func(k int) bool { return !ips[k].Less(ip) })
+	if i < len(ips) && ips[i] == ip {
+		return ips
+	}
+	ips = append(ips, netip.Addr{})
+	copy(ips[i+1:], ips[i:])
+	ips[i] = ip
+	return ips
+}
+
+// insertCountry adds cc to a sorted country slice-set, preserving order.
+func insertCountry(ccs []ipmeta.CountryCode, cc ipmeta.CountryCode) []ipmeta.CountryCode {
+	i := sort.Search(len(ccs), func(k int) bool { return ccs[k] >= cc })
+	if i < len(ccs) && ccs[i] == cc {
+		return ccs
+	}
+	ccs = append(ccs, "")
+	copy(ccs[i+1:], ccs[i:])
+	ccs[i] = cc
+	return ccs
+}
+
+// addCert appends the certificate to the set unless its fingerprint is
+// already present (first observation wins; same fingerprint implies same
+// certificate content).
+func (d *Deployment) addCert(c *x509lite.Certificate) {
+	fp := c.Fingerprint()
+	for i := range d.Certs {
+		if d.Certs[i].FP == fp {
+			return
+		}
+	}
+	d.Certs = append(d.Certs, CertObs{FP: fp, Cert: c})
 }
 
 // String renders the deployment compactly.
@@ -143,14 +235,17 @@ func BuildMap(ds *scanner.Dataset, domain dnscore.Name, period simtime.Period) *
 	if len(records) == 0 {
 		return nil
 	}
-	return buildMapFrom(domain, period, records, len(ds.ScanDates(period.Start(), period.End())))
+	return buildMapFrom(domain, period, records, len(ds.ScanDates(period.Start(), period.End())), nil)
 }
 
 // buildMapFrom builds a map from an explicit date-sorted record window and
-// period scan count — the cold half of the incremental path.
-func buildMapFrom(domain dnscore.Name, period simtime.Period, records []*scanner.Record, totalScans int) *DeploymentMap {
-	m := &DeploymentMap{Domain: domain, Period: period, TotalScans: totalScans}
-	mergeRecords(m, records)
+// period scan count — the cold half of the incremental path. A non-nil
+// arena supplies recycled map/deployment storage (see arena.go); nil
+// allocates from the heap, which every retaining caller (the classify
+// cache, stitching) must use.
+func buildMapFrom(domain dnscore.Name, period simtime.Period, records []*scanner.Record, totalScans int, ar *classifyArena) *DeploymentMap {
+	m := ar.newMap(domain, period, totalScans)
+	mergeRecordsArena(m, records, ar)
 	return m
 }
 
@@ -164,6 +259,13 @@ func buildMapFrom(domain dnscore.Name, period simtime.Period, records []*scanner
 // a map yields a result byte-identical to rebuilding it from the full
 // window.
 func mergeRecords(m *DeploymentMap, records []*scanner.Record) {
+	mergeRecordsArena(m, records, nil)
+}
+
+// mergeRecordsArena is mergeRecords with deployment storage drawn from an
+// optional arena. The cache's extendCell path passes nil: extended maps are
+// retained across runs and must never sit on recycled storage.
+func mergeRecordsArena(m *DeploymentMap, records []*scanner.Record, ar *classifyArena) {
 	// Deployments per map number in the low single digits, so the
 	// get-or-create lookup is a linear scan instead of a throwaway map —
 	// this runs once per dirty cell per incremental Run.
@@ -189,18 +291,13 @@ func mergeRecords(m *DeploymentMap, records []*scanner.Record) {
 			}
 		}
 		if d == nil {
-			d = &Deployment{
-				ASN:       r.ASN,
-				IPs:       make(map[netip.Addr]bool),
-				Countries: make(map[ipmeta.CountryCode]bool),
-				Certs:     make(map[x509lite.Fingerprint]*x509lite.Certificate),
-			}
+			d = ar.newDeployment(r.ASN)
 			deps = append(deps, d)
 			added++
 		}
-		d.IPs[r.IP] = true
-		d.Countries[r.Country] = true
-		d.Certs[r.Cert.Fingerprint()] = r.Cert
+		d.IPs = insertAddr(d.IPs, r.IP)
+		d.Countries = insertCountry(d.Countries, r.Country)
+		d.addCert(r.Cert)
 		d.Records = append(d.Records, r)
 		if n := len(d.ScanDates); n == 0 || d.ScanDates[n-1] != r.ScanDate {
 			d.ScanDates = append(d.ScanDates, r.ScanDate)

@@ -103,7 +103,7 @@ func (i *Inspector) nsEvidence(domain dnscore.Name, w window) (baseline, changed
 // one of the transient deployment's IPs inside the window.
 func (i *Inspector) redirections(domain dnscore.Name, t *Deployment, w window) []pdns.Entry {
 	ips := make([]string, 0, len(t.IPs))
-	for ip := range t.IPs {
+	for _, ip := range t.IPs {
 		ips = append(ips, ip.String())
 	}
 	var out []pdns.Entry
@@ -129,15 +129,9 @@ func (i *Inspector) suspiciousCTEntries(c *Candidate, w window) []*ctlog.Entry {
 	if i.CT == nil {
 		return nil
 	}
-	stable := make(map[x509lite.Fingerprint]bool)
-	for _, s := range c.Class.Stables {
-		for fp := range s.Certs {
-			stable[fp] = true
-		}
-	}
 	var out []*ctlog.Entry
 	for _, e := range i.CT.SearchApex(ctlog.Query{Name: c.Domain, From: w.from, To: w.to + 1}) {
-		if stable[e.Cert.Fingerprint()] {
+		if servedByAny(c.Class.Stables, e.Cert.Fingerprint()) {
 			continue
 		}
 		for _, san := range e.Cert.SANs {
@@ -226,21 +220,17 @@ func (i *Inspector) Inspect(c *Candidate) (*Finding, InspectOutcome) {
 // inspectT1 handles transients serving a new certificate: the certificate
 // itself is the suspicious artifact; pDNS confirms the hijack.
 func (i *Inspector) inspectT1(c *Candidate, f *Finding, w window, nsChanges, redirects []pdns.Entry) (*Finding, InspectOutcome) {
-	// Locate the new certificate(s) the transient served.
-	stable := make(map[x509lite.Fingerprint]bool)
-	for _, s := range c.Class.Stables {
-		for fp := range s.Certs {
-			stable[fp] = true
-		}
-	}
+	// Locate the new certificate(s) the transient served. First-seen slice
+	// order makes the betterTarget tie-break deterministic by construction
+	// (the old map iteration relied on betterTarget being a total order).
 	var suspicious *x509lite.Certificate
 	issuedInWindow := false
-	for fp, cert := range c.Transient.Certs {
-		if stable[fp] {
+	for _, co := range c.Transient.Certs {
+		if servedByAny(c.Class.Stables, co.FP) {
 			continue
 		}
-		if suspicious == nil || betterTarget(c.Domain, cert, suspicious) {
-			suspicious = cert
+		if suspicious == nil || betterTarget(c.Domain, co.Cert, suspicious) {
+			suspicious = co.Cert
 		}
 	}
 	if suspicious != nil {

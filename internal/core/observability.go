@@ -84,6 +84,12 @@ type PipelineStats struct {
 	// Generation is the dataset generation this run analyzed (0 when the
 	// run was uncached).
 	Generation uint64
+	// ShardSkew is the classify stage's max/min summed per-shard busy-time
+	// ratio: 1.0 means the shards finished in lock-step, larger values mean
+	// the deterministic merge waited on straggler shards. 0 when fewer than
+	// two shards did measurable work (single-shard datasets, legacy
+	// fan-out). Execution metadata, like every timing in this struct.
+	ShardSkew float64
 	// Quarantined is the number of malformed records the dataset's ingest
 	// gate refused over its lifetime (scanner.Dataset.Quarantine): a
 	// nonzero count means the run's findings describe the valid subset of
@@ -107,6 +113,9 @@ func (p PipelineStats) String() string {
 	fmt.Fprintf(&sb, "pipeline stages (workers=%d, shards=%d, total %s):\n", p.Workers, p.Shards, p.Total.Round(time.Microsecond))
 	for _, s := range p.Stages {
 		fmt.Fprintf(&sb, "  %s\n", s)
+	}
+	if p.ShardSkew > 0 {
+		fmt.Fprintf(&sb, "  shard-skew: %.2fx (max/min per-shard classify busy)\n", p.ShardSkew)
 	}
 	if p.Generation > 0 {
 		fmt.Fprintf(&sb, "  cache:    hits=%d misses=%d dirty-cells=%d (dataset generation %d)\n",

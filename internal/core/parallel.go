@@ -13,6 +13,14 @@ import (
 // the call returns. The returned duration is the summed busy time of all
 // workers — the numerator of the stage-utilization metric.
 func parallelFor(n, workers int, fn func(i int)) time.Duration {
+	return parallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with a stable worker id passed to fn,
+// for callers that keep per-worker scratch state (the classify arenas).
+// Worker ids are dense in [0, min(workers, n)); the serial path runs as
+// worker 0 on the calling goroutine.
+func parallelForWorkers(n, workers int, fn func(worker, i int)) time.Duration {
 	if n <= 0 {
 		return 0
 	}
@@ -22,7 +30,7 @@ func parallelFor(n, workers int, fn func(i int)) time.Duration {
 	if workers <= 1 {
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return time.Since(start)
 	}
@@ -30,7 +38,7 @@ func parallelFor(n, workers int, fn func(i int)) time.Duration {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			start := time.Now()
 			for {
@@ -38,10 +46,10 @@ func parallelFor(n, workers int, fn func(i int)) time.Duration {
 				if i >= n {
 					break
 				}
-				fn(i)
+				fn(worker, i)
 			}
 			busy.Add(int64(time.Since(start)))
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return time.Duration(busy.Load())

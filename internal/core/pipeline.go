@@ -36,6 +36,13 @@ type Pipeline struct {
 	// runtime.GOMAXPROCS(0). The result is byte-identical regardless of
 	// the setting.
 	Workers int
+	// LegacyFanout forces the pre-shard-affine build-and-classify fan-out
+	// (per-domain over the globally merged domain list, no arena). Kept as
+	// the A/B reference for the byte-identity invariant — output is
+	// identical either way; only allocation and locality differ. Uncached
+	// runs only: a Run with Cache set always takes the cached shard-affine
+	// path.
+	LegacyFanout bool
 	// Cache, when set, memoizes build-and-classify across Runs over the
 	// same dataset: only cells the dataset journaled as dirty since the
 	// last analyzed generation recompute, the rest replay verbatim. The
@@ -207,60 +214,34 @@ func (p *Pipeline) Run() *Result {
 		scansByPeriod[period] = p.Dataset.ScanDates(period.Start(), period.End())
 	}
 	res.Funnel.Domains = len(domains)
-	outs := make([]classifyOut, len(domains))
 	var busy time.Duration
-	if p.Cache != nil {
-		busy, res.Stats.DirtyCells = p.classifyCached(params, workers, domains, periods, scansByPeriod, outs)
+	var frags []shardClassifyOut
+	switch {
+	case p.Cache != nil:
+		busy, res.Stats.DirtyCells, frags = p.classifyCached(params, workers, periods, scansByPeriod, sp)
 		res.Stats.Generation = p.Dataset.Generation()
-	} else {
-		busy = parallelFor(len(domains), workers, func(i int) {
-			o := &outs[i]
-			for _, period := range periods {
-				m := BuildMap(p.Dataset, domains[i], period)
-				if m == nil {
-					continue
-				}
-				o.maps++
-				c := params.Classify(m, scansByPeriod[period])
-				if o.byPeriod == nil {
-					o.byPeriod = make(map[simtime.Period]Category, len(periods))
-				}
-				o.byPeriod[period] = c.Category
-				if c.Category == CategoryTransient {
-					o.transients = append(o.transients, c)
-				}
-			}
-		})
+	case p.LegacyFanout:
+		busy, frags = p.classifyLegacy(params, workers, domains, periods, scansByPeriod)
+	default:
+		busy, frags = p.classifyShards(params, workers, periods, scansByPeriod, sp)
 	}
-	var transientClasses []*Classification
-	for i, domain := range domains {
-		o := outs[i]
-		res.Funnel.Maps += o.maps
-		res.Stats.CacheHits += o.hits
-		res.Stats.CacheMisses += o.misses
-		if o.byPeriod != nil {
-			res.History[domain] = o.byPeriod
-		}
-		for _, cat := range o.byPeriod {
-			res.Funnel.MapCategories[cat]++
-		}
-		transientClasses = append(transientClasses, o.transients...)
-	}
-	for _, domain := range domains {
-		res.Funnel.DomainCategories[rollupCategory(res.History[domain])]++
-	}
+	transientClasses := mergeClassifyFrags(res, frags)
+	res.Stats.ShardSkew = shardSkew(frags)
 	stage(sp, res.Funnel.Maps, workers, busy)
 
 	if params.StitchPeriods {
 		sp = root.Child("stitch")
-		stitchOut := make([][]*Classification, len(domains))
-		busy = parallelFor(len(domains), workers, func(i int) {
-			stitchOut[i] = p.stitchDomain(params, domains[i], periods, scansByPeriod, res.History[domains[i]])
+		nsh := p.Dataset.Shards()
+		stitchFrags := make([][]*Classification, nsh)
+		busy = parallelForWorkers(nsh, workers, func(_, sid int) {
+			v := p.Dataset.ShardView(sid)
+			var out []*Classification
+			for _, domain := range v.Domains() {
+				out = append(out, p.stitchDomain(params, v, domain, periods, scansByPeriod, res.History[domain])...)
+			}
+			stitchFrags[sid] = out
 		})
-		var stitched []*Classification
-		for _, s := range stitchOut {
-			stitched = append(stitched, s...)
-		}
+		stitched := mergeByDomain(stitchFrags)
 		transientClasses = append(transientClasses, stitched...)
 		res.Funnel.Stitched = len(stitched)
 		stage(sp, len(domains), workers, busy)

@@ -145,10 +145,8 @@ func (s *Shortlister) Shortlist(c *Classification) ([]*Candidate, []PruneReason)
 			if s.Orgs != nil && s.Orgs.SameOrg(t.ASN, st.ASN) {
 				related = true
 			}
-			for cc := range t.Countries {
-				if st.Countries[cc] {
-					sameCountry = true
-				}
+			if t.SharesCountryWith(st) {
+				sameCountry = true
 			}
 		}
 		switch {

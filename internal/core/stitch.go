@@ -1,12 +1,10 @@
 package core
 
 import (
-	"net/netip"
-
 	"retrodns/internal/dnscore"
 	"retrodns/internal/ipmeta"
+	"retrodns/internal/scanner"
 	"retrodns/internal/simtime"
-	"retrodns/internal/x509lite"
 )
 
 // Cross-period stitching. The paper evaluates each six-month period
@@ -21,27 +19,40 @@ import (
 // like any other.
 
 // stitchDomain scans one domain's consecutive period pairs for
-// boundary-straddling transients. The domain's per-period history is
-// consulted to avoid re-flagging periods already transient. Independent
-// per domain, so Pipeline.Run fans it out over the worker pool and merges
-// the per-domain slices in domain order.
-func (p *Pipeline) stitchDomain(params Params, domain dnscore.Name, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, byPeriod map[simtime.Period]Category) []*Classification {
+// boundary-straddling transients, reading through the owning shard's view.
+// The domain's per-period history is consulted to avoid re-flagging
+// periods already transient. Independent per domain, so Pipeline.Run walks
+// it shard-affine over the worker pool and merges the per-shard fragments
+// back into domain order (mergeByDomain).
+func (p *Pipeline) stitchDomain(params Params, v scanner.ShardView, domain dnscore.Name, periods []simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date, byPeriod map[simtime.Period]Category) []*Classification {
 	var out []*Classification
 	for i := 0; i+1 < len(periods); i++ {
 		a, b := periods[i], periods[i+1]
 		if byPeriod[a] == CategoryTransient || byPeriod[b] == CategoryTransient {
 			continue // already handled by single-period analysis
 		}
-		if c := p.stitchPair(params, domain, a, b, scansByPeriod); c != nil {
+		if c := stitchPair(params, v, domain, a, b, scansByPeriod); c != nil {
 			out = append(out, c)
 		}
 	}
 	return out
 }
 
-func (p *Pipeline) stitchPair(params Params, domain dnscore.Name, a, b simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date) *Classification {
-	mapA := BuildMap(p.Dataset, domain, a)
-	mapB := BuildMap(p.Dataset, domain, b)
+// buildMapView is BuildMap over a pinned shard view: the period's scan
+// roster is supplied by the caller (scansByPeriod carries exactly what
+// Dataset.ScanDates would return for the period window). Stitch maps are
+// retained in classifications, so storage is heap-allocated (nil arena).
+func buildMapView(v scanner.ShardView, domain dnscore.Name, period simtime.Period, totalScans int) *DeploymentMap {
+	records := v.DomainRecords(domain, period.Start(), period.End())
+	if len(records) == 0 {
+		return nil
+	}
+	return buildMapFrom(domain, period, records, totalScans, nil)
+}
+
+func stitchPair(params Params, v scanner.ShardView, domain dnscore.Name, a, b simtime.Period, scansByPeriod map[simtime.Period][]simtime.Date) *Classification {
+	mapA := buildMapView(v, domain, a, len(scansByPeriod[a]))
+	mapB := buildMapView(v, domain, b, len(scansByPeriod[b]))
 	if mapA == nil || mapB == nil {
 		return nil
 	}
@@ -100,15 +111,8 @@ func (p *Pipeline) stitchPair(params Params, domain dnscore.Name, a, b simtime.P
 		merged := mergeDeployments(dA, dB)
 		stables := append(append([]*Deployment{}, clsA.Stables...), clsB.Stables...)
 		pattern := PatternT2
-		for fp := range merged.Certs {
-			servedByStable := false
-			for _, s := range stables {
-				if _, ok := s.Certs[fp]; ok {
-					servedByStable = true
-					break
-				}
-			}
-			if !servedByStable {
+		for i := range merged.Certs {
+			if !servedByAny(stables, merged.Certs[i].FP) {
 				pattern = PatternT1
 				break
 			}
@@ -135,23 +139,22 @@ func (p *Pipeline) stitchPair(params Params, domain dnscore.Name, a, b simtime.P
 }
 
 // mergeDeployments combines the two halves of a boundary-straddling
-// deployment into one longitudinal deployment.
+// deployment into one longitudinal deployment. The slice-sets union with
+// their invariants preserved: IPs/Countries stay sorted, Certs keep
+// first-seen order across a then b.
 func mergeDeployments(a, b *Deployment) *Deployment {
-	m := &Deployment{
-		ASN:       a.ASN,
-		IPs:       make(map[netip.Addr]bool, len(a.IPs)+len(b.IPs)),
-		Countries: make(map[ipmeta.CountryCode]bool, len(a.Countries)+len(b.Countries)),
-		Certs:     make(map[x509lite.Fingerprint]*x509lite.Certificate, len(a.Certs)+len(b.Certs)),
-	}
+	m := &Deployment{ASN: a.ASN}
 	for _, src := range []*Deployment{a, b} {
-		for ip := range src.IPs {
-			m.IPs[ip] = true
+		for _, ip := range src.IPs {
+			m.IPs = insertAddr(m.IPs, ip)
 		}
-		for cc := range src.Countries {
-			m.Countries[cc] = true
+		for _, cc := range src.Countries {
+			m.Countries = insertCountry(m.Countries, cc)
 		}
-		for fp, c := range src.Certs {
-			m.Certs[fp] = c
+		for _, co := range src.Certs {
+			if !m.HasCert(co.FP) {
+				m.Certs = append(m.Certs, co)
+			}
 		}
 		m.Records = append(m.Records, src.Records...)
 		m.ScanDates = append(m.ScanDates, src.ScanDates...)

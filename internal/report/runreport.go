@@ -66,16 +66,20 @@ type ServeSection struct {
 
 // BenchSample is one `go test -bench` measurement, normalized for
 // cross-run comparison (the -<GOMAXPROCS> suffix is stripped from Name).
+// AllocsPerOp is 0 when the benchmark ran without -benchmem; the gate in
+// cmd/benchdiff only compares it when both sides measured it.
 type BenchSample struct {
-	Name    string  `json:"name"`
-	N       int64   `json:"n"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // RunReport is the top-level document.
 type RunReport struct {
 	Schema     string            `json:"schema"`
 	Workers    int               `json:"workers"`
+	ShardSkew  float64           `json:"shard_skew,omitempty"`
 	Funnel     map[string]int    `json:"funnel"`
 	Stages     []StageReport     `json:"stages"`
 	Cache      CacheReport       `json:"cache"`
@@ -111,9 +115,10 @@ func FunnelCounts(res *core.Result) map[string]int {
 // snapshot is embedded verbatim.
 func BuildRunReport(res *core.Result, quar scanner.QuarantineReport, reg *obsv.Registry) RunReport {
 	r := RunReport{
-		Schema:  RunReportSchema,
-		Workers: res.Stats.Workers,
-		Funnel:  FunnelCounts(res),
+		Schema:    RunReportSchema,
+		Workers:   res.Stats.Workers,
+		ShardSkew: res.Stats.ShardSkew,
+		Funnel:    FunnelCounts(res),
 		Cache: CacheReport{
 			Hits:       res.Stats.CacheHits,
 			Misses:     res.Stats.CacheMisses,
@@ -141,12 +146,13 @@ func BuildRunReport(res *core.Result, quar scanner.QuarantineReport, reg *obsv.R
 }
 
 // Canonical returns a copy with every nondeterministic field stripped:
-// stage timings zeroed, _seconds metric families dropped, bench samples
-// dropped. Two runs over the same seeded world produce byte-identical
-// canonical encodings — the golden tests and drift gates compare this
-// form.
+// stage timings zeroed, shard skew zeroed, _seconds metric families
+// dropped, bench samples dropped. Two runs over the same seeded world
+// produce byte-identical canonical encodings — the golden tests and
+// drift gates compare this form.
 func (r RunReport) Canonical() RunReport {
 	out := r
+	out.ShardSkew = 0
 	out.Stages = make([]StageReport, len(r.Stages))
 	for i, s := range r.Stages {
 		s.WallNS, s.BusyNS = 0, 0
@@ -213,16 +219,21 @@ func ParseBench(rd io.Reader) ([]BenchSample, error) {
 		sample := BenchSample{Name: normalizeBenchName(fields[0]), N: n}
 		found := false
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
-				continue
+			switch fields[i+1] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("report: bench line %q: ns/op value: %v", sc.Text(), err)
+				}
+				sample.NsPerOp = v
+				found = true
+			case "allocs/op":
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("report: bench line %q: allocs/op value: %v", sc.Text(), err)
+				}
+				sample.AllocsPerOp = v
 			}
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("report: bench line %q: ns/op value: %v", sc.Text(), err)
-			}
-			sample.NsPerOp = v
-			found = true
-			break
 		}
 		if !found {
 			return nil, fmt.Errorf("report: bench line %q: no ns/op measurement", sc.Text())

@@ -77,7 +77,7 @@ func TestRunReportDeterministic(t *testing.T) {
 func TestRunReportRoundTrip(t *testing.T) {
 	r := runReportFixture(t)
 	r.Bench = []BenchSample{
-		{Name: "BenchmarkPipelineRun", N: 120, NsPerOp: 9_500_000},
+		{Name: "BenchmarkPipelineRun", N: 120, NsPerOp: 9_500_000, AllocsPerOp: 900},
 		{Name: "BenchmarkAppendScan", N: 44000, NsPerOp: 27_000.5},
 	}
 	var buf bytes.Buffer
@@ -121,7 +121,7 @@ ok  	retrodns/internal/core	3.1s
 		t.Fatal(err)
 	}
 	want := []BenchSample{
-		{Name: "BenchmarkPipelineRun", N: 120, NsPerOp: 9500000},
+		{Name: "BenchmarkPipelineRun", N: 120, NsPerOp: 9500000, AllocsPerOp: 900},
 		{Name: "BenchmarkAppendScan", N: 44000, NsPerOp: 27000},
 	}
 	if !reflect.DeepEqual(samples, want) {
@@ -150,9 +150,13 @@ ok  	retrodns/internal/core	3.1s
 func TestRunReportCanonicalStripsTimings(t *testing.T) {
 	r := runReportFixture(t)
 	r.Bench = []BenchSample{{Name: "BenchmarkX", N: 1, NsPerOp: 1}}
+	r.ShardSkew = 1.7
 	c := r.Canonical()
 	if c.Bench != nil {
 		t.Error("canonical report kept bench samples")
+	}
+	if c.ShardSkew != 0 {
+		t.Errorf("canonical report kept shard skew %.2f", c.ShardSkew)
 	}
 	for _, s := range c.Stages {
 		if s.WallNS != 0 || s.BusyNS != 0 {

@@ -1,0 +1,91 @@
+package scanner
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// TestShardViewMatchesDataset proves the per-shard read path is a pure
+// re-routing of the global one: the union of ShardDomains is Domains(),
+// the per-shard lists are disjoint and sorted, and every windowed
+// DomainRecords read through a view matches the Dataset read exactly.
+func TestShardViewMatchesDataset(t *testing.T) {
+	big := bigBatch(t, 7, 3000)
+	ds := NewDatasetShards(8)
+	if err := ds.AddScan(7, big); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unfrozen: views are empty, never panicking.
+	if got := ds.ShardDomains(0); got != nil {
+		t.Fatalf("unfrozen ShardDomains = %v, want nil", got)
+	}
+	if got := ds.ShardView(0).DomainRecords("big00001.example", 0, 0); got != nil {
+		t.Fatalf("unfrozen view DomainRecords = %v, want nil", got)
+	}
+
+	ds.Freeze()
+	var merged []dnscore.Name
+	seen := make(map[dnscore.Name]bool)
+	for sid := 0; sid < ds.Shards(); sid++ {
+		doms := ds.ShardDomains(sid)
+		if !sort.SliceIsSorted(doms, func(i, j int) bool { return doms[i] < doms[j] }) {
+			t.Fatalf("shard %d domain list not sorted", sid)
+		}
+		v := ds.ShardView(sid)
+		if !reflect.DeepEqual(v.Domains(), doms) {
+			t.Fatalf("shard %d: view.Domains != ShardDomains", sid)
+		}
+		for _, d := range doms {
+			if seen[d] {
+				t.Fatalf("domain %s owned by two shards", d)
+			}
+			seen[d] = true
+			for _, w := range [][2]simtime.Date{{0, 0}, {0, 8}, {7, 8}, {8, 0}} {
+				from, to := w[0], w[1]
+				got := v.DomainRecords(d, from, to)
+				want := ds.DomainRecords(d, from, to)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shard %d %s window [%d,%d): view read differs", sid, d, from, to)
+				}
+			}
+		}
+		merged = append(merged, doms...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	if !reflect.DeepEqual(merged, ds.Domains()) {
+		t.Fatalf("sorted union of shard domains != Domains(): %d vs %d", len(merged), len(ds.Domains()))
+	}
+
+	// ShardViewFor routes to the owning shard: same records as the view of
+	// the computed shard index.
+	for _, d := range ds.Domains()[:10] {
+		got := ds.ShardViewFor(d).DomainRecords(d, 0, 0)
+		want := ds.DomainRecords(d, 0, 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ShardViewFor(%s) read differs", d)
+		}
+	}
+
+	// A view taken before an Append stays pinned to its snapshot: the
+	// appended domain is visible through a fresh Dataset read but absent
+	// from the pre-append view.
+	pinned := ds.ShardViewFor("good.com")
+	if got := pinned.DomainRecords("good.com", 0, 0); got != nil {
+		t.Fatalf("good.com present before append: %v", got)
+	}
+	_, small := badBatch(14)
+	if err := ds.Append(14, small); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.DomainRecords("good.com", 0, 0); len(got) != 1 {
+		t.Fatalf("append not visible through Dataset: %v", got)
+	}
+	if got := pinned.DomainRecords("good.com", 0, 0); got != nil {
+		t.Fatalf("pinned view saw the append: %v", got)
+	}
+}

@@ -22,7 +22,7 @@ import (
 func testResult() *core.Result {
 	dep := &core.Deployment{
 		ASN:       64500,
-		Countries: map[ipmeta.CountryCode]bool{"RU": true, "MD": true},
+		Countries: []ipmeta.CountryCode{"MD", "RU"},
 		ScanDates: []simtime.Date{simtime.MustParse("2017-07-10"), simtime.MustParse("2017-07-17")},
 	}
 	cand := &core.Candidate{

@@ -5,7 +5,9 @@
 #      seed and require byte-identical output (worldgen determinism)
 #   2. ingest + classify the same corpus through retrodns -synth-domains
 #      with 1 shard and with 8 shards and require identical findings JSON
-#      (shard-count invariance at the binary level)
+#      (shard-count invariance at the binary level), then re-run with
+#      -legacy-fanout and require the pre-shard-affine classify engine to
+#      produce the same findings byte for byte
 #   3. require the run report to carry the corpus gauges the sharded
 #      dataset publishes (shard occupancy, intern pool sizes, estimated
 #      corpus bytes)
@@ -48,6 +50,14 @@ fi
 cmp -s "$workdir/findings-1.json" "$workdir/findings-8.json" || {
     echo "smoke-scale: findings differ between -shards 1 and -shards 8" >&2
     diff "$workdir/findings-1.json" "$workdir/findings-8.json" | head >&2
+    exit 1
+}
+
+"$workdir/retrodns" -synth-domains "$DOMAINS" -seed 7 -shards 8 -json -legacy-fanout \
+    >"$workdir/findings-legacy.json" 2>"$workdir/run-legacy.log"
+cmp -s "$workdir/findings-8.json" "$workdir/findings-legacy.json" || {
+    echo "smoke-scale: findings differ between shard-affine and -legacy-fanout" >&2
+    diff "$workdir/findings-8.json" "$workdir/findings-legacy.json" | head >&2
     exit 1
 }
 

@@ -12,11 +12,13 @@ import (
 )
 
 // TestShardCountInvariance is the end-to-end acceptance test for the
-// sharded dataset: the full study analyzed over datasets sharded 1, 3,
-// and 8 ways — bulk-ingested and incrementally Appended with a warm
-// classification cache — must serialize to the exact same JSON report,
-// byte for byte, and agree on every funnel count and the quarantine
-// journal. Shard count is an execution knob, never an analysis input.
+// sharded dataset and the shard-affine classify engine: the full study
+// analyzed over datasets sharded 1, 3, and 8 ways, with worker pools of
+// 1 and 8 — bulk-ingested uncached, bulk with the legacy per-domain
+// fan-out, and incrementally Appended with a warm classification cache —
+// must serialize to the exact same JSON report, byte for byte, and agree
+// on every funnel count and the quarantine journal. Shard count, worker
+// count, and fan-out strategy are execution knobs, never analysis inputs.
 func TestShardCountInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full study replay")
@@ -34,10 +36,11 @@ func TestShardCountInvariance(t *testing.T) {
 		scans[i] = sc.ScanWeek(d)
 	}
 
-	pipeline := func(ds *scanner.Dataset, cached bool) *core.Pipeline {
+	pipeline := func(ds *scanner.Dataset, workers int, cached, legacy bool) *core.Pipeline {
 		p := &core.Pipeline{
 			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
-			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog, Workers: 4,
+			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+			Workers: workers, LegacyFanout: legacy,
 		}
 		if cached {
 			p.Cache = core.NewClassifyCache()
@@ -59,22 +62,39 @@ func TestShardCountInvariance(t *testing.T) {
 	}
 	var want *outcome
 	for _, shards := range []int{1, 3, 8} {
-		// Bulk: every scan AddScanned into a fresh dataset, uncached run.
+		// Bulk: every scan AddScanned into a fresh dataset. The uncached
+		// shard-affine run is repeated for each worker-pool size and once
+		// with the legacy per-domain fan-out — every report must be
+		// byte-identical.
 		bulk := scanner.NewDatasetShards(shards)
 		for i, d := range dates {
 			if err := bulk.AddScan(d, scans[i]); err != nil {
 				t.Fatalf("shards=%d AddScan %s: %v", shards, d, err)
 			}
 		}
-		bulkRes := pipeline(bulk, false).Run()
-		if bulkRes.Stats.Shards != shards {
-			t.Fatalf("Stats.Shards = %d, want %d", bulkRes.Stats.Shards, shards)
+		var bulkRes *core.Result
+		var bulkJSON []byte
+		for _, workers := range []int{1, 8} {
+			res := pipeline(bulk, workers, false, false).Run()
+			if res.Stats.Shards != shards {
+				t.Fatalf("Stats.Shards = %d, want %d", res.Stats.Shards, shards)
+			}
+			j := reportJSON(res)
+			if bulkJSON == nil {
+				bulkRes, bulkJSON = res, j
+			} else if !bytes.Equal(bulkJSON, j) {
+				t.Fatalf("shards=%d workers=%d: report diverged from workers=1", shards, workers)
+			}
+		}
+		if legacyJSON := reportJSON(pipeline(bulk, 8, false, true).Run()); !bytes.Equal(bulkJSON, legacyJSON) {
+			t.Fatalf("shards=%d: legacy fan-out report diverged from shard-affine\nshard-affine:\n%s\nlegacy:\n%s",
+				shards, bulkJSON, legacyJSON)
 		}
 
 		// Incremental: the same series Appended scan-by-scan with a warm
 		// classification cache, re-running after each scan.
 		incr := scanner.NewDatasetShards(shards)
-		pipe := pipeline(incr, true)
+		pipe := pipeline(incr, 4, true, false)
 		var incrRes *core.Result
 		for i, d := range dates {
 			if err := incr.Append(d, scans[i]); err != nil {
@@ -84,7 +104,7 @@ func TestShardCountInvariance(t *testing.T) {
 		}
 
 		got := &outcome{
-			bulk:   reportJSON(bulkRes),
+			bulk:   bulkJSON,
 			incr:   reportJSON(incrRes),
 			funnel: report.FunnelCounts(bulkRes),
 			quar:   fmt.Sprint(bulk.Quarantine()),

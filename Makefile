@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale profile-classify
+.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale smoke-chaos profile-classify
 
 ci: lint vet build test race fuzz-smoke
 
@@ -30,9 +30,11 @@ test:
 # TestAppendConcurrentReads, TestIncrementalReplayEquivalence,
 # TestConcurrentRegistry, TestFollowScrapeRace, and
 # TestSnapshotSwapConsistency; internal/core covers the arena and
-# slice-set deployment code on every parallel path).
+# slice-set deployment code on every parallel path). The root run pins
+# warm-restart byte-identity across every WAL fault class under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv ./internal/serve
+	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv ./internal/serve ./internal/wal
+	$(GO) test -race -run TestWarmRestartBytesIdentical .
 
 # Ten seconds of coverage-guided fuzzing per parser: DNS names, zone-file
 # snapshots, certificate chains, and the JSON report round trip. Enough to
@@ -43,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzZonefileParse -fuzztime=10s ./internal/zonefiles
 	$(GO) test -run='^$$' -fuzz=FuzzChainVerify -fuzztime=10s ./internal/x509lite
 	$(GO) test -run='^$$' -fuzz=FuzzReportJSONRoundTrip -fuzztime=10s ./internal/report
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
 
 # The incremental-engine benchmarks: append+cached-rerun vs full rerun
 # (the headline >=10x), certificate-fingerprint memoization, the
@@ -95,3 +98,10 @@ smoke-serve:
 # corpus gauges in the run report, all under a wall-clock budget.
 smoke-scale:
 	./scripts/smoke_scale.sh
+
+# Durability smoke: the chaos harness kills, truncates, garbles, and
+# duplicates a live retrodnsd's WAL, then requires byte-identical
+# recovery, accounted fault counters, and a >=5x warm-restart speedup
+# over a 50k-domain corpus.
+smoke-chaos:
+	./scripts/smoke_chaos.sh

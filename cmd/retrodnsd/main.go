@@ -10,6 +10,7 @@
 //
 //	retrodnsd -listen :8080                  # analyze once, serve forever
 //	retrodnsd -listen :8080 -follow          # re-analyze and swap after every scan
+//	retrodnsd -data-dir d -scans-csv s.csv   # durable CSV ingest with warm restarts
 //	curl localhost:8080/v1/healthz
 //	curl localhost:8080/v1/funnel
 //	curl localhost:8080/v1/shortlist
@@ -35,9 +36,12 @@ import (
 
 	"retrodns/internal/core"
 	"retrodns/internal/obsv"
+	"retrodns/internal/pdns"
 	"retrodns/internal/report"
 	"retrodns/internal/scanner"
 	"retrodns/internal/serve"
+	"retrodns/internal/simtime"
+	"retrodns/internal/wal"
 	"retrodns/internal/world"
 )
 
@@ -67,8 +71,15 @@ func run() error {
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window on SIGTERM/SIGINT")
 		reportJSON  = flag.String("report-json", "", "write the run report (with serve section) here on shutdown ('-' for stdout)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (off by default; never on -listen)")
+		dataDir     = flag.String("data-dir", "", "durable state directory (WAL + snapshots); enables warm restarts")
+		scansCSV    = flag.String("scans-csv", "", "ingest scan records from this CSV file instead of simulating a world")
+		shards      = flag.Int("shards", scanner.DefaultShards, "dataset shard count for CSV ingest (a recovered snapshot's own count wins)")
+		snapEvery   = flag.Int("snapshot-every", 4, "appends between automatic snapshots in -data-dir mode")
 	)
 	flag.Parse()
+	if *dataDir != "" && *scansCSV == "" {
+		return fmt.Errorf("-data-dir requires -scans-csv (durable mode ingests a CSV feed)")
+	}
 
 	metrics := obsv.NewRegistry()
 	engine := serve.NewEngine(serve.Options{
@@ -126,12 +137,28 @@ func run() error {
 
 	// Ingest on the main goroutine: the daemon serves whatever snapshot is
 	// current while this loop advances it.
-	res, ds, err := ingest(ctx, engine, metrics, ingestConfig{
-		seed: *seed, stable: *stable, campaigns: !*noCampaigns,
-		coverage: *coverage, workers: *workers, strict: *strict,
-		follow: *follow, interval: *interval,
-	})
+	var (
+		res *core.Result
+		ds  *scanner.Dataset
+		dur *durable
+	)
+	if *scansCSV != "" {
+		res, ds, dur, err = ingestCSV(ctx, engine, metrics, csvConfig{
+			path: *scansCSV, dataDir: *dataDir, shards: *shards,
+			snapshotEvery: *snapEvery, workers: *workers, strict: *strict,
+			follow: *follow, interval: *interval,
+		})
+	} else {
+		res, ds, err = ingest(ctx, engine, metrics, ingestConfig{
+			seed: *seed, stable: *stable, campaigns: !*noCampaigns,
+			coverage: *coverage, workers: *workers, strict: *strict,
+			follow: *follow, interval: *interval,
+		})
+	}
 	if err != nil {
+		if dur != nil {
+			dur.Close()
+		}
 		return err
 	}
 
@@ -161,8 +188,17 @@ func run() error {
 		}
 	}
 
+	// The durable store closes inside the drain window: Close flushes the
+	// WAL tail and fsyncs a manifest with the final generation, so a clean
+	// SIGTERM loses nothing.
+	if dur != nil {
+		if err := dur.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wal close:", err)
+		}
+	}
+
 	if *reportJSON != "" && res != nil {
-		if err := writeRunReport(*reportJSON, res, ds, metrics, engine); err != nil {
+		if err := writeRunReport(*reportJSON, res, ds, metrics, engine, dur); err != nil {
 			return fmt.Errorf("report-json: %w", err)
 		}
 	}
@@ -247,7 +283,7 @@ func ingest(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, c
 		w.CT.SetMetrics(metrics)
 		pipe := newPipeline(w, ds, metrics, cfg.workers)
 		res := pipe.Run()
-		engine.Publish(serve.BuildSnapshot(res, ds, time.Now()))
+		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
 		fmt.Fprintf(os.Stderr, "published snapshot gen=%d hijacked=%d targeted=%d\n",
 			ds.Generation(), len(res.Hijacked), len(res.Targeted))
 		return res, ds, nil
@@ -276,7 +312,7 @@ func ingest(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, c
 			return res, ds, fmt.Errorf("ingest %s: %w", date, err)
 		}
 		res = pipe.Run()
-		engine.Publish(serve.BuildSnapshot(res, ds, time.Now()))
+		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
 		fmt.Fprintf(os.Stderr, "scan %s: published gen=%d dirty=%d hijacked=%d targeted=%d\n",
 			date, ds.Generation(), res.Stats.DirtyCells, len(res.Hijacked), len(res.Targeted))
 		if cfg.interval > 0 {
@@ -292,6 +328,152 @@ func ingest(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, c
 	}
 	fmt.Fprintln(os.Stderr, "study replay complete; serving final snapshot")
 	return res, ds, nil
+}
+
+// snapshotStamp derives the published snapshot's Built instant from the
+// data itself — the latest ingested scan date — rather than the wall
+// clock, so two daemons serving the same generation publish identical
+// snapshots whether or not one of them restarted along the way.
+func snapshotStamp(ds *scanner.Dataset) time.Time {
+	if date, ok := ds.LatestScanDate(); ok {
+		return date.Time()
+	}
+	return simtime.StudyStart.Time()
+}
+
+type csvConfig struct {
+	path          string
+	dataDir       string
+	shards        int
+	snapshotEvery int
+	workers       int
+	strict        bool
+	follow        bool
+	interval      time.Duration
+}
+
+// durable bundles the WAL store with what Open recovered, for the
+// shutdown path and the report's WAL section.
+type durable struct {
+	store *wal.Store
+	rec   *wal.Recovery
+}
+
+func (d *durable) Close() error {
+	if d == nil || d.store == nil {
+		return nil
+	}
+	return d.store.Close()
+}
+
+// followPoll is how long -follow CSV ingest sleeps when the feed has no
+// complete new data.
+const followPoll = 100 * time.Millisecond
+
+// ingestCSV feeds scan records from a CSV file through the durable store
+// (when -data-dir is set) into the pipeline, publishing a snapshot per
+// appended scan. On a warm boot it first republishes the recovered
+// generation, so the API answers from the pre-crash state before the feed
+// advances it. There is no simulated world behind a CSV feed, so the
+// auxiliary sources are empty — same shape as retrodns -synth.
+func ingestCSV(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, cfg csvConfig) (*core.Result, *scanner.Dataset, *durable, error) {
+	dur := &durable{}
+	var ds *scanner.Dataset
+	cache := core.NewClassifyCache()
+	if cfg.dataDir != "" {
+		store, rec, err := wal.Open(wal.Options{
+			Dir: cfg.dataDir, Shards: cfg.shards,
+			SnapshotEvery: cfg.snapshotEvery, Metrics: metrics,
+		})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("wal open %s: %w", cfg.dataDir, err)
+		}
+		dur.store, dur.rec = store, rec
+		ds, cache = rec.Dataset, rec.Cache
+		if rec.Warm {
+			fmt.Fprintf(os.Stderr, "recovered gen=%d (snapshot=%q replayed=%d faults=%v)\n",
+				rec.Generation, rec.FromSnapshot, rec.ReplayedBatches, rec.Faults)
+		}
+	} else {
+		ds = scanner.NewDatasetShards(cfg.shards)
+	}
+	ds.SetStrict(cfg.strict)
+	ds.SetMetrics(metrics)
+	if dur.rec != nil && dur.rec.Warm {
+		ds.AccountRestored()
+	}
+	pipe := &core.Pipeline{
+		Params: core.DefaultParams(), Dataset: ds, PDNS: pdns.NewDB(),
+		Workers: cfg.workers, Cache: cache, Metrics: metrics,
+	}
+
+	var res *core.Result
+	if ds.Frozen() {
+		// Warm boot: serve the recovered generation before reading a byte
+		// of feed.
+		res = pipe.Run()
+		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
+		fmt.Fprintf(os.Stderr, "published recovered snapshot gen=%d\n", ds.Generation())
+	}
+
+	f, err := os.Open(cfg.path)
+	if err != nil {
+		return res, ds, dur, err
+	}
+	defer f.Close()
+	feeder := wal.NewFeeder(f, ds, dur.store, metrics)
+	for {
+		select {
+		case <-ctx.Done():
+			return res, ds, dur, nil
+		default:
+		}
+		date, appended, err := feeder.Tick()
+		if err != nil {
+			return res, ds, dur, fmt.Errorf("ingest %s: %w", cfg.path, err)
+		}
+		if !appended {
+			if !cfg.follow {
+				// Bounded input: a torn final line is quarantined, not held.
+				feeder.Finish()
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return res, ds, dur, nil
+			case <-time.After(followPoll):
+			}
+			continue
+		}
+		res = pipe.Run()
+		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
+		fmt.Fprintf(os.Stderr, "scan %s: published gen=%d dirty=%d hijacked=%d targeted=%d\n",
+			date, ds.Generation(), res.Stats.DirtyCells, len(res.Hijacked), len(res.Targeted))
+		if dur.store != nil {
+			if _, err := dur.store.MaybeSnapshot(); err != nil {
+				return res, ds, dur, fmt.Errorf("snapshot: %w", err)
+			}
+		}
+		// The pause applies in bounded mode too: it is what gives the chaos
+		// harness a window to kill the daemon mid-ingest.
+		if cfg.interval > 0 {
+			select {
+			case <-ctx.Done():
+				return res, ds, dur, nil
+			case <-time.After(cfg.interval):
+			}
+		}
+	}
+	if dur.store != nil {
+		if err := dur.store.Snapshot(); err != nil {
+			return res, ds, dur, fmt.Errorf("final snapshot: %w", err)
+		}
+	}
+	if q := ds.Quarantine(); q.Total > 0 {
+		fmt.Fprintln(os.Stderr, q)
+	}
+	fmt.Fprintln(os.Stderr, "csv feed complete; serving final snapshot")
+	return res, ds, dur, nil
 }
 
 // newPipeline wires the analysis pipeline the same way both CLIs do.
@@ -316,14 +498,27 @@ func worldErrors(w *world.World) error {
 }
 
 // writeRunReport emits the run report with the serving section attached —
-// the only producer that fills it in.
-func writeRunReport(path string, res *core.Result, ds *scanner.Dataset, metrics *obsv.Registry, engine *serve.Engine) error {
+// the only producer that fills it in — plus, in durable mode, the WAL
+// section describing what boot recovered.
+func writeRunReport(path string, res *core.Result, ds *scanner.Dataset, metrics *obsv.Registry, engine *serve.Engine, dur *durable) error {
 	doc := report.BuildRunReport(res, ds.Quarantine(), metrics)
 	st := engine.Stats()
 	doc.Serve = &report.ServeSection{
 		Generation: st.Generation,
 		Swaps:      st.Swaps,
 		Requests:   st.Requests,
+	}
+	if dur != nil && dur.rec != nil {
+		doc.WAL = &report.WALSection{
+			Warm:                dur.rec.Warm,
+			FromSnapshot:        dur.rec.FromSnapshot,
+			RecoveredGeneration: dur.rec.Generation,
+			ReplayedBatches:     dur.rec.ReplayedBatches,
+			Generation:          ds.Generation(),
+		}
+		if len(dur.rec.Faults) > 0 {
+			doc.WAL.Quarantined = dur.rec.Faults
+		}
 	}
 	if path == "-" {
 		return doc.Encode(os.Stdout)

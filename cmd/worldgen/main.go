@@ -73,7 +73,7 @@ func main() {
 	}
 
 	// scans.csv — the CUIDS analogue.
-	writeCSV(filepath.Join(*out, "scans.csv"), scanHeader,
+	writeCSV(filepath.Join(*out, "scans.csv"), scanner.ScanCSVHeader,
 		func(emit func([]string)) {
 			for _, domain := range ds.Domains() {
 				for _, r := range ds.DomainRecords(domain, 0, 0) {
@@ -82,7 +82,7 @@ func main() {
 					if r.Cert.SANs[0].RegisteredDomain() != domain && r.Cert.SANs[0] != domain {
 						continue
 					}
-					emit(scanRow(r))
+					emit(scanner.FormatScanRow(r))
 				}
 			}
 		})
@@ -130,28 +130,6 @@ func main() {
 		*out, nd, nr, w.PDNSDB.Rows(), w.CT.Size(), simtime.StudyStart, simtime.StudyEnd-1)
 }
 
-// scanHeader is the scans.csv schema, shared by both modes.
-var scanHeader = []string{"scan_date", "ip", "ports", "asn", "country", "crtsh_id", "issuer", "trusted", "sensitive", "names"}
-
-// scanRow renders one scan record as a scans.csv row.
-func scanRow(r *scanner.Record) []string {
-	ports := make([]string, len(r.Ports))
-	for i, p := range r.Ports {
-		ports[i] = fmt.Sprint(p)
-	}
-	names := make([]string, len(r.Cert.SANs))
-	for i, n := range r.Cert.SANs {
-		names[i] = string(n)
-	}
-	return []string{
-		r.ScanDate.String(), r.IP.String(), strings.Join(ports, " "),
-		fmt.Sprint(uint32(r.ASN)), string(r.Country),
-		fmt.Sprint(r.CrtShID), r.Cert.Issuer,
-		fmt.Sprint(r.Trusted), fmt.Sprint(r.Sensitive),
-		strings.Join(names, " "),
-	}
-}
-
 // writeSynth streams a paper-scale synthetic corpus into scans.csv.
 // Records flow generator → csv writer → buffered file one at a time;
 // nothing is accumulated, so memory stays flat regardless of corpus size.
@@ -171,14 +149,14 @@ func writeSynth(out string, cfg synth.Config) {
 	defer f.Close()
 	bw := bufio.NewWriterSize(f, 1<<20)
 	cw := csv.NewWriter(bw)
-	if err := cw.Write(scanHeader); err != nil {
+	if err := cw.Write(scanner.ScanCSVHeader); err != nil {
 		fatal(err)
 	}
 	rows := 0
 	for _, date := range dates {
 		g.EmitScan(date, func(r *scanner.Record) {
 			rows++
-			if err := cw.Write(scanRow(r)); err != nil {
+			if err := cw.Write(scanner.FormatScanRow(r)); err != nil {
 				fatal(err)
 			}
 		})

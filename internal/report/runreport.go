@@ -64,6 +64,20 @@ type ServeSection struct {
 	Requests   map[string]int64 `json:"requests,omitempty"`
 }
 
+// WALSection captures the durability layer at report time: what boot
+// recovered, how the log grew since, and every refusal by reason. All of
+// it depends on crash timing and prior process history, so Canonical()
+// strips the whole section — a recovered daemon and an uninterrupted one
+// must canonically agree.
+type WALSection struct {
+	Warm                bool             `json:"warm"`
+	FromSnapshot        string           `json:"from_snapshot,omitempty"`
+	RecoveredGeneration uint64           `json:"recovered_generation"`
+	ReplayedBatches     int              `json:"replayed_batches"`
+	Generation          uint64           `json:"generation"`
+	Quarantined         map[string]int64 `json:"quarantined,omitempty"`
+}
+
 // BenchSample is one `go test -bench` measurement, normalized for
 // cross-run comparison (the -<GOMAXPROCS> suffix is stripped from Name).
 // AllocsPerOp is 0 when the benchmark ran without -benchmem; the gate in
@@ -87,6 +101,7 @@ type RunReport struct {
 	Metrics    []obsv.Sample     `json:"metrics,omitempty"`
 	Bench      []BenchSample     `json:"bench,omitempty"`
 	Serve      *ServeSection     `json:"serve,omitempty"`
+	WAL        *WALSection       `json:"wal,omitempty"`
 }
 
 // FunnelCounts flattens the funnel into the stable key set benchdiff
@@ -145,11 +160,49 @@ func BuildRunReport(res *core.Result, quar scanner.QuarantineReport, reg *obsv.R
 	return r
 }
 
-// Canonical returns a copy with every nondeterministic field stripped:
-// stage timings zeroed, shard skew zeroed, _seconds metric families
-// dropped, bench samples dropped. Two runs over the same seeded world
-// produce byte-identical canonical encodings — the golden tests and
-// drift gates compare this form.
+// canonicalStripPrefixes are metric-family prefixes dropped from the
+// canonical form: serving and durability counters track traffic, crash
+// timing, and process restarts rather than what the study contains.
+var canonicalStripPrefixes = []string{
+	"retrodns_serve_",
+	"retrodns_wal_",
+	"retrodns_feed_",
+}
+
+// canonicalStripNames are exact families dropped from the canonical form:
+// lifetime totals accumulated across pipeline runs, which depend on how
+// many times the daemon re-analyzed (and therefore on restarts), not on
+// the final state. The per-run gauges that carry the same signal
+// deterministically (retrodns_cache_dirty_cells, retrodns_funnel_*) stay.
+var canonicalStripNames = map[string]bool{
+	"retrodns_pipeline_runs_total": true,
+	"retrodns_cache_hits_total":    true,
+	"retrodns_cache_misses_total":  true,
+	"retrodns_stage_items":         true,
+	"retrodns_pdns_lookups_total":  true,
+	"retrodns_ctlog_queries_total": true,
+}
+
+func canonicalKeeps(name string) bool {
+	if strings.HasSuffix(name, "_seconds") || canonicalStripNames[name] {
+		return false
+	}
+	for _, p := range canonicalStripPrefixes {
+		if strings.HasPrefix(name, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns a copy with every nondeterministic or run-count-
+// dependent field stripped: stage timings zeroed, shard skew zeroed,
+// _seconds / serving / durability / lifetime-total metric families
+// dropped, bench samples dropped, serve and wal sections dropped, and
+// per-run cache counters zeroed. Two runs reaching the same final state —
+// including a crash-recovered run next to an uninterrupted one — produce
+// byte-identical canonical encodings; the golden tests, drift gates, and
+// the chaos harness compare this form.
 func (r RunReport) Canonical() RunReport {
 	out := r
 	out.ShardSkew = 0
@@ -160,13 +213,13 @@ func (r RunReport) Canonical() RunReport {
 	}
 	out.Metrics = nil
 	for _, s := range r.Metrics {
-		if strings.HasSuffix(s.Name, "_seconds") {
-			continue
+		if canonicalKeeps(s.Name) {
+			out.Metrics = append(out.Metrics, s)
 		}
-		out.Metrics = append(out.Metrics, s)
 	}
 	out.Bench = nil
 	out.Serve = nil
+	out.WAL = nil
 	return out
 }
 

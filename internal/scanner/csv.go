@@ -1,0 +1,254 @@
+package scanner
+
+// The scans.csv schema is the interchange format between worldgen (which
+// emits longitudinal scan corpora) and the ingest side (retrodnsd -scans-csv,
+// cmd/chaos). The format is deliberately lossy: a row carries only the cert
+// fields a crt.sh-style dump would — names, issuer, log ID — so the reader
+// reconstructs a deterministic certificate from them. Both an uninterrupted
+// run and a crash-recovered run read the same file, so the reconstruction
+// only has to be injective and stable, not faithful to the generator's
+// in-memory certificate.
+//
+// The reader is line-based rather than encoding/csv: a file being appended
+// by a live worldgen (or torn by a crash) routinely ends in a partial line,
+// and encoding/csv's read-ahead turns that into a hard error mid-stream.
+// Here a partial tail is held back until its newline arrives (follow mode)
+// or quarantined as truncated_tail at end of input (bounded mode), and the
+// reader resumes at the next complete record either way.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/ipmeta"
+	"retrodns/internal/simtime"
+	"retrodns/internal/x509lite"
+)
+
+// ScanCSVHeader is the scans.csv column schema, shared by the worldgen
+// writer and this reader.
+var ScanCSVHeader = []string{
+	"scan_date", "ip", "ports", "asn", "country",
+	"crtsh_id", "issuer", "trusted", "sensitive", "names",
+}
+
+// scanCSVFields is the expected per-row field count.
+var scanCSVFields = len(ScanCSVHeader)
+
+// Quarantine reasons reported by the CSV reader via OnQuarantine.
+const (
+	CSVQuarBadRow        = "bad_row"
+	CSVQuarTruncatedTail = "truncated_tail"
+)
+
+// ErrBadScanRow reports a row that could not be parsed into a Record.
+var ErrBadScanRow = errors.New("scanner: bad scan row")
+
+// FormatScanRow renders one record as a scans.csv row. The inverse of
+// ParseScanRow up to the lossy cert projection described above.
+func FormatScanRow(r *Record) []string {
+	ports := make([]string, len(r.Ports))
+	for i, p := range r.Ports {
+		ports[i] = strconv.Itoa(int(p))
+	}
+	names := make([]string, len(r.Cert.SANs))
+	for i, n := range r.Cert.SANs {
+		names[i] = string(n)
+	}
+	return []string{
+		r.ScanDate.String(), r.IP.String(), strings.Join(ports, " "),
+		strconv.FormatUint(uint64(r.ASN), 10), string(r.Country),
+		strconv.FormatInt(r.CrtShID, 10), r.Cert.Issuer,
+		strconv.FormatBool(r.Trusted), strconv.FormatBool(r.Sensitive),
+		strings.Join(names, " "),
+	}
+}
+
+// ParseScanDate parses the scan_date column (ISO calendar day).
+func ParseScanDate(s string) (simtime.Date, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: scan_date %q", ErrBadScanRow, s)
+	}
+	return simtime.FromTime(t), nil
+}
+
+// ParseScanRow parses one scans.csv row into a Record. The certificate is
+// reconstructed deterministically from the row's (names, issuer, crtsh_id)
+// triple: its serial is an FNV-1a digest of those fields, its validity spans
+// the study window, and it carries no signature. Two runs reading the same
+// file therefore build fingerprint-identical certificates.
+func ParseScanRow(fields []string) (*Record, error) {
+	if len(fields) != scanCSVFields {
+		return nil, fmt.Errorf("%w: %d fields, want %d", ErrBadScanRow, len(fields), scanCSVFields)
+	}
+	date, err := ParseScanDate(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	ip, err := netip.ParseAddr(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: ip %q", ErrBadScanRow, fields[1])
+	}
+	var ports []uint16
+	for _, p := range strings.Fields(fields[2]) {
+		v, err := strconv.ParseUint(p, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("%w: port %q", ErrBadScanRow, p)
+		}
+		ports = append(ports, uint16(v))
+	}
+	asn, err := strconv.ParseUint(fields[3], 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: asn %q", ErrBadScanRow, fields[3])
+	}
+	crtshID, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: crtsh_id %q", ErrBadScanRow, fields[5])
+	}
+	trusted, err := strconv.ParseBool(fields[7])
+	if err != nil {
+		return nil, fmt.Errorf("%w: trusted %q", ErrBadScanRow, fields[7])
+	}
+	sensitive, err := strconv.ParseBool(fields[8])
+	if err != nil {
+		return nil, fmt.Errorf("%w: sensitive %q", ErrBadScanRow, fields[8])
+	}
+	rawNames := strings.Fields(fields[9])
+	if len(rawNames) == 0 {
+		return nil, fmt.Errorf("%w: empty names", ErrBadScanRow)
+	}
+	sans := make([]dnscore.Name, 0, len(rawNames))
+	for _, n := range rawNames {
+		name, err := dnscore.ParseName(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: name %q", ErrBadScanRow, n)
+		}
+		sans = append(sans, name)
+	}
+	cert := &x509lite.Certificate{
+		Serial:    synthCertSerial(fields[9], fields[6], crtshID),
+		Subject:   sans[0],
+		SANs:      sans,
+		Issuer:    fields[6],
+		NotBefore: simtime.StudyStart,
+		NotAfter:  simtime.StudyEnd,
+		Method:    x509lite.ValidationDNS01,
+	}
+	return &Record{
+		ScanDate:  date,
+		IP:        ip,
+		Ports:     ports,
+		ASN:       ipmeta.ASN(asn),
+		Country:   ipmeta.CountryCode(fields[4]),
+		Cert:      cert,
+		CrtShID:   crtshID,
+		Trusted:   trusted,
+		Sensitive: sensitive,
+	}, nil
+}
+
+// synthCertSerial derives the reconstructed certificate's serial from the
+// fields the CSV actually carries, so equal rows yield equal certs.
+func synthCertSerial(names, issuer string, crtshID int64) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, names)
+	h.Write([]byte{0})
+	io.WriteString(h, issuer)
+	h.Write([]byte{0})
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(crtshID) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// ScanCSV reads scans.csv rows from a (possibly still growing) stream.
+// Rows that fail to parse are reported through OnQuarantine and skipped;
+// Next only ever returns parsed records or io.EOF. io.EOF is retryable:
+// in follow mode the caller waits and calls Next again, and any partial
+// line buffered at EOF is completed once the writer appends its remainder.
+type ScanCSV struct {
+	br      *bufio.Reader
+	partial []byte
+	started bool // first complete line seen (header handling done)
+
+	// OnQuarantine, when set, receives one call per skipped input line
+	// with a reason (CSVQuarBadRow, CSVQuarTruncatedTail) and a detail.
+	OnQuarantine func(reason, detail string)
+}
+
+// NewScanCSV wraps r in a scans.csv reader.
+func NewScanCSV(r io.Reader) *ScanCSV {
+	return &ScanCSV{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next well-formed record. It returns io.EOF when the
+// underlying stream has no further complete line; a trailing partial line
+// stays buffered so a growing file can complete it later.
+func (c *ScanCSV) Next() (*Record, error) {
+	for {
+		chunk, err := c.br.ReadBytes('\n')
+		if err != nil {
+			// Partial line (no newline yet): hold it for the next call.
+			c.partial = append(c.partial, chunk...)
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		line := string(chunk)
+		if len(c.partial) > 0 {
+			line = string(c.partial) + line
+			c.partial = c.partial[:0]
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			continue
+		}
+		first := !c.started
+		c.started = true
+		if first && strings.HasPrefix(line, ScanCSVHeader[0]+",") {
+			continue // header row
+		}
+		rec, err := ParseScanRow(strings.Split(line, ","))
+		if err != nil {
+			c.quarantine(CSVQuarBadRow, err.Error())
+			continue
+		}
+		return rec, nil
+	}
+}
+
+// FinishTail declares end of input for a bounded read: a non-empty partial
+// line still buffered is a torn tail — quarantined, not a parse error — and
+// is dropped so a subsequent Next sees a clean stream.
+func (c *ScanCSV) FinishTail() {
+	if len(c.partial) == 0 {
+		return
+	}
+	detail := string(c.partial)
+	if len(detail) > 80 {
+		detail = detail[:80]
+	}
+	c.partial = c.partial[:0]
+	c.quarantine(CSVQuarTruncatedTail, fmt.Sprintf("%d bytes: %q", len(detail), detail))
+}
+
+// PartialTail reports whether a torn final line is currently buffered.
+func (c *ScanCSV) PartialTail() bool { return len(c.partial) > 0 }
+
+func (c *ScanCSV) quarantine(reason, detail string) {
+	if c.OnQuarantine != nil {
+		c.OnQuarantine(reason, detail)
+	}
+}

@@ -1,0 +1,158 @@
+package scanner
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"retrodns/internal/simtime"
+)
+
+func csvLine(t *testing.T, r *Record) string {
+	t.Helper()
+	return strings.Join(FormatScanRow(r), ",") + "\n"
+}
+
+func testScanRecord(t *testing.T, date simtime.Date, i int) *Record {
+	t.Helper()
+	cert := mkCert(t, leKey, "Let's Encrypt", date-1, date+90, "csvtest.example")
+	return &Record{
+		ScanDate: date, IP: legitIP, Ports: []uint16{443, 8443},
+		ASN: 35506, Country: "GR", Cert: cert, CrtShID: int64(1000 + i),
+		Trusted: true, Sensitive: i%2 == 0,
+	}
+}
+
+func TestScanRowRoundTrip(t *testing.T) {
+	date := simtime.ScanDates(0, 20)[0]
+	orig := testScanRecord(t, date, 1)
+	got, err := ParseScanRow(FormatScanRow(orig))
+	if err != nil {
+		t.Fatalf("ParseScanRow: %v", err)
+	}
+	if got.ScanDate != orig.ScanDate || got.IP != orig.IP || got.ASN != orig.ASN ||
+		got.Country != orig.Country || got.CrtShID != orig.CrtShID ||
+		got.Trusted != orig.Trusted || got.Sensitive != orig.Sensitive {
+		t.Fatalf("scalar fields diverged: %+v vs %+v", got, orig)
+	}
+	if len(got.Ports) != 2 || got.Ports[0] != 443 || got.Ports[1] != 8443 {
+		t.Fatalf("ports: %v", got.Ports)
+	}
+	if len(got.Cert.SANs) != 1 || got.Cert.SANs[0] != "csvtest.example" {
+		t.Fatalf("SANs: %v", got.Cert.SANs)
+	}
+	// The reconstruction is deterministic: parsing the same row twice
+	// yields fingerprint-identical certificates.
+	again, err := ParseScanRow(FormatScanRow(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cert.Fingerprint() != again.Cert.Fingerprint() {
+		t.Fatal("reconstructed cert fingerprint not deterministic")
+	}
+	if _, _, ok := ValidateRecord(got); !ok {
+		t.Fatal("round-tripped record fails the ingest gate")
+	}
+}
+
+func TestScanCSVSkipsHeaderAndBadRows(t *testing.T) {
+	date := simtime.ScanDates(0, 20)[0]
+	good := testScanRecord(t, date, 1)
+	var buf bytes.Buffer
+	buf.WriteString(strings.Join(ScanCSVHeader, ",") + "\n")
+	buf.WriteString("garbled,row\n")
+	buf.WriteString(csvLine(t, good))
+	c := NewScanCSV(&buf)
+	var quars []string
+	c.OnQuarantine = func(reason, detail string) { quars = append(quars, reason) }
+	rec, err := c.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if rec.CrtShID != good.CrtShID {
+		t.Fatalf("wrong record: %+v", rec)
+	}
+	if _, err := c.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if len(quars) != 1 || quars[0] != CSVQuarBadRow {
+		t.Fatalf("quarantine calls: %v", quars)
+	}
+}
+
+// TestScanCSVTruncatedTail covers the follow-mode contract: a torn final
+// line is held back, completed when the file grows, and — at declared end
+// of input — quarantined as truncated_tail rather than parsed.
+func TestScanCSVTruncatedTail(t *testing.T) {
+	dates := simtime.ScanDates(0, 30)
+	a := csvLine(t, testScanRecord(t, dates[0], 1))
+	b := csvLine(t, testScanRecord(t, dates[1], 2))
+
+	t.Run("held back then completed", func(t *testing.T) {
+		var src bytes.Buffer
+		src.WriteString(a)
+		src.WriteString(b[:len(b)/2]) // torn mid-line, no newline
+		c := NewScanCSV(&src)
+		if _, err := c.Next(); err != nil {
+			t.Fatalf("first record: %v", err)
+		}
+		if _, err := c.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("want EOF at torn tail, got %v", err)
+		}
+		if !c.PartialTail() {
+			t.Fatal("torn tail not buffered")
+		}
+		// The writer appends the remainder: the record completes.
+		src.WriteString(b[len(b)/2:])
+		rec, err := c.Next()
+		if err != nil {
+			t.Fatalf("resumed record: %v", err)
+		}
+		if rec.ScanDate != dates[1] {
+			t.Fatalf("resumed record date: %v", rec.ScanDate)
+		}
+	})
+
+	t.Run("quarantined at end of input", func(t *testing.T) {
+		src := strings.NewReader(a + b[:len(b)/2])
+		c := NewScanCSV(src)
+		var quars []string
+		c.OnQuarantine = func(reason, detail string) { quars = append(quars, reason) }
+		if _, err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("want EOF, got %v", err)
+		}
+		c.FinishTail()
+		if len(quars) != 1 || quars[0] != CSVQuarTruncatedTail {
+			t.Fatalf("want one truncated_tail, got %v", quars)
+		}
+		if c.PartialTail() {
+			t.Fatal("tail not cleared after FinishTail")
+		}
+		c.FinishTail() // idempotent
+		if len(quars) != 1 {
+			t.Fatalf("FinishTail not idempotent: %v", quars)
+		}
+	})
+
+	t.Run("torn then continued line parses as one bad row", func(t *testing.T) {
+		src := strings.NewReader(a[:len(a)/2] + "XXX\n" + b)
+		c := NewScanCSV(src)
+		var quars []string
+		c.OnQuarantine = func(reason, detail string) { quars = append(quars, reason) }
+		rec, err := c.Next()
+		if err != nil {
+			t.Fatalf("want resume at next complete record, got %v", err)
+		}
+		if rec.ScanDate != dates[1] {
+			t.Fatalf("resumed at %v, want %v", rec.ScanDate, dates[1])
+		}
+		if len(quars) != 1 || quars[0] != CSVQuarBadRow {
+			t.Fatalf("quarantine calls: %v", quars)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package scanner
+
+// Snapshot serialization for the durability layer (internal/wal): a frozen
+// Dataset round-trips through EncodeSnapshot/DecodeSnapshot to exactly the
+// state a warm-restarted daemon needs — per-shard sorted indexes, dirty-cell
+// journals, quarantine journals, the scan-date roster, and the generation —
+// so recovery resumes Append/DirtySince/report flows as if the process had
+// never died.
+//
+// Certificates are stored once in a fingerprint-deduplicated table and
+// re-interned through the dataset's pool on decode, so the restored pool
+// gauges (retrodns_intern_strings, retrodns_cert_pool_size) match a live
+// ingest of the same corpus. Records indexed under several registered
+// domains are serialized per domain — the restored instances are distinct
+// pointers, which every consumer tolerates (windows are per-domain and all
+// cross-window counts are serialized explicitly).
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"retrodns/internal/dnscore"
+	"retrodns/internal/simtime"
+)
+
+// ErrSnapshotState reports a snapshot payload that decoded structurally but
+// violates dataset invariants (wrong shard routing, unsorted windows).
+var ErrSnapshotState = errors.New("scanner: invalid snapshot state")
+
+// ErrNotFrozen reports an EncodeSnapshot call on an unfrozen dataset.
+var ErrNotFrozen = errors.New("scanner: dataset not frozen")
+
+// snapshotMagic versions the dataset snapshot payload.
+const snapshotMagic = "rds1"
+
+func encodeQuar(w *BinWriter, q *quarantine) {
+	w.Uvarint(uint64(numQuarReasons))
+	for _, n := range q.counts {
+		w.Uvarint(uint64(n))
+	}
+	w.Uvarint(uint64(q.total))
+	w.Uvarint(uint64(len(q.examples)))
+	for _, ex := range q.examples {
+		w.Uvarint(uint64(ex.Reason))
+		w.Int(int64(ex.Date))
+		w.String(ex.Detail)
+		w.Uvarint(ex.seq)
+	}
+}
+
+func decodeQuar(r *BinReader, q *quarantine) {
+	nreasons := r.Count()
+	if nreasons != int(numQuarReasons) {
+		r.fail("quarantine reason count")
+		return
+	}
+	for i := 0; i < nreasons; i++ {
+		q.counts[i] = int(r.Uvarint())
+	}
+	q.total = int(r.Uvarint())
+	nex := r.Count()
+	for i := 0; i < nex; i++ {
+		if r.err != nil {
+			return
+		}
+		reason := QuarantineReason(r.Uvarint())
+		date := simtime.Date(r.Int())
+		detail := r.String()
+		seq := r.Uvarint()
+		if reason >= numQuarReasons {
+			r.fail("quarantine reason")
+			return
+		}
+		q.examples = append(q.examples, quarExample{
+			QuarantinedRecord: QuarantinedRecord{Reason: reason, Date: date, Detail: detail},
+			seq:               seq,
+		})
+	}
+}
+
+// EncodeSnapshot serializes the frozen dataset to w. The writer receives a
+// single contiguous payload; framing, checksums, and fsync discipline are
+// the caller's (internal/wal's) concern.
+func (d *Dataset) EncodeSnapshot(out io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	view := d.view.Load()
+	if view == nil {
+		return ErrNotFrozen
+	}
+
+	var w BinWriter
+	w.String(snapshotMagic)
+	w.Uvarint(uint64(len(d.shards)))
+	w.Uvarint(view.generation)
+	w.Uvarint(uint64(view.records))
+	w.Uvarint(uint64(view.domainCount))
+	w.Uvarint(uint64(len(view.scanDates)))
+	for _, date := range view.scanDates {
+		w.Int(int64(date))
+	}
+	w.Uvarint(uint64(len(d.dirtyPeriods)))
+	for _, p := range sortedPeriodKeys(d.dirtyPeriods) {
+		w.Int(int64(p))
+		w.Uvarint(d.dirtyPeriods[p])
+	}
+	w.Uvarint(d.quarSeq)
+	encodeQuar(&w, &d.quar)
+
+	// Shared certificate table: walk shards in order, domains in sorted
+	// order, records in window order, so the table layout is deterministic.
+	table := newCertTable()
+	for _, s := range d.shards {
+		idx := s.idx.Load()
+		for _, domain := range idx.domains {
+			for _, rec := range idx.byDomain[domain] {
+				if rec.Cert != nil {
+					table.add(rec.Cert)
+				}
+			}
+		}
+	}
+	table.encode(&w)
+
+	for _, s := range d.shards {
+		s.mu.RLock()
+		idx := s.idx.Load()
+		encodeQuar(&w, &s.quar)
+		w.Uvarint(uint64(len(s.dirtyCells)))
+		for _, cell := range sortedDirtyCells(s.dirtyCells) {
+			w.String(string(cell.Domain))
+			w.Int(int64(cell.Period))
+			w.Uvarint(s.dirtyCells[cell])
+		}
+		w.Uvarint(uint64(idx.attach))
+		w.Uvarint(uint64(len(idx.domains)))
+		for _, domain := range idx.domains {
+			window := idx.byDomain[domain]
+			w.String(string(domain))
+			w.Uvarint(uint64(len(window)))
+			for _, rec := range window {
+				certIdx := uint64(0)
+				if rec.Cert != nil {
+					certIdx = table.add(rec.Cert) + 1
+				}
+				encodeRecord(&w, rec, certIdx)
+			}
+		}
+		s.mu.RUnlock()
+	}
+
+	_, err := out.Write(w.Bytes())
+	return err
+}
+
+// DecodeSnapshot reconstructs a frozen dataset from an EncodeSnapshot
+// payload. The input is assumed checksummed by the caller; decode still
+// never panics and validates shard routing and window order, so a corrupt
+// payload yields a typed error, not a poisoned dataset.
+func DecodeSnapshot(data []byte) (*Dataset, error) {
+	r := NewBinReader(data)
+	if r.String() != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCodec)
+	}
+	nshards := int(r.Uvarint())
+	if r.err != nil || nshards < 1 || nshards > maxShards {
+		return nil, fmt.Errorf("%w: shard count", ErrCodec)
+	}
+	d := NewDatasetShards(nshards)
+	generation := r.Uvarint()
+	records := int(r.Uvarint())
+	domainCount := int(r.Uvarint())
+
+	ndates := r.Count()
+	scanDates := make([]simtime.Date, 0, ndates)
+	for i := 0; i < ndates; i++ {
+		scanDates = append(scanDates, simtime.Date(r.Int()))
+	}
+	nper := r.Count()
+	for i := 0; i < nper; i++ {
+		p := simtime.Period(r.Int())
+		gen := r.Uvarint()
+		if r.err == nil {
+			d.dirtyPeriods[p] = gen
+		}
+	}
+	d.quarSeq = r.Uvarint()
+	decodeQuar(r, &d.quar)
+
+	certs := decodeCertTable(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Re-intern through the pool: SAN strings and certificates dedup into
+	// the same pools a live ingest would fill.
+	for i, c := range certs {
+		certs[i] = d.pool.Cert(c)
+	}
+
+	var domains []dnscore.Name
+	for sid := 0; sid < nshards; sid++ {
+		s := d.shards[sid]
+		decodeQuar(r, &s.quar)
+		ncells := r.Count()
+		for i := 0; i < ncells; i++ {
+			if r.err != nil {
+				return nil, r.err
+			}
+			cell := DirtyCell{
+				Domain: dnscore.Name(r.String()),
+				Period: simtime.Period(r.Int()),
+			}
+			s.dirtyCells[cell] = r.Uvarint()
+		}
+		attach := int(r.Uvarint())
+		ndom := r.Count()
+		idx := &shardIndex{
+			byDomain: make(map[dnscore.Name][]*Record, ndom),
+			domains:  make([]dnscore.Name, 0, ndom),
+			attach:   attach,
+		}
+		for i := 0; i < ndom; i++ {
+			if r.err != nil {
+				return nil, r.err
+			}
+			domain := dnscore.Name(r.String())
+			nrec := r.Count()
+			window := make([]*Record, 0, nrec)
+			for j := 0; j < nrec; j++ {
+				if r.err != nil {
+					return nil, r.err
+				}
+				window = append(window, decodeRecord(r, certs))
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			if shardIndexOf(domain, nshards) != sid {
+				return nil, fmt.Errorf("%w: domain %q routed to shard %d, stored in %d",
+					ErrSnapshotState, domain, shardIndexOf(domain, nshards), sid)
+			}
+			if !sort.SliceIsSorted(window, func(a, b int) bool {
+				return window[a].ScanDate < window[b].ScanDate
+			}) {
+				return nil, fmt.Errorf("%w: window for %q not sorted", ErrSnapshotState, domain)
+			}
+			idx.byDomain[domain] = window
+			idx.domains = append(idx.domains, domain)
+		}
+		if !sort.SliceIsSorted(idx.domains, func(a, b int) bool {
+			return idx.domains[a] < idx.domains[b]
+		}) {
+			return nil, fmt.Errorf("%w: shard %d domain list not sorted", ErrSnapshotState, sid)
+		}
+		s.byDomain = nil
+		s.attach = attach
+		s.idx.Store(idx)
+		domains = append(domains, idx.domains...)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, r.Len())
+	}
+	if len(domains) != domainCount {
+		return nil, fmt.Errorf("%w: domain count %d != %d", ErrSnapshotState, len(domains), domainCount)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	d.view.Store(&datasetView{
+		generation:  generation,
+		domains:     domains,
+		scanDates:   scanDates,
+		periods:     periodsOf(scanDates),
+		records:     records,
+		domainCount: domainCount,
+	})
+	return d, nil
+}
+
+// AccountRestored replays the restored corpus into the dataset's metric
+// handles, so a warm-restarted process exports the same cumulative ingest
+// counters an uninterrupted one would: one accepted scan per restored scan
+// date, the restored record count, and the journaled per-reason quarantine
+// totals. Call once, after SetMetrics, on a dataset from DecodeSnapshot.
+func (d *Dataset) AccountRestored() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	view := d.view.Load()
+	if view == nil {
+		return
+	}
+	d.met.scans.Add(int64(len(view.scanDates)))
+	d.met.records.Add(int64(view.records))
+	var merged quarantine
+	merged.absorb(&d.quar)
+	for _, s := range d.shards {
+		merged.absorb(&s.quar)
+	}
+	for reason, n := range merged.counts {
+		if n > 0 {
+			d.met.quarantined[reason].Add(int64(n))
+		}
+	}
+	d.publishSizeLocked()
+}
+
+func sortedPeriodKeys(m map[simtime.Period]uint64) []simtime.Period {
+	keys := make([]simtime.Period, 0, len(m))
+	for p := range m {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedDirtyCells(m map[DirtyCell]uint64) []DirtyCell {
+	cells := make([]DirtyCell, 0, len(m))
+	for c := range m {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Domain != cells[j].Domain {
+			return cells[i].Domain < cells[j].Domain
+		}
+		return cells[i].Period < cells[j].Period
+	})
+	return cells
+}

@@ -169,6 +169,19 @@ func (q *quarantine) report() QuarantineReport {
 
 // validateRecord decides whether r may enter the indexes, returning the
 // refusal reason and a description of the offending value.
+// ValidateRecord applies the ingest gate's per-record checks without
+// touching any dataset. Feed layers (CSV ingest, WAL replay) use it to
+// divert records that Append would quarantine, keeping dataset-level
+// quarantine journals — which feed the run report — identical between a
+// clean run and one that saw garbage on the wire.
+func ValidateRecord(r *Record) (reason string, detail string, ok bool) {
+	qr, detail, ok := validateRecord(r)
+	if ok {
+		return "", "", true
+	}
+	return qr.String(), detail, false
+}
+
 func validateRecord(r *Record) (QuarantineReason, string, bool) {
 	if r == nil {
 		return QuarNilRecord, "nil record", false

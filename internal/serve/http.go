@@ -184,7 +184,9 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request, snap *Sna
 		code = http.StatusServiceUnavailable
 	} else {
 		doc.Generation = snap.Generation
-		doc.SnapshotAgeSeconds = e.now().Sub(snap.Built).Seconds()
+		if !snap.Built.IsZero() {
+			doc.SnapshotAgeSeconds = e.now().Sub(snap.Built).Seconds()
+		}
 		doc.Domains = snap.Domains()
 		if snap.hasLastScan {
 			doc.LastScan = snap.lastScan.String()

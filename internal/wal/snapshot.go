@@ -1,0 +1,263 @@
+package wal
+
+// Snapshot files and the manifest. A snapshot is one file:
+//
+//	"RDSS" ++ payload ++ CRC-32C(payload)
+//	payload = uvarint(len(dataset)) ++ EncodeSnapshot bytes
+//	       ++ uvarint(len(cache))   ++ EncodeState bytes (len 0 = none)
+//
+// written tmp-then-rename with fsyncs on both the file and the directory,
+// so a crash leaves either the old state or the new — never a half file
+// under the published name. manifest.json points at the newest snapshot
+// and records the last generation known durable; it is advisory for
+// recovery (the directory scan is authoritative) but its last_generation
+// field is what the drain path fsyncs so a graceful exit never loses the
+// in-flight generation.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"retrodns/internal/core"
+	"retrodns/internal/scanner"
+)
+
+const (
+	snapMagic    = "RDSS"
+	manifestName = "manifest.json"
+	walName      = "wal.log"
+	snapPrefix   = "snap-"
+	snapSuffix   = ".bin"
+	// keepSnapshots retains the newest N snapshot files; older ones are
+	// pruned after each successful write (the previous one stays as a
+	// fallback if the newest is damaged on disk).
+	keepSnapshots = 2
+)
+
+// manifest is the JSON document at <dir>/manifest.json.
+type manifest struct {
+	Schema string `json:"schema"`
+	// Snapshot names the newest snapshot file ("" before the first).
+	Snapshot string `json:"snapshot"`
+	// Generation is the generation the named snapshot captured.
+	Generation uint64 `json:"generation"`
+	// Shards is the dataset shard count, pinned so a restart cannot
+	// silently reshard the corpus.
+	Shards int `json:"shards"`
+	// LastGeneration is the last generation known durable (snapshot or
+	// fsynced WAL tail); refreshed on snapshot and on graceful close.
+	LastGeneration uint64 `json:"last_generation"`
+}
+
+const manifestSchema = "retrodns/wal-manifest/v1"
+
+func snapName(gen uint64) string {
+	return fmt.Sprintf("%s%08d%s", snapPrefix, gen, snapSuffix)
+}
+
+// snapGen parses the generation out of a snapshot file name.
+func snapGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	var gen uint64
+	if _, err := fmt.Sscanf(mid, "%d", &gen); err != nil || fmt.Sprintf("%08d", gen) != mid {
+		return 0, false
+	}
+	return gen, true
+}
+
+// writeSnapshotFile serializes ds (+ cache, which may be nil) into
+// <dir>/snap-<gen>.bin atomically and returns the file name.
+func writeSnapshotFile(dir string, gen uint64, ds *scanner.Dataset, cache *core.ClassifyCache) (string, error) {
+	var dsBuf, cacheBuf strings.Builder
+	if err := ds.EncodeSnapshot(&dsBuf); err != nil {
+		return "", err
+	}
+	if cache != nil {
+		if err := cache.EncodeState(&cacheBuf); err != nil {
+			// A cache that cannot serialize (mid-extension mismatch) is
+			// dropped from the snapshot, not fatal: recovery rebuilds it.
+			cacheBuf.Reset()
+		}
+	}
+	payload := binary.AppendUvarint(nil, uint64(dsBuf.Len()))
+	payload = append(payload, dsBuf.String()...)
+	payload = binary.AppendUvarint(payload, uint64(cacheBuf.Len()))
+	payload = append(payload, cacheBuf.String()...)
+
+	buf := make([]byte, 0, len(snapMagic)+len(payload)+4)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+
+	name := snapName(gen)
+	if err := atomicWrite(dir, name, buf); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// loadSnapshotFile reads and verifies one snapshot file, returning the
+// dataset and (possibly nil) cache payloads still encoded — the caller
+// decodes the cache only after WAL replay has settled the dataset.
+func loadSnapshotFile(path string) (*scanner.Dataset, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, nil, fmt.Errorf("%w: %s: bad magic", ErrBadSnapshot, filepath.Base(path))
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrBadSnapshot, filepath.Base(path))
+	}
+	dsLen, n := binary.Uvarint(payload)
+	if n <= 0 || dsLen > uint64(len(payload)-n) {
+		return nil, nil, fmt.Errorf("%w: %s: dataset length", ErrBadSnapshot, filepath.Base(path))
+	}
+	dsBytes := payload[n : n+int(dsLen)]
+	rest := payload[n+int(dsLen):]
+	cacheLen, n := binary.Uvarint(rest)
+	if n <= 0 || cacheLen > uint64(len(rest)-n) {
+		return nil, nil, fmt.Errorf("%w: %s: cache length", ErrBadSnapshot, filepath.Base(path))
+	}
+	cacheBytes := rest[n : n+int(cacheLen)]
+	ds, err := scanner.DecodeSnapshot(dsBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %s: %v", ErrBadSnapshot, filepath.Base(path), err)
+	}
+	if cacheLen == 0 {
+		return ds, nil, nil
+	}
+	return ds, cacheBytes, nil
+}
+
+// snapshotCandidates lists snapshot files in dir, manifest's choice first,
+// then the rest newest-generation-first.
+func snapshotCandidates(dir string, man *manifest) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	type cand struct {
+		name string
+		gen  uint64
+	}
+	var cands []cand
+	for _, e := range entries {
+		if gen, ok := snapGen(e.Name()); ok {
+			cands = append(cands, cand{e.Name(), gen})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].gen > cands[j].gen })
+	var names []string
+	if man != nil && man.Snapshot != "" {
+		names = append(names, man.Snapshot)
+	}
+	for _, c := range cands {
+		if len(names) == 0 || names[0] != c.name {
+			names = append(names, c.name)
+		}
+	}
+	return names
+}
+
+// pruneSnapshots removes all but the newest keepSnapshots snapshot files.
+func pruneSnapshots(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type cand struct {
+		name string
+		gen  uint64
+	}
+	var cands []cand
+	for _, e := range entries {
+		if gen, ok := snapGen(e.Name()); ok {
+			cands = append(cands, cand{e.Name(), gen})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].gen > cands[j].gen })
+	for _, c := range cands[min(len(cands), keepSnapshots):] {
+		os.Remove(filepath.Join(dir, c.name))
+	}
+}
+
+// readManifest loads manifest.json if present; a missing file is not an
+// error (nil, nil), a malformed one is ErrBadManifest.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if man.Schema != manifestSchema {
+		return nil, fmt.Errorf("%w: schema %q", ErrBadManifest, man.Schema)
+	}
+	return &man, nil
+}
+
+// writeManifest publishes the manifest atomically with directory fsync.
+func writeManifest(dir string, man *manifest) error {
+	man.Schema = manifestSchema
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(dir, manifestName, append(data, '\n'))
+}
+
+// atomicWrite lands data at <dir>/<name> via tmp + fsync + rename + dir
+// fsync: after it returns, a crash yields either the old file or the new.
+func atomicWrite(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

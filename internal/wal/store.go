@@ -1,0 +1,440 @@
+package wal
+
+// Store is the durable spine under a live retrodnsd: every accepted
+// Dataset.Append batch is framed, written, and fsynced to the WAL *before*
+// it is applied, so any state the daemon ever published is recoverable.
+// Periodic snapshots bound replay time and let a warm restart skip
+// reclassification of clean cells entirely.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"retrodns/internal/core"
+	"retrodns/internal/obsv"
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// WAL metric family names.
+const (
+	MetricWALAppends      = "retrodns_wal_appends_total"
+	MetricWALRecords      = "retrodns_wal_records_total"
+	MetricWALBytes        = "retrodns_wal_bytes_total"
+	MetricWALSnapshots    = "retrodns_wal_snapshots_total"
+	MetricWALReplayed     = "retrodns_wal_replayed_batches_total"
+	MetricWALQuarantined  = "retrodns_wal_quarantined_total"
+	MetricWALRecoveredGen = "retrodns_wal_recovered_generation"
+)
+
+// Quarantine reasons for MetricWALQuarantined. Every refusal on the
+// durability path counts under exactly one of these.
+const (
+	FaultTornTail      = "torn_tail"
+	FaultCRCMismatch   = "crc_mismatch"
+	FaultBadFrame      = "bad_frame"
+	FaultDupGeneration = "duplicate_generation"
+	FaultOutOfOrder    = "out_of_order_generation"
+	FaultClockSkew     = "clock_skew"
+	FaultBadSnapshot   = "bad_snapshot"
+)
+
+// walFaults is the display/registration order of the reasons above.
+var walFaults = []string{
+	FaultTornTail, FaultCRCMismatch, FaultBadFrame,
+	FaultDupGeneration, FaultOutOfOrder, FaultClockSkew, FaultBadSnapshot,
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Shards is the dataset shard count for a cold boot; a snapshot's own
+	// shard count wins on a warm one.
+	Shards int
+	// SnapshotEvery is the number of appends between automatic snapshots
+	// in MaybeSnapshot; <= 0 means the default of 8.
+	SnapshotEvery int
+	// Metrics, when set, registers the retrodns_wal_* families.
+	Metrics *obsv.Registry
+}
+
+const defaultSnapshotEvery = 8
+
+// Recovery describes what Open reconstructed.
+type Recovery struct {
+	// Dataset and Cache are ready to attach to a Pipeline. On a cold boot
+	// they are fresh; callers SetMetrics/SetStrict either way and call
+	// Dataset.AccountRestored once metrics are attached.
+	Dataset *scanner.Dataset
+	Cache   *core.ClassifyCache
+	// Warm reports that a snapshot or at least one WAL frame was applied.
+	Warm bool
+	// FromSnapshot names the snapshot file restored from ("" if none).
+	FromSnapshot string
+	// Generation is the dataset generation recovered to (0 = empty).
+	Generation uint64
+	// ReplayedBatches counts WAL frames applied past the snapshot.
+	ReplayedBatches int
+	// Faults counts refusals encountered during recovery, by reason.
+	Faults map[string]int64
+}
+
+type storeMetrics struct {
+	appends      *obsv.Counter
+	records      *obsv.Counter
+	bytes        *obsv.Counter
+	snapshots    *obsv.Counter
+	replayed     *obsv.Counter
+	quarantined  map[string]*obsv.Counter
+	recoveredGen *obsv.Gauge
+}
+
+// Store owns the WAL file and snapshot directory for one dataset.
+// Not safe for concurrent use; retrodnsd's ingest loop is single-threaded.
+type Store struct {
+	dir   string
+	opts  Options
+	ds    *scanner.Dataset
+	cache *core.ClassifyCache
+
+	wal     *os.File
+	walSize int64
+
+	appendsSince int
+	lastSnapGen  uint64
+	closed       bool
+	met          storeMetrics
+}
+
+// errStopReplay aborts a Replay walk from the apply callback; the frame it
+// stopped on is truncated away with the rest of the log.
+var errStopReplay = errors.New("wal: stop replay")
+
+// Open recovers state from dir and returns a store ready for appends. The
+// returned Recovery always carries a usable Dataset and Cache (fresh ones
+// on a cold boot). Fault counters for damage found during recovery are
+// both returned and, when opts.Metrics is set, exported.
+func Open(opts Options) (*Store, *Recovery, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("wal: Options.Dir required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := &Store{dir: opts.Dir, opts: opts}
+	s.initMetrics(opts.Metrics)
+	rec := &Recovery{Faults: make(map[string]int64)}
+
+	man, err := readManifest(opts.Dir)
+	if err != nil {
+		// A damaged manifest is recoverable: the directory scan finds
+		// snapshots without it.
+		rec.Faults[FaultBadSnapshot]++
+		s.fault(FaultBadSnapshot)
+		man = nil
+	}
+
+	// Newest loadable snapshot wins; damaged ones count and fall through.
+	var cacheBytes []byte
+	for _, name := range snapshotCandidates(opts.Dir, man) {
+		ds, cb, err := loadSnapshotFile(filepath.Join(opts.Dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			rec.Faults[FaultBadSnapshot]++
+			s.fault(FaultBadSnapshot)
+			continue
+		}
+		s.ds, cacheBytes, rec.FromSnapshot = ds, cb, name
+		rec.Warm = true
+		break
+	}
+	if s.ds == nil {
+		shards := opts.Shards
+		if shards <= 0 {
+			shards = scanner.DefaultShards
+		}
+		s.ds = scanner.NewDatasetShards(shards)
+	}
+	s.lastSnapGen = s.ds.Generation()
+
+	if err := s.replayWAL(rec); err != nil {
+		return nil, nil, err
+	}
+
+	s.cache = core.NewClassifyCache()
+	if len(cacheBytes) > 0 {
+		if err := s.cache.DecodeState(cacheBytes, s.ds); err != nil {
+			// Correctness never depends on the cache: fall back to cold.
+			rec.Faults[FaultBadSnapshot]++
+			s.fault(FaultBadSnapshot)
+			s.cache = core.NewClassifyCache()
+		}
+	}
+
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.wal = wal
+
+	rec.Dataset = s.ds
+	rec.Cache = s.cache
+	rec.Generation = s.ds.Generation()
+	s.met.recoveredGen.Set(int64(rec.Generation))
+	return s, rec, nil
+}
+
+func (s *Store) walPath() string { return filepath.Join(s.dir, walName) }
+
+func (s *Store) initMetrics(reg *obsv.Registry) {
+	s.met.quarantined = make(map[string]*obsv.Counter, len(walFaults))
+	if reg == nil {
+		for _, reason := range walFaults {
+			s.met.quarantined[reason] = nil
+		}
+		return
+	}
+	reg.SetHelp(MetricWALAppends, "Batches appended to the WAL.")
+	reg.SetHelp(MetricWALRecords, "Records appended to the WAL.")
+	reg.SetHelp(MetricWALBytes, "Bytes appended to the WAL.")
+	reg.SetHelp(MetricWALSnapshots, "Snapshot files written.")
+	reg.SetHelp(MetricWALReplayed, "WAL frames applied during recovery.")
+	reg.SetHelp(MetricWALQuarantined, "Durability-layer refusals, by reason.")
+	reg.SetHelp(MetricWALRecoveredGen, "Dataset generation recovered to at boot.")
+	s.met.appends = reg.Counter(MetricWALAppends)
+	s.met.records = reg.Counter(MetricWALRecords)
+	s.met.bytes = reg.Counter(MetricWALBytes)
+	s.met.snapshots = reg.Counter(MetricWALSnapshots)
+	s.met.replayed = reg.Counter(MetricWALReplayed)
+	for _, reason := range walFaults {
+		s.met.quarantined[reason] = reg.Counter(MetricWALQuarantined, "reason", reason)
+	}
+	s.met.recoveredGen = reg.Gauge(MetricWALRecoveredGen)
+}
+
+func (s *Store) fault(reason string) {
+	if c, ok := s.met.quarantined[reason]; ok {
+		c.Inc()
+	}
+}
+
+// replayWAL applies valid frames past the restored snapshot, truncates any
+// damaged tail, and leaves the log ready for appends.
+func (s *Store) replayWAL(rec *Recovery) error {
+	data, err := os.ReadFile(s.walPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	good, replayErr := Replay(data, func(gen uint64, date simtime.Date, records []*scanner.Record) error {
+		cur := s.ds.Generation()
+		want := cur + 1
+		if cur == 0 {
+			want = 2 // first Append freezes (gen 1) then publishes gen 2
+		}
+		switch {
+		case gen <= cur:
+			// Normal after a crash between snapshot write and log
+			// rotation: the log still holds frames the snapshot covers.
+			rec.Faults[FaultDupGeneration]++
+			s.fault(FaultDupGeneration)
+			return nil
+		case gen != want:
+			rec.Faults[FaultOutOfOrder]++
+			s.fault(FaultOutOfOrder)
+			return errStopReplay
+		}
+		if !date.InStudy() {
+			rec.Faults[FaultClockSkew]++
+			s.fault(FaultClockSkew)
+			return nil
+		}
+		if err := s.ds.Append(date, records); err != nil {
+			return fmt.Errorf("wal: replay apply gen %d: %w", gen, err)
+		}
+		rec.ReplayedBatches++
+		s.met.replayed.Inc()
+		if rec.ReplayedBatches > 0 {
+			rec.Warm = true
+		}
+		return nil
+	})
+	if replayErr != nil {
+		switch {
+		case errors.Is(replayErr, ErrTornTail):
+			rec.Faults[FaultTornTail]++
+			s.fault(FaultTornTail)
+		case errors.Is(replayErr, ErrCRCMismatch):
+			rec.Faults[FaultCRCMismatch]++
+			s.fault(FaultCRCMismatch)
+		case errors.Is(replayErr, ErrBadFrame):
+			rec.Faults[FaultBadFrame]++
+			s.fault(FaultBadFrame)
+		case errors.Is(replayErr, errStopReplay):
+			// counted at the callback
+		default:
+			return replayErr
+		}
+	}
+	if good < len(data) {
+		if err := os.Truncate(s.walPath(), int64(good)); err != nil {
+			return err
+		}
+	}
+	s.walSize = int64(good)
+	return nil
+}
+
+// Append writes the batch to the WAL (fsynced) and only then applies it to
+// the dataset: a batch the dataset has seen is always recoverable, and a
+// torn write is a batch the dataset never saw. A scan date outside the
+// study window is refused with ErrClockSkew before either side sees it.
+func (s *Store) Append(date simtime.Date, records []*scanner.Record) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if !date.InStudy() {
+		s.fault(FaultClockSkew)
+		return fmt.Errorf("%w: %s", ErrClockSkew, date)
+	}
+	cur := s.ds.Generation()
+	want := cur + 1
+	if cur == 0 {
+		want = 2
+	}
+	frame := encodeFrame(want, date, records)
+	if _, err := s.wal.Write(frame); err != nil {
+		// The write may have landed partially; recovery's torn-tail
+		// handling owns that case. Trim what we can see now.
+		s.restoreWALSize()
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	if err := s.ds.Append(date, records); err != nil {
+		// The dataset refused (e.g. strict-mode quarantine): the frame
+		// must not survive, or replay would apply what the live process
+		// rejected.
+		if terr := s.truncateTo(s.walSize); terr != nil {
+			return errors.Join(err, terr)
+		}
+		return err
+	}
+	s.walSize += int64(len(frame))
+	s.appendsSince++
+	s.met.appends.Inc()
+	s.met.records.Add(int64(len(records)))
+	s.met.bytes.Add(int64(len(frame)))
+	if got := s.ds.Generation(); got != want {
+		return fmt.Errorf("wal: generation skew: dataset at %d, wal framed %d", got, want)
+	}
+	return nil
+}
+
+// restoreWALSize re-trims the log to the last known-good boundary after a
+// failed write.
+func (s *Store) restoreWALSize() {
+	_ = s.truncateTo(s.walSize)
+}
+
+func (s *Store) truncateTo(n int64) error {
+	if err := s.wal.Truncate(n); err != nil {
+		return err
+	}
+	// O_APPEND writes land at the (now truncated) end; nothing to seek.
+	return s.wal.Sync()
+}
+
+// MaybeSnapshot writes a snapshot if SnapshotEvery appends have landed
+// since the last one. Returns whether it did.
+func (s *Store) MaybeSnapshot() (bool, error) {
+	every := s.opts.SnapshotEvery
+	if every <= 0 {
+		every = defaultSnapshotEvery
+	}
+	if s.appendsSince < every {
+		return false, nil
+	}
+	return true, s.Snapshot()
+}
+
+// Snapshot captures the dataset (+ classify cache) at its current
+// generation, publishes it atomically, rotates the WAL, and prunes old
+// snapshot files. Call between pipeline runs.
+func (s *Store) Snapshot() error {
+	if s.closed {
+		return ErrClosed
+	}
+	gen := s.ds.Generation()
+	if gen == 0 {
+		return nil // nothing durable to capture
+	}
+	if gen == s.lastSnapGen {
+		s.appendsSince = 0
+		return nil
+	}
+	name, err := writeSnapshotFile(s.dir, gen, s.ds, s.cache)
+	if err != nil {
+		return err
+	}
+	if err := writeManifest(s.dir, &manifest{
+		Snapshot:       name,
+		Generation:     gen,
+		Shards:         s.ds.Shards(),
+		LastGeneration: gen,
+	}); err != nil {
+		return err
+	}
+	// The snapshot is durable and published: frames up to gen are now
+	// redundant, and recovery skips any that survive an ill-timed crash
+	// here as duplicate generations.
+	if err := s.truncateTo(0); err != nil {
+		return err
+	}
+	s.walSize = 0
+	s.appendsSince = 0
+	s.lastSnapGen = gen
+	s.met.snapshots.Inc()
+	pruneSnapshots(s.dir)
+	return nil
+}
+
+// Close flushes the WAL tail and fsyncs a manifest carrying the final
+// generation — the graceful-drain contract: nothing the daemon published
+// is lost to a clean SIGTERM.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var errs []error
+	if s.wal != nil {
+		if err := s.wal.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := s.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	man, _ := readManifest(s.dir)
+	if man == nil {
+		man = &manifest{Shards: s.ds.Shards()}
+	}
+	man.LastGeneration = s.ds.Generation()
+	if err := writeManifest(s.dir, man); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// Generation returns the dataset generation the store last appended or
+// recovered to.
+func (s *Store) Generation() uint64 { return s.ds.Generation() }

@@ -1,0 +1,114 @@
+// Package wal is retrodnsd's durability layer: an append-only, CRC-framed
+// write-ahead log of Dataset.Append batches plus periodic whole-state
+// snapshot files (dataset + classify cache + manifest). A warm restart
+// loads the newest valid snapshot, replays the WAL frames past it, and
+// resumes at the exact generation the dying process had published —
+// refusing torn tails, CRC mismatches, duplicate or out-of-order
+// generations, and clock-skewed scan dates with typed sentinel errors and
+// quarantine counters, never panics.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+)
+
+// Typed refusals. Everything a garbled or truncated log can provoke maps
+// to one of these (possibly wrapped); fuzzing enforces the "typed errors
+// only" contract (FuzzWALReplay).
+var (
+	// ErrTornTail reports a WAL that ends mid-frame — the signature of a
+	// crash during an append. The clean prefix is recoverable.
+	ErrTornTail = errors.New("wal: torn frame at end of log")
+	// ErrCRCMismatch reports a frame whose body fails its checksum.
+	ErrCRCMismatch = errors.New("wal: frame CRC mismatch")
+	// ErrBadFrame reports a structurally invalid frame: wrong magic,
+	// implausible length, or an undecodable batch payload.
+	ErrBadFrame = errors.New("wal: malformed frame")
+	// ErrClockSkew reports an append whose scan date falls outside the
+	// study window — a skewed clock upstream, refused before it can
+	// poison the dataset's generation sequence.
+	ErrClockSkew = errors.New("wal: scan date outside study window")
+	// ErrOutOfOrderGeneration reports a frame whose generation is neither
+	// a duplicate of an applied one nor the next expected — replay stops
+	// at the gap rather than guessing.
+	ErrOutOfOrderGeneration = errors.New("wal: out-of-order generation")
+	// ErrBadSnapshot reports a snapshot file that fails its checksum or
+	// does not decode.
+	ErrBadSnapshot = errors.New("wal: invalid snapshot file")
+	// ErrBadManifest reports an unreadable manifest.json.
+	ErrBadManifest = errors.New("wal: invalid manifest")
+	// ErrClosed reports use of a closed store.
+	ErrClosed = errors.New("wal: store closed")
+)
+
+// Frame layout: magic ++ body length ++ CRC-32C(body) ++ body, all
+// little-endian; body = uvarint generation ++ EncodeBatch payload.
+const (
+	frameMagic  = 0x4c574452 // "RDWL"
+	frameHeader = 12
+	// maxFrameBody bounds a single batch encoding; anything larger is
+	// malformed by construction.
+	maxFrameBody = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame renders one WAL frame for an Append batch.
+func encodeFrame(gen uint64, date simtime.Date, records []*scanner.Record) []byte {
+	body := binary.AppendUvarint(nil, gen)
+	body = append(body, scanner.EncodeBatch(date, records)...)
+	frame := make([]byte, frameHeader, frameHeader+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], frameMagic)
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[8:], crc32.Checksum(body, crcTable))
+	return append(frame, body...)
+}
+
+// Replay walks the framed log in data, invoking fn once per valid frame in
+// order. It returns the byte offset just past the last fully accepted
+// frame, plus the error that stopped the walk: nil when data ends exactly
+// on a frame boundary, ErrTornTail / ErrBadFrame / ErrCRCMismatch for log
+// damage, or fn's own error (which stops the walk without consuming the
+// frame). Replay never panics, whatever the input.
+func Replay(data []byte, fn func(gen uint64, date simtime.Date, records []*scanner.Record) error) (int, error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return off, fmt.Errorf("%w: %d trailing bytes", ErrTornTail, len(rest))
+		}
+		if binary.LittleEndian.Uint32(rest) != frameMagic {
+			return off, fmt.Errorf("%w: bad magic at offset %d", ErrBadFrame, off)
+		}
+		bodyLen := int(binary.LittleEndian.Uint32(rest[4:]))
+		if bodyLen > maxFrameBody {
+			return off, fmt.Errorf("%w: body length %d at offset %d", ErrBadFrame, bodyLen, off)
+		}
+		if len(rest) < frameHeader+bodyLen {
+			return off, fmt.Errorf("%w: frame needs %d bytes, %d remain", ErrTornTail, frameHeader+bodyLen, len(rest))
+		}
+		body := rest[frameHeader : frameHeader+bodyLen]
+		if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(rest[8:]) {
+			return off, fmt.Errorf("%w: at offset %d", ErrCRCMismatch, off)
+		}
+		gen, n := binary.Uvarint(body)
+		if n <= 0 {
+			return off, fmt.Errorf("%w: unreadable generation at offset %d", ErrBadFrame, off)
+		}
+		date, records, err := scanner.DecodeBatch(body[n:])
+		if err != nil {
+			return off, fmt.Errorf("%w: batch at offset %d: %v", ErrBadFrame, off, err)
+		}
+		if err := fn(gen, date, records); err != nil {
+			return off, err
+		}
+		off += frameHeader + bodyLen
+	}
+	return off, nil
+}

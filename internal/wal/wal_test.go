@@ -1,0 +1,331 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"retrodns/internal/scanner"
+	"retrodns/internal/simtime"
+	"retrodns/internal/synth"
+)
+
+func testGen(t *testing.T) *synth.Generator {
+	t.Helper()
+	return synth.New(synth.Config{Domains: 40, Seed: 7, Scans: 4})
+}
+
+// appendAll feeds every synth scan through the store.
+func appendAll(t *testing.T, s *Store, g *synth.Generator) {
+	t.Helper()
+	for _, date := range g.ScanDates() {
+		if err := s.Append(date, g.Scan(date)); err != nil {
+			t.Fatalf("Append %s: %v", date, err)
+		}
+	}
+}
+
+// reference builds the uninterrupted-ingest dataset the recovered one must
+// match.
+func reference(t *testing.T, g *synth.Generator, shards int) *scanner.Dataset {
+	t.Helper()
+	ds := scanner.NewDatasetShards(shards)
+	for _, date := range g.ScanDates() {
+		if err := ds.Append(date, g.Scan(date)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func snapshotBytes(t *testing.T, ds *scanner.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openStore(t *testing.T, dir string, every int) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(Options{Dir: dir, Shards: 4, SnapshotEvery: every})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, rec
+}
+
+// TestStoreRecoverFromWAL crashes (no Close, no snapshot) and recovers
+// purely from the log.
+func TestStoreRecoverFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	g := testGen(t)
+	s, rec := openStore(t, dir, 1000) // never snapshots
+	if rec.Warm {
+		t.Fatal("fresh dir reported warm")
+	}
+	appendAll(t, s, g)
+	wantGen := s.Generation()
+	// Simulated crash: no Close. Reopen.
+	_, rec2 := openStore(t, dir, 1000)
+	if !rec2.Warm || rec2.Generation != wantGen || rec2.ReplayedBatches != len(g.ScanDates()) {
+		t.Fatalf("recovery: %+v (want gen %d, %d batches)", rec2, wantGen, len(g.ScanDates()))
+	}
+	if want, got := snapshotBytes(t, reference(t, g, 4)), snapshotBytes(t, rec2.Dataset); !bytes.Equal(want, got) {
+		t.Fatal("WAL-recovered dataset not byte-identical to uninterrupted ingest")
+	}
+	if len(rec2.Faults) != 0 {
+		t.Fatalf("clean log produced faults: %v", rec2.Faults)
+	}
+}
+
+// TestStoreRecoverFromSnapshotAndTail snapshots mid-stream, appends more,
+// crashes, and recovers snapshot + WAL tail.
+func TestStoreRecoverFromSnapshotAndTail(t *testing.T) {
+	dir := t.TempDir()
+	g := testGen(t)
+	dates := g.ScanDates()
+	s, _ := openStore(t, dir, 1000)
+	for _, date := range dates[:2] {
+		if err := s.Append(date, g.Scan(date)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for _, date := range dates[2:] {
+		if err := s.Append(date, g.Scan(date)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rec := openStore(t, dir, 1000)
+	if rec.FromSnapshot == "" {
+		t.Fatal("recovery ignored the snapshot")
+	}
+	if rec.ReplayedBatches != len(dates)-2 {
+		t.Fatalf("replayed %d batches, want %d", rec.ReplayedBatches, len(dates)-2)
+	}
+	if want, got := snapshotBytes(t, reference(t, g, 4)), snapshotBytes(t, rec.Dataset); !bytes.Equal(want, got) {
+		t.Fatal("snapshot+tail recovery not byte-identical")
+	}
+}
+
+// TestStoreFaultClasses damages the log in every chaos-campaign shape and
+// requires: typed quarantine accounting, no panic, and recovered state
+// equal to the uninterrupted prefix that survived.
+func TestStoreFaultClasses(t *testing.T) {
+	g := testGen(t)
+	dates := g.ScanDates()
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		s, _ := openStore(t, dir, 1000)
+		appendAll(t, s, g)
+		return dir
+	}
+	walPath := func(dir string) string { return filepath.Join(dir, walName) }
+
+	t.Run("torn tail", func(t *testing.T) {
+		dir := build(t)
+		data, err := os.ReadFile(walPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(walPath(dir), int64(len(data)-7)); err != nil {
+			t.Fatal(err)
+		}
+		_, rec := openStore(t, dir, 1000)
+		if rec.Faults[FaultTornTail] != 1 {
+			t.Fatalf("faults: %v", rec.Faults)
+		}
+		// The final batch tore: recovery holds the prefix.
+		if rec.ReplayedBatches != len(dates)-1 {
+			t.Fatalf("replayed %d, want %d", rec.ReplayedBatches, len(dates)-1)
+		}
+	})
+
+	t.Run("garbled byte", func(t *testing.T) {
+		dir := build(t)
+		data, err := os.ReadFile(walPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-10] ^= 0x41 // inside the last frame's body
+		if err := os.WriteFile(walPath(dir), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rec := openStore(t, dir, 1000)
+		if rec.Faults[FaultCRCMismatch]+rec.Faults[FaultBadFrame] != 1 {
+			t.Fatalf("faults: %v", rec.Faults)
+		}
+		if rec.ReplayedBatches != len(dates)-1 {
+			t.Fatalf("replayed %d, want %d", rec.ReplayedBatches, len(dates)-1)
+		}
+	})
+
+	t.Run("duplicate generations", func(t *testing.T) {
+		dir := build(t)
+		data, err := os.ReadFile(walPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Append the whole log to itself: every frame replays again with a
+		// stale generation.
+		f, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		_, rec := openStore(t, dir, 1000)
+		// Every duplicated frame carries a generation <= current: all skip.
+		if rec.Faults[FaultDupGeneration] != int64(len(dates)) {
+			t.Fatalf("dup faults %d, want %d (%v)", rec.Faults[FaultDupGeneration], len(dates), rec.Faults)
+		}
+		if want, got := snapshotBytes(t, reference(t, g, 4)), snapshotBytes(t, rec.Dataset); !bytes.Equal(want, got) {
+			t.Fatal("duplicate-append recovery diverged")
+		}
+	})
+
+	t.Run("out of order generation", func(t *testing.T) {
+		dir := t.TempDir()
+		// Hand-build a log with a generation gap: 2 then 4.
+		frames := append(encodeFrame(2, dates[0], g.Scan(dates[0])),
+			encodeFrame(4, dates[2], g.Scan(dates[2]))...)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walName), frames, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rec := openStore(t, dir, 1000)
+		if rec.Faults[FaultOutOfOrder] != 1 {
+			t.Fatalf("faults: %v", rec.Faults)
+		}
+		if rec.Generation != 2 || rec.ReplayedBatches != 1 {
+			t.Fatalf("recovered gen %d batches %d, want 2/1", rec.Generation, rec.ReplayedBatches)
+		}
+	})
+}
+
+// TestStoreRefusesClockSkew: an out-of-window date never reaches the WAL
+// or the dataset.
+func TestStoreRefusesClockSkew(t *testing.T) {
+	dir := t.TempDir()
+	g := testGen(t)
+	s, _ := openStore(t, dir, 1000)
+	appendAll(t, s, g)
+	gen := s.Generation()
+	skewed := simtime.StudyEnd + 30
+	if err := s.Append(skewed, g.Scan(g.ScanDates()[0])); !errors.Is(err, ErrClockSkew) {
+		t.Fatalf("want ErrClockSkew, got %v", err)
+	}
+	if s.Generation() != gen {
+		t.Fatal("skewed append advanced the generation")
+	}
+	_, rec := openStore(t, dir, 1000)
+	if rec.Generation != gen {
+		t.Fatal("skewed append left durable residue")
+	}
+}
+
+// TestSnapshotRotatesWAL: after a snapshot the log is empty, recovery uses
+// the snapshot, and old snapshots are pruned.
+func TestSnapshotRotatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	g := testGen(t)
+	s, _ := openStore(t, dir, 1) // snapshot on every append via MaybeSnapshot
+	for _, date := range g.ScanDates() {
+		if err := s.Append(date, g.Scan(date)); err != nil {
+			t.Fatal(err)
+		}
+		if took, err := s.MaybeSnapshot(); err != nil || !took {
+			t.Fatalf("MaybeSnapshot: took=%v err=%v", took, err)
+		}
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal not rotated: %v / %d bytes", err, fi.Size())
+	}
+	entries, _ := os.ReadDir(dir)
+	snaps := 0
+	for _, e := range entries {
+		if _, ok := snapGen(e.Name()); ok {
+			snaps++
+		}
+	}
+	if snaps > keepSnapshots {
+		t.Fatalf("%d snapshots retained, want <= %d", snaps, keepSnapshots)
+	}
+	_, rec := openStore(t, dir, 1)
+	if rec.FromSnapshot == "" || rec.ReplayedBatches != 0 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if want, got := snapshotBytes(t, reference(t, g, 4)), snapshotBytes(t, rec.Dataset); !bytes.Equal(want, got) {
+		t.Fatal("snapshot-only recovery diverged")
+	}
+}
+
+// TestFeederGates drives the CSV feeder over a stream containing every
+// gated shape and checks batch/row accounting plus dataset purity.
+func TestFeederGates(t *testing.T) {
+	g := testGen(t)
+	dates := g.ScanDates()
+	row := func(csv *bytes.Buffer, r *scanner.Record) {
+		for i, f := range scanner.FormatScanRow(r) {
+			if i > 0 {
+				csv.WriteByte(',')
+			}
+			csv.WriteString(f)
+		}
+		csv.WriteByte('\n')
+	}
+	var clean bytes.Buffer
+	for _, date := range dates {
+		for _, r := range g.Scan(date) {
+			row(&clean, r)
+		}
+	}
+	dirty := bytes.NewBufferString(clean.String())
+	// A clock-skewed trailer batch, a duplicated scan, a torn final line.
+	skewed := g.Scan(dates[0])[0]
+	skewed.ScanDate = simtime.StudyEnd + 10
+	row(dirty, skewed)
+	row(dirty, g.Scan(dates[0])[0])
+	dirty.WriteString("2017-03-05,10.0.0.1,443,64512,GR,9")
+
+	drain := func(t *testing.T, f *Feeder) int {
+		t.Helper()
+		appended := 0
+		for {
+			_, ok, err := f.Tick()
+			if err != nil {
+				t.Fatalf("Tick: %v", err)
+			}
+			if !ok {
+				break
+			}
+			appended++
+		}
+		f.Finish()
+		return appended
+	}
+	want := scanner.NewDatasetShards(4)
+	drain(t, NewFeeder(bytes.NewReader(clean.Bytes()), want, nil, nil))
+
+	ds := scanner.NewDatasetShards(4)
+	if appended := drain(t, NewFeeder(bytes.NewReader(dirty.Bytes()), ds, nil, nil)); appended != len(dates) {
+		t.Fatalf("appended %d batches, want %d", appended, len(dates))
+	}
+	if !bytes.Equal(snapshotBytes(t, want), snapshotBytes(t, ds)) {
+		t.Fatal("gated feed dataset diverged from clean ingest")
+	}
+	if ds.Quarantine().Total != 0 {
+		t.Fatalf("gated garbage reached the dataset journal: %+v", ds.Quarantine())
+	}
+}

@@ -1,0 +1,214 @@
+package retrodns_bench
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"retrodns/internal/core"
+	"retrodns/internal/obsv"
+	"retrodns/internal/pdns"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/synth"
+	"retrodns/internal/wal"
+)
+
+// writeSynthCSV renders a synth corpus to a scans.csv file and returns
+// its path and the number of scans.
+func writeSynthCSV(t *testing.T, domains int, seed int64, scans int) (string, int) {
+	t.Helper()
+	g := synth.New(synth.Config{Domains: domains, Seed: seed, Scans: scans})
+	path := filepath.Join(t.TempDir(), "scans.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, strings.Join(scanner.ScanCSVHeader, ","))
+	for _, date := range g.ScanDates() {
+		g.EmitScan(date, func(r *scanner.Record) {
+			fmt.Fprintln(w, strings.Join(scanner.FormatScanRow(r), ","))
+		})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(g.ScanDates())
+}
+
+// runDaemonPhase simulates one retrodnsd process lifetime over a durable
+// data dir: recover, re-analyze, feed the CSV, snapshot, close. A fresh
+// metrics registry per call models the fresh process. stopAfter > 0
+// simulates a kill: the phase returns after that many appends WITHOUT
+// closing the store — no final snapshot, no manifest update, the WAL tail
+// exactly as the dying process left it. A completed phase (stopAfter = 0)
+// returns the canonical run-report encoding the chaos harness compares.
+func runDaemonPhase(t *testing.T, dir, csvPath string, shards, every, stopAfter int) ([]byte, *wal.Recovery, uint64) {
+	t.Helper()
+	reg := obsv.NewRegistry()
+	store, rec, err := wal.Open(wal.Options{Dir: dir, Shards: shards, SnapshotEvery: every, Metrics: reg})
+	if err != nil {
+		t.Fatalf("wal open: %v", err)
+	}
+	ds := rec.Dataset
+	ds.SetMetrics(reg)
+	if rec.Warm {
+		ds.AccountRestored()
+	}
+	pipe := &core.Pipeline{
+		Params: core.DefaultParams(), Dataset: ds, PDNS: pdns.NewDB(),
+		Workers: 2, Cache: rec.Cache, Metrics: reg,
+	}
+	var res *core.Result
+	if ds.Frozen() {
+		res = pipe.Run() // republish the recovered generation first
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	feeder := wal.NewFeeder(f, ds, store, reg)
+	appended := 0
+	for {
+		_, ok, err := feeder.Tick()
+		if err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		if !ok {
+			break
+		}
+		appended++
+		res = pipe.Run()
+		if _, err := store.MaybeSnapshot(); err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		if stopAfter > 0 && appended >= stopAfter {
+			// Killed: the store is abandoned mid-flight, never Closed.
+			return nil, rec, ds.Generation()
+		}
+	}
+	feeder.Finish()
+	if err := store.Snapshot(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if res == nil {
+		t.Fatal("phase produced no result")
+	}
+	doc := report.BuildRunReport(res, ds.Quarantine(), reg)
+	var buf bytes.Buffer
+	if err := doc.Canonical().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rec, ds.Generation()
+}
+
+// TestWarmRestartBytesIdentical is the acceptance pin for the durability
+// layer: for every fault class — plain kill, torn tail, garbled byte,
+// duplicated log — and for shard counts 1 and 8, a daemon killed
+// mid-ingest and restarted over the damaged directory must finish with a
+// canonical run report byte-identical to an uninterrupted run's, at the
+// same generation, with the recovery fault counters accounting for
+// exactly the damage injected and nothing else.
+func TestWarmRestartBytesIdentical(t *testing.T) {
+	csvPath, scans := writeSynthCSV(t, 250, 17, 5)
+	const killAfter = 2
+	for _, shards := range []int{1, 8} {
+		want, _, wantGen := runDaemonPhase(t, t.TempDir(), csvPath, shards, 2, 0)
+		if wantGen != uint64(scans)+1 {
+			t.Fatalf("baseline generation %d, want %d", wantGen, scans+1)
+		}
+		for _, fault := range []string{"kill", "torn", "garble", "duplicate"} {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, fault), func(t *testing.T) {
+				dir := t.TempDir()
+				// The kill case snapshots normally; the damage cases pin
+				// snapshots off so the injected fault is guaranteed to
+				// land on live WAL frames.
+				every := 1000
+				if fault == "kill" {
+					every = killAfter
+				}
+				_, _, killedGen := runDaemonPhase(t, dir, csvPath, shards, every, killAfter)
+				walPath := filepath.Join(dir, "wal.log")
+				frames := 0
+				switch fault {
+				case "torn":
+					fi, err := os.Stat(walPath)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.Truncate(walPath, fi.Size()-7); err != nil {
+						t.Fatal(err)
+					}
+				case "garble":
+					data, err := os.ReadFile(walPath)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data[len(data)-10] ^= 0x41
+					if err := os.WriteFile(walPath, data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				case "duplicate":
+					data, err := os.ReadFile(walPath)
+					if err != nil {
+						t.Fatal(err)
+					}
+					frames = killAfter // one frame per append survived in the log
+					wf, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := wf.Write(data); err != nil {
+						t.Fatal(err)
+					}
+					if err := wf.Close(); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				got, rec, gen := runDaemonPhase(t, dir, csvPath, shards, 2, 0)
+				if !rec.Warm {
+					t.Fatal("recovery was not warm")
+				}
+				// Exact fault accounting: every injected fault counted
+				// under its reason, nothing else counted.
+				wantFaults := map[string]int64{}
+				switch fault {
+				case "torn":
+					wantFaults[wal.FaultTornTail] = 1
+				case "garble":
+					wantFaults[wal.FaultCRCMismatch] = 1
+				case "duplicate":
+					wantFaults[wal.FaultDupGeneration] = int64(frames)
+				}
+				if fmt.Sprint(rec.Faults) != fmt.Sprint(wantFaults) {
+					t.Fatalf("recovery faults %v, want %v", rec.Faults, wantFaults)
+				}
+				// Generations never mix: recovery lands at or before the
+				// killed generation, the finished run at the baseline's.
+				if rec.Generation > killedGen {
+					t.Fatalf("recovered generation %d past killed %d", rec.Generation, killedGen)
+				}
+				if gen != wantGen {
+					t.Fatalf("final generation %d, want %d", gen, wantGen)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("canonical report after %s recovery differs from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+						fault, got, want)
+				}
+			})
+		}
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale smoke-chaos profile-classify
+.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale smoke-chaos smoke-load profile-classify
 
 ci: lint vet build test race fuzz-smoke
 
@@ -105,3 +105,10 @@ smoke-scale:
 # over a 50k-domain corpus.
 smoke-chaos:
 	./scripts/smoke_chaos.sh
+
+# Load gate: cmd/loadgen against retrodnsd at -replicas 1 and 2 on a
+# 50k-domain corpus, byte-identical endpoint bodies across replica
+# counts, p99/QPS gated against LOAD_BASELINE.json, and the >=2x
+# prerendered-hit speedup over BENCH_BASELINE.json (cmd/benchdiff).
+smoke-load:
+	./scripts/smoke_load.sh

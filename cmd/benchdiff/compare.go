@@ -23,14 +23,15 @@ type Result struct {
 	Info []string
 }
 
-// compare applies the two gates: funnel counts must match exactly, and
-// timings (bench ns/op; stage wall times above the noise floor) must not
-// regress past tol.
+// compare applies the gates: funnel counts must match exactly, timings
+// (bench ns/op; stage wall times above the noise floor) must not regress
+// past tol, and load samples must hold their p99 and QPS.
 func compare(baseline, current *report.RunReport, tol float64) Result {
 	var res Result
 	res.compareFunnel(baseline, current)
 	res.compareStages(baseline, current, tol)
 	res.compareBench(baseline, current, tol)
+	res.compareLoad(baseline, current, tol)
 	return res
 }
 
@@ -148,6 +149,107 @@ func (res *Result) compareBench(baseline, current *report.RunReport, tol float64
 				continue
 			}
 			res.Info = append(res.Info, aline)
+		}
+	}
+}
+
+// compareLoad gates serving load samples by name: p99 latency may not
+// regress past tol, and achieved QPS may not fall below baseline ×
+// (1 - tol). Unlike bench samples, a baseline load sample missing from
+// the fresh run is a failure — the smoke script always emits the same
+// labeled sample set, so absence means the measurement silently broke,
+// which must not read as a pass.
+func (res *Result) compareLoad(baseline, current *report.RunReport, tol float64) {
+	if len(baseline.Load) == 0 {
+		if len(current.Load) > 0 {
+			res.Info = append(res.Info, fmt.Sprintf("load: %d samples, no baseline to gate against", len(current.Load)))
+		}
+		return
+	}
+	if len(current.Load) == 0 {
+		res.Info = append(res.Info, "no fresh load report given: load gate not checked")
+		return
+	}
+	byName := make(map[string]report.LoadSample, len(current.Load))
+	for _, s := range current.Load {
+		byName[s.Name] = s
+	}
+	for _, b := range baseline.Load {
+		c, ok := byName[b.Name]
+		if !ok {
+			res.Failures = append(res.Failures, fmt.Sprintf("load %s: baseline sample missing from fresh run", b.Name))
+			continue
+		}
+		delete(byName, b.Name)
+		if b.P99NS > 0 {
+			ratio := float64(c.P99NS) / float64(b.P99NS)
+			line := fmt.Sprintf("load %s: p99 %s -> %s (%+.1f%%)", b.Name,
+				time.Duration(b.P99NS).Round(time.Microsecond),
+				time.Duration(c.P99NS).Round(time.Microsecond), (ratio-1)*100)
+			if ratio > 1+tol {
+				res.Failures = append(res.Failures, line)
+			} else {
+				res.Info = append(res.Info, line)
+			}
+		}
+		if b.QPS > 0 {
+			ratio := c.QPS / b.QPS
+			line := fmt.Sprintf("load %s: %.0f -> %.0f qps (%+.1f%%)", b.Name, b.QPS, c.QPS, (ratio-1)*100)
+			if ratio < 1-tol {
+				res.Failures = append(res.Failures, line)
+			} else {
+				res.Info = append(res.Info, line)
+			}
+		}
+		if c.Errors > 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf("load %s: %d error responses", b.Name, c.Errors))
+		}
+	}
+	for name := range byName {
+		res.Info = append(res.Info, fmt.Sprintf("load %s: new sample, no baseline", name))
+	}
+}
+
+// compareMinSpeedup enforces required improvements: for every
+// name=factor pair, the fresh benchmark must run at least factor× faster
+// than the committed baseline. A sample missing from either side fails —
+// an absent measurement must not satisfy an improvement requirement.
+func (res *Result) compareMinSpeedup(baseline, current *report.RunReport, speedups map[string]float64) {
+	if len(speedups) == 0 {
+		return
+	}
+	base := make(map[string]report.BenchSample, len(baseline.Bench))
+	for _, s := range baseline.Bench {
+		base[s.Name] = s
+	}
+	cur := make(map[string]report.BenchSample, len(current.Bench))
+	for _, s := range current.Bench {
+		cur[s.Name] = s
+	}
+	names := make([]string, 0, len(speedups))
+	for name := range speedups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		factor := speedups[name]
+		b, inB := base[name]
+		c, inC := cur[name]
+		switch {
+		case !inB:
+			res.Failures = append(res.Failures, fmt.Sprintf("min-speedup %s: not in baseline", name))
+		case !inC:
+			res.Failures = append(res.Failures, fmt.Sprintf("min-speedup %s: not in fresh bench output", name))
+		case b.NsPerOp <= 0 || c.NsPerOp <= 0:
+			res.Failures = append(res.Failures, fmt.Sprintf("min-speedup %s: unusable ns/op (%.0f -> %.0f)", name, b.NsPerOp, c.NsPerOp))
+		default:
+			got := b.NsPerOp / c.NsPerOp
+			line := fmt.Sprintf("min-speedup %s: %.0f -> %.0f ns/op (%.2fx, need %.2fx)", name, b.NsPerOp, c.NsPerOp, got, factor)
+			if got < factor {
+				res.Failures = append(res.Failures, line)
+			} else {
+				res.Info = append(res.Info, line)
+			}
 		}
 	}
 }

@@ -8,10 +8,19 @@
 //   - a benchmark or a substantial pipeline stage regressed past the
 //     tolerance (default 20%).
 //
+// It also gates serving throughput: repeatable -load flags merge
+// cmd/loadgen reports (retrodns/load-report/v1) into the comparison, and
+// a sample fails when its p99 regresses past the tolerance or its QPS
+// falls below baseline × (1 - tolerance). -min-speedup asserts a
+// committed benchmark improved by at least a factor (the zero-copy
+// serve-path acceptance gate).
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_BASELINE.json -report run.json -bench bench.txt
 //	benchdiff -update -baseline BENCH_BASELINE.json -report run.json -bench bench.txt
+//	benchdiff -baseline LOAD_BASELINE.json -load load-r1.json -load load-r2.json
+//	benchdiff -baseline BENCH_BASELINE.json -bench bench.txt -min-speedup 'BenchmarkServeQuery/hit=2.0'
 //
 // Exit codes: 0 gate passed, 1 gate failed, 2 usage or I/O error.
 package main
@@ -21,9 +30,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"retrodns/internal/report"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -37,17 +57,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reportPath   = fs.String("report", "", "fresh run report (retrodns -report-json)")
 		benchPath    = fs.String("bench", "", "fresh `go test -bench` output to merge into the comparison")
 		tolerance    = fs.Float64("tolerance", 0.20, "allowed fractional timing regression before failing")
-		update       = fs.Bool("update", false, "write -report (+ -bench) as the new baseline instead of comparing")
+		update       = fs.Bool("update", false, "write -report (+ -bench/-load) as the new baseline instead of comparing")
 	)
+	var loadPaths multiFlag
+	fs.Var(&loadPaths, "load", "cmd/loadgen report to merge into the comparison (repeatable)")
+	var minSpeedups multiFlag
+	fs.Var(&minSpeedups, "min-speedup", "require `Bench/name=factor` improvement over the baseline (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *reportPath == "" && *benchPath == "" {
-		fmt.Fprintln(stderr, "benchdiff: need -report and/or -bench")
+	if *reportPath == "" && *benchPath == "" && len(loadPaths) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: need -report, -bench, and/or -load")
+		return 2
+	}
+	speedups, err := parseMinSpeedups(minSpeedups)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
 
-	current, err := loadCurrent(*reportPath, *benchPath)
+	current, err := loadCurrent(*reportPath, *benchPath, loadPaths)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
@@ -72,8 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "benchdiff:", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "benchdiff: wrote baseline %s (%d funnel counts, %d stages, %d bench samples)\n",
-			*baselinePath, len(current.Funnel), len(current.Stages), len(current.Bench))
+		fmt.Fprintf(stdout, "benchdiff: wrote baseline %s (%d funnel counts, %d stages, %d bench samples, %d load samples)\n",
+			*baselinePath, len(current.Funnel), len(current.Stages), len(current.Bench), len(current.Load))
 		return 0
 	}
 
@@ -83,6 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	result := compare(baseline, current, *tolerance)
+	result.compareMinSpeedup(baseline, current, speedups)
 	for _, line := range result.Info {
 		fmt.Fprintln(stdout, "  "+line)
 	}
@@ -98,10 +128,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // loadCurrent assembles the fresh side of the comparison from a run
-// report and/or raw bench output. Bench samples parsed from -bench
-// replace any embedded in the report: the gate should see what this run
-// measured, not what the report writer happened to embed.
-func loadCurrent(reportPath, benchPath string) (*report.RunReport, error) {
+// report, raw bench output, and/or loadgen reports. Bench samples parsed
+// from -bench replace any embedded in the report: the gate should see
+// what this run measured, not what the report writer happened to embed.
+// Load samples from every -load file are concatenated (the smoke script
+// passes one file per replica count, with distinct sample labels).
+func loadCurrent(reportPath, benchPath string, loadPaths []string) (*report.RunReport, error) {
 	var current *report.RunReport
 	if reportPath != "" {
 		r, err := loadReport(reportPath)
@@ -127,7 +159,60 @@ func loadCurrent(reportPath, benchPath string) (*report.RunReport, error) {
 		}
 		current.Bench = samples
 	}
+	if len(loadPaths) > 0 {
+		current.Load = nil
+		seen := make(map[string]bool)
+		for _, path := range loadPaths {
+			lr, err := readLoadReport(path)
+			if err != nil {
+				return nil, err
+			}
+			if len(lr.Samples) == 0 {
+				return nil, fmt.Errorf("%s: no load samples found", path)
+			}
+			for _, s := range lr.Samples {
+				if seen[s.Name] {
+					return nil, fmt.Errorf("%s: duplicate load sample %q (use -label to distinguish runs)", path, s.Name)
+				}
+				seen[s.Name] = true
+				current.Load = append(current.Load, s)
+			}
+		}
+	}
 	return current, nil
+}
+
+func readLoadReport(path string) (*report.LoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := report.ReadLoadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// parseMinSpeedups parses repeated "BenchmarkName=factor" requirements.
+func parseMinSpeedups(specs []string) (map[string]float64, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]float64, len(specs))
+	for _, spec := range specs {
+		name, val, found := strings.Cut(spec, "=")
+		if !found || name == "" {
+			return nil, fmt.Errorf("min-speedup %q: want Benchmark/name=factor", spec)
+		}
+		var factor float64
+		if _, err := fmt.Sscanf(val, "%g", &factor); err != nil || factor <= 0 {
+			return nil, fmt.Errorf("min-speedup %q: bad factor %q", spec, val)
+		}
+		out[name] = factor
+	}
+	return out, nil
 }
 
 func loadReport(path string) (*report.RunReport, error) {

@@ -173,6 +173,131 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 }
 
+func loadSamples() []report.LoadSample {
+	return []report.LoadSample{
+		{Name: "replicas1/all", Requests: 10000, QPS: 5000, P50NS: 200_000, P90NS: 400_000, P99NS: 1_000_000, P999NS: 2_000_000},
+		{Name: "replicas1/domain", Requests: 6000, QPS: 3000, P50NS: 220_000, P90NS: 450_000, P99NS: 1_100_000, P999NS: 2_100_000},
+	}
+}
+
+func TestLoadGate(t *testing.T) {
+	b := &report.RunReport{Schema: report.RunReportSchema, Load: loadSamples()}
+	c := &report.RunReport{Schema: report.RunReportSchema, Load: loadSamples()}
+	if res := compare(b, c, 0.20); len(res.Failures) != 0 {
+		t.Fatalf("identical load failed: %v", res.Failures)
+	}
+
+	// p99 +25% trips the 20% gate.
+	c = &report.RunReport{Schema: report.RunReportSchema, Load: loadSamples()}
+	c.Load[0].P99NS = 1_250_000
+	res := compare(b, c, 0.20)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "p99") {
+		t.Errorf("p99 regression: failures = %v", res.Failures)
+	}
+
+	// QPS -25% trips it too.
+	c = &report.RunReport{Schema: report.RunReportSchema, Load: loadSamples()}
+	c.Load[1].QPS = 2250
+	res = compare(b, c, 0.20)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "qps") {
+		t.Errorf("qps regression: failures = %v", res.Failures)
+	}
+
+	// A baseline sample vanishing from the fresh run fails, not passes.
+	c = &report.RunReport{Schema: report.RunReportSchema, Load: loadSamples()[:1]}
+	if res := compare(b, c, 0.20); len(res.Failures) != 1 {
+		t.Errorf("missing load sample: failures = %v", res.Failures)
+	}
+
+	// Error responses under load fail regardless of latency.
+	c = &report.RunReport{Schema: report.RunReportSchema, Load: loadSamples()}
+	c.Load[0].Errors = 3
+	if res := compare(b, c, 0.20); len(res.Failures) != 1 {
+		t.Errorf("load errors: failures = %v", res.Failures)
+	}
+}
+
+func TestMinSpeedupGate(t *testing.T) {
+	b := &report.RunReport{Schema: report.RunReportSchema,
+		Bench: []report.BenchSample{{Name: "BenchmarkServeQuery/hit", N: 1000, NsPerOp: 10000}}}
+	fast := &report.RunReport{Schema: report.RunReportSchema,
+		Bench: []report.BenchSample{{Name: "BenchmarkServeQuery/hit", N: 1000, NsPerOp: 4000}}}
+	slow := &report.RunReport{Schema: report.RunReportSchema,
+		Bench: []report.BenchSample{{Name: "BenchmarkServeQuery/hit", N: 1000, NsPerOp: 6000}}}
+
+	var res Result
+	res.compareMinSpeedup(b, fast, map[string]float64{"BenchmarkServeQuery/hit": 2.0})
+	if len(res.Failures) != 0 {
+		t.Errorf("2.5x speedup failed a 2.0x requirement: %v", res.Failures)
+	}
+	res = Result{}
+	res.compareMinSpeedup(b, slow, map[string]float64{"BenchmarkServeQuery/hit": 2.0})
+	if len(res.Failures) != 1 {
+		t.Errorf("1.67x speedup passed a 2.0x requirement: %v", res.Failures)
+	}
+	// Missing on either side is a failure, never a silent pass.
+	res = Result{}
+	res.compareMinSpeedup(b, &report.RunReport{}, map[string]float64{"BenchmarkServeQuery/hit": 2.0})
+	if len(res.Failures) != 1 {
+		t.Errorf("missing fresh sample passed: %v", res.Failures)
+	}
+	res = Result{}
+	res.compareMinSpeedup(&report.RunReport{}, fast, map[string]float64{"BenchmarkServeQuery/hit": 2.0})
+	if len(res.Failures) != 1 {
+		t.Errorf("missing baseline sample passed: %v", res.Failures)
+	}
+
+	if _, err := parseMinSpeedups([]string{"NoEquals"}); err == nil {
+		t.Error("malformed min-speedup accepted")
+	}
+	if _, err := parseMinSpeedups([]string{"B=0"}); err == nil {
+		t.Error("zero factor accepted")
+	}
+}
+
+// TestLoadCLIRoundTrip drives the full CLI: -update writes a baseline
+// with load samples, a matching run passes, a regressed one fails.
+func TestLoadCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeLoad := func(name string, p99 int64, qps float64) string {
+		path := filepath.Join(dir, name)
+		lr := report.LoadReport{
+			Schema: report.LoadReportSchema, Target: "http://test", Connections: 4,
+			Samples: []report.LoadSample{{Name: "replicas1/all", Requests: 1000, QPS: qps, P50NS: 100_000, P99NS: p99}},
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lr.Encode(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	good := writeLoad("good.json", 1_000_000, 5000)
+	baseline := filepath.Join(dir, "LOAD_BASELINE.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-update", "-baseline", baseline, "-load", good}, &stdout, &stderr); code != 0 {
+		t.Fatalf("update exit = %d\nstderr: %s", code, &stderr)
+	}
+	if code := run([]string{"-baseline", baseline, "-load", good}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare exit = %d\nstderr: %s", code, &stderr)
+	}
+	bad := writeLoad("bad.json", 2_000_000, 5000)
+	stderr.Reset()
+	if code := run([]string{"-baseline", baseline, "-load", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed load exit = %d, want 1\nstderr: %s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "p99") {
+		t.Errorf("failure does not name p99:\n%s", &stderr)
+	}
+	// Duplicate sample names across -load files are a usage error.
+	if code := run([]string{"-baseline", baseline, "-load", good, "-load", good}, &stdout, &stderr); code != 2 {
+		t.Errorf("duplicate samples exit = %d, want 2", code)
+	}
+}
+
 func TestUpdateWritesBaseline(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "baseline.json")
 	var stdout, stderr bytes.Buffer

@@ -11,6 +11,7 @@
 //	retrodnsd -listen :8080                  # analyze once, serve forever
 //	retrodnsd -listen :8080 -follow          # re-analyze and swap after every scan
 //	retrodnsd -data-dir d -scans-csv s.csv   # durable CSV ingest with warm restarts
+//	retrodnsd -listen :8080 -replicas 4      # consistent-hash routing over 4 engines
 //	curl localhost:8080/v1/healthz
 //	curl localhost:8080/v1/funnel
 //	curl localhost:8080/v1/shortlist
@@ -64,9 +65,12 @@ func run() error {
 		strict      = flag.Bool("strict", false, "treat any record the ingest gate would quarantine as a fatal error")
 		follow      = flag.Bool("follow", false, "ingest scan-by-scan, re-analyzing and swapping the snapshot after each scan")
 		interval    = flag.Duration("scan-interval", 0, "pause between scans in -follow mode (0 = replay as fast as possible)")
-		lruSize     = flag.Int("lru", serve.DefaultLRUSize, "rendered-response cache entries (negative disables)")
+		lruSize     = flag.Int("lru", serve.DefaultLRUSize, "rendered-response cache entries per replica (negative disables)")
 		rate        = flag.Float64("rate", 0, "token-bucket request rate limit per second (0 disables)")
 		burst       = flag.Int("burst", 0, "rate-limiter burst capacity (defaults to 1 when -rate is set)")
+		replicas    = flag.Int("replicas", 1, "serving engine replicas behind consistent-hash routing")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant request rate limit per second, keyed on "+serve.TenantHeader+" (0 disables)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant burst capacity (defaults to 1 when -tenant-rate is set)")
 		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window on SIGTERM/SIGINT")
 		reportJSON  = flag.String("report-json", "", "write the run report (with serve section) here on shutdown ('-' for stdout)")
@@ -82,18 +86,28 @@ func run() error {
 	}
 
 	metrics := obsv.NewRegistry()
-	engine := serve.NewEngine(serve.Options{
-		LRUSize:    lruFlag(*lruSize),
-		RatePerSec: *rate,
-		Burst:      *burst,
-	})
-	engine.SetMetrics(metrics)
+	opts := serve.Options{
+		LRUSize:          lruFlag(*lruSize),
+		RatePerSec:       *rate,
+		Burst:            *burst,
+		TenantRatePerSec: *tenantRate,
+		TenantBurst:      *tenantBurst,
+	}
+	// -replicas 1 serves a bare engine (no routing layer on the hot
+	// path); anything higher puts N engines behind the consistent-hash
+	// router, which also exposes the /v1/replicas fanout.
+	var pub snapshotPublisher = serve.NewEngine(opts)
+	if *replicas > 1 {
+		pub = serve.NewRouter(*replicas, opts)
+		fmt.Fprintf(os.Stderr, "routing across %d replicas\n", *replicas)
+	}
+	pub.SetMetrics(metrics)
 
 	// One mux, one listener: the query API and the scrape surface share
 	// -listen; -metrics-addr adds an optional side listener for setups
 	// that keep scrapes off the serving port.
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", engine.Handler())
+	mux.Handle("/v1/", pub.Handler())
 	metrics.Mount(mux)
 	srv := &http.Server{
 		Handler:           http.TimeoutHandler(mux, *reqTimeout, `{"error":"request timed out"}`+"\n"),
@@ -143,13 +157,13 @@ func run() error {
 		dur *durable
 	)
 	if *scansCSV != "" {
-		res, ds, dur, err = ingestCSV(ctx, engine, metrics, csvConfig{
+		res, ds, dur, err = ingestCSV(ctx, pub, metrics, csvConfig{
 			path: *scansCSV, dataDir: *dataDir, shards: *shards,
 			snapshotEvery: *snapEvery, workers: *workers, strict: *strict,
 			follow: *follow, interval: *interval,
 		})
 	} else {
-		res, ds, err = ingest(ctx, engine, metrics, ingestConfig{
+		res, ds, err = ingest(ctx, pub, metrics, ingestConfig{
 			seed: *seed, stable: *stable, campaigns: !*noCampaigns,
 			coverage: *coverage, workers: *workers, strict: *strict,
 			follow: *follow, interval: *interval,
@@ -198,7 +212,7 @@ func run() error {
 	}
 
 	if *reportJSON != "" && res != nil {
-		if err := writeRunReport(*reportJSON, res, ds, metrics, engine, dur); err != nil {
+		if err := writeRunReport(*reportJSON, res, ds, metrics, pub, *replicas, dur); err != nil {
 			return fmt.Errorf("report-json: %w", err)
 		}
 	}
@@ -230,6 +244,19 @@ func servePprof(addr string) (string, func(context.Context) error, error) {
 	return ln.Addr().String(), srv.Shutdown, nil
 }
 
+// snapshotPublisher is what the ingest loops need from the serving
+// layer: somewhere to install each generation and the stats/handler
+// surface around it. *serve.Engine (one replica) and *serve.Router
+// (consistent-hash fanout) both satisfy it, so ingest and the shutdown
+// report are agnostic to -replicas.
+type snapshotPublisher interface {
+	Publish(*serve.Snapshot)
+	Current() *serve.Snapshot
+	Handler() http.Handler
+	SetMetrics(*obsv.Registry)
+	Stats() serve.Stats
+}
+
 // lruFlag maps the -lru flag onto serve.Options.LRUSize, where 0 means
 // "use the default" rather than "disabled" — a user passing -lru 0 wants
 // caching off.
@@ -255,7 +282,7 @@ type ingestConfig struct {
 // a snapshot per generation (-follow) or once for the whole corpus. It
 // returns the final result and dataset for the shutdown report; a nil
 // result means the context was cancelled before the first analysis.
-func ingest(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, cfg ingestConfig) (*core.Result, *scanner.Dataset, error) {
+func ingest(ctx context.Context, pub snapshotPublisher, metrics *obsv.Registry, cfg ingestConfig) (*core.Result, *scanner.Dataset, error) {
 	wcfg := world.DefaultConfig()
 	wcfg.Seed = cfg.seed
 	wcfg.StableDomains = cfg.stable
@@ -283,7 +310,7 @@ func ingest(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, c
 		w.CT.SetMetrics(metrics)
 		pipe := newPipeline(w, ds, metrics, cfg.workers)
 		res := pipe.Run()
-		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
+		pub.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
 		fmt.Fprintf(os.Stderr, "published snapshot gen=%d hijacked=%d targeted=%d\n",
 			ds.Generation(), len(res.Hijacked), len(res.Targeted))
 		return res, ds, nil
@@ -312,7 +339,7 @@ func ingest(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, c
 			return res, ds, fmt.Errorf("ingest %s: %w", date, err)
 		}
 		res = pipe.Run()
-		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
+		pub.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
 		fmt.Fprintf(os.Stderr, "scan %s: published gen=%d dirty=%d hijacked=%d targeted=%d\n",
 			date, ds.Generation(), res.Stats.DirtyCells, len(res.Hijacked), len(res.Targeted))
 		if cfg.interval > 0 {
@@ -376,7 +403,7 @@ const followPoll = 100 * time.Millisecond
 // generation, so the API answers from the pre-crash state before the feed
 // advances it. There is no simulated world behind a CSV feed, so the
 // auxiliary sources are empty — same shape as retrodns -synth.
-func ingestCSV(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry, cfg csvConfig) (*core.Result, *scanner.Dataset, *durable, error) {
+func ingestCSV(ctx context.Context, pub snapshotPublisher, metrics *obsv.Registry, cfg csvConfig) (*core.Result, *scanner.Dataset, *durable, error) {
 	dur := &durable{}
 	var ds *scanner.Dataset
 	cache := core.NewClassifyCache()
@@ -412,7 +439,7 @@ func ingestCSV(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry
 		// Warm boot: serve the recovered generation before reading a byte
 		// of feed.
 		res = pipe.Run()
-		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
+		pub.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
 		fmt.Fprintf(os.Stderr, "published recovered snapshot gen=%d\n", ds.Generation())
 	}
 
@@ -446,7 +473,7 @@ func ingestCSV(ctx context.Context, engine *serve.Engine, metrics *obsv.Registry
 			continue
 		}
 		res = pipe.Run()
-		engine.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
+		pub.Publish(serve.BuildSnapshot(res, ds, snapshotStamp(ds)))
 		fmt.Fprintf(os.Stderr, "scan %s: published gen=%d dirty=%d hijacked=%d targeted=%d\n",
 			date, ds.Generation(), res.Stats.DirtyCells, len(res.Hijacked), len(res.Targeted))
 		if dur.store != nil {
@@ -500,12 +527,13 @@ func worldErrors(w *world.World) error {
 // writeRunReport emits the run report with the serving section attached —
 // the only producer that fills it in — plus, in durable mode, the WAL
 // section describing what boot recovered.
-func writeRunReport(path string, res *core.Result, ds *scanner.Dataset, metrics *obsv.Registry, engine *serve.Engine, dur *durable) error {
+func writeRunReport(path string, res *core.Result, ds *scanner.Dataset, metrics *obsv.Registry, pub snapshotPublisher, replicas int, dur *durable) error {
 	doc := report.BuildRunReport(res, ds.Quarantine(), metrics)
-	st := engine.Stats()
+	st := pub.Stats()
 	doc.Serve = &report.ServeSection{
 		Generation: st.Generation,
 		Swaps:      st.Swaps,
+		Replicas:   replicas,
 		Requests:   st.Requests,
 	}
 	if dur != nil && dur.rec != nil {

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"retrodns/internal/obsv"
+)
+
+// The load report: one JSON document per cmd/loadgen run capturing what
+// the serving stack sustained — achieved QPS, latency percentiles, and
+// error/429 counts per endpoint — plus the generator's obsv metrics
+// snapshot. cmd/benchdiff gates it against LOAD_BASELINE.json the same
+// way bench samples gate against BENCH_BASELINE.json: p99 may not
+// regress past the tolerance, QPS may not fall below it.
+
+// LoadReportSchema identifies the document version; readers refuse other
+// schemas rather than misinterpreting fields.
+const LoadReportSchema = "retrodns/load-report/v1"
+
+// LoadSample is one endpoint's measured row. Percentiles are exact
+// (nearest-rank over every recorded post-warmup latency), not histogram
+// interpolations, so the CI gate compares real numbers.
+type LoadSample struct {
+	Name        string  `json:"name"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	RateLimited int64   `json:"rate_limited"`
+	QPS         float64 `json:"qps"`
+	P50NS       int64   `json:"p50_ns"`
+	P90NS       int64   `json:"p90_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	P999NS      int64   `json:"p999_ns"`
+}
+
+// LoadReport is the top-level document.
+type LoadReport struct {
+	Schema      string        `json:"schema"`
+	Target      string        `json:"target"`
+	Label       string        `json:"label,omitempty"`
+	OpenLoop    bool          `json:"open_loop"`
+	TargetQPS   float64       `json:"target_qps,omitempty"`
+	Connections int           `json:"connections"`
+	WarmupNS    int64         `json:"warmup_ns"`
+	DurationNS  int64         `json:"duration_ns"`
+	Samples     []LoadSample  `json:"samples"`
+	Metrics     []obsv.Sample `json:"metrics,omitempty"`
+}
+
+// Encode streams the report as indented JSON.
+func (r LoadReport) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadLoadReport parses a document Encode produced. Strict like
+// ReadRunReport: unknown fields, trailing data, and foreign schemas are
+// ErrBadReport.
+func ReadLoadReport(rd io.Reader) (*LoadReport, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r LoadReport
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after document", ErrBadReport)
+	}
+	if r.Schema != LoadReportSchema {
+		return nil, fmt.Errorf("%w: schema %q, want %q", ErrBadReport, r.Schema, LoadReportSchema)
+	}
+	return &r, nil
+}

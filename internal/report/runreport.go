@@ -61,6 +61,7 @@ type QuarantineSection struct {
 type ServeSection struct {
 	Generation uint64           `json:"generation"`
 	Swaps      uint64           `json:"swaps"`
+	Replicas   int              `json:"replicas,omitempty"`
 	Requests   map[string]int64 `json:"requests,omitempty"`
 }
 
@@ -100,6 +101,7 @@ type RunReport struct {
 	Quarantine QuarantineSection `json:"quarantine"`
 	Metrics    []obsv.Sample     `json:"metrics,omitempty"`
 	Bench      []BenchSample     `json:"bench,omitempty"`
+	Load       []LoadSample      `json:"load,omitempty"`
 	Serve      *ServeSection     `json:"serve,omitempty"`
 	WAL        *WALSection       `json:"wal,omitempty"`
 }
@@ -198,7 +200,8 @@ func canonicalKeeps(name string) bool {
 // Canonical returns a copy with every nondeterministic or run-count-
 // dependent field stripped: stage timings zeroed, shard skew zeroed,
 // _seconds / serving / durability / lifetime-total metric families
-// dropped, bench samples dropped, serve and wal sections dropped, and
+// dropped, bench and load samples dropped, serve and wal sections
+// dropped, and
 // per-run cache counters zeroed. Two runs reaching the same final state —
 // including a crash-recovered run next to an uninterrupted one — produce
 // byte-identical canonical encodings; the golden tests, drift gates, and
@@ -218,6 +221,7 @@ func (r RunReport) Canonical() RunReport {
 		}
 	}
 	out.Bench = nil
+	out.Load = nil
 	out.Serve = nil
 	out.WAL = nil
 	return out

@@ -11,15 +11,20 @@ import (
 // alongside the pipeline's. Only the latency family is wall-clock (the
 // _seconds suffix convention the run report's canonical form strips).
 const (
-	MetricServeRequests       = "retrodns_serve_requests_total"
-	MetricServeErrors         = "retrodns_serve_errors_total"
-	MetricServeLatencySec     = "retrodns_serve_latency_seconds"
-	MetricServeRateLimited    = "retrodns_serve_ratelimited_total"
-	MetricServeGeneration     = "retrodns_serve_snapshot_generation"
-	MetricServeSwaps          = "retrodns_serve_snapshot_swaps_total"
-	MetricServeCacheHits      = "retrodns_serve_cache_hits_total"
-	MetricServeCacheMisses    = "retrodns_serve_cache_misses_total"
-	MetricServeCacheEvictions = "retrodns_serve_cache_evictions_total"
+	MetricServeRequests        = "retrodns_serve_requests_total"
+	MetricServeErrors          = "retrodns_serve_errors_total"
+	MetricServeLatencySec      = "retrodns_serve_latency_seconds"
+	MetricServeRateLimited     = "retrodns_serve_ratelimited_total"
+	MetricServeGeneration      = "retrodns_serve_snapshot_generation"
+	MetricServeSwaps           = "retrodns_serve_snapshot_swaps_total"
+	MetricServeCacheHits       = "retrodns_serve_cache_hits_total"
+	MetricServeCacheMisses     = "retrodns_serve_cache_misses_total"
+	MetricServeCacheEvictions  = "retrodns_serve_cache_evictions_total"
+	MetricServeCachePurged     = "retrodns_serve_cache_purged_total"
+	MetricServePrerendered     = "retrodns_serve_prerendered_bodies"
+	MetricServeLRUShardEntries = "retrodns_serve_lru_shard_entries"
+	MetricServeLRUShardBytes   = "retrodns_serve_lru_shard_bytes"
+	MetricServeTenants         = "retrodns_serve_tenant_buckets"
 )
 
 // endpoints are the fixed endpoint labels of the /v1 API.
@@ -40,6 +45,17 @@ type Options struct {
 	RatePerSec float64
 	// Burst is the limiter's bucket capacity; values below 1 become 1.
 	Burst int
+	// TenantRatePerSec enables per-tenant token buckets keyed on the
+	// X-Retrodns-Tenant header; <= 0 disables them. Each tenant gets its
+	// own bucket at this rate, so one tenant at burst never 429s another.
+	TenantRatePerSec float64
+	// TenantBurst is each tenant bucket's capacity; values below 1
+	// become 1.
+	TenantBurst int
+	// Replica labels this engine's replica-scoped metric series (swap
+	// counters, LRU shard gauges); empty means "0". The Router sets it
+	// per replica so N engines sharing one registry stay distinguishable.
+	Replica string
 	// Now overrides the engine's clock (tests and benchmarks); nil means
 	// time.Now.
 	Now func() time.Time
@@ -54,13 +70,16 @@ type endpointMetrics struct {
 
 // Engine is the embeddable query engine: it holds the current Snapshot
 // behind an atomic pointer (readers load it once per request and never
-// lock; Publish stores a fully-built successor), fronts rendering with
-// the bounded LRU, and enforces the rate limit. All methods are safe for
-// concurrent use.
+// lock; Publish stores a fully-built successor), serves pre-rendered
+// bodies zero-copy with the sharded LRU as fallback, and enforces the
+// global and per-tenant rate limits. All methods are safe for concurrent
+// use.
 type Engine struct {
 	now     func() time.Time
-	cache   *lruCache
+	cache   *shardedLRU
 	limiter *tokenBucket
+	tenants *tenantLimiter
+	replica string
 
 	snap  atomic.Pointer[Snapshot]
 	swaps atomic.Uint64
@@ -69,14 +88,17 @@ type Engine struct {
 	// metrics registry, so Stats() works uninstrumented.
 	requests map[string]*atomic.Int64
 
-	reg         *obsv.Registry
-	met         map[string]endpointMetrics
-	ratelimited *obsv.Counter
-	generation  *obsv.Gauge
-	swapsMet    *obsv.Counter
-	cacheHits   *obsv.Counter
-	cacheMisses *obsv.Counter
-	cacheEvict  *obsv.Counter
+	reg          *obsv.Registry
+	met          map[string]endpointMetrics
+	ratelimited  *obsv.Counter
+	generation   *obsv.Gauge
+	swapsMet     *obsv.Counter
+	cacheHits    *obsv.Counter
+	cacheMisses  *obsv.Counter
+	cacheEvict   *obsv.Counter
+	cachePurge   *obsv.Counter
+	prerenderedG *obsv.Gauge
+	tenantsG     *obsv.Gauge
 }
 
 // NewEngine creates an engine with no snapshot published yet; every
@@ -89,14 +111,21 @@ func NewEngine(opts Options) *Engine {
 	e := &Engine{
 		now:      opts.Now,
 		cache:    newLRU(size),
+		replica:  opts.Replica,
 		requests: make(map[string]*atomic.Int64, len(endpoints)),
 		met:      make(map[string]endpointMetrics, len(endpoints)),
 	}
 	if e.now == nil {
 		e.now = time.Now
 	}
+	if e.replica == "" {
+		e.replica = "0"
+	}
 	if opts.RatePerSec > 0 {
 		e.limiter = newTokenBucket(opts.RatePerSec, opts.Burst)
+	}
+	if opts.TenantRatePerSec > 0 {
+		e.tenants = newTenantLimiter(opts.TenantRatePerSec, opts.TenantBurst)
 	}
 	for _, ep := range endpoints {
 		e.requests[ep] = &atomic.Int64{}
@@ -106,26 +135,35 @@ func NewEngine(opts Options) *Engine {
 
 // SetMetrics points the engine's instrumentation at a registry: request
 // and latency series per endpoint, rate-limit refusals, snapshot
-// generation/swap gauges, and response-cache counters. Call before
-// serving; a nil registry detaches.
+// generation/swap gauges, response-cache counters, and per-shard LRU
+// occupancy gauges. Replica-scoped series (swaps, shard gauges) carry a
+// "replica" label so multiple engines can share one registry. Call
+// before serving; a nil registry detaches.
 func (e *Engine) SetMetrics(reg *obsv.Registry) {
 	e.reg = reg
 	e.met = make(map[string]endpointMetrics, len(endpoints))
+	e.cache.setMetrics(reg, e.replica)
 	if reg == nil {
 		e.ratelimited, e.swapsMet = nil, nil
 		e.generation = nil
-		e.cacheHits, e.cacheMisses, e.cacheEvict = nil, nil, nil
+		e.cacheHits, e.cacheMisses, e.cacheEvict, e.cachePurge = nil, nil, nil, nil
+		e.prerenderedG, e.tenantsG = nil, nil
 		return
 	}
 	reg.SetHelp(MetricServeRequests, "API requests received, by endpoint.")
 	reg.SetHelp(MetricServeErrors, "API error responses, by endpoint and status code.")
 	reg.SetHelp(MetricServeLatencySec, "API request latency, by endpoint.")
-	reg.SetHelp(MetricServeRateLimited, "Requests refused by the token-bucket rate limiter.")
+	reg.SetHelp(MetricServeRateLimited, "Requests refused by the token-bucket rate limiters.")
 	reg.SetHelp(MetricServeGeneration, "Dataset generation of the published snapshot.")
-	reg.SetHelp(MetricServeSwaps, "Snapshot swaps published since the engine started.")
+	reg.SetHelp(MetricServeSwaps, "Snapshot swaps published since the engine started, by replica.")
 	reg.SetHelp(MetricServeCacheHits, "Rendered responses served from the LRU.")
 	reg.SetHelp(MetricServeCacheMisses, "Rendered responses built because the LRU missed.")
 	reg.SetHelp(MetricServeCacheEvictions, "LRU entries evicted past capacity.")
+	reg.SetHelp(MetricServeCachePurged, "Stale-generation LRU entries purged on Publish.")
+	reg.SetHelp(MetricServePrerendered, "Response bodies pre-rendered into the published snapshot.")
+	reg.SetHelp(MetricServeLRUShardEntries, "Live entries per LRU shard, by replica and shard.")
+	reg.SetHelp(MetricServeLRUShardBytes, "Body bytes held per LRU shard, by replica and shard.")
+	reg.SetHelp(MetricServeTenants, "Live per-tenant rate-limit buckets.")
 	for _, ep := range endpoints {
 		e.met[ep] = endpointMetrics{
 			requests: reg.Counter(MetricServeRequests, "endpoint", ep),
@@ -134,21 +172,30 @@ func (e *Engine) SetMetrics(reg *obsv.Registry) {
 	}
 	e.ratelimited = reg.Counter(MetricServeRateLimited)
 	e.generation = reg.Gauge(MetricServeGeneration)
-	e.swapsMet = reg.Counter(MetricServeSwaps)
+	e.swapsMet = reg.Counter(MetricServeSwaps, "replica", e.replica)
 	e.cacheHits = reg.Counter(MetricServeCacheHits)
 	e.cacheMisses = reg.Counter(MetricServeCacheMisses)
 	e.cacheEvict = reg.Counter(MetricServeCacheEvictions)
+	e.cachePurge = reg.Counter(MetricServeCachePurged)
+	e.prerenderedG = reg.Gauge(MetricServePrerendered, "replica", e.replica)
+	e.tenantsG = reg.Gauge(MetricServeTenants)
 }
 
 // Publish atomically swaps the served snapshot. The snapshot must be
 // fully built before the call; readers holding the predecessor keep
-// serving it consistently until their request completes. Old rendered
-// responses need no invalidation — cache keys embed the generation.
+// serving it consistently until their request completes. Cache keys
+// embed the generation, so stale bodies can never be served; Publish
+// additionally purges them so superseded generations stop occupying LRU
+// capacity immediately.
 func (e *Engine) Publish(s *Snapshot) {
 	e.snap.Store(s)
 	e.swaps.Add(1)
+	if purged := e.cache.purge(s.Generation); purged > 0 {
+		e.cachePurge.Add(int64(purged))
+	}
 	e.generation.Set(int64(s.Generation))
 	e.swapsMet.Inc()
+	e.prerenderedG.Set(int64(s.Prerendered()))
 }
 
 // Current returns the published snapshot, or nil before the first
@@ -165,10 +212,14 @@ type Stats struct {
 	Swaps uint64
 	// Requests maps endpoint name to admitted request count.
 	Requests map[string]int64
-	// CacheHits/CacheMisses/CacheEvictions are the response-LRU counters;
-	// CacheLen is its current size.
-	CacheHits, CacheMisses, CacheEvictions int64
-	CacheLen                               int
+	// CacheHits/CacheMisses/CacheEvictions/CachePurged are the
+	// response-LRU counters; CacheLen is its current size.
+	CacheHits, CacheMisses, CacheEvictions, CachePurged int64
+	CacheLen                                            int
+	// Prerendered is how many bodies the published snapshot carries
+	// pre-rendered; Tenants is the live per-tenant bucket count.
+	Prerendered int
+	Tenants     int
 }
 
 // Stats snapshots the engine's counters.
@@ -179,13 +230,18 @@ func (e *Engine) Stats() Stats {
 	}
 	if s := e.snap.Load(); s != nil {
 		st.Generation = s.Generation
+		st.Prerendered = s.Prerendered()
 	}
 	for ep, c := range e.requests {
 		if n := c.Load(); n > 0 {
 			st.Requests[ep] = n
 		}
 	}
-	st.CacheHits, st.CacheMisses, st.CacheEvictions = e.cache.stats()
+	st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CachePurged = e.cache.stats()
 	st.CacheLen = e.cache.len()
+	if e.tenants != nil {
+		st.Tenants = e.tenants.tenants()
+		e.tenantsG.Set(int64(st.Tenants))
+	}
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"retrodns/internal/dnscore"
 )
@@ -15,102 +16,182 @@ import (
 // both come from the one snapshot pointer the request loaded.
 const GenerationHeader = "X-Retrodns-Generation"
 
+const contentTypeJSON = "application/json; charset=utf-8"
+
 // errorDoc is the JSON error envelope.
 type errorDoc struct {
 	Error      string `json:"error"`
 	Generation uint64 `json:"generation,omitempty"`
 }
 
+// Route is a parsed /v1 request: which endpoint, and the path key
+// (domain name or pattern label) when the endpoint takes one.
+type Route struct {
+	Endpoint string
+	Key      string
+}
+
+// ParseRoute resolves a URL path to its /v1 route. It replaces
+// net/http's ServeMux on the request path: the five-endpoint API needs
+// only a prefix cut and a switch, which costs no allocations and no
+// per-request handler-map walk (and lets callers reuse request objects —
+// nothing here mutates the request). Unknown paths, including anything
+// outside /v1/, return ok=false.
+func ParseRoute(path string) (Route, bool) {
+	rest, found := strings.CutPrefix(path, "/v1/")
+	if !found {
+		return Route{}, false
+	}
+	switch rest {
+	case "shortlist":
+		return Route{Endpoint: "shortlist"}, true
+	case "funnel":
+		return Route{Endpoint: "funnel"}, true
+	case "healthz":
+		return Route{Endpoint: "healthz"}, true
+	}
+	if key, found := strings.CutPrefix(rest, "domain/"); found &&
+		key != "" && !strings.Contains(key, "/") {
+		return Route{Endpoint: "domain", Key: key}, true
+	}
+	if key, found := strings.CutPrefix(rest, "patterns/"); found &&
+		key != "" && !strings.Contains(key, "/") {
+		return Route{Endpoint: "patterns", Key: key}, true
+	}
+	return Route{}, false
+}
+
 // Handler returns the /v1 API: five read endpoints over the published
 // snapshot. Each request loads the snapshot pointer exactly once, so the
 // whole response — headers included — reflects a single generation even
-// while Publish swaps underneath. Mount it at the server root (patterns
+// while Publish swaps underneath. Mount it at the server root (routes
 // are absolute) alongside whatever else the process serves.
-func (e *Engine) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.Handle("GET /v1/domain/{name}", e.endpoint("domain", e.handleDomain))
-	mux.Handle("GET /v1/shortlist", e.endpoint("shortlist", e.handleShortlist))
-	mux.Handle("GET /v1/funnel", e.endpoint("funnel", e.handleFunnel))
-	mux.Handle("GET /v1/patterns/{label}", e.endpoint("patterns", e.handlePatterns))
-	mux.Handle("GET /v1/healthz", e.endpoint("healthz", e.handleHealthz))
-	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+func (e *Engine) Handler() http.Handler { return e }
+
+// ServeHTTP dispatches one request: route parse, method gate, then the
+// instrumented endpoint path.
+func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt, ok := ParseRoute(r.URL.Path)
+	if !ok {
 		writeError(w, http.StatusNotFound,
 			"unknown endpoint; have /v1/domain/{name} /v1/shortlist /v1/funnel /v1/patterns/{label} /v1/healthz", 0)
-	})
-	return mux
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET", 0)
+		return
+	}
+	e.ServeRoute(w, r, rt)
 }
 
-// statusWriter captures the status code for the error metric.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
+// ServeRoute runs one already-parsed route through the per-endpoint
+// concerns: request counting, the global and per-tenant rate limiters,
+// the no-snapshot-yet gate, and latency/error metrics. The snapshot is
+// loaded here, once, and handed down — handlers never touch e.snap
+// themselves. The clock is only read when something needs it (a limiter
+// or the latency histogram), so an uninstrumented, unlimited engine
+// serves without a single time.Now call.
+func (e *Engine) ServeRoute(w http.ResponseWriter, r *http.Request, rt Route) {
+	e.requests[rt.Endpoint].Add(1)
+	m := e.met[rt.Endpoint]
+	m.requests.Inc()
 
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
+	var start time.Time
+	timed := m.latency != nil
+	if timed || e.limiter != nil || e.tenants != nil {
+		start = e.now()
+	}
 
-// endpoint wraps a handler with the per-endpoint concerns: request
-// counting, the global rate limiter, the no-snapshot-yet gate, and
-// latency/error metrics. The snapshot is loaded here, once, and handed
-// down — handlers never touch e.snap themselves.
-func (e *Engine) endpoint(name string, fn func(w http.ResponseWriter, r *http.Request, snap *Snapshot)) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := e.now()
-		e.requests[name].Add(1)
-		m := e.met[name]
-		m.requests.Inc()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		switch {
-		case e.limiter != nil && !e.limiter.allow(start):
-			e.ratelimited.Inc()
-			writeError(sw, http.StatusTooManyRequests, "rate limit exceeded", 0)
-		default:
-			snap := e.snap.Load()
-			if snap == nil && name != "healthz" {
-				writeError(sw, http.StatusServiceUnavailable, "no snapshot published yet", 0)
-			} else {
-				fn(sw, r, snap)
-			}
+	code := http.StatusOK
+	switch {
+	case e.limiter != nil && !e.limiter.allow(start):
+		e.ratelimited.Inc()
+		code = http.StatusTooManyRequests
+		writeError(w, code, "rate limit exceeded", 0)
+	case e.tenants != nil && !e.tenants.allow(r.Header.Get(TenantHeader), start):
+		e.ratelimited.Inc()
+		code = http.StatusTooManyRequests
+		writeError(w, code, "tenant rate limit exceeded", 0)
+	default:
+		snap := e.snap.Load()
+		if snap == nil && rt.Endpoint != "healthz" {
+			code = http.StatusServiceUnavailable
+			writeError(w, code, "no snapshot published yet", 0)
+			break
 		}
-		if sw.code >= 400 {
-			e.reg.Counter(MetricServeErrors, "endpoint", name, "code", strconv.Itoa(sw.code)).Inc()
+		switch rt.Endpoint {
+		case "domain":
+			code = e.handleDomain(w, rt.Key, snap)
+		case "shortlist":
+			code = e.serveRendered(w, snap, snap.shortlistBody, "shortlist|g", snap.shortlist)
+		case "funnel":
+			code = e.serveRendered(w, snap, snap.funnelBody, "funnel|g", snap.funnel)
+		case "patterns":
+			code = e.handlePatterns(w, rt.Key, snap)
+		case "healthz":
+			code = e.handleHealthz(w, snap)
 		}
+	}
+	if code >= 400 && e.reg != nil {
+		e.reg.Counter(MetricServeErrors, "endpoint", rt.Endpoint, "code", strconv.Itoa(code)).Inc()
+	}
+	if timed {
 		m.latency.Observe(e.now().Sub(start).Seconds())
-	})
+	}
 }
 
-// serveDoc renders doc through the LRU and writes it. Error responses
-// never pass through here, so the cache only ever holds the bounded set
-// of real documents (request-shaped keys like unknown domain names would
-// otherwise let a client churn the cache).
-func (e *Engine) serveDoc(w http.ResponseWriter, cacheKey string, gen uint64, doc any) {
+// serveBody writes a pre-rendered body: two header sets and one Write,
+// nothing else — the zero-copy fast path every prerendered endpoint
+// takes.
+func (e *Engine) serveBody(w http.ResponseWriter, snap *Snapshot, body []byte) int {
 	h := w.Header()
-	h.Set("Content-Type", "application/json; charset=utf-8")
-	h.Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	h.Set("Content-Type", contentTypeJSON)
+	h.Set(GenerationHeader, snap.genHeader)
+	w.Write(body)
+	return http.StatusOK
+}
+
+// serveRendered serves body when the snapshot prerendered it, else falls
+// back to the lazy LRU path under keyPrefix+generation.
+func (e *Engine) serveRendered(w http.ResponseWriter, snap *Snapshot, body []byte, keyPrefix string, doc any) int {
+	if body != nil {
+		return e.serveBody(w, snap, body)
+	}
+	return e.serveDoc(w, keyPrefix+snap.genHeader, snap, doc)
+}
+
+// serveDoc renders doc through the sharded LRU and writes it. Error
+// responses never pass through here, so the cache only ever holds the
+// bounded set of real documents (request-shaped keys like unknown domain
+// names would otherwise let a client churn the cache).
+func (e *Engine) serveDoc(w http.ResponseWriter, cacheKey string, snap *Snapshot, doc any) int {
+	h := w.Header()
+	h.Set("Content-Type", contentTypeJSON)
+	h.Set(GenerationHeader, snap.genHeader)
 	if body, ok := e.cache.get(cacheKey); ok {
 		e.cacheHits.Inc()
 		w.Write(body)
-		return
+		return http.StatusOK
 	}
 	e.cacheMisses.Inc()
 	body, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "render: "+err.Error(), gen)
-		return
+		writeError(w, http.StatusInternalServerError, "render: "+err.Error(), snap.Generation)
+		return http.StatusInternalServerError
 	}
 	body = append(body, '\n')
-	if evicted := e.cache.put(cacheKey, body); evicted > 0 {
+	if evicted := e.cache.put(cacheKey, snap.Generation, body); evicted > 0 {
 		e.cacheEvict.Add(int64(evicted))
 	}
 	w.Write(body)
+	return http.StatusOK
 }
 
 // writeError emits the JSON error envelope.
 func writeError(w http.ResponseWriter, code int, msg string, gen uint64) {
 	h := w.Header()
-	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Type", contentTypeJSON)
 	if gen > 0 {
 		h.Set(GenerationHeader, strconv.FormatUint(gen, 10))
 	}
@@ -120,45 +201,41 @@ func writeError(w http.ResponseWriter, code int, msg string, gen uint64) {
 }
 
 // handleDomain serves /v1/domain/{name}.
-func (e *Engine) handleDomain(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
-	name, err := dnscore.ParseName(r.PathValue("name"))
+func (e *Engine) handleDomain(w http.ResponseWriter, raw string, snap *Snapshot) int {
+	name, err := dnscore.ParseName(raw)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad domain name: %v", err), snap.Generation)
-		return
+		return http.StatusBadRequest
 	}
 	doc, ok := snap.domains[name]
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("domain %s not in snapshot", name), snap.Generation)
-		return
+		return http.StatusNotFound
 	}
-	e.serveDoc(w, fmt.Sprintf("domain|%s|g%d", name, snap.Generation), snap.Generation, doc)
-}
-
-// handleShortlist serves /v1/shortlist.
-func (e *Engine) handleShortlist(w http.ResponseWriter, _ *http.Request, snap *Snapshot) {
-	e.serveDoc(w, fmt.Sprintf("shortlist|g%d", snap.Generation), snap.Generation, snap.shortlist)
-}
-
-// handleFunnel serves /v1/funnel.
-func (e *Engine) handleFunnel(w http.ResponseWriter, _ *http.Request, snap *Snapshot) {
-	e.serveDoc(w, fmt.Sprintf("funnel|g%d", snap.Generation), snap.Generation, snap.funnel)
+	if body, ok := snap.domainBody[name]; ok {
+		return e.serveBody(w, snap, body)
+	}
+	return e.serveDoc(w, "domain|"+string(name)+"|g"+snap.genHeader, snap, doc)
 }
 
 // handlePatterns serves /v1/patterns/{label}. Labels are matched
 // case-insensitively against PatternLabels.
-func (e *Engine) handlePatterns(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
-	label := strings.ToLower(r.PathValue("label"))
+func (e *Engine) handlePatterns(w http.ResponseWriter, raw string, snap *Snapshot) int {
+	label := strings.ToLower(raw)
 	if label == "t1" || label == "t2" {
 		label = strings.ToUpper(label)
 	}
 	doc, ok := snap.patterns[label]
 	if !ok {
 		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("unknown pattern label %q; have %s", r.PathValue("label"), strings.Join(PatternLabels, " ")),
+			fmt.Sprintf("unknown pattern label %q; have %s", raw, strings.Join(PatternLabels, " ")),
 			snap.Generation)
-		return
+		return http.StatusNotFound
 	}
-	e.serveDoc(w, fmt.Sprintf("patterns|%s|g%d", label, snap.Generation), snap.Generation, doc)
+	if body := snap.patternsBody[label]; body != nil {
+		return e.serveBody(w, snap, body)
+	}
+	return e.serveDoc(w, "patterns|"+label+"|g"+snap.genHeader, snap, doc)
 }
 
 // HealthDoc is the /v1/healthz response: liveness plus snapshot
@@ -176,7 +253,7 @@ type HealthDoc struct {
 // handleHealthz serves /v1/healthz. Never cached: age moves every call.
 // Before the first Publish it reports status "empty" with 503 so load
 // balancers hold traffic until a snapshot exists.
-func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request, snap *Snapshot) {
+func (e *Engine) handleHealthz(w http.ResponseWriter, snap *Snapshot) int {
 	doc := HealthDoc{Status: "ok"}
 	code := http.StatusOK
 	if snap == nil {
@@ -194,9 +271,10 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request, snap *Sna
 	}
 	doc.Swaps = e.swaps.Load()
 	h := w.Header()
-	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Type", contentTypeJSON)
 	h.Set(GenerationHeader, strconv.FormatUint(doc.Generation, 10))
 	w.WriteHeader(code)
 	body, _ := json.MarshalIndent(doc, "", "  ")
 	w.Write(append(body, '\n'))
+	return code
 }

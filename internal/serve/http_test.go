@@ -259,10 +259,22 @@ func TestRateLimiting(t *testing.T) {
 	}
 }
 
+// lazyEngine publishes a snapshot with domain prerendering disabled, so
+// /v1/domain requests exercise the LRU fallback path.
+func lazyEngine(t *testing.T, opts Options) (*Engine, http.Handler) {
+	t.Helper()
+	if opts.Now == nil {
+		opts.Now = func() time.Time { return testBuilt.Add(90 * time.Second) }
+	}
+	e := NewEngine(opts)
+	e.Publish(BuildSnapshotOpts(testResult(), nil, testBuilt, BuildOptions{PrerenderDomains: -1}))
+	return e, e.Handler()
+}
+
 func TestResponseCacheHit(t *testing.T) {
-	e, h := testEngine(t, Options{})
-	first := get(t, h, "/v1/funnel")
-	second := get(t, h, "/v1/funnel")
+	e, h := lazyEngine(t, Options{})
+	first := get(t, h, "/v1/domain/victim.gov.xx")
+	second := get(t, h, "/v1/domain/victim.gov.xx")
 	if first.Body.String() != second.Body.String() {
 		t.Fatal("cached response differs from first render")
 	}
@@ -270,17 +282,99 @@ func TestResponseCacheHit(t *testing.T) {
 	if st.CacheHits != 1 || st.CacheMisses != 1 {
 		t.Errorf("cache hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
 	}
-	if st.Requests["funnel"] != 2 {
-		t.Errorf("funnel requests = %d, want 2", st.Requests["funnel"])
+	if st.Requests["domain"] != 2 {
+		t.Errorf("domain requests = %d, want 2", st.Requests["domain"])
+	}
+}
+
+// TestPrerenderServedZeroCopy asserts the default build serves singleton
+// and domain endpoints from prerendered bodies: no cache traffic at all.
+func TestPrerenderServedZeroCopy(t *testing.T) {
+	e, h := testEngine(t, Options{})
+	for _, path := range []string{"/v1/funnel", "/v1/shortlist", "/v1/patterns/T1", "/v1/domain/victim.gov.xx"} {
+		if rr := get(t, h, path); rr.Code != http.StatusOK {
+			t.Fatalf("%s = %d", path, rr.Code)
+		}
+	}
+	st := e.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Errorf("prerendered endpoints touched the LRU: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+	// Singletons + 6 pattern labels + 2 domains.
+	if st.Prerendered != 2+len(PatternLabels)+2 {
+		t.Errorf("prerendered = %d, want %d", st.Prerendered, 2+len(PatternLabels)+2)
+	}
+}
+
+// TestPrerenderMatchesLazy asserts byte-identical bodies between the
+// prerendered fast path and the lazy render-through-LRU fallback.
+func TestPrerenderMatchesLazy(t *testing.T) {
+	_, pre := testEngine(t, Options{})
+	_, lazy := lazyEngine(t, Options{})
+	for _, path := range []string{"/v1/domain/victim.gov.xx", "/v1/domain/steady.com"} {
+		a, b := get(t, pre, path), get(t, lazy, path)
+		if a.Body.String() != b.Body.String() {
+			t.Errorf("%s: prerendered body differs from lazy render", path)
+		}
+		if a.Header().Get(GenerationHeader) != b.Header().Get(GenerationHeader) {
+			t.Errorf("%s: generation headers differ", path)
+		}
 	}
 }
 
 func TestCacheDisabled(t *testing.T) {
-	e, h := testEngine(t, Options{LRUSize: -1})
-	get(t, h, "/v1/funnel")
-	get(t, h, "/v1/funnel")
+	e, h := lazyEngine(t, Options{LRUSize: -1})
+	get(t, h, "/v1/domain/victim.gov.xx")
+	get(t, h, "/v1/domain/victim.gov.xx")
 	if st := e.Stats(); st.CacheHits != 0 || st.CacheLen != 0 {
 		t.Errorf("disabled cache: hits=%d len=%d", st.CacheHits, st.CacheLen)
+	}
+}
+
+// TestTenantIsolation drains tenant A's bucket and checks tenant B (and
+// the untagged tenant) still get their full burst: per-tenant buckets
+// never let one tenant 429 another.
+func TestTenantIsolation(t *testing.T) {
+	clock := testBuilt
+	e := NewEngine(Options{
+		TenantRatePerSec: 1, TenantBurst: 2,
+		Now: func() time.Time { return clock },
+	})
+	e.Publish(BuildSnapshot(testResult(), nil, testBuilt))
+	h := e.Handler()
+	getTenant := func(tenant string) int {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/v1/funnel", nil)
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		h.ServeHTTP(rr, req)
+		return rr.Code
+	}
+	for i := 0; i < 2; i++ {
+		if code := getTenant("tenant-a"); code != http.StatusOK {
+			t.Fatalf("tenant-a request %d = %d inside burst", i, code)
+		}
+	}
+	if code := getTenant("tenant-a"); code != http.StatusTooManyRequests {
+		t.Fatalf("tenant-a past burst = %d, want 429", code)
+	}
+	// Tenant B and the untagged tenant still have their full burst.
+	for i := 0; i < 2; i++ {
+		if code := getTenant("tenant-b"); code != http.StatusOK {
+			t.Errorf("tenant-b request %d = %d while tenant-a throttled", i, code)
+		}
+		if code := getTenant(""); code != http.StatusOK {
+			t.Errorf("untagged request %d = %d while tenant-a throttled", i, code)
+		}
+	}
+	if st := e.Stats(); st.Tenants != 3 {
+		t.Errorf("tenant buckets = %d, want 3", st.Tenants)
+	}
+	// Refill restores tenant A.
+	clock = clock.Add(time.Second)
+	if code := getTenant("tenant-a"); code != http.StatusOK {
+		t.Errorf("tenant-a after refill = %d, want 200", code)
 	}
 }
 
@@ -303,8 +397,11 @@ func TestEndpointMetrics(t *testing.T) {
 	if got := reg.Gauge(MetricServeGeneration).Value(); got != 7 {
 		t.Errorf("generation gauge = %d, want 7", got)
 	}
-	if got := reg.Counter(MetricServeSwaps).Value(); got != 1 {
+	if got := reg.Counter(MetricServeSwaps, "replica", "0").Value(); got != 1 {
 		t.Errorf("swap counter = %d, want 1", got)
+	}
+	if got := reg.Gauge(MetricServePrerendered, "replica", "0").Value(); got == 0 {
+		t.Error("prerendered gauge not set on publish")
 	}
 	if got := reg.Histogram(MetricServeLatencySec, obsv.DurationBuckets, "endpoint", "funnel").Count(); got != 2 {
 		t.Errorf("latency observations = %d, want 2", got)

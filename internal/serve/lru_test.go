@@ -2,57 +2,110 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
-func TestLRUBoundsAndEviction(t *testing.T) {
-	c := newLRU(3)
-	for i := 0; i < 5; i++ {
-		if ev := c.put(fmt.Sprintf("k%d", i), []byte{byte(i)}); i < 3 && ev != 0 {
-			t.Fatalf("put %d evicted %d before capacity", i, ev)
+// keysInShard generates n distinct keys that all hash to the same shard,
+// so tests can exercise one shard's recency list deterministically.
+func keysInShard(t *testing.T, shard, n int) []string {
+	t.Helper()
+	var keys []string
+	for i := 0; len(keys) < n; i++ {
+		if i > 1<<20 {
+			t.Fatalf("could not find %d keys for shard %d", n, shard)
+		}
+		k := fmt.Sprintf("key-%d", i)
+		if int(fnv32(k)%lruShardCount) == shard {
+			keys = append(keys, k)
 		}
 	}
-	if c.len() != 3 {
-		t.Fatalf("len = %d, want 3", c.len())
+	return keys
+}
+
+func TestLRUShardEviction(t *testing.T) {
+	// lruShardCount*2 total → capacity 2 per shard.
+	c := newLRU(lruShardCount * 2)
+	keys := keysInShard(t, 3, 3)
+	other := keysInShard(t, 5, 2)
+	for _, k := range other {
+		c.put(k, 1, []byte(k))
 	}
-	// k0 and k1 were the least recent; they must be gone.
-	for _, k := range []string{"k0", "k1"} {
-		if _, ok := c.get(k); ok {
-			t.Errorf("%s survived eviction", k)
+	for i, k := range keys {
+		if ev := c.put(k, 1, []byte(k)); i < 2 && ev != 0 {
+			t.Fatalf("put %d evicted %d before shard capacity", i, ev)
 		}
 	}
-	for _, k := range []string{"k2", "k3", "k4"} {
+	// keys[0] was shard 3's least recent; it must be gone — and the
+	// eviction must not have touched shard 5's entries.
+	if _, ok := c.get(keys[0]); ok {
+		t.Error("oldest same-shard key survived eviction")
+	}
+	for _, k := range append(keys[1:], other...) {
 		if _, ok := c.get(k); !ok {
 			t.Errorf("%s missing", k)
 		}
 	}
-	_, _, evictions := c.stats()
-	if evictions != 2 {
-		t.Errorf("evictions = %d, want 2", evictions)
+	_, _, evictions, _ := c.stats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if c.len() != 4 {
+		t.Errorf("len = %d, want 4", c.len())
+	}
+}
+
+func TestLRUCrossShardAccounting(t *testing.T) {
+	// Capacity 1 per shard: n distinct keys leave at most one entry per
+	// touched shard, and every excess put is an accounted eviction.
+	c := newLRU(lruShardCount)
+	const n = 100
+	for i := 0; i < n; i++ {
+		c.put(fmt.Sprintf("k%d", i), 1, []byte{byte(i)})
+	}
+	if c.len() > lruShardCount {
+		t.Fatalf("len = %d, want <= %d", c.len(), lruShardCount)
+	}
+	_, _, evictions, _ := c.stats()
+	if int(evictions)+c.len() != n {
+		t.Errorf("evictions(%d) + len(%d) != %d puts", evictions, c.len(), n)
+	}
+	// Per-shard atomic counters must agree with the global view.
+	total, bytes := 0, int64(0)
+	for i := range c.shards {
+		total += int(c.shards[i].count.Load())
+		bytes += c.shards[i].bytes.Load()
+	}
+	if total != c.len() {
+		t.Errorf("shard counts sum %d != len %d", total, c.len())
+	}
+	if bytes != int64(c.len()) { // every body is 1 byte
+		t.Errorf("shard bytes sum %d != %d", bytes, c.len())
 	}
 }
 
 func TestLRUPromotionOnGet(t *testing.T) {
-	c := newLRU(2)
-	c.put("a", []byte("A"))
-	c.put("b", []byte("B"))
-	// Touch a so b becomes the eviction victim.
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a missing before promotion")
+	c := newLRU(lruShardCount * 2) // capacity 2 per shard
+	keys := keysInShard(t, 7, 3)
+	c.put(keys[0], 1, []byte("A"))
+	c.put(keys[1], 1, []byte("B"))
+	// Touch keys[0] so keys[1] becomes the eviction victim.
+	if _, ok := c.get(keys[0]); !ok {
+		t.Fatal("keys[0] missing before promotion")
 	}
-	c.put("c", []byte("C"))
-	if _, ok := c.get("b"); ok {
-		t.Error("b should have been evicted")
+	c.put(keys[2], 1, []byte("C"))
+	if _, ok := c.get(keys[1]); ok {
+		t.Error("keys[1] should have been evicted")
 	}
-	if v, ok := c.get("a"); !ok || string(v) != "A" {
-		t.Errorf("a = %q, %v", v, ok)
+	if v, ok := c.get(keys[0]); !ok || string(v) != "A" {
+		t.Errorf("keys[0] = %q, %v", v, ok)
 	}
 }
 
 func TestLRUUpdateExistingKey(t *testing.T) {
 	c := newLRU(2)
-	c.put("a", []byte("old"))
-	if ev := c.put("a", []byte("new")); ev != 0 {
+	c.put("a", 1, []byte("old"))
+	if ev := c.put("a", 1, []byte("new")); ev != 0 {
 		t.Fatalf("update evicted %d", ev)
 	}
 	if c.len() != 1 {
@@ -66,24 +119,96 @@ func TestLRUUpdateExistingKey(t *testing.T) {
 func TestLRUDisabled(t *testing.T) {
 	for _, size := range []int{0, -1} {
 		c := newLRU(size)
-		c.put("a", []byte("A"))
+		c.put("a", 1, []byte("A"))
 		if _, ok := c.get("a"); ok {
 			t.Errorf("size %d: disabled cache returned a hit", size)
 		}
 		if c.len() != 0 {
 			t.Errorf("size %d: len = %d", size, c.len())
 		}
+		if purged := c.purge(1); purged != 0 {
+			t.Errorf("size %d: purge on disabled cache dropped %d", size, purged)
+		}
 	}
 }
 
 func TestLRUStatsCount(t *testing.T) {
-	c := newLRU(4)
-	c.put("a", []byte("A"))
+	c := newLRU(64)
+	c.put("a", 1, []byte("A"))
 	c.get("a")
 	c.get("a")
 	c.get("nope")
-	hits, misses, _ := c.stats()
+	hits, misses, _, _ := c.stats()
 	if hits != 2 || misses != 1 {
 		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+func TestLRUPurgeStaleGeneration(t *testing.T) {
+	c := newLRU(64)
+	for i := 0; i < 8; i++ {
+		c.put(fmt.Sprintf("old%d", i), 1, []byte("x"))
+	}
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("new%d", i), 2, []byte("y"))
+	}
+	if purged := c.purge(2); purged != 8 {
+		t.Fatalf("purge dropped %d, want 8", purged)
+	}
+	if c.len() != 4 {
+		t.Errorf("len = %d after purge, want 4", c.len())
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := c.get(fmt.Sprintf("new%d", i)); !ok {
+			t.Errorf("generation-2 key new%d purged", i)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := c.get(fmt.Sprintf("old%d", i)); ok {
+			t.Errorf("stale key old%d survived purge", i)
+		}
+	}
+	_, _, _, purged := c.stats()
+	if purged != 8 {
+		t.Errorf("purged stat = %d, want 8", purged)
+	}
+	// Bytes accounting must survive the purge: 4 one-byte bodies remain.
+	var bytes int64
+	for i := range c.shards {
+		bytes += c.shards[i].bytes.Load()
+	}
+	if bytes != 4 {
+		t.Errorf("bytes after purge = %d, want 4", bytes)
+	}
+}
+
+// TestLRUConcurrent exercises get/put/purge from many goroutines; run
+// under -race (make race covers this package) it checks the sharded
+// locking discipline, including the atomic stats path that previously
+// required the cache mutex.
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%64)
+				if _, ok := c.get(k); !ok {
+					c.put(k, uint64(1+i%2), []byte(k))
+				}
+				if i%100 == 0 {
+					c.purge(uint64(1 + i%2))
+					c.stats()
+					c.len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses, _, _ := c.stats()
+	if hits+misses == 0 {
+		t.Error("no cache traffic recorded")
 	}
 }

@@ -5,10 +5,20 @@ import (
 	"time"
 )
 
-// tokenBucket is the engine's global request rate limiter: capacity
-// `burst` tokens, refilled at `rate` tokens per second, one token per
-// admitted request. A single mutex suffices — the critical section is a
-// handful of float operations, far cheaper than the request it gates.
+// TenantHeader names the request header carrying the tenant identity for
+// per-tenant rate limiting. Requests without it share the "" bucket.
+const TenantHeader = "X-Retrodns-Tenant"
+
+// maxTenantBuckets bounds the tenant→bucket map so an adversary rotating
+// tenant header values cannot grow it without bound; past the cap the
+// stalest bucket (oldest last-use instant) is evicted. Evicting a bucket
+// refills it on return, which only ever errs in the tenant's favor.
+const maxTenantBuckets = 8192
+
+// tokenBucket is a single token-bucket limiter: capacity `burst` tokens,
+// refilled at `rate` tokens per second, one token per admitted request.
+// A single mutex suffices — the critical section is a handful of float
+// operations, far cheaper than the request it gates.
 type tokenBucket struct {
 	mu     sync.Mutex
 	rate   float64 // tokens per second
@@ -44,4 +54,78 @@ func (t *tokenBucket) allow(now time.Time) bool {
 	}
 	t.tokens--
 	return true
+}
+
+// lastUsed reports the instant of the bucket's most recent allow call;
+// the tenant limiter evicts the stalest bucket past capacity.
+func (t *tokenBucket) lastUsed() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last
+}
+
+// tenantLimiter gives every tenant (as named by TenantHeader) its own
+// token bucket, so one tenant saturating its allowance never induces
+// 429s for another. Buckets are created on first sight with the shared
+// rate/burst and evicted stalest-first past maxTenantBuckets.
+type tenantLimiter struct {
+	rate  float64
+	burst int
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow consumes one token from tenant's bucket, creating it on first
+// sight. The map lock covers only the lookup/insert; the per-tenant
+// bucket does its own locking, so hot tenants do not serialize behind
+// cold ones.
+func (l *tenantLimiter) allow(tenant string, now time.Time) bool {
+	l.mu.Lock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		if len(l.buckets) >= maxTenantBuckets {
+			l.evictStalest()
+		}
+		b = newTokenBucket(l.rate, l.burst)
+		l.buckets[tenant] = b
+	}
+	l.mu.Unlock()
+	return b.allow(now)
+}
+
+// evictStalest drops the bucket with the oldest last-use instant. Caller
+// holds l.mu. O(n) over the map, but it only runs when the map is at the
+// 8192-tenant cap and a brand-new tenant arrives — never on the repeat
+// path a legitimate tenant exercises.
+func (l *tenantLimiter) evictStalest() {
+	var (
+		victim string
+		oldest time.Time
+		found  bool
+	)
+	for tenant, b := range l.buckets {
+		last := b.lastUsed()
+		if !found || last.Before(oldest) {
+			victim, oldest, found = tenant, last, true
+		}
+	}
+	if found {
+		delete(l.buckets, victim)
+	}
+}
+
+// tenants reports how many tenant buckets are live.
+func (l *tenantLimiter) tenants() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
 }

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"retrodns/internal/obsv"
+)
+
+// ReplicaHeader names the response header carrying which replica served
+// a routed request.
+const ReplicaHeader = "X-Retrodns-Replica"
+
+// ringPointsPerReplica is the virtual-node count per replica on the
+// consistent-hash ring. 64 points keep the key-space split within a few
+// percent of even for small replica counts while the ring stays tiny
+// (N×64 entries, binary-searched per request).
+const ringPointsPerReplica = 64
+
+type ringPoint struct {
+	hash    uint32
+	replica int
+}
+
+// Router runs N identical engines behind consistent-hash routing on one
+// box: keyed requests (domain names, pattern labels) stick to one
+// replica — preserving that replica's LRU locality — while singleton
+// endpoints round-robin. All replicas serve the same published snapshot.
+//
+// Generation consistency is the router's invariant: a request never
+// observes mixed generations across replicas. Routed requests touch
+// exactly one replica, so they are trivially consistent. The /v1/replicas
+// fanout endpoint reads every replica, so Publish installs the snapshot
+// on all replicas while holding mu for writing and the fanout reads all
+// replicas while holding mu for reading — the fanout therefore sees
+// either every replica on the predecessor or every replica on the
+// successor, never a mix (DESIGN.md §4j has the argument).
+type Router struct {
+	mu       sync.RWMutex
+	replicas []*Engine
+	names    []string
+	ring     []ringPoint
+	rr       atomic.Uint64
+}
+
+// NewRouter creates n replicas (minimum 1) sharing the same Options;
+// each gets its own LRU and limiters and a distinct Replica label.
+func NewRouter(n int, opts Options) *Router {
+	if n < 1 {
+		n = 1
+	}
+	rt := &Router{
+		replicas: make([]*Engine, n),
+		names:    make([]string, n),
+		ring:     make([]ringPoint, 0, n*ringPointsPerReplica),
+	}
+	for i := range rt.replicas {
+		rt.names[i] = strconv.Itoa(i)
+		opts.Replica = rt.names[i]
+		rt.replicas[i] = NewEngine(opts)
+		for v := 0; v < ringPointsPerReplica; v++ {
+			point := "replica-" + rt.names[i] + "/" + strconv.Itoa(v)
+			rt.ring = append(rt.ring, ringPoint{hash: fnv32(point), replica: i})
+		}
+	}
+	sort.Slice(rt.ring, func(a, b int) bool { return rt.ring[a].hash < rt.ring[b].hash })
+	return rt
+}
+
+// Replicas returns the replica count.
+func (rt *Router) Replicas() int { return len(rt.replicas) }
+
+// Replica returns one engine, for tests and direct embedding.
+func (rt *Router) Replica(i int) *Engine { return rt.replicas[i] }
+
+// SetMetrics attaches every replica to the registry. Endpoint counters
+// are shared series (they aggregate across replicas); swap counters and
+// LRU shard gauges carry each replica's label.
+func (rt *Router) SetMetrics(reg *obsv.Registry) {
+	for _, e := range rt.replicas {
+		e.SetMetrics(reg)
+	}
+}
+
+// Publish installs the snapshot on every replica under the write lock,
+// so the /v1/replicas fanout (read lock) can never observe a mix of
+// generations. Replicas share the snapshot — prerendered bodies are not
+// duplicated — but each purges its own LRU.
+func (rt *Router) Publish(s *Snapshot) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, e := range rt.replicas {
+		e.Publish(s)
+	}
+}
+
+// Current returns replica 0's published snapshot (all replicas agree).
+func (rt *Router) Current() *Snapshot { return rt.replicas[0].Current() }
+
+// pick chooses the replica for a route: keyed endpoints walk the
+// consistent-hash ring (stable under key and replica-count changes up to
+// 1/N of the key space), singletons round-robin.
+func (rt *Router) pick(route Route) int {
+	if len(rt.replicas) == 1 {
+		return 0
+	}
+	if route.Key == "" {
+		return int(rt.rr.Add(1) % uint64(len(rt.replicas)))
+	}
+	h := fnv32(route.Key)
+	i := sort.Search(len(rt.ring), func(j int) bool { return rt.ring[j].hash >= h })
+	if i == len(rt.ring) {
+		i = 0
+	}
+	return rt.ring[i].replica
+}
+
+// Handler returns the routed /v1 API plus the /v1/replicas fanout.
+func (rt *Router) Handler() http.Handler { return rt }
+
+// ServeHTTP dispatches one request to its replica. Routed requests take
+// no router lock — single-replica reads are generation-consistent by
+// construction.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/replicas" {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET", 0)
+			return
+		}
+		rt.handleReplicas(w)
+		return
+	}
+	route, ok := ParseRoute(r.URL.Path)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"unknown endpoint; have /v1/domain/{name} /v1/shortlist /v1/funnel /v1/patterns/{label} /v1/replicas /v1/healthz", 0)
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET", 0)
+		return
+	}
+	i := rt.pick(route)
+	w.Header().Set(ReplicaHeader, rt.names[i])
+	rt.replicas[i].ServeRoute(w, r, route)
+}
+
+// ReplicaDoc is one replica's row in the /v1/replicas fanout response.
+type ReplicaDoc struct {
+	Replica    string `json:"replica"`
+	Generation uint64 `json:"generation"`
+	Swaps      uint64 `json:"swaps"`
+	Domains    int    `json:"domains"`
+}
+
+// ReplicasDoc is the /v1/replicas response: every replica's view, read
+// under the router's read lock so the generations are provably uniform.
+type ReplicasDoc struct {
+	Generation uint64       `json:"generation"`
+	Replicas   []ReplicaDoc `json:"replicas"`
+	Consistent bool         `json:"consistent"`
+}
+
+func (rt *Router) handleReplicas(w http.ResponseWriter) {
+	doc := ReplicasDoc{Consistent: true}
+	rt.mu.RLock()
+	for i, e := range rt.replicas {
+		row := ReplicaDoc{Replica: rt.names[i], Swaps: e.swaps.Load()}
+		if s := e.Current(); s != nil {
+			row.Generation = s.Generation
+			row.Domains = s.Domains()
+		}
+		doc.Replicas = append(doc.Replicas, row)
+		if i == 0 {
+			doc.Generation = row.Generation
+		} else if row.Generation != doc.Generation {
+			doc.Consistent = false
+		}
+	}
+	rt.mu.RUnlock()
+	h := w.Header()
+	h.Set("Content-Type", contentTypeJSON)
+	h.Set(GenerationHeader, strconv.FormatUint(doc.Generation, 10))
+	body, _ := json.MarshalIndent(doc, "", "  ")
+	w.Write(append(body, '\n'))
+}
+
+// Stats aggregates the replicas' counters: request and cache counters
+// sum; generation, swaps, and prerendered counts are uniform across
+// replicas, so replica 0's values stand for the set.
+func (rt *Router) Stats() Stats {
+	agg := rt.replicas[0].Stats()
+	for _, e := range rt.replicas[1:] {
+		st := e.Stats()
+		for ep, n := range st.Requests {
+			agg.Requests[ep] += n
+		}
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.CacheEvictions += st.CacheEvictions
+		agg.CachePurged += st.CachePurged
+		agg.CacheLen += st.CacheLen
+		agg.Tenants += st.Tenants
+	}
+	return agg
+}

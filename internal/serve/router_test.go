@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func testRouter(t *testing.T, replicas int) *Router {
+	t.Helper()
+	rt := NewRouter(replicas, Options{})
+	rt.Publish(BuildSnapshot(testResult(), nil, testBuilt))
+	return rt
+}
+
+// TestRouterStickyRouting asserts keyed requests always land on the same
+// replica, and that the ring actually spreads distinct keys around.
+func TestRouterStickyRouting(t *testing.T) {
+	rt := testRouter(t, 3)
+	h := rt.Handler()
+	pin := get(t, h, "/v1/domain/victim.gov.xx").Header().Get(ReplicaHeader)
+	if pin == "" {
+		t.Fatal("no replica header on routed response")
+	}
+	for i := 0; i < 10; i++ {
+		if r := get(t, h, "/v1/domain/victim.gov.xx").Header().Get(ReplicaHeader); r != pin {
+			t.Fatalf("domain re-routed: %s then %s", pin, r)
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		seen[rt.names[rt.pick(Route{Endpoint: "domain", Key: fmt.Sprintf("d%d.example", i)})]] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("64 distinct keys all routed to one replica: %v", seen)
+	}
+}
+
+// TestRouterBodiesIdenticalAcrossReplicaCounts is the acceptance
+// invariant the smoke script checks with cmp: replica count must never
+// change a single response byte.
+func TestRouterBodiesIdenticalAcrossReplicaCounts(t *testing.T) {
+	r1, r2 := testRouter(t, 1), testRouter(t, 2)
+	paths := []string{
+		"/v1/domain/victim.gov.xx", "/v1/domain/steady.com",
+		"/v1/shortlist", "/v1/funnel", "/v1/patterns/T1", "/v1/patterns/stable",
+	}
+	for _, path := range paths {
+		a, b := get(t, r1.Handler(), path), get(t, r2.Handler(), path)
+		if a.Code != http.StatusOK || b.Code != http.StatusOK {
+			t.Fatalf("%s: codes %d vs %d", path, a.Code, b.Code)
+		}
+		if a.Body.String() != b.Body.String() {
+			t.Errorf("%s: body differs between 1 and 2 replicas", path)
+		}
+	}
+}
+
+func TestRouterReplicasEndpoint(t *testing.T) {
+	rt := testRouter(t, 3)
+	rr := get(t, rt.Handler(), "/v1/replicas")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var doc ReplicasDoc
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Consistent || doc.Generation != 7 || len(doc.Replicas) != 3 {
+		t.Errorf("replicas doc = %+v", doc)
+	}
+	for _, row := range doc.Replicas {
+		if row.Generation != 7 || row.Domains != 2 {
+			t.Errorf("replica %s row = %+v", row.Replica, row)
+		}
+	}
+	if rr := get(t, rt.Handler(), "/v1/nope"); rr.Code != http.StatusNotFound {
+		t.Errorf("unknown path via router = %d, want 404", rr.Code)
+	}
+}
+
+// TestRouterFanoutNeverMixedGenerations publishes a stream of
+// generations while readers hammer the fanout endpoint: every response
+// must report a uniform generation set (the RWMutex invariant).
+func TestRouterFanoutNeverMixedGenerations(t *testing.T) {
+	rt := NewRouter(4, Options{})
+	h := rt.Handler()
+	done := make(chan struct{})
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/replicas", nil))
+				var doc ReplicasDoc
+				if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				if !doc.Consistent {
+					select {
+					case errs <- fmt.Errorf("mixed generations: %+v", doc):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for gen := uint64(1); gen <= 50; gen++ {
+		res := testResult()
+		res.Stats.Generation = gen
+		rt.Publish(BuildSnapshotOpts(res, nil, testBuilt, BuildOptions{PrerenderDomains: -1}))
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRouterStatsAggregate(t *testing.T) {
+	rt := testRouter(t, 2)
+	h := rt.Handler()
+	for i := 0; i < 6; i++ {
+		get(t, h, fmt.Sprintf("/v1/domain/d%d.example", i)) // 404s, still counted
+	}
+	get(t, h, "/v1/funnel")
+	st := rt.Stats()
+	if st.Requests["domain"] != 6 {
+		t.Errorf("aggregated domain requests = %d, want 6", st.Requests["domain"])
+	}
+	if st.Requests["funnel"] != 1 {
+		t.Errorf("aggregated funnel requests = %d, want 1", st.Requests["funnel"])
+	}
+	if st.Generation != 7 || st.Swaps != 1 {
+		t.Errorf("generation/swaps = %d/%d, want 7/1", st.Generation, st.Swaps)
+	}
+}
+
+// TestEnginePurgeOnPublish asserts Publish drops stale-generation LRU
+// entries immediately.
+func TestEnginePurgeOnPublish(t *testing.T) {
+	e, h := lazyEngine(t, Options{})
+	get(t, h, "/v1/domain/victim.gov.xx") // miss → cached under gen 7
+	if st := e.Stats(); st.CacheLen != 1 {
+		t.Fatalf("cache len = %d, want 1", st.CacheLen)
+	}
+	res := testResult()
+	res.Stats.Generation = 8
+	e.Publish(BuildSnapshotOpts(res, nil, testBuilt, BuildOptions{PrerenderDomains: -1}))
+	st := e.Stats()
+	if st.CacheLen != 0 {
+		t.Errorf("stale entry survived publish: len = %d", st.CacheLen)
+	}
+	if st.CachePurged != 1 {
+		t.Errorf("purged = %d, want 1", st.CachePurged)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, h := testEngine(t, Options{})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/funnel", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/funnel = %d, want 405", rr.Code)
+	}
+	if allow := rr.Header().Get("Allow"); allow != "GET, HEAD" {
+		t.Errorf("Allow = %q", allow)
+	}
+	// HEAD is admitted wherever GET is.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("HEAD", "/v1/funnel", nil))
+	if rr.Code != http.StatusOK {
+		t.Errorf("HEAD /v1/funnel = %d, want 200", rr.Code)
+	}
+}

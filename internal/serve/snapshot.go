@@ -9,6 +9,8 @@
 package serve
 
 import (
+	"encoding/json"
+	"strconv"
 	"time"
 
 	"retrodns/internal/core"
@@ -118,10 +120,57 @@ type Snapshot struct {
 	shortlist *ShortlistDoc
 	funnel    *FunnelDoc
 	patterns  map[string]*PatternsDoc
+
+	// genHeader is Generation pre-formatted for the X-Retrodns-Generation
+	// header, so the request path never calls FormatUint.
+	genHeader string
+
+	// Pre-rendered response bodies: rendering moves off the request path
+	// entirely for shortlist/funnel/patterns (always) and for up to
+	// BuildOptions.PrerenderDomains per-domain docs. Bodies are shared
+	// read-only byte slices written straight to the wire; a corpus past
+	// the domain budget falls back to on-demand rendering through the
+	// engine's sharded LRU.
+	shortlistBody []byte
+	funnelBody    []byte
+	patternsBody  map[string][]byte
+	domainBody    map[dnscore.Name][]byte
+	prerendered   int
 }
 
 // Domains returns the number of indexed domains.
 func (s *Snapshot) Domains() int { return len(s.domains) }
+
+// Prerendered returns how many response bodies were rendered at build
+// time (the shortlist/funnel/pattern singletons plus budgeted domains).
+func (s *Snapshot) Prerendered() int { return s.prerendered }
+
+// DefaultPrerenderDomains is the per-domain prerender budget when
+// BuildOptions leaves PrerenderDomains zero: 128k domains (~50–100 MB of
+// rendered JSON at typical doc sizes) — comfortably past the 50k synth
+// world while keeping a 1M-domain corpus from tripling its footprint.
+const DefaultPrerenderDomains = 1 << 17
+
+// BuildOptions tunes BuildSnapshotOpts.
+type BuildOptions struct {
+	// PrerenderDomains bounds how many per-domain bodies are rendered at
+	// build time: 0 means DefaultPrerenderDomains, negative disables
+	// domain prerendering (shortlist/funnel/patterns are always
+	// prerendered — they are singletons).
+	PrerenderDomains int
+}
+
+// renderDoc renders one response body exactly as the lazy path would
+// (indented JSON + trailing newline). A marshal failure yields nil and
+// the request path falls back to lazy rendering, which reports the error
+// to the client.
+func renderDoc(doc any) []byte {
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil
+	}
+	return append(body, '\n')
+}
 
 // shortlistReason names why a candidate survived §4.3 pruning.
 func shortlistReason(c *core.Candidate) string {
@@ -160,6 +209,11 @@ func candidateDoc(c *core.Candidate) CandidateDoc {
 // age for /v1/healthz. The Result is read, never retained mutably — the
 // caller may keep running the pipeline while the snapshot serves.
 func BuildSnapshot(res *core.Result, ds *scanner.Dataset, built time.Time) *Snapshot {
+	return BuildSnapshotOpts(res, ds, built, BuildOptions{})
+}
+
+// BuildSnapshotOpts is BuildSnapshot with an explicit prerender budget.
+func BuildSnapshotOpts(res *core.Result, ds *scanner.Dataset, built time.Time, opts BuildOptions) *Snapshot {
 	gen := res.Stats.Generation
 	if ds != nil {
 		gen = ds.Generation()
@@ -167,6 +221,7 @@ func BuildSnapshot(res *core.Result, ds *scanner.Dataset, built time.Time) *Snap
 	snap := &Snapshot{
 		Generation: gen,
 		Built:      built,
+		genHeader:  strconv.FormatUint(gen, 10),
 		domains:    make(map[dnscore.Name]*DomainDoc),
 		patterns:   make(map[string]*PatternsDoc),
 	}
@@ -264,6 +319,39 @@ func BuildSnapshot(res *core.Result, ds *scanner.Dataset, built time.Time) *Snap
 	for p := simtime.Period(0); p < simtime.NumPeriods; p++ {
 		if doc, ok := perPeriod[p]; ok {
 			snap.funnel.Periods = append(snap.funnel.Periods, *doc)
+		}
+	}
+
+	// Pre-render response bodies. The singletons are always rendered —
+	// they are the hot endpoints and there is exactly one body each.
+	// Per-domain docs render up to the budget; the generation is embedded
+	// in every body, so nothing can be reused across builds.
+	if body := renderDoc(snap.shortlist); body != nil {
+		snap.shortlistBody = body
+		snap.prerendered++
+	}
+	if body := renderDoc(snap.funnel); body != nil {
+		snap.funnelBody = body
+		snap.prerendered++
+	}
+	snap.patternsBody = make(map[string][]byte, len(snap.patterns))
+	for label, doc := range snap.patterns {
+		if body := renderDoc(doc); body != nil {
+			snap.patternsBody[label] = body
+			snap.prerendered++
+		}
+	}
+	budget := opts.PrerenderDomains
+	if budget == 0 {
+		budget = DefaultPrerenderDomains
+	}
+	if budget > 0 && len(snap.domains) <= budget {
+		snap.domainBody = make(map[dnscore.Name][]byte, len(snap.domains))
+		for name, doc := range snap.domains {
+			if body := renderDoc(doc); body != nil {
+				snap.domainBody[name] = body
+				snap.prerendered++
+			}
 		}
 	}
 	return snap

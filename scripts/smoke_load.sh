@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# smoke_load.sh — CI load gate for the serving layer:
+#
+#   1. stream a 50k-domain synthetic corpus to CSV (worldgen)
+#   2. for replicas in {1,2}: start retrodnsd on the corpus, wait for the
+#      feed to finish, snapshot every /v1 endpoint body, then drive
+#      cmd/loadgen against it (closed loop, fixed request budget, mixed
+#      endpoints, zipf domain keys, rotating tenants)
+#   3. require byte-identical endpoint bodies between the replica counts
+#      (healthz excluded — it reports snapshot age) and a consistent:true
+#      /v1/replicas fanout in the routed run
+#   4. gate both load reports against the committed LOAD_BASELINE.json
+#      via benchdiff: p99 may not exceed baseline x (1+tolerance), QPS
+#      may not fall below baseline x (1-tolerance), errors fail outright
+#   5. run BenchmarkServeQuery and require the prerendered hit path to
+#      beat the committed baseline by >=2x (benchdiff -min-speedup)
+#   6. guard the whole thing with a wall-clock budget
+#
+# Artifacts (reports, bodies, daemon logs) land in ${LOADDIR} so CI can
+# upload them on failure. Run via `make smoke-load`.
+set -eu
+cd "$(dirname "$0")/.."
+
+DOMAINS=${DOMAINS:-50000}
+REQUESTS=${REQUESTS:-4000}
+CONNECTIONS=${CONNECTIONS:-4}
+TENANTS=${TENANTS:-3}
+BUDGET_SECONDS=${BUDGET_SECONDS:-420}
+LOADDIR=${LOADDIR:-/tmp/retrodns-load}
+
+workdir=$(mktemp -d)
+pid=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+mkdir -p "$LOADDIR"
+
+go build -o "$workdir/worldgen" ./cmd/worldgen
+go build -o "$workdir/retrodnsd" ./cmd/retrodnsd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+go build -o "$workdir/benchdiff" ./cmd/benchdiff
+
+start=$(date +%s)
+
+"$workdir/worldgen" -out "$workdir/corpus" -domains "$DOMAINS" -seed 7 2>/dev/null
+
+# start_daemon <replicas>: launch retrodnsd on the corpus, export addr
+# once the listener is up, and wait until the CSV feed is fully ingested
+# so every loadgen sample measures the final generation.
+start_daemon() {
+    local replicas=$1 log="$LOADDIR/daemon-r$1.log"
+    "$workdir/retrodnsd" -listen 127.0.0.1:0 -scans-csv "$workdir/corpus/scans.csv" \
+        -replicas "$replicas" 2>"$log" &
+    pid=$!
+    addr=
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's|^serving /v1 API on http://||p' "$log" | head -1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            cat "$log" >&2
+            echo "smoke-load: daemon (-replicas $replicas) exited before binding" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "smoke-load: no bound address in daemon log" >&2
+        exit 1
+    fi
+    ok=0
+    for _ in $(seq 1 600); do
+        if grep -q 'csv feed complete' "$log"; then
+            ok=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$ok" -ne 1 ]; then
+        cat "$log" >&2
+        echo "smoke-load: feed not ingested within 120s (-replicas $replicas)" >&2
+        exit 1
+    fi
+}
+
+stop_daemon() {
+    kill "$pid" 2>/dev/null
+    wait "$pid" || {
+        echo "smoke-load: daemon did not drain cleanly" >&2
+        exit 1
+    }
+    pid=
+}
+
+# The endpoint bodies that must be byte-identical across replica counts.
+# /v1/healthz is excluded (it reports wall-clock snapshot age); the
+# domain probe is resolved from the corpus itself below.
+probe_domain=
+snapshot_bodies() {
+    local tag=$1
+    local dir="$workdir/bodies-$tag"
+    mkdir -p "$dir"
+    if [ -z "$probe_domain" ]; then
+        curl -fsS "http://$addr/v1/patterns/stable" >"$workdir/stable.json"
+        probe_domain=$(sed -n 's/^ *"\([a-z0-9.-]*\)",*$/\1/p' "$workdir/stable.json" | head -1)
+        [ -n "$probe_domain" ] || {
+            echo "smoke-load: no stable domain to probe" >&2
+            exit 1
+        }
+    fi
+    for ep in funnel shortlist patterns/T1 patterns/stable "domain/$probe_domain"; do
+        curl -fsS "http://$addr/v1/$ep" >"$dir/$(echo "$ep" | tr / _).json"
+    done
+}
+
+for replicas in 1 2; do
+    start_daemon "$replicas"
+    snapshot_bodies "r$replicas"
+    if [ "$replicas" -gt 1 ]; then
+        curl -fsS "http://$addr/v1/replicas" >"$LOADDIR/replicas.json"
+        grep -q '"consistent": true' "$LOADDIR/replicas.json" || {
+            cat "$LOADDIR/replicas.json" >&2
+            echo "smoke-load: /v1/replicas reports mixed generations" >&2
+            exit 1
+        }
+    fi
+    "$workdir/loadgen" -target "http://$addr" -requests "$REQUESTS" \
+        -duration 120s -warmup 2s -connections "$CONNECTIONS" \
+        -tenants "$TENANTS" -seed 7 -label "replicas$replicas" \
+        -out "$LOADDIR/load-r$replicas.json" 2>>"$LOADDIR/loadgen-r$replicas.log"
+    stop_daemon
+done
+
+for f in "$workdir"/bodies-r1/*.json; do
+    cmp -s "$f" "$workdir/bodies-r2/$(basename "$f")" || {
+        echo "smoke-load: $(basename "$f") differs between -replicas 1 and -replicas 2" >&2
+        diff "$f" "$workdir/bodies-r2/$(basename "$f")" | head >&2
+        exit 1
+    }
+done
+
+"$workdir/benchdiff" -baseline LOAD_BASELINE.json \
+    -load "$LOADDIR/load-r1.json" -load "$LOADDIR/load-r2.json"
+
+# The zero-copy acceptance gate: the prerendered hit path must beat the
+# committed render-then-cache baseline by at least 2x.
+go test -run '^$' -bench 'BenchmarkServeQuery' -benchmem -count=1 . \
+    | tee "$LOADDIR/bench-serve.txt"
+"$workdir/benchdiff" -baseline BENCH_BASELINE.json \
+    -bench "$LOADDIR/bench-serve.txt" -min-speedup 'BenchmarkServeQuery/hit=2.0'
+
+elapsed=$(($(date +%s) - start))
+if [ "$elapsed" -gt "$BUDGET_SECONDS" ]; then
+    echo "smoke-load: took ${elapsed}s, budget ${BUDGET_SECONDS}s" >&2
+    exit 1
+fi
+
+echo "smoke-load: ok ($DOMAINS domains, $REQUESTS requests per replica config, ${elapsed}s)"

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale smoke-chaos smoke-load profile-classify
+.PHONY: ci vet build test race fuzz-smoke lint bench bench-all bench-report benchgate bench-baseline smoke-serve smoke-scale smoke-chaos smoke-load smoke-spill profile-classify
 
 ci: lint vet build test race fuzz-smoke
 
@@ -33,7 +33,7 @@ test:
 # slice-set deployment code on every parallel path). The root run pins
 # warm-restart byte-identity across every WAL fault class under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv ./internal/serve ./internal/wal
+	$(GO) test -race ./internal/core ./internal/scanner ./internal/obsv ./internal/serve ./internal/wal ./internal/segment
 	$(GO) test -race -run TestWarmRestartBytesIdentical .
 
 # Ten seconds of coverage-guided fuzzing per parser: DNS names, zone-file
@@ -46,6 +46,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzChainVerify -fuzztime=10s ./internal/x509lite
 	$(GO) test -run='^$$' -fuzz=FuzzReportJSONRoundTrip -fuzztime=10s ./internal/report
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentReplay -fuzztime=10s ./internal/segment
 
 # The incremental-engine benchmarks: append+cached-rerun vs full rerun
 # (the headline >=10x), certificate-fingerprint memoization, the
@@ -54,7 +55,7 @@ fuzz-smoke:
 # interning on/off retained-heap comparison), and the serving layer's
 # query latency (cold render vs LRU hit).
 bench:
-	$(GO) test -bench='BenchmarkIncrementalAppend|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkIngestIntern|BenchmarkSynthClassify|BenchmarkServeQuery' -benchmem -count=3 -run='^$$' .
+	$(GO) test -bench='BenchmarkIncrementalAppend|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkIngestIntern|BenchmarkSynthClassify|BenchmarkServeQuery|BenchmarkSegmentRead|BenchmarkSpilledClassify' -benchmem -count=3 -run='^$$' .
 
 # Every benchmark in the harness (tables, figures, scale sweeps, ablations).
 bench-all:
@@ -67,7 +68,7 @@ BENCHDIR ?= /tmp/retrodns-bench
 bench-report:
 	mkdir -p $(BENCHDIR)
 	$(GO) run ./cmd/retrodns -stable 80 -seed 1 -report-json $(BENCHDIR)/run-report.json 2>/dev/null >/dev/null
-	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkSynthClassify|BenchmarkDeploymentAnyIP|BenchmarkServeQuery' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
+	$(GO) test -bench='BenchmarkIncrementalAppend$$|BenchmarkFingerprint|BenchmarkAddScan|BenchmarkIngestShards|BenchmarkSynthClassify|BenchmarkDeploymentAnyIP|BenchmarkServeQuery|BenchmarkSegmentRead|BenchmarkSpilledClassify' -benchmem -count=1 -run='^$$' . | tee $(BENCHDIR)/bench.txt
 
 # Fail on funnel drift or a >20% perf regression against the committed
 # baseline (see cmd/benchdiff).
@@ -112,3 +113,11 @@ smoke-chaos:
 # prerendered-hit speedup over BENCH_BASELINE.json (cmd/benchdiff).
 smoke-load:
 	./scripts/smoke_load.sh
+
+# Out-of-core gate: a 200k-domain synthetic corpus classified three ways —
+# fully resident, spilled to segments under a tight -mem-budget-mb, and
+# reloaded from the saved corpus in a fresh process — with byte-identical
+# findings, residency gauges in the run report, and a peak-RSS ceiling on
+# the spilled classify.
+smoke-spill:
+	./scripts/smoke_spill.sh

@@ -25,6 +25,7 @@ import (
 	"retrodns/internal/pdns"
 	"retrodns/internal/report"
 	"retrodns/internal/scanner"
+	"retrodns/internal/segment"
 	"retrodns/internal/serve"
 	"retrodns/internal/simtime"
 	"retrodns/internal/synth"
@@ -957,4 +958,87 @@ func BenchmarkPDNSPivotQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = fx.world.PDNSDB.WhoResolvedTo("178.62.218.244")
 	}
+}
+
+// BenchmarkSegmentRead measures serving DomainRecords windows off sealed
+// on-disk segments in both read modes: mmap (page-cache reads through the
+// mapping) and stream (pread per window block). The dataset is fully
+// spilled, so every read goes to the segment layer; the resident
+// sub-benchmark is the in-memory reference the other two are judged
+// against.
+func BenchmarkSegmentRead(b *testing.B) {
+	dates, scans, _ := synthScans(b)
+	build := func(b *testing.B, mode segment.Mode, spillAll bool) *scanner.Dataset {
+		b.Helper()
+		ds := scanner.NewDatasetShards(scanner.DefaultShards)
+		if spillAll {
+			if err := ds.ConfigureSpill(scanner.SpillOptions{
+				Dir: b.TempDir(), BudgetBytes: 0, Mode: mode,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j, d := range dates {
+			if err := ds.AddScan(d, scans[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ds.Freeze()
+		if spillAll && ds.SpilledShards() != ds.Shards() {
+			b.Fatalf("spilled %d of %d shards", ds.SpilledShards(), ds.Shards())
+		}
+		return ds
+	}
+	run := func(ds *scanner.Dataset) func(b *testing.B) {
+		domains := ds.Domains()
+		return func(b *testing.B) {
+			b.ResetTimer()
+			reads := 0
+			for i := 0; i < b.N; i++ {
+				for _, domain := range domains {
+					if len(ds.DomainRecords(domain, 0, 0)) == 0 {
+						b.Fatalf("no records for %s", domain)
+					}
+					reads++
+				}
+			}
+			b.ReportMetric(float64(reads)/b.Elapsed().Seconds(), "windows/s")
+		}
+	}
+	b.Run("resident", run(build(b, segment.ModeAuto, false)))
+	b.Run("mmap", run(build(b, segment.ModeMmap, true)))
+	b.Run("stream", run(build(b, segment.ModeStream, true)))
+}
+
+// BenchmarkSpilledClassify runs the classification funnel over a fully
+// spilled synthetic corpus — BenchmarkSynthClassify's out-of-core twin.
+// The gap between the two is the price of classifying off disk.
+func BenchmarkSpilledClassify(b *testing.B) {
+	dates, scans, total := synthScans(b)
+	ds := scanner.NewDatasetShards(scanner.DefaultShards)
+	if err := ds.ConfigureSpill(scanner.SpillOptions{Dir: b.TempDir(), BudgetBytes: 0}); err != nil {
+		b.Fatal(err)
+	}
+	for j, d := range dates {
+		if err := ds.AddScan(d, scans[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ds.Freeze()
+	if ds.SpilledShards() == 0 {
+		b.Fatal("corpus not spilled")
+	}
+	db := pdns.NewDB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &core.Pipeline{Params: core.DefaultParams(), Dataset: ds, PDNS: db}
+		res := p.Run()
+		if res.Funnel.Domains == 0 {
+			b.Fatal("empty funnel")
+		}
+		if res.Stats.SpilledShards == 0 {
+			b.Fatal("run not served from segments")
+		}
+	}
+	b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "records/s")
 }

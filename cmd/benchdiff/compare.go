@@ -105,6 +105,22 @@ func (res *Result) compareStages(baseline, current *report.RunReport, tol float6
 	}
 }
 
+// ioBoundBench names benchmark samples whose inner loop is bound by the
+// page cache and fault latency rather than the CPU: a single run cannot
+// hold the 20% timing gate (observed swings approach 2x on loaded
+// runners), so their ns/op gate is widened by ioBoundTolFactor. Their
+// allocs/op are deterministic and stay on the normal gate, which is
+// what catches real segment-read regressions — an extra copy or a
+// reintroduced per-window allocation.
+var ioBoundBench = map[string]bool{
+	"BenchmarkSegmentRead/mmap":   true,
+	"BenchmarkSegmentRead/stream": true,
+}
+
+// ioBoundTolFactor widens the timing tolerance for ioBoundBench samples
+// (default 20% -> 100%).
+const ioBoundTolFactor = 5
+
 // allocTol is the gate for allocs/op regressions. Allocation counts are
 // deterministic (no timer noise), but GC-triggered map growth and pool
 // warm-up still wobble a few percent across runs; 20% headroom gates real
@@ -134,9 +150,13 @@ func (res *Result) compareBench(baseline, current *report.RunReport, tol float64
 		if b.NsPerOp <= 0 {
 			continue
 		}
+		effTol := tol
+		if ioBoundBench[c.Name] {
+			effTol = tol * ioBoundTolFactor
+		}
 		ratio := c.NsPerOp / b.NsPerOp
 		line := fmt.Sprintf("bench %s: %.0f -> %.0f ns/op (%+.1f%%)", c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
-		if ratio > 1+tol {
+		if ratio > 1+effTol {
 			res.Failures = append(res.Failures, line)
 		} else {
 			res.Info = append(res.Info, line)

@@ -121,6 +121,33 @@ func TestStageGateRespectsNoiseFloor(t *testing.T) {
 	}
 }
 
+// TestIOBoundBenchWiderGate pins the widened timing tolerance for
+// page-cache-bound samples: a +50% ns/op swing on a segment-read
+// benchmark is reported, not gated, while the same swing on a CPU-bound
+// sample fails, and a genuine blowup past the widened gate still fails.
+func TestIOBoundBenchWiderGate(t *testing.T) {
+	b := loadFixture(t, "baseline.json")
+	b.Bench = append(b.Bench, report.BenchSample{Name: "BenchmarkSegmentRead/mmap", NsPerOp: 1000})
+	c := loadFixture(t, "baseline.json")
+	c.Bench = append(c.Bench, report.BenchSample{Name: "BenchmarkSegmentRead/mmap", NsPerOp: 1500})
+	if res := compare(b, c, 0.20); len(res.Failures) != 0 {
+		t.Errorf("+50%% on io-bound bench gated: %v", res.Failures)
+	}
+
+	c2 := loadFixture(t, "baseline.json")
+	c2.Bench = append(c2.Bench, report.BenchSample{Name: "BenchmarkSegmentRead/mmap", NsPerOp: 2500})
+	res := compare(b, c2, 0.20)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "BenchmarkSegmentRead/mmap") {
+		t.Errorf("failures = %v, want one past-widened-gate regression", res.Failures)
+	}
+
+	c3 := loadFixture(t, "baseline.json")
+	c3.Bench[0].NsPerOp *= 1.5 // CPU-bound sample: +50% still fails
+	if res := compare(b, c3, 0.20); len(res.Failures) != 1 {
+		t.Errorf("failures = %v, want the cpu-bound regression gated", res.Failures)
+	}
+}
+
 // TestAllocRegressionFails pins the allocation gate: an allocs/op jump
 // past allocTol fails even when ns/op is flat, in-tolerance growth
 // passes, and a baseline that never measured allocations cannot gate

@@ -47,8 +47,26 @@ func main() {
 		zipfS        = flag.Float64("zipf-s", 1.1, "zipf exponent for synthetic deployment popularity")
 		synthScans   = flag.Int("synth-scans", 4, "number of synthetic scan dates")
 		legacyFan    = flag.Bool("legacy-fanout", false, "classify with the pre-shard-affine per-domain fan-out (uncached; A/B reference — findings must be identical)")
+
+		spillDir    = flag.String("spill-dir", "", "segment-store directory for the out-of-core corpus (enables spill)")
+		memBudgetMB = flag.Int("mem-budget-mb", -1, "resident corpus budget in MiB: <0 unlimited, 0 spill every frozen shard, >0 ceiling (requires -spill-dir)")
+		spillMode   = flag.String("spill-read-mode", "auto", "how spilled segments are read: auto, mmap, or stream")
+		spillSave   = flag.Bool("spill-save", false, "after ingest, write the corpus as <spill-dir>/corpus.snap and exit without classifying (synth mode only)")
+		spillLoad   = flag.Bool("spill-load", false, "skip ingest and classify <spill-dir>/corpus.snap under the spill budget (synth mode only)")
+		printMaxRSS = flag.Bool("print-maxrss", false, "print the process peak RSS to stderr on exit (maxrss_kb=N)")
 	)
 	flag.Parse()
+
+	sf := spillFlags{
+		dir: *spillDir, memBudgetMB: *memBudgetMB, readMode: *spillMode,
+		save: *spillSave, load: *spillLoad, printMaxRSS: *printMaxRSS,
+	}
+	spill, err := sf.options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer reportMaxRSS(sf.printMaxRSS)
 
 	metrics := obsv.NewRegistry()
 	if *metricsAddr != "" {
@@ -65,14 +83,18 @@ func main() {
 		}()
 	}
 
-	if *synthDomains > 0 {
+	if *synthDomains > 0 || sf.load {
 		runSynth(synthRun{
 			domains: *synthDomains, zipfS: *zipfS, scans: *synthScans,
 			seed: *seed, shards: *shards, workers: *workers,
 			strict: *strict, jsonOut: *jsonOut, reportJSON: *reportJSON,
-			legacyFanout: *legacyFan,
+			legacyFanout: *legacyFan, spill: spill, sf: sf,
 		}, metrics)
 		return
+	}
+	if sf.save {
+		fmt.Fprintln(os.Stderr, "-spill-save only applies to -synth-domains mode")
+		os.Exit(1)
 	}
 
 	cfg := world.DefaultConfig()
@@ -100,6 +122,12 @@ func main() {
 		dataset = ds
 		ds.SetStrict(*strict)
 		ds.SetMetrics(metrics)
+		if spill != nil {
+			if err := ds.ConfigureSpill(*spill); err != nil {
+				fmt.Fprintln(os.Stderr, "spill:", err)
+				os.Exit(1)
+			}
+		}
 		w.PDNSDB.SetMetrics(metrics)
 		w.CT.SetMetrics(metrics)
 		pipe := &core.Pipeline{
@@ -138,6 +166,12 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, w.Summary())
 		ds.SetMetrics(metrics)
+		if spill != nil {
+			if err := ds.ConfigureSpill(*spill); err != nil {
+				fmt.Fprintln(os.Stderr, "spill:", err)
+				os.Exit(1)
+			}
+		}
 		w.PDNSDB.SetMetrics(metrics)
 		w.CT.SetMetrics(metrics)
 		pipe := &core.Pipeline{
@@ -187,6 +221,8 @@ type synthRun struct {
 	strict, jsonOut                 bool
 	reportJSON                      string
 	legacyFanout                    bool
+	spill                           *scanner.SpillOptions
+	sf                              spillFlags
 }
 
 // runSynth ingests a paper-scale synthetic corpus (internal/synth) through
@@ -196,31 +232,72 @@ type synthRun struct {
 // measure — the ingest spine and classifier at corpus sizes the behavioral
 // simulation cannot reach.
 func runSynth(cfg synthRun, metrics *obsv.Registry) {
-	g := synth.New(synth.Config{
-		Domains: cfg.domains, ZipfS: cfg.zipfS, Seed: cfg.seed, Scans: cfg.scans,
-	})
-	fmt.Fprintf(os.Stderr, "synth corpus: %d domains, ~%d records/scan, %d scans, %d shards\n",
-		cfg.domains, g.EstimatedRecords(), len(g.ScanDates()), cfg.shards)
-
-	ds := scanner.NewDatasetShards(cfg.shards)
-	ds.SetStrict(cfg.strict)
-	ds.SetMetrics(metrics)
-	start := time.Now()
-	for _, date := range g.ScanDates() {
-		if err := ds.Append(date, g.Scan(date)); err != nil {
-			fmt.Fprintf(os.Stderr, "ingest %s: %v\n", date, err)
+	var ds *scanner.Dataset
+	if cfg.sf.load {
+		// Out-of-core restart: the corpus identity lives entirely in
+		// <spill-dir>/corpus.snap + the sealed segments; no synth ingest.
+		restored, err := loadCorpus(*cfg.spill)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spill-load:", err)
 			os.Exit(1)
 		}
+		ds = restored
+		ds.SetStrict(cfg.strict)
+		ds.SetMetrics(metrics)
+		ds.AccountRestored()
+		resident, spilled := ds.SpillStats()
+		fmt.Fprintf(os.Stderr, "loaded corpus: %d of %d shards spilled (~%d MiB resident, ~%d MiB spilled)\n",
+			ds.SpilledShards(), ds.Shards(), resident>>20, spilled>>20)
+	} else {
+		g := synth.New(synth.Config{
+			Domains: cfg.domains, ZipfS: cfg.zipfS, Seed: cfg.seed, Scans: cfg.scans,
+		})
+		fmt.Fprintf(os.Stderr, "synth corpus: %d domains, ~%d records/scan, %d scans, %d shards\n",
+			cfg.domains, g.EstimatedRecords(), len(g.ScanDates()), cfg.shards)
+
+		ds = scanner.NewDatasetShards(cfg.shards)
+		ds.SetStrict(cfg.strict)
+		ds.SetMetrics(metrics)
+		if cfg.spill != nil {
+			if err := ds.ConfigureSpill(*cfg.spill); err != nil {
+				fmt.Fprintln(os.Stderr, "spill:", err)
+				os.Exit(1)
+			}
+		}
+		start := time.Now()
+		for _, date := range g.ScanDates() {
+			if err := ds.Append(date, g.Scan(date)); err != nil {
+				fmt.Fprintf(os.Stderr, "ingest %s: %v\n", date, err)
+				os.Exit(1)
+			}
+		}
+		domains, records := ds.Size()
+		fmt.Fprintf(os.Stderr, "ingested %d records over %d domains in %v (~%d MiB estimated, %d pooled certs)\n",
+			records, domains, time.Since(start).Round(time.Millisecond),
+			ds.EstimatedBytes()>>20, ds.Pool().Stats().Certs)
 	}
-	domains, records := ds.Size()
-	fmt.Fprintf(os.Stderr, "ingested %d records over %d domains in %v (~%d MiB estimated, %d pooled certs)\n",
-		records, domains, time.Since(start).Round(time.Millisecond),
-		ds.EstimatedBytes()>>20, ds.Pool().Stats().Certs)
+
+	if cfg.sf.save {
+		if err := saveCorpus(ds, cfg.spill.Dir); err != nil {
+			fmt.Fprintln(os.Stderr, "spill-save:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "saved corpus to %s (%d of %d shards spilled)\n",
+			cfg.spill.Dir, ds.SpilledShards(), ds.Shards())
+		return
+	}
 
 	pipe := &core.Pipeline{
 		Params: core.DefaultParams(), Dataset: ds,
 		PDNS: pdns.NewDB(), Workers: cfg.workers,
 		Cache: core.NewClassifyCache(), Metrics: metrics,
+	}
+	if cfg.sf.load {
+		// One-shot classify of a restored corpus: the incremental cache
+		// only pays off across repeated runs, and retaining a cached
+		// classification per (domain, period) cell would defeat the
+		// memory budget the corpus was loaded under.
+		pipe.Cache = nil
 	}
 	if cfg.legacyFanout {
 		// The legacy per-domain fan-out only exists on the uncached path;
@@ -229,7 +306,7 @@ func runSynth(cfg synthRun, metrics *obsv.Registry) {
 		pipe.LegacyFanout = true
 		pipe.Cache = nil
 	}
-	start = time.Now()
+	start := time.Now()
 	res := pipe.Run()
 	fmt.Fprintf(os.Stderr, "classified in %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Fprint(os.Stderr, res.Stats)

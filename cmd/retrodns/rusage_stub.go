@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// maxRSSKB is unavailable off unix; -print-maxrss silently prints nothing.
+func maxRSSKB() (int64, bool) { return 0, false }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// maxRSSKB returns the process's peak resident set size in KiB (Linux
+// getrusage reports ru_maxrss in KiB already; other unixes may differ in
+// unit, which is fine — the smoke gate compares two runs on one machine).
+func maxRSSKB() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return int64(ru.Maxrss), true
+}

@@ -1,0 +1,89 @@
+package main
+
+// Out-of-core corpus support for the CLI: the -spill-* flags wire
+// scanner.SpillOptions into whichever dataset the run builds, and
+// -spill-save/-spill-load persist a classified corpus as a framed
+// snapshot ("RDCP" ++ EncodeSnapshot ++ CRC-32C) next to the segments,
+// so a later process can classify the same corpus under a memory budget
+// without paying the ingest peak. scripts/smoke_spill.sh drives this.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"retrodns/internal/scanner"
+	"retrodns/internal/segment"
+)
+
+const (
+	corpusMagic = "RDCP"
+	corpusName  = "corpus.snap"
+)
+
+// spillFlags carries the raw -spill-* flag values.
+type spillFlags struct {
+	dir         string
+	memBudgetMB int
+	readMode    string
+	save, load  bool
+	printMaxRSS bool
+}
+
+// options converts the flags into scanner.SpillOptions (nil when spill is
+// disabled). -mem-budget-mb <0 keeps everything resident, 0 spills every
+// frozen shard, >0 is the resident-estimate ceiling in MiB.
+func (sf spillFlags) options() (*scanner.SpillOptions, error) {
+	if sf.dir == "" {
+		if sf.save || sf.load || sf.memBudgetMB >= 0 {
+			return nil, fmt.Errorf("-spill-save/-spill-load/-mem-budget-mb require -spill-dir")
+		}
+		return nil, nil
+	}
+	mode, err := segment.ParseMode(sf.readMode)
+	if err != nil {
+		return nil, err
+	}
+	budget := int64(-1)
+	if sf.memBudgetMB >= 0 {
+		budget = int64(sf.memBudgetMB) << 20
+	}
+	return &scanner.SpillOptions{Dir: sf.dir, BudgetBytes: budget, Mode: mode}, nil
+}
+
+// saveCorpus writes the frozen dataset as <dir>/corpus.snap atomically.
+// Spilled shards serialize as segment references, so the file stays small
+// for an out-of-core corpus — the bulk of the bytes are already in the
+// sealed segments.
+func saveCorpus(ds *scanner.Dataset, dir string) error {
+	var buf bytes.Buffer
+	if err := ds.EncodeSnapshot(&buf); err != nil {
+		return err
+	}
+	return segment.AtomicWrite(dir, corpusName, segment.Frame(corpusMagic, buf.Bytes()))
+}
+
+// loadCorpus reads <dir>/corpus.snap back under the given spill options.
+func loadCorpus(opts scanner.SpillOptions) (*scanner.Dataset, error) {
+	data, err := os.ReadFile(filepath.Join(opts.Dir, corpusName))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := segment.Unframe(corpusMagic, data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", corpusName, err)
+	}
+	return scanner.DecodeSnapshotSpill(payload, opts)
+}
+
+// reportMaxRSS prints the process peak RSS to stderr in a grep-friendly
+// form; the spill smoke gate asserts on it. No-op when unsupported.
+func reportMaxRSS(enabled bool) {
+	if !enabled {
+		return
+	}
+	if kb, ok := maxRSSKB(); ok {
+		fmt.Fprintf(os.Stderr, "maxrss_kb=%d\n", kb)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"retrodns/internal/pdns"
 	"retrodns/internal/report"
 	"retrodns/internal/scanner"
+	"retrodns/internal/segment"
 	"retrodns/internal/serve"
 	"retrodns/internal/simtime"
 	"retrodns/internal/wal"
@@ -79,10 +80,30 @@ func run() error {
 		scansCSV    = flag.String("scans-csv", "", "ingest scan records from this CSV file instead of simulating a world")
 		shards      = flag.Int("shards", scanner.DefaultShards, "dataset shard count for CSV ingest (a recovered snapshot's own count wins)")
 		snapEvery   = flag.Int("snapshot-every", 4, "appends between automatic snapshots in -data-dir mode")
+		spillDir    = flag.String("spill-dir", "", "segment-store directory for the out-of-core corpus (enables cold-shard spill; -data-dir mode only)")
+		memBudgetMB = flag.Int("mem-budget-mb", -1, "resident corpus budget in MiB: <0 unlimited, 0 spill every frozen shard, >0 ceiling (requires -spill-dir)")
+		spillMode   = flag.String("spill-read-mode", "auto", "how spilled segments are read: auto, mmap, or stream")
 	)
 	flag.Parse()
 	if *dataDir != "" && *scansCSV == "" {
 		return fmt.Errorf("-data-dir requires -scans-csv (durable mode ingests a CSV feed)")
+	}
+	var spill *scanner.SpillOptions
+	if *spillDir != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-spill-dir requires -data-dir (the segment store lives beside the WAL)")
+		}
+		mode, err := segment.ParseMode(*spillMode)
+		if err != nil {
+			return err
+		}
+		budget := int64(-1)
+		if *memBudgetMB >= 0 {
+			budget = int64(*memBudgetMB) << 20
+		}
+		spill = &scanner.SpillOptions{Dir: *spillDir, BudgetBytes: budget, Mode: mode}
+	} else if *memBudgetMB >= 0 {
+		return fmt.Errorf("-mem-budget-mb requires -spill-dir")
 	}
 
 	metrics := obsv.NewRegistry()
@@ -160,7 +181,7 @@ func run() error {
 		res, ds, dur, err = ingestCSV(ctx, pub, metrics, csvConfig{
 			path: *scansCSV, dataDir: *dataDir, shards: *shards,
 			snapshotEvery: *snapEvery, workers: *workers, strict: *strict,
-			follow: *follow, interval: *interval,
+			follow: *follow, interval: *interval, spill: spill,
 		})
 	} else {
 		res, ds, err = ingest(ctx, pub, metrics, ingestConfig{
@@ -377,6 +398,7 @@ type csvConfig struct {
 	strict        bool
 	follow        bool
 	interval      time.Duration
+	spill         *scanner.SpillOptions
 }
 
 // durable bundles the WAL store with what Open recovered, for the
@@ -411,6 +433,7 @@ func ingestCSV(ctx context.Context, pub snapshotPublisher, metrics *obsv.Registr
 		store, rec, err := wal.Open(wal.Options{
 			Dir: cfg.dataDir, Shards: cfg.shards,
 			SnapshotEvery: cfg.snapshotEvery, Metrics: metrics,
+			Spill: cfg.spill,
 		})
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("wal open %s: %w", cfg.dataDir, err)

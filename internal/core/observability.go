@@ -95,6 +95,11 @@ type PipelineStats struct {
 	// nonzero count means the run's findings describe the valid subset of
 	// a partially-broken feed.
 	Quarantined int
+	// SpilledShards is the number of shards whose record payloads were
+	// serving from on-disk segments rather than memory when the run
+	// started (0 for a fully resident corpus). Execution metadata: a
+	// spilled run produces byte-identical findings to a resident one.
+	SpilledShards int
 }
 
 // Stage returns the named stage's stats, or a zero StageStats.
@@ -123,6 +128,9 @@ func (p PipelineStats) String() string {
 	}
 	if p.Quarantined > 0 {
 		fmt.Fprintf(&sb, "  quarantined: %d malformed records refused at ingest\n", p.Quarantined)
+	}
+	if p.SpilledShards > 0 {
+		fmt.Fprintf(&sb, "  spilled:  %d of %d shards served from on-disk segments\n", p.SpilledShards, p.Shards)
 	}
 	return sb.String()
 }

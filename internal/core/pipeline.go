@@ -227,6 +227,7 @@ func (p *Pipeline) Run() *Result {
 	}
 	transientClasses := mergeClassifyFrags(res, frags)
 	res.Stats.ShardSkew = shardSkew(frags)
+	res.Stats.SpilledShards = p.Dataset.SpilledShards()
 	stage(sp, res.Funnel.Maps, workers, busy)
 
 	if params.StitchPeriods {

@@ -92,18 +92,23 @@ type BenchSample struct {
 
 // RunReport is the top-level document.
 type RunReport struct {
-	Schema     string            `json:"schema"`
-	Workers    int               `json:"workers"`
-	ShardSkew  float64           `json:"shard_skew,omitempty"`
-	Funnel     map[string]int    `json:"funnel"`
-	Stages     []StageReport     `json:"stages"`
-	Cache      CacheReport       `json:"cache"`
-	Quarantine QuarantineSection `json:"quarantine"`
-	Metrics    []obsv.Sample     `json:"metrics,omitempty"`
-	Bench      []BenchSample     `json:"bench,omitempty"`
-	Load       []LoadSample      `json:"load,omitempty"`
-	Serve      *ServeSection     `json:"serve,omitempty"`
-	WAL        *WALSection       `json:"wal,omitempty"`
+	Schema    string  `json:"schema"`
+	Workers   int     `json:"workers"`
+	ShardSkew float64 `json:"shard_skew,omitempty"`
+	// SpilledShards counts shards served from on-disk segments during the
+	// run (0 = fully resident). Execution metadata like ShardSkew: a
+	// spilled run must produce byte-identical findings, so Canonical()
+	// zeroes it.
+	SpilledShards int               `json:"spilled_shards,omitempty"`
+	Funnel        map[string]int    `json:"funnel"`
+	Stages        []StageReport     `json:"stages"`
+	Cache         CacheReport       `json:"cache"`
+	Quarantine    QuarantineSection `json:"quarantine"`
+	Metrics       []obsv.Sample     `json:"metrics,omitempty"`
+	Bench         []BenchSample     `json:"bench,omitempty"`
+	Load          []LoadSample      `json:"load,omitempty"`
+	Serve         *ServeSection     `json:"serve,omitempty"`
+	WAL           *WALSection       `json:"wal,omitempty"`
 }
 
 // FunnelCounts flattens the funnel into the stable key set benchdiff
@@ -132,10 +137,11 @@ func FunnelCounts(res *core.Result) map[string]int {
 // snapshot is embedded verbatim.
 func BuildRunReport(res *core.Result, quar scanner.QuarantineReport, reg *obsv.Registry) RunReport {
 	r := RunReport{
-		Schema:    RunReportSchema,
-		Workers:   res.Stats.Workers,
-		ShardSkew: res.Stats.ShardSkew,
-		Funnel:    FunnelCounts(res),
+		Schema:        RunReportSchema,
+		Workers:       res.Stats.Workers,
+		ShardSkew:     res.Stats.ShardSkew,
+		SpilledShards: res.Stats.SpilledShards,
+		Funnel:        FunnelCounts(res),
 		Cache: CacheReport{
 			Hits:       res.Stats.CacheHits,
 			Misses:     res.Stats.CacheMisses,
@@ -169,6 +175,7 @@ var canonicalStripPrefixes = []string{
 	"retrodns_serve_",
 	"retrodns_wal_",
 	"retrodns_feed_",
+	"retrodns_segment_",
 }
 
 // canonicalStripNames are exact families dropped from the canonical form:
@@ -183,6 +190,12 @@ var canonicalStripNames = map[string]bool{
 	"retrodns_stage_items":         true,
 	"retrodns_pdns_lookups_total":  true,
 	"retrodns_ctlog_queries_total": true,
+	// Residency gauges depend on the spill budget, not the findings;
+	// retrodns_corpus_bytes_estimate (the resident+spilled total) stays.
+	"retrodns_corpus_resident_bytes": true,
+	"retrodns_corpus_spilled_bytes":  true,
+	"retrodns_corpus_spilled_shards": true,
+	"retrodns_corpus_shard_resident": true,
 }
 
 func canonicalKeeps(name string) bool {
@@ -198,7 +211,8 @@ func canonicalKeeps(name string) bool {
 }
 
 // Canonical returns a copy with every nondeterministic or run-count-
-// dependent field stripped: stage timings zeroed, shard skew zeroed,
+// dependent field stripped: stage timings zeroed, shard skew and
+// spilled-shard counts zeroed,
 // _seconds / serving / durability / lifetime-total metric families
 // dropped, bench and load samples dropped, serve and wal sections
 // dropped, and
@@ -209,6 +223,7 @@ func canonicalKeeps(name string) bool {
 func (r RunReport) Canonical() RunReport {
 	out := r
 	out.ShardSkew = 0
+	out.SpilledShards = 0
 	out.Stages = make([]StageReport, len(r.Stages))
 	for i, s := range r.Stages {
 		s.WallNS, s.BusyNS = 0, 0

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"retrodns/internal/dnscore"
+	"retrodns/internal/segment"
 	"retrodns/internal/simtime"
 )
 
@@ -32,8 +33,16 @@ var ErrSnapshotState = errors.New("scanner: invalid snapshot state")
 // ErrNotFrozen reports an EncodeSnapshot call on an unfrozen dataset.
 var ErrNotFrozen = errors.New("scanner: dataset not frozen")
 
-// snapshotMagic versions the dataset snapshot payload.
-const snapshotMagic = "rds1"
+// snapshotMagic versions the dataset snapshot payload. V2 is emitted only
+// when at least one shard is spilled: spilled shards serialize a reference
+// to their sealed segment file instead of their record payloads, so the
+// snapshot of an out-of-core corpus stays small and decoding it never
+// materializes the spilled shards. A fully resident dataset always encodes
+// as v1, byte-identical with the pre-spill format.
+const (
+	snapshotMagic   = "rds1"
+	snapshotMagicV2 = "rds2"
+)
 
 func encodeQuar(w *BinWriter, q *quarantine) {
 	w.Uvarint(uint64(numQuarReasons))
@@ -91,8 +100,20 @@ func (d *Dataset) EncodeSnapshot(out io.Writer) error {
 		return ErrNotFrozen
 	}
 
+	spilledAny := false
+	for _, s := range d.shards {
+		if idx := s.idx.Load(); idx != nil && idx.spill != nil {
+			spilledAny = true
+			break
+		}
+	}
+
 	var w BinWriter
-	w.String(snapshotMagic)
+	if spilledAny {
+		w.String(snapshotMagicV2)
+	} else {
+		w.String(snapshotMagic)
+	}
 	w.Uvarint(uint64(len(d.shards)))
 	w.Uvarint(view.generation)
 	w.Uvarint(uint64(view.records))
@@ -109,11 +130,16 @@ func (d *Dataset) EncodeSnapshot(out io.Writer) error {
 	w.Uvarint(d.quarSeq)
 	encodeQuar(&w, &d.quar)
 
-	// Shared certificate table: walk shards in order, domains in sorted
-	// order, records in window order, so the table layout is deterministic.
+	// Shared certificate table: walk resident shards in order, domains in
+	// sorted order, records in window order, so the table layout is
+	// deterministic. Spilled shards keep their certificates in their
+	// segment's common blob and do not contribute.
 	table := newCertTable()
 	for _, s := range d.shards {
 		idx := s.idx.Load()
+		if idx.spill != nil {
+			continue
+		}
 		for _, domain := range idx.domains {
 			for _, rec := range idx.byDomain[domain] {
 				if rec.Cert != nil {
@@ -127,6 +153,29 @@ func (d *Dataset) EncodeSnapshot(out io.Writer) error {
 	for _, s := range d.shards {
 		s.mu.RLock()
 		idx := s.idx.Load()
+		if spilledAny {
+			w.Bool(idx.spill != nil)
+		}
+		if idx.spill != nil {
+			// Spilled shard: reference the sealed segment instead of the
+			// payloads. Journals and the domain roster stay inline — they
+			// are resident state the segment does not carry.
+			w.String(idx.spill.file)
+			encodeQuar(&w, &s.quar)
+			w.Uvarint(uint64(len(s.dirtyCells)))
+			for _, cell := range sortedDirtyCells(s.dirtyCells) {
+				w.String(string(cell.Domain))
+				w.Int(int64(cell.Period))
+				w.Uvarint(s.dirtyCells[cell])
+			}
+			w.Uvarint(uint64(idx.attach))
+			w.Uvarint(uint64(len(idx.domains)))
+			for _, domain := range idx.domains {
+				w.String(string(domain))
+			}
+			s.mu.RUnlock()
+			continue
+		}
 		encodeQuar(&w, &s.quar)
 		w.Uvarint(uint64(len(s.dirtyCells)))
 		for _, cell := range sortedDirtyCells(s.dirtyCells) {
@@ -158,11 +207,39 @@ func (d *Dataset) EncodeSnapshot(out io.Writer) error {
 // DecodeSnapshot reconstructs a frozen dataset from an EncodeSnapshot
 // payload. The input is assumed checksummed by the caller; decode still
 // never panics and validates shard routing and window order, so a corrupt
-// payload yields a typed error, not a poisoned dataset.
+// payload yields a typed error, not a poisoned dataset. A v2 snapshot
+// (spilled shards) requires DecodeSnapshotSpill — without a segment store
+// the references cannot be resolved.
 func DecodeSnapshot(data []byte) (*Dataset, error) {
+	return decodeSnapshot(data, nil)
+}
+
+// DecodeSnapshotSpill reconstructs a frozen dataset whose spilled shards
+// resolve against the segment store in opts.Dir, and leaves the dataset
+// configured with opts (so the budget keeps being enforced). Works on v1
+// snapshots too: the dataset decodes fully resident and the budget is
+// enforced before returning.
+func DecodeSnapshotSpill(data []byte, opts SpillOptions) (*Dataset, error) {
+	return decodeSnapshot(data, &opts)
+}
+
+func decodeSnapshot(data []byte, opts *SpillOptions) (*Dataset, error) {
 	r := NewBinReader(data)
-	if r.String() != snapshotMagic {
+	magic := r.String()
+	v2 := magic == snapshotMagicV2
+	if magic != snapshotMagic && !v2 {
 		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCodec)
+	}
+	var store *segment.Store
+	if opts != nil {
+		var err error
+		store, err = segment.OpenStore(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpill, err)
+		}
+	}
+	if v2 && store == nil {
+		return nil, fmt.Errorf("%w: snapshot references spilled segments; decode with a spill dir", ErrSnapshotState)
 	}
 	nshards := int(r.Uvarint())
 	if r.err != nil || nshards < 1 || nshards > maxShards {
@@ -202,6 +279,14 @@ func DecodeSnapshot(data []byte) (*Dataset, error) {
 	var domains []dnscore.Name
 	for sid := 0; sid < nshards; sid++ {
 		s := d.shards[sid]
+		spilled := false
+		if v2 {
+			spilled = r.Bool()
+		}
+		var segFile string
+		if spilled {
+			segFile = r.String()
+		}
 		decodeQuar(r, &s.quar)
 		ncells := r.Count()
 		for i := 0; i < ncells; i++ {
@@ -216,6 +301,17 @@ func DecodeSnapshot(data []byte) (*Dataset, error) {
 		}
 		attach := int(r.Uvarint())
 		ndom := r.Count()
+		if spilled {
+			idx, err := decodeSpilledShard(r, d, store, opts.Mode, sid, nshards, segFile, attach, ndom)
+			if err != nil {
+				return nil, err
+			}
+			s.byDomain = nil
+			s.attach = attach
+			s.idx.Store(idx)
+			domains = append(domains, idx.domains...)
+			continue
+		}
 		idx := &shardIndex{
 			byDomain: make(map[dnscore.Name][]*Record, ndom),
 			domains:  make([]dnscore.Name, 0, ndom),
@@ -277,7 +373,73 @@ func DecodeSnapshot(data []byte) (*Dataset, error) {
 		records:     records,
 		domainCount: domainCount,
 	})
+	if opts != nil {
+		// The decoded dataset keeps the spill configuration: the budget is
+		// enforced now (a v1 snapshot under a tight budget spills here) and
+		// on every subsequent Append. No other goroutine can hold d yet, so
+		// the *Locked paths run unlocked.
+		d.spill = &spillState{
+			store:     store,
+			budget:    opts.BudgetBytes,
+			mode:      opts.Mode,
+			lastTouch: make([]uint64, nshards),
+		}
+		if err := d.enforceSpillLocked(); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// decodeSpilledShard decodes a v2 spilled-shard section (domain roster
+// only) and opens its segment. The roster must be sorted, routed to this
+// shard, and match the segment's sealed identity and entry count.
+func decodeSpilledShard(r *BinReader, d *Dataset, store *segment.Store, mode segment.Mode, sid, nshards int, segFile string, attach, ndom int) (*shardIndex, error) {
+	doms := make([]dnscore.Name, 0, ndom)
+	for i := 0; i < ndom; i++ {
+		if r.err != nil {
+			return nil, r.err
+		}
+		domain := dnscore.Name(r.String())
+		if shardIndexOf(domain, nshards) != sid {
+			return nil, fmt.Errorf("%w: domain %q routed to shard %d, stored in %d",
+				ErrSnapshotState, domain, shardIndexOf(domain, nshards), sid)
+		}
+		doms = append(doms, domain)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !sort.SliceIsSorted(doms, func(a, b int) bool { return doms[a] < doms[b] }) {
+		return nil, fmt.Errorf("%w: shard %d domain list not sorted", ErrSnapshotState, sid)
+	}
+	seg, err := store.OpenName(segFile, mode)
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard %d segment %s: %v", ErrSpill, sid, segFile, err)
+	}
+	if seg.Shard() != sid || seg.Count() != len(doms) {
+		seg.Close()
+		return nil, fmt.Errorf("%w: segment %s holds shard %d with %d domains, snapshot says shard %d with %d",
+			ErrSpill, segFile, seg.Shard(), seg.Count(), sid, len(doms))
+	}
+	cr := NewBinReader(seg.Common())
+	certs := decodeCertTable(cr)
+	if cr.err == nil && cr.Len() != 0 {
+		cr.fail("trailing common bytes")
+	}
+	if cr.err != nil {
+		seg.Close()
+		return nil, fmt.Errorf("%w: segment %s cert table: %v", ErrSpill, segFile, cr.err)
+	}
+	// Re-intern through the pool, same as the resident cert table.
+	for i, c := range certs {
+		certs[i] = d.pool.Cert(c)
+	}
+	sr := &spillReader{
+		seg: seg, file: segFile, gen: seg.Gen(),
+		certs: certs, met: &d.segmet,
+	}
+	return &shardIndex{domains: doms, attach: attach, spill: sr}, nil
 }
 
 // AccountRestored replays the restored corpus into the dataset's metric

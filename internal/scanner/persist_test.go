@@ -17,6 +17,14 @@ import (
 func persistCorpus(t *testing.T, shards int) *Dataset {
 	t.Helper()
 	d := NewDatasetShards(shards)
+	ingestPersistCorpus(t, d)
+	return d
+}
+
+// ingestPersistCorpus runs persistCorpus's deterministic ingest into an
+// existing dataset (which may carry a spill configuration).
+func ingestPersistCorpus(t *testing.T, d *Dataset) {
+	t.Helper()
 	dates := simtime.ScanDates(0, 40)
 	if len(dates) < 3 {
 		t.Fatalf("want >= 3 scan dates, got %d", len(dates))
@@ -44,7 +52,6 @@ func persistCorpus(t *testing.T, shards int) *Dataset {
 			t.Fatalf("Append: %v", err)
 		}
 	}
-	return d
 }
 
 func datasetFingerprint(t *testing.T, d *Dataset) map[string]any {

@@ -281,6 +281,13 @@ type Dataset struct {
 	// met holds the dataset's metric handles, populated by SetMetrics.
 	// The nil handles of an uninstrumented dataset no-op.
 	met datasetMetrics
+
+	// spill holds the out-of-core configuration (see spill.go), nil when
+	// the corpus is purely in-memory. segmet holds the spill layer's
+	// counter handles behind an atomic pointer, because spilled-shard reads
+	// count into them lock-free.
+	spill  *spillState
+	segmet atomic.Pointer[segmentMetrics]
 }
 
 // datasetMetrics is the dataset's ingest instrumentation: scan and
@@ -298,6 +305,12 @@ type datasetMetrics struct {
 	internized   *obsv.Gauge
 	certPool     *obsv.Gauge
 	corpusBytes  *obsv.Gauge
+
+	// Out-of-core residency gauges (see spill.go).
+	residentBytes *obsv.Gauge
+	spilledBytes  *obsv.Gauge
+	spilledShards *obsv.Gauge
+	shardResident []*obsv.Gauge
 }
 
 // Dataset metric family names.
@@ -315,6 +328,21 @@ const (
 	MetricCorpusBytes        = "retrodns_corpus_bytes_estimate"
 )
 
+// Out-of-core metric family names: the resident/spilled split of the
+// corpus-bytes estimate, shard residency, and segment store activity.
+const (
+	MetricCorpusResidentBytes = "retrodns_corpus_resident_bytes"
+	MetricCorpusSpilledBytes  = "retrodns_corpus_spilled_bytes"
+	MetricCorpusSpilledShards = "retrodns_corpus_spilled_shards"
+	MetricCorpusShardResident = "retrodns_corpus_shard_resident"
+	MetricSegmentSeals        = "retrodns_segment_seals_total"
+	MetricSegmentSealedBytes  = "retrodns_segment_sealed_bytes_total"
+	MetricSegmentUnspills     = "retrodns_segment_unspills_total"
+	MetricSegmentReads        = "retrodns_segment_reads_total"
+	MetricSegmentReadBytes    = "retrodns_segment_read_bytes_total"
+	MetricSegmentReadErrors   = "retrodns_segment_read_errors_total"
+)
+
 // SetMetrics points the dataset's ingest instrumentation at a registry:
 // accepted scans and records count into retrodns_ingest_*_total, refused
 // records into retrodns_ingest_quarantined_total by reason, the corpus
@@ -328,6 +356,7 @@ func (d *Dataset) SetMetrics(reg *obsv.Registry) {
 	defer d.mu.Unlock()
 	if reg == nil {
 		d.met = datasetMetrics{}
+		d.segmet.Store(&segmentMetrics{})
 		return
 	}
 	reg.SetHelp(MetricIngestScans, "Scans accepted by AddScan/Append.")
@@ -359,6 +388,32 @@ func (d *Dataset) SetMetrics(reg *obsv.Registry) {
 	d.met.internized = reg.Gauge(MetricInternStrings)
 	d.met.certPool = reg.Gauge(MetricCertPoolSize)
 	d.met.corpusBytes = reg.Gauge(MetricCorpusBytes)
+
+	reg.SetHelp(MetricCorpusResidentBytes, "Estimated corpus bytes resident in memory (model-based).")
+	reg.SetHelp(MetricCorpusSpilledBytes, "Estimated corpus bytes spilled to segment files (model-based).")
+	reg.SetHelp(MetricCorpusSpilledShards, "Corpus shards currently spilled to disk.")
+	reg.SetHelp(MetricCorpusShardResident, "Per-shard residency: 1 resident, 0 spilled.")
+	reg.SetHelp(MetricSegmentSeals, "Cold shards sealed into segment files.")
+	reg.SetHelp(MetricSegmentSealedBytes, "Bytes written into sealed segment files.")
+	reg.SetHelp(MetricSegmentUnspills, "Spilled shards replayed back into memory for writes.")
+	reg.SetHelp(MetricSegmentReads, "Record windows served off spilled segments.")
+	reg.SetHelp(MetricSegmentReadBytes, "Entry bytes decoded off spilled segments.")
+	reg.SetHelp(MetricSegmentReadErrors, "Segment window reads refused as damaged.")
+	d.met.residentBytes = reg.Gauge(MetricCorpusResidentBytes)
+	d.met.spilledBytes = reg.Gauge(MetricCorpusSpilledBytes)
+	d.met.spilledShards = reg.Gauge(MetricCorpusSpilledShards)
+	d.met.shardResident = make([]*obsv.Gauge, len(d.shards))
+	for sid := range d.shards {
+		d.met.shardResident[sid] = reg.Gauge(MetricCorpusShardResident, "shard", strconv.Itoa(sid))
+	}
+	d.segmet.Store(&segmentMetrics{
+		seals:       reg.Counter(MetricSegmentSeals),
+		sealedBytes: reg.Counter(MetricSegmentSealedBytes),
+		unspills:    reg.Counter(MetricSegmentUnspills),
+		reads:       reg.Counter(MetricSegmentReads),
+		readBytes:   reg.Counter(MetricSegmentReadBytes),
+		readErrors:  reg.Counter(MetricSegmentReadErrors),
+	})
 }
 
 // publishSizeLocked refreshes the corpus gauges. Caller holds d.mu.
@@ -385,7 +440,23 @@ func (d *Dataset) publishSizeLocked() {
 	st := d.pool.Stats()
 	d.met.internized.Set(int64(st.Names + st.IPStrings))
 	d.met.certPool.Set(st.Certs)
-	d.met.corpusBytes.Set(d.estimatedBytesLocked(st))
+	total := d.estimatedBytesLocked(st)
+	spilled := d.spilledBytesLocked()
+	d.met.corpusBytes.Set(total)
+	d.met.residentBytes.Set(total - spilled)
+	d.met.spilledBytes.Set(spilled)
+	nspilled := 0
+	for sid, s := range d.shards {
+		resident := int64(1)
+		if idx := s.idx.Load(); idx != nil && idx.spill != nil {
+			resident = 0
+			nspilled++
+		}
+		if d.met.shardResident != nil {
+			d.met.shardResident[sid].Set(resident)
+		}
+	}
+	d.met.spilledShards.Set(int64(nspilled))
 }
 
 // DefaultShards is the shard count of NewDataset. It is a fixed constant —
@@ -423,6 +494,7 @@ func NewDatasetShards(n int) *Dataset {
 	for i := range d.shards {
 		d.shards[i] = newShard()
 	}
+	d.segmet.Store(&segmentMetrics{})
 	return d
 }
 
@@ -500,6 +572,12 @@ func (d *Dataset) ingestLocked(date simtime.Date, records []*Record, appendMode 
 	}
 	if appendMode {
 		d.freezeLocked()
+		// Segments are immutable: every shard this ingest writes into must
+		// be resident first. Runs before interning and fan-out, so a spill
+		// replay failure leaves the dataset unchanged.
+		if err := d.unspillTouchedLocked(records, gates); err != nil {
+			return err
+		}
 	} else if !dateOK && accepted == 0 {
 		// Out-of-window bulk scan with nothing valid: the date rejection is
 		// journaled, nothing else changes.
@@ -563,8 +641,12 @@ func (d *Dataset) ingestLocked(date simtime.Date, records []*Record, appendMode 
 		d.met.scans.Inc()
 	}
 	d.met.records.Add(int64(accepted))
+	// Re-enforce the budget: this ingest may have unspilled shards or grown
+	// resident ones past it. The ingested state is already published, so an
+	// enforcement failure is reported but loses nothing.
+	spillErr := d.enforceSpillLocked()
 	d.publishSizeLocked()
-	return nil
+	return spillErr
 }
 
 // internRecordsLocked routes the accepted records of a scan through the
@@ -608,6 +690,11 @@ func (d *Dataset) Freeze() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.freezeLocked()
+	// First chance to enforce a budget configured before ingest. Freeze has
+	// no error to return; on a store failure the corpus simply stays
+	// resident and the next Append surfaces the error.
+	_ = d.enforceSpillLocked()
+	d.publishSizeLocked()
 }
 
 // freezeLocked builds and publishes the generation-1 snapshots, taking
@@ -783,12 +870,12 @@ func (d *Dataset) Periods() []simtime.Period {
 func (d *Dataset) DomainRecords(domain dnscore.Name, from, to simtime.Date) []*Record {
 	s := d.shardFor(domain)
 	if idx := s.idx.Load(); idx != nil {
-		return windowRecords(idx.byDomain[domain], from, to)
+		return windowRecords(idx.records(domain), from, to)
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if idx := s.idx.Load(); idx != nil {
-		return windowRecords(idx.byDomain[domain], from, to)
+		return windowRecords(idx.records(domain), from, to)
 	}
 	var out []*Record
 	for _, r := range s.byDomain[domain] {

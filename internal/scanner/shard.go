@@ -32,13 +32,27 @@ import (
 type shardIndex struct {
 	// byDomain maps a registered domain owned by this shard to every record
 	// whose certificate secures a name under it, sorted by scan date
-	// (stable, preserving ingest order within a date).
+	// (stable, preserving ingest order within a date). nil when the shard
+	// is spilled — the payloads then live in spill's segment.
 	byDomain map[dnscore.Name][]*Record
-	// domains is this shard's sorted domain list.
+	// domains is this shard's sorted domain list. Always resident, spilled
+	// or not.
 	domains []dnscore.Name
 	// attach counts record attachments (a record indexed under two apexes
 	// counts twice).
 	attach int
+	// spill serves record windows off the shard's sealed segment when the
+	// payloads are not resident (see spill.go); nil for a resident shard.
+	spill *spillReader
+}
+
+// records returns the full date-sorted record window for domain, from
+// memory or off the shard's segment.
+func (idx *shardIndex) records(domain dnscore.Name) []*Record {
+	if idx.spill != nil {
+		return idx.spill.records(domain)
+	}
+	return idx.byDomain[domain]
 }
 
 // clone copies the index's domain map for copy-on-write Append; the

@@ -58,5 +58,5 @@ func (v ShardView) DomainRecords(domain dnscore.Name, from, to simtime.Date) []*
 	if v.idx == nil {
 		return nil
 	}
-	return windowRecords(v.idx.byDomain[domain], from, to)
+	return windowRecords(v.idx.records(domain), from, to)
 }

@@ -1,0 +1,233 @@
+package scanner
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"retrodns/internal/obsv"
+	"retrodns/internal/segment"
+	"retrodns/internal/simtime"
+)
+
+// tightBudget picks a budget that forces roughly half the spillable
+// payload (record structs + index slots; pools and domain entries stay
+// resident by design) out of memory — a guaranteed partial spill.
+func tightBudget(d *Dataset) int64 {
+	_, records := d.Size()
+	return d.EstimatedBytes() - int64(records)*estSpilledPerAttach/2
+}
+
+// TestSpillInvarianceScanner proves the core contract at the dataset
+// level: every public read — windows, journals, sizes — is identical for
+// any mix of resident and spilled shards, across ingest orders.
+func TestSpillInvarianceScanner(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		want := datasetFingerprint(t, persistCorpus(t, shards))
+		for _, mode := range []segment.Mode{segment.ModeAuto, segment.ModeStream} {
+			for _, budget := range []int64{-1, 0, 1} {
+				d := NewDatasetShards(shards)
+				if err := d.ConfigureSpill(SpillOptions{Dir: t.TempDir(), BudgetBytes: budget, Mode: mode}); err != nil {
+					t.Fatalf("ConfigureSpill: %v", err)
+				}
+				ingestPersistCorpus(t, d)
+				if budget >= 0 && d.SpilledShards() == 0 {
+					t.Fatalf("shards=%d budget=%d: nothing spilled", shards, budget)
+				}
+				if budget < 0 && d.SpilledShards() != 0 {
+					t.Fatalf("shards=%d unlimited budget spilled %d shards", shards, d.SpilledShards())
+				}
+				have := datasetFingerprint(t, d)
+				if !reflect.DeepEqual(want, have) {
+					t.Fatalf("shards=%d budget=%d mode=%v diverged:\nwant %v\nhave %v",
+						shards, budget, mode, want, have)
+				}
+			}
+		}
+	}
+}
+
+// TestSpillAfterFreeze spills an already-built corpus (the ConfigureSpill-
+// on-frozen path) and checks the budget arithmetic: a half-estimate budget
+// must spill some but not all shards, and the resident estimate must land
+// at or under it.
+func TestSpillAfterFreeze(t *testing.T) {
+	d := persistCorpus(t, 8)
+	want := datasetFingerprint(t, d)
+	budget := tightBudget(d)
+	if err := d.ConfigureSpill(SpillOptions{Dir: t.TempDir(), BudgetBytes: budget}); err != nil {
+		t.Fatalf("ConfigureSpill: %v", err)
+	}
+	n := d.SpilledShards()
+	if n == 0 || n >= d.Shards() {
+		t.Fatalf("half-budget spilled %d of %d shards", n, d.Shards())
+	}
+	resident, spilled := d.SpillStats()
+	if resident > budget {
+		t.Fatalf("resident estimate %d over budget %d", resident, budget)
+	}
+	if spilled <= 0 {
+		t.Fatalf("spilled estimate %d", spilled)
+	}
+	if have := datasetFingerprint(t, d); !reflect.DeepEqual(want, have) {
+		t.Fatalf("partial spill diverged:\nwant %v\nhave %v", want, have)
+	}
+}
+
+// TestSpillUnspillOnAppend checks the write path: appending into a spilled
+// shard replays it back to memory first, the new records land, and the
+// budget re-spills afterwards.
+func TestSpillUnspillOnAppend(t *testing.T) {
+	reg := obsv.NewRegistry()
+	d := NewDatasetShards(8)
+	d.SetMetrics(reg)
+	if err := d.ConfigureSpill(SpillOptions{Dir: t.TempDir(), BudgetBytes: 0}); err != nil {
+		t.Fatal(err)
+	}
+	ingestPersistCorpus(t, d)
+	before := d.SpilledShards()
+	if before == 0 {
+		t.Fatal("zero budget spilled nothing")
+	}
+
+	next := simtime.ScanDates(0, 60)[3]
+	cert := mkCert(t, leKey, "Let's Encrypt", next-1, next+90, "d0.example")
+	rec := &Record{
+		ScanDate: next, IP: netip.MustParseAddr("10.9.9.9"), Ports: []uint16{443},
+		ASN: 64512, Country: "GR", Cert: cert, Trusted: true,
+	}
+	if err := d.Append(next, []*Record{rec}); err != nil {
+		t.Fatalf("Append into spilled shard: %v", err)
+	}
+	if d.SpilledShards() != before {
+		t.Fatalf("zero budget left %d shards spilled, want %d", d.SpilledShards(), before)
+	}
+	window := d.DomainRecords("d0.example", 0, 0)
+	if len(window) == 0 || window[len(window)-1].ScanDate != next {
+		t.Fatalf("appended record not served from re-spilled shard: %v", window)
+	}
+	metrics := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		metrics[s.Name] = metrics[s.Name] + s.Value
+	}
+	if metrics[MetricSegmentUnspills] == 0 {
+		t.Fatal("no unspill counted")
+	}
+	if metrics[MetricSegmentReads] == 0 {
+		t.Fatal("no segment reads counted")
+	}
+	if metrics[MetricCorpusSpilledBytes] == 0 || metrics[MetricCorpusSpilledShards] != int64(before) {
+		t.Fatalf("residency gauges: %v", metrics)
+	}
+	if metrics[MetricCorpusResidentBytes]+metrics[MetricCorpusSpilledBytes] != metrics[MetricCorpusBytes] {
+		t.Fatalf("resident+spilled != total: %v", metrics)
+	}
+}
+
+// TestSpillSnapshotV2 round-trips an out-of-core dataset through the v2
+// snapshot: spilled shards serialize as segment references and decode
+// still spilled, with every read identical. A v1-only decoder must refuse
+// the v2 payload with a typed error, and a fully resident dataset must
+// keep emitting byte-identical v1 payloads even with spill configured.
+func TestSpillSnapshotV2(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDatasetShards(8)
+	if err := d.ConfigureSpill(SpillOptions{Dir: dir, BudgetBytes: 0}); err != nil {
+		t.Fatal(err)
+	}
+	ingestPersistCorpus(t, d)
+	want := datasetFingerprint(t, d)
+
+	var buf bytes.Buffer
+	if err := d.EncodeSnapshot(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := DecodeSnapshot(buf.Bytes()); err == nil {
+		t.Fatal("v1 decode of v2 snapshot succeeded")
+	} else if !errors.Is(err, ErrSnapshotState) {
+		t.Fatalf("untyped v2 refusal: %v", err)
+	}
+	got, err := DecodeSnapshotSpill(buf.Bytes(), SpillOptions{Dir: dir, BudgetBytes: 0})
+	if err != nil {
+		t.Fatalf("DecodeSnapshotSpill: %v", err)
+	}
+	if got.SpilledShards() != d.SpilledShards() {
+		t.Fatalf("restored %d spilled shards, want %d", got.SpilledShards(), d.SpilledShards())
+	}
+	if have := datasetFingerprint(t, got); !reflect.DeepEqual(want, have) {
+		t.Fatalf("v2 round trip diverged:\nwant %v\nhave %v", want, have)
+	}
+	// Restored datasets keep ingesting under the same budget.
+	next := simtime.ScanDates(0, 60)[3]
+	cert := mkCert(t, leKey, "Let's Encrypt", next-1, next+90, "fresh.example")
+	if err := got.Append(next, []*Record{{
+		ScanDate: next, IP: netip.MustParseAddr("10.9.9.9"), Ports: []uint16{443},
+		ASN: 64512, Country: "GR", Cert: cert, Trusted: true,
+	}}); err != nil {
+		t.Fatalf("Append on restored: %v", err)
+	}
+	if len(got.DomainRecords("fresh.example", 0, 0)) != 1 {
+		t.Fatal("appended record not indexed")
+	}
+
+	// Resident corpus + spill configured (unlimited): still plain v1 bytes.
+	plain := persistCorpus(t, 8)
+	var v1 bytes.Buffer
+	if err := plain.EncodeSnapshot(&v1); err != nil {
+		t.Fatal(err)
+	}
+	idle := NewDatasetShards(8)
+	if err := idle.ConfigureSpill(SpillOptions{Dir: t.TempDir(), BudgetBytes: -1}); err != nil {
+		t.Fatal(err)
+	}
+	ingestPersistCorpus(t, idle)
+	var v1b bytes.Buffer
+	if err := idle.EncodeSnapshot(&v1b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), v1b.Bytes()) {
+		t.Fatal("resident dataset with idle spill did not emit v1-identical bytes")
+	}
+}
+
+// TestSpillV1SnapshotUnderBudget decodes a plain v1 snapshot through
+// DecodeSnapshotSpill with a zero budget: the corpus must come back fully
+// spilled and identical.
+func TestSpillV1SnapshotUnderBudget(t *testing.T) {
+	d := persistCorpus(t, 8)
+	want := datasetFingerprint(t, d)
+	var buf bytes.Buffer
+	if err := d.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshotSpill(buf.Bytes(), SpillOptions{Dir: t.TempDir(), BudgetBytes: 0})
+	if err != nil {
+		t.Fatalf("DecodeSnapshotSpill(v1): %v", err)
+	}
+	if got.SpilledShards() == 0 {
+		t.Fatal("zero budget left everything resident")
+	}
+	if have := datasetFingerprint(t, got); !reflect.DeepEqual(want, have) {
+		t.Fatalf("v1-under-budget diverged:\nwant %v\nhave %v", want, have)
+	}
+}
+
+// TestSpillSegmentLossSurfacesTyped deletes a sealed segment file out from
+// under a snapshot reference: decode must refuse with ErrSpill, not panic.
+func TestSpillSegmentLossSurfacesTyped(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDatasetShards(4)
+	if err := d.ConfigureSpill(SpillOptions{Dir: dir, BudgetBytes: 0}); err != nil {
+		t.Fatal(err)
+	}
+	ingestPersistCorpus(t, d)
+	var buf bytes.Buffer
+	if err := d.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshotSpill(buf.Bytes(), SpillOptions{Dir: t.TempDir(), BudgetBytes: 0}); !errors.Is(err, ErrSpill) {
+		t.Fatalf("decode against empty store = %v, want ErrSpill", err)
+	}
+}

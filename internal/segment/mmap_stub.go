@@ -1,0 +1,13 @@
+//go:build !unix
+
+package segment
+
+import "errors"
+
+// errMmapUnsupported makes ModeAuto fall back to streaming reads on
+// platforms without a memory-map syscall surface.
+var errMmapUnsupported = errors.New("segment: mmap unsupported")
+
+func openMmap(path string) (*Reader, error) { return nil, errMmapUnsupported }
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,414 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Mode selects how OpenFile serves reads.
+type Mode int
+
+const (
+	// ModeAuto memory-maps the segment where the platform supports it and
+	// falls back to streaming ReadAt otherwise.
+	ModeAuto Mode = iota
+	// ModeMmap requires the memory-mapped path (fails where unsupported).
+	ModeMmap
+	// ModeStream forces the plain ReadAt path: only the header, common
+	// blob, and anchor index stay resident; entry reads hit the file.
+	ModeStream
+)
+
+// String renders the mode for flags and logs.
+func (m Mode) String() string {
+	switch m {
+	case ModeMmap:
+		return "mmap"
+	case ModeStream:
+		return "stream"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMode parses a -spill-read-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "mmap":
+		return ModeMmap, nil
+	case "stream":
+		return ModeStream, nil
+	}
+	return ModeAuto, fmt.Errorf("segment: unknown read mode %q (auto|mmap|stream)", s)
+}
+
+// Reader serves point lookups and full walks over one verified segment.
+// The whole payload is CRC-checked at open; the file is immutable, so no
+// later read re-verifies. Safe for concurrent use except Close.
+type Reader struct {
+	shard   int
+	gen     uint64
+	count   int
+	common  []byte
+	anchors []anchor
+
+	// entries holds the entries region when it is resident (in-memory
+	// open, or aliasing the mmap). nil in stream mode.
+	entries []byte
+	// Stream mode: reads go through f at entriesOff.
+	f          *os.File
+	entriesOff int64
+	entriesLen int
+	// mm is the mapped region to release on Close (mmap mode only).
+	mm     []byte
+	closed bool
+}
+
+// byteReader is a minimal bounds-checked cursor over untrusted bytes. It
+// mirrors the scanner codec's latched-error discipline without importing
+// it (segment must stay dependency-free below the scanner).
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrBadSegment, what, r.off)
+	}
+}
+
+func (r *byteReader) len() int { return len(r.buf) - r.off }
+
+func (r *byteReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// bytes returns n bytes aliasing the buffer, bounding n against the
+// remaining input.
+func (r *byteReader) bytes(n uint64, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.len()) {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// parsed is the header/anchor skeleton shared by every open path.
+type parsed struct {
+	shard        int
+	gen          uint64
+	count        int
+	common       []byte
+	anchors      []anchor
+	entriesStart int // offset of the entries region within the payload
+	entriesLen   int
+}
+
+// parsePayload validates an unframed segment payload. Every count is
+// bounded against the remaining input before it gates an allocation, so
+// arbitrary bytes cannot balloon memory; every refusal is ErrBadSegment.
+func parsePayload(payload []byte) (*parsed, error) {
+	r := &byteReader{buf: payload}
+	ver := r.bytes(1, "version")
+	if r.err == nil && ver[0] != formatVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadSegment, ver[0])
+	}
+	p := &parsed{}
+	shard := r.uvarint("shard")
+	if shard > 1<<20 {
+		r.fail("shard range")
+	}
+	p.shard = int(shard)
+	p.gen = r.uvarint("generation")
+	p.common = r.bytes(r.uvarint("common length"), "common")
+	count := r.uvarint("entry count")
+	// Every entry costs at least two bytes (two length prefixes).
+	if count > uint64(r.len()) {
+		r.fail("entry count range")
+	}
+	p.count = int(count)
+	entriesLen := r.uvarint("entries length")
+	p.entriesStart = r.off
+	entries := r.bytes(entriesLen, "entries region")
+	p.entriesLen = len(entries)
+	if r.err == nil && p.count > p.entriesLen {
+		r.fail("entry count vs region")
+	}
+	nanchors := r.uvarint("anchor count")
+	if nanchors > uint64(r.len()) {
+		r.fail("anchor count range")
+	}
+	wantAnchors := uint64(0)
+	if p.count > 0 {
+		wantAnchors = (uint64(p.count) + anchorEvery - 1) / anchorEvery
+	}
+	if r.err == nil && nanchors != wantAnchors {
+		r.fail("anchor count mismatch")
+	}
+	if r.err == nil && nanchors > 0 {
+		p.anchors = make([]anchor, 0, nanchors)
+	}
+	var prev anchor
+	for i := uint64(0); i < nanchors && r.err == nil; i++ {
+		key := string(r.bytes(r.uvarint("anchor key length"), "anchor key"))
+		off := r.uvarint("anchor offset")
+		if r.err != nil {
+			break
+		}
+		if off > uint64(p.entriesLen) || (i == 0 && off != 0) {
+			r.fail("anchor offset range")
+			break
+		}
+		if i > 0 && (key <= prev.key || off <= prev.off) {
+			r.fail("anchor order")
+			break
+		}
+		prev = anchor{key: key, off: off}
+		p.anchors = append(p.anchors, prev)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSegment, r.len())
+	}
+	return p, nil
+}
+
+// Open verifies and indexes an in-memory segment image (a full framed
+// file). The Reader aliases data; keep it alive for the Reader's life.
+func Open(data []byte) (*Reader, error) {
+	payload, err := Unframe(fileMagic, data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := parsePayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{
+		shard: p.shard, gen: p.gen, count: p.count, common: p.common,
+		anchors: p.anchors, entries: payload[p.entriesStart : p.entriesStart+p.entriesLen],
+		entriesLen: p.entriesLen,
+	}, nil
+}
+
+// OpenFile verifies and indexes a segment file. ModeAuto prefers mmap
+// (entry reads are zero-copy and the pages stay file-backed, so the OS
+// can evict them under pressure); ModeStream retains only the header,
+// common blob, and anchors, reading entry windows with ReadAt.
+func OpenFile(path string, mode Mode) (*Reader, error) {
+	if mode == ModeAuto || mode == ModeMmap {
+		r, err := openMmap(path)
+		if err == nil {
+			return r, nil
+		}
+		if err != errMmapUnsupported {
+			// A real failure (unreadable file, bad CRC, bad structure)
+			// would fail the streaming path identically; surface it.
+			return nil, err
+		}
+		if mode == ModeMmap {
+			return nil, fmt.Errorf("%w: mmap unsupported on this platform", ErrBadSegment)
+		}
+	}
+
+	// Stream open: one full pass verifies the CRC and parses the header;
+	// the entries region is then dropped and re-read on demand.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Unframe(fileMagic, data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	p, err := parsePayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{
+		shard: p.shard, gen: p.gen, count: p.count,
+		common:  append([]byte(nil), p.common...),
+		anchors: p.anchors,
+		f:       f,
+		// The entries region starts after the 4-byte magic plus the
+		// payload-relative header.
+		entriesOff: int64(len(fileMagic) + p.entriesStart),
+		entriesLen: p.entriesLen,
+	}, nil
+}
+
+// newMmapReader indexes a mapped file image; mm is released on Close.
+func newMmapReader(mm []byte, f *os.File) (*Reader, error) {
+	payload, err := Unframe(fileMagic, mm)
+	if err != nil {
+		munmap(mm)
+		f.Close()
+		return nil, err
+	}
+	p, err := parsePayload(payload)
+	if err != nil {
+		munmap(mm)
+		f.Close()
+		return nil, err
+	}
+	return &Reader{
+		shard: p.shard, gen: p.gen, count: p.count, common: p.common,
+		anchors: p.anchors, entries: payload[p.entriesStart : p.entriesStart+p.entriesLen],
+		entriesLen: p.entriesLen,
+		mm:         mm, f: f,
+	}, nil
+}
+
+// Shard and Gen return the identity sealed into the segment.
+func (r *Reader) Shard() int  { return r.shard }
+func (r *Reader) Gen() uint64 { return r.gen }
+
+// Count returns the number of entries.
+func (r *Reader) Count() int { return r.count }
+
+// Common returns the caller's opaque shared blob; treat it as read-only
+// (it may alias the mapped file).
+func (r *Reader) Common() []byte { return r.common }
+
+// window returns the entry-region byte range covering the anchor block
+// that could hold key, or ok=false when the key sorts before every entry.
+func (r *Reader) window(key string) (lo, hi int, ok bool) {
+	if len(r.anchors) == 0 || key < r.anchors[0].key {
+		return 0, 0, false
+	}
+	// First anchor strictly greater than key; the block before it owns it.
+	i := sort.Search(len(r.anchors), func(i int) bool { return r.anchors[i].key > key })
+	lo = int(r.anchors[i-1].off)
+	hi = r.entriesLen
+	if i < len(r.anchors) {
+		hi = int(r.anchors[i].off)
+	}
+	return lo, hi, true
+}
+
+// block materializes one entry window: a subslice in memory/mmap mode,
+// one ReadAt in stream mode.
+func (r *Reader) block(lo, hi int) ([]byte, error) {
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.entries != nil {
+		return r.entries[lo:hi], nil
+	}
+	buf := make([]byte, hi-lo)
+	if _, err := r.f.ReadAt(buf, r.entriesOff+int64(lo)); err != nil {
+		return nil, fmt.Errorf("%w: read entries [%d,%d): %v", ErrBadSegment, lo, hi, err)
+	}
+	return buf, nil
+}
+
+// Get returns the value stored under key. ok=false means the key is not
+// in the segment; a structurally damaged entry is an error. The returned
+// slice may alias the mapped file — decode it before Close.
+func (r *Reader) Get(key string) ([]byte, bool, error) {
+	lo, hi, ok := r.window(key)
+	if !ok {
+		return nil, false, nil
+	}
+	block, err := r.block(lo, hi)
+	if err != nil {
+		return nil, false, err
+	}
+	br := &byteReader{buf: block}
+	for br.len() > 0 {
+		k := br.bytes(br.uvarint("entry key length"), "entry key")
+		v := br.bytes(br.uvarint("entry value length"), "entry value")
+		if br.err != nil {
+			return nil, false, br.err
+		}
+		switch {
+		case string(k) == key:
+			return v, true, nil
+		case string(k) > key:
+			return nil, false, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Walk visits every entry in key order. In stream mode the whole entries
+// region is read once (the caller is materializing the shard anyway).
+func (r *Reader) Walk(fn func(key string, value []byte) error) error {
+	block, err := r.block(0, r.entriesLen)
+	if err != nil {
+		return err
+	}
+	br := &byteReader{buf: block}
+	seen := 0
+	for br.len() > 0 {
+		k := br.bytes(br.uvarint("entry key length"), "entry key")
+		v := br.bytes(br.uvarint("entry value length"), "entry value")
+		if br.err != nil {
+			return br.err
+		}
+		seen++
+		if seen > r.count {
+			return fmt.Errorf("%w: more entries than declared (%d)", ErrBadSegment, r.count)
+		}
+		if err := fn(string(k), v); err != nil {
+			return err
+		}
+	}
+	if seen != r.count {
+		return fmt.Errorf("%w: %d entries, declared %d", ErrBadSegment, seen, r.count)
+	}
+	return nil
+}
+
+// Close releases the mapping and file handle; every read after Close
+// returns ErrClosed. Closing an Open-from-bytes reader just latches the
+// refusal (it holds no resources).
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var errs []error
+	if r.mm != nil {
+		if err := munmap(r.mm); err != nil {
+			errs = append(errs, err)
+		}
+		r.mm, r.entries = nil, nil
+	}
+	if r.f != nil {
+		if err := r.f.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		r.f = nil
+	}
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}

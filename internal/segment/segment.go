@@ -1,0 +1,134 @@
+// Package segment is the on-disk half of the out-of-core corpus: an
+// append-only store of immutable segment files, each holding one frozen
+// shard's record payloads as sorted key/value entries plus a sparse
+// per-key offset index. The scanner seals cold shards into segments and
+// serves DomainRecords windows back off disk (mmap when the platform has
+// it, plain ReadAt streaming otherwise); the WAL layer shares the same
+// CRC-32C framing for its snapshot files and manifest, so the two storage
+// layers verify one format.
+//
+// A segment file is one frame:
+//
+//	"RDSG" ++ payload ++ u32le CRC-32C(payload)
+//	payload = u8 version(1)
+//	       ++ uvarint shard ++ uvarint generation
+//	       ++ uvarint len(common)  ++ common        (opaque caller blob)
+//	       ++ uvarint entryCount
+//	       ++ uvarint len(entries) ++ entries
+//	       ++ uvarint anchorCount  ++ anchors
+//	entry  = uvarint len(key) ++ key ++ uvarint len(value) ++ value
+//	anchor = uvarint len(key) ++ key ++ uvarint entryOffset
+//
+// Entries are sorted by key (strictly ascending); every anchorEvery-th
+// entry is anchored, so a point lookup binary-searches the anchors and
+// scans at most anchorEvery entries. The whole payload is checksummed and
+// verified at open: segments are immutable, so one verification covers
+// every later read.
+//
+// Decoding operates on attacker-shaped bytes (a garbled file survives its
+// CRC one time in 2^32), so every reader path returns typed errors —
+// never panics — and bounds every allocation against the remaining input
+// (FuzzSegmentReplay enforces the contract).
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Typed refusals. Everything a damaged segment, frame, or manifest can
+// provoke maps to one of these (possibly wrapped).
+var (
+	// ErrBadFrame reports a frame with the wrong magic, a truncated body,
+	// or a CRC mismatch.
+	ErrBadFrame = errors.New("segment: invalid frame")
+	// ErrBadSegment reports a structurally invalid segment payload.
+	ErrBadSegment = errors.New("segment: invalid segment")
+	// ErrBadManifest reports an unreadable or mis-schemaed manifest; the
+	// store recovers by scanning the directory instead.
+	ErrBadManifest = errors.New("segment: invalid manifest")
+	// ErrUnsortedKeys reports a Writer.Add call out of key order.
+	ErrUnsortedKeys = errors.New("segment: keys not strictly ascending")
+	// ErrClosed reports a read through a closed Reader.
+	ErrClosed = errors.New("segment: reader closed")
+)
+
+const (
+	fileMagic     = "RDSG"
+	formatVersion = 1
+	// anchorEvery is the sparse-index stride: one anchor per this many
+	// entries, so Get scans at most anchorEvery entries after the binary
+	// search.
+	anchorEvery = 16
+)
+
+// crcTable is the Castagnoli polynomial, matching the WAL's framing.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame wraps payload as magic ++ payload ++ u32le CRC-32C(payload) — the
+// shared framing for segment files, WAL snapshot files, and manifests.
+func Frame(magic string, payload []byte) []byte {
+	buf := make([]byte, 0, len(magic)+len(payload)+4)
+	buf = append(buf, magic...)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+}
+
+// Unframe verifies a Frame encoding and returns the payload (aliasing
+// data). Wrong magic, a short buffer, or a checksum mismatch are
+// ErrBadFrame.
+func Unframe(magic string, data []byte) ([]byte, error) {
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	payload := data[len(magic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return payload, nil
+}
+
+// AtomicWrite lands data at <dir>/<name> via tmp + fsync + rename + dir
+// fsync: after it returns, a crash yields either the old file or the new,
+// never a half-written one under the published name.
+func AtomicWrite(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making a preceding rename durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,331 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSeg seals n synthetic entries into framed file bytes.
+func buildSeg(t *testing.T, shard int, gen uint64, n int) ([]byte, map[string][]byte) {
+	t.Helper()
+	w := NewWriter(shard, gen)
+	w.SetCommon([]byte("common-blob"))
+	want := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("domain-%05d.example", i)
+		v := bytes.Repeat([]byte{byte(i)}, 1+i%7)
+		if err := w.Add(k, v); err != nil {
+			t.Fatalf("Add(%q): %v", k, err)
+		}
+		want[k] = v
+	}
+	data, err := w.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	return data, want
+}
+
+func checkReader(t *testing.T, r *Reader, want map[string][]byte) {
+	t.Helper()
+	if r.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", r.Count(), len(want))
+	}
+	if string(r.Common()) != "common-blob" {
+		t.Fatalf("Common = %q", r.Common())
+	}
+	for k, v := range want {
+		got, ok, err := r.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%q) = %q, %v, %v; want %q", k, got, ok, err, v)
+		}
+	}
+	for _, miss := range []string{"", "aaa", "domain-00000.examplf", "zzz", "domain-99999.example"} {
+		if _, ok, err := r.Get(miss); ok || err != nil {
+			t.Fatalf("Get(%q) = %v, %v; want miss", miss, ok, err)
+		}
+	}
+	seen := 0
+	prev := ""
+	if err := r.Walk(func(k string, v []byte) error {
+		if seen > 0 && k <= prev {
+			t.Fatalf("Walk out of order: %q after %q", k, prev)
+		}
+		if !bytes.Equal(v, want[k]) {
+			t.Fatalf("Walk(%q) = %q, want %q", k, v, want[k])
+		}
+		prev = k
+		seen++
+		return nil
+	}); err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if seen != len(want) {
+		t.Fatalf("Walk visited %d, want %d", seen, len(want))
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 17, 333} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			data, want := buildSeg(t, 3, 7, n)
+			r, err := Open(data)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if r.Shard() != 3 || r.Gen() != 7 {
+				t.Fatalf("identity = (%d,%d)", r.Shard(), r.Gen())
+			}
+			checkReader(t, r, want)
+		})
+	}
+}
+
+func TestOpenFileModes(t *testing.T) {
+	data, want := buildSeg(t, 1, 2, 100)
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegName(1, 2))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeAuto, ModeMmap, ModeStream} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r, err := OpenFile(path, mode)
+			if err != nil {
+				t.Fatalf("OpenFile(%v): %v", mode, err)
+			}
+			defer r.Close()
+			checkReader(t, r, want)
+			if err := r.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, _, err := r.Get("domain-00000.example"); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Get after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{"": ModeAuto, "auto": ModeAuto, "mmap": ModeMmap, "stream": ModeStream} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode(bogus) accepted")
+	}
+}
+
+func TestUnsortedKeysLatch(t *testing.T) {
+	w := NewWriter(0, 1)
+	if err := w.Add("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("a", nil); !errors.Is(err, ErrUnsortedKeys) {
+		t.Fatalf("out-of-order Add = %v", err)
+	}
+	if err := w.Add("z", nil); !errors.Is(err, ErrUnsortedKeys) {
+		t.Fatalf("latched Add = %v", err)
+	}
+	if _, err := w.Bytes(); !errors.Is(err, ErrUnsortedKeys) {
+		t.Fatalf("Bytes after latch = %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	data, _ := buildSeg(t, 0, 1, 50)
+	for _, off := range []int{0, len(fileMagic), len(data) / 2, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0xff
+		if _, err := Open(mut); err == nil {
+			t.Fatalf("flip at %d accepted", off)
+		} else if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrBadSegment) {
+			t.Fatalf("flip at %d: untyped error %v", off, err)
+		}
+	}
+	if _, err := Open(data[:len(data)-3]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated = %v", err)
+	}
+	if _, err := Open(nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty = %v", err)
+	}
+}
+
+func TestStoreSealLookupReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(2, 5)
+	w.SetCommon([]byte("common-blob"))
+	for i := 0; i < 40; i++ {
+		if err := w.Add(fmt.Sprintf("domain-%05d.example", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := st.Seal(w)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if info.File != SegName(2, 5) || info.Entries != 40 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	// A second generation for the same shard supersedes the first.
+	w2 := NewWriter(2, 6)
+	w2.SetCommon([]byte("common-blob"))
+	if err := w2.Add("only.example", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Seal(w2); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if st2.RecoveredByScan() {
+		t.Fatal("clean reopen reported a rescan")
+	}
+	latest, ok := st2.Latest(2)
+	if !ok || latest.Gen != 6 {
+		t.Fatalf("Latest = %+v, %v", latest, ok)
+	}
+	got, ok := st2.Lookup(2, 5)
+	if !ok || got != info {
+		t.Fatalf("Lookup = %+v, %v; want %+v", got, ok, info)
+	}
+	r, err := st2.OpenSeg(got, ModeAuto)
+	if err != nil {
+		t.Fatalf("OpenSeg: %v", err)
+	}
+	defer r.Close()
+	if r.Count() != 40 {
+		t.Fatalf("reopened Count = %d", r.Count())
+	}
+}
+
+func TestStoreManifestRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(0, 3)
+	if err := w.Add("a.example", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Seal(w); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the manifest: the store must fall back to scanning the
+	// directory, not fail open.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open with corrupt manifest: %v", err)
+	}
+	if !st2.RecoveredByScan() {
+		t.Fatal("expected RecoveredByScan")
+	}
+	info, ok := st2.Lookup(0, 3)
+	if !ok {
+		t.Fatal("segment lost after manifest recovery")
+	}
+	r, err := st2.OpenSeg(info, ModeAuto)
+	if err != nil {
+		t.Fatalf("OpenSeg after recovery: %v", err)
+	}
+	r.Close()
+
+	// A missing manifest is a fresh (empty) store, not a rescan event.
+	empty := t.TempDir()
+	st3, err := OpenStore(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.RecoveredByScan() {
+		t.Fatal("fresh store reported a rescan")
+	}
+}
+
+func TestStoreRejectsRenamedSegment(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(1, 1)
+	if err := w.Add("a.example", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Seal(w); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the shard-1 file under a shard-2 name: the sealed identity no
+	// longer matches, so OpenName must refuse.
+	data, err := os.ReadFile(filepath.Join(dir, SegName(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, SegName(2, 1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.OpenName(SegName(2, 1), ModeAuto); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("OpenName(cross-copied) = %v, want ErrBadSegment", err)
+	}
+}
+
+func TestStorePrune(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := uint64(1); gen <= 4; gen++ {
+		w := NewWriter(0, gen)
+		if err := w.Add("a.example", []byte{byte(gen)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Seal(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Prune(0); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	for gen := uint64(1); gen <= 4; gen++ {
+		_, ok := st.Lookup(0, gen)
+		wantKept := gen > 2
+		if ok != wantKept {
+			t.Fatalf("gen %d kept=%v, want %v", gen, ok, wantKept)
+		}
+		_, err := os.Stat(filepath.Join(dir, SegName(0, gen)))
+		if (err == nil) != wantKept {
+			t.Fatalf("gen %d file exists=%v, want %v", gen, err == nil, wantKept)
+		}
+	}
+}
+
+func TestParseSegName(t *testing.T) {
+	shard, gen, ok := parseSegName(SegName(7, 42))
+	if !ok || shard != 7 || gen != 42 {
+		t.Fatalf("round trip = (%d,%d,%v)", shard, gen, ok)
+	}
+	for _, bad := range []string{"seg-7-42.bin.tmp-1", "seg-x-1.bin", "manifest.json", "seg-1.bin", "seg--1-1.bin"} {
+		if _, _, ok := parseSegName(bad); ok {
+			t.Fatalf("parseSegName(%q) accepted", bad)
+		}
+	}
+}

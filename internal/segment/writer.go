@@ -1,0 +1,87 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Writer accumulates one segment's sorted entries and renders the framed
+// file bytes. Keys must arrive strictly ascending — the sparse anchor
+// index and Get's scan-forward both depend on the order — and a violation
+// latches ErrUnsortedKeys rather than producing a corrupt file.
+type Writer struct {
+	shard   int
+	gen     uint64
+	common  []byte
+	entries []byte
+	count   int
+	lastKey string
+	anchors []anchor
+	err     error
+}
+
+type anchor struct {
+	key string
+	off uint64
+}
+
+// NewWriter starts a segment for the given shard and generation.
+func NewWriter(shard int, gen uint64) *Writer {
+	return &Writer{shard: shard, gen: gen}
+}
+
+// SetCommon attaches the caller's opaque shared blob (the scanner stores
+// the shard's certificate table here). May be called before or after Add.
+func (w *Writer) SetCommon(b []byte) { w.common = b }
+
+// Count returns the number of entries added so far.
+func (w *Writer) Count() int { return w.count }
+
+// Add appends one key/value entry. Keys must be strictly ascending.
+func (w *Writer) Add(key string, value []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.count > 0 && key <= w.lastKey {
+		w.err = fmt.Errorf("%w: %q after %q", ErrUnsortedKeys, key, w.lastKey)
+		return w.err
+	}
+	if w.count%anchorEvery == 0 {
+		w.anchors = append(w.anchors, anchor{key: key, off: uint64(len(w.entries))})
+	}
+	w.entries = binary.AppendUvarint(w.entries, uint64(len(key)))
+	w.entries = append(w.entries, key...)
+	w.entries = binary.AppendUvarint(w.entries, uint64(len(value)))
+	w.entries = append(w.entries, value...)
+	w.lastKey = key
+	w.count++
+	return nil
+}
+
+// Bytes assembles the framed segment file: header, common blob, entries
+// region, anchor index, all CRC-framed under the segment magic.
+func (w *Writer) Bytes() ([]byte, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	payload := make([]byte, 0, 64+len(w.common)+len(w.entries)+len(w.anchors)*24)
+	payload = append(payload, formatVersion)
+	payload = binary.AppendUvarint(payload, uint64(w.shard))
+	payload = binary.AppendUvarint(payload, w.gen)
+	payload = binary.AppendUvarint(payload, uint64(len(w.common)))
+	payload = append(payload, w.common...)
+	payload = binary.AppendUvarint(payload, uint64(w.count))
+	payload = binary.AppendUvarint(payload, uint64(len(w.entries)))
+	payload = append(payload, w.entries...)
+	payload = binary.AppendUvarint(payload, uint64(len(w.anchors)))
+	for _, a := range w.anchors {
+		payload = binary.AppendUvarint(payload, uint64(len(a.key)))
+		payload = append(payload, a.key...)
+		payload = binary.AppendUvarint(payload, a.off)
+	}
+	return Frame(fileMagic, payload), nil
+}
+
+// Shard and Gen return the identity the writer was created with.
+func (w *Writer) Shard() int  { return w.shard }
+func (w *Writer) Gen() uint64 { return w.gen }

@@ -8,17 +8,20 @@ package wal
 //
 // written tmp-then-rename with fsyncs on both the file and the directory,
 // so a crash leaves either the old state or the new — never a half file
-// under the published name. manifest.json points at the newest snapshot
-// and records the last generation known durable; it is advisory for
-// recovery (the directory scan is authoritative) but its last_generation
-// field is what the drain path fsyncs so a graceful exit never loses the
-// in-flight generation.
+// under the published name. The framing is segment.Frame, the same
+// magic ++ payload ++ CRC-32C envelope the segment store uses, so both
+// durability layers fail torn files the same way. manifest.json points at
+// the newest snapshot and records the last generation known durable; it is
+// advisory for recovery (the directory scan is authoritative) but its
+// last_generation field is what the drain path fsyncs so a graceful exit
+// never loses the in-flight generation. The manifest is CRC-framed too
+// ("RDMF" ++ JSON ++ CRC-32C); a legacy bare-JSON manifest from an older
+// build still reads.
 
 import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -26,14 +29,16 @@ import (
 
 	"retrodns/internal/core"
 	"retrodns/internal/scanner"
+	"retrodns/internal/segment"
 )
 
 const (
-	snapMagic    = "RDSS"
-	manifestName = "manifest.json"
-	walName      = "wal.log"
-	snapPrefix   = "snap-"
-	snapSuffix   = ".bin"
+	snapMagic     = "RDSS"
+	manifestMagic = "RDMF"
+	manifestName  = "manifest.json"
+	walName       = "wal.log"
+	snapPrefix    = "snap-"
+	snapSuffix    = ".bin"
 	// keepSnapshots retains the newest N snapshot files; older ones are
 	// pruned after each successful write (the previous one stays as a
 	// fallback if the newest is damaged on disk).
@@ -93,13 +98,8 @@ func writeSnapshotFile(dir string, gen uint64, ds *scanner.Dataset, cache *core.
 	payload = binary.AppendUvarint(payload, uint64(cacheBuf.Len()))
 	payload = append(payload, cacheBuf.String()...)
 
-	buf := make([]byte, 0, len(snapMagic)+len(payload)+4)
-	buf = append(buf, snapMagic...)
-	buf = append(buf, payload...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
-
 	name := snapName(gen)
-	if err := atomicWrite(dir, name, buf); err != nil {
+	if err := segment.AtomicWrite(dir, name, segment.Frame(snapMagic, payload)); err != nil {
 		return "", err
 	}
 	return name, nil
@@ -107,19 +107,17 @@ func writeSnapshotFile(dir string, gen uint64, ds *scanner.Dataset, cache *core.
 
 // loadSnapshotFile reads and verifies one snapshot file, returning the
 // dataset and (possibly nil) cache payloads still encoded — the caller
-// decodes the cache only after WAL replay has settled the dataset.
-func loadSnapshotFile(path string) (*scanner.Dataset, []byte, error) {
+// decodes the cache only after WAL replay has settled the dataset. A
+// non-nil spill decodes the dataset out of core (resolving any segment
+// references the snapshot carries and enforcing the budget).
+func loadSnapshotFile(path string, spill *scanner.SpillOptions) (*scanner.Dataset, []byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
-		return nil, nil, fmt.Errorf("%w: %s: bad magic", ErrBadSnapshot, filepath.Base(path))
-	}
-	payload := data[len(snapMagic) : len(data)-4]
-	want := binary.LittleEndian.Uint32(data[len(data)-4:])
-	if crc32.Checksum(payload, crcTable) != want {
-		return nil, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrBadSnapshot, filepath.Base(path))
+	payload, err := segment.Unframe(snapMagic, data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %s: %v", ErrBadSnapshot, filepath.Base(path), err)
 	}
 	dsLen, n := binary.Uvarint(payload)
 	if n <= 0 || dsLen > uint64(len(payload)-n) {
@@ -132,7 +130,12 @@ func loadSnapshotFile(path string) (*scanner.Dataset, []byte, error) {
 		return nil, nil, fmt.Errorf("%w: %s: cache length", ErrBadSnapshot, filepath.Base(path))
 	}
 	cacheBytes := rest[n : n+int(cacheLen)]
-	ds, err := scanner.DecodeSnapshot(dsBytes)
+	var ds *scanner.Dataset
+	if spill != nil {
+		ds, err = scanner.DecodeSnapshotSpill(dsBytes, *spill)
+	} else {
+		ds, err = scanner.DecodeSnapshot(dsBytes)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %s: %v", ErrBadSnapshot, filepath.Base(path), err)
 	}
@@ -195,7 +198,9 @@ func pruneSnapshots(dir string) {
 }
 
 // readManifest loads manifest.json if present; a missing file is not an
-// error (nil, nil), a malformed one is ErrBadManifest.
+// error (nil, nil), a malformed one is ErrBadManifest. The current format
+// is CRC-framed ("RDMF" ++ JSON ++ CRC-32C); a bare-JSON manifest written
+// by an older build is accepted unframed so upgrades recover warm.
 func readManifest(dir string) (*manifest, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -204,8 +209,16 @@ func readManifest(dir string) (*manifest, error) {
 		}
 		return nil, err
 	}
+	doc := data
+	if strings.HasPrefix(string(data), manifestMagic) {
+		// Framed manifest: a CRC mismatch here is real damage, not a
+		// format downgrade — the legacy path must not mask it.
+		if doc, err = segment.Unframe(manifestMagic, data); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+		}
+	}
 	var man manifest
-	if err := json.Unmarshal(data, &man); err != nil {
+	if err := json.Unmarshal(doc, &man); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
 	}
 	if man.Schema != manifestSchema {
@@ -214,50 +227,14 @@ func readManifest(dir string) (*manifest, error) {
 	return &man, nil
 }
 
-// writeManifest publishes the manifest atomically with directory fsync.
+// writeManifest publishes the manifest atomically with directory fsync,
+// CRC-framed so recovery can tell a damaged manifest from a valid one
+// instead of trusting whatever JSON parses.
 func writeManifest(dir string, man *manifest) error {
 	man.Schema = manifestSchema
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return err
 	}
-	return atomicWrite(dir, manifestName, append(data, '\n'))
-}
-
-// atomicWrite lands data at <dir>/<name> via tmp + fsync + rename + dir
-// fsync: after it returns, a crash yields either the old file or the new.
-func atomicWrite(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp-")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return syncDir(dir)
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return segment.AtomicWrite(dir, manifestName, segment.Frame(manifestMagic, append(data, '\n')))
 }

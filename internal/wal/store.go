@@ -39,12 +39,14 @@ const (
 	FaultOutOfOrder    = "out_of_order_generation"
 	FaultClockSkew     = "clock_skew"
 	FaultBadSnapshot   = "bad_snapshot"
+	FaultBadManifest   = "bad_manifest"
 )
 
 // walFaults is the display/registration order of the reasons above.
 var walFaults = []string{
 	FaultTornTail, FaultCRCMismatch, FaultBadFrame,
 	FaultDupGeneration, FaultOutOfOrder, FaultClockSkew, FaultBadSnapshot,
+	FaultBadManifest,
 }
 
 // Options configures Open.
@@ -59,6 +61,11 @@ type Options struct {
 	SnapshotEvery int
 	// Metrics, when set, registers the retrodns_wal_* families.
 	Metrics *obsv.Registry
+	// Spill, when set, runs the recovered dataset out of core: snapshots
+	// decode through scanner.DecodeSnapshotSpill against this store, and
+	// the budget is enforced across replay and live appends. nil keeps
+	// the corpus fully resident.
+	Spill *scanner.SpillOptions
 }
 
 const defaultSnapshotEvery = 8
@@ -132,15 +139,15 @@ func Open(opts Options) (*Store, *Recovery, error) {
 	if err != nil {
 		// A damaged manifest is recoverable: the directory scan finds
 		// snapshots without it.
-		rec.Faults[FaultBadSnapshot]++
-		s.fault(FaultBadSnapshot)
+		rec.Faults[FaultBadManifest]++
+		s.fault(FaultBadManifest)
 		man = nil
 	}
 
 	// Newest loadable snapshot wins; damaged ones count and fall through.
 	var cacheBytes []byte
 	for _, name := range snapshotCandidates(opts.Dir, man) {
-		ds, cb, err := loadSnapshotFile(filepath.Join(opts.Dir, name))
+		ds, cb, err := loadSnapshotFile(filepath.Join(opts.Dir, name), opts.Spill)
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue
@@ -159,6 +166,11 @@ func Open(opts Options) (*Store, *Recovery, error) {
 			shards = scanner.DefaultShards
 		}
 		s.ds = scanner.NewDatasetShards(shards)
+		if opts.Spill != nil {
+			if err := s.ds.ConfigureSpill(*opts.Spill); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	s.lastSnapGen = s.ds.Generation()
 

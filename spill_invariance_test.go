@@ -1,0 +1,133 @@
+package retrodns_bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"retrodns/internal/core"
+	"retrodns/internal/report"
+	"retrodns/internal/scanner"
+	"retrodns/internal/world"
+)
+
+// TestSpillInvariance is the end-to-end acceptance test for the
+// out-of-core corpus: the full study analyzed with the record payloads
+// fully resident, fully spilled to on-disk segments (zero budget), and
+// partially spilled (a tight budget) must serialize to the exact same
+// findings JSON, canonical run report, funnel counts, and quarantine
+// journal. The memory budget is an execution knob, never an analysis
+// input — only the execution-metadata fields (spilled-shard counts,
+// residency gauges) may differ, and Canonical() strips exactly those.
+func TestSpillInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study replay")
+	}
+	cfg := world.Config{Seed: 2, StableDomains: 20, Campaigns: true, PDNSCoverage: 1}
+	w := world.New(cfg)
+	w.RunClock()
+	if len(w.Errors) > 0 {
+		t.Fatalf("world errors: %v", w.Errors)
+	}
+	sc := w.Scanner()
+	dates := w.ScanDates()
+	scans := make([][]*scanner.Record, len(dates))
+	for i, d := range dates {
+		scans[i] = sc.ScanWeek(d)
+	}
+
+	run := func(t *testing.T, shards int, spill *scanner.SpillOptions) (*scanner.Dataset, *core.Result) {
+		t.Helper()
+		ds := scanner.NewDatasetShards(shards)
+		if spill != nil {
+			if err := ds.ConfigureSpill(*spill); err != nil {
+				t.Fatalf("ConfigureSpill: %v", err)
+			}
+		}
+		pipe := &core.Pipeline{
+			Params: core.DefaultParams(), Dataset: ds, Meta: w.Meta,
+			PDNS: w.PDNSDB, CT: w.CT, DNSSEC: w.SecLog,
+			Workers: 4, Cache: core.NewClassifyCache(),
+		}
+		var res *core.Result
+		for i, d := range dates {
+			if err := ds.Append(d, scans[i]); err != nil {
+				t.Fatalf("Append %s: %v", d, err)
+			}
+			res = pipe.Run()
+		}
+		return ds, res
+	}
+	findings := func(t *testing.T, res *core.Result) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	canonical := func(t *testing.T, res *core.Result, ds *scanner.Dataset) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := report.BuildRunReport(res, ds.Quarantine(), nil).Canonical().Encode(&buf); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	for _, shards := range []int{1, 8} {
+		// Resident baseline, and a fully spilled twin whose SpillStats
+		// reveal the total spillable payload — from which a tight budget
+		// (half the payload on disk) is derived through the public API.
+		baseDS, baseRes := run(t, shards, nil)
+		wantJSON := findings(t, baseRes)
+		wantCanon := canonical(t, baseRes, baseDS)
+		wantFunnel := report.FunnelCounts(baseRes)
+		wantQuar := fmt.Sprint(baseDS.Quarantine())
+		if baseDS.SpilledShards() != 0 || baseRes.Stats.SpilledShards != 0 {
+			t.Fatalf("shards=%d: resident baseline reports spilled shards", shards)
+		}
+
+		probe, _ := run(t, shards, &scanner.SpillOptions{Dir: t.TempDir(), BudgetBytes: 0})
+		resident0, spilledAll := probe.SpillStats()
+		tight := resident0 + spilledAll - spilledAll/2
+
+		for name, budget := range map[string]int64{"zero": 0, "tight": tight} {
+			spill := &scanner.SpillOptions{Dir: t.TempDir(), BudgetBytes: budget}
+			ds, res := run(t, shards, spill)
+			n := ds.SpilledShards()
+			if n == 0 {
+				t.Fatalf("shards=%d budget=%s: nothing spilled", shards, name)
+			}
+			if name == "tight" && shards > 1 && n >= shards {
+				t.Fatalf("shards=%d: tight budget spilled every shard (%d)", shards, n)
+			}
+			if res.Stats.SpilledShards != n {
+				t.Fatalf("shards=%d budget=%s: Stats.SpilledShards=%d, dataset says %d",
+					shards, name, res.Stats.SpilledShards, n)
+			}
+			if got := findings(t, res); !bytes.Equal(wantJSON, got) {
+				t.Errorf("shards=%d budget=%s: findings JSON diverged from resident run", shards, name)
+			}
+			if got := canonical(t, res, ds); !bytes.Equal(wantCanon, got) {
+				t.Errorf("shards=%d budget=%s: canonical report diverged:\nresident:\n%s\nspilled:\n%s",
+					shards, name, wantCanon, got)
+			}
+			for k, v := range wantFunnel {
+				if f := report.FunnelCounts(res); f[k] != v {
+					t.Errorf("shards=%d budget=%s: funnel[%s] = %d, want %d", shards, name, k, f[k], v)
+				}
+			}
+			if got := fmt.Sprint(ds.Quarantine()); got != wantQuar {
+				t.Errorf("shards=%d budget=%s: quarantine journal differs:\n%s\nvs\n%s",
+					shards, name, got, wantQuar)
+			}
+			// The spilled run's raw (non-canonical) report must surface the
+			// residency, so operators can see the corpus ran out of core.
+			raw := report.BuildRunReport(res, ds.Quarantine(), nil)
+			if raw.SpilledShards != n {
+				t.Errorf("shards=%d budget=%s: report.SpilledShards=%d, want %d", shards, name, raw.SpilledShards, n)
+			}
+		}
+	}
+}
